@@ -1,0 +1,473 @@
+(* The benchmark harness: one entry per experiment in EXPERIMENTS.md.
+
+     e1    - Section 4: the four capture configurations, loss vs. rate
+     e2    - Conclusions: packets/second through a production-like query set
+     a1    - LFTA direct-mapped table: data reduction vs. table size
+     a2    - LFTA/HFTA splitting on vs. off: tuples crossing the channel
+     a3    - merge of skewed streams: buffer growth with/without heartbeats
+     a4    - NIC capability levels: bytes delivered to the host
+     a5    - join algorithm choice: output ordering vs. buffer space
+     micro - Bechamel micro-costs of the operators and substrates
+
+   `main.exe` with no argument runs everything. *)
+
+module E = Gigascope.Engine
+module Rts = Gigascope_rts
+module Gsql = Gigascope_gsql
+module Traffic = Gigascope_traffic
+module Sim = Gigascope_sim
+module Value = Rts.Value
+
+let section title =
+  Printf.printf "\n==== %s ====\n%!" title
+
+(* ---------------------------------------------------------------- E1 --- *)
+
+let run_e1 () =
+  section "E1: Section 4 performance experiment";
+  Sim.Experiment.print_summary (Sim.Experiment.run ~duration:20.0 ())
+
+(* ---------------------------------------------------------------- E2 --- *)
+
+(* A production-like query set: the HTTP-fraction pair, per-port counts,
+   per-subnet volumes, and a flow aggregation. *)
+let e2_queries =
+  {|
+  DEFINE { query_name e2_port80cnt; }
+  SELECT tb, count(*) as cnt
+  FROM eth0.tcp
+  WHERE ipversion = 4 and protocol = 6 and destport = 80
+  GROUP BY time/1 as tb
+
+  DEFINE { query_name e2_http; }
+  SELECT tb, count(*) as cnt
+  FROM eth0.tcp
+  WHERE ipversion = 4 and protocol = 6 and destport = 80
+    and str_match_regex(payload, '^[^\n]*HTTP/1.*') = TRUE
+  GROUP BY time/1 as tb
+
+  DEFINE { query_name e2_ports; }
+  SELECT tb, destport, count(*) as cnt, sum(len) as bytes
+  FROM eth0.tcp
+  WHERE ipversion = 4
+  GROUP BY time/1 as tb, destport
+
+  DEFINE { query_name e2_subnets; }
+  SELECT tb, truncate_ip(srcip, 16) as subnet, count(*) as cnt
+  FROM eth0.tcp
+  WHERE ipversion = 4
+  GROUP BY time/1 as tb, truncate_ip(srcip, 16) as subnet
+
+  DEFINE { query_name e2_flows; }
+  SELECT tb, srcip, destip, srcport, destport, count(*) as pkts, sum(len) as bytes
+  FROM eth0.tcp
+  WHERE ipversion = 4
+  GROUP BY time/1 as tb, srcip, destip, srcport, destport
+|}
+
+let run_e2 () =
+  section "E2: sustained packets/second through a 5-query production-like set";
+  let cfg =
+    {
+      Traffic.Gen.default with
+      Traffic.Gen.duration = 3.0;
+      rate_mbps = 300.0;
+      seed = 5;
+      n_flows = 2048;
+    }
+  in
+  (* pre-generate so the measurement is the query network, not the source *)
+  let gen = Traffic.Gen.create cfg in
+  let packets =
+    let rec go acc = match Traffic.Gen.next gen with Some p -> go (p :: acc) | None -> List.rev acc in
+    go []
+  in
+  let n_packets = List.length packets in
+  let eng = E.create ~default_capacity:65536 () in
+  E.add_packet_list_interface eng ~name:"eth0" packets;
+  (match E.install_program eng e2_queries with
+  | Ok _ -> ()
+  | Error e -> failwith ("e2 install: " ^ e));
+  let outputs = ref 0 in
+  List.iter
+    (fun q -> Result.get_ok (E.on_tuple eng q (fun _ -> incr outputs)))
+    ["e2_port80cnt"; "e2_http"; "e2_ports"; "e2_subnets"; "e2_flows"];
+  let t0 = Unix.gettimeofday () in
+  (match E.run eng () with Ok _ -> () | Error e -> failwith ("e2 run: " ^ e));
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "packets: %d  wall: %.2fs  throughput: %.0f pkts/s  outputs: %d  drops: %d\n"
+    n_packets dt
+    (float_of_int n_packets /. dt)
+    !outputs (E.total_drops eng);
+  Printf.printf "paper: 1.2M pkts/s sustained on a 2003 dual 2.4GHz server\n"
+
+(* ---------------------------------------------------------------- A1 --- *)
+
+let run_a1 () =
+  section "A1: LFTA direct-mapped table size vs. early data reduction";
+  Printf.printf "%-10s %18s %18s %12s\n" "slots" "reduction(local)" "reduction(uniform)" "note";
+  let run_one ~bits ~uniform =
+    let cfg =
+      {
+        Traffic.Gen.default with
+        Traffic.Gen.duration = 2.0;
+        rate_mbps = 200.0;
+        seed = 21;
+        n_flows = 1024;
+        uniform_random = uniform;
+      }
+    in
+    let eng = E.create ~default_capacity:1_000_000 () in
+    E.add_generator_interface eng ~name:"eth0" cfg;
+    let q =
+      Printf.sprintf
+        {|
+        DEFINE { query_name a1_flows; lfta_bits %d; }
+        SELECT tb, srcip, destip, srcport, destport, count(*) as cnt
+        FROM eth0.tcp
+        WHERE ipversion = 4
+        GROUP BY time/1 as tb, srcip, destip, srcport, destport
+      |}
+        bits
+    in
+    match E.install_query eng q with
+    | Error e -> failwith ("a1: " ^ e)
+    | Ok inst -> (
+        (match E.run eng () with Ok _ -> () | Error e -> failwith ("a1 run: " ^ e));
+        match inst.Gsql.Codegen.lfta_aggs with
+        | [(_, agg)] ->
+            let mgr = E.manager eng in
+            let lfta = Option.get (Rts.Manager.find mgr "_lfta_a1_flows") in
+            let input = Rts.Node.tuples_in lfta in
+            let emitted = Rts.Lfta_aggregate.emitted agg in
+            (input, emitted, Rts.Lfta_aggregate.evictions agg)
+        | _ -> failwith "a1: expected one LFTA aggregation")
+  in
+  List.iter
+    (fun bits ->
+      let in_l, out_l, _ = run_one ~bits ~uniform:false in
+      let in_u, out_u, _ = run_one ~bits ~uniform:true in
+      Printf.printf "%-10d %17.1fx %17.1fx %12s\n" (1 lsl bits)
+        (float_of_int in_l /. float_of_int (max 1 out_l))
+        (float_of_int in_u /. float_of_int (max 1 out_u))
+        (if bits <= 6 then "tiny table" else ""))
+    [4; 6; 8; 10; 12; 14];
+  Printf.printf
+    "claim: temporal locality makes even a small table effective (Section 3);\n\
+     adversarial uniform traffic defeats it.\n"
+
+(* ---------------------------------------------------------------- A2 --- *)
+
+let run_a2 () =
+  section "A2: LFTA/HFTA aggregate splitting on vs. off";
+  let cfg =
+    { Traffic.Gen.default with Traffic.Gen.duration = 1.0; rate_mbps = 80.0; seed = 22 }
+  in
+  let crossing ~split =
+    let eng = E.create ~default_capacity:1_000_000 () in
+    E.add_generator_interface eng ~name:"eth0" cfg;
+    let q =
+      if split then
+        {|
+        DEFINE { query_name a2_agg; }
+        SELECT tb, destport, count(*) as cnt
+        FROM eth0.tcp WHERE ipversion = 4
+        GROUP BY time/1 as tb, destport
+      |}
+      else
+        (* disable the splitter by interposing a raw pass-through stream:
+           the aggregation then runs entirely in the HFTA and every raw
+           tuple crosses the channel *)
+        {|
+        DEFINE { query_name a2_raw; }
+        SELECT time, destport FROM eth0.tcp WHERE ipversion = 4
+
+        DEFINE { query_name a2_agg; }
+        SELECT tb, destport, count(*) as cnt
+        FROM a2_raw
+        GROUP BY time/1 as tb, destport
+      |}
+    in
+    (match E.install_program eng q with Ok _ -> () | Error e -> failwith ("a2: " ^ e));
+    (match E.run eng () with Ok _ -> () | Error e -> failwith ("a2 run: " ^ e));
+    let mgr = E.manager eng in
+    let agg = Option.get (Rts.Manager.find mgr "a2_agg") in
+    (* tuples the HFTA read from its input channel *)
+    Rts.Node.tuples_in agg
+  in
+  let with_split = crossing ~split:true in
+  let without = crossing ~split:false in
+  Printf.printf "tuples crossing into the HFTA: split=%d  unsplit=%d  (%.0fx reduction)\n"
+    with_split without
+    (float_of_int without /. float_of_int (max 1 with_split))
+
+(* ---------------------------------------------------------------- A3 --- *)
+
+let run_a3 () =
+  section "A3: heartbeats unblock a merge of skewed streams";
+  let schema =
+    Rts.Schema.make
+      [
+        { Rts.Schema.name = "ts"; ty = Rts.Ty.Int; order = Rts.Order_prop.Monotone Rts.Order_prop.Asc };
+        { Rts.Schema.name = "v"; ty = Rts.Ty.Int; order = Rts.Order_prop.Unordered };
+      ]
+  in
+  let run_one ~heartbeats =
+    let mgr = Rts.Manager.create ~default_capacity:1_000_000 () in
+    (* fast source: 100k tuples, 1 per "ms"; slow source: 2 tuples total *)
+    let fast_i = ref 0 in
+    let fast =
+      {
+        Rts.Node.pull =
+          (fun () ->
+            if !fast_i >= 100_000 then None
+            else begin
+              let t = !fast_i in
+              incr fast_i;
+              Some (Rts.Item.Tuple [| Value.Int t; Value.Int 0 |])
+            end);
+        clock = (fun () -> [(0, Value.Int !fast_i)]);
+      }
+    in
+    let slow_sent = ref 0 in
+    let slow =
+      {
+        Rts.Node.pull =
+          (fun () ->
+            (* one tuple at t=0, one at the very end; in between silence —
+               but its clock tracks the fast stream's progress, as a real
+               low-volume interface's timer would *)
+            if !slow_sent = 0 then begin
+              incr slow_sent;
+              Some (Rts.Item.Tuple [| Value.Int 0; Value.Int 1 |])
+            end
+            else if !slow_sent = 1 && !fast_i >= 100_000 then begin
+              incr slow_sent;
+              Some (Rts.Item.Tuple [| Value.Int 100_000; Value.Int 1 |])
+            end
+            else if !slow_sent >= 2 then None
+            else Some Rts.Item.Flush (* a keep-alive no-op so the source is not "exhausted" *));
+        clock = (fun () -> [(0, Value.Int !fast_i)]);
+      }
+    in
+    Result.get_ok (Result.map ignore (Rts.Manager.add_source mgr ~name:"fast" ~schema fast));
+    Result.get_ok (Result.map ignore (Rts.Manager.add_source mgr ~name:"slow" ~schema slow));
+    let merge =
+      Rts.Merge_op.make { Rts.Merge_op.n_inputs = 2; ordered_idx = 0; direction = Rts.Order_prop.Asc }
+    in
+    Result.get_ok
+      (Result.map ignore
+         (Rts.Manager.add_query_node mgr ~name:"merged" ~kind:Rts.Node.Hfta ~schema
+            ~inputs:["fast"; "slow"] ~op:(Rts.Merge_op.op merge)));
+    (match Rts.Scheduler.run ~heartbeats mgr with
+    | Ok _ -> ()
+    | Error e -> failwith ("a3: " ^ e));
+    Rts.Merge_op.high_water merge
+  in
+  let hw_on = run_one ~heartbeats:true in
+  let hw_off = run_one ~heartbeats:false in
+  Printf.printf "peak merge buffer: heartbeats ON = %d tuples, OFF = %d tuples\n" hw_on hw_off;
+  Printf.printf
+    "claim: without ordering-update tokens the silent input forces the merge\n\
+     to buffer the fast stream (Section 3, Unblocking Operators).\n"
+
+(* ---------------------------------------------------------------- A5 --- *)
+
+let run_a5 () =
+  section "A5: join algorithm choice - output ordering vs. buffer space";
+  (* Section 2.1: the join's output can be "monotonically increasing or
+     banded-increasing(2) depending on the choice of join algorithm
+     (monotonically increasing requires more buffer space)" *)
+  let rng = Gigascope_util.Prng.create 55 in
+  let mk n =
+    let ts = ref 0 in
+    List.init n (fun i ->
+        ts := !ts + Gigascope_util.Prng.int rng 3;
+        [| Value.Int !ts; Value.Int i |])
+  in
+  let left = mk 20000 and right = mk 20000 in
+  let run mode =
+    let join =
+      Rts.Join_op.make
+        {
+          Rts.Join_op.output_mode = mode;
+          left_idx = 0;
+          right_idx = 0;
+          lo = -4.0;
+          hi = 4.0;
+          pred = (fun _ _ -> true);
+          assemble = (fun l r -> Some [| l.(0); r.(0) |]);
+          left_out = Some 0;
+          right_out = Some 1;
+        }
+    in
+    let op = Rts.Join_op.op join in
+    let out = ref 0 and backwards = ref 0 and last = ref min_int in
+    let emit = function
+      | Rts.Item.Tuple t ->
+          incr out;
+          (match t.(0) with
+          | Value.Int v ->
+              if v < !last then incr backwards;
+              last := max !last v
+          | _ -> ())
+      | _ -> ()
+    in
+    let tagged =
+      List.map (fun r -> (0, r)) left @ List.map (fun r -> (1, r)) right
+      |> List.stable_sort (fun (_, a) (_, b) -> Value.compare a.(0) b.(0))
+    in
+    List.iter (fun (input, row) -> op.Rts.Operator.on_item ~input (Rts.Item.Tuple row) ~emit) tagged;
+    op.Rts.Operator.on_item ~input:0 Rts.Item.Eof ~emit;
+    op.Rts.Operator.on_item ~input:1 Rts.Item.Eof ~emit;
+    (!out, !backwards, Rts.Join_op.high_water join)
+  in
+  let out_b, back_b, hw_b = run Rts.Join_op.Banded_output in
+  let out_o, back_o, hw_o = run Rts.Join_op.Ordered_output in
+  Printf.printf "%-18s %10s %18s %14s\n" "algorithm" "matches" "out-of-order out" "peak buffered";
+  Printf.printf "%-18s %10d %18d %14d\n" "probe (banded)" out_b back_b hw_b;
+  Printf.printf "%-18s %10d %18d %14d\n" "buffered (ordered)" out_o back_o hw_o;
+  Printf.printf
+    "claim: same matches; the ordered algorithm emits monotone output at the\n\
+     cost of extra buffering (Section 2.1).\n"
+
+(* ---------------------------------------------------------------- A4 --- *)
+
+let run_a4 () =
+  section "A4: NIC capability vs. bytes delivered to the host";
+  (* the same port-80 query under the three card models; results identical,
+     host-side data volume not *)
+  let cfg =
+    { Traffic.Gen.default with Traffic.Gen.duration = 1.0; rate_mbps = 60.0; seed = 44 }
+  in
+  Printf.printf "%-14s %12s %14s %14s %10s\n" "capability" "pkts to host" "bytes to host" "query rows" "reduction";
+  let base_bytes = ref 0 in
+  List.iter
+    (fun (label, cap) ->
+      let eng = E.create ~default_capacity:500_000 () in
+      E.add_generator_interface eng ~name:"eth0" ~capability:cap cfg;
+      (match
+         E.install_query eng ~name:"a4q"
+           {| SELECT time, destport FROM eth0.tcp WHERE protocol = 6 and destport = 80 |}
+       with
+      | Ok _ -> ()
+      | Error e -> failwith ("a4: " ^ e));
+      let rows = ref 0 in
+      Result.get_ok (E.on_tuple eng "a4q" (fun _ -> incr rows));
+      (match E.run eng () with Ok _ -> () | Error e -> failwith ("a4 run: " ^ e));
+      let stats = Gigascope_nic.Nic.stats (Option.get (E.nic_of eng "eth0")) in
+      if !base_bytes = 0 then base_bytes := stats.Gigascope_nic.Nic.bytes_delivered;
+      Printf.printf "%-14s %12d %14d %14d %9.1fx\n" label
+        stats.Gigascope_nic.Nic.packets_delivered stats.Gigascope_nic.Nic.bytes_delivered !rows
+        (float_of_int !base_bytes /. float_of_int (max 1 stats.Gigascope_nic.Nic.bytes_delivered)))
+    [("dumb", E.Cap_none); ("bpf+snap", E.Cap_bpf); ("programmable", E.Cap_lfta)];
+  Printf.printf
+    "claim: pushing the filter and snap length into the card shrinks what the\n\
+     host must touch, without changing any query result (Section 3).\n"
+
+(* ------------------------------------------------------------- micro --- *)
+
+let run_micro () =
+  section "M1-M8: micro-costs of operators and substrates (Bechamel)";
+  let open Bechamel in
+  let open Toolkit in
+  (* shared fixtures *)
+  let gen = Traffic.Gen.create { Traffic.Gen.default with Traffic.Gen.duration = 1e9; seed = 31 } in
+  let pkts = Array.init 512 (fun _ -> Option.get (Traffic.Gen.next gen)) in
+  let wires = Array.map Gigascope_packet.Packet.encode pkts in
+  let proto = Option.get (Gigascope.Default_protocols.find "tcp") in
+  let tuples = Array.map (fun p -> Option.get (proto.Gigascope.Default_protocols.interpret p)) pkts in
+  let payloads = Array.map (fun p -> Bytes.to_string (Gigascope_packet.Packet.payload p)) pkts in
+  let idx = ref 0 in
+  let next n = let i = !idx in idx := (i + 1) land 511; i mod n in
+  let rx = Gigascope_regex.Regex.compile "^[^\\n]*HTTP/1.*" in
+  let bpf_prog =
+    Gigascope_bpf.Filter.(compile (And (Cmp (Ip_protocol, Eq, 6), Cmp (Dst_port, Eq, 80))))
+  in
+  let lpm =
+    Gigascope_lpm.Table.of_entries
+      (List.init 256 (fun i -> (Printf.sprintf "%d.0.0.0/8" i, i)))
+  in
+  let lfta =
+    Rts.Lfta_aggregate.make
+      {
+        Rts.Lfta_aggregate.table_bits = 12;
+        pred = None;
+        keys = [| (fun t -> Some t.(9)); (fun t -> Some t.(10)) |];
+        epoch_key = None;
+        direction = Rts.Order_prop.Asc;
+        band = 0.0;
+        aggs = [| { Rts.Agg_fn.kind = Rts.Agg_fn.Count; arg = None } |];
+        assemble = (fun ~keys ~aggs -> Array.append keys aggs);
+      }
+  in
+  let lfta_op = Rts.Lfta_aggregate.op lfta in
+  let sinkhole _ = () in
+  let tests =
+    [
+      Test.make ~name:"packet-decode+interpret"
+        (Staged.stage (fun () ->
+             let i = next 512 in
+             match Gigascope_packet.Packet.decode ~ts:0.0 wires.(i) with
+             | Ok p -> ignore (proto.Gigascope.Default_protocols.interpret p)
+             | Error _ -> ()));
+      Test.make ~name:"bpf-filter"
+        (Staged.stage (fun () ->
+             let i = next 512 in
+             ignore (Gigascope_bpf.Vm.run bpf_prog wires.(i))));
+      Test.make ~name:"regex-http"
+        (Staged.stage (fun () ->
+             let i = next 512 in
+             ignore (Gigascope_regex.Regex.matches rx payloads.(i))));
+      Test.make ~name:"lpm-lookup"
+        (Staged.stage (fun () ->
+             let i = next 512 in
+             match tuples.(i).(9) with
+             | Value.Ip ip -> ignore (Gigascope_lpm.Table.lookup lpm ip)
+             | _ -> ()));
+      Test.make ~name:"lfta-agg-step"
+        (Staged.stage (fun () ->
+             let i = next 512 in
+             lfta_op.Rts.Operator.on_item ~input:0 (Rts.Item.Tuple tuples.(i)) ~emit:sinkhole));
+      Test.make ~name:"tuple-hash"
+        (Staged.stage (fun () ->
+             let i = next 512 in
+             ignore (Value.hash_array tuples.(i))));
+      Test.make ~name:"checksum-750B"
+        (Staged.stage (fun () ->
+             let i = next 512 in
+             ignore (Gigascope_packet.Checksum.compute wires.(i) 0 (Bytes.length wires.(i)))));
+    ]
+  in
+  let instances = Instance.[monotonic_clock] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [est] -> Printf.printf "%-28s %12.1f ns/op\n%!" name est
+          | _ -> Printf.printf "%-28s %12s\n%!" name "n/a")
+        analyzed)
+    tests
+
+(* ------------------------------------------------------------- main --- *)
+
+let () =
+  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let all =
+    [ ("e1", run_e1); ("e2", run_e2); ("a1", run_a1); ("a2", run_a2); ("a3", run_a3);
+      ("a4", run_a4); ("a5", run_a5); ("micro", run_micro) ]
+  in
+  match List.assoc_opt which all with
+  | Some f -> f ()
+  | None ->
+      if which = "all" then List.iter (fun (_, f) -> f ()) all
+      else begin
+        Printf.eprintf "unknown benchmark %s (use: %s | all)\n" which
+          (String.concat " | " (List.map fst all));
+        exit 1
+      end

@@ -1,0 +1,247 @@
+(* gsq — the Gigascope command line.
+
+     gsq run query.gsql [--rate 100] [--duration 2] [--seed 42] [--pcap in.pcap]
+         compile and run GSQL over synthetic traffic or a capture file,
+         printing the output stream(s)
+
+     gsq explain query.gsql
+         show the logical plan, the LFTA/HFTA split, imputed ordering
+         properties, NIC hints and generated pseudo-C
+
+     gsq gen out.pcap [--rate 100] [--duration 2] [--seed 42]
+         write synthetic traffic to a pcap file
+
+     gsq e1
+         run the Section-4 performance experiment
+*)
+
+module E = Gigascope.Engine
+module Rts = Gigascope_rts
+module Value = Rts.Value
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ---- shared options ---- *)
+
+let rate =
+  Arg.(value & opt float 100.0 & info ["rate"] ~docv:"MBPS" ~doc:"Offered load in Mbit/s.")
+
+let duration =
+  Arg.(value & opt float 2.0 & info ["duration"] ~docv:"SEC" ~doc:"Seconds of traffic.")
+
+let seed = Arg.(value & opt int 42 & info ["seed"] ~docv:"N" ~doc:"Generator seed.")
+
+let pcap_in =
+  Arg.(
+    value
+    & opt (some string) None
+    & info ["pcap"] ~docv:"FILE" ~doc:"Replay this capture file instead of generating traffic.")
+
+let iface =
+  Arg.(
+    value & opt string "eth0"
+    & info ["iface"] ~docv:"NAME" ~doc:"Interface name queries refer to (default eth0).")
+
+let max_rows =
+  Arg.(
+    value & opt int 20
+    & info ["max-rows"] ~docv:"N" ~doc:"Print at most N tuples per output stream.")
+
+let stats =
+  Arg.(value & flag & info ["stats"] ~doc:"Print per-node runtime statistics after the run.")
+
+let sessions =
+  Arg.(
+    value & flag
+    & info ["sessions"]
+        ~doc:
+          "Additionally register a TCP-session stream named $(b,sessions) extracted from the \
+           same traffic, for queries that aggregate whole connections.")
+
+let query_file = Arg.(required & pos 0 (some file) None & info [] ~docv:"QUERY.gsql")
+
+(* ---- run ---- *)
+
+let do_run query_file rate duration seed pcap_in iface max_rows sessions show_stats =
+  let text = read_file query_file in
+  let engine = E.create () in
+  let gen_cfg = { Gigascope_traffic.Gen.default with rate_mbps = rate; duration; seed } in
+  (match pcap_in with
+  | Some path -> (
+      match E.add_pcap_interface engine ~name:iface path with
+      | Ok () -> ()
+      | Error e ->
+          prerr_endline e;
+          exit 1)
+  | None -> E.add_generator_interface engine ~name:iface gen_cfg);
+  if sessions then begin
+    let feed =
+      match pcap_in with
+      | Some path -> (
+          match Gigascope_packet.Pcap.read_file path with
+          | Ok (_, records) ->
+              let remaining =
+                ref
+                  (List.filter_map
+                     (fun (r : Gigascope_packet.Pcap.record) ->
+                       Result.to_option
+                         (Gigascope_packet.Packet.decode ~ts:r.Gigascope_packet.Pcap.ts
+                            r.Gigascope_packet.Pcap.data))
+                     records)
+              in
+              fun () ->
+                (match !remaining with
+                | [] -> None
+                | p :: rest ->
+                    remaining := rest;
+                    Some p)
+          | Error e ->
+              prerr_endline e;
+              exit 1)
+      | None ->
+          let g = Gigascope_traffic.Gen.create gen_cfg in
+          fun () -> Gigascope_traffic.Gen.next g
+    in
+    match E.add_session_source engine ~name:"sessions" ~feed () with
+    | Ok () -> ()
+    | Error e ->
+        prerr_endline e;
+        exit 1
+  end;
+  match E.install_program engine text with
+  | Error e ->
+      prerr_endline ("error: " ^ e);
+      exit 1
+  | Ok instances ->
+      let printed = Hashtbl.create 8 in
+      List.iter
+        (fun (inst : Gigascope_gsql.Codegen.instance) ->
+          let name = inst.Gigascope_gsql.Codegen.inst_name in
+          Result.get_ok
+            (E.on_tuple engine name (fun tuple ->
+                 let n = Option.value (Hashtbl.find_opt printed name) ~default:0 in
+                 Hashtbl.replace printed name (n + 1);
+                 if n < max_rows then begin
+                   Printf.printf "%s: " name;
+                   Array.iteri
+                     (fun i v ->
+                       if i > 0 then print_string ", ";
+                       print_string (Value.to_string v))
+                     tuple;
+                   print_newline ()
+                 end)))
+        instances;
+      (match E.run engine () with
+      | Ok stats ->
+          Printf.printf "-- done: %d rounds, %d heartbeats, %d drops\n"
+            stats.Rts.Scheduler.rounds stats.Rts.Scheduler.heartbeat_requests
+            (E.total_drops engine);
+          Hashtbl.iter (fun name n -> Printf.printf "-- %s: %d tuples\n" name n) printed;
+          if show_stats then print_string (E.stats_report engine)
+      | Error e ->
+          prerr_endline ("run error: " ^ e);
+          exit 1)
+
+let run_cmd =
+  let doc = "compile and run GSQL over synthetic traffic or a pcap file" in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const do_run $ query_file $ rate $ duration $ seed $ pcap_in $ iface $ max_rows
+      $ sessions $ stats)
+
+(* ---- explain ---- *)
+
+let do_explain query_file =
+  let text = read_file query_file in
+  let engine = E.create () in
+  match Gigascope_gsql.Compile.compile_program (E.catalog engine) text with
+  | Error e ->
+      prerr_endline ("error: " ^ e);
+      exit 1
+  | Ok compiled ->
+      List.iter (fun c -> print_endline (Gigascope_gsql.Compile.explain c)) compiled
+
+let explain_cmd =
+  let doc = "show plan, LFTA/HFTA split, ordering properties and pseudo-C" in
+  Cmd.v (Cmd.info "explain" ~doc) Term.(const do_explain $ query_file)
+
+(* ---- gen ---- *)
+
+let do_gen out rate duration seed =
+  let gen =
+    Gigascope_traffic.Gen.create
+      { Gigascope_traffic.Gen.default with rate_mbps = rate; duration; seed }
+  in
+  let writer = Gigascope_packet.Pcap.open_writer out in
+  let n = ref 0 in
+  let rec go () =
+    match Gigascope_traffic.Gen.next gen with
+    | Some pkt ->
+        Gigascope_packet.Pcap.write_packet writer pkt;
+        incr n;
+        go ()
+    | None -> ()
+  in
+  go ();
+  Gigascope_packet.Pcap.close_writer writer;
+  Printf.printf "wrote %d packets to %s\n" !n out
+
+let out_file = Arg.(required & pos 0 (some string) None & info [] ~docv:"OUT.pcap")
+
+let gen_cmd =
+  let doc = "write synthetic traffic to a pcap capture file" in
+  Cmd.v (Cmd.info "gen" ~doc) Term.(const do_gen $ out_file $ rate $ duration $ seed)
+
+(* ---- catalog ---- *)
+
+let do_catalog () =
+  let engine = E.create () in
+  let catalog = E.catalog engine in
+  print_endline "-- Protocols (bind as interface.protocol in FROM) --";
+  List.iter
+    (fun name ->
+      match Gigascope_gsql.Catalog.find_protocol catalog name with
+      | Some p ->
+          Printf.printf "%-10s %s
+" name
+            (Format.asprintf "%a" Rts.Schema.pp p.Gigascope_gsql.Catalog.schema)
+      | None -> ())
+    (Gigascope_gsql.Catalog.protocol_names catalog);
+  print_endline "
+-- Functions --";
+  let funcs = Rts.Manager.functions (E.manager engine) in
+  List.iter
+    (fun name ->
+      match Rts.Func.find funcs name with
+      | Some f ->
+          Printf.printf "%-18s (%s) -> %s%s%s%s
+" f.Rts.Func.name
+            (String.concat ", " (List.map Rts.Ty.to_string f.Rts.Func.arg_tys))
+            (Rts.Ty.to_string f.Rts.Func.ret_ty)
+            (if f.Rts.Func.partial then "  [partial]" else "")
+            (if f.Rts.Func.handle_args <> [] then "  [pass-by-handle]" else "")
+            (if f.Rts.Func.cost = Rts.Func.Expensive then "  [expensive: HFTA only]" else "")
+      | None -> ())
+    (Rts.Func.names funcs)
+
+let catalog_cmd =
+  let doc = "list the built-in protocols and the function library" in
+  Cmd.v (Cmd.info "catalog" ~doc) Term.(const do_catalog $ const ())
+
+(* ---- e1 ---- *)
+
+let do_e1 () = Gigascope_sim.Experiment.print_summary (Gigascope_sim.Experiment.run ())
+
+let e1_cmd =
+  let doc = "run the Section-4 performance experiment (four capture configurations)" in
+  Cmd.v (Cmd.info "e1" ~doc) Term.(const do_e1 $ const ())
+
+let () =
+  let doc = "Gigascope: a stream database for network applications" in
+  let info = Cmd.info "gsq" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [run_cmd; explain_cmd; gen_cmd; catalog_cmd; e1_cmd]))

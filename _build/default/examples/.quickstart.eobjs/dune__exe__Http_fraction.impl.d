@@ -1,0 +1,1 @@
+examples/http_fraction.ml: Array Gigascope Gigascope_rts Gigascope_traffic Hashtbl List Option Printf Result

@@ -1,0 +1,1 @@
+examples/intrusion.ml: Array Bytes Float Gigascope Gigascope_packet Gigascope_rts Gigascope_traffic Gigascope_util List Printf Result

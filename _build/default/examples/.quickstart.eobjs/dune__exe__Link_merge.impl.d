@@ -1,0 +1,1 @@
+examples/link_merge.ml: Array Float Gigascope Gigascope_rts Gigascope_traffic List Printf Result

@@ -1,0 +1,1 @@
+examples/netflow_report.ml: Array Gigascope Gigascope_rts Gigascope_traffic List Option Printf Result

@@ -1,0 +1,1 @@
+examples/netflow_report.mli:

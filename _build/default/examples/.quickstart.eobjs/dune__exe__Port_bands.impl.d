@@ -1,0 +1,1 @@
+examples/port_bands.ml: Array Gigascope Gigascope_gsql Gigascope_rts Gigascope_traffic List Printf Result

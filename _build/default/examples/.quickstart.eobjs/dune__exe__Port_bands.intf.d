@@ -1,0 +1,1 @@
+examples/port_bands.mli:

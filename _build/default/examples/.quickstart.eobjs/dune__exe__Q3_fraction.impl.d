@@ -1,0 +1,1 @@
+examples/q3_fraction.ml: Array Gigascope Gigascope_packet Gigascope_rts Gigascope_traffic Hashtbl List Option Printf Result

@@ -1,0 +1,1 @@
+examples/q3_fraction.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Gigascope Gigascope_rts Gigascope_traffic Printf Result

@@ -1,0 +1,1 @@
+examples/subnet_traffic.ml: Array Filename Gigascope Gigascope_rts Gigascope_traffic List Printf Result Sys

@@ -1,0 +1,1 @@
+examples/subnet_traffic.mli:

@@ -1,0 +1,1 @@
+examples/tcp_sessions.ml: Array Gigascope Gigascope_rts Gigascope_traffic List Printf Result

@@ -1,0 +1,1 @@
+lib/bpf/filter.ml: Array Format Gigascope_packet Hashtbl Insn List Option Printf

@@ -1,0 +1,1 @@
+lib/bpf/filter.mli: Format Insn

@@ -1,0 +1,1 @@
+lib/bpf/vm.ml: Array Bytes Gigascope_packet Insn

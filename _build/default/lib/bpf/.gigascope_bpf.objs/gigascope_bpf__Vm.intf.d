@@ -1,0 +1,1 @@
+lib/bpf/vm.mli: Insn

@@ -1,0 +1,250 @@
+module P = Gigascope_packet
+
+type field =
+  | Ip_version
+  | Ip_hdr_len
+  | Ip_tos
+  | Ip_total_len
+  | Ip_ident
+  | Ip_frag_offset
+  | Ip_ttl
+  | Ip_protocol
+  | Ip_src
+  | Ip_dst
+  | Src_port
+  | Dst_port
+  | Tcp_flags
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | True
+  | False
+  | Cmp of field * cmp * int
+  | Flag_set of field * int
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+let field_is_transport = function
+  | Src_port | Dst_port | Tcp_flags -> true
+  | Ip_version | Ip_hdr_len | Ip_tos | Ip_total_len | Ip_ident | Ip_frag_offset | Ip_ttl
+  | Ip_protocol | Ip_src | Ip_dst ->
+      false
+
+let rec needs_transport = function
+  | True | False -> false
+  | Cmp (f, _, _) | Flag_set (f, _) -> field_is_transport f
+  | And (a, b) | Or (a, b) -> needs_transport a || needs_transport b
+  | Not a -> needs_transport a
+
+(* -------- label-based assembly, resolved to relative displacements ------ *)
+
+type sym_insn =
+  | Raw of Insn.t
+  | Lbl of string
+  | Jump of string
+  | Branch of [ `Eq | `Gt | `Ge | `Set ] * int * string * string
+
+let assemble symbolic =
+  (* First pass: label addresses (labels occupy no space). *)
+  let addr = Hashtbl.create 16 in
+  let pc = ref 0 in
+  List.iter
+    (function
+      | Lbl name -> Hashtbl.replace addr name !pc
+      | Raw _ | Jump _ | Branch _ -> incr pc)
+    symbolic;
+  let resolve i name =
+    match Hashtbl.find_opt addr name with
+    | Some target -> target - (i + 1)
+    | None -> invalid_arg (Printf.sprintf "bpf assemble: undefined label %s" name)
+  in
+  let out = Array.make !pc (Insn.Ret 0) in
+  let i = ref 0 in
+  List.iter
+    (function
+      | Lbl _ -> ()
+      | Raw insn ->
+          out.(!i) <- insn;
+          incr i
+      | Jump name ->
+          out.(!i) <- Insn.Ja (resolve !i name);
+          incr i
+      | Branch (kind, k, t_lbl, f_lbl) ->
+          let jt = resolve !i t_lbl and jf = resolve !i f_lbl in
+          out.(!i) <-
+            (match kind with
+            | `Eq -> Insn.Jeq (k, jt, jf)
+            | `Gt -> Insn.Jgt (k, jt, jf)
+            | `Ge -> Insn.Jge (k, jt, jf)
+            | `Set -> Insn.Jset (k, jt, jf));
+          incr i)
+    symbolic;
+  out
+
+(* -------- code generation ---------------------------------------------- *)
+
+let eth_hlen = 14
+let ip_off = eth_hlen
+
+(* Load the field's value into A. Transport fields use X = IP header
+   length, set up once in the prologue. *)
+let load_field f =
+  match f with
+  | Ip_version -> [Raw (Insn.Ld_abs_u8 ip_off); Raw (Insn.Alu_rsh 4)]
+  | Ip_hdr_len -> [Raw (Insn.Ld_abs_u8 ip_off); Raw (Insn.Alu_and 0xf); Raw (Insn.Alu_lsh 2)]
+  | Ip_tos -> [Raw (Insn.Ld_abs_u8 (ip_off + 1))]
+  | Ip_total_len -> [Raw (Insn.Ld_abs_u16 (ip_off + 2))]
+  | Ip_ident -> [Raw (Insn.Ld_abs_u16 (ip_off + 4))]
+  | Ip_frag_offset -> [Raw (Insn.Ld_abs_u16 (ip_off + 6)); Raw (Insn.Alu_and 0x1fff)]
+  | Ip_ttl -> [Raw (Insn.Ld_abs_u8 (ip_off + 8))]
+  | Ip_protocol -> [Raw (Insn.Ld_abs_u8 (ip_off + 9))]
+  | Ip_src -> [Raw (Insn.Ld_abs_u32 (ip_off + 12))]
+  | Ip_dst -> [Raw (Insn.Ld_abs_u32 (ip_off + 16))]
+  | Src_port -> [Raw (Insn.Ld_ind_u16 ip_off)]
+  | Dst_port -> [Raw (Insn.Ld_ind_u16 (ip_off + 2))]
+  | Tcp_flags -> [Raw (Insn.Ld_ind_u8 (ip_off + 13))]
+
+let fresh =
+  let counter = ref 0 in
+  fun prefix ->
+    incr counter;
+    Printf.sprintf "%s%d" prefix !counter
+
+(* Emit code that transfers control to [t_lbl] when the predicate holds and
+   to [f_lbl] otherwise. *)
+let rec gen pred ~t_lbl ~f_lbl =
+  match pred with
+  | True -> [Jump t_lbl]
+  | False -> [Jump f_lbl]
+  | Not inner -> gen inner ~t_lbl:f_lbl ~f_lbl:t_lbl
+  | And (a, b) ->
+      let mid = fresh "and_" in
+      gen a ~t_lbl:mid ~f_lbl @ [Lbl mid] @ gen b ~t_lbl ~f_lbl
+  | Or (a, b) ->
+      let mid = fresh "or_" in
+      gen a ~t_lbl ~f_lbl:mid @ [Lbl mid] @ gen b ~t_lbl ~f_lbl
+  | Flag_set (f, mask) -> load_field f @ [Branch (`Set, mask, t_lbl, f_lbl)]
+  | Cmp (f, op, k) ->
+      let branch =
+        match op with
+        | Eq -> [Branch (`Eq, k, t_lbl, f_lbl)]
+        | Ne -> [Branch (`Eq, k, f_lbl, t_lbl)]
+        | Gt -> [Branch (`Gt, k, t_lbl, f_lbl)]
+        | Ge -> [Branch (`Ge, k, t_lbl, f_lbl)]
+        | Lt -> [Branch (`Ge, k, f_lbl, t_lbl)]
+        | Le -> [Branch (`Gt, k, f_lbl, t_lbl)]
+      in
+      load_field f @ branch
+
+let compile ?(snap_len = 65535) pred =
+  let accept = fresh "accept_" and reject = fresh "reject_" and body = fresh "body_" in
+  let prologue =
+    [Raw (Insn.Ld_abs_u16 12); Branch (`Eq, P.Ethernet.ethertype_ipv4, body, reject); Lbl body]
+    @
+    if needs_transport pred then
+      (* Reject fragments with nonzero offset (no transport header), then
+         point X at the transport header. *)
+      let unfrag = fresh "unfrag_" in
+      [
+        Raw (Insn.Ld_abs_u16 (ip_off + 6));
+        Branch (`Set, 0x1fff, reject, unfrag);
+        Lbl unfrag;
+        Raw (Insn.Ldx_ip_hlen ip_off);
+      ]
+    else []
+  in
+  let code =
+    prologue
+    @ gen pred ~t_lbl:accept ~f_lbl:reject
+    @ [Lbl accept; Raw (Insn.Ret snap_len); Lbl reject; Raw (Insn.Ret 0)]
+  in
+  let prog = assemble code in
+  match Insn.validate prog with
+  | Ok () -> prog
+  | Error msg -> invalid_arg ("Filter.compile: generated invalid program: " ^ msg)
+
+(* -------- reference semantics ------------------------------------------ *)
+
+let field_value pkt f =
+  match P.Packet.decode pkt with
+  | Error _ -> None
+  | Ok decoded -> (
+      match decoded.P.Packet.net with
+      | P.Packet.Non_ip _ -> None
+      | P.Packet.Ipv4 (ip, transport) -> (
+          let transport_fields () =
+            match transport with
+            | P.Packet.Tcp (h, _) ->
+                Some (h.P.Tcp.src_port, h.P.Tcp.dst_port, Some (P.Tcp.flags_to_int h.P.Tcp.flags))
+            | P.Packet.Udp (h, _) -> Some (h.P.Udp.src_port, h.P.Udp.dst_port, None)
+            | P.Packet.Icmp _ | P.Packet.Raw_transport _ -> None
+          in
+          match f with
+          | Ip_version -> Some 4
+          | Ip_hdr_len -> Some (P.Ipv4.header_len ip)
+          | Ip_tos -> Some ip.P.Ipv4.tos
+          | Ip_total_len -> Some ip.P.Ipv4.total_len
+          | Ip_ident -> Some ip.P.Ipv4.ident
+          | Ip_frag_offset -> Some ip.P.Ipv4.frag_offset
+          | Ip_ttl -> Some ip.P.Ipv4.ttl
+          | Ip_protocol -> Some ip.P.Ipv4.protocol
+          | Ip_src -> Some ip.P.Ipv4.src
+          | Ip_dst -> Some ip.P.Ipv4.dst
+          | Src_port -> Option.map (fun (s, _, _) -> s) (transport_fields ())
+          | Dst_port -> Option.map (fun (_, d, _) -> d) (transport_fields ())
+          | Tcp_flags -> Option.bind (transport_fields ()) (fun (_, _, fl) -> fl)))
+
+let rec eval pred pkt =
+  match pred with
+  | True -> ( match P.Packet.decode pkt with Ok { net = P.Packet.Ipv4 _; _ } -> true | _ -> false)
+  | False -> false
+  | Not a -> (
+      (* Like the VM, a predicate over an absent layer rejects; Not only
+         negates decidable comparisons, so evaluate the subterm carefully:
+         Not(Cmp) over a packet lacking the field stays false. *)
+      match P.Packet.decode pkt with
+      | Ok { net = P.Packet.Ipv4 _; _ } -> not (eval a pkt)
+      | _ -> false)
+  | And (a, b) -> eval a pkt && eval b pkt
+  | Or (a, b) -> eval a pkt || eval b pkt
+  | Flag_set (f, mask) -> (
+      match field_value pkt f with Some v -> v land mask <> 0 | None -> false)
+  | Cmp (f, op, k) -> (
+      match field_value pkt f with
+      | None -> false
+      | Some v -> (
+          match op with
+          | Eq -> v = k
+          | Ne -> v <> k
+          | Lt -> v < k
+          | Le -> v <= k
+          | Gt -> v > k
+          | Ge -> v >= k))
+
+let field_name = function
+  | Ip_version -> "ip.version"
+  | Ip_hdr_len -> "ip.hdr_len"
+  | Ip_tos -> "ip.tos"
+  | Ip_total_len -> "ip.total_len"
+  | Ip_ident -> "ip.ident"
+  | Ip_frag_offset -> "ip.frag_offset"
+  | Ip_ttl -> "ip.ttl"
+  | Ip_protocol -> "ip.protocol"
+  | Ip_src -> "ip.src"
+  | Ip_dst -> "ip.dst"
+  | Src_port -> "src_port"
+  | Dst_port -> "dst_port"
+  | Tcp_flags -> "tcp.flags"
+
+let cmp_name = function Eq -> "=" | Ne -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+
+let rec pp fmt = function
+  | True -> Format.fprintf fmt "true"
+  | False -> Format.fprintf fmt "false"
+  | Cmp (f, op, k) -> Format.fprintf fmt "%s %s %d" (field_name f) (cmp_name op) k
+  | Flag_set (f, mask) -> Format.fprintf fmt "%s & 0x%x" (field_name f) mask
+  | And (a, b) -> Format.fprintf fmt "(%a and %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf fmt "(%a or %a)" pp a pp b
+  | Not a -> Format.fprintf fmt "not %a" pp a

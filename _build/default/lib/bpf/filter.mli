@@ -1,0 +1,48 @@
+(** Header predicates and their compilation to filter programs.
+
+    This is the IR the GSQL planner lowers a WHERE clause into when (and
+    only when) it references nothing but fixed-offset IPv4/TCP/UDP header
+    fields; the compiled program is what Gigascope "pushes into the NIC".
+    Transport-field predicates implicitly require an unfragmented first
+    segment, as real BPF filters do. *)
+
+type field =
+  | Ip_version
+  | Ip_hdr_len  (** bytes *)
+  | Ip_tos
+  | Ip_total_len
+  | Ip_ident
+  | Ip_frag_offset  (** 8-byte units *)
+  | Ip_ttl
+  | Ip_protocol
+  | Ip_src
+  | Ip_dst
+  | Src_port  (** TCP or UDP: same offsets *)
+  | Dst_port
+  | Tcp_flags
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | True
+  | False
+  | Cmp of field * cmp * int
+  | Flag_set of field * int  (** [field land mask <> 0] *)
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+val needs_transport : t -> bool
+(** Whether the predicate reads any transport-layer field. *)
+
+val compile : ?snap_len:int -> t -> Insn.program
+(** [compile pred] produces a validated program returning [snap_len]
+    (default 65535) on acceptance and 0 on rejection. Non-IPv4 packets are
+    always rejected (Gigascope Protocol sources are typed). *)
+
+val eval : t -> bytes -> bool
+(** Reference semantics: decode the packet with {!Gigascope_packet} and
+    evaluate the predicate directly. Property tests check
+    [eval p pkt = Vm.accepts (compile p) pkt]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,94 @@
+type t =
+  | Ld_abs_u8 of int
+  | Ld_abs_u16 of int
+  | Ld_abs_u32 of int
+  | Ld_imm of int
+  | Ld_len
+  | Ld_ind_u8 of int
+  | Ld_ind_u16 of int
+  | Ld_ind_u32 of int
+  | Ldx_imm of int
+  | Ldx_ip_hlen of int
+  | Alu_and of int
+  | Alu_or of int
+  | Alu_add of int
+  | Alu_sub of int
+  | Alu_lsh of int
+  | Alu_rsh of int
+  | Tax
+  | Txa
+  | Ja of int
+  | Jeq of int * int * int
+  | Jgt of int * int * int
+  | Jge of int * int * int
+  | Jset of int * int * int
+  | Ret of int
+
+type program = t array
+
+let pp fmt = function
+  | Ld_abs_u8 k -> Format.fprintf fmt "ld  A, u8[%d]" k
+  | Ld_abs_u16 k -> Format.fprintf fmt "ld  A, u16[%d]" k
+  | Ld_abs_u32 k -> Format.fprintf fmt "ld  A, u32[%d]" k
+  | Ld_imm k -> Format.fprintf fmt "ld  A, #%d" k
+  | Ld_len -> Format.fprintf fmt "ld  A, len"
+  | Ld_ind_u8 k -> Format.fprintf fmt "ld  A, u8[X+%d]" k
+  | Ld_ind_u16 k -> Format.fprintf fmt "ld  A, u16[X+%d]" k
+  | Ld_ind_u32 k -> Format.fprintf fmt "ld  A, u32[X+%d]" k
+  | Ldx_imm k -> Format.fprintf fmt "ldx X, #%d" k
+  | Ldx_ip_hlen k -> Format.fprintf fmt "ldx X, 4*(u8[%d]&0xf)" k
+  | Alu_and k -> Format.fprintf fmt "and A, #0x%x" k
+  | Alu_or k -> Format.fprintf fmt "or  A, #0x%x" k
+  | Alu_add k -> Format.fprintf fmt "add A, #%d" k
+  | Alu_sub k -> Format.fprintf fmt "sub A, #%d" k
+  | Alu_lsh k -> Format.fprintf fmt "lsh A, #%d" k
+  | Alu_rsh k -> Format.fprintf fmt "rsh A, #%d" k
+  | Tax -> Format.fprintf fmt "tax"
+  | Txa -> Format.fprintf fmt "txa"
+  | Ja d -> Format.fprintf fmt "ja  +%d" d
+  | Jeq (k, jt, jf) -> Format.fprintf fmt "jeq #%d, +%d, +%d" k jt jf
+  | Jgt (k, jt, jf) -> Format.fprintf fmt "jgt #%d, +%d, +%d" k jt jf
+  | Jge (k, jt, jf) -> Format.fprintf fmt "jge #%d, +%d, +%d" k jt jf
+  | Jset (k, jt, jf) -> Format.fprintf fmt "jset #0x%x, +%d, +%d" k jt jf
+  | Ret k -> Format.fprintf fmt "ret #%d" k
+
+let pp_program fmt prog =
+  Array.iteri (fun i insn -> Format.fprintf fmt "%3d: %a@." i pp insn) prog
+
+let validate prog =
+  let n = Array.length prog in
+  if n = 0 then Error "bpf: empty program"
+  else begin
+    let check_target i d =
+      let target = i + 1 + d in
+      if d < 0 then Error (Printf.sprintf "bpf: insn %d: backward jump" i)
+      else if target >= n then Error (Printf.sprintf "bpf: insn %d: jump out of range" i)
+      else Ok ()
+    in
+    let rec go i =
+      if i = n then Ok ()
+      else
+        let targets =
+          match prog.(i) with
+          | Ja d -> [d]
+          | Jeq (_, jt, jf) | Jgt (_, jt, jf) | Jge (_, jt, jf) | Jset (_, jt, jf) -> [jt; jf]
+          | _ -> []
+        in
+        let rec all = function
+          | [] -> go (i + 1)
+          | d :: rest -> ( match check_target i d with Ok () -> all rest | Error _ as e -> e)
+        in
+        all targets
+    in
+    match go 0 with
+    | Error _ as e -> e
+    | Ok () -> (
+        (* Falling off the end must be impossible: the last instruction has
+           to be a Ret or an unconditional jump (which validate already
+           proved lands in range, hence before the end only if n-1 has
+           d >= 0 targets... a Ja as last insn always jumps past the end,
+           so only Ret is allowed). *)
+        match prog.(n - 1) with
+        | Ret _ -> Ok ()
+        | _ -> Error "bpf: program can fall off the end")
+  end

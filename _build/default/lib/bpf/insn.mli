@@ -1,0 +1,43 @@
+(** The filter-machine instruction set.
+
+    A classic-BPF-style accumulator machine over raw packet bytes: an
+    accumulator [A], an index register [X], absolute and indexed loads,
+    ALU ops, conditional jumps with separate true/false displacements, and
+    [Ret n] returning the snap length to capture (0 = reject the packet).
+    Jump displacements are relative to the next instruction. *)
+
+type t =
+  | Ld_abs_u8 of int  (** A <- pkt\[k\] *)
+  | Ld_abs_u16 of int  (** A <- big-endian u16 at k *)
+  | Ld_abs_u32 of int
+  | Ld_imm of int  (** A <- k *)
+  | Ld_len  (** A <- captured packet length *)
+  | Ld_ind_u8 of int  (** A <- pkt\[X+k\] *)
+  | Ld_ind_u16 of int
+  | Ld_ind_u32 of int
+  | Ldx_imm of int  (** X <- k *)
+  | Ldx_ip_hlen of int  (** X <- 4 * (pkt\[k\] land 0xf) — the IHL idiom *)
+  | Alu_and of int
+  | Alu_or of int
+  | Alu_add of int
+  | Alu_sub of int
+  | Alu_lsh of int
+  | Alu_rsh of int
+  | Tax  (** X <- A *)
+  | Txa  (** A <- X *)
+  | Ja of int  (** unconditional relative jump *)
+  | Jeq of int * int * int  (** if A = k then skip jt else skip jf *)
+  | Jgt of int * int * int
+  | Jge of int * int * int
+  | Jset of int * int * int  (** if A land k <> 0 *)
+  | Ret of int
+
+type program = t array
+
+val pp : Format.formatter -> t -> unit
+val pp_program : Format.formatter -> program -> unit
+
+val validate : program -> (unit, string) result
+(** Static checks mirroring the kernel verifier: all jumps land inside the
+    program and forward (no loops — filters must terminate), and the last
+    reachable path ends in [Ret]. *)

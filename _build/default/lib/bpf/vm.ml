@@ -1,0 +1,85 @@
+module Bytes_util = Gigascope_packet.Bytes_util
+
+exception Reject
+
+let run prog pkt =
+  let n = Array.length prog in
+  let len = Bytes.length pkt in
+  let a = ref 0 and x = ref 0 in
+  let load width off =
+    if off < 0 || off + width > len then raise Reject
+    else
+      match width with
+      | 1 -> Bytes_util.get_u8 pkt off
+      | 2 -> Bytes_util.get_u16 pkt off
+      | 4 -> Bytes_util.get_u32 pkt off
+      | _ -> assert false
+  in
+  let rec step pc =
+    if pc >= n then 0 (* validated programs never get here *)
+    else
+      match prog.(pc) with
+      | Insn.Ld_abs_u8 k ->
+          a := load 1 k;
+          step (pc + 1)
+      | Insn.Ld_abs_u16 k ->
+          a := load 2 k;
+          step (pc + 1)
+      | Insn.Ld_abs_u32 k ->
+          a := load 4 k;
+          step (pc + 1)
+      | Insn.Ld_imm k ->
+          a := k;
+          step (pc + 1)
+      | Insn.Ld_len ->
+          a := len;
+          step (pc + 1)
+      | Insn.Ld_ind_u8 k ->
+          a := load 1 (!x + k);
+          step (pc + 1)
+      | Insn.Ld_ind_u16 k ->
+          a := load 2 (!x + k);
+          step (pc + 1)
+      | Insn.Ld_ind_u32 k ->
+          a := load 4 (!x + k);
+          step (pc + 1)
+      | Insn.Ldx_imm k ->
+          x := k;
+          step (pc + 1)
+      | Insn.Ldx_ip_hlen k ->
+          x := 4 * (load 1 k land 0xf);
+          step (pc + 1)
+      | Insn.Alu_and k ->
+          a := !a land k;
+          step (pc + 1)
+      | Insn.Alu_or k ->
+          a := !a lor k;
+          step (pc + 1)
+      | Insn.Alu_add k ->
+          a := !a + k;
+          step (pc + 1)
+      | Insn.Alu_sub k ->
+          a := !a - k;
+          step (pc + 1)
+      | Insn.Alu_lsh k ->
+          a := !a lsl k;
+          step (pc + 1)
+      | Insn.Alu_rsh k ->
+          a := !a lsr k;
+          step (pc + 1)
+      | Insn.Tax ->
+          x := !a;
+          step (pc + 1)
+      | Insn.Txa ->
+          a := !x;
+          step (pc + 1)
+      | Insn.Ja d -> step (pc + 1 + d)
+      | Insn.Jeq (k, jt, jf) -> step (pc + 1 + if !a = k then jt else jf)
+      | Insn.Jgt (k, jt, jf) -> step (pc + 1 + if !a > k then jt else jf)
+      | Insn.Jge (k, jt, jf) -> step (pc + 1 + if !a >= k then jt else jf)
+      | Insn.Jset (k, jt, jf) -> step (pc + 1 + if !a land k <> 0 then jt else jf)
+      | Insn.Ret k -> k
+  in
+  try step 0 with Reject -> 0
+
+let accepts prog pkt = run prog pkt > 0

@@ -1,0 +1,13 @@
+(** The filter-machine interpreter.
+
+    Any fault (out-of-bounds load, division-free so no other faults) rejects
+    the packet, as in the kernel: a filter can never crash the capture
+    path. *)
+
+val run : Insn.program -> bytes -> int
+(** [run prog pkt] executes the filter over the packet bytes and returns
+    the snap length to keep (0 = drop). Instruction count is bounded by the
+    program length because validated programs only jump forward. *)
+
+val accepts : Insn.program -> bytes -> bool
+(** [run prog pkt > 0]. *)

@@ -1,0 +1,1 @@
+lib/core/default_protocols.ml: Bytes Gigascope_bpf Gigascope_gsql Gigascope_packet Gigascope_rts List String

@@ -1,0 +1,1 @@
+lib/core/default_protocols.mli: Gigascope_gsql Gigascope_packet Gigascope_rts

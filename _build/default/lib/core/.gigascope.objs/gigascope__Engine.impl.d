@@ -1,0 +1,1 @@
+lib/core/engine.ml: Bytes Default_protocols Float Gigascope_bpf Gigascope_gsql Gigascope_nic Gigascope_packet Gigascope_rts Gigascope_traffic Hashtbl List Option Printf Result Sessions String

@@ -1,0 +1,1 @@
+lib/core/sessions.ml: Bytes Float Gigascope_packet Gigascope_rts Hashtbl List Queue

@@ -1,0 +1,1 @@
+lib/core/sessions.mli: Gigascope_packet Gigascope_rts

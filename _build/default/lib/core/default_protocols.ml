@@ -1,0 +1,288 @@
+module Rts = Gigascope_rts
+module Gsql = Gigascope_gsql
+module Bpf = Gigascope_bpf
+module P = Gigascope_packet
+module Packet = P.Packet
+module Netflow = P.Netflow
+module Value = Rts.Value
+module Ty = Rts.Ty
+module Schema = Rts.Schema
+module Order_prop = Rts.Order_prop
+
+type t = {
+  proto_name : string;
+  catalog_entry : Gsql.Catalog.protocol;
+  interpret : Packet.t -> Value.t array option;
+  clock_fields : (int * (float -> Value.t)) list;
+}
+
+let mono = Order_prop.Monotone Order_prop.Asc
+let un = Order_prop.Unordered
+
+let fld name ty order = { Schema.name; ty; order }
+
+(* Transport-level views shared by the interpreters. *)
+type l4_view = {
+  v_src_port : int;
+  v_dst_port : int;
+  v_flags : int;
+  v_seq : int;
+  v_ack : int;
+  v_window : int;
+  v_payload : bytes;
+}
+
+let l4_of pkt =
+  match pkt.Packet.net with
+  | Packet.Non_ip _ -> None
+  | Packet.Ipv4 (_, transport) ->
+      let z = { v_src_port = 0; v_dst_port = 0; v_flags = 0; v_seq = 0; v_ack = 0; v_window = 0; v_payload = Bytes.empty } in
+      Some
+        (match transport with
+        | Packet.Tcp (h, payload) ->
+            {
+              v_src_port = h.P.Tcp.src_port;
+              v_dst_port = h.P.Tcp.dst_port;
+              v_flags = P.Tcp.flags_to_int h.P.Tcp.flags;
+              v_seq = h.P.Tcp.seq;
+              v_ack = h.P.Tcp.ack_seq;
+              v_window = h.P.Tcp.window;
+              v_payload = payload;
+            }
+        | Packet.Udp (h, payload) ->
+            { z with v_src_port = h.P.Udp.src_port; v_dst_port = h.P.Udp.dst_port; v_payload = payload }
+        | Packet.Icmp (_, payload) | Packet.Raw_transport payload -> { z with v_payload = payload })
+
+let time_clock = [(0, fun ts -> Value.Int (int_of_float ts)); (1, fun ts -> Value.Float ts)]
+
+let tcp =
+  let schema =
+    Schema.make
+      [
+        fld "time" Ty.Int mono;
+        fld "timestamp" Ty.Float mono;
+        fld "ipversion" Ty.Int un;
+        fld "hdr_length" Ty.Int un;
+        fld "tos" Ty.Int un;
+        fld "len" Ty.Int un;
+        fld "ident" Ty.Int un;
+        fld "ttl" Ty.Int un;
+        fld "protocol" Ty.Int un;
+        fld "srcip" Ty.Ip un;
+        fld "destip" Ty.Ip un;
+        fld "srcport" Ty.Int un;
+        fld "destport" Ty.Int un;
+        fld "flags" Ty.Int un;
+        fld "seq" Ty.Int un;
+        fld "ack" Ty.Int un;
+        fld "window" Ty.Int un;
+        fld "data_length" Ty.Int un;
+        fld "payload" Ty.Str un;
+      ]
+  in
+  let bpf_fields =
+    [
+      ("ipversion", Bpf.Filter.Ip_version);
+      ("hdr_length", Bpf.Filter.Ip_hdr_len);
+      ("tos", Bpf.Filter.Ip_tos);
+      ("len", Bpf.Filter.Ip_total_len);
+      ("ident", Bpf.Filter.Ip_ident);
+      ("ttl", Bpf.Filter.Ip_ttl);
+      ("protocol", Bpf.Filter.Ip_protocol);
+      ("srcip", Bpf.Filter.Ip_src);
+      ("destip", Bpf.Filter.Ip_dst);
+      ("srcport", Bpf.Filter.Src_port);
+      ("destport", Bpf.Filter.Dst_port);
+      ("flags", Bpf.Filter.Tcp_flags);
+    ]
+  in
+  let interpret pkt =
+    match (Packet.ip_header pkt, l4_of pkt) with
+    | Some ip, Some l4 ->
+        Some
+          [|
+            Value.Int (int_of_float pkt.Packet.ts);
+            Value.Float pkt.Packet.ts;
+            Value.Int 4;
+            Value.Int (P.Ipv4.header_len ip);
+            Value.Int ip.P.Ipv4.tos;
+            Value.Int ip.P.Ipv4.total_len;
+            Value.Int ip.P.Ipv4.ident;
+            Value.Int ip.P.Ipv4.ttl;
+            Value.Int ip.P.Ipv4.protocol;
+            Value.Ip ip.P.Ipv4.src;
+            Value.Ip ip.P.Ipv4.dst;
+            Value.Int l4.v_src_port;
+            Value.Int l4.v_dst_port;
+            Value.Int l4.v_flags;
+            Value.Int l4.v_seq;
+            Value.Int l4.v_ack;
+            Value.Int l4.v_window;
+            Value.Int (Bytes.length l4.v_payload);
+            Value.Str (Bytes.to_string l4.v_payload);
+          |]
+    | _ -> None
+  in
+  {
+    proto_name = "tcp";
+    catalog_entry = { Gsql.Catalog.schema; bpf_fields; payload_fields = ["payload"] };
+    interpret;
+    clock_fields = time_clock;
+  }
+
+let udp =
+  let schema =
+    Schema.make
+      [
+        fld "time" Ty.Int mono;
+        fld "timestamp" Ty.Float mono;
+        fld "ipversion" Ty.Int un;
+        fld "len" Ty.Int un;
+        fld "ttl" Ty.Int un;
+        fld "protocol" Ty.Int un;
+        fld "srcip" Ty.Ip un;
+        fld "destip" Ty.Ip un;
+        fld "srcport" Ty.Int un;
+        fld "destport" Ty.Int un;
+        fld "data_length" Ty.Int un;
+        fld "payload" Ty.Str un;
+      ]
+  in
+  let bpf_fields =
+    [
+      ("ipversion", Bpf.Filter.Ip_version);
+      ("len", Bpf.Filter.Ip_total_len);
+      ("ttl", Bpf.Filter.Ip_ttl);
+      ("protocol", Bpf.Filter.Ip_protocol);
+      ("srcip", Bpf.Filter.Ip_src);
+      ("destip", Bpf.Filter.Ip_dst);
+      ("srcport", Bpf.Filter.Src_port);
+      ("destport", Bpf.Filter.Dst_port);
+    ]
+  in
+  let interpret pkt =
+    match (Packet.ip_header pkt, l4_of pkt) with
+    | Some ip, Some l4 ->
+        Some
+          [|
+            Value.Int (int_of_float pkt.Packet.ts);
+            Value.Float pkt.Packet.ts;
+            Value.Int 4;
+            Value.Int ip.P.Ipv4.total_len;
+            Value.Int ip.P.Ipv4.ttl;
+            Value.Int ip.P.Ipv4.protocol;
+            Value.Ip ip.P.Ipv4.src;
+            Value.Ip ip.P.Ipv4.dst;
+            Value.Int l4.v_src_port;
+            Value.Int l4.v_dst_port;
+            Value.Int (Bytes.length l4.v_payload);
+            Value.Str (Bytes.to_string l4.v_payload);
+          |]
+    | _ -> None
+  in
+  {
+    proto_name = "udp";
+    catalog_entry = { Gsql.Catalog.schema; bpf_fields; payload_fields = ["payload"] };
+    interpret;
+    clock_fields = time_clock;
+  }
+
+let ip =
+  let schema =
+    Schema.make
+      [
+        fld "time" Ty.Int mono;
+        fld "timestamp" Ty.Float mono;
+        fld "ipversion" Ty.Int un;
+        fld "hdr_length" Ty.Int un;
+        fld "len" Ty.Int un;
+        fld "ident" Ty.Int un;
+        fld "frag_offset" Ty.Int un;
+        fld "more_fragments" Ty.Int un;
+        fld "ttl" Ty.Int un;
+        fld "protocol" Ty.Int un;
+        fld "srcip" Ty.Ip un;
+        fld "destip" Ty.Ip un;
+        fld "data_length" Ty.Int un;
+      ]
+  in
+  let bpf_fields =
+    [
+      ("ipversion", Bpf.Filter.Ip_version);
+      ("hdr_length", Bpf.Filter.Ip_hdr_len);
+      ("len", Bpf.Filter.Ip_total_len);
+      ("ident", Bpf.Filter.Ip_ident);
+      ("frag_offset", Bpf.Filter.Ip_frag_offset);
+      ("ttl", Bpf.Filter.Ip_ttl);
+      ("protocol", Bpf.Filter.Ip_protocol);
+      ("srcip", Bpf.Filter.Ip_src);
+      ("destip", Bpf.Filter.Ip_dst);
+    ]
+  in
+  let interpret pkt =
+    match Packet.ip_header pkt with
+    | Some ip_h ->
+        Some
+          [|
+            Value.Int (int_of_float pkt.Packet.ts);
+            Value.Float pkt.Packet.ts;
+            Value.Int 4;
+            Value.Int (P.Ipv4.header_len ip_h);
+            Value.Int ip_h.P.Ipv4.total_len;
+            Value.Int ip_h.P.Ipv4.ident;
+            Value.Int ip_h.P.Ipv4.frag_offset;
+            Value.Int (if ip_h.P.Ipv4.more_fragments then 1 else 0);
+            Value.Int ip_h.P.Ipv4.ttl;
+            Value.Int ip_h.P.Ipv4.protocol;
+            Value.Ip ip_h.P.Ipv4.src;
+            Value.Ip ip_h.P.Ipv4.dst;
+            Value.Int (Bytes.length (Packet.payload pkt));
+          |]
+    | None -> None
+  in
+  {
+    proto_name = "ip";
+    catalog_entry = { Gsql.Catalog.schema; bpf_fields; payload_fields = [] };
+    interpret;
+    clock_fields = time_clock;
+  }
+
+let all = [tcp; udp; ip]
+
+let register catalog =
+  List.iter
+    (fun p -> Gsql.Catalog.add_protocol catalog ~name:p.proto_name p.catalog_entry)
+    all
+
+let find name =
+  let name = String.lowercase_ascii name in
+  List.find_opt (fun p -> p.proto_name = name) all
+
+let netflow_schema =
+  Schema.make
+    [
+      fld "srcip" Ty.Ip un;
+      fld "destip" Ty.Ip un;
+      fld "srcport" Ty.Int un;
+      fld "destport" Ty.Int un;
+      fld "protocol" Ty.Int un;
+      fld "packets" Ty.Int un;
+      fld "octets" Ty.Int un;
+      fld "start_time" Ty.Int (Order_prop.Banded (Order_prop.Asc, 30.0));
+      fld "end_time" Ty.Int mono;
+      fld "flags" Ty.Int un;
+    ]
+
+let netflow_tuple (r : Netflow.t) =
+  [|
+    Value.Ip r.Netflow.src;
+    Value.Ip r.Netflow.dst;
+    Value.Int r.Netflow.src_port;
+    Value.Int r.Netflow.dst_port;
+    Value.Int r.Netflow.protocol;
+    Value.Int r.Netflow.packets;
+    Value.Int r.Netflow.octets;
+    Value.Int (int_of_float r.Netflow.start_ts);
+    Value.Int (int_of_float r.Netflow.end_ts);
+    Value.Int r.Netflow.tcp_flags;
+  |]

@@ -1,0 +1,262 @@
+module Rts = Gigascope_rts
+module Gsql = Gigascope_gsql
+module Bpf = Gigascope_bpf
+module Nic = Gigascope_nic.Nic
+module Traffic = Gigascope_traffic
+module P = Gigascope_packet
+module Packet = P.Packet
+module Value = Rts.Value
+
+let ( let* ) = Result.bind
+
+let err fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+type nic_capability = Cap_none | Cap_bpf | Cap_lfta
+
+type iface = {
+  feed_factory : unit -> unit -> Packet.t option;
+  nic : Nic.t;
+  capability : nic_capability;
+  mutable nic_configured : bool;
+}
+
+type t = {
+  mgr : Rts.Manager.t;
+  catalog : Gsql.Catalog.t;
+  interfaces : (string, iface) Hashtbl.t;
+  mutable next_seed : int;
+}
+
+let create ?(default_capacity = 4096) () =
+  let mgr = Rts.Manager.create ~default_capacity () in
+  let catalog = Gsql.Catalog.create (Rts.Manager.functions mgr) in
+  Default_protocols.register catalog;
+  { mgr; catalog; interfaces = Hashtbl.create 8; next_seed = 0x517 }
+
+let manager t = t.mgr
+let catalog t = t.catalog
+
+let register_function t f = Rts.Func.register (Rts.Manager.functions t.mgr) f
+
+let add_interface t ~name ?(capability = Cap_none) ~feed () =
+  Hashtbl.replace t.interfaces (String.lowercase_ascii name)
+    { feed_factory = feed; nic = Nic.create (); capability; nic_configured = false }
+
+let add_packet_list_interface t ~name ?capability packets =
+  add_interface t ~name ?capability ~feed:(fun () ->
+      let remaining = ref packets in
+      fun () ->
+        match !remaining with
+        | [] -> None
+        | p :: rest ->
+            remaining := rest;
+            Some p)
+    ()
+
+let add_generator_interface t ~name ?capability cfg =
+  add_interface t ~name ?capability ~feed:(fun () ->
+      let gen = Traffic.Gen.create cfg in
+      fun () -> Traffic.Gen.next gen)
+    ()
+
+let add_split_interfaces t ~names ?capability cfg =
+  List.iteri
+    (fun k name ->
+      add_interface t ~name ?capability ~feed:(fun () ->
+          let gen = Traffic.Gen.create cfg in
+          let rec pull () =
+            match Traffic.Gen.next_with_interface gen with
+            | None -> None
+            | Some (pkt, iface) -> if iface = k then Some pkt else pull ()
+          in
+          pull)
+        ())
+    names
+
+let add_pcap_interface t ~name ?capability path =
+  match P.Pcap.read_file path with
+  | Error _ as e -> e
+  | Ok (_, records) ->
+      let packets =
+        List.filter_map
+          (fun (r : P.Pcap.record) ->
+            match Packet.decode ~ts:r.P.Pcap.ts ~wire_len:r.P.Pcap.orig_len r.P.Pcap.data with
+            | Ok pkt -> Some pkt
+            | Error _ -> None)
+          records
+      in
+      add_packet_list_interface t ~name ?capability packets;
+      Ok ()
+
+let add_defrag_interface t ~name ?capability ?reassembly_timeout ~feed () =
+  add_interface t ~name ?capability ~feed:(fun () ->
+      let inner = feed () in
+      let reasm = P.Frag.create_reassembler ?timeout:reassembly_timeout () in
+      let rec pull () =
+        match inner () with
+        | None -> None
+        | Some pkt -> (
+            match P.Frag.push reasm pkt with
+            | Some whole -> Some whole
+            | None -> pull () (* partial datagram: keep reading *))
+      in
+      pull)
+    ()
+
+let add_custom_source t ~name ~schema ~pull ~clock =
+  let* _node = Rts.Manager.add_source t.mgr ~name ~schema { Rts.Node.pull; clock } in
+  Gsql.Catalog.add_stream t.catalog ~name schema;
+  Ok ()
+
+let add_session_source t ~name ?idle_timeout ~feed () =
+  let pull, clock = Sessions.source ?idle_timeout feed in
+  add_custom_source t ~name ~schema:Sessions.schema ~pull ~clock
+
+let nic_of t name =
+  Option.map (fun i -> i.nic) (Hashtbl.find_opt t.interfaces (String.lowercase_ascii name))
+
+(* ---------------- source binding --------------------------------------- *)
+
+let configure_nic iface (hint : Gsql.Split.nic_hint option) =
+  let desired =
+    match (iface.capability, hint) with
+    | Cap_none, _ | _, None -> Nic.Dumb
+    | Cap_bpf, Some { Gsql.Split.nic_filter; snap_len } ->
+        Nic.Filtering
+          {
+            prog = Option.map (fun f -> Bpf.Filter.compile ~snap_len f) nic_filter;
+            snap_len;
+          }
+    | Cap_lfta, Some { Gsql.Split.nic_filter; snap_len } ->
+        Nic.Programmable
+          {
+            prog = Option.map (fun f -> Bpf.Filter.compile ~snap_len f) nic_filter;
+            snap_len;
+          }
+  in
+  if iface.nic_configured then Nic.widen iface.nic desired
+  else begin
+    Nic.set_mode iface.nic desired;
+    iface.nic_configured <- true
+  end
+
+let bind_source t ~interface ~protocol ~nic =
+  let source_name = interface ^ "." ^ protocol in
+  match Rts.Manager.find t.mgr source_name with
+  | Some _ ->
+      (match Hashtbl.find_opt t.interfaces (String.lowercase_ascii interface) with
+      | Some iface -> configure_nic iface nic
+      | None -> ());
+      Ok source_name
+  | None -> (
+      match
+        ( Hashtbl.find_opt t.interfaces (String.lowercase_ascii interface),
+          Default_protocols.find protocol )
+      with
+      | None, _ -> err "unknown interface %s" interface
+      | _, None -> err "no interpretation library for protocol %s" protocol
+      | Some iface, Some proto ->
+          configure_nic iface nic;
+          let feed = iface.feed_factory () in
+          let last_ts = ref nan in
+          let needs_nic_path () = Nic.mode iface.nic <> Nic.Dumb in
+          let rec pull () =
+            match feed () with
+            | None -> None
+            | Some pkt -> (
+                last_ts := pkt.Packet.ts;
+                let delivered =
+                  if needs_nic_path () then begin
+                    let wire = Packet.encode pkt in
+                    match Nic.deliver iface.nic wire with
+                    | None -> None
+                    | Some snapped -> (
+                        match
+                          Packet.decode ~ts:pkt.Packet.ts ~wire_len:(Bytes.length wire) snapped
+                        with
+                        | Ok p -> Some p
+                        | Error _ -> None)
+                  end
+                  else begin
+                    (* account the dumb card's view too *)
+                    ignore (Nic.deliver iface.nic (Packet.encode pkt));
+                    Some pkt
+                  end
+                in
+                match delivered with
+                | None -> pull ()
+                | Some p -> (
+                    match proto.Default_protocols.interpret p with
+                    | Some tuple -> Some (Rts.Item.Tuple tuple)
+                    | None -> pull ()))
+          in
+          let clock () =
+            if Float.is_nan !last_ts then []
+            else
+              List.map
+                (fun (idx, f) -> (idx, f !last_ts))
+                proto.Default_protocols.clock_fields
+          in
+          let* _node =
+            Rts.Manager.add_source t.mgr ~name:source_name
+              ~schema:proto.Default_protocols.catalog_entry.Gsql.Catalog.schema
+              { Rts.Node.pull; clock }
+          in
+          Ok source_name)
+
+let binder t = { Gsql.Codegen.bind_source = (fun ~interface ~protocol ~nic -> bind_source t ~interface ~protocol ~nic) }
+
+(* ---------------- program installation --------------------------------- *)
+
+let fresh_seed t =
+  t.next_seed <- t.next_seed + 0x9e37;
+  t.next_seed
+
+let install_compiled t ?params (c : Gsql.Compile.compiled) =
+  (* hoisted FROM subqueries install first so the main query can subscribe *)
+  let rec go = function
+    | [] ->
+        Gsql.Codegen.install t.mgr ~source_binder:(binder t) ?params ~seed:(fresh_seed t)
+          c.Gsql.Compile.split
+    | (h : Gsql.Compile.compiled) :: rest ->
+        let* _helper =
+          Gsql.Codegen.install t.mgr ~source_binder:(binder t) ?params ~seed:(fresh_seed t)
+            h.Gsql.Compile.split
+        in
+        go rest
+  in
+  go c.Gsql.Compile.helpers
+
+let install_program t ?params text =
+  let* compiled = Gsql.Compile.compile_program t.catalog text in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | (c : Gsql.Compile.compiled) :: rest ->
+        let* inst = install_compiled t ?params c in
+        go (inst :: acc) rest
+  in
+  go [] compiled
+
+let install_query t ?params ?name text =
+  let* c = Gsql.Compile.compile_query t.catalog ?name text in
+  install_compiled t ?params c
+
+let explain t ?name text =
+  let* c = Gsql.Compile.compile_query t.catalog ?name text in
+  Ok (Gsql.Compile.explain c)
+
+let subscribe t ?capacity name = Rts.Manager.subscribe t.mgr ?capacity name
+
+let on_tuple t name f =
+  Rts.Manager.on_item t.mgr name (function
+    | Rts.Item.Tuple values -> f values
+    | Rts.Item.Punct _ | Rts.Item.Flush | Rts.Item.Eof -> ())
+
+let run t ?quantum ?heartbeats ?heartbeat_period ?on_round () =
+  Rts.Scheduler.run ?quantum ?heartbeats ?heartbeat_period ?on_round t.mgr
+
+let flush t name = Rts.Manager.flush t.mgr name
+
+let stats_report t = Rts.Manager.stats_report t.mgr
+
+let total_drops t = Rts.Manager.total_drops t.mgr

@@ -1,0 +1,143 @@
+(** The Gigascope engine: everything wired together.
+
+    An engine owns a stream manager, a catalog preloaded with the built-in
+    protocols and function library, and a set of named interfaces, each
+    with a packet feed and a NIC model. Submitting GSQL text compiles,
+    splits, and installs query networks; Protocol sources are bound to
+    interfaces on demand, pushing NIC hints (bpf filter + snap length) into
+    cards that support them. *)
+
+module Rts = Gigascope_rts
+module Gsql = Gigascope_gsql
+module Nic = Gigascope_nic.Nic
+module Packet = Gigascope_packet.Packet
+
+(** What the interface's card can do; the actual filter program comes from
+    the query splitter. *)
+type nic_capability =
+  | Cap_none  (** deliver everything (plain card) *)
+  | Cap_bpf  (** accepts a filter + snap length *)
+  | Cap_lfta  (** programmable: runs LFTAs on the card (Tigon-style) *)
+
+type t
+
+val create : ?default_capacity:int -> unit -> t
+
+val manager : t -> Rts.Manager.t
+val catalog : t -> Gsql.Catalog.t
+
+val register_function : t -> Rts.Func.t -> unit
+(** Extend the function library ("users can make new functions available by
+    adding the code to the function library and registering the
+    prototype"). *)
+
+val add_interface :
+  t ->
+  name:string ->
+  ?capability:nic_capability ->
+  feed:(unit -> unit -> Packet.t option) ->
+  unit ->
+  unit
+(** [feed] is a factory: each Protocol bound to this interface pulls from
+    its own fresh iterator (feeds must be deterministic replays for
+    multiple bindings to observe the same traffic). *)
+
+val add_packet_list_interface :
+  t -> name:string -> ?capability:nic_capability -> Packet.t list -> unit
+
+val add_generator_interface :
+  t -> name:string -> ?capability:nic_capability -> Gigascope_traffic.Gen.config -> unit
+
+val add_split_interfaces :
+  t -> names:string list -> ?capability:nic_capability -> Gigascope_traffic.Gen.config -> unit
+(** Model simplex optical links: the generator's packets are partitioned
+    over the named interfaces by flow (config [interface_count] should
+    equal the list length). This is the setting that makes MERGE essential
+    (Section 2.2). *)
+
+val add_pcap_interface :
+  t -> name:string -> ?capability:nic_capability -> string -> (unit, string) result
+(** Replay a capture file as an interface. *)
+
+val add_defrag_interface :
+  t ->
+  name:string ->
+  ?capability:nic_capability ->
+  ?reassembly_timeout:float ->
+  feed:(unit -> unit -> Packet.t option) ->
+  unit ->
+  unit
+(** Like {!add_interface}, with the IP defragmentation operator interposed
+    between the feed and interpretation — the paper's example of a special
+    user-written node ("we have implemented a special IP defragmentation
+    operator in this manner and have built a query tree using it",
+    Section 3). Queries over this interface see whole datagrams;
+    non-final fragments never reach the Protocol library. *)
+
+val add_session_source :
+  t ->
+  name:string ->
+  ?idle_timeout:float ->
+  feed:(unit -> Packet.t option) ->
+  unit ->
+  (unit, string) result
+(** Register a TCP-session stream (see {!Sessions}) fed by a packet feed:
+    queries then read closed-session records by [name]. The paper's
+    future-work item, "extract the TCP/IP sessions" (Section 5). *)
+
+val add_custom_source :
+  t ->
+  name:string ->
+  schema:Rts.Schema.t ->
+  pull:(unit -> Rts.Item.t option) ->
+  clock:(unit -> (int * Rts.Value.t) list) ->
+  (unit, string) result
+(** Bypass the packet path entirely — the paper's escape hatch for
+    user-written query nodes (e.g. a Netflow record source or an IP
+    defragmentation operator). Registers the schema so queries can read the
+    stream by name. *)
+
+val nic_of : t -> string -> Nic.t option
+(** The interface's card, for inspecting delivery statistics. *)
+
+val install_program :
+  t -> ?params:(string * Rts.Value.t) list -> string -> (Gsql.Codegen.instance list, string) result
+(** Compile and install every query in the GSQL text. *)
+
+val install_query :
+  t ->
+  ?params:(string * Rts.Value.t) list ->
+  ?name:string ->
+  string ->
+  (Gsql.Codegen.instance, string) result
+
+val explain : t -> ?name:string -> string -> (string, string) result
+(** Compile only; render plan, split, ordering properties and pseudo-C. *)
+
+val subscribe : t -> ?capacity:int -> string -> (Rts.Channel.t, string) result
+
+val on_tuple : t -> string -> (Rts.Value.t array -> unit) -> (unit, string) result
+(** Callback for each output tuple of the named stream. *)
+
+val run :
+  t ->
+  ?quantum:int ->
+  ?heartbeats:bool ->
+  ?heartbeat_period:int ->
+  ?on_round:(int -> unit) ->
+  unit ->
+  (Rts.Scheduler.stats, string) result
+(** Drive the network until every source is exhausted. [heartbeats]
+    enables on-demand punctuation; [heartbeat_period] adds periodic
+    source punctuation every N scheduler rounds; [on_round] is the live
+    application's hook (change parameters, flush queries). *)
+
+val flush : t -> string -> (unit, string) result
+(** Make the named query emit its open state now — how an analyst gets
+    output from an aggregation without an ordered group key
+    (Section 2.2). *)
+
+val stats_report : t -> string
+(** Per-node runtime statistics (tuples in/out, drops, buffered state). *)
+
+val total_drops : t -> int

@@ -1,0 +1,214 @@
+module Rts = Gigascope_rts
+module P = Gigascope_packet
+module Packet = P.Packet
+module Value = Rts.Value
+module Ty = Rts.Ty
+module Schema = Rts.Schema
+module Order_prop = Rts.Order_prop
+
+type session = {
+  src : P.Ipaddr.t;
+  dst : P.Ipaddr.t;
+  src_port : int;
+  dst_port : int;
+  start_ts : float;
+  end_ts : float;
+  packets : int;
+  bytes : int;
+  flags_seen : int;
+  clean_close : bool;
+}
+
+(* connections are keyed direction-insensitively *)
+type key = { a_ip : int; a_port : int; b_ip : int; b_port : int }
+
+let key_of ~src ~dst ~sport ~dport =
+  if (src, sport) <= (dst, dport) then { a_ip = src; a_port = sport; b_ip = dst; b_port = dport }
+  else { a_ip = dst; a_port = dport; b_ip = src; b_port = sport }
+
+type conn = {
+  key : key;
+  (* initiator view, fixed by the first packet *)
+  c_src : int;
+  c_dst : int;
+  c_sport : int;
+  c_dport : int;
+  c_start : float;
+  mutable c_last : float;
+  mutable c_packets : int;
+  mutable c_bytes : int;
+  mutable c_flags : int;
+  mutable fin_fwd : bool;  (** FIN seen from the initiator *)
+  mutable fin_rev : bool;
+  mutable rst : bool;
+}
+
+type t = {
+  table : (key, conn) Hashtbl.t;
+  idle_timeout : float;
+  max_sessions : int;
+}
+
+let create ?(idle_timeout = 60.0) ?(max_sessions = 65536) () =
+  { table = Hashtbl.create 256; idle_timeout; max_sessions }
+
+let open_sessions t = Hashtbl.length t.table
+
+let to_session ~clean (c : conn) =
+  {
+    src = c.c_src;
+    dst = c.c_dst;
+    src_port = c.c_sport;
+    dst_port = c.c_dport;
+    start_ts = c.c_start;
+    end_ts = c.c_last;
+    packets = c.c_packets;
+    bytes = c.c_bytes;
+    flags_seen = c.c_flags;
+    clean_close = clean;
+  }
+
+let expire t ~now =
+  let closed = ref [] in
+  Hashtbl.iter
+    (fun _ c -> if now -. c.c_last > t.idle_timeout then closed := c :: !closed)
+    t.table;
+  List.map
+    (fun c ->
+      Hashtbl.remove t.table c.key;
+      to_session ~clean:false c)
+    !closed
+
+let evict_oldest t =
+  let oldest = ref None in
+  Hashtbl.iter
+    (fun _ c ->
+      match !oldest with
+      | Some o when o.c_last <= c.c_last -> ()
+      | _ -> oldest := Some c)
+    t.table;
+  match !oldest with
+  | Some c ->
+      Hashtbl.remove t.table c.key;
+      [to_session ~clean:false c]
+  | None -> []
+
+let push t pkt =
+  match (Packet.ip_header pkt, Packet.tcp_header pkt) with
+  | Some ip, Some tcp ->
+      let now = pkt.Packet.ts in
+      let expired = expire t ~now in
+      let src = ip.P.Ipv4.src and dst = ip.P.Ipv4.dst in
+      let sport = tcp.P.Tcp.src_port and dport = tcp.P.Tcp.dst_port in
+      let key = key_of ~src ~dst ~sport ~dport in
+      let evicted =
+        if (not (Hashtbl.mem t.table key)) && Hashtbl.length t.table >= t.max_sessions then
+          evict_oldest t
+        else []
+      in
+      let conn =
+        match Hashtbl.find_opt t.table key with
+        | Some c -> c
+        | None ->
+            let c =
+              {
+                key;
+                c_src = src;
+                c_dst = dst;
+                c_sport = sport;
+                c_dport = dport;
+                c_start = now;
+                c_last = now;
+                c_packets = 0;
+                c_bytes = 0;
+                c_flags = 0;
+                fin_fwd = false;
+                fin_rev = false;
+                rst = false;
+              }
+            in
+            Hashtbl.replace t.table key c;
+            c
+      in
+      conn.c_last <- now;
+      conn.c_packets <- conn.c_packets + 1;
+      conn.c_bytes <- conn.c_bytes + Bytes.length (Packet.payload pkt);
+      conn.c_flags <- conn.c_flags lor P.Tcp.flags_to_int tcp.P.Tcp.flags;
+      let from_initiator = src = conn.c_src && sport = conn.c_sport in
+      if tcp.P.Tcp.flags.P.Tcp.fin then
+        if from_initiator then conn.fin_fwd <- true else conn.fin_rev <- true;
+      if tcp.P.Tcp.flags.P.Tcp.rst then conn.rst <- true;
+      let this_closed =
+        if conn.rst || (conn.fin_fwd && conn.fin_rev) then begin
+          Hashtbl.remove t.table key;
+          [to_session ~clean:(not conn.rst) conn]
+        end
+        else []
+      in
+      expired @ evicted @ this_closed
+  | _ -> []
+
+let flush t =
+  let all = Hashtbl.fold (fun _ c acc -> c :: acc) t.table [] in
+  Hashtbl.reset t.table;
+  List.map (to_session ~clean:false) (List.sort (fun a b -> Float.compare a.c_last b.c_last) all)
+
+let schema =
+  Schema.make
+    [
+      { Schema.name = "srcip"; ty = Ty.Ip; order = Order_prop.Unordered };
+      { Schema.name = "destip"; ty = Ty.Ip; order = Order_prop.Unordered };
+      { Schema.name = "srcport"; ty = Ty.Int; order = Order_prop.Unordered };
+      { Schema.name = "destport"; ty = Ty.Int; order = Order_prop.Unordered };
+      { Schema.name = "start_time"; ty = Ty.Float; order = Order_prop.Unordered };
+      { Schema.name = "end_time"; ty = Ty.Float; order = Order_prop.Monotone Order_prop.Asc };
+      { Schema.name = "packets"; ty = Ty.Int; order = Order_prop.Unordered };
+      { Schema.name = "bytes"; ty = Ty.Int; order = Order_prop.Unordered };
+      { Schema.name = "flags"; ty = Ty.Int; order = Order_prop.Unordered };
+      { Schema.name = "clean_close"; ty = Ty.Bool; order = Order_prop.Unordered };
+    ]
+
+let tuple s =
+  [|
+    Value.Ip s.src;
+    Value.Ip s.dst;
+    Value.Int s.src_port;
+    Value.Int s.dst_port;
+    Value.Float s.start_ts;
+    Value.Float s.end_ts;
+    Value.Int s.packets;
+    Value.Int s.bytes;
+    Value.Int s.flags_seen;
+    Value.Bool s.clean_close;
+  |]
+
+let source ?idle_timeout feed =
+  let tracker = create ?idle_timeout () in
+  let pending = Queue.create () in
+  let feed_done = ref false in
+  let last_ts = ref nan in
+  let rec pull () =
+    match Queue.take_opt pending with
+    | Some s -> Some (Rts.Item.Tuple (tuple s))
+    | None ->
+        if !feed_done then None
+        else begin
+          match feed () with
+          | None ->
+              feed_done := true;
+              List.iter (fun s -> Queue.push s pending) (flush tracker);
+              pull ()
+          | Some pkt ->
+              last_ts := pkt.Packet.ts;
+              List.iter (fun s -> Queue.push s pending) (push tracker pkt);
+              pull ()
+        end
+  in
+  let clock () =
+    if Float.is_nan !last_ts then []
+    else
+      (* no still-open session can end before now - idle_timeout *)
+      let bound = !last_ts -. tracker.idle_timeout in
+      [(5, Value.Float bound)]
+  in
+  (pull, clock)

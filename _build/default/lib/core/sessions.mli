@@ -1,0 +1,64 @@
+(** TCP session extraction.
+
+    "Many network analysis queries find and aggregate subsequences of the
+    data stream (i.e., extract the TCP/IP sessions)" — the paper's most
+    concrete future-work item (Section 5). This module is that substrate: a
+    stateful tracker that folds packets into per-connection session records
+    and emits each record when the session closes (FINs from both sides, an
+    RST, or an idle timeout). Exposed to GSQL as a custom source via
+    {!Engine.add_custom_source} or the convenience {!source} below.
+
+    Emission order follows detection time, so the record's [end_time] is
+    monotone nondecreasing — exactly the ordered attribute GSQL aggregation
+    wants — while [start_time] is banded by the idle timeout. *)
+
+module Rts = Gigascope_rts
+module Packet = Gigascope_packet.Packet
+
+type session = {
+  src : Gigascope_packet.Ipaddr.t;  (** initiator (first packet's source) *)
+  dst : Gigascope_packet.Ipaddr.t;
+  src_port : int;
+  dst_port : int;
+  start_ts : float;
+  end_ts : float;
+  packets : int;  (** both directions *)
+  bytes : int;  (** payload bytes, both directions *)
+  flags_seen : int;  (** OR of all TCP flag bytes observed *)
+  clean_close : bool;  (** FIN handshake rather than RST/timeout *)
+}
+
+type t
+
+val create : ?idle_timeout:float -> ?max_sessions:int -> unit -> t
+(** [idle_timeout] (default 60 s) closes silent connections;
+    [max_sessions] (default 65536) bounds tracker memory (oldest-idle
+    eviction). *)
+
+val push : t -> Packet.t -> session list
+(** Feed one captured packet; non-TCP packets are ignored. Returns the
+    sessions this packet closed (its timestamp also drives timeout
+    expiry). *)
+
+val flush : t -> session list
+(** Close and return every open session (end of run). *)
+
+val open_sessions : t -> int
+
+(** {1 GSQL integration} *)
+
+val schema : Rts.Schema.t
+(** srcip, destip, srcport, destport, start_time, end_time (increasing),
+    packets, bytes, flags, clean_close. *)
+
+val tuple : session -> Rts.Value.t array
+
+val source :
+  ?idle_timeout:float ->
+  (unit -> Packet.t option) ->
+  (unit -> Rts.Item.t option) * (unit -> (int * Rts.Value.t) list)
+(** [source feed] adapts a packet feed into a session-record source
+    (pull, clock) pair for {!Engine.add_custom_source}: sessions stream
+    out as their closes are detected, and the clock publishes the packet
+    timestamp minus the idle timeout (the bound below which no session can
+    still end). *)

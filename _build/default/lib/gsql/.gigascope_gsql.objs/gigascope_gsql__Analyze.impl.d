@@ -1,0 +1,1 @@
+lib/gsql/analyze.ml: Array Ast Catalog Expr_ir Float Gigascope_rts Hashtbl List Option Order_infer Plan Printf Result String

@@ -1,0 +1,1 @@
+lib/gsql/analyze.mli: Ast Catalog Plan

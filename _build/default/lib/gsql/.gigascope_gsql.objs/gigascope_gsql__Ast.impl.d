@@ -1,0 +1,1 @@
+lib/gsql/ast.ml: Format Gigascope_packet List String

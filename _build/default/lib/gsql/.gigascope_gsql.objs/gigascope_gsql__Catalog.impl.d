@@ -1,0 +1,1 @@
+lib/gsql/catalog.ml: Ast Gigascope_bpf Gigascope_rts Hashtbl List Printf String

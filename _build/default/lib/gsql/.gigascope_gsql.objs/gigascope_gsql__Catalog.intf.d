@@ -1,0 +1,1 @@
+lib/gsql/catalog.mli: Ast Gigascope_bpf Gigascope_rts

@@ -1,0 +1,1 @@
+lib/gsql/codegen.ml: Array Ast Expr_ir Gigascope_rts Gigascope_util Hashtbl List Plan Printf Result Split

@@ -1,0 +1,1 @@
+lib/gsql/codegen.mli: Expr_ir Gigascope_rts Hashtbl Split

@@ -1,0 +1,1 @@
+lib/gsql/compile.ml: Analyze Ast Buffer Catalog Emit_c Format Gigascope_rts List Option Parser Plan Printf Result Split String

@@ -1,0 +1,1 @@
+lib/gsql/compile.mli: Catalog Plan Split

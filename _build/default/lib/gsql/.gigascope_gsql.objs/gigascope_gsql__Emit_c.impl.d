@@ -1,0 +1,1 @@
+lib/gsql/emit_c.ml: Array Ast Buffer Expr_ir Format Gigascope_bpf Gigascope_packet Gigascope_rts List Plan Printf Split String

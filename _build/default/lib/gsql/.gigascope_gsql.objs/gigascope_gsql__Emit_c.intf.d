@@ -1,0 +1,1 @@
+lib/gsql/emit_c.mli: Split

@@ -1,0 +1,1 @@
+lib/gsql/expr_ir.ml: Ast Format Gigascope_rts List

@@ -1,0 +1,1 @@
+lib/gsql/expr_ir.mli: Ast Format Gigascope_rts

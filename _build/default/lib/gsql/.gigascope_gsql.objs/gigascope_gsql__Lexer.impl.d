@@ -1,0 +1,1 @@
+lib/gsql/lexer.ml: Buffer Gigascope_packet List Printf String Token

@@ -1,0 +1,1 @@
+lib/gsql/lexer.mli: Token

@@ -1,0 +1,1 @@
+lib/gsql/order_infer.ml: Expr_ir Gigascope_rts List

@@ -1,0 +1,1 @@
+lib/gsql/order_infer.mli: Expr_ir Gigascope_rts

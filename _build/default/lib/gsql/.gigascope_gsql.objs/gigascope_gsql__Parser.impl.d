@@ -1,0 +1,1 @@
+lib/gsql/parser.ml: Ast Lexer List Printf String Token

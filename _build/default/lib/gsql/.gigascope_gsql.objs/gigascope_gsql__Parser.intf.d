@@ -1,0 +1,1 @@
+lib/gsql/parser.mli: Ast

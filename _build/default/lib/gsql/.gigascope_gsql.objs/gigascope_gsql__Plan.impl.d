@@ -1,0 +1,1 @@
+lib/gsql/plan.ml: Expr_ir Format Gigascope_rts List String

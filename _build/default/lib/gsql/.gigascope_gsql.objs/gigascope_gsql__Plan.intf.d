@@ -1,0 +1,1 @@
+lib/gsql/plan.mli: Expr_ir Format Gigascope_rts

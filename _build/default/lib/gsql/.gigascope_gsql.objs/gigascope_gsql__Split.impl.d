@@ -1,0 +1,1 @@
+lib/gsql/split.ml: Ast Catalog Expr_ir Fun Gigascope_bpf Gigascope_rts Hashtbl List Option Order_infer Plan Printf String

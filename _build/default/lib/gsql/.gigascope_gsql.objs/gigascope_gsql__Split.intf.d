@@ -1,0 +1,1 @@
+lib/gsql/split.mli: Catalog Expr_ir Gigascope_bpf Gigascope_rts Plan

@@ -1,0 +1,1 @@
+lib/gsql/token.ml: Gigascope_packet Printf

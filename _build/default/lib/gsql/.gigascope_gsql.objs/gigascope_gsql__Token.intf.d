@@ -1,0 +1,1 @@
+lib/gsql/token.mli:

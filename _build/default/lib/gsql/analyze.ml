@@ -1,0 +1,830 @@
+module Rts = Gigascope_rts
+module Value = Rts.Value
+module Ty = Rts.Ty
+module Schema = Rts.Schema
+module Func = Rts.Func
+module Order_prop = Rts.Order_prop
+
+let ( let* ) = Result.bind
+
+let err fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Source resolution                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type resolved_source = { input : Plan.input; alias : string }
+
+let resolve_source catalog ~default_interface (src : Ast.source_ref) =
+  let alias = Option.value src.Ast.src_alias ~default:src.Ast.stream in
+  match src.Ast.interface with
+  | Some interface -> (
+      match Catalog.find_protocol catalog src.Ast.stream with
+      | Some proto ->
+          Ok
+            {
+              input =
+                Plan.From_protocol { interface; protocol = src.Ast.stream; schema = proto.Catalog.schema };
+              alias;
+            }
+      | None -> err "unknown protocol %s (referenced as %s.%s)" src.Ast.stream interface src.Ast.stream)
+  | None -> (
+      match Catalog.find_stream catalog src.Ast.stream with
+      | Some schema -> Ok { input = Plan.From_stream { stream = src.Ast.stream; schema }; alias }
+      | None -> (
+          match Catalog.find_protocol catalog src.Ast.stream with
+          | Some proto ->
+              Ok
+                {
+                  input =
+                    Plan.From_protocol
+                      {
+                        interface = default_interface;
+                        protocol = src.Ast.stream;
+                        schema = proto.Catalog.schema;
+                      };
+                  alias;
+                }
+          | None -> err "unknown stream or protocol %s" src.Ast.stream))
+
+(* ------------------------------------------------------------------ *)
+(* Expression checking                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The resolution environment: named tuple segments at field offsets, plus
+   a table accumulating parameter types. *)
+type env = {
+  segments : (string * Schema.t * int) list;  (* alias, schema, field offset *)
+  params : (string, Ty.t) Hashtbl.t;
+  funcs : Func.registry;
+}
+
+let find_field env ?alias name =
+  let matches =
+    List.filter_map
+      (fun (seg_alias, schema, offset) ->
+        let alias_ok =
+          match alias with
+          | Some a -> String.lowercase_ascii a = String.lowercase_ascii seg_alias
+          | None -> true
+        in
+        if not alias_ok then None
+        else
+          Option.map
+            (fun idx -> (offset + idx, (Schema.field_at schema idx).Schema.ty))
+            (Schema.field_index schema name))
+      env.segments
+  in
+  match matches with
+  | [hit] -> Ok hit
+  | [] -> (
+      match alias with
+      | Some a -> err "unknown field %s.%s" a name
+      | None -> err "unknown field %s" name)
+  | _ :: _ -> err "ambiguous field %s (qualify it with the stream alias)" name
+
+let numeric ty = Ty.is_numeric ty
+
+let result_ty_arith a b = if a = Ty.Int && b = Ty.Int then Ty.Int else Ty.Float
+
+let compatible ~declared ~actual =
+  declared = actual
+  || (declared = Ty.Float && actual = Ty.Int)
+  || (declared = Ty.Ip && actual = Ty.Int)
+  || (declared = Ty.Int && actual = Ty.Ip)
+
+let comparable a b = a = b || (numeric a && numeric b) || (a = Ty.Ip && b = Ty.Ip)
+
+let declare_param env name ty =
+  match Hashtbl.find_opt env.params name with
+  | None ->
+      Hashtbl.replace env.params name ty;
+      Ok ty
+  | Some prev when prev = ty -> Ok ty
+  | Some prev ->
+      err "parameter $%s used at both %s and %s" name (Ty.to_string prev) (Ty.to_string ty)
+
+let rec check env ?(expected : Ty.t option) (e : Ast.expr) : (Expr_ir.t, string) result =
+  match e with
+  | Ast.Int_lit i -> Ok (Expr_ir.Const (Value.Int i))
+  | Ast.Float_lit f -> Ok (Expr_ir.Const (Value.Float f))
+  | Ast.Str_lit s -> Ok (Expr_ir.Const (Value.Str s))
+  | Ast.Bool_lit b -> Ok (Expr_ir.Const (Value.Bool b))
+  | Ast.Ip_lit ip -> Ok (Expr_ir.Const (Value.Ip ip))
+  | Ast.Param name ->
+      let ty = Option.value expected ~default:Ty.Int in
+      let* ty = declare_param env name ty in
+      Ok (Expr_ir.Param (name, ty))
+  | Ast.Ident name ->
+      let* idx, ty = find_field env name in
+      Ok (Expr_ir.Field (idx, ty))
+  | Ast.Qualified (alias, name) ->
+      let* idx, ty = find_field env ~alias name in
+      Ok (Expr_ir.Field (idx, ty))
+  | Ast.Unop (Ast.Not, a) ->
+      let* ia = check env ~expected:Ty.Bool a in
+      if Expr_ir.ty ia <> Ty.Bool then err "NOT requires a boolean, got %s" (Ty.to_string (Expr_ir.ty ia))
+      else Ok (Expr_ir.Unop (Ast.Not, ia))
+  | Ast.Unop (Ast.Neg, a) ->
+      let* ia = check env ?expected a in
+      if not (numeric (Expr_ir.ty ia)) then err "unary minus requires a number"
+      else Ok (Expr_ir.Unop (Ast.Neg, ia))
+  | Ast.Binop (((Ast.Add | Ast.Sub | Ast.Mul | Ast.Div) as op), a, b) ->
+      let* ia = check env ~expected:Ty.Int a in
+      let* ib = check env ~expected:Ty.Int b in
+      let ta = Expr_ir.ty ia and tb = Expr_ir.ty ib in
+      if not (numeric ta && numeric tb) then
+        err "arithmetic on non-numeric operands (%s, %s)" (Ty.to_string ta) (Ty.to_string tb)
+      else Ok (Expr_ir.Binop (op, ia, ib, result_ty_arith ta tb))
+  | Ast.Binop (((Ast.Mod | Ast.Band | Ast.Bor | Ast.Shl | Ast.Shr) as op), a, b) ->
+      let* ia = check env ~expected:Ty.Int a in
+      let* ib = check env ~expected:Ty.Int b in
+      let int_like t = t = Ty.Int || t = Ty.Ip in
+      if not (int_like (Expr_ir.ty ia) && int_like (Expr_ir.ty ib)) then
+        err "bitwise/mod operators require integers"
+      else Ok (Expr_ir.Binop (op, ia, ib, Ty.Int))
+  | Ast.Binop (((Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op), a, b) ->
+      (* Check one side first so a parameter on the other side picks up its
+         type. *)
+      let* ia, ib =
+        match (a, b) with
+        | Ast.Param _, _ ->
+            let* ib = check env b in
+            let* ia = check env ~expected:(Expr_ir.ty ib) a in
+            Ok (ia, ib)
+        | _ ->
+            let* ia = check env a in
+            let* ib = check env ~expected:(Expr_ir.ty ia) b in
+            Ok (ia, ib)
+      in
+      let ta = Expr_ir.ty ia and tb = Expr_ir.ty ib in
+      if not (comparable ta tb) then
+        err "cannot compare %s with %s" (Ty.to_string ta) (Ty.to_string tb)
+      else Ok (Expr_ir.Binop (op, ia, ib, Ty.Bool))
+  | Ast.Binop (((Ast.And | Ast.Or) as op), a, b) ->
+      let* ia = check env ~expected:Ty.Bool a in
+      let* ib = check env ~expected:Ty.Bool b in
+      if Expr_ir.ty ia <> Ty.Bool || Expr_ir.ty ib <> Ty.Bool then
+        err "AND/OR require boolean operands"
+      else Ok (Expr_ir.Binop (op, ia, ib, Ty.Bool))
+  | Ast.Call (fname, args) -> (
+      match Func.find env.funcs fname with
+      | None -> err "unknown function %s" fname
+      | Some f ->
+          let n_declared = List.length f.Func.arg_tys in
+          if List.length args <> n_declared then
+            err "function %s expects %d arguments, got %d" f.Func.name n_declared
+              (List.length args)
+          else
+            let rec check_args i acc args tys =
+              match (args, tys) with
+              | [], [] -> Ok (List.rev acc)
+              | arg :: args, declared :: tys ->
+                  let* ia = check env ~expected:declared arg in
+                  let actual = Expr_ir.ty ia in
+                  if not (compatible ~declared ~actual) then
+                    err "function %s argument %d: expected %s, got %s" f.Func.name (i + 1)
+                      (Ty.to_string declared) (Ty.to_string actual)
+                  else if
+                    List.mem i f.Func.handle_args
+                    && not (match ia with Expr_ir.Const _ | Expr_ir.Param _ -> true | _ -> false)
+                  then
+                    err
+                      "function %s argument %d is pass-by-handle and must be a literal or a \
+                       query parameter"
+                      f.Func.name (i + 1)
+                  else check_args (i + 1) (ia :: acc) args tys
+              | _ -> assert false
+            in
+            let* iargs = check_args 0 [] args f.Func.arg_tys in
+            Ok (Expr_ir.Call (f, iargs)))
+  | Ast.Agg _ -> Error "aggregate functions are only allowed in the SELECT/HAVING of a GROUP BY query"
+
+(* ------------------------------------------------------------------ *)
+(* Item naming                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let item_name i (item : Ast.select_item) =
+  match item.Ast.alias with
+  | Some a -> a
+  | None -> (
+      match item.Ast.expr with
+      | Ast.Ident n -> n
+      | Ast.Qualified (_, n) -> n
+      | Ast.Agg (k, _) ->
+          (match k with
+          | Ast.Count -> "cnt"
+          | Ast.Sum -> "sum"
+          | Ast.Min -> "min"
+          | Ast.Max -> "max"
+          | Ast.Avg -> "avg")
+          ^ string_of_int i
+      | _ -> Printf.sprintf "col%d" i)
+
+let dedup_names items =
+  (* Schema.make rejects duplicates; make auto names unique. *)
+  let seen = Hashtbl.create 8 in
+  List.map
+    (fun (e, name) ->
+      let base = name in
+      let rec fresh candidate n =
+        if Hashtbl.mem seen (String.lowercase_ascii candidate) then
+          fresh (Printf.sprintf "%s_%d" base n) (n + 1)
+        else candidate
+      in
+      let name = fresh base 2 in
+      Hashtbl.replace seen (String.lowercase_ascii name) ();
+      (e, name))
+    items
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let agg_kind_of_ast = function
+  | Ast.Count -> Rts.Agg_fn.Count
+  | Ast.Sum -> Rts.Agg_fn.Sum
+  | Ast.Min -> Rts.Agg_fn.Min
+  | Ast.Max -> Rts.Agg_fn.Max
+  | Ast.Avg -> Rts.Agg_fn.Avg
+
+let agg_result_ty kind arg =
+  match (kind, arg) with
+  | Rts.Agg_fn.Count, _ -> Ty.Int
+  | Rts.Agg_fn.Avg, _ -> Ty.Float
+  | (Rts.Agg_fn.Sum | Rts.Agg_fn.Min | Rts.Agg_fn.Max), Some e -> Expr_ir.ty e
+  | (Rts.Agg_fn.Sum | Rts.Agg_fn.Min | Rts.Agg_fn.Max), None -> Ty.Int
+
+(* Check a SELECT/HAVING expression of a grouped query: leaves must resolve
+   to group keys or aggregates over the input; the result is an expression
+   over the virtual tuple [keys @ aggs]. *)
+let rec check_virtual env ~keys ~(aggs : Plan.agg_call list ref) (e : Ast.expr) :
+    (Expr_ir.t, string) result =
+  let n_keys = List.length keys in
+  let as_key candidate_ir =
+    (* does this input-side expression coincide with a group key? *)
+    let rec find i = function
+      | [] -> None
+      | (k, _) :: rest -> if Expr_ir.equal k candidate_ir then Some i else find (i + 1) rest
+    in
+    find 0 keys
+  in
+  let key_by_name name =
+    let rec find i = function
+      | [] -> None
+      | (_, kname) :: rest ->
+          if String.lowercase_ascii kname = String.lowercase_ascii name then Some i
+          else find (i + 1) rest
+    in
+    find 0 keys
+  in
+  match e with
+  | Ast.Agg (k, arg_ast) ->
+      let kind = agg_kind_of_ast k in
+      let* arg =
+        match arg_ast with
+        | None -> Ok None
+        | Some a ->
+            let* ia = check env a in
+            if kind <> Rts.Agg_fn.Count && not (numeric (Expr_ir.ty ia)) then
+              err "%s() requires a numeric argument" (Rts.Agg_fn.kind_to_string kind)
+            else Ok (Some ia)
+      in
+      (* dedupe identical aggregate calls *)
+      let existing =
+        let rec find i = function
+          | [] -> None
+          | (c : Plan.agg_call) :: rest ->
+              let same_arg =
+                match (c.Plan.arg, arg) with
+                | None, None -> true
+                | Some a, Some b -> Expr_ir.equal a b
+                | _ -> false
+              in
+              if c.Plan.kind = kind && same_arg then Some i else find (i + 1) rest
+        in
+        find 0 !aggs
+      in
+      let idx =
+        match existing with
+        | Some i -> i
+        | None ->
+            let i = List.length !aggs in
+            aggs :=
+              !aggs
+              @ [
+                  {
+                    Plan.kind;
+                    arg;
+                    agg_name = Printf.sprintf "%s_%d" (Rts.Agg_fn.kind_to_string kind) i;
+                  };
+                ];
+            i
+      in
+      let rty = agg_result_ty kind arg in
+      Ok (Expr_ir.Field (n_keys + idx, rty))
+  | Ast.Ident name when key_by_name name <> None ->
+      let i = Option.get (key_by_name name) in
+      Ok (Expr_ir.Field (i, Expr_ir.ty (fst (List.nth keys i))))
+  | Ast.Ident _ | Ast.Qualified _ -> (
+      let* ir = check env e in
+      match as_key ir with
+      | Some i -> Ok (Expr_ir.Field (i, Expr_ir.ty ir))
+      | None -> err "%s is neither a group key nor an aggregate" (Ast.expr_to_string e))
+  | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Str_lit _ | Ast.Bool_lit _ | Ast.Ip_lit _ | Ast.Param _
+    ->
+      check env e
+  | Ast.Unop (op, a) ->
+      let* ia = check_virtual env ~keys ~aggs a in
+      (match op with
+      | Ast.Not when Expr_ir.ty ia <> Ty.Bool -> err "NOT requires a boolean"
+      | Ast.Neg when not (numeric (Expr_ir.ty ia)) -> err "unary minus requires a number"
+      | Ast.Not | Ast.Neg -> Ok (Expr_ir.Unop (op, ia)))
+  | Ast.Binop (op, a, b) -> (
+      (* first try: the whole expression is a group key (e.g. select
+         time/60 when grouped by time/60) *)
+      match check env e with
+      | Ok ir when as_key ir <> None ->
+          let i = Option.get (as_key ir) in
+          Ok (Expr_ir.Field (i, Expr_ir.ty ir))
+      | _ ->
+          let* ia = check_virtual env ~keys ~aggs a in
+          let* ib = check_virtual env ~keys ~aggs b in
+          let ta = Expr_ir.ty ia and tb = Expr_ir.ty ib in
+          let rty =
+            match op with
+            | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div -> result_ty_arith ta tb
+            | Ast.Mod | Ast.Band | Ast.Bor | Ast.Shl | Ast.Shr -> Ty.Int
+            | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.And | Ast.Or -> Ty.Bool
+          in
+          Ok (Expr_ir.Binop (op, ia, ib, rty)))
+  | Ast.Call (fname, args) when (match check env e with
+                                 | Ok ir -> as_key ir <> None
+                                 | Error _ -> false) ->
+      (* the whole call is itself a group key, e.g.
+         SELECT truncate_ip(srcip, 16) ... GROUP BY truncate_ip(srcip, 16) *)
+      let ir = Result.get_ok (check env e) in
+      let i = Option.get (as_key ir) in
+      ignore (fname, args);
+      Ok (Expr_ir.Field (i, Expr_ir.ty ir))
+  | Ast.Call (fname, args) -> (
+      (* allow scalar functions over keys/aggregates *)
+      match Func.find env.funcs fname with
+      | None -> err "unknown function %s" fname
+      | Some f ->
+          if List.length args <> List.length f.Func.arg_tys then
+            err "function %s: wrong arity" f.Func.name
+          else
+            let rec go acc = function
+              | [] -> Ok (List.rev acc)
+              | a :: rest ->
+                  let* ia = check_virtual env ~keys ~aggs a in
+                  go (ia :: acc) rest
+            in
+            let* iargs = go [] args in
+            Ok (Expr_ir.Call (f, iargs)))
+
+(* ------------------------------------------------------------------ *)
+(* Join window extraction                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Interpret an expression as [field + offset] where the field belongs to
+   one side of the join. *)
+let rec linear_form n_left e =
+  match e with
+  | Expr_ir.Field (i, ty) when numeric ty || ty = Ty.Int ->
+      Some ((if i < n_left then `Left else `Right), i, 0.0)
+  | Expr_ir.Binop (Ast.Add, a, Expr_ir.Const c, _) ->
+      Option.bind (linear_form n_left a) (fun (side, i, off) ->
+          Option.map (fun x -> (side, i, off +. x)) (Value.to_float c))
+  | Expr_ir.Binop (Ast.Add, Expr_ir.Const c, a, _) ->
+      Option.bind (linear_form n_left a) (fun (side, i, off) ->
+          Option.map (fun x -> (side, i, off +. x)) (Value.to_float c))
+  | Expr_ir.Binop (Ast.Sub, a, Expr_ir.Const c, _) ->
+      Option.bind (linear_form n_left a) (fun (side, i, off) ->
+          Option.map (fun x -> (side, i, off -. x)) (Value.to_float c))
+  | _ -> None
+
+(* From the conjuncts of the join predicate, derive the window
+   [lo <= left.ord - right.ord <= hi] plus the ordered fields used. *)
+let extract_window ~n_left ~left_schema ~right_schema pred =
+  let ordered_ok schema idx =
+    Order_prop.usable_for_window (Schema.field_at schema idx).Schema.order
+  in
+  let conjs = match pred with Some p -> Expr_ir.conjuncts p | None -> [] in
+  let constraints = ref [] in
+  List.iter
+    (fun c ->
+      match c with
+      | Expr_ir.Binop (((Ast.Eq | Ast.Le | Ast.Lt | Ast.Ge | Ast.Gt) as op), a, b, _) -> (
+          match (linear_form n_left a, linear_form n_left b) with
+          | Some (`Left, li, loff), Some (`Right, ri, roff) ->
+              let li' = li and ri' = ri - n_left in
+              if ordered_ok left_schema li' && ordered_ok right_schema ri' then
+                (* left + loff OP right + roff  =>  left - right OP roff - loff *)
+                constraints := (op, li', ri', roff -. loff) :: !constraints
+          | Some (`Right, ri, roff), Some (`Left, li, loff) ->
+              let li' = li and ri' = ri - n_left in
+              if ordered_ok left_schema li' && ordered_ok right_schema ri' then
+                (* right + roff OP left + loff => reverse the comparison *)
+                let flipped =
+                  match op with
+                  | Ast.Le -> Ast.Ge
+                  | Ast.Lt -> Ast.Gt
+                  | Ast.Ge -> Ast.Le
+                  | Ast.Gt -> Ast.Lt
+                  | other -> other
+                in
+                constraints := (flipped, li', ri', loff -. roff) :: !constraints
+          | _ -> ())
+      | _ -> ())
+    conjs;
+  (* Combine the accumulated constraints into a single window. *)
+  let lo = ref neg_infinity and hi = ref infinity in
+  let fields = ref None in
+  let note li ri =
+    match !fields with
+    | None -> fields := Some (li, ri)
+    | Some (l, r) -> if (l, r) <> (li, ri) then fields := Some (l, r) (* keep first pair *)
+  in
+  List.iter
+    (fun (op, li, ri, c) ->
+      note li ri;
+      match op with
+      | Ast.Eq ->
+          lo := Float.max !lo c;
+          hi := Float.min !hi c
+      | Ast.Le -> hi := Float.min !hi c
+      | Ast.Lt -> hi := Float.min !hi c
+      | Ast.Ge -> lo := Float.max !lo c
+      | Ast.Gt -> lo := Float.max !lo c
+      | _ -> ())
+    !constraints;
+  match !fields with
+  | Some (li, ri) when Float.is_finite !lo && Float.is_finite !hi && !lo <= !hi ->
+      Ok (li, ri, !lo, !hi)
+  | Some _ ->
+      Error
+        "join predicate constrains ordered attributes but does not define a finite window \
+         (need both lower and upper bounds, e.g. B.ts >= C.ts - 1 and B.ts <= C.ts + 1)"
+  | None ->
+      Error
+        "join predicate must include a window constraint on an ordered attribute from each \
+         stream (e.g. B.ts = C.ts)"
+
+(* ------------------------------------------------------------------ *)
+(* Output schema construction                                           *)
+(* ------------------------------------------------------------------ *)
+
+let schema_of_items items props =
+  Schema.make
+    (List.map2
+       (fun (e, name) order -> { Schema.name; ty = Expr_ir.ty e; order })
+       items props)
+
+(* ------------------------------------------------------------------ *)
+(* The main entry                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let collect_params env = Hashtbl.fold (fun k v acc -> (k, v) :: acc) env.params []
+
+let analyze_select env ~props name (q : Ast.select_query) sources =
+  match sources with
+  | [src] -> (
+      let schema = Plan.input_schema src.input in
+      let grouped =
+        q.Ast.group_by <> []
+        || List.exists
+             (fun (it : Ast.select_item) ->
+               let rec has_agg = function
+                 | Ast.Agg _ -> true
+                 | Ast.Unop (_, a) -> has_agg a
+                 | Ast.Binop (_, a, b) -> has_agg a || has_agg b
+                 | Ast.Call (_, args) -> List.exists has_agg args
+                 | _ -> false
+               in
+               has_agg it.Ast.expr)
+             q.Ast.select
+      in
+      let* pred =
+        match q.Ast.where with
+        | None -> Ok None
+        | Some w ->
+            let* iw = check env ~expected:Ty.Bool w in
+            if Expr_ir.ty iw <> Ty.Bool then Error "WHERE must be boolean" else Ok (Some iw)
+      in
+      if not grouped then begin
+        let* items =
+          let rec go i acc = function
+            | [] -> Ok (List.rev acc)
+            | (it : Ast.select_item) :: rest ->
+                let* ir = check env it.Ast.expr in
+                go (i + 1) ((ir, item_name i it) :: acc) rest
+          in
+          go 0 [] q.Ast.select
+        in
+        let items = dedup_names items in
+        let props = List.map (fun (e, _) -> Order_infer.of_select_item schema e) items in
+        let out_schema = schema_of_items items props in
+        Ok
+          {
+            Plan.name;
+            body =
+              Plan.Select { sel_input = src.input; sel_pred = pred; sel_items = items; sample = q.Ast.sample };
+            out_schema;
+            params = collect_params env;
+          }
+      end
+      else begin
+        (* aggregation *)
+        let* keys =
+          let rec go i acc = function
+            | [] -> Ok (List.rev acc)
+            | (it : Ast.select_item) :: rest ->
+                let* ir = check env it.Ast.expr in
+                go (i + 1) ((ir, item_name i it) :: acc) rest
+          in
+          go 0 [] q.Ast.group_by
+        in
+        let keys = dedup_names keys in
+        let aggs = ref [] in
+        let* items =
+          let rec go i acc = function
+            | [] -> Ok (List.rev acc)
+            | (it : Ast.select_item) :: rest ->
+                let* ir = check_virtual env ~keys ~aggs it.Ast.expr in
+                go (i + 1) ((ir, item_name i it) :: acc) rest
+          in
+          go 0 [] q.Ast.select
+        in
+        let items = dedup_names items in
+        let* having =
+          match q.Ast.having with
+          | None -> Ok None
+          | Some h ->
+              let* ih = check_virtual env ~keys ~aggs h in
+              if Expr_ir.ty ih <> Ty.Bool then Error "HAVING must be boolean" else Ok (Some ih)
+        in
+        let aggs = !aggs in
+        (* epoch key selection *)
+        let epoch_info =
+          (* A band declared on the input attribute shrinks through a
+             bucketing division: time/60 over banded-increasing(30) keys is
+             banded by 30/60 buckets. Other monotone shapes keep the band
+             unscaled (conservative: groups stay open a little longer). *)
+          let scaled_band band kexpr =
+            match kexpr with
+            | Expr_ir.Binop (Ast.Div, Expr_ir.Field _, Expr_ir.Const (Value.Int c), _)
+              when c > 0 ->
+                band /. float_of_int c
+            | Expr_ir.Binop (Ast.Shr, Expr_ir.Field _, Expr_ir.Const (Value.Int c), _)
+              when c >= 0 ->
+                band /. float_of_int (1 lsl c)
+            | _ -> band
+          in
+          let rec find i = function
+            | [] -> None
+            | (kexpr, _) :: rest -> (
+                match Expr_ir.fields_used kexpr with
+                | [f]
+                  when Order_prop.usable_for_epoch (Schema.field_at schema f).Schema.order
+                       && Expr_ir.monotone_in kexpr f ->
+                    let prop = (Schema.field_at schema f).Schema.order in
+                    let band = Option.value (Order_prop.band_of prop) ~default:0.0 in
+                    Some
+                      ( i,
+                        f,
+                        Option.value (Order_prop.direction_of prop) ~default:Order_prop.Asc,
+                        scaled_band band kexpr )
+                | _ -> find (i + 1) rest)
+          in
+          find 0 keys
+        in
+        let epoch, epoch_in_field, epoch_dir, epoch_band =
+          match epoch_info with
+          | Some (i, f, d, b) -> (Some i, Some f, d, b)
+          | None -> (None, None, Order_prop.Asc, 0.0)
+        in
+        (* virtual schema for ordering imputation of items *)
+        let virtual_schema =
+          Schema.make
+            (List.mapi
+               (fun i (k, kname) ->
+                 {
+                   Schema.name = kname;
+                   ty = Expr_ir.ty k;
+                   order = Order_infer.of_group_key schema k ~is_epoch:(epoch = Some i);
+                 })
+               keys
+            @
+            let non_epoch_keys =
+              List.filteri (fun i _ -> epoch <> Some i) keys |> List.map snd
+            in
+            List.map
+              (fun (c : Plan.agg_call) ->
+                {
+                  Schema.name = c.Plan.agg_name;
+                  ty = agg_result_ty c.Plan.kind c.Plan.arg;
+                  order =
+                    Order_infer.of_agg_result schema ~kind:c.Plan.kind ~arg:c.Plan.arg
+                      ~group_names:non_epoch_keys ~has_epoch:(epoch <> None);
+                })
+              aggs)
+        in
+        let props = List.map (fun (e, _) -> Order_infer.of_select_item virtual_schema e) items in
+        let out_schema = schema_of_items items props in
+        Ok
+          {
+            Plan.name;
+            body =
+              Plan.Agg
+                {
+                  agg_input = src.input;
+                  agg_pred = pred;
+                  keys;
+                  epoch;
+                  epoch_dir;
+                  epoch_band;
+                  epoch_in_field;
+                  aggs;
+                  agg_items = items;
+                  having;
+                };
+            out_schema;
+            params = collect_params env;
+          }
+      end)
+  | [left; right] ->
+      if q.Ast.group_by <> [] then Error "grouped joins are not supported; compose two queries"
+      else begin
+        let left_schema = Plan.input_schema left.input in
+        let right_schema = Plan.input_schema right.input in
+        let n_left = Schema.arity left_schema in
+        let* pred =
+          match q.Ast.where with
+          | None -> Ok None
+          | Some w ->
+              let* iw = check env ~expected:Ty.Bool w in
+              if Expr_ir.ty iw <> Ty.Bool then Error "WHERE must be boolean" else Ok (Some iw)
+        in
+        let* left_ord, right_ord, win_lo, win_hi =
+          extract_window ~n_left ~left_schema ~right_schema pred
+        in
+        let* items =
+          let rec go i acc = function
+            | [] -> Ok (List.rev acc)
+            | (it : Ast.select_item) :: rest ->
+                let* ir = check env it.Ast.expr in
+                go (i + 1) ((ir, item_name i it) :: acc) rest
+          in
+          go 0 [] q.Ast.select
+        in
+        let items = dedup_names items in
+        let ordered_output =
+          List.exists
+            (fun (k, v) ->
+              String.lowercase_ascii k = "join_output" && String.lowercase_ascii v = "ordered")
+            props
+        in
+        let order_props =
+          List.map
+            (fun (e, _) ->
+              Order_infer.of_join_item ~left:left_schema ~right:right_schema ~win_lo ~win_hi
+                ~ordered_output e)
+            items
+        in
+        let out_schema = schema_of_items items order_props in
+        Ok
+          {
+            Plan.name;
+            body =
+              Plan.Join
+                {
+                  left = left.input;
+                  right = right.input;
+                  left_ord;
+                  right_ord;
+                  win_lo;
+                  win_hi;
+                  join_pred = pred;
+                  join_items = items;
+                  ordered_output;
+                };
+            out_schema;
+            params = collect_params env;
+          }
+      end
+  | [] -> Error "FROM clause is empty"
+  | _ -> Error "GSQL joins are restricted to two streams"
+
+let analyze_merge _catalog name (q : Ast.merge_query) sources =
+  if List.length sources < 2 then Error "MERGE needs at least two input streams"
+  else if List.length q.Ast.merge_cols <> List.length sources then
+    Error "MERGE must name one ordered column per input stream (a.ts : b.ts)"
+  else begin
+    let schemas = List.map (fun s -> Plan.input_schema s.input) sources in
+    let first_schema = List.hd schemas in
+    let arity = Schema.arity first_schema in
+    (* union compatibility *)
+    let compatible_schemas =
+      List.for_all
+        (fun s ->
+          Schema.arity s = arity
+          && Array.for_all2
+               (fun (a : Schema.field) (b : Schema.field) -> a.Schema.ty = b.Schema.ty)
+               (Schema.fields first_schema) (Schema.fields s))
+        schemas
+    in
+    if not compatible_schemas then
+      Error "MERGE inputs must be union-compatible (same arity and field types)"
+    else begin
+      (* resolve each alias.field to an index; all must agree *)
+      let resolve (alias, field) =
+        match
+          List.find_opt
+            (fun s -> String.lowercase_ascii s.alias = String.lowercase_ascii alias)
+            sources
+        with
+        | None -> err "MERGE column %s.%s: unknown stream alias" alias field
+        | Some s -> (
+            match Schema.field_index (Plan.input_schema s.input) field with
+            | Some idx -> Ok idx
+            | None -> err "MERGE column %s.%s: unknown field" alias field)
+      in
+      let rec resolve_all acc = function
+        | [] -> Ok (List.rev acc)
+        | c :: rest ->
+            let* idx = resolve c in
+            resolve_all (idx :: acc) rest
+      in
+      let* indices = resolve_all [] q.Ast.merge_cols in
+      match indices with
+      | [] -> Error "MERGE: no columns"
+      | first_idx :: rest_idx ->
+          if not (List.for_all (fun i -> i = first_idx) rest_idx) then
+            Error "MERGE columns must be the same field position in every input"
+          else begin
+            let props_at i =
+              List.map (fun s -> (Schema.field_at s i).Schema.order) schemas
+            in
+            let merge_prop = Order_infer.of_merge (props_at first_idx) in
+            if not (Order_prop.usable_for_window merge_prop) then
+              Error "MERGE column must be an ordered attribute in every input"
+            else begin
+              let out_schema =
+                Schema.make
+                  (List.mapi
+                     (fun i (f : Schema.field) ->
+                       let order =
+                         if i = first_idx then merge_prop
+                         else Order_infer.of_merge (props_at i)
+                       in
+                       { f with Schema.order })
+                     (Array.to_list (Schema.fields first_schema)))
+              in
+              Ok
+                {
+                  Plan.name;
+                  body =
+                    Plan.Merge
+                      { merge_inputs = List.map (fun s -> s.input) sources; merge_field = first_idx };
+                  out_schema;
+                  params = [];
+                }
+            end
+          end
+    end
+  end
+
+let analyze catalog ?(default_interface = "default") ~name (def : Ast.query_def) =
+  let name = Option.value (Ast.query_name def) ~default:name in
+  let source_refs =
+    match def.Ast.body with
+    | Ast.Select_q q -> q.Ast.from
+    | Ast.Merge_q q -> q.Ast.merge_from
+  in
+  let rec resolve_all acc = function
+    | [] -> Ok (List.rev acc)
+    | s :: rest ->
+        let* r = resolve_source catalog ~default_interface s in
+        resolve_all (r :: acc) rest
+  in
+  let* sources = resolve_all [] source_refs in
+  let env =
+    {
+      segments =
+        (let offset = ref 0 in
+         List.map
+           (fun s ->
+             let schema = Plan.input_schema s.input in
+             let seg = (s.alias, schema, !offset) in
+             offset := !offset + Schema.arity schema;
+             seg)
+           sources);
+      params = Hashtbl.create 4;
+      funcs = Catalog.functions catalog;
+    }
+  in
+  match def.Ast.body with
+  | Ast.Select_q q -> analyze_select env ~props:def.Ast.props name q sources
+  | Ast.Merge_q q -> analyze_merge catalog name q sources

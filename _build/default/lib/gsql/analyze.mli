@@ -1,0 +1,14 @@
+(** Semantic analysis: AST query -> logical plan.
+
+    Performs name resolution against the catalog, type checking, GSQL's
+    stream-specific legality checks (a join predicate must define a window
+    on ordered attributes from both inputs; merge inputs must be
+    union-compatible with a shared ordered attribute), epoch-key selection
+    for aggregation, and ordering-property imputation for the output
+    schema. *)
+
+val analyze :
+  Catalog.t -> ?default_interface:string -> name:string -> Ast.query_def -> (Plan.t, string) result
+(** [name] is used when the DEFINE section carries no [query_name].
+    [default_interface] (default ["default"]) resolves a bare protocol in
+    FROM. *)

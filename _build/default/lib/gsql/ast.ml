@@ -1,0 +1,137 @@
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Band
+  | Bor
+  | Shl
+  | Shr
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type unop = Not | Neg
+
+type agg_kind = Count | Sum | Min | Max | Avg
+
+type expr =
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  | Bool_lit of bool
+  | Ip_lit of int
+  | Param of string
+  | Ident of string
+  | Qualified of string * string
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Call of string * expr list
+  | Agg of agg_kind * expr option
+
+type select_item = { expr : expr; alias : string option }
+
+type source_ref = {
+  interface : string option;
+  stream : string;
+  src_alias : string option;
+  sub : select_query option;
+}
+
+and select_query = {
+  select : select_item list;
+  from : source_ref list;
+  where : expr option;
+  group_by : select_item list;
+  having : expr option;
+  sample : float option;
+}
+
+type merge_query = {
+  merge_cols : (string * string) list;
+  merge_from : source_ref list;
+}
+
+type query_body = Select_q of select_query | Merge_q of merge_query
+
+type query_def = { props : (string * string) list; body : query_body }
+
+type field_decl = { field_name : string; type_name : string; order_spec : order_spec option }
+
+and order_spec =
+  | Spec_increasing
+  | Spec_decreasing
+  | Spec_strictly_increasing
+  | Spec_strictly_decreasing
+  | Spec_nonrepeating
+  | Spec_banded_increasing of float
+  | Spec_banded_decreasing of float
+  | Spec_increasing_in of string list
+
+type protocol_def = { protocol_name : string; fields : field_decl list }
+
+type decl = Protocol_decl of protocol_def | Query_decl of query_def
+
+type program = decl list
+
+let query_name def =
+  List.fold_left
+    (fun acc (k, v) -> if String.lowercase_ascii k = "query_name" then Some v else acc)
+    None def.props
+
+let binop_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Band -> "&"
+  | Bor -> "|"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "and"
+  | Or -> "or"
+
+let agg_string = function
+  | Count -> "count"
+  | Sum -> "sum"
+  | Min -> "min"
+  | Max -> "max"
+  | Avg -> "avg"
+
+let rec pp_expr fmt = function
+  | Int_lit i -> Format.fprintf fmt "%d" i
+  | Float_lit f -> Format.fprintf fmt "%g" f
+  | Str_lit s -> Format.fprintf fmt "'%s'" s
+  | Bool_lit b -> Format.fprintf fmt "%b" b
+  | Ip_lit ip -> Format.fprintf fmt "%s" (Gigascope_packet.Ipaddr.to_string ip)
+  | Param p -> Format.fprintf fmt "$%s" p
+  | Ident s -> Format.fprintf fmt "%s" s
+  | Qualified (a, f) -> Format.fprintf fmt "%s.%s" a f
+  | Unop (Not, e) -> Format.fprintf fmt "(not %a)" pp_expr e
+  | Unop (Neg, e) -> Format.fprintf fmt "(-%a)" pp_expr e
+  | Binop (op, a, b) -> Format.fprintf fmt "(%a %s %a)" pp_expr a (binop_string op) pp_expr b
+  | Call (f, args) ->
+      Format.fprintf fmt "%s(" f;
+      List.iteri
+        (fun i a ->
+          if i > 0 then Format.fprintf fmt ", ";
+          pp_expr fmt a)
+        args;
+      Format.fprintf fmt ")"
+  | Agg (k, None) -> Format.fprintf fmt "%s(*)" (agg_string k)
+  | Agg (k, Some e) -> Format.fprintf fmt "%s(%a)" (agg_string k) pp_expr e
+
+let expr_to_string e = Format.asprintf "%a" pp_expr e

@@ -1,0 +1,103 @@
+(** Abstract syntax of GSQL programs: PROTOCOL definitions and queries. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Band  (** bitwise and, [&] *)
+  | Bor
+  | Shl
+  | Shr
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type unop = Not | Neg
+
+type agg_kind = Count | Sum | Min | Max | Avg
+
+type expr =
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  | Bool_lit of bool
+  | Ip_lit of int
+  | Param of string  (** [$name], bound at query instantiation *)
+  | Ident of string  (** field, alias, or group-by alias *)
+  | Qualified of string * string  (** [alias.field] *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Call of string * expr list
+  | Agg of agg_kind * expr option  (** a count over all tuples is [Agg (Count, None)] *)
+
+type select_item = { expr : expr; alias : string option }
+
+(** A FROM entry: [interface.protocol] (a Protocol source), a named
+    stream (another query's output), or an inline subquery
+    [(SELECT ...) alias]; [FROM tcp] with no interface means the default
+    interface. Subqueries are hoisted into standalone named queries by the
+    compile driver ("supporting subqueries in the FROM clause requires
+    only an update of the parser", Section 2.2). *)
+type source_ref = {
+  interface : string option;
+  stream : string;  (** empty when [sub] is set, filled in by hoisting *)
+  src_alias : string option;
+  sub : select_query option;
+}
+
+and select_query = {
+  select : select_item list;
+  from : source_ref list;  (** one, or two for a join *)
+  where : expr option;
+  group_by : select_item list;
+  having : expr option;
+  sample : float option;
+}
+
+type merge_query = {
+  merge_cols : (string * string) list;  (** [alias.field] per input, in FROM order *)
+  merge_from : source_ref list;
+}
+
+type query_body = Select_q of select_query | Merge_q of merge_query
+
+type query_def = {
+  props : (string * string) list;  (** the DEFINE section; [query_name] names the query *)
+  body : query_body;
+}
+
+(** PROTOCOL DDL: field declarations with ordering annotations. *)
+type field_decl = {
+  field_name : string;
+  type_name : string;
+  order_spec : order_spec option;
+}
+
+and order_spec =
+  | Spec_increasing
+  | Spec_decreasing
+  | Spec_strictly_increasing
+  | Spec_strictly_decreasing
+  | Spec_nonrepeating
+  | Spec_banded_increasing of float
+  | Spec_banded_decreasing of float
+  | Spec_increasing_in of string list
+
+type protocol_def = { protocol_name : string; fields : field_decl list }
+
+type decl = Protocol_decl of protocol_def | Query_decl of query_def
+
+type program = decl list
+
+val query_name : query_def -> string option
+(** The [query_name] property of the DEFINE section. *)
+
+val pp_expr : Format.formatter -> expr -> unit
+val expr_to_string : expr -> string

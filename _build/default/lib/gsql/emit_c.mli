@@ -1,0 +1,15 @@
+(** Pseudo-C emission.
+
+    "The GSQL processor is actually a code generator. A GSQL query is
+    analyzed then translated into either C code or C++ code" (Section 3).
+    Our execution path compiles to OCaml closures instead, but this module
+    renders the same split plan as the C a Gigascope build would have
+    generated — one translation unit per LFTA (linked into the runtime)
+    and per HFTA (a separate process) — for inspection with the CLI's
+    [explain] command and for documentation. The output is illustrative C,
+    not compiled. *)
+
+val emit : Split.t -> string
+(** Render every physical node of the split plan. *)
+
+val emit_node : Split.phys_node -> string

@@ -1,0 +1,271 @@
+exception Error of string * int * int
+
+type state = { src : string; mutable pos : int; mutable line : int; mutable col : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let error st msg = raise (Error (msg, st.line, st.col))
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let keyword_of = function
+  | "define" -> Some Token.Kw_define
+  | "select" -> Some Token.Kw_select
+  | "from" -> Some Token.Kw_from
+  | "where" -> Some Token.Kw_where
+  | "group" -> Some Token.Kw_group
+  | "by" -> Some Token.Kw_by
+  | "having" -> Some Token.Kw_having
+  | "as" -> Some Token.Kw_as
+  | "and" -> Some Token.Kw_and
+  | "or" -> Some Token.Kw_or
+  | "not" -> Some Token.Kw_not
+  | "merge" -> Some Token.Kw_merge
+  | "protocol" -> Some Token.Kw_protocol
+  | "true" -> Some Token.Kw_true
+  | "false" -> Some Token.Kw_false
+  | "sample" -> Some Token.Kw_sample
+  | _ -> None
+
+let rec skip_trivia st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_trivia st
+  | Some '-' when peek2 st = Some '-' ->
+      while peek st <> None && peek st <> Some '\n' do
+        advance st
+      done;
+      skip_trivia st
+  | Some '/' when peek2 st = Some '*' ->
+      advance st;
+      advance st;
+      let rec close () =
+        match (peek st, peek2 st) with
+        | Some '*', Some '/' ->
+            advance st;
+            advance st
+        | Some _, _ ->
+            advance st;
+            close ()
+        | None, _ -> error st "unterminated block comment"
+      in
+      close ();
+      skip_trivia st
+  | _ -> ()
+
+let read_while st pred =
+  let start = st.pos in
+  while (match peek st with Some c -> pred c | None -> false) do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+let read_string st =
+  (* opening quote consumed *)
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error st "unterminated string literal"
+    | Some '\'' when peek2 st = Some '\'' ->
+        advance st;
+        advance st;
+        Buffer.add_char buf '\'';
+        go ()
+    | Some '\'' -> advance st
+    | Some c ->
+        advance st;
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+(* A number; if it turns out to be a dotted quad (a.b.c.d, all integers),
+   produce an IP literal. *)
+let read_number st =
+  let part () = read_while st is_digit in
+  let first = part () in
+  let octet s =
+    match int_of_string_opt s with Some v when v >= 0 && v <= 255 -> Some v | _ -> None
+  in
+  let dotted_quad () =
+    (* we are just after "first" and peek at '.'; try to read three more
+       .int parts without consuming on failure by checkpointing *)
+    let save = (st.pos, st.line, st.col) in
+    let restore () =
+      let p, l, c = save in
+      st.pos <- p;
+      st.line <- l;
+      st.col <- c
+    in
+    let read_dot_part () =
+      if peek st = Some '.' && (match peek2 st with Some c -> is_digit c | None -> false) then begin
+        advance st;
+        Some (part ())
+      end
+      else None
+    in
+    match read_dot_part () with
+    | None -> None
+    | Some b -> (
+        match read_dot_part () with
+        | None ->
+            restore ();
+            None
+        | Some c -> (
+            match read_dot_part () with
+            | None ->
+                restore ();
+                None
+            | Some d -> (
+                match (octet first, octet b, octet c, octet d) with
+                | Some a, Some b, Some c, Some d ->
+                    Some (Gigascope_packet.Ipaddr.of_octets a b c d)
+                | _ ->
+                    restore ();
+                    None)))
+  in
+  match peek st with
+  | Some '.' -> (
+      match dotted_quad () with
+      | Some ip -> Token.Ip_lit ip
+      | None ->
+          if match peek2 st with Some c -> is_digit c | None -> false then begin
+            advance st;
+            let frac = part () in
+            Token.Float_lit (float_of_string (first ^ "." ^ frac))
+          end
+          else Token.Int_lit (int_of_string first))
+  | _ -> (
+      (* hex literals for masks: 0x... *)
+      match (first, peek st) with
+      | "0", Some ('x' | 'X') ->
+          advance st;
+          let hex =
+            read_while st (fun c ->
+                is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F'))
+          in
+          if hex = "" then error st "bad hex literal"
+          else Token.Int_lit (int_of_string ("0x" ^ hex))
+      | _ -> Token.Int_lit (int_of_string first))
+
+let next_token st =
+  skip_trivia st;
+  let line = st.line and col = st.col in
+  let tok =
+    match peek st with
+    | None -> Token.Eof
+    | Some c when is_digit c -> read_number st
+    | Some c when is_ident_start c ->
+        let word = read_while st is_ident_char in
+        (match keyword_of (String.lowercase_ascii word) with
+        | Some kw -> kw
+        | None -> Token.Ident word)
+    | Some '\'' ->
+        advance st;
+        Token.Str_lit (read_string st)
+    | Some '$' ->
+        advance st;
+        let name = read_while st is_ident_char in
+        if name = "" then error st "expected parameter name after $" else Token.Param name
+    | Some '(' ->
+        advance st;
+        Token.Lparen
+    | Some ')' ->
+        advance st;
+        Token.Rparen
+    | Some '{' ->
+        advance st;
+        Token.Lbrace
+    | Some '}' ->
+        advance st;
+        Token.Rbrace
+    | Some ',' ->
+        advance st;
+        Token.Comma
+    | Some ';' ->
+        advance st;
+        Token.Semi
+    | Some '.' ->
+        advance st;
+        Token.Dot
+    | Some ':' ->
+        advance st;
+        Token.Colon
+    | Some '*' ->
+        advance st;
+        Token.Star
+    | Some '+' ->
+        advance st;
+        Token.Plus
+    | Some '-' ->
+        advance st;
+        Token.Minus
+    | Some '/' ->
+        advance st;
+        Token.Slash
+    | Some '%' ->
+        advance st;
+        Token.Percent
+    | Some '&' ->
+        advance st;
+        Token.Amp
+    | Some '|' ->
+        advance st;
+        Token.Pipe
+    | Some '=' ->
+        advance st;
+        Token.Eq
+    | Some '!' when peek2 st = Some '=' ->
+        advance st;
+        advance st;
+        Token.Neq
+    | Some '<' -> (
+        advance st;
+        match peek st with
+        | Some '=' ->
+            advance st;
+            Token.Le
+        | Some '>' ->
+            advance st;
+            Token.Neq
+        | Some '<' ->
+            advance st;
+            Token.Shl
+        | _ -> Token.Lt)
+    | Some '>' -> (
+        advance st;
+        match peek st with
+        | Some '=' ->
+            advance st;
+            Token.Ge
+        | Some '>' ->
+            advance st;
+            Token.Shr
+        | _ -> Token.Gt)
+    | Some c -> error st (Printf.sprintf "unexpected character '%c'" c)
+  in
+  { Token.token = tok; line; col }
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let rec go acc =
+    let tok = next_token st in
+    if tok.Token.token = Token.Eof then List.rev (tok :: acc) else go (tok :: acc)
+  in
+  go []

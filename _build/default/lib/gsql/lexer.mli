@@ -1,0 +1,15 @@
+(** The GSQL lexer.
+
+    Notes on the surface syntax:
+    - identifiers and keywords are case-insensitive;
+    - string literals use single quotes, with [''] as the escape for a
+      quote;
+    - [--] starts a line comment, [/* ... */] a block comment;
+    - a dotted quad of integers ([10.0.0.0]) lexes as an IP literal;
+    - [$name] is a query parameter. *)
+
+exception Error of string * int * int
+(** message, line, column (1-based) *)
+
+val tokenize : string -> Token.located list
+(** Always ends with an [Eof] token. Raises {!Error}. *)

@@ -1,0 +1,81 @@
+module Rts = Gigascope_rts
+module Order_prop = Rts.Order_prop
+
+(* An output expression inherits an ordering property when it is a monotone
+   function of exactly one ordered input field. Strictness is preserved
+   only by the identity projection. *)
+let of_expr schema expr =
+  match Expr_ir.fields_used expr with
+  | [i] when i < Rts.Schema.arity schema -> (
+      let prop = (Rts.Schema.field_at schema i).Rts.Schema.order in
+      match expr with
+      | Expr_ir.Field _ -> prop
+      | Expr_ir.Call (f, [_]) when f.Rts.Func.injective -> (
+          (* a one-to-one function of a never-repeating attribute never
+             repeats: the paper's hash example (Section 2.1, property 2) *)
+          match prop with
+          | Order_prop.Strict _ | Order_prop.Nonrepeating -> Order_prop.Nonrepeating
+          | _ ->
+              if Expr_ir.monotone_in expr i then
+                Order_prop.imputed_through_arithmetic prop ~monotone_fn:true
+              else Order_prop.Unordered)
+      | _ ->
+          if Expr_ir.monotone_in expr i then
+            Order_prop.imputed_through_arithmetic prop ~monotone_fn:true
+          else Order_prop.Unordered)
+  | _ -> Order_prop.Unordered
+
+let of_select_item schema expr = of_expr schema expr
+
+let of_group_key schema expr ~is_epoch =
+  if is_epoch then
+    (* Closed groups are flushed in epoch order, so the key is monotone in
+       the output even when the input was only banded. *)
+    match Order_prop.direction_of (of_expr schema expr) with
+    | Some d -> Order_prop.Monotone d
+    | None -> Order_prop.Monotone Order_prop.Asc
+  else Order_prop.Unordered
+
+let of_join_item ~left ~right ~win_lo ~win_hi ~ordered_output expr =
+  let n_left = Rts.Schema.arity left in
+  let window_span = win_hi -. win_lo in
+  match Expr_ir.fields_used expr with
+  | [i] ->
+      let is_left = i < n_left in
+      let side_schema, idx = if is_left then (left, i) else (right, i - n_left) in
+      let prop = (Rts.Schema.field_at side_schema idx).Rts.Schema.order in
+      let monotone =
+        match expr with Expr_ir.Field _ -> true | _ -> Expr_ir.monotone_in expr i
+      in
+      if not monotone then Order_prop.Unordered
+      else begin
+        match Order_prop.direction_of prop with
+        | Some d ->
+            if ordered_output && is_left then
+              (* the buffered algorithm releases matches in left order *)
+              Order_prop.Monotone d
+            else begin
+              (* probe order: the attribute can run backwards by up to the
+                 window span plus its own band *)
+              let own_band = match Order_prop.band_of prop with Some b -> b | None -> 0.0 in
+              Order_prop.Banded (d, own_band +. window_span)
+            end
+        | None -> Order_prop.Unordered
+      end
+  | _ -> Order_prop.Unordered
+
+let of_agg_result schema ~kind ~arg ~group_names ~has_epoch =
+  match (kind, arg) with
+  | (Rts.Agg_fn.Min | Rts.Agg_fn.Max), Some e when has_epoch && group_names <> [] -> (
+      (* successive epochs of the same group see later extrema of an
+         ordered attribute; across groups there is no order *)
+      match of_expr schema e with
+      | Order_prop.Strict d | Order_prop.Monotone d | Order_prop.Banded (d, _) ->
+          Order_prop.In_group (group_names, d)
+      | _ -> Order_prop.Unordered)
+  | _ -> Order_prop.Unordered
+
+let of_merge props =
+  match props with
+  | [] -> Order_prop.Unordered
+  | first :: rest -> List.fold_left Order_prop.weaken first rest

@@ -1,0 +1,52 @@
+(** Imputation of output ordering properties (Section 2.1).
+
+    "The query processing system will impute ordering properties of the
+    output of query operators": a projected monotone attribute stays
+    monotone; group-by keys flushed in epoch order are monotone; a join's
+    ordered attributes come out banded by the window width; merge weakens
+    to the least property of its inputs. *)
+
+module Rts = Gigascope_rts
+
+val of_select_item : Rts.Schema.t -> Expr_ir.t -> Rts.Order_prop.t
+(** Property of one output expression of a selection/projection over the
+    given input schema. *)
+
+val of_group_key :
+  Rts.Schema.t -> Expr_ir.t -> is_epoch:bool -> Rts.Order_prop.t
+(** Property of a group key in the aggregation output. The epoch key is
+    emitted in flush order, hence monotone; other keys are unordered
+    (but see {!Rts.Order_prop.In_group}). *)
+
+val of_join_item :
+  left:Rts.Schema.t ->
+  right:Rts.Schema.t ->
+  win_lo:float ->
+  win_hi:float ->
+  ordered_output:bool ->
+  Expr_ir.t ->
+  Rts.Order_prop.t
+(** Property of a join output expression (fields concatenated left then
+    right): a projected ordered attribute of either side degrades to
+    banded with the window width added to its own band — unless
+    [ordered_output] holds and the expression depends on the {e left}
+    ordered side, in which case the buffered join algorithm keeps it
+    monotone ("monotonically increasing requires more buffer space",
+    Section 2.1). *)
+
+val of_agg_result :
+  Rts.Schema.t ->
+  kind:Rts.Agg_fn.kind ->
+  arg:Expr_ir.t option ->
+  group_names:string list ->
+  has_epoch:bool ->
+  Rts.Order_prop.t
+(** Property of an aggregate result column. [min]/[max] of an ordered
+    attribute under an epoch-closed group-by is {e increasing in group}
+    over the non-epoch keys — the paper's Netflow example: "the start time
+    of a Netflow record (an aggregation of packets) is increasing in group
+    (sourceIP, destIP, sourcePort, destPort, protocol)" (Section 2.1,
+    property 3). *)
+
+val of_merge : Rts.Order_prop.t list -> Rts.Order_prop.t
+(** The merge attribute keeps the weakest of its inputs' properties. *)

@@ -1,0 +1,487 @@
+exception Error of string * int * int
+
+type state = { mutable toks : Token.located list }
+
+let peek st =
+  match st.toks with [] -> Token.Eof | t :: _ -> t.Token.token
+
+let loc st =
+  match st.toks with [] -> (0, 0) | t :: _ -> (t.Token.line, t.Token.col)
+
+let error st msg =
+  let line, col = loc st in
+  raise (Error (msg, line, col))
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st tok =
+  if peek st = tok then advance st
+  else error st (Printf.sprintf "expected %s, found %s" (Token.to_string tok) (Token.to_string (peek st)))
+
+let ident st =
+  match peek st with
+  | Token.Ident name ->
+      advance st;
+      name
+  (* PROTOCOL only acts as a keyword at declaration position; elsewhere it
+     is an ordinary identifier (the IP header field is called protocol) *)
+  | Token.Kw_protocol ->
+      advance st;
+      "protocol"
+  | t -> error st (Printf.sprintf "expected identifier, found %s" (Token.to_string t))
+
+let agg_of_name = function
+  | "count" -> Some Ast.Count
+  | "sum" -> Some Ast.Sum
+  | "min" -> Some Ast.Min
+  | "max" -> Some Ast.Max
+  | "avg" -> Some Ast.Avg
+  | _ -> None
+
+(* ---------------- expressions (precedence climbing) -------------------- *)
+
+let rec parse_or st =
+  let left = parse_and st in
+  if peek st = Token.Kw_or then begin
+    advance st;
+    Ast.Binop (Ast.Or, left, parse_or st)
+  end
+  else left
+
+and parse_and st =
+  let left = parse_not st in
+  if peek st = Token.Kw_and then begin
+    advance st;
+    Ast.Binop (Ast.And, left, parse_and st)
+  end
+  else left
+
+and parse_not st =
+  if peek st = Token.Kw_not then begin
+    advance st;
+    Ast.Unop (Ast.Not, parse_not st)
+  end
+  else parse_cmp st
+
+and parse_cmp st =
+  let left = parse_bits st in
+  let op =
+    match peek st with
+    | Token.Eq -> Some Ast.Eq
+    | Token.Neq -> Some Ast.Ne
+    | Token.Lt -> Some Ast.Lt
+    | Token.Le -> Some Ast.Le
+    | Token.Gt -> Some Ast.Gt
+    | Token.Ge -> Some Ast.Ge
+    | _ -> None
+  in
+  match op with
+  | Some op ->
+      advance st;
+      Ast.Binop (op, left, parse_bits st)
+  | None -> left
+
+and parse_bits st =
+  let rec go left =
+    match peek st with
+    | Token.Amp ->
+        advance st;
+        go (Ast.Binop (Ast.Band, left, parse_shift st))
+    | Token.Pipe ->
+        advance st;
+        go (Ast.Binop (Ast.Bor, left, parse_shift st))
+    | _ -> left
+  in
+  go (parse_shift st)
+
+and parse_shift st =
+  let rec go left =
+    match peek st with
+    | Token.Shl ->
+        advance st;
+        go (Ast.Binop (Ast.Shl, left, parse_add st))
+    | Token.Shr ->
+        advance st;
+        go (Ast.Binop (Ast.Shr, left, parse_add st))
+    | _ -> left
+  in
+  go (parse_add st)
+
+and parse_add st =
+  let rec go left =
+    match peek st with
+    | Token.Plus ->
+        advance st;
+        go (Ast.Binop (Ast.Add, left, parse_mul st))
+    | Token.Minus ->
+        advance st;
+        go (Ast.Binop (Ast.Sub, left, parse_mul st))
+    | _ -> left
+  in
+  go (parse_mul st)
+
+and parse_mul st =
+  let rec go left =
+    match peek st with
+    | Token.Star ->
+        advance st;
+        go (Ast.Binop (Ast.Mul, left, parse_unary st))
+    | Token.Slash ->
+        advance st;
+        go (Ast.Binop (Ast.Div, left, parse_unary st))
+    | Token.Percent ->
+        advance st;
+        go (Ast.Binop (Ast.Mod, left, parse_unary st))
+    | _ -> left
+  in
+  go (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | Token.Minus ->
+      advance st;
+      Ast.Unop (Ast.Neg, parse_unary st)
+  | _ -> parse_atom st
+
+and parse_atom st =
+  match peek st with
+  | Token.Int_lit i ->
+      advance st;
+      Ast.Int_lit i
+  | Token.Float_lit f ->
+      advance st;
+      Ast.Float_lit f
+  | Token.Str_lit s ->
+      advance st;
+      Ast.Str_lit s
+  | Token.Ip_lit ip ->
+      advance st;
+      Ast.Ip_lit ip
+  | Token.Param p ->
+      advance st;
+      Ast.Param p
+  | Token.Kw_true ->
+      advance st;
+      Ast.Bool_lit true
+  | Token.Kw_false ->
+      advance st;
+      Ast.Bool_lit false
+  | Token.Lparen ->
+      advance st;
+      let e = parse_or st in
+      expect st Token.Rparen;
+      e
+  | Token.Kw_protocol ->
+      advance st;
+      Ast.Ident "protocol"
+  | Token.Ident name -> (
+      advance st;
+      match peek st with
+      | Token.Lparen -> (
+          advance st;
+          (* "count(*)" and friends *)
+          match (agg_of_name (String.lowercase_ascii name), peek st) with
+          | Some Ast.Count, Token.Star ->
+              advance st;
+              expect st Token.Rparen;
+              Ast.Agg (Ast.Count, None)
+          | Some kind, _ ->
+              let arg = parse_or st in
+              expect st Token.Rparen;
+              Ast.Agg (kind, Some arg)
+          | None, _ ->
+              let rec args acc =
+                let a = parse_or st in
+                if peek st = Token.Comma then begin
+                  advance st;
+                  args (a :: acc)
+                end
+                else begin
+                  expect st Token.Rparen;
+                  List.rev (a :: acc)
+                end
+              in
+              if peek st = Token.Rparen then begin
+                advance st;
+                Ast.Call (name, [])
+              end
+              else Ast.Call (name, args []))
+      | Token.Dot -> (
+          advance st;
+          match peek st with
+          | Token.Ident field ->
+              advance st;
+              Ast.Qualified (name, field)
+          | t -> error st (Printf.sprintf "expected field after '.', found %s" (Token.to_string t)))
+      | _ -> Ast.Ident name)
+  | t -> error st (Printf.sprintf "expected expression, found %s" (Token.to_string t))
+
+(* ---------------- clauses ---------------------------------------------- *)
+
+let parse_select_item st =
+  let expr = parse_or st in
+  match peek st with
+  | Token.Kw_as ->
+      advance st;
+      { Ast.expr; alias = Some (ident st) }
+  | _ -> { Ast.expr; alias = None }
+
+let parse_item_list st =
+  let rec go acc =
+    let item = parse_select_item st in
+    if peek st = Token.Comma then begin
+      advance st;
+      go (item :: acc)
+    end
+    else List.rev (item :: acc)
+  in
+  go []
+
+let parse_define st =
+  if peek st <> Token.Kw_define then []
+  else begin
+    advance st;
+    expect st Token.Lbrace;
+    let rec props acc =
+      match peek st with
+      | Token.Rbrace ->
+          advance st;
+          List.rev acc
+      | Token.Ident key ->
+          advance st;
+          let value =
+            match peek st with
+            | Token.Ident v ->
+                advance st;
+                v
+            | Token.Str_lit v ->
+                advance st;
+                v
+            | Token.Int_lit v ->
+                advance st;
+                string_of_int v
+            | Token.Float_lit v ->
+                advance st;
+                string_of_float v
+            | t -> error st (Printf.sprintf "expected property value, found %s" (Token.to_string t))
+          in
+          expect st Token.Semi;
+          props ((key, value) :: acc)
+      | t -> error st (Printf.sprintf "expected property or '}', found %s" (Token.to_string t))
+    in
+    props []
+  end
+
+let rec parse_source_ref st =
+  if peek st = Token.Lparen then begin
+    (* inline subquery: FROM (SELECT ...) alias *)
+    advance st;
+    let sub = parse_select_query st in
+    expect st Token.Rparen;
+    let src_alias =
+      match peek st with
+      | Token.Ident alias ->
+          advance st;
+          Some alias
+      | _ -> None
+    in
+    { Ast.interface = None; stream = ""; src_alias; sub = Some sub }
+  end
+  else begin
+    let first = ident st in
+    let interface, stream =
+      if peek st = Token.Dot then begin
+        advance st;
+        (Some first, ident st)
+      end
+      else (None, first)
+    in
+    let src_alias =
+      match peek st with
+      | Token.Ident alias ->
+          advance st;
+          Some alias
+      | _ -> None
+    in
+    { Ast.interface; stream; src_alias; sub = None }
+  end
+
+and parse_from st =
+  expect st Token.Kw_from;
+  let rec go acc =
+    let src = parse_source_ref st in
+    if peek st = Token.Comma then begin
+      advance st;
+      go (src :: acc)
+    end
+    else List.rev (src :: acc)
+  in
+  go []
+
+and parse_select_query st =
+  expect st Token.Kw_select;
+  let select = parse_item_list st in
+  let from = parse_from st in
+  let where =
+    if peek st = Token.Kw_where then begin
+      advance st;
+      Some (parse_or st)
+    end
+    else None
+  in
+  let group_by =
+    if peek st = Token.Kw_group then begin
+      advance st;
+      expect st Token.Kw_by;
+      parse_item_list st
+    end
+    else []
+  in
+  let having =
+    if peek st = Token.Kw_having then begin
+      advance st;
+      Some (parse_or st)
+    end
+    else None
+  in
+  let sample =
+    if peek st = Token.Kw_sample then begin
+      advance st;
+      match peek st with
+      | Token.Float_lit f ->
+          advance st;
+          Some f
+      | Token.Int_lit i ->
+          advance st;
+          Some (float_of_int i)
+      | t -> error st (Printf.sprintf "expected sampling rate, found %s" (Token.to_string t))
+    end
+    else None
+  in
+  { Ast.select; from; where; group_by; having; sample }
+
+let parse_merge_query st =
+  expect st Token.Kw_merge;
+  let col st =
+    let alias = ident st in
+    expect st Token.Dot;
+    let field = ident st in
+    (alias, field)
+  in
+  let rec cols acc =
+    let c = col st in
+    if peek st = Token.Colon then begin
+      advance st;
+      cols (c :: acc)
+    end
+    else List.rev (c :: acc)
+  in
+  let merge_cols = cols [] in
+  let merge_from = parse_from st in
+  { Ast.merge_cols; merge_from }
+
+let parse_query_def st =
+  let props = parse_define st in
+  let body =
+    match peek st with
+    | Token.Kw_select -> Ast.Select_q (parse_select_query st)
+    | Token.Kw_merge -> Ast.Merge_q (parse_merge_query st)
+    | t -> error st (Printf.sprintf "expected SELECT or MERGE, found %s" (Token.to_string t))
+  in
+  (* optional terminating semicolon *)
+  if peek st = Token.Semi then advance st;
+  { Ast.props; body }
+
+(* ---------------- PROTOCOL DDL ----------------------------------------- *)
+
+let parse_order_spec st =
+  (* inside parens after a field declaration *)
+  let word = String.lowercase_ascii (ident st) in
+  let num () =
+    match peek st with
+    | Token.Int_lit i ->
+        advance st;
+        float_of_int i
+    | Token.Float_lit f ->
+        advance st;
+        f
+    | t -> error st (Printf.sprintf "expected band width, found %s" (Token.to_string t))
+  in
+  match word with
+  | "increasing" -> Ast.Spec_increasing
+  | "decreasing" -> Ast.Spec_decreasing
+  | "strictly_increasing" -> Ast.Spec_strictly_increasing
+  | "strictly_decreasing" -> Ast.Spec_strictly_decreasing
+  | "nonrepeating" -> Ast.Spec_nonrepeating
+  | "banded_increasing" -> Ast.Spec_banded_increasing (num ())
+  | "banded_decreasing" -> Ast.Spec_banded_decreasing (num ())
+  | "increasing_in" ->
+      let rec fields acc =
+        let f = ident st in
+        if peek st = Token.Comma then begin
+          advance st;
+          fields (f :: acc)
+        end
+        else List.rev (f :: acc)
+      in
+      Ast.Spec_increasing_in (fields [])
+  | other -> error st (Printf.sprintf "unknown ordering property %s" other)
+
+let parse_protocol st =
+  expect st Token.Kw_protocol;
+  let protocol_name = ident st in
+  expect st Token.Lbrace;
+  let rec fields acc =
+    match peek st with
+    | Token.Rbrace ->
+        advance st;
+        List.rev acc
+    | Token.Ident type_name ->
+        advance st;
+        let field_name = ident st in
+        let order_spec =
+          if peek st = Token.Lparen then begin
+            advance st;
+            let spec = parse_order_spec st in
+            expect st Token.Rparen;
+            Some spec
+          end
+          else None
+        in
+        expect st Token.Semi;
+        fields ({ Ast.field_name; type_name; order_spec } :: acc)
+    | t -> error st (Printf.sprintf "expected field declaration or '}', found %s" (Token.to_string t))
+  in
+  { Ast.protocol_name; fields = fields [] }
+
+(* ---------------- programs --------------------------------------------- *)
+
+let parse_program_st st =
+  let rec go acc =
+    match peek st with
+    | Token.Eof -> List.rev acc
+    | Token.Kw_protocol -> go (Ast.Protocol_decl (parse_protocol st) :: acc)
+    | Token.Kw_define | Token.Kw_select | Token.Kw_merge ->
+        go (Ast.Query_decl (parse_query_def st) :: acc)
+    | t -> error st (Printf.sprintf "expected PROTOCOL, DEFINE, SELECT or MERGE, found %s" (Token.to_string t))
+  in
+  go []
+
+let with_lexer src f =
+  match Lexer.tokenize src with
+  | toks -> f { toks }
+  | exception Lexer.Error (msg, line, col) -> raise (Error (msg, line, col))
+
+let parse_program src = with_lexer src parse_program_st
+
+let parse_query src =
+  with_lexer src (fun st ->
+      let q = parse_query_def st in
+      expect st Token.Eof;
+      q)
+
+let parse_expr src =
+  with_lexer src (fun st ->
+      let e = parse_or st in
+      expect st Token.Eof;
+      e)

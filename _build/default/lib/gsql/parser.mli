@@ -1,0 +1,31 @@
+(** The GSQL parser: recursive descent over {!Lexer} tokens.
+
+    A program is a sequence of PROTOCOL definitions and queries:
+    {v
+      PROTOCOL tcp {
+        uint time (increasing);
+        ip   srcIP;
+        uint srcPort;
+        string payload;
+      }
+
+      DEFINE { query_name tcpdest0; }
+      SELECT destIP, destPort, time
+      FROM eth0.tcp
+      WHERE ipversion = 4 and protocol = 6
+
+      DEFINE { query_name tcpdest; }
+      MERGE t0.time : t1.time
+      FROM tcpdest0 t0, tcpdest1 t1
+    v}
+    The DEFINE section is optional for a single anonymous query. *)
+
+exception Error of string * int * int
+(** message, line, column *)
+
+val parse_program : string -> Ast.program
+val parse_query : string -> Ast.query_def
+(** Parse exactly one query (with optional DEFINE). *)
+
+val parse_expr : string -> Ast.expr
+(** For tests and the CLI. *)

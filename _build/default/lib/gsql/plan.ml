@@ -1,0 +1,117 @@
+module Rts = Gigascope_rts
+
+type input =
+  | From_protocol of { interface : string; protocol : string; schema : Rts.Schema.t }
+  | From_stream of { stream : string; schema : Rts.Schema.t }
+
+let input_schema = function
+  | From_protocol { schema; _ } -> schema
+  | From_stream { schema; _ } -> schema
+
+type agg_call = { kind : Rts.Agg_fn.kind; arg : Expr_ir.t option; agg_name : string }
+
+type agg_body = {
+  agg_input : input;
+  agg_pred : Expr_ir.t option;
+  keys : (Expr_ir.t * string) list;
+  epoch : int option;
+  epoch_dir : Rts.Order_prop.direction;
+  epoch_band : float;
+  epoch_in_field : int option;
+  aggs : agg_call list;
+  agg_items : (Expr_ir.t * string) list;
+  having : Expr_ir.t option;
+}
+
+type join_body = {
+  left : input;
+  right : input;
+  left_ord : int;
+  right_ord : int;
+  win_lo : float;
+  win_hi : float;
+  join_pred : Expr_ir.t option;
+  join_items : (Expr_ir.t * string) list;
+  ordered_output : bool;
+}
+
+type merge_body = { merge_inputs : input list; merge_field : int }
+
+type body =
+  | Select of {
+      sel_input : input;
+      sel_pred : Expr_ir.t option;
+      sel_items : (Expr_ir.t * string) list;
+      sample : float option;
+    }
+  | Agg of agg_body
+  | Join of join_body
+  | Merge of merge_body
+
+type t = {
+  name : string;
+  body : body;
+  out_schema : Rts.Schema.t;
+  params : (string * Rts.Ty.t) list;
+}
+
+let inputs_of_body = function
+  | Select { sel_input; _ } -> [sel_input]
+  | Agg { agg_input; _ } -> [agg_input]
+  | Join { left; right; _ } -> [left; right]
+  | Merge { merge_inputs; _ } -> merge_inputs
+
+let input_name = function
+  | From_protocol { interface; protocol; _ } -> interface ^ "." ^ protocol
+  | From_stream { stream; _ } -> stream
+
+let pp_items fmt items =
+  List.iteri
+    (fun i (e, name) ->
+      if i > 0 then Format.fprintf fmt ", ";
+      Format.fprintf fmt "%a as %s" Expr_ir.pp e name)
+    items
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>plan %s:@," t.name;
+  (match t.body with
+  | Select { sel_input; sel_pred; sel_items; sample } ->
+      Format.fprintf fmt "  select %a@,  from %s@," pp_items sel_items (input_name sel_input);
+      (match sel_pred with
+      | Some p -> Format.fprintf fmt "  where %a@," Expr_ir.pp p
+      | None -> ());
+      (match sample with
+      | Some r -> Format.fprintf fmt "  sample %g@," r
+      | None -> ())
+  | Agg a ->
+      Format.fprintf fmt "  aggregate %a@,  from %s@," pp_items a.agg_items
+        (input_name a.agg_input);
+      (match a.agg_pred with
+      | Some p -> Format.fprintf fmt "  where %a@," Expr_ir.pp p
+      | None -> ());
+      Format.fprintf fmt "  group by %a" pp_items a.keys;
+      (match a.epoch with
+      | Some e -> Format.fprintf fmt " (epoch key %d, band %g)@," e a.epoch_band
+      | None -> Format.fprintf fmt " (no epoch key: flush at EOF only)@,");
+      List.iteri
+        (fun i (c : agg_call) ->
+          Format.fprintf fmt "  agg[%d] %s%s as %s@," i
+            (Rts.Agg_fn.kind_to_string c.kind)
+            (match c.arg with Some e -> "(" ^ Expr_ir.to_string e ^ ")" | None -> "(*)")
+            c.agg_name)
+        a.aggs;
+      (match a.having with
+      | Some h -> Format.fprintf fmt "  having %a@," Expr_ir.pp h
+      | None -> ())
+  | Join j ->
+      Format.fprintf fmt "  join %s, %s window [%g, %g] on fields (%d, %d)@," (input_name j.left)
+        (input_name j.right) j.win_lo j.win_hi j.left_ord j.right_ord;
+      (match j.join_pred with
+      | Some p -> Format.fprintf fmt "  on %a@," Expr_ir.pp p
+      | None -> ());
+      Format.fprintf fmt "  select %a@," pp_items j.join_items
+  | Merge m ->
+      Format.fprintf fmt "  merge %s on field %d@,"
+        (String.concat ", " (List.map input_name m.merge_inputs))
+        m.merge_field);
+  Format.fprintf fmt "  output %a@]" Rts.Schema.pp t.out_schema

@@ -1,0 +1,67 @@
+(** Logical query plans — the analyzer's output, the splitter's input. *)
+
+module Rts = Gigascope_rts
+
+type input =
+  | From_protocol of { interface : string; protocol : string; schema : Rts.Schema.t }
+  | From_stream of { stream : string; schema : Rts.Schema.t }
+
+val input_schema : input -> Rts.Schema.t
+
+type agg_call = { kind : Rts.Agg_fn.kind; arg : Expr_ir.t option; agg_name : string }
+
+(** Aggregation body. [items] and [having] are expressions over the
+    {e virtual tuple} [keys @ aggs] (field 0 is the first group key, field
+    [n_keys] the first aggregate). *)
+type agg_body = {
+  agg_input : input;
+  agg_pred : Expr_ir.t option;
+  keys : (Expr_ir.t * string) list;
+  epoch : int option;  (** index into [keys] of the ordered key *)
+  epoch_dir : Rts.Order_prop.direction;
+  epoch_band : float;
+  epoch_in_field : int option;
+      (** the single input field the epoch key is monotone in, if any —
+          enables punctuation translation *)
+  aggs : agg_call list;
+  agg_items : (Expr_ir.t * string) list;
+  having : Expr_ir.t option;
+}
+
+type join_body = {
+  left : input;
+  right : input;
+  left_ord : int;  (** ordered field index, left schema *)
+  right_ord : int;  (** ordered field index, right schema *)
+  win_lo : float;
+  win_hi : float;  (** window on [left.ord - right.ord] *)
+  join_pred : Expr_ir.t option;  (** over concatenated fields: left's then right's *)
+  join_items : (Expr_ir.t * string) list;  (** over concatenated fields *)
+  ordered_output : bool;
+      (** emit matches in left-attribute order (monotone output, more
+          buffering) instead of probe order (banded output) — the
+          algorithm choice of Section 2.1 *)
+}
+
+type merge_body = { merge_inputs : input list; merge_field : int }
+
+type body =
+  | Select of {
+      sel_input : input;
+      sel_pred : Expr_ir.t option;
+      sel_items : (Expr_ir.t * string) list;
+      sample : float option;
+    }
+  | Agg of agg_body
+  | Join of join_body
+  | Merge of merge_body
+
+type t = {
+  name : string;
+  body : body;
+  out_schema : Rts.Schema.t;  (** with imputed ordering properties *)
+  params : (string * Rts.Ty.t) list;  (** query parameters used *)
+}
+
+val inputs_of_body : body -> input list
+val pp : Format.formatter -> t -> unit

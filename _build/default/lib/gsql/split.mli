@@ -1,0 +1,51 @@
+(** The LFTA/HFTA query splitter (Section 3's central optimization).
+
+    "One significant optimization technique is to push the query as far
+    down the processing stack as possible, even into the network interface
+    card itself." A logical plan over Protocol sources is rewritten into:
+
+    - one {e LFTA} per Protocol source: cheap filtering, projection, and
+      sub-aggregation over a small direct-mapped table, linked into the
+      runtime (and, when the predicate lowers to the filter machine, pushed
+      into the NIC along with the snap length);
+    - one {e HFTA} completing the query: expensive predicates (regex UDFs),
+      join, merge, and super-aggregation over the LFTA partials.
+
+    A simple, fully cheap selection executes entirely as an LFTA. Split
+    aggregates follow the sub/super-aggregate decomposition of
+    {!Gigascope_rts.Agg_fn}. *)
+
+module Rts = Gigascope_rts
+module Bpf = Gigascope_bpf
+
+type nic_hint = {
+  nic_filter : Bpf.Filter.t option;
+      (** lowered (possibly weaker) predicate; the LFTA re-checks, so a
+          partial lowering is still sound *)
+  snap_len : int;  (** bytes of each qualifying packet the NIC returns *)
+}
+
+type phys_node = {
+  pname : string;  (** registered stream name ("mangled" for helper LFTAs) *)
+  pkind : Rts.Node.kind;  (** [Lfta] or [Hfta] *)
+  pbody : Plan.body;  (** inputs rebound to the physical graph *)
+  pschema : Rts.Schema.t;
+  pnic : nic_hint option;  (** LFTAs over a protocol only *)
+  ptable_bits : int;
+      (** direct-mapped table size for an LFTA aggregation body *)
+}
+
+type t = {
+  plan : Plan.t;
+  phys : phys_node list;  (** topological order; the last node is the query *)
+}
+
+val split : Catalog.t -> ?lfta_table_bits:int -> Plan.t -> (t, string) result
+(** [lfta_table_bits] (default 12, i.e. 4096 slots) sizes LFTA aggregation
+    tables; the DEFINE property [lfta_bits] overrides it upstream. *)
+
+val lower_filter :
+  bpf_of_field:(int -> Bpf.Filter.field option) -> Expr_ir.t -> Bpf.Filter.t option
+(** Best-effort lowering of a predicate to the filter machine. The result
+    accepts a superset of the predicate (conjuncts that cannot lower are
+    dropped); [None] when nothing lowers. Exposed for tests. *)

@@ -1,0 +1,97 @@
+type t =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  | Ip_lit of int
+  | Param of string
+  | Kw_define
+  | Kw_select
+  | Kw_from
+  | Kw_where
+  | Kw_group
+  | Kw_by
+  | Kw_having
+  | Kw_as
+  | Kw_and
+  | Kw_or
+  | Kw_not
+  | Kw_merge
+  | Kw_protocol
+  | Kw_true
+  | Kw_false
+  | Kw_sample
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Comma
+  | Semi
+  | Dot
+  | Colon
+  | Star
+  | Plus
+  | Minus
+  | Slash
+  | Percent
+  | Amp
+  | Pipe
+  | Shl
+  | Shr
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eof
+
+type located = { token : t; line : int; col : int }
+
+let to_string = function
+  | Ident s -> s
+  | Int_lit i -> string_of_int i
+  | Float_lit f -> string_of_float f
+  | Str_lit s -> Printf.sprintf "'%s'" s
+  | Ip_lit ip -> Gigascope_packet.Ipaddr.to_string ip
+  | Param p -> "$" ^ p
+  | Kw_define -> "DEFINE"
+  | Kw_select -> "SELECT"
+  | Kw_from -> "FROM"
+  | Kw_where -> "WHERE"
+  | Kw_group -> "GROUP"
+  | Kw_by -> "BY"
+  | Kw_having -> "HAVING"
+  | Kw_as -> "AS"
+  | Kw_and -> "AND"
+  | Kw_or -> "OR"
+  | Kw_not -> "NOT"
+  | Kw_merge -> "MERGE"
+  | Kw_protocol -> "PROTOCOL"
+  | Kw_true -> "TRUE"
+  | Kw_false -> "FALSE"
+  | Kw_sample -> "SAMPLE"
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Lbrace -> "{"
+  | Rbrace -> "}"
+  | Comma -> ","
+  | Semi -> ";"
+  | Dot -> "."
+  | Colon -> ":"
+  | Star -> "*"
+  | Plus -> "+"
+  | Minus -> "-"
+  | Slash -> "/"
+  | Percent -> "%"
+  | Amp -> "&"
+  | Pipe -> "|"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eof -> "<eof>"

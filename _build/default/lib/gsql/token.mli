@@ -1,0 +1,55 @@
+(** Lexical tokens of GSQL (queries and the data-definition language). *)
+
+type t =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  | Ip_lit of int  (** dotted-quad literal, e.g. [192.168.0.0] *)
+  | Param of string  (** [$name] — a query parameter *)
+  (* keywords (recognized case-insensitively from identifiers) *)
+  | Kw_define
+  | Kw_select
+  | Kw_from
+  | Kw_where
+  | Kw_group
+  | Kw_by
+  | Kw_having
+  | Kw_as
+  | Kw_and
+  | Kw_or
+  | Kw_not
+  | Kw_merge
+  | Kw_protocol
+  | Kw_true
+  | Kw_false
+  | Kw_sample
+  (* punctuation and operators *)
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Comma
+  | Semi
+  | Dot
+  | Colon
+  | Star
+  | Plus
+  | Minus
+  | Slash
+  | Percent
+  | Amp
+  | Pipe
+  | Shl
+  | Shr
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eof
+
+type located = { token : t; line : int; col : int }
+
+val to_string : t -> string

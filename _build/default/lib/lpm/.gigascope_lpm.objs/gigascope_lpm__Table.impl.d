@@ -1,0 +1,1 @@
+lib/lpm/table.ml: Fun Gigascope_packet List Printf String Trie

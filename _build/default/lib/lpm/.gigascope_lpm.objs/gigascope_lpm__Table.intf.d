@@ -1,0 +1,1 @@
+lib/lpm/table.mli: Gigascope_packet

@@ -1,0 +1,1 @@
+lib/lpm/trie.mli:

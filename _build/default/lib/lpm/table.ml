@@ -1,0 +1,55 @@
+module Ipaddr = Gigascope_packet.Ipaddr
+
+type t = int Trie.t
+
+let of_entries entries =
+  let trie = Trie.create () in
+  List.iter
+    (fun (prefix_s, id) ->
+      let prefix, len = Ipaddr.parse_prefix prefix_s in
+      Trie.add trie ~prefix ~len id)
+    entries;
+  trie
+
+let strip_comment line =
+  match String.index_opt line '#' with Some i -> String.sub line 0 i | None -> line
+
+let split_ws s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun x -> x <> "")
+
+let load_string content =
+  let trie = Trie.create () in
+  let lines = String.split_on_char '\n' content in
+  let rec go lineno = function
+    | [] -> Ok trie
+    | line :: rest -> (
+        let fields = split_ws (strip_comment line) in
+        match fields with
+        | [] -> go (lineno + 1) rest
+        | [prefix_s; id_s] -> (
+            match
+              ( (try Some (Ipaddr.parse_prefix prefix_s) with Invalid_argument _ -> None),
+                int_of_string_opt id_s )
+            with
+            | Some (prefix, len), Some id ->
+                Trie.add trie ~prefix ~len id;
+                go (lineno + 1) rest
+            | _ -> Error (Printf.sprintf "prefix table: line %d: malformed entry" lineno))
+        | _ -> Error (Printf.sprintf "prefix table: line %d: expected 'prefix id'" lineno))
+  in
+  go 1 lines
+
+let load_file path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | content -> load_string content
+  | exception Sys_error msg -> Error ("prefix table: " ^ msg)
+
+let lookup t ip = Trie.lookup t ip
+let size t = Trie.size t

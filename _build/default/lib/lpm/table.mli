@@ -1,0 +1,28 @@
+(** Prefix tables loaded from routing-table dumps.
+
+    The paper's example passes a file of AT&T peer AS prefixes as a
+    pass-by-handle parameter to [getlpmid]; this module parses that file
+    format and builds the lookup trie once. File format, one entry per
+    line:
+    {v
+      # comment
+      12.0.0.0/8      7018    # AT&T
+      192.168.0.0/16  64512
+    v}
+    The second column is the integer id returned by lookups. *)
+
+type t
+
+val of_entries : (string * int) list -> t
+(** [of_entries [(prefix_string, id); ...]] builds a table directly; raises
+    [Invalid_argument] on a malformed prefix. *)
+
+val load_string : string -> (t, string) result
+(** Parse the file format from a string. *)
+
+val load_file : string -> (t, string) result
+
+val lookup : t -> Gigascope_packet.Ipaddr.t -> int option
+(** The id of the longest matching prefix. *)
+
+val size : t -> int

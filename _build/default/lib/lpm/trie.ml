@@ -1,0 +1,82 @@
+type 'a node = {
+  mutable value : 'a option;
+  mutable zero : 'a node option;
+  mutable one : 'a node option;
+}
+
+type 'a t = { root : 'a node; mutable size : int }
+
+let new_node () = { value = None; zero = None; one = None }
+
+let create () = { root = new_node (); size = 0 }
+
+let bit ip i = (ip lsr (31 - i)) land 1
+
+let add t ~prefix ~len v =
+  if len < 0 || len > 32 then invalid_arg "Trie.add: bad prefix length";
+  let rec go node i =
+    if i = len then begin
+      if node.value = None then t.size <- t.size + 1;
+      node.value <- Some v
+    end
+    else
+      let child =
+        if bit prefix i = 0 then (
+          match node.zero with
+          | Some c -> c
+          | None ->
+              let c = new_node () in
+              node.zero <- Some c;
+              c)
+        else
+          match node.one with
+          | Some c -> c
+          | None ->
+              let c = new_node () in
+              node.one <- Some c;
+              c
+      in
+      go child (i + 1)
+  in
+  go t.root 0
+
+let lookup_with_len t ip =
+  let best = ref None in
+  let rec go node i =
+    (match node.value with Some v -> best := Some (v, i) | None -> ());
+    if i < 32 then
+      match if bit ip i = 0 then node.zero else node.one with
+      | Some child -> go child (i + 1)
+      | None -> ()
+  in
+  go t.root 0;
+  !best
+
+let lookup t ip = Option.map fst (lookup_with_len t ip)
+
+let remove t ~prefix ~len =
+  let rec go node i =
+    if i = len then begin
+      if node.value <> None then t.size <- t.size - 1;
+      node.value <- None
+    end
+    else
+      match if bit prefix i = 0 then node.zero else node.one with
+      | Some child -> go child (i + 1)
+      | None -> ()
+  in
+  if len >= 0 && len <= 32 then go t.root 0
+
+let size t = t.size
+
+let iter f t =
+  let rec go node prefix i =
+    (match node.value with Some v -> f ~prefix ~len:i v | None -> ());
+    if i < 32 then begin
+      (match node.zero with Some c -> go c prefix (i + 1) | None -> ());
+      match node.one with
+      | Some c -> go c (prefix lor (1 lsl (31 - i))) (i + 1)
+      | None -> ()
+    end
+  in
+  go t.root 0 0

@@ -1,0 +1,29 @@
+(** Longest-prefix-match binary trie over IPv4 prefixes.
+
+    This is the "special fast algorithm" behind the paper's [getlpmid] UDF:
+    map an IP address to the identifier of the most specific matching
+    subnet (e.g. the autonomous system of an AT&T peer). Lookup walks at
+    most 32 bits. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val add : 'a t -> prefix:int -> len:int -> 'a -> unit
+(** [add t ~prefix ~len v] associates [v] with [prefix/len]. A later [add]
+    of the same prefix replaces the value. [len] in \[0, 32\]. *)
+
+val lookup : 'a t -> int -> 'a option
+(** [lookup t ip] is the value of the longest prefix containing [ip]. *)
+
+val lookup_with_len : 'a t -> int -> ('a * int) option
+(** Also reports the matched prefix length. *)
+
+val remove : 'a t -> prefix:int -> len:int -> unit
+(** Remove an exact prefix if present (its subtree is kept). *)
+
+val size : 'a t -> int
+(** Number of prefixes stored. *)
+
+val iter : (prefix:int -> len:int -> 'a -> unit) -> 'a t -> unit
+(** Visit all stored prefixes in trie order. *)

@@ -1,0 +1,1 @@
+lib/nic/nic.ml: Bytes Gigascope_bpf Gigascope_packet

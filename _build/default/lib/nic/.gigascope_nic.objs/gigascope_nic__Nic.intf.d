@@ -1,0 +1,1 @@
+lib/nic/nic.mli: Gigascope_bpf

@@ -1,0 +1,1 @@
+lib/packet/bytes_util.ml: Buffer Bytes Char Printf

@@ -1,0 +1,1 @@
+lib/packet/ethernet.ml: Bytes Bytes_util Printf

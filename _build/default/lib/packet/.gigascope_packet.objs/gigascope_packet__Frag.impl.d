@@ -1,0 +1,1 @@
+lib/packet/frag.ml: Bytes Ethernet Hashtbl Ipaddr Ipv4 List Packet

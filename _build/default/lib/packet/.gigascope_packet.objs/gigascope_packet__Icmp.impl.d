@@ -1,0 +1,1 @@
+lib/packet/icmp.ml: Bytes Bytes_util Checksum Printf

@@ -1,0 +1,1 @@
+lib/packet/ipaddr.ml: Int Printf String

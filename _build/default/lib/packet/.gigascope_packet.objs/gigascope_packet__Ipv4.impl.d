@@ -1,0 +1,1 @@
+lib/packet/ipv4.ml: Bytes Bytes_util Checksum Ipaddr Printf

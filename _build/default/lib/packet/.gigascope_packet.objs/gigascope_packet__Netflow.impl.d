@@ -1,0 +1,1 @@
+lib/packet/netflow.ml: Bytes Bytes_util Float Ipaddr List Printf

@@ -1,0 +1,1 @@
+lib/packet/packet.ml: Bytes Ethernet Icmp Ipv4 Printf Result Tcp Udp

@@ -1,0 +1,1 @@
+lib/packet/packet.mli: Ethernet Icmp Ipaddr Ipv4 Tcp Udp

@@ -1,0 +1,1 @@
+lib/packet/pcap.ml: Buffer Bytes Bytes_util Float Fun List Packet Printf

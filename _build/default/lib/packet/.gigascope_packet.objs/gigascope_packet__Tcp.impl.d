@@ -1,0 +1,1 @@
+lib/packet/tcp.ml: Bytes Bytes_util Checksum Ipv4 Printf String

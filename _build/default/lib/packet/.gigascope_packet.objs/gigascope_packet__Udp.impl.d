@@ -1,0 +1,1 @@
+lib/packet/udp.ml: Bytes Bytes_util Checksum Ipv4 Printf Tcp

@@ -1,0 +1,44 @@
+let get_u8 b off = Char.code (Bytes.get b off)
+let set_u8 b off v = Bytes.set b off (Char.chr (v land 0xff))
+
+let get_u16 b off = (get_u8 b off lsl 8) lor get_u8 b (off + 1)
+
+let set_u16 b off v =
+  set_u8 b off (v lsr 8);
+  set_u8 b (off + 1) v
+
+let get_u32 b off = (get_u16 b off lsl 16) lor get_u16 b (off + 2)
+
+let set_u32 b off v =
+  set_u16 b off (v lsr 16);
+  set_u16 b (off + 2) v
+
+let get_u48 b off = (get_u16 b off lsl 32) lor get_u32 b (off + 2)
+
+let set_u48 b off v =
+  set_u16 b off (v lsr 32);
+  set_u32 b (off + 2) v
+
+let hexdump ?(max_bytes = 256) b =
+  let n = min (Bytes.length b) max_bytes in
+  let buf = Buffer.create (n * 4) in
+  let line_width = 16 in
+  let rec lines off =
+    if off < n then begin
+      Buffer.add_string buf (Printf.sprintf "%04x  " off);
+      for i = off to off + line_width - 1 do
+        if i < n then Buffer.add_string buf (Printf.sprintf "%02x " (get_u8 b i))
+        else Buffer.add_string buf "   "
+      done;
+      Buffer.add_char buf ' ';
+      for i = off to min (off + line_width) n - 1 do
+        let c = Bytes.get b i in
+        Buffer.add_char buf (if c >= ' ' && c < '\x7f' then c else '.')
+      done;
+      Buffer.add_char buf '\n';
+      lines (off + line_width)
+    end
+  in
+  lines 0;
+  if Bytes.length b > max_bytes then Buffer.add_string buf "...\n";
+  Buffer.contents buf

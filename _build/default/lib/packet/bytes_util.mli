@@ -1,0 +1,26 @@
+(** Big-endian (network byte order) accessors over [bytes], plus helpers.
+
+    All multi-byte packet fields are big-endian on the wire; these wrappers
+    keep header codecs free of shift arithmetic. Out-of-range offsets raise
+    [Invalid_argument] like the underlying [Bytes] accessors. *)
+
+val get_u8 : bytes -> int -> int
+val set_u8 : bytes -> int -> int -> unit
+
+val get_u16 : bytes -> int -> int
+val set_u16 : bytes -> int -> int -> unit
+
+val get_u32 : bytes -> int -> int
+(** 32-bit big-endian read, returned as a nonnegative OCaml [int]. *)
+
+val set_u32 : bytes -> int -> int -> unit
+(** 32-bit big-endian write of the low 32 bits of the argument. *)
+
+val get_u48 : bytes -> int -> int
+(** 48-bit read (MAC addresses). *)
+
+val set_u48 : bytes -> int -> int -> unit
+
+val hexdump : ?max_bytes:int -> bytes -> string
+(** Debug rendering: offset, hex bytes, printable ASCII; truncated at
+    [max_bytes] (default 256). *)

@@ -1,0 +1,21 @@
+let sum16 b off len =
+  let sum = ref 0 in
+  let i = ref off in
+  let stop = off + len in
+  while !i + 1 < stop do
+    sum := !sum + Bytes_util.get_u16 b !i;
+    i := !i + 2
+  done;
+  if !i < stop then sum := !sum + (Bytes_util.get_u8 b !i lsl 8);
+  !sum
+
+let finish sum =
+  let s = ref sum in
+  while !s lsr 16 <> 0 do
+    s := (!s land 0xffff) + (!s lsr 16)
+  done;
+  lnot !s land 0xffff
+
+let compute b off len = finish (sum16 b off len)
+
+let valid b off len = finish (sum16 b off len) = 0

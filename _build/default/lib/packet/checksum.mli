@@ -1,0 +1,19 @@
+(** The Internet checksum (RFC 1071).
+
+    Ones'-complement sum of 16-bit big-endian words, used by IPv4, TCP, UDP
+    and ICMP. *)
+
+val sum16 : bytes -> int -> int -> int
+(** [sum16 b off len] is the running ones'-complement sum (not yet
+    complemented) of [len] bytes starting at [off]; a trailing odd byte is
+    padded with zero as the low octet's partner. *)
+
+val finish : int -> int
+(** Fold carries and complement, yielding the 16-bit checksum field value. *)
+
+val compute : bytes -> int -> int -> int
+(** [compute b off len] = [finish (sum16 b off len)]. *)
+
+val valid : bytes -> int -> int -> bool
+(** A region whose checksum field is filled in sums to 0xffff before
+    complementing; [valid] checks that. *)

@@ -1,0 +1,29 @@
+type t = { dst : int; src : int; ethertype : int }
+
+let header_len = 14
+let ethertype_ipv4 = 0x0800
+let ethertype_arp = 0x0806
+let ethertype_ipv6 = 0x86dd
+
+let encode t buf off =
+  Bytes_util.set_u48 buf off t.dst;
+  Bytes_util.set_u48 buf (off + 6) t.src;
+  Bytes_util.set_u16 buf (off + 12) t.ethertype
+
+let decode buf off =
+  if Bytes.length buf - off < header_len then Error "ethernet: truncated header"
+  else
+    Ok
+      {
+        dst = Bytes_util.get_u48 buf off;
+        src = Bytes_util.get_u48 buf (off + 6);
+        ethertype = Bytes_util.get_u16 buf (off + 12);
+      }
+
+let mac_to_string m =
+  Printf.sprintf "%02x:%02x:%02x:%02x:%02x:%02x" ((m lsr 40) land 0xff)
+    ((m lsr 32) land 0xff) ((m lsr 24) land 0xff) ((m lsr 16) land 0xff)
+    ((m lsr 8) land 0xff) (m land 0xff)
+
+let to_string t =
+  Printf.sprintf "%s > %s type=0x%04x" (mac_to_string t.src) (mac_to_string t.dst) t.ethertype

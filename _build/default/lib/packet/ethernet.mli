@@ -1,0 +1,23 @@
+(** Ethernet II framing. *)
+
+type t = {
+  dst : int;  (** destination MAC, 48 bits *)
+  src : int;  (** source MAC, 48 bits *)
+  ethertype : int;  (** 16-bit ethertype, e.g. 0x0800 for IPv4 *)
+}
+
+val header_len : int
+(** 14 bytes. *)
+
+val ethertype_ipv4 : int
+val ethertype_arp : int
+val ethertype_ipv6 : int
+
+val encode : t -> bytes -> int -> unit
+(** [encode t buf off] writes the 14-byte header at [off]. *)
+
+val decode : bytes -> int -> (t, string) result
+(** [decode buf off] reads a header at [off]; errors if the buffer is too
+    short. *)
+
+val to_string : t -> string

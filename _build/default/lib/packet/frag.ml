@@ -1,0 +1,155 @@
+(* Fragmentation works on wire bytes: we re-encode the packet, split the IP
+   payload on 8-byte boundaries, and emit per-fragment IP headers. *)
+
+let fragment ~mtu pkt =
+  match pkt.Packet.net with
+  | Packet.Non_ip _ -> [pkt]
+  | Packet.Ipv4 (ip, _) ->
+      if ip.Ipv4.total_len <= mtu || ip.Ipv4.dont_fragment then [pkt]
+      else begin
+        let hlen = Ipv4.header_len ip in
+        let unit_budget = (mtu - hlen) / 8 in
+        if unit_budget < 1 then invalid_arg "Frag.fragment: mtu too small";
+        let chunk = unit_budget * 8 in
+        let wire = Packet.encode pkt in
+        let l3_off = Ethernet.header_len in
+        let payload_off = l3_off + hlen in
+        let payload_len = ip.Ipv4.total_len - hlen in
+        let rec go off acc =
+          if off >= payload_len then List.rev acc
+          else begin
+            let this_len = min chunk (payload_len - off) in
+            let more = off + this_len < payload_len in
+            let frag_ip =
+              {
+                ip with
+                Ipv4.total_len = hlen + this_len;
+                more_fragments = more || ip.Ipv4.more_fragments;
+                frag_offset = ip.Ipv4.frag_offset + (off / 8);
+              }
+            in
+            let raw = Bytes.sub wire (payload_off + off) this_len in
+            let frag =
+              {
+                pkt with
+                Packet.wire_len = Ethernet.header_len + hlen + this_len;
+                net = Packet.Ipv4 (frag_ip, Packet.Raw_transport raw);
+              }
+            in
+            (* a captured first fragment still shows its transport header;
+               re-decode so interpretation sees the (truncated) segment *)
+            let frag =
+              if frag_ip.Ipv4.frag_offset = 0 then
+                match Packet.decode ~ts:pkt.Packet.ts ~wire_len:frag.Packet.wire_len (Packet.encode frag) with
+                | Ok p -> p
+                | Error _ -> frag
+              else frag
+            in
+            go (off + this_len) (frag :: acc)
+          end
+        in
+        go 0 []
+      end
+
+type key = { src : Ipaddr.t; dst : Ipaddr.t; protocol : int; ident : int }
+
+type partial = {
+  mutable chunks : (int * bytes) list; (* byte offset, data; unordered *)
+  mutable total_payload : int option; (* known once the MF=0 fragment arrives *)
+  mutable bytes_have : int;
+  mutable first_header : Ipv4.t option; (* header of the offset-0 fragment *)
+  mutable eth : Ethernet.t option;
+  mutable wire_ts : float;
+  born : float;
+}
+
+type reassembler = {
+  table : (key, partial) Hashtbl.t;
+  timeout : float;
+  max_pending : int;
+}
+
+let create_reassembler ?(timeout = 30.0) ?(max_pending = 1024) () =
+  { table = Hashtbl.create 64; timeout; max_pending }
+
+let pending r = Hashtbl.length r.table
+
+let expired r now =
+  let stale = ref [] in
+  Hashtbl.iter (fun k p -> if now -. p.born > r.timeout then stale := k :: !stale) r.table;
+  List.iter (Hashtbl.remove r.table) !stale;
+  List.length !stale
+
+(* Raw IP payload bytes of a fragment, regardless of how it decoded. *)
+let fragment_payload pkt ip =
+  match pkt.Packet.net with
+  | Packet.Ipv4 (_, Packet.Raw_transport raw) -> raw
+  | Packet.Ipv4 (_, _) ->
+      (* First fragment decoded as a (truncated) transport segment; recover
+         the raw bytes by re-encoding. *)
+      let wire = Packet.encode pkt in
+      let off = Ethernet.header_len + Ipv4.header_len ip in
+      Bytes.sub wire off (Bytes.length wire - off)
+  | Packet.Non_ip _ -> assert false
+
+let try_complete r key p =
+  match (p.total_payload, p.first_header, p.eth) with
+  | Some total, Some first_ip, Some eth when p.bytes_have >= total ->
+      let payload = Bytes.create total in
+      List.iter
+        (fun (off, data) ->
+          let len = min (Bytes.length data) (total - off) in
+          if len > 0 then Bytes.blit data 0 payload off len)
+        p.chunks;
+      let hlen = Ipv4.header_len first_ip in
+      let full_ip =
+        { first_ip with Ipv4.total_len = hlen + total; more_fragments = false; frag_offset = 0 }
+      in
+      Hashtbl.remove r.table key;
+      (* Re-decode so the transport layer is interpreted over the full payload. *)
+      let wire = Bytes.create (Ethernet.header_len + hlen + total) in
+      Ethernet.encode eth wire 0;
+      Ipv4.encode full_ip wire Ethernet.header_len;
+      Bytes.blit payload 0 wire (Ethernet.header_len + hlen) total;
+      (match Packet.decode ~ts:p.wire_ts wire with Ok pkt -> Some pkt | Error _ -> None)
+  | _ -> None
+
+let push r pkt =
+  match pkt.Packet.net with
+  | Packet.Non_ip _ -> Some pkt
+  | Packet.Ipv4 (ip, _) ->
+      if (not ip.Ipv4.more_fragments) && ip.Ipv4.frag_offset = 0 then Some pkt
+      else begin
+        let key =
+          { src = ip.Ipv4.src; dst = ip.Ipv4.dst; protocol = ip.Ipv4.protocol; ident = ip.Ipv4.ident }
+        in
+        let p =
+          match Hashtbl.find_opt r.table key with
+          | Some p -> p
+          | None ->
+              if Hashtbl.length r.table >= r.max_pending then ignore (expired r pkt.Packet.ts);
+              let p =
+                {
+                  chunks = [];
+                  total_payload = None;
+                  bytes_have = 0;
+                  first_header = None;
+                  eth = None;
+                  wire_ts = pkt.Packet.ts;
+                  born = pkt.Packet.ts;
+                }
+              in
+              if Hashtbl.length r.table < r.max_pending then Hashtbl.replace r.table key p;
+              p
+        in
+        let data = fragment_payload pkt ip in
+        let off = ip.Ipv4.frag_offset * 8 in
+        p.chunks <- (off, data) :: p.chunks;
+        p.bytes_have <- p.bytes_have + Bytes.length data;
+        if not ip.Ipv4.more_fragments then p.total_payload <- Some (off + Bytes.length data);
+        if ip.Ipv4.frag_offset = 0 then begin
+          p.first_header <- Some ip;
+          p.eth <- Some pkt.Packet.eth
+        end;
+        try_complete r key p
+      end

@@ -1,0 +1,33 @@
+(** IPv4 fragmentation and reassembly.
+
+    The paper cites IP defragmentation as the canonical example of protocol
+    simulation that analysts need ("we have implemented a special IP
+    defragmentation operator"); this module is the substrate that operator
+    uses, and the generator uses [fragment] to synthesize fragmented
+    traffic. *)
+
+val fragment : mtu:int -> Packet.t -> Packet.t list
+(** [fragment ~mtu pkt] splits an IPv4 packet into fragments whose IP
+    packets fit in [mtu] bytes (Ethernet header excluded). A packet that
+    already fits, a non-IP packet, or one with the DF bit set is returned
+    unchanged (real routers would emit ICMP for DF; monitoring does not
+    care). Raises [Invalid_argument] if [mtu] cannot hold the header plus
+    one 8-byte unit. *)
+
+type reassembler
+
+val create_reassembler : ?timeout:float -> ?max_pending:int -> unit -> reassembler
+(** [timeout] (default 30 s) evicts stale partial datagrams; [max_pending]
+    (default 1024) bounds memory. *)
+
+val push : reassembler -> Packet.t -> Packet.t option
+(** Feed a captured packet. Returns the reassembled full packet once the
+    last missing fragment arrives; non-fragment packets pass through
+    immediately. *)
+
+val pending : reassembler -> int
+(** Number of incomplete datagrams currently buffered. *)
+
+val expired : reassembler -> float -> int
+(** [expired r now] evicts partial datagrams older than the timeout and
+    returns how many were dropped. *)

@@ -1,0 +1,28 @@
+type t = { icmp_type : int; code : int; rest : int }
+
+let header_len = 8
+let type_echo_reply = 0
+let type_dest_unreachable = 3
+let type_echo_request = 8
+let type_time_exceeded = 11
+
+let encode t ~payload buf off =
+  Bytes_util.set_u8 buf off t.icmp_type;
+  Bytes_util.set_u8 buf (off + 1) t.code;
+  Bytes_util.set_u16 buf (off + 2) 0;
+  Bytes_util.set_u32 buf (off + 4) t.rest;
+  Bytes.blit payload 0 buf (off + header_len) (Bytes.length payload);
+  let csum = Checksum.compute buf off (header_len + Bytes.length payload) in
+  Bytes_util.set_u16 buf (off + 2) csum
+
+let decode buf off ~avail =
+  if avail < header_len then Error "icmp: truncated header"
+  else
+    Ok
+      {
+        icmp_type = Bytes_util.get_u8 buf off;
+        code = Bytes_util.get_u8 buf (off + 1);
+        rest = Bytes_util.get_u32 buf (off + 4);
+      }
+
+let to_string t = Printf.sprintf "icmp type=%d code=%d" t.icmp_type t.code

@@ -1,0 +1,15 @@
+(** ICMP codec (RFC 792) — enough for echo and error messages. *)
+
+type t = { icmp_type : int; code : int; rest : int  (** the 4 bytes after the checksum *) }
+
+val header_len : int
+(** 8 bytes. *)
+
+val type_echo_reply : int
+val type_dest_unreachable : int
+val type_echo_request : int
+val type_time_exceeded : int
+
+val encode : t -> payload:bytes -> bytes -> int -> unit
+val decode : bytes -> int -> avail:int -> (t, string) result
+val to_string : t -> string

@@ -1,0 +1,50 @@
+type t = int
+
+let of_octets a b c d =
+  ((a land 0xff) lsl 24) lor ((b land 0xff) lsl 16) lor ((c land 0xff) lsl 8) lor (d land 0xff)
+
+let of_string_opt s =
+  match String.split_on_char '.' s with
+  | [a; b; c; d] -> begin
+      let octet x =
+        match int_of_string_opt x with
+        | Some v when v >= 0 && v <= 255 && x <> "" -> Some v
+        | _ -> None
+      in
+      match (octet a, octet b, octet c, octet d) with
+      | Some a, Some b, Some c, Some d -> Some (of_octets a b c d)
+      | _ -> None
+    end
+  | _ -> None
+
+let of_string s =
+  match of_string_opt s with
+  | Some t -> t
+  | None -> invalid_arg (Printf.sprintf "Ipaddr.of_string: %S" s)
+
+let to_string t =
+  Printf.sprintf "%d.%d.%d.%d" ((t lsr 24) land 0xff) ((t lsr 16) land 0xff)
+    ((t lsr 8) land 0xff) (t land 0xff)
+
+let prefix_mask len =
+  if len < 0 || len > 32 then invalid_arg "Ipaddr.prefix_mask";
+  if len = 0 then 0 else 0xffffffff lsl (32 - len) land 0xffffffff
+
+let in_prefix ip ~prefix ~len =
+  let mask = prefix_mask len in
+  ip land mask = prefix land mask
+
+let parse_prefix s =
+  match String.index_opt s '/' with
+  | None -> (of_string s, 32)
+  | Some i ->
+      let addr = String.sub s 0 i in
+      let len_s = String.sub s (i + 1) (String.length s - i - 1) in
+      let len =
+        match int_of_string_opt len_s with
+        | Some l when l >= 0 && l <= 32 -> l
+        | _ -> invalid_arg (Printf.sprintf "Ipaddr.parse_prefix: bad length %S" s)
+      in
+      (of_string addr, len)
+
+let compare = Int.compare

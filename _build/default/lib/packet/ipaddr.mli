@@ -1,0 +1,31 @@
+(** IPv4 addresses as plain (nonnegative, 32-bit) OCaml ints.
+
+    Gigascope's tuple values carry IPs as unboxed integers; this module is
+    the single place that knows dotted-quad syntax and prefix arithmetic. *)
+
+type t = int
+(** An IPv4 address; always in [\[0, 2^32)]. *)
+
+val of_string : string -> t
+(** Parse dotted-quad notation. Raises [Invalid_argument] on malformed
+    input. *)
+
+val of_string_opt : string -> t option
+
+val to_string : t -> string
+
+val of_octets : int -> int -> int -> int -> t
+(** [of_octets a b c d] is the address [a.b.c.d]. Octets are masked to
+    8 bits. *)
+
+val prefix_mask : int -> t
+(** [prefix_mask len] is the netmask of a /len prefix, [len] in \[0,32\]. *)
+
+val in_prefix : t -> prefix:t -> len:int -> bool
+(** [in_prefix ip ~prefix ~len] tests membership of [ip] in [prefix/len]. *)
+
+val parse_prefix : string -> t * int
+(** Parse ["a.b.c.d/len"]; a bare address means /32. Raises
+    [Invalid_argument] on malformed input. *)
+
+val compare : t -> t -> int

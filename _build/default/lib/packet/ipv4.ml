@@ -1,0 +1,91 @@
+type t = {
+  tos : int;
+  total_len : int;
+  ident : int;
+  dont_fragment : bool;
+  more_fragments : bool;
+  frag_offset : int;
+  ttl : int;
+  protocol : int;
+  src : Ipaddr.t;
+  dst : Ipaddr.t;
+  options : bytes;
+}
+
+let min_header_len = 20
+let header_len t = min_header_len + Bytes.length t.options
+
+let proto_icmp = 1
+let proto_tcp = 6
+let proto_udp = 17
+
+let make ?(tos = 0) ?(ident = 0) ?(dont_fragment = false) ?(more_fragments = false)
+    ?(frag_offset = 0) ?(ttl = 64) ?(options = Bytes.empty) ~protocol ~src ~dst ~payload_len () =
+  let opt_len = Bytes.length options in
+  if opt_len mod 4 <> 0 || opt_len > 40 then invalid_arg "Ipv4.make: bad options length";
+  {
+    tos;
+    total_len = min_header_len + opt_len + payload_len;
+    ident;
+    dont_fragment;
+    more_fragments;
+    frag_offset;
+    ttl;
+    protocol;
+    src;
+    dst;
+    options;
+  }
+
+let encode t buf off =
+  let ihl = header_len t / 4 in
+  Bytes_util.set_u8 buf off ((4 lsl 4) lor ihl);
+  Bytes_util.set_u8 buf (off + 1) t.tos;
+  Bytes_util.set_u16 buf (off + 2) t.total_len;
+  Bytes_util.set_u16 buf (off + 4) t.ident;
+  let flags = (if t.dont_fragment then 0x4000 else 0) lor (if t.more_fragments then 0x2000 else 0) in
+  Bytes_util.set_u16 buf (off + 6) (flags lor (t.frag_offset land 0x1fff));
+  Bytes_util.set_u8 buf (off + 8) t.ttl;
+  Bytes_util.set_u8 buf (off + 9) t.protocol;
+  Bytes_util.set_u16 buf (off + 10) 0;
+  Bytes_util.set_u32 buf (off + 12) t.src;
+  Bytes_util.set_u32 buf (off + 16) t.dst;
+  Bytes.blit t.options 0 buf (off + min_header_len) (Bytes.length t.options);
+  let csum = Checksum.compute buf off (header_len t) in
+  Bytes_util.set_u16 buf (off + 10) csum
+
+let decode buf off =
+  let avail = Bytes.length buf - off in
+  if avail < min_header_len then Error "ipv4: truncated header"
+  else
+    let b0 = Bytes_util.get_u8 buf off in
+    let version = b0 lsr 4 and ihl = b0 land 0xf in
+    if version <> 4 then Error (Printf.sprintf "ipv4: bad version %d" version)
+    else if ihl < 5 then Error (Printf.sprintf "ipv4: bad IHL %d" ihl)
+    else
+      let hlen = ihl * 4 in
+      if avail < hlen then Error "ipv4: truncated options"
+      else if not (Checksum.valid buf off hlen) then Error "ipv4: bad header checksum"
+      else
+        let flags_frag = Bytes_util.get_u16 buf (off + 6) in
+        Ok
+          {
+            tos = Bytes_util.get_u8 buf (off + 1);
+            total_len = Bytes_util.get_u16 buf (off + 2);
+            ident = Bytes_util.get_u16 buf (off + 4);
+            dont_fragment = flags_frag land 0x4000 <> 0;
+            more_fragments = flags_frag land 0x2000 <> 0;
+            frag_offset = flags_frag land 0x1fff;
+            ttl = Bytes_util.get_u8 buf (off + 8);
+            protocol = Bytes_util.get_u8 buf (off + 9);
+            src = Bytes_util.get_u32 buf (off + 12);
+            dst = Bytes_util.get_u32 buf (off + 16);
+            options = Bytes.sub buf (off + min_header_len) (hlen - min_header_len);
+          }
+
+let to_string t =
+  Printf.sprintf "%s > %s proto=%d len=%d ttl=%d%s" (Ipaddr.to_string t.src)
+    (Ipaddr.to_string t.dst) t.protocol t.total_len t.ttl
+    (if t.more_fragments || t.frag_offset > 0 then
+       Printf.sprintf " frag(off=%d,mf=%b)" t.frag_offset t.more_fragments
+     else "")

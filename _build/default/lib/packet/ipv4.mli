@@ -1,0 +1,52 @@
+(** IPv4 header codec (RFC 791), including options and fragmentation
+    fields. *)
+
+type t = {
+  tos : int;
+  total_len : int;  (** header + payload, bytes *)
+  ident : int;
+  dont_fragment : bool;
+  more_fragments : bool;
+  frag_offset : int;  (** in 8-byte units *)
+  ttl : int;
+  protocol : int;  (** e.g. 6 = TCP, 17 = UDP, 1 = ICMP *)
+  src : Ipaddr.t;
+  dst : Ipaddr.t;
+  options : bytes;  (** raw options, length a multiple of 4, at most 40 *)
+}
+
+val min_header_len : int
+(** 20 bytes. *)
+
+val header_len : t -> int
+(** 20 + options length. *)
+
+val proto_icmp : int
+val proto_tcp : int
+val proto_udp : int
+
+val make :
+  ?tos:int ->
+  ?ident:int ->
+  ?dont_fragment:bool ->
+  ?more_fragments:bool ->
+  ?frag_offset:int ->
+  ?ttl:int ->
+  ?options:bytes ->
+  protocol:int ->
+  src:Ipaddr.t ->
+  dst:Ipaddr.t ->
+  payload_len:int ->
+  unit ->
+  t
+(** Build a header with [total_len] computed from the payload length.
+    Raises [Invalid_argument] if options are malformed (length not a
+    multiple of 4, or over 40 bytes). *)
+
+val encode : t -> bytes -> int -> unit
+(** Writes the header (with a correct checksum) at the given offset. *)
+
+val decode : bytes -> int -> (t, string) result
+(** Parses and validates version, IHL, length and checksum. *)
+
+val to_string : t -> string

@@ -1,0 +1,76 @@
+type t = {
+  src : Ipaddr.t;
+  dst : Ipaddr.t;
+  src_port : int;
+  dst_port : int;
+  protocol : int;
+  packets : int;
+  octets : int;
+  start_ts : float;
+  end_ts : float;
+  tcp_flags : int;
+}
+
+let record_len = 36
+let header_len = 16
+let max_records = 30
+
+let ms_since ~boot_ts ts = int_of_float (Float.round ((ts -. boot_ts) *. 1000.0))
+let ts_of_ms ~boot_ts ms = boot_ts +. (float_of_int ms /. 1000.0)
+
+let encode_record ~boot_ts r buf off =
+  Bytes_util.set_u32 buf off r.src;
+  Bytes_util.set_u32 buf (off + 4) r.dst;
+  Bytes_util.set_u16 buf (off + 8) r.src_port;
+  Bytes_util.set_u16 buf (off + 10) r.dst_port;
+  Bytes_util.set_u8 buf (off + 12) r.protocol;
+  Bytes_util.set_u8 buf (off + 13) r.tcp_flags;
+  Bytes_util.set_u16 buf (off + 14) 0 (* pad *);
+  Bytes_util.set_u32 buf (off + 16) r.packets;
+  Bytes_util.set_u32 buf (off + 20) r.octets;
+  Bytes_util.set_u32 buf (off + 24) (ms_since ~boot_ts r.start_ts);
+  Bytes_util.set_u32 buf (off + 28) (ms_since ~boot_ts r.end_ts);
+  Bytes_util.set_u32 buf (off + 32) 0 (* reserved *)
+
+let decode_record ~boot_ts buf off =
+  {
+    src = Bytes_util.get_u32 buf off;
+    dst = Bytes_util.get_u32 buf (off + 4);
+    src_port = Bytes_util.get_u16 buf (off + 8);
+    dst_port = Bytes_util.get_u16 buf (off + 10);
+    protocol = Bytes_util.get_u8 buf (off + 12);
+    packets = Bytes_util.get_u32 buf (off + 16);
+    octets = Bytes_util.get_u32 buf (off + 20);
+    start_ts = ts_of_ms ~boot_ts (Bytes_util.get_u32 buf (off + 24));
+    end_ts = ts_of_ms ~boot_ts (Bytes_util.get_u32 buf (off + 28));
+    tcp_flags = Bytes_util.get_u8 buf (off + 13);
+  }
+
+let encode_datagram ~boot_ts records =
+  let n = List.length records in
+  if n > max_records then invalid_arg "Netflow.encode_datagram: more than 30 records";
+  let buf = Bytes.create (header_len + (n * record_len)) in
+  Bytes_util.set_u16 buf 0 5 (* version *);
+  Bytes_util.set_u16 buf 2 n;
+  Bytes_util.set_u32 buf 4 0 (* sysuptime, unused *);
+  Bytes_util.set_u32 buf 8 (int_of_float boot_ts);
+  Bytes_util.set_u32 buf 12 0 (* sequence, unused *);
+  List.iteri (fun i r -> encode_record ~boot_ts r buf (header_len + (i * record_len))) records;
+  buf
+
+let decode_datagram ~boot_ts buf =
+  if Bytes.length buf < header_len then Error "netflow: truncated header"
+  else
+    let version = Bytes_util.get_u16 buf 0 in
+    if version <> 5 then Error (Printf.sprintf "netflow: unsupported version %d" version)
+    else
+      let n = Bytes_util.get_u16 buf 2 in
+      if Bytes.length buf < header_len + (n * record_len) then Error "netflow: truncated records"
+      else
+        let rec go i acc =
+          if i = n then Ok (List.rev acc)
+          else go (i + 1) (decode_record ~boot_ts buf (header_len + (i * record_len)) :: acc)
+        in
+        go 0 []
+
+let compare_end_ts a b = Float.compare a.end_ts b.end_ts

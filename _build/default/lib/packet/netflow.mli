@@ -1,0 +1,36 @@
+(** Netflow-v5-style flow records.
+
+    The paper's running examples are queries over Netflow streams: records
+    carry a start and an end timestamp, with the stream sorted on end time
+    and start times banded within the 30-second dump interval — the
+    motivating example for banded-increasing ordering properties. This
+    module gives flow records a binary wire codec (one export datagram
+    carries a header plus up to 30 records, as in v5). *)
+
+type t = {
+  src : Ipaddr.t;
+  dst : Ipaddr.t;
+  src_port : int;
+  dst_port : int;
+  protocol : int;
+  packets : int;
+  octets : int;
+  start_ts : float;  (** flow first-packet time, seconds *)
+  end_ts : float;  (** flow last-packet time, seconds *)
+  tcp_flags : int;  (** OR of all TCP flags seen *)
+}
+
+val record_len : int
+(** Bytes per record on the wire (a compact 36-byte layout). *)
+
+val header_len : int
+
+val encode_datagram : boot_ts:float -> t list -> bytes
+(** Pack up to 30 records into one export datagram. Timestamps are encoded
+    as milliseconds since [boot_ts]. Raises [Invalid_argument] on more than
+    30 records. *)
+
+val decode_datagram : boot_ts:float -> bytes -> (t list, string) result
+
+val compare_end_ts : t -> t -> int
+(** Order used by routers when dumping flows. *)

@@ -1,0 +1,140 @@
+type header = { snaplen : int; linktype : int }
+
+let linktype_ethernet = 1
+let magic = 0xa1b2c3d4
+let magic_swapped = 0xd4c3b2a1
+
+type record = { ts : float; orig_len : int; data : bytes }
+
+(* Little-endian accessors; pcap files are written in host order, which for
+   the dominant producers is little-endian. *)
+let get_u16le b off = Bytes_util.get_u8 b off lor (Bytes_util.get_u8 b (off + 1) lsl 8)
+
+let get_u32le b off = get_u16le b off lor (get_u16le b (off + 2) lsl 16)
+
+let set_u16le b off v =
+  Bytes_util.set_u8 b off v;
+  Bytes_util.set_u8 b (off + 1) (v lsr 8)
+
+let set_u32le b off v =
+  set_u16le b off (v land 0xffff);
+  set_u16le b (off + 2) (v lsr 16)
+
+let global_header_len = 24
+let record_header_len = 16
+
+let encode_global_header ?(snaplen = 65535) () =
+  let b = Bytes.create global_header_len in
+  set_u32le b 0 magic;
+  set_u16le b 4 2 (* version major *);
+  set_u16le b 6 4 (* version minor *);
+  set_u32le b 8 0 (* thiszone *);
+  set_u32le b 12 0 (* sigfigs *);
+  set_u32le b 16 snaplen;
+  set_u32le b 20 linktype_ethernet;
+  b
+
+let encode_record r =
+  let caplen = Bytes.length r.data in
+  let b = Bytes.create (record_header_len + caplen) in
+  let sec = int_of_float r.ts in
+  let usec = int_of_float (Float.round ((r.ts -. float_of_int sec) *. 1e6)) in
+  let sec, usec = if usec >= 1_000_000 then (sec + 1, usec - 1_000_000) else (sec, usec) in
+  set_u32le b 0 sec;
+  set_u32le b 4 usec;
+  set_u32le b 8 caplen;
+  set_u32le b 12 r.orig_len;
+  Bytes.blit r.data 0 b record_header_len caplen;
+  b
+
+let encode_file ?snaplen records =
+  let buf = Buffer.create 4096 in
+  Buffer.add_bytes buf (encode_global_header ?snaplen ());
+  List.iter (fun r -> Buffer.add_bytes buf (encode_record r)) records;
+  Buffer.to_bytes buf
+
+type byte_order = Le | Be
+
+let reader_u32 order b off =
+  match order with Le -> get_u32le b off | Be -> Bytes_util.get_u32 b off
+
+let decode_global_header b =
+  if Bytes.length b < global_header_len then Error "pcap: truncated global header"
+  else
+    let m_le = get_u32le b 0 in
+    let order =
+      if m_le = magic then Some Le
+      else if m_le = magic_swapped then Some Be
+      else None
+    in
+    match order with
+    | None -> Error (Printf.sprintf "pcap: bad magic 0x%08x" m_le)
+    | Some order ->
+        Ok
+          ( order,
+            {
+              snaplen = reader_u32 order b 16;
+              linktype = reader_u32 order b 20;
+            } )
+
+let decode_records order b off0 =
+  let len = Bytes.length b in
+  let rec go off acc =
+    if off = len then Ok (List.rev acc)
+    else if len - off < record_header_len then Error "pcap: truncated record header"
+    else
+      let sec = reader_u32 order b off in
+      let usec = reader_u32 order b (off + 4) in
+      let caplen = reader_u32 order b (off + 8) in
+      let orig_len = reader_u32 order b (off + 12) in
+      if len - off - record_header_len < caplen then Error "pcap: truncated record body"
+      else
+        let data = Bytes.sub b (off + record_header_len) caplen in
+        let ts = float_of_int sec +. (float_of_int usec /. 1e6) in
+        go (off + record_header_len + caplen) ({ ts; orig_len; data } :: acc)
+  in
+  go off0 []
+
+let decode_file b =
+  match decode_global_header b with
+  | Error _ as e -> e
+  | Ok (order, hdr) -> (
+      match decode_records order b global_header_len with
+      | Ok records -> Ok (hdr, records)
+      | Error _ as e -> e)
+
+type writer = { oc : out_channel; snaplen : int }
+
+let open_writer ?(snaplen = 65535) path =
+  let oc = open_out_bin path in
+  output_bytes oc (encode_global_header ~snaplen ());
+  { oc; snaplen }
+
+let write_record w r = output_bytes w.oc (encode_record r)
+
+let write_packet w pkt =
+  let wire = Packet.encode pkt in
+  let data = Packet.truncate ~snap_len:w.snaplen wire in
+  write_record w { ts = pkt.Packet.ts; orig_len = Bytes.length wire; data }
+
+let close_writer w = close_out w.oc
+
+let read_whole_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let b = Bytes.create n in
+      really_input ic b 0 n;
+      b)
+
+let read_file path =
+  match read_whole_file path with
+  | b -> decode_file b
+  | exception Sys_error msg -> Error ("pcap: " ^ msg)
+
+let fold_file path ~init ~f =
+  match read_file path with
+  | Error _ as e -> e
+  | Ok (_, records) -> Ok (List.fold_left f init records)

@@ -1,0 +1,42 @@
+(** The classic libpcap capture-file format.
+
+    Implemented from scratch (magic 0xa1b2c3d4, 24-byte global header,
+    16-byte per-record headers, microsecond timestamps) so traces can be
+    dumped for the paper's "post-facto analysis" configuration and read back
+    as query input. Both byte orders are handled on read; files are written
+    little-endian as tcpdump does on x86. *)
+
+type header = {
+  snaplen : int;
+  linktype : int;  (** 1 = Ethernet *)
+}
+
+val linktype_ethernet : int
+
+type record = {
+  ts : float;  (** seconds, microsecond precision *)
+  orig_len : int;  (** length on the wire *)
+  data : bytes;  (** captured (possibly snapped) bytes *)
+}
+
+(** {1 In-memory codec} *)
+
+val encode_file : ?snaplen:int -> record list -> bytes
+val decode_file : bytes -> (header * record list, string) result
+
+(** {1 Streaming I/O} *)
+
+type writer
+
+val open_writer : ?snaplen:int -> string -> writer
+val write_record : writer -> record -> unit
+val write_packet : writer -> Packet.t -> unit
+(** Convenience: encode and write a composed packet, applying the writer's
+    snap length. *)
+
+val close_writer : writer -> unit
+
+val fold_file : string -> init:'a -> f:('a -> record -> 'a) -> ('a, string) result
+(** Stream records out of a file without loading it whole. *)
+
+val read_file : string -> (header * record list, string) result

@@ -1,0 +1,107 @@
+type flags = { fin : bool; syn : bool; rst : bool; psh : bool; ack : bool; urg : bool }
+
+let no_flags = { fin = false; syn = false; rst = false; psh = false; ack = false; urg = false }
+
+let flags_to_int f =
+  (if f.fin then 0x01 else 0)
+  lor (if f.syn then 0x02 else 0)
+  lor (if f.rst then 0x04 else 0)
+  lor (if f.psh then 0x08 else 0)
+  lor (if f.ack then 0x10 else 0)
+  lor if f.urg then 0x20 else 0
+
+let flags_of_int i =
+  {
+    fin = i land 0x01 <> 0;
+    syn = i land 0x02 <> 0;
+    rst = i land 0x04 <> 0;
+    psh = i land 0x08 <> 0;
+    ack = i land 0x10 <> 0;
+    urg = i land 0x20 <> 0;
+  }
+
+type t = {
+  src_port : int;
+  dst_port : int;
+  seq : int;
+  ack_seq : int;
+  flags : flags;
+  window : int;
+  urgent : int;
+  options : bytes;
+}
+
+let min_header_len = 20
+let header_len t = min_header_len + Bytes.length t.options
+
+let make ?(seq = 0) ?(ack_seq = 0) ?(flags = no_flags) ?(window = 65535) ?(urgent = 0)
+    ?(options = Bytes.empty) ~src_port ~dst_port () =
+  let opt_len = Bytes.length options in
+  if opt_len mod 4 <> 0 || opt_len > 40 then invalid_arg "Tcp.make: bad options length";
+  { src_port; dst_port; seq; ack_seq; flags; window; urgent; options }
+
+(* Pseudo-header: src ip, dst ip, zero, protocol, tcp length. *)
+let pseudo_sum ~src_ip ~dst_ip ~protocol ~seg_len =
+  let b = Bytes.create 12 in
+  Bytes_util.set_u32 b 0 src_ip;
+  Bytes_util.set_u32 b 4 dst_ip;
+  Bytes_util.set_u8 b 8 0;
+  Bytes_util.set_u8 b 9 protocol;
+  Bytes_util.set_u16 b 10 seg_len;
+  Checksum.sum16 b 0 12
+
+let encode t ~src_ip ~dst_ip ~payload buf off =
+  let hlen = header_len t in
+  let seg_len = hlen + Bytes.length payload in
+  Bytes_util.set_u16 buf off t.src_port;
+  Bytes_util.set_u16 buf (off + 2) t.dst_port;
+  Bytes_util.set_u32 buf (off + 4) t.seq;
+  Bytes_util.set_u32 buf (off + 8) t.ack_seq;
+  Bytes_util.set_u8 buf (off + 12) ((hlen / 4) lsl 4);
+  Bytes_util.set_u8 buf (off + 13) (flags_to_int t.flags);
+  Bytes_util.set_u16 buf (off + 14) t.window;
+  Bytes_util.set_u16 buf (off + 16) 0;
+  Bytes_util.set_u16 buf (off + 18) t.urgent;
+  Bytes.blit t.options 0 buf (off + min_header_len) (Bytes.length t.options);
+  Bytes.blit payload 0 buf (off + hlen) (Bytes.length payload);
+  let sum =
+    pseudo_sum ~src_ip ~dst_ip ~protocol:Ipv4.proto_tcp ~seg_len + Checksum.sum16 buf off seg_len
+  in
+  Bytes_util.set_u16 buf (off + 16) (Checksum.finish sum)
+
+let decode buf off ~avail =
+  if avail < min_header_len then Error "tcp: truncated header"
+  else
+    let data_off = (Bytes_util.get_u8 buf (off + 12) lsr 4) * 4 in
+    if data_off < min_header_len then Error "tcp: bad data offset"
+    else
+      (* Options may be cut off by the snap length; take what is there. *)
+      let opt_avail = max 0 (min data_off avail - min_header_len) in
+      Ok
+        ( {
+            src_port = Bytes_util.get_u16 buf off;
+            dst_port = Bytes_util.get_u16 buf (off + 2);
+            seq = Bytes_util.get_u32 buf (off + 4);
+            ack_seq = Bytes_util.get_u32 buf (off + 8);
+            flags = flags_of_int (Bytes_util.get_u8 buf (off + 13));
+            window = Bytes_util.get_u16 buf (off + 14);
+            urgent = Bytes_util.get_u16 buf (off + 18);
+            options = Bytes.sub buf (off + min_header_len) opt_avail;
+          },
+          data_off )
+
+let to_string t =
+  let f = t.flags in
+  let flag_str =
+    String.concat ""
+      [
+        (if f.syn then "S" else "");
+        (if f.fin then "F" else "");
+        (if f.rst then "R" else "");
+        (if f.psh then "P" else "");
+        (if f.ack then "A" else "");
+        (if f.urg then "U" else "");
+      ]
+  in
+  Printf.sprintf "tcp %d > %d seq=%d ack=%d [%s] win=%d" t.src_port t.dst_port t.seq t.ack_seq
+    flag_str t.window

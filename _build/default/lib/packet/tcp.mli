@@ -1,0 +1,59 @@
+(** TCP header codec (RFC 793), with pseudo-header checksum support. *)
+
+type flags = {
+  fin : bool;
+  syn : bool;
+  rst : bool;
+  psh : bool;
+  ack : bool;
+  urg : bool;
+}
+
+val no_flags : flags
+val flags_to_int : flags -> int
+val flags_of_int : int -> flags
+
+type t = {
+  src_port : int;
+  dst_port : int;
+  seq : int;  (** 32-bit sequence number *)
+  ack_seq : int;
+  flags : flags;
+  window : int;
+  urgent : int;
+  options : bytes;  (** raw options, length a multiple of 4, at most 40 *)
+}
+
+val min_header_len : int
+(** 20 bytes. *)
+
+val header_len : t -> int
+
+val make :
+  ?seq:int ->
+  ?ack_seq:int ->
+  ?flags:flags ->
+  ?window:int ->
+  ?urgent:int ->
+  ?options:bytes ->
+  src_port:int ->
+  dst_port:int ->
+  unit ->
+  t
+
+val pseudo_sum : src_ip:Ipaddr.t -> dst_ip:Ipaddr.t -> protocol:int -> seg_len:int -> int
+(** Ones'-complement sum of the IPv4 pseudo-header, shared with UDP. *)
+
+val encode :
+  t -> src_ip:Ipaddr.t -> dst_ip:Ipaddr.t -> payload:bytes -> bytes -> int -> unit
+(** [encode t ~src_ip ~dst_ip ~payload buf off] writes header at [off] and
+    the payload right after it, computing the checksum over the IPv4
+    pseudo-header, the header, and the payload. *)
+
+val decode : bytes -> int -> avail:int -> (t * int, string) result
+(** [decode buf off ~avail] parses a header within [avail] bytes, returning
+    it and the payload offset (relative to [off]). Checksum is not verified
+    here because snap-length truncation (a Gigascope feature) legitimately
+    cuts payloads. *)
+
+val to_string : t -> string

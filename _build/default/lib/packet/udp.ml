@@ -1,0 +1,30 @@
+type t = { src_port : int; dst_port : int; length : int }
+
+let header_len = 8
+
+let encode t ~src_ip ~dst_ip ~payload buf off =
+  let len = header_len + Bytes.length payload in
+  Bytes_util.set_u16 buf off t.src_port;
+  Bytes_util.set_u16 buf (off + 2) t.dst_port;
+  Bytes_util.set_u16 buf (off + 4) len;
+  Bytes_util.set_u16 buf (off + 6) 0;
+  Bytes.blit payload 0 buf (off + header_len) (Bytes.length payload);
+  let sum =
+    Tcp.pseudo_sum ~src_ip ~dst_ip ~protocol:Ipv4.proto_udp ~seg_len:len
+    + Checksum.sum16 buf off len
+  in
+  let csum = Checksum.finish sum in
+  (* An all-zero checksum means "not computed" in UDP; transmit 0xffff. *)
+  Bytes_util.set_u16 buf (off + 6) (if csum = 0 then 0xffff else csum)
+
+let decode buf off ~avail =
+  if avail < header_len then Error "udp: truncated header"
+  else
+    Ok
+      {
+        src_port = Bytes_util.get_u16 buf off;
+        dst_port = Bytes_util.get_u16 buf (off + 2);
+        length = Bytes_util.get_u16 buf (off + 4);
+      }
+
+let to_string t = Printf.sprintf "udp %d > %d len=%d" t.src_port t.dst_port t.length

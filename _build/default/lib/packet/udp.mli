@@ -1,0 +1,15 @@
+(** UDP header codec (RFC 768). *)
+
+type t = { src_port : int; dst_port : int; length : int }
+
+val header_len : int
+(** 8 bytes. *)
+
+val encode : t -> src_ip:Ipaddr.t -> dst_ip:Ipaddr.t -> payload:bytes -> bytes -> int -> unit
+(** Write header then payload, with the pseudo-header checksum. [t.length]
+    is ignored and recomputed from the payload. *)
+
+val decode : bytes -> int -> avail:int -> (t, string) result
+(** Parse within [avail] bytes; payload begins at [header_len]. *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/regex/ast.ml: Bytes Char Format String

@@ -1,0 +1,1 @@
+lib/regex/ast.mli: Bytes Format

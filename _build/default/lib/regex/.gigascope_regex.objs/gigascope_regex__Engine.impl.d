@@ -1,0 +1,1 @@
+lib/regex/engine.ml: Array Ast Bytes Nfa String

@@ -1,0 +1,1 @@
+lib/regex/nfa.ml: Array Ast Format Printf

@@ -1,0 +1,1 @@
+lib/regex/parse.ml: Ast Bytes Char List Printf String

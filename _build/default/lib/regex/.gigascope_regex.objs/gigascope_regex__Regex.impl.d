@@ -1,0 +1,1 @@
+lib/regex/regex.ml: Array Bytes Engine Nfa Parse String

@@ -1,0 +1,66 @@
+type charset = Bytes.t
+
+let charset_empty () = Bytes.make 32 '\000'
+
+let charset_add cs c =
+  let i = Char.code c in
+  Bytes.set cs (i / 8) (Char.chr (Char.code (Bytes.get cs (i / 8)) lor (1 lsl (i mod 8))))
+
+let charset_add_range cs lo hi =
+  for i = Char.code lo to Char.code hi do
+    charset_add cs (Char.chr i)
+  done
+
+let charset_mem cs c =
+  let i = Char.code c in
+  Char.code (Bytes.get cs (i / 8)) land (1 lsl (i mod 8)) <> 0
+
+let charset_negate cs =
+  let out = charset_empty () in
+  for i = 0 to 31 do
+    Bytes.set out i (Char.chr (lnot (Char.code (Bytes.get cs i)) land 0xff))
+  done;
+  out
+
+let charset_union a b =
+  let out = charset_empty () in
+  for i = 0 to 31 do
+    Bytes.set out i (Char.chr (Char.code (Bytes.get a i) lor Char.code (Bytes.get b i)))
+  done;
+  out
+
+type t =
+  | Empty
+  | Class of charset
+  | Seq of t * t
+  | Alt of t * t
+  | Star of t
+  | Plus of t
+  | Opt of t
+  | Repeat of t * int * int option
+  | Bol
+  | Eol
+
+let literal s =
+  let n = String.length s in
+  let rec go i =
+    if i = n then Empty
+    else
+      let cs = charset_empty () in
+      charset_add cs s.[i];
+      if i = n - 1 then Class cs else Seq (Class cs, go (i + 1))
+  in
+  go 0
+
+let rec pp fmt = function
+  | Empty -> Format.fprintf fmt "eps"
+  | Class _ -> Format.fprintf fmt "[..]"
+  | Seq (a, b) -> Format.fprintf fmt "(%a %a)" pp a pp b
+  | Alt (a, b) -> Format.fprintf fmt "(%a|%a)" pp a pp b
+  | Star a -> Format.fprintf fmt "%a*" pp a
+  | Plus a -> Format.fprintf fmt "%a+" pp a
+  | Opt a -> Format.fprintf fmt "%a?" pp a
+  | Repeat (a, m, None) -> Format.fprintf fmt "%a{%d,}" pp a m
+  | Repeat (a, m, Some n) -> Format.fprintf fmt "%a{%d,%d}" pp a m n
+  | Bol -> Format.fprintf fmt "^"
+  | Eol -> Format.fprintf fmt "$"

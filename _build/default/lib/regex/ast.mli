@@ -1,0 +1,35 @@
+(** Abstract syntax of the regular-expression dialect.
+
+    The dialect covers what network analysts write in Gigascope payload
+    filters (the paper's example is [^[^\n]*HTTP/1.*]): literals, [.],
+    character classes with ranges and negation, escapes ([\n], [\t], [\r],
+    [\d], [\w], [\s] and their complements), anchors [^]/[$], grouping,
+    alternation, and the repetitions [*], [+], [?], [{m}], [{m,}],
+    [{m,n}]. *)
+
+type charset = Bytes.t
+(** 256-bit membership bitmap, one bit per byte value. *)
+
+val charset_empty : unit -> charset
+val charset_add : charset -> char -> unit
+val charset_add_range : charset -> char -> char -> unit
+val charset_mem : charset -> char -> bool
+val charset_negate : charset -> charset
+val charset_union : charset -> charset -> charset
+
+type t =
+  | Empty  (** matches the empty string *)
+  | Class of charset  (** one byte in the set *)
+  | Seq of t * t
+  | Alt of t * t
+  | Star of t
+  | Plus of t
+  | Opt of t
+  | Repeat of t * int * int option  (** {m,n}; [None] = unbounded *)
+  | Bol  (** [^] — start-of-input assertion *)
+  | Eol  (** [$] — end-of-input assertion *)
+
+val literal : string -> t
+(** The regex matching exactly the given string. *)
+
+val pp : Format.formatter -> t -> unit

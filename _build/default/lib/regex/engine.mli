@@ -1,0 +1,14 @@
+(** The Pike virtual machine: breadth-first NFA simulation.
+
+    Runs a compiled program over an input in O(|input| × |program|) worst
+    case with no backtracking — the property that makes payload matching
+    safe against adversarial packets (a regex engine in a packet monitor is
+    itself attack surface). *)
+
+val search : Nfa.program -> string -> pos:int -> len:int -> bool
+(** [search prog s ~pos ~len] reports whether the program matches starting
+    at {e any} offset within [s.[pos .. pos+len-1]]. [Assert_bol] only holds
+    at offset [pos]; [Assert_eol] only at [pos + len]. *)
+
+val search_bytes : Nfa.program -> bytes -> pos:int -> len:int -> bool
+(** As {!search}, over [bytes] (the form packet payloads arrive in). *)

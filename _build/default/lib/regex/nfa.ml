@@ -1,0 +1,88 @@
+type insn =
+  | Class of Ast.charset
+  | Split of int * int
+  | Jmp of int
+  | Assert_bol
+  | Assert_eol
+  | Match
+
+type program = insn array
+
+(* Emit into a growable buffer; instructions reference absolute addresses,
+   patched as we go. *)
+type emitter = { mutable code : insn array; mutable len : int }
+
+let emit e insn =
+  if e.len = Array.length e.code then begin
+    let bigger = Array.make (max 16 (2 * e.len)) Match in
+    Array.blit e.code 0 bigger 0 e.len;
+    e.code <- bigger
+  end;
+  e.code.(e.len) <- insn;
+  e.len <- e.len + 1;
+  e.len - 1
+
+let patch e addr insn = e.code.(addr) <- insn
+
+let rec gen e ast =
+  match ast with
+  | Ast.Empty -> ()
+  | Ast.Class cs -> ignore (emit e (Class cs))
+  | Ast.Bol -> ignore (emit e Assert_bol)
+  | Ast.Eol -> ignore (emit e Assert_eol)
+  | Ast.Seq (a, b) ->
+      gen e a;
+      gen e b
+  | Ast.Alt (a, b) ->
+      let split = emit e (Jmp 0) in
+      gen e a;
+      let jmp = emit e (Jmp 0) in
+      let b_start = e.len in
+      gen e b;
+      patch e split (Split (split + 1, b_start));
+      patch e jmp (Jmp e.len)
+  | Ast.Star a ->
+      let split = emit e (Jmp 0) in
+      gen e a;
+      ignore (emit e (Jmp split));
+      patch e split (Split (split + 1, e.len))
+  | Ast.Plus a ->
+      let start = e.len in
+      gen e a;
+      let split = emit e (Jmp 0) in
+      patch e split (Split (start, e.len))
+  | Ast.Opt a ->
+      let split = emit e (Jmp 0) in
+      gen e a;
+      patch e split (Split (split + 1, e.len))
+  | Ast.Repeat (a, m, bound) -> (
+      for _ = 1 to m do
+        gen e a
+      done;
+      match bound with
+      | None -> gen e (Ast.Star a)
+      | Some n ->
+          for _ = m + 1 to n do
+            gen e (Ast.Opt a)
+          done)
+
+let compile ast =
+  let e = { code = Array.make 16 Match; len = 0 } in
+  gen e ast;
+  ignore (emit e Match);
+  Array.sub e.code 0 e.len
+
+let pp_program fmt prog =
+  Array.iteri
+    (fun i insn ->
+      let s =
+        match insn with
+        | Class _ -> "class"
+        | Split (a, b) -> Printf.sprintf "split %d %d" a b
+        | Jmp a -> Printf.sprintf "jmp %d" a
+        | Assert_bol -> "bol"
+        | Assert_eol -> "eol"
+        | Match -> "match"
+      in
+      Format.fprintf fmt "%3d: %s@." i s)
+    prog

@@ -1,0 +1,21 @@
+(** Compilation of regex ASTs to Thompson-style bytecode.
+
+    The program is a flat instruction array executed by the Pike VM in
+    {!Engine}; compilation is linear in the AST size (bounded repetitions
+    are expanded, so [{m,n}] costs O(n) instructions). *)
+
+type insn =
+  | Class of Ast.charset  (** consume one byte in the set *)
+  | Split of int * int  (** fork execution to both targets *)
+  | Jmp of int
+  | Assert_bol  (** succeed only at input position 0 *)
+  | Assert_eol  (** succeed only at end of input *)
+  | Match  (** accept *)
+
+type program = insn array
+
+val compile : Ast.t -> program
+(** The program accepts exactly the AST's language, with a single [Match]
+    at the end. *)
+
+val pp_program : Format.formatter -> program -> unit

@@ -1,0 +1,228 @@
+exception Syntax_error of string * int
+
+type state = { src : string; mutable pos : int }
+
+let error st msg = raise (Syntax_error (msg, st.pos))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let expect st c =
+  match peek st with
+  | Some x when x = c -> advance st
+  | _ -> error st (Printf.sprintf "expected '%c'" c)
+
+let class_digit () =
+  let cs = Ast.charset_empty () in
+  Ast.charset_add_range cs '0' '9';
+  cs
+
+let class_word () =
+  let cs = class_digit () in
+  Ast.charset_add_range cs 'a' 'z';
+  Ast.charset_add_range cs 'A' 'Z';
+  Ast.charset_add cs '_';
+  cs
+
+let class_space () =
+  let cs = Ast.charset_empty () in
+  List.iter (Ast.charset_add cs) [' '; '\t'; '\n'; '\r'; '\011'; '\012'];
+  cs
+
+(* Decode an escape sequence after the backslash. Returns either a single
+   character or a predefined class. *)
+let escape st =
+  match peek st with
+  | None -> error st "dangling backslash"
+  | Some c ->
+      advance st;
+      (match c with
+      | 'n' -> `Char '\n'
+      | 't' -> `Char '\t'
+      | 'r' -> `Char '\r'
+      | '0' -> `Char '\000'
+      | 'd' -> `Class (class_digit ())
+      | 'D' -> `Class (Ast.charset_negate (class_digit ()))
+      | 'w' -> `Class (class_word ())
+      | 'W' -> `Class (Ast.charset_negate (class_word ()))
+      | 's' -> `Class (class_space ())
+      | 'S' -> `Class (Ast.charset_negate (class_space ()))
+      | 'x' ->
+          let hex () =
+            match peek st with
+            | Some c
+              when (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F') ->
+                advance st;
+                if c <= '9' then Char.code c - Char.code '0'
+                else (Char.code (Char.lowercase_ascii c) - Char.code 'a') + 10
+            | _ -> error st "bad \\x escape"
+          in
+          let hi = hex () in
+          let lo = hex () in
+          `Char (Char.chr ((hi * 16) + lo))
+      | c -> `Char c (* \. \* \\ \[ etc.: the literal character *))
+
+let parse_class st =
+  (* '[' already consumed *)
+  let negated =
+    match peek st with
+    | Some '^' ->
+        advance st;
+        true
+    | _ -> false
+  in
+  let cs = Ast.charset_empty () in
+  let add_single = function
+    | `Char c -> Ast.charset_add cs c
+    | `Class sub -> ignore (Bytes.blit (Ast.charset_union cs sub) 0 cs 0 32)
+  in
+  let read_item () =
+    match peek st with
+    | None -> error st "unterminated character class"
+    | Some '\\' ->
+        advance st;
+        escape st
+    | Some c ->
+        advance st;
+        `Char c
+  in
+  let rec items first =
+    match peek st with
+    | None -> error st "unterminated character class"
+    | Some ']' when not first ->
+        advance st;
+        ()
+    | Some _ -> (
+        let item = read_item () in
+        match (item, peek st) with
+        | `Char lo, Some '-' ->
+            advance st;
+            (match peek st with
+            | Some ']' ->
+                (* trailing '-' is a literal *)
+                Ast.charset_add cs lo;
+                Ast.charset_add cs '-';
+                advance st
+            | Some _ -> (
+                match read_item () with
+                | `Char hi ->
+                    if Char.code hi < Char.code lo then error st "reversed class range";
+                    Ast.charset_add_range cs lo hi;
+                    items false
+                | `Class _ -> error st "class escape cannot end a range")
+            | None -> error st "unterminated character class")
+        | item, _ ->
+            add_single item;
+            items false)
+  in
+  items true;
+  if negated then Ast.charset_negate cs else cs
+
+let parse_int st =
+  let start = st.pos in
+  while (match peek st with Some c when c >= '0' && c <= '9' -> true | _ -> false) do
+    advance st
+  done;
+  if st.pos = start then error st "expected a number";
+  int_of_string (String.sub st.src start (st.pos - start))
+
+let any_class () =
+  (* '.' matches any byte except newline, as analysts expect. *)
+  let nl = Ast.charset_empty () in
+  Ast.charset_add nl '\n';
+  Ast.charset_negate nl
+
+let rec parse_alt st =
+  let left = parse_concat st in
+  match peek st with
+  | Some '|' ->
+      advance st;
+      Ast.Alt (left, parse_alt st)
+  | _ -> left
+
+and parse_concat st =
+  let rec go acc =
+    match peek st with
+    | None | Some '|' | Some ')' -> acc
+    | Some _ ->
+        let r = parse_repeat st in
+        go (match acc with Ast.Empty -> r | acc -> Ast.Seq (acc, r))
+  in
+  go Ast.Empty
+
+and parse_repeat st =
+  let atom = parse_atom st in
+  let rec apply acc =
+    match peek st with
+    | Some '*' ->
+        advance st;
+        apply (Ast.Star acc)
+    | Some '+' ->
+        advance st;
+        apply (Ast.Plus acc)
+    | Some '?' ->
+        advance st;
+        apply (Ast.Opt acc)
+    | Some '{' ->
+        advance st;
+        let m = parse_int st in
+        let r =
+          match peek st with
+          | Some ',' -> (
+              advance st;
+              match peek st with
+              | Some '}' -> Ast.Repeat (acc, m, None)
+              | _ -> Ast.Repeat (acc, m, Some (parse_int st)))
+          | _ -> Ast.Repeat (acc, m, Some m)
+        in
+        (match r with
+        | Ast.Repeat (_, m, Some n) when n < m -> error st "reversed {m,n} bounds"
+        | _ -> ());
+        expect st '}';
+        apply r
+    | _ -> acc
+  in
+  apply atom
+
+and parse_atom st =
+  match peek st with
+  | None -> error st "expected an atom"
+  | Some '(' ->
+      advance st;
+      let inner = parse_alt st in
+      expect st ')';
+      inner
+  | Some '[' ->
+      advance st;
+      Ast.Class (parse_class st)
+  | Some '.' ->
+      advance st;
+      Ast.Class (any_class ())
+  | Some '^' ->
+      advance st;
+      Ast.Bol
+  | Some '$' ->
+      advance st;
+      Ast.Eol
+  | Some '\\' -> (
+      advance st;
+      match escape st with
+      | `Char c ->
+          let cs = Ast.charset_empty () in
+          Ast.charset_add cs c;
+          Ast.Class cs
+      | `Class cs -> Ast.Class cs)
+  | Some ('*' | '+' | '?') -> error st "repetition with nothing to repeat"
+  | Some c ->
+      advance st;
+      let cs = Ast.charset_empty () in
+      Ast.charset_add cs c;
+      Ast.Class cs
+
+let parse src =
+  let st = { src; pos = 0 } in
+  let ast = parse_alt st in
+  match peek st with
+  | None -> ast
+  | Some c -> error st (Printf.sprintf "unexpected '%c'" c)

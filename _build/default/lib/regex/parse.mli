@@ -1,0 +1,16 @@
+(** Regular-expression parser (recursive descent).
+
+    Grammar, lowest precedence first:
+    {v
+      alt    ::= concat ('|' concat)*
+      concat ::= repeat*
+      repeat ::= atom ('*' | '+' | '?' | '{m}' | '{m,}' | '{m,n}')*
+      atom   ::= '(' alt ')' | '[' class ']' | '.' | '^' | '$'
+               | escape | literal-char
+    v} *)
+
+exception Syntax_error of string * int
+(** Message and byte position of the error. *)
+
+val parse : string -> Ast.t
+(** Raises {!Syntax_error} on malformed patterns. *)

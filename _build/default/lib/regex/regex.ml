@@ -1,0 +1,18 @@
+type t = { pattern : string; prog : Nfa.program }
+
+exception Syntax_error of string * int
+
+let compile pattern =
+  match Parse.parse pattern with
+  | ast -> { pattern; prog = Nfa.compile ast }
+  | exception Parse.Syntax_error (msg, pos) -> raise (Syntax_error (msg, pos))
+
+let compile_opt pattern = try Some (compile pattern) with Syntax_error _ -> None
+
+let pattern t = t.pattern
+let program_size t = Array.length t.prog
+
+let matches t s = Engine.search t.prog s ~pos:0 ~len:(String.length s)
+let matches_sub t s ~pos ~len = Engine.search t.prog s ~pos ~len
+let matches_bytes t b = Engine.search_bytes t.prog b ~pos:0 ~len:(Bytes.length b)
+let matches_bytes_sub t b ~pos ~len = Engine.search_bytes t.prog b ~pos ~len

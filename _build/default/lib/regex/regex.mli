@@ -1,0 +1,29 @@
+(** Compiled regular expressions — the public face of the engine.
+
+    Compiling is the expensive step (this is exactly what Gigascope's
+    pass-by-handle UDF parameters exist for: the regex is compiled once at
+    query instantiation); matching is linear-time. *)
+
+type t
+
+exception Syntax_error of string * int
+
+val compile : string -> t
+(** Raises {!Syntax_error} on malformed patterns. *)
+
+val compile_opt : string -> t option
+
+val pattern : t -> string
+(** The source pattern. *)
+
+val program_size : t -> int
+(** Number of VM instructions; a proxy for per-byte matching cost. *)
+
+val matches : t -> string -> bool
+(** Unanchored search over the whole string ([^] and [$] anchor to its
+    ends). *)
+
+val matches_sub : t -> string -> pos:int -> len:int -> bool
+
+val matches_bytes : t -> bytes -> bool
+val matches_bytes_sub : t -> bytes -> pos:int -> len:int -> bool

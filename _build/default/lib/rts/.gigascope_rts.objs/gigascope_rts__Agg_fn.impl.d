@@ -1,0 +1,1 @@
+lib/rts/agg_fn.ml: Value

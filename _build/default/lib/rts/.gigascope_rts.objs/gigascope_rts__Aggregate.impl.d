@@ -1,0 +1,1 @@
+lib/rts/aggregate.ml: Agg_fn Array Float Group_tbl Item List Operator Order_prop Value

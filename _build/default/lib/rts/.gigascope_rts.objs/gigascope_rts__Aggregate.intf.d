@@ -1,0 +1,1 @@
+lib/rts/aggregate.mli: Agg_fn Operator Order_prop Value

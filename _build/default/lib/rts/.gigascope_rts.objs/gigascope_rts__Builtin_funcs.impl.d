@@ -1,0 +1,1 @@
+lib/rts/builtin_funcs.ml: Array Float Func Gigascope_lpm Gigascope_packet Gigascope_regex List Option Printf Result String Sys Ty Value

@@ -1,0 +1,1 @@
+lib/rts/builtin_funcs.mli: Func

@@ -1,0 +1,1 @@
+lib/rts/channel.ml: Gigascope_util Item

@@ -1,0 +1,1 @@
+lib/rts/channel.mli: Item

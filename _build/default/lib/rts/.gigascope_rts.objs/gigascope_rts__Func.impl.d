@@ -1,0 +1,1 @@
+lib/rts/func.ml: Hashtbl List String Ty Value

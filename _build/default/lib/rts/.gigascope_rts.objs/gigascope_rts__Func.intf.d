@@ -1,0 +1,1 @@
+lib/rts/func.mli: Ty Value

@@ -1,0 +1,1 @@
+lib/rts/group_tbl.ml: Hashtbl Value

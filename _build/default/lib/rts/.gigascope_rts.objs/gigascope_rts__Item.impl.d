@@ -1,0 +1,1 @@
+lib/rts/item.ml: Array Format List Value

@@ -1,0 +1,1 @@
+lib/rts/item.mli: Format Value

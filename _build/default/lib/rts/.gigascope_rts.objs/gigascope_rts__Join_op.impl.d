@@ -1,0 +1,1 @@
+lib/rts/join_op.ml: Array Float Fun Gigascope_util Item List Operator Option Queue Value

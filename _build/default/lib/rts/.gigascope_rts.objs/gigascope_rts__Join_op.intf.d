@@ -1,0 +1,1 @@
+lib/rts/join_op.mli: Operator Value

@@ -1,0 +1,1 @@
+lib/rts/lfta_aggregate.ml: Agg_fn Array Item Operator Order_prop Value

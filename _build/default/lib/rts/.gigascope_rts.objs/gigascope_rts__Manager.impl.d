@@ -1,0 +1,1 @@
+lib/rts/manager.ml: Array Buffer Builtin_funcs Channel Func Hashtbl List Node Option Printf String

@@ -1,0 +1,1 @@
+lib/rts/manager.mli: Channel Func Item Node Operator Schema

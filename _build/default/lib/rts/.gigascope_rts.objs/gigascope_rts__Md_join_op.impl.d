@@ -1,0 +1,1 @@
+lib/rts/md_join_op.ml: Agg_fn Array Item List Operator Order_prop Value

@@ -1,0 +1,1 @@
+lib/rts/md_join_op.mli: Agg_fn Operator Order_prop Value

@@ -1,0 +1,1 @@
+lib/rts/merge_op.ml: Array Item List Operator Order_prop Queue Value

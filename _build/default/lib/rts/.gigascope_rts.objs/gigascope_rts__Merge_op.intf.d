@@ -1,0 +1,1 @@
+lib/rts/merge_op.mli: Operator Order_prop

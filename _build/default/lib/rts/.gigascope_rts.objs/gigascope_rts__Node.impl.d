@@ -1,0 +1,1 @@
+lib/rts/node.ml: Array Channel Item List Operator Printf Schema Value

@@ -1,0 +1,1 @@
+lib/rts/node.mli: Channel Item Operator Schema Value

@@ -1,0 +1,1 @@
+lib/rts/operator.ml: Array Fun Item

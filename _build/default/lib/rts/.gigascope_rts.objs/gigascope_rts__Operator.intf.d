@@ -1,0 +1,1 @@
+lib/rts/operator.mli: Item Value

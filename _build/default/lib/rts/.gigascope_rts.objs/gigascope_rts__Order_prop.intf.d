@@ -1,0 +1,1 @@
+lib/rts/order_prop.mli: Format

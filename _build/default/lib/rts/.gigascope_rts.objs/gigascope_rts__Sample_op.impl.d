@@ -1,0 +1,1 @@
+lib/rts/sample_op.ml: Gigascope_util Item Operator

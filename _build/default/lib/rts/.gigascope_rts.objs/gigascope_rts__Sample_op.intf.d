@@ -1,0 +1,1 @@
+lib/rts/sample_op.mli: Operator

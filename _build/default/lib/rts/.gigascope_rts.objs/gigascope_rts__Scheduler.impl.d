@@ -1,0 +1,1 @@
+lib/rts/scheduler.ml: Array Channel List Manager Node Printf

@@ -1,0 +1,1 @@
+lib/rts/scheduler.mli: Manager Node

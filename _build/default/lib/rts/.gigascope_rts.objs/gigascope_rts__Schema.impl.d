@@ -1,0 +1,1 @@
+lib/rts/schema.ml: Array Format Hashtbl List Order_prop Printf String Ty Value

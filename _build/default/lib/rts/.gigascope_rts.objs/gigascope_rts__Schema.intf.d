@@ -1,0 +1,1 @@
+lib/rts/schema.mli: Format Order_prop Ty Value

@@ -1,0 +1,1 @@
+lib/rts/select_op.ml: Item List Operator Option

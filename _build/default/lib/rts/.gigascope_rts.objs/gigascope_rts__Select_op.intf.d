@@ -1,0 +1,1 @@
+lib/rts/select_op.mli: Operator Value

@@ -1,0 +1,1 @@
+lib/rts/ty.ml: Format Value

@@ -1,0 +1,1 @@
+lib/rts/ty.mli: Format Value

@@ -1,0 +1,1 @@
+lib/rts/value.ml: Array Bool Float Format Gigascope_packet Hashtbl Int String

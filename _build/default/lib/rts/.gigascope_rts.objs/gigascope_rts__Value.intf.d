@@ -1,0 +1,1 @@
+lib/rts/value.mli: Format

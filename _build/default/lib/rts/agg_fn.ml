@@ -1,0 +1,72 @@
+type kind = Count | Sum | Min | Max | Avg
+
+type spec = { kind : kind; arg : (Value.t array -> Value.t option) option }
+
+type acc = {
+  kind : kind;
+  mutable n : int;
+  mutable sum_i : int;
+  mutable sum_f : float;
+  mutable is_float : bool;
+  mutable extremum : Value.t;
+}
+
+let init kind = { kind; n = 0; sum_i = 0; sum_f = 0.0; is_float = false; extremum = Value.Null }
+
+let step acc v =
+  match (acc.kind, v) with
+  | Count, _ -> acc.n <- acc.n + 1
+  | _, (None | Some Value.Null) -> ()
+  | (Sum | Avg), Some (Value.Int i) ->
+      acc.n <- acc.n + 1;
+      acc.sum_i <- acc.sum_i + i;
+      acc.sum_f <- acc.sum_f +. float_of_int i
+  | (Sum | Avg), Some (Value.Float f) ->
+      acc.n <- acc.n + 1;
+      acc.is_float <- true;
+      acc.sum_f <- acc.sum_f +. f
+  | (Min | Max), Some v ->
+      acc.n <- acc.n + 1;
+      let better =
+        match acc.extremum with
+        | Value.Null -> true
+        | prev -> if acc.kind = Min then Value.compare v prev < 0 else Value.compare v prev > 0
+      in
+      if better then acc.extremum <- v
+  | (Sum | Avg), Some (Value.Bool _ | Value.Str _ | Value.Ip _) -> ()
+
+let final acc =
+  match acc.kind with
+  | Count -> Value.Int acc.n
+  | Sum ->
+      if acc.n = 0 then Value.Null
+      else if acc.is_float then Value.Float acc.sum_f
+      else Value.Int acc.sum_i
+  | Avg -> if acc.n = 0 then Value.Null else Value.Float (acc.sum_f /. float_of_int acc.n)
+  | Min | Max -> acc.extremum
+
+let sub_kinds = function
+  | Count -> [Count]
+  | Sum -> [Sum]
+  | Min -> [Min]
+  | Max -> [Max]
+  | Avg -> [Sum; Count]
+
+let super_kind = function
+  | Count -> [Sum]
+  | Sum -> [Sum]
+  | Min -> [Min]
+  | Max -> [Max]
+  | Avg -> [Sum; Sum]
+
+let combine_avg ~sum ~count =
+  match (Value.to_float sum, Value.to_float count) with
+  | Some s, Some c when c > 0.0 -> Value.Float (s /. c)
+  | _ -> Value.Null
+
+let kind_to_string = function
+  | Count -> "count"
+  | Sum -> "sum"
+  | Min -> "min"
+  | Max -> "max"
+  | Avg -> "avg"

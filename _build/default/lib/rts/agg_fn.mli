@@ -1,0 +1,39 @@
+(** Aggregate functions and their sub/super-aggregate decomposition.
+
+    When the splitter pushes an aggregation down into an LFTA, each
+    aggregate is decomposed like a data-cube sub/super-aggregate pair
+    (Section 3): the LFTA computes partials over whatever groups survive in
+    its small table, and the HFTA combines partials into the true result.
+    [Avg] needs two partials (sum and count). *)
+
+type kind = Count | Sum | Min | Max | Avg
+
+type spec = {
+  kind : kind;
+  arg : (Value.t array -> Value.t option) option;
+      (** argument expression; [None] only for [Count] *)
+}
+
+type acc
+(** One group's accumulator for one aggregate. *)
+
+val init : kind -> acc
+val step : acc -> Value.t option -> unit
+(** [step acc v] folds one tuple's argument value ([None] for [Count]
+    steps the count). [Null] arguments are skipped, as in SQL. *)
+
+val final : acc -> Value.t
+(** [Count] of nothing is 0; [Sum]/[Min]/[Max]/[Avg] of nothing is
+    [Null]. *)
+
+val sub_kinds : kind -> kind list
+(** Partials the LFTA computes: e.g. [Avg -> [Sum; Count]]. *)
+
+val super_kind : kind -> kind list
+(** How the HFTA combines each partial: e.g. [Count -> [Sum]] (counts are
+    summed), [Min -> [Min]]. Same length as [sub_kinds]. *)
+
+val combine_avg : sum:Value.t -> count:Value.t -> Value.t
+(** Final assembly of a split [Avg]. *)
+
+val kind_to_string : kind -> string

@@ -1,0 +1,41 @@
+(** Group-by / aggregation over streams (the HFTA form).
+
+    Gigascope turns this blocking operator into a stream operator with
+    ordered attributes (Section 2.1): the group key should contain an
+    ordered attribute (the {e epoch key}); when a tuple arrives whose epoch
+    value is beyond every open group's (minus the band, for
+    banded-increasing inputs), the passed groups are closed and flushed to
+    the output. Punctuations close groups the same way, and translate to
+    output punctuations. Closed groups are emitted in epoch order, so the
+    output epoch attribute is imputed monotone. *)
+
+type config = {
+  pred : (Value.t array -> bool) option;
+      (** the WHERE clause, folded into the operator as generated C would *)
+  keys : (Value.t array -> Value.t option) array;
+      (** group-key expressions; [None] (a partial function) discards the
+          input tuple *)
+  epoch_key : int option;  (** index into [keys] of the ordered key *)
+  direction : Order_prop.direction;
+  band : float;  (** slack before closing (banded-increasing inputs) *)
+  aggs : Agg_fn.spec array;
+  assemble : keys:Value.t array -> aggs:Value.t array -> Value.t array;
+      (** build the output tuple *)
+  having : (Value.t array -> bool) option;
+      (** filter applied to the {e virtual} tuple [keys @ aggs] before
+          assembly — HAVING in GSQL sees keys and aggregates, not the
+          projected output *)
+  epoch_out : int option;  (** output index of the epoch key, for puncts *)
+  punct_in : (int * (Value.t -> Value.t option)) option;
+      (** which {e input} field's punctuation bounds apply, and how to map a
+          bound into epoch-key space (the group-key expression itself, when
+          it is monotone in that field) *)
+}
+
+type t
+
+val make : config -> t
+val op : t -> Operator.t
+val open_groups : t -> int
+val flushes : t -> int
+(** Number of group closures emitted so far. *)

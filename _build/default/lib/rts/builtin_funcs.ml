@@ -1,0 +1,233 @@
+module Regex = Gigascope_regex.Regex
+module Lpm_table = Gigascope_lpm.Table
+module Ipaddr = Gigascope_packet.Ipaddr
+
+let err fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+(* -- handle preparation --------------------------------------------------- *)
+
+let load_lpm_table = function
+  | Value.Str source -> (
+      (* A handle value names a file; inline table text also works so
+         queries are self-contained in tests. *)
+      let from_file =
+        if Sys.file_exists source then
+          match Lpm_table.load_file source with Ok t -> Some t | Error _ -> None
+        else None
+      in
+      match from_file with
+      | Some t -> Ok t
+      | None -> (
+          match Lpm_table.load_string source with
+          | Ok t -> Ok t
+          | Error msg -> err "getlpmid: cannot load prefix table: %s" msg))
+  | v -> err "getlpmid: handle parameter must be a string, got %s" (Value.to_string v)
+
+let compile_regex = function
+  | Value.Str pattern -> (
+      match Regex.compile_opt pattern with
+      | Some r -> Ok r
+      | None -> err "str_match_regex: bad pattern %S" pattern)
+  | v -> err "str_match_regex: handle parameter must be a string, got %s" (Value.to_string v)
+
+(* -- the functions -------------------------------------------------------- *)
+
+let getlpmid =
+  {
+    Func.name = "getlpmid";
+    arg_tys = [Ty.Ip; Ty.Str];
+    ret_ty = Ty.Int;
+    cost = Func.Cheap;
+    partial = true;
+    handle_args = [1];
+    monotone = false;
+    injective = false;
+    instantiate =
+      (fun handles ->
+        match handles with
+        | [table_src] ->
+            Result.map
+              (fun table args ->
+                match args.(0) with
+                | Value.Ip ip | Value.Int ip ->
+                    Option.map (fun id -> Value.Int id) (Lpm_table.lookup table ip)
+                | _ -> None)
+              (load_lpm_table table_src)
+        | _ -> Error "getlpmid: expected one handle parameter");
+  }
+
+let getlpmid_default =
+  (* Total variant: unmatched addresses map to a caller-chosen id instead of
+     discarding the tuple. *)
+  {
+    Func.name = "getlpmid_default";
+    arg_tys = [Ty.Ip; Ty.Str; Ty.Int];
+    ret_ty = Ty.Int;
+    cost = Func.Cheap;
+    partial = false;
+    handle_args = [1];
+    monotone = false;
+    injective = false;
+    instantiate =
+      (fun handles ->
+        match handles with
+        | [table_src] ->
+            Result.map
+              (fun table args ->
+                match (args.(0), args.(2)) with
+                | (Value.Ip ip | Value.Int ip), Value.Int dflt ->
+                    Some
+                      (match Lpm_table.lookup table ip with
+                      | Some id -> Value.Int id
+                      | None -> Value.Int dflt)
+                | _ -> None)
+              (load_lpm_table table_src)
+        | _ -> Error "getlpmid_default: expected one handle parameter");
+  }
+
+let str_match_regex =
+  {
+    Func.name = "str_match_regex";
+    arg_tys = [Ty.Str; Ty.Str];
+    ret_ty = Ty.Bool;
+    cost = Func.Expensive;
+    partial = false;
+    handle_args = [1];
+    monotone = false;
+    injective = false;
+    instantiate =
+      (fun handles ->
+        match handles with
+        | [pattern] ->
+            Result.map
+              (fun regex args ->
+                match args.(0) with
+                | Value.Str s -> Some (Value.Bool (Regex.matches regex s))
+                | _ -> None)
+              (compile_regex pattern)
+        | _ -> Error "str_match_regex: expected one handle parameter");
+  }
+
+let str_contains =
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    if nn = 0 then true
+    else
+      let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+      go 0
+  in
+  Func.pure ~name:"str_contains" ~arg_tys:[Ty.Str; Ty.Str] ~ret_ty:Ty.Bool ~cost:Func.Expensive
+    (fun args ->
+      match (args.(0), args.(1)) with
+      | Value.Str hay, Value.Str needle -> Some (Value.Bool (contains hay needle))
+      | _ -> None)
+
+let prefix_match =
+  {
+    Func.name = "prefix_match";
+    arg_tys = [Ty.Ip; Ty.Str];
+    ret_ty = Ty.Bool;
+    cost = Func.Cheap;
+    partial = false;
+    handle_args = [1];
+    monotone = false;
+    injective = false;
+    instantiate =
+      (fun handles ->
+        match handles with
+        | [Value.Str prefix_s] -> (
+            match try Some (Ipaddr.parse_prefix prefix_s) with Invalid_argument _ -> None with
+            | Some (prefix, len) ->
+                Ok
+                  (fun args ->
+                    match args.(0) with
+                    | Value.Ip ip | Value.Int ip ->
+                        Some (Value.Bool (Ipaddr.in_prefix ip ~prefix ~len))
+                    | _ -> None)
+            | None -> err "prefix_match: bad prefix %S" prefix_s)
+        | _ -> Error "prefix_match: expected a string handle parameter");
+  }
+
+let truncate_ip =
+  (* truncate_ip(ip, len): zero the host bits — cheap subnet bucketing that
+     is safe inside an LFTA group-by. *)
+  Func.pure ~name:"truncate_ip" ~arg_tys:[Ty.Ip; Ty.Int] ~ret_ty:Ty.Ip (fun args ->
+      match (args.(0), args.(1)) with
+      | (Value.Ip ip | Value.Int ip), Value.Int len when len >= 0 && len <= 32 ->
+          Some (Value.Ip (ip land Ipaddr.prefix_mask len))
+      | _ -> None)
+
+let ufloor =
+  (* floor to integer; monotone, so a group key like ufloor(end_time/10)
+     keeps the timestamp's ordering property and still closes epochs *)
+  Func.pure ~name:"ufloor" ~arg_tys:[Ty.Float] ~ret_ty:Ty.Int ~monotone:true (fun args ->
+      match Value.to_float args.(0) with
+      | Some f -> Some (Value.Int (int_of_float (Float.floor f)))
+      | None -> None)
+
+let uceil =
+  Func.pure ~name:"uceil" ~arg_tys:[Ty.Float] ~ret_ty:Ty.Int ~monotone:true (fun args ->
+      match Value.to_float args.(0) with
+      | Some f -> Some (Value.Int (int_of_float (Float.ceil f)))
+      | None -> None)
+
+let str_len =
+  Func.pure ~name:"str_len" ~arg_tys:[Ty.Str] ~ret_ty:Ty.Int (fun args ->
+      match args.(0) with Value.Str s -> Some (Value.Int (String.length s)) | _ -> None)
+
+let abs_fn =
+  Func.pure ~name:"abs" ~arg_tys:[Ty.Int] ~ret_ty:Ty.Int (fun args ->
+      match args.(0) with
+      | Value.Int i -> Some (Value.Int (abs i))
+      | Value.Float f -> Some (Value.Float (Float.abs f))
+      | _ -> None)
+
+let umin =
+  Func.pure ~name:"umin" ~arg_tys:[Ty.Int; Ty.Int] ~ret_ty:Ty.Int ~monotone:false (fun args ->
+      match (args.(0), args.(1)) with
+      | Value.Int a, Value.Int b -> Some (Value.Int (min a b))
+      | _ -> None)
+
+let umax =
+  Func.pure ~name:"umax" ~arg_tys:[Ty.Int; Ty.Int] ~ret_ty:Ty.Int ~monotone:false (fun args ->
+      match (args.(0), args.(1)) with
+      | Value.Int a, Value.Int b -> Some (Value.Int (max a b))
+      | _ -> None)
+
+let fdiv =
+  (* Float division regardless of operand representation; the splitter uses
+     it to recombine a split avg (sum_partial / count_partial). *)
+  Func.pure ~name:"fdiv" ~arg_tys:[Ty.Float; Ty.Float] ~ret_ty:Ty.Float (fun args ->
+      match (Value.to_float args.(0), Value.to_float args.(1)) with
+      | Some a, Some b when b <> 0.0 -> Some (Value.Float (a /. b))
+      | Some _, Some _ -> Some Value.Null
+      | _ -> None)
+
+let hash32 =
+  (* a mixing hash; flagged injective in the paper's idiom — applied to a
+     strict sequence number the output is monotone nonrepeating *)
+  Func.pure ~name:"hash32" ~arg_tys:[Ty.Int] ~ret_ty:Ty.Int ~injective:true (fun args ->
+      match args.(0) with
+      | Value.Int i | Value.Ip i ->
+          let h = i * 0x9E3779B1 land 0xffffffff in
+          Some (Value.Int ((h lxor (h lsr 15)) land 0xffffffff))
+      | _ -> None)
+
+let register_all reg =
+  List.iter (Func.register reg)
+    [
+      fdiv;
+      getlpmid;
+      getlpmid_default;
+      str_match_regex;
+      str_contains;
+      prefix_match;
+      truncate_ip;
+      ufloor;
+      uceil;
+      str_len;
+      abs_fn;
+      umin;
+      umax;
+      hash32;
+    ]

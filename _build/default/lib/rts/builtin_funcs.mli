@@ -1,0 +1,18 @@
+(** The standard function library shipped with the engine.
+
+    Mirrors the functions the paper's examples rely on:
+    - [getlpmid(ip, 'table-file')] — longest-prefix match against a prefix
+      table loaded once through the pass-by-handle mechanism; {e partial}:
+      an address matching no prefix discards the tuple (a foreign-key
+      join), unless the three-argument default form is used.
+    - [str_match_regex(s, 'pattern')] — payload regex search, compiled once
+      per query; {e expensive}, so the splitter keeps it in the HFTA.
+    - small cheap helpers usable inside LFTAs. *)
+
+val register_all : Func.registry -> unit
+(** Registers: [fdiv], [getlpmid], [getlpmid_default], [str_match_regex],
+    [str_contains], [prefix_match], [truncate_ip], [ufloor], [uceil],
+    [str_len], [abs], [umin], [umax]. [ufloor]/[uceil] are monotone, so
+    time bucketing over float timestamps keeps epoch eligibility. The prefix-table handle argument of the [getlpmid]
+    family accepts either a file path or inline table text (handy in
+    tests); [prefix_match(ip, 'a.b.c.d/len')] tests one literal prefix. *)

@@ -1,0 +1,26 @@
+module Ring = Gigascope_util.Ring
+
+type t = { name : string; ring : Item.t Ring.t; mutable tuples_in : int }
+
+let create ?(capacity = 4096) ~name () = { name; ring = Ring.create ~capacity; tuples_in = 0 }
+
+let name t = t.name
+
+let push t item =
+  match item with
+  | Item.Eof ->
+      Ring.push_force t.ring Item.Eof;
+      true
+  | Item.Tuple _ ->
+      let ok = Ring.push t.ring item in
+      if ok then t.tuples_in <- t.tuples_in + 1;
+      ok
+  | Item.Punct _ | Item.Flush -> Ring.push t.ring item
+
+let pop t = Ring.pop t.ring
+let peek t = Ring.peek t.ring
+let length t = Ring.length t.ring
+let is_empty t = Ring.is_empty t.ring
+let tuples_in t = t.tuples_in
+let drops t = Ring.drops t.ring
+let high_water t = Ring.high_water t.ring

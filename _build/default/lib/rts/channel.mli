@@ -1,0 +1,27 @@
+(** Stream channels between query nodes.
+
+    Models the shared-memory ring buffers of the real system: bounded FIFO
+    with drop accounting (the paper's performance metric is precisely "how
+    high can the input rate be before tuples drop"). *)
+
+type t
+
+val create : ?capacity:int -> name:string -> unit -> t
+(** Default capacity 4096 items. *)
+
+val name : t -> string
+val push : t -> Item.t -> bool
+(** False (and a counted drop) when full — except [Eof], which is always
+    accepted by evicting the newest item if necessary, so a full channel
+    cannot wedge shutdown. *)
+
+val pop : t -> Item.t option
+val peek : t -> Item.t option
+val length : t -> int
+val is_empty : t -> bool
+
+val tuples_in : t -> int
+(** Tuples successfully enqueued (punctuation and EOF not counted). *)
+
+val drops : t -> int
+val high_water : t -> int

@@ -1,0 +1,41 @@
+type cost = Cheap | Expensive
+
+type impl = Value.t array -> Value.t option
+
+type t = {
+  name : string;
+  arg_tys : Ty.t list;
+  ret_ty : Ty.t;
+  cost : cost;
+  partial : bool;
+  handle_args : int list;
+  monotone : bool;
+  injective : bool;
+  instantiate : Value.t list -> (impl, string) result;
+}
+
+type registry = (string, t) Hashtbl.t
+
+let create_registry () = Hashtbl.create 16
+
+let key = String.lowercase_ascii
+
+let register reg f = Hashtbl.replace reg (key f.name) f
+
+let find reg name = Hashtbl.find_opt reg (key name)
+
+let names reg = Hashtbl.fold (fun _ f acc -> f.name :: acc) reg [] |> List.sort compare
+
+let pure ~name ~arg_tys ~ret_ty ?(cost = Cheap) ?(partial = false) ?(monotone = false)
+    ?(injective = false) impl =
+  {
+    name;
+    arg_tys;
+    ret_ty;
+    cost;
+    partial;
+    handle_args = [];
+    monotone;
+    injective;
+    instantiate = (fun _ -> Ok impl);
+  }

@@ -1,0 +1,53 @@
+(** The user-defined-function registry.
+
+    Gigascope adapts to analysts' "special fast algorithms" by letting them
+    register functions (Section 2.2). A function can be {e partial} — no
+    result means the tuple is discarded, giving foreign-key-join semantics —
+    and parameters can be {e pass-by-handle}: literal arguments needing
+    expensive preprocessing (compiling a regex, loading a prefix table) are
+    converted once at query instantiation via a handle-registration
+    function. *)
+
+type cost = Cheap | Expensive
+(** [Cheap] functions may run inside an LFTA; [Expensive] ones (the paper's
+    example is regex matching) are forced up into the HFTA. *)
+
+type impl = Value.t array -> Value.t option
+(** Applied to all argument values (handle positions included, which the
+    implementation is free to ignore); [None] from a partial function
+    discards the tuple being processed. *)
+
+type t = {
+  name : string;
+  arg_tys : Ty.t list;
+  ret_ty : Ty.t;
+  cost : cost;
+  partial : bool;
+  handle_args : int list;  (** indices of pass-by-handle parameters *)
+  monotone : bool;
+      (** does the function preserve directional ordering of its (single
+          non-handle) argument? needed for ordering-property imputation *)
+  injective : bool;
+      (** one-to-one in its argument: applied to a strict or nonrepeating
+          attribute the result is {e monotone nonrepeating} — the paper's
+          hash-function example (Section 2.1, property 2) *)
+  instantiate : Value.t list -> (impl, string) result;
+      (** given the literal values of the handle parameters (in
+          [handle_args] order), perform the expensive preprocessing and
+          return the per-tuple implementation *)
+}
+
+type registry
+
+val create_registry : unit -> registry
+
+val register : registry -> t -> unit
+(** Replaces any previous registration of the same name (names are
+    case-insensitive). *)
+
+val find : registry -> string -> t option
+val names : registry -> string list
+
+val pure : name:string -> arg_tys:Ty.t list -> ret_ty:Ty.t -> ?cost:cost -> ?partial:bool ->
+  ?monotone:bool -> ?injective:bool -> impl -> t
+(** A function with no handle parameters. *)

@@ -1,0 +1,8 @@
+(* Hash table keyed by tuple-key value arrays, shared by both aggregation
+   operators. *)
+include Hashtbl.Make (struct
+  type t = Value.t array
+
+  let equal = Value.equal_array
+  let hash = Value.hash_array
+end)

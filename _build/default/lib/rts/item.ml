@@ -1,0 +1,26 @@
+type t = Tuple of Value.t array | Punct of (int * Value.t) list | Flush | Eof
+
+let is_tuple = function Tuple _ -> true | Punct _ | Flush | Eof -> false
+
+let punct_bound t i =
+  match t with Punct bounds -> List.assoc_opt i bounds | Tuple _ | Flush | Eof -> None
+
+let pp fmt = function
+  | Tuple vs ->
+      Format.fprintf fmt "tuple(";
+      Array.iteri
+        (fun i v ->
+          if i > 0 then Format.fprintf fmt ", ";
+          Value.pp fmt v)
+        vs;
+      Format.fprintf fmt ")"
+  | Punct bounds ->
+      Format.fprintf fmt "punct(";
+      List.iteri
+        (fun i (idx, v) ->
+          if i > 0 then Format.fprintf fmt ", ";
+          Format.fprintf fmt "#%d>=%a" idx Value.pp v)
+        bounds;
+      Format.fprintf fmt ")"
+  | Flush -> Format.fprintf fmt "flush"
+  | Eof -> Format.fprintf fmt "eof"

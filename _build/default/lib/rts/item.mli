@@ -1,0 +1,21 @@
+(** Items flowing through stream channels.
+
+    Besides data tuples, channels carry {e punctuations} — the
+    ordering-update tokens of Tucker & Maier that Gigascope injects to
+    unblock merge and join when an input is slow — and an end-of-stream
+    marker. *)
+
+type t =
+  | Tuple of Value.t array
+  | Punct of (int * Value.t) list
+      (** lower bounds: no future tuple's field [i] will be below (for
+          ascending attributes) the paired value *)
+  | Flush  (** operator hint: flush open state now (user-requested) *)
+  | Eof
+
+val is_tuple : t -> bool
+
+val punct_bound : t -> int -> Value.t option
+(** The bound a punctuation carries for field [i], if any. *)
+
+val pp : Format.formatter -> t -> unit

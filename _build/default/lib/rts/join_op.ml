@@ -1,0 +1,182 @@
+type output_mode = Banded_output | Ordered_output
+
+type config = {
+  output_mode : output_mode;
+  left_idx : int;
+  right_idx : int;
+  lo : float;
+  hi : float;
+  pred : Value.t array -> Value.t array -> bool;
+  assemble : Value.t array -> Value.t array -> Value.t array option;
+  left_out : int option;
+  right_out : int option;
+}
+
+type side_state = {
+  buffer : Value.t array Queue.t;  (** in arrival (hence timestamp) order *)
+  mutable bound : float;  (** low bound on future ordered values *)
+  mutable eof : bool;
+}
+
+type t = {
+  cfg : config;
+  left : side_state;
+  right : side_state;
+  held : Value.t array Gigascope_util.Minheap.t;
+      (** Ordered_output: matches waiting for the watermark, keyed by the
+          left ordered value *)
+  mutable high_water : int;
+  mutable done_ : bool;
+}
+
+let make cfg =
+  if cfg.lo > cfg.hi then invalid_arg "Join_op.make: empty window (lo > hi)";
+  {
+    cfg;
+    left = { buffer = Queue.create (); bound = neg_infinity; eof = false };
+    right = { buffer = Queue.create (); bound = neg_infinity; eof = false };
+    held = Gigascope_util.Minheap.create ();
+    high_water = 0;
+    done_ = false;
+  }
+
+let buffered t =
+  Queue.length t.left.buffer + Queue.length t.right.buffer
+  + Gigascope_util.Minheap.length t.held
+
+let ts_of values idx =
+  match Value.to_float values.(idx) with
+  | Some f -> f
+  | None -> nan (* non-numeric ordered attr: window never matches *)
+
+(* Purge buffered tuples that no future opposite tuple can reach.
+   A left tuple at lt joins rights in [lt - hi, lt - lo]; future rights are
+   >= right.bound, so lt is dead once lt < right.bound + lo. Symmetric for
+   rights: dead once rt < left.bound - hi. EOF makes the bound infinite. *)
+let purge t =
+  let left_bound = if t.left.eof then infinity else t.left.bound in
+  let right_bound = if t.right.eof then infinity else t.right.bound in
+  let drop_while q dead =
+    let continue = ref true in
+    while !continue && not (Queue.is_empty q) do
+      if dead (Queue.peek q) then ignore (Queue.pop q) else continue := false
+    done
+  in
+  drop_while t.left.buffer (fun v -> ts_of v t.cfg.left_idx < right_bound +. t.cfg.lo);
+  drop_while t.right.buffer (fun v -> ts_of v t.cfg.right_idx < left_bound -. t.cfg.hi)
+
+(* No future output pair can carry a left ordered value below this: future
+   left arrivals are >= left.bound, and a buffered left tuple matching a
+   future right must be >= right.bound + lo. *)
+let output_watermark t =
+  let lb = if t.left.eof then infinity else t.left.bound in
+  let rb = if t.right.eof then infinity else t.right.bound in
+  Float.min lb (rb +. t.cfg.lo)
+
+let release t ~emit =
+  match t.cfg.output_mode with
+  | Banded_output -> ()
+  | Ordered_output ->
+      let wm = output_watermark t in
+      let continue = ref true in
+      while !continue do
+        match Gigascope_util.Minheap.min t.held with
+        | Some (key, _) when key <= wm -> (
+            match Gigascope_util.Minheap.pop t.held with
+            | Some (_, out) -> ignore (emit (Item.Tuple out))
+            | None -> continue := false)
+        | _ -> continue := false
+      done
+
+let produce t ~left_ts out ~emit =
+  match t.cfg.output_mode with
+  | Banded_output -> ignore (emit (Item.Tuple out))
+  | Ordered_output -> Gigascope_util.Minheap.add t.held ~prio:left_ts out
+
+let probe t ~from_left values ~emit =
+  let cfg = t.cfg in
+  if from_left then begin
+    let lt = ts_of values cfg.left_idx in
+    Queue.iter
+      (fun right ->
+        let rt = ts_of right cfg.right_idx in
+        let d = lt -. rt in
+        if d >= cfg.lo && d <= cfg.hi && cfg.pred values right then
+          match cfg.assemble values right with
+          | Some out -> produce t ~left_ts:lt out ~emit
+          | None -> ())
+      t.right.buffer
+  end
+  else begin
+    let rt = ts_of values cfg.right_idx in
+    Queue.iter
+      (fun left ->
+        let lt = ts_of left cfg.left_idx in
+        let d = lt -. rt in
+        if d >= cfg.lo && d <= cfg.hi && cfg.pred left values then
+          match cfg.assemble left values with
+          | Some out -> produce t ~left_ts:lt out ~emit
+          | None -> ())
+      t.left.buffer
+  end
+
+let emit_punct t ~emit =
+  (* Output tuples pair a left >= left.bound with a right >= right.bound,
+     so any projected ordered attribute respects its own side's bound. *)
+  let bounds =
+    List.filter_map Fun.id
+      [
+        Option.map (fun out -> (out, Value.Float t.left.bound)) t.cfg.left_out;
+        Option.map (fun out -> (out, Value.Float t.right.bound)) t.cfg.right_out;
+      ]
+  in
+  let finite = List.filter (fun (_, v) -> match v with Value.Float f -> Float.is_finite f | _ -> true) bounds in
+  if finite <> [] then emit (Item.Punct finite)
+
+let op t =
+  let cfg = t.cfg in
+  let on_item ~input item ~emit =
+    let side, idx, from_left =
+      if input = 0 then (t.left, cfg.left_idx, true) else (t.right, cfg.right_idx, false)
+    in
+    (match item with
+    | Item.Tuple values ->
+        let ts = ts_of values idx in
+        if ts > side.bound then side.bound <- ts;
+        probe t ~from_left values ~emit;
+        Queue.push values side.buffer;
+        purge t;
+        let b = buffered t in
+        if b > t.high_water then t.high_water <- b
+    | Item.Punct bounds -> (
+        match List.assoc_opt idx bounds with
+        | Some v -> (
+            match Value.to_float v with
+            | Some f ->
+                if f > side.bound then side.bound <- f;
+                purge t;
+                emit_punct t ~emit
+            | None -> ())
+        | None -> ())
+    | Item.Flush -> ()
+    | Item.Eof ->
+        side.eof <- true;
+        purge t);
+    release t ~emit;
+    let b = buffered t in
+    if b > t.high_water then t.high_water <- b;
+    if (not t.done_) && t.left.eof && t.right.eof then begin
+      t.done_ <- true;
+      release t ~emit;
+      emit Item.Eof
+    end
+  in
+  let blocked_input () =
+    let starving st = Queue.is_empty st.buffer && not st.eof in
+    if (not (Queue.is_empty t.left.buffer)) && starving t.right then Some 1
+    else if (not (Queue.is_empty t.right.buffer)) && starving t.left then Some 0
+    else None
+  in
+  { Operator.on_item; blocked_input; buffered = (fun () -> buffered t) }
+
+let high_water t = t.high_water

@@ -1,0 +1,43 @@
+(** Two-stream windowed join.
+
+    GSQL requires the join predicate to constrain an ordered attribute from
+    {e each} input, e.g. [B.ts = C.ts] or [B.ts >= C.ts - 1 and
+    B.ts <= C.ts + 1]; the constraint defines a join window that bounds the
+    state both sides must buffer (Section 2.1). Tuples outside any possible
+    future window are purged as the opposite side's low bound advances; a
+    punctuation advances the bound without a tuple, unblocking a join whose
+    one side is slow. *)
+
+(** The choice the paper's Section 2.1 discusses: with [Banded] output,
+    matches are emitted in probe order and a projected ordered attribute is
+    only banded by the window span; [Ordered] buffers matches and releases
+    them in left-attribute order (monotone output), at the cost of more
+    buffer space. *)
+type output_mode = Banded_output | Ordered_output
+
+type config = {
+  output_mode : output_mode;
+  left_idx : int;  (** ordered attribute of input 0 *)
+  right_idx : int;  (** ordered attribute of input 1 *)
+  lo : float;
+  hi : float;
+      (** window: a pair joins only if
+          [left.ts - right.ts] ∈ \[[lo], [hi]\]; equality join is [0., 0.] *)
+  pred : Value.t array -> Value.t array -> bool;
+      (** the full join predicate over (left, right) *)
+  assemble : Value.t array -> Value.t array -> Value.t array option;
+      (** output projection; [None] (partial function) drops the pair *)
+  left_out : int option;  (** where input 0's ordered attr lands in the output *)
+  right_out : int option;
+}
+
+type t
+
+val make : config -> t
+val op : t -> Operator.t
+
+val buffered : t -> int
+(** Input-side tuples plus (in [Ordered_output] mode) held output
+    matches. *)
+
+val high_water : t -> int

@@ -1,0 +1,134 @@
+type config = {
+  table_bits : int;
+  pred : (Value.t array -> bool) option;
+  keys : (Value.t array -> Value.t option) array;
+  epoch_key : int option;
+  direction : Order_prop.direction;
+  band : float;
+  aggs : Agg_fn.spec array;
+  assemble : keys:Value.t array -> aggs:Value.t array -> Value.t array;
+}
+
+type slot = { key : Value.t array; accs : Agg_fn.acc array }
+
+type t = {
+  cfg : config;
+  slots : slot option array;
+  mutable occupied : int;
+  mutable high_water : Value.t;
+  mutable evictions : int;
+  mutable emitted : int;
+  mutable done_ : bool;
+}
+
+let make cfg =
+  if cfg.table_bits < 0 || cfg.table_bits > 24 then
+    invalid_arg "Lfta_aggregate.make: table_bits out of range";
+  {
+    cfg;
+    slots = Array.make (1 lsl cfg.table_bits) None;
+    occupied = 0;
+    high_water = Value.Null;
+    evictions = 0;
+    emitted = 0;
+    done_ = false;
+  }
+
+let ahead cfg a b =
+  match cfg.direction with
+  | Order_prop.Asc -> Value.compare a b > 0
+  | Order_prop.Desc -> Value.compare a b < 0
+
+let emit_slot t s ~emit =
+  let agg_values = Array.map Agg_fn.final s.accs in
+  let out = t.cfg.assemble ~keys:s.key ~aggs:agg_values in
+  t.emitted <- t.emitted + 1;
+  ignore (emit (Item.Tuple out))
+
+let flush_all t ~emit =
+  (* Slot order is deterministic and cheap; the downstream HFTA re-groups,
+     so no ordering promise is needed beyond bandedness. *)
+  Array.iteri
+    (fun i slot ->
+      match slot with
+      | Some s ->
+          t.slots.(i) <- None;
+          t.occupied <- t.occupied - 1;
+          emit_slot t s ~emit
+      | None -> ())
+    t.slots
+
+let on_tuple t values ~emit =
+  let cfg = t.cfg in
+  if (match cfg.pred with Some p -> p values | None -> true) then begin
+  let n = Array.length cfg.keys in
+  let key = Array.make n Value.Null in
+  let ok = ref true in
+  Array.iteri
+    (fun i kf ->
+      match kf values with
+      | Some v -> key.(i) <- v
+      | None -> ok := false)
+    cfg.keys;
+  if !ok then begin
+    (match cfg.epoch_key with
+    | Some ek ->
+        let v = key.(ek) in
+        if t.high_water = Value.Null || ahead cfg v t.high_water then begin
+          (* A fresh epoch: everything in the table belongs to closed
+             epochs (module the band, which the HFTA absorbs). *)
+          if t.high_water <> Value.Null then flush_all t ~emit;
+          t.high_water <- v
+        end
+    | None -> ());
+    let idx = Value.hash_array key land ((1 lsl cfg.table_bits) - 1) in
+    let slot =
+      match t.slots.(idx) with
+      | Some s when Value.equal_array s.key key -> s
+      | Some victim ->
+          t.evictions <- t.evictions + 1;
+          emit_slot t victim ~emit;
+          let s = { key = Array.copy key; accs = Array.map (fun sp -> Agg_fn.init sp.Agg_fn.kind) cfg.aggs } in
+          t.slots.(idx) <- Some s;
+          s
+      | None ->
+          let s = { key = Array.copy key; accs = Array.map (fun sp -> Agg_fn.init sp.Agg_fn.kind) cfg.aggs } in
+          t.slots.(idx) <- Some s;
+          t.occupied <- t.occupied + 1;
+          s
+    in
+    Array.iteri
+      (fun i (spec : Agg_fn.spec) ->
+        let arg = match spec.Agg_fn.arg with None -> None | Some f -> f values in
+        Agg_fn.step slot.accs.(i) arg)
+      cfg.aggs
+  end
+  end
+
+let op t =
+  let on_item ~input:_ item ~emit =
+    match item with
+    | Item.Tuple values -> on_tuple t values ~emit
+    | Item.Punct _ ->
+        (* Partial groups give no per-field guarantee downstream except via
+           the HFTA; flush so the bound is honoured, then stay silent (the
+           HFTA regenerates bounds from its own epochs). *)
+        flush_all t ~emit
+    | Item.Flush ->
+        flush_all t ~emit;
+        emit Item.Flush
+    | Item.Eof ->
+        if not t.done_ then begin
+          t.done_ <- true;
+          flush_all t ~emit;
+          emit Item.Eof
+        end
+  in
+  {
+    Operator.on_item;
+    blocked_input = (fun () -> None);
+    buffered = (fun () -> t.occupied);
+  }
+
+let evictions t = t.evictions
+let emitted t = t.emitted

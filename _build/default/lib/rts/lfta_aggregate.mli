@@ -1,0 +1,37 @@
+(** The LFTA form of aggregation: a small direct-mapped hash table.
+
+    "An LFTA can perform aggregation, but it uses a small direct-mapped
+    hash table. Hash table collisions result in a tuple computed from the
+    ejected group being written to the output stream. Because of temporal
+    locality, aggregation even with a small hash table is effective in
+    early data reduction." (Section 3.)
+
+    The operator therefore emits {e partial} aggregates — possibly several
+    per logical group — and relies on a downstream HFTA super-aggregate to
+    complete the computation. Epoch advancement flushes the whole table.
+    Emitted partials carry no ordering promise except bandedness on the
+    epoch key, which {!Order_infer} imputes. *)
+
+type config = {
+  table_bits : int;  (** table size is [2 ^ table_bits] slots *)
+  pred : (Value.t array -> bool) option;  (** preliminary filtering *)
+  keys : (Value.t array -> Value.t option) array;
+  epoch_key : int option;
+  direction : Order_prop.direction;
+  band : float;
+  aggs : Agg_fn.spec array;  (** sub-aggregate specs (see {!Agg_fn.sub_kinds}) *)
+  assemble : keys:Value.t array -> aggs:Value.t array -> Value.t array;
+}
+
+type t
+
+val make : config -> t
+val op : t -> Operator.t
+
+val evictions : t -> int
+(** Collisions that ejected a partial group — the cost of the small
+    table. *)
+
+val emitted : t -> int
+(** Partial tuples written to the output stream; [emitted/input] is the
+    early-data-reduction factor measured in experiment A1. *)

@@ -1,0 +1,139 @@
+type t = {
+  registry : (string, Node.t) Hashtbl.t;
+  mutable order : Node.t list;  (* reverse registration order *)
+  funcs : Func.registry;
+  default_capacity : int;
+  mutable started : bool;
+}
+
+let create ?(default_capacity = 4096) () =
+  let funcs = Func.create_registry () in
+  Builtin_funcs.register_all funcs;
+  { registry = Hashtbl.create 32; order = []; funcs; default_capacity; started = false }
+
+let functions t = t.funcs
+
+let key = String.lowercase_ascii
+
+let register t node =
+  let k = key (Node.name node) in
+  if Hashtbl.mem t.registry k then
+    Error (Printf.sprintf "stream manager: query name %s already registered" (Node.name node))
+  else begin
+    Hashtbl.replace t.registry k node;
+    t.order <- node :: t.order;
+    Ok node
+  end
+
+let find t name = Hashtbl.find_opt t.registry (key name)
+let nodes t = List.rev t.order
+
+let add_source t ~name ~schema source =
+  if t.started then
+    Error "stream manager: sources are bound into the RTS; stop and restart to change them"
+  else register t (Node.make_source ~name ~schema source)
+
+let add_query_node t ~name ~kind ~schema ~inputs ~op =
+  let check_batch () =
+    match kind with
+    | Node.Lfta when t.started ->
+        Error
+          "stream manager: LFTAs are linked into the RTS and must be submitted in a batch; \
+           restart to change them"
+    | Node.Source -> Error "stream manager: use add_source for sources"
+    | Node.Lfta | Node.Hfta -> Ok ()
+  in
+  let resolve_inputs () =
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | input_name :: rest -> (
+          match find t input_name with
+          | Some up -> go (up :: acc) rest
+          | None -> Error (Printf.sprintf "stream manager: unknown stream %s" input_name))
+    in
+    go [] inputs
+  in
+  let check_lfta_inputs ups =
+    match kind with
+    | Node.Lfta ->
+        if List.for_all (fun up -> Node.kind up = Node.Source) ups then Ok ()
+        else Error "stream manager: LFTAs accept only Protocol (source) input"
+    | Node.Hfta | Node.Source -> Ok ()
+  in
+  match check_batch () with
+  | Error _ as e -> e
+  | Ok () -> (
+      match resolve_inputs () with
+      | Error _ as e -> e
+      | Ok ups -> (
+          match check_lfta_inputs ups with
+          | Error _ as e -> e
+          | Ok () -> (
+              let node = Node.make_op ~name ~kind ~schema ~op in
+              match register t node with
+              | Error _ as e -> e
+              | Ok node ->
+                  List.iter
+                    (fun up ->
+                      Node.connect ~downstream:node ~upstream:up ~capacity:t.default_capacity)
+                    ups;
+                  Ok node)))
+
+let subscribe t ?capacity name =
+  match find t name with
+  | None -> Error (Printf.sprintf "stream manager: unknown stream %s" name)
+  | Some node ->
+      let capacity = Option.value capacity ~default:t.default_capacity in
+      let chan = Channel.create ~capacity ~name:(Printf.sprintf "%s->app" name) () in
+      Node.add_subscriber node (Node.Chan chan);
+      Ok chan
+
+let on_item t name f =
+  match find t name with
+  | None -> Error (Printf.sprintf "stream manager: unknown stream %s" name)
+  | Some node ->
+      Node.add_subscriber node (Node.Callback f);
+      Ok ()
+
+let start t = t.started <- true
+let started t = t.started
+let restart t = t.started <- false
+
+let flush t name =
+  match find t name with
+  | None -> Error (Printf.sprintf "stream manager: unknown stream %s" name)
+  | Some node ->
+      (* Flushing "the query" means the whole chain: sub-aggregating LFTAs
+         hold the open groups, so flush upstream first and drain each hop
+         before flushing the next. *)
+      let rec flush_chain node =
+        Array.iter
+          (fun (up, _) -> if Node.kind up <> Node.Source then flush_chain up)
+          (Node.inputs node);
+        ignore (Node.step_inputs node ~quantum:1_000_000);
+        Node.inject_flush node
+      in
+      flush_chain node;
+      Ok ()
+
+let total_drops t = List.fold_left (fun acc n -> acc + Node.input_drops n) 0 (nodes t)
+
+let stats_report t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-24s %-8s %10s %10s %8s %9s\n" "node" "kind" "tuples-in" "tuples-out"
+       "drops" "buffered");
+  List.iter
+    (fun node ->
+      let kind =
+        match Node.kind node with
+        | Node.Source -> "source"
+        | Node.Lfta -> "lfta"
+        | Node.Hfta -> "hfta"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-24s %-8s %10d %10d %8d %9d\n" (Node.name node) kind
+           (Node.tuples_in node) (Node.tuples_out node) (Node.input_drops node)
+           (Node.buffered node)))
+    (nodes t);
+  Buffer.contents buf

@@ -1,0 +1,63 @@
+(** The stream manager: Gigascope's central registry.
+
+    Query nodes register here by name; applications and other query nodes
+    subscribe to a name and get a channel back ("the process then contacts
+    the query node to set up communication through shared memory; the
+    stream manager does not track the connection further", Section 3).
+
+    The LFTA batch restriction is enforced: because LFTAs are linked into
+    the runtime (and possibly the NIC), they must all be submitted before
+    {!start}; HFTAs can be added at any point. *)
+
+type t
+
+val create : ?default_capacity:int -> unit -> t
+(** [default_capacity] (default 4096) sizes channels created by
+    {!add_query_node} and {!subscribe}. *)
+
+val functions : t -> Func.registry
+(** The function registry, pre-populated with {!Builtin_funcs}. *)
+
+val add_source : t -> name:string -> schema:Schema.t -> Node.source -> (Node.t, string) result
+(** Sources are bound before start, like LFTAs. *)
+
+val add_query_node :
+  t ->
+  name:string ->
+  kind:Node.kind ->
+  schema:Schema.t ->
+  inputs:string list ->
+  op:Operator.t ->
+  (Node.t, string) result
+(** Registers the node and subscribes it to each named input, in order.
+    Errors: duplicate name; unknown input; an LFTA (or a source) added
+    after {!start}; an LFTA reading from anything but a source. *)
+
+val find : t -> string -> Node.t option
+val nodes : t -> Node.t list
+(** In registration (hence topological) order. *)
+
+val subscribe : t -> ?capacity:int -> string -> (Channel.t, string) result
+(** Application-side subscription: returns the channel to drain. *)
+
+val on_item : t -> string -> (Item.t -> unit) -> (unit, string) result
+(** Callback subscription (never drops). *)
+
+val start : t -> unit
+(** Freeze the LFTA set. Idempotent; implied by the first scheduler run. *)
+
+val started : t -> bool
+
+val restart : t -> unit
+(** Model "the RTS can be changed in seconds": unfreeze the LFTA set. *)
+
+val flush : t -> string -> (unit, string) result
+(** Make the named query emit its open state (partial aggregates) now —
+    the escape hatch for aggregations without an ordered group key. *)
+
+val total_drops : t -> int
+(** Tuples dropped across all registered nodes' input channels. *)
+
+val stats_report : t -> string
+(** A human-readable table: every node's kind, tuples in/out, input drops,
+    and buffered operator state. *)

@@ -1,0 +1,40 @@
+(** The MD-join: aggregation over predicate-defined groups.
+
+    Section 5 of the paper: "we are exploring how to integrate the complex
+    group definition mechanisms described in [the MD-join paper] into
+    GSQL". This operator is that mechanism, streamed: groups are not the
+    distinct values of key expressions but the rows of a small {e base
+    relation} [B]; a stream tuple [s] contributes to {e every} base row
+    [b] with [theta b s]. Groups may therefore overlap (a packet counts in
+    both "well-known ports" and "web ports") and empty groups still report
+    (a zero row per quiet bucket every epoch) — both impossible with plain
+    GROUP BY.
+
+    Epochs work as in {!Aggregate}: when the stream's ordered attribute
+    passes the open epoch (minus the band), every base row's aggregates are
+    emitted — in base-relation order — and reset. Without an epoch field
+    the operator reports only on [Flush]/EOF.
+
+    It plugs into the stream manager as a user-written query node (the
+    paper's bypass API): build the operator, register it with
+    {!Manager.add_query_node}. *)
+
+type config = {
+  base : Value.t array array;  (** the group-defining relation, in output order *)
+  theta : Value.t array -> Value.t array -> bool;  (** [theta base_row stream_tuple] *)
+  aggs : Agg_fn.spec array;  (** argument expressions read the stream tuple *)
+  epoch_field : int;  (** stream-tuple index of the ordered attribute; [-1] = none *)
+  direction : Order_prop.direction;
+  band : float;
+  assemble : base:Value.t array -> epoch:Value.t -> aggs:Value.t array -> Value.t array;
+      (** build one output row per base row per epoch *)
+}
+
+type t
+
+val make : config -> t
+(** Raises [Invalid_argument] on an empty base relation. *)
+
+val op : t -> Operator.t
+
+val epochs_emitted : t -> int

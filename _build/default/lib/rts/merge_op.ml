@@ -1,0 +1,134 @@
+type config = { n_inputs : int; ordered_idx : int; direction : Order_prop.direction }
+
+type input_state = {
+  queue : Value.t array Queue.t;
+  mutable bound : Value.t;  (** low bound from puncts/tuples; Null = none yet *)
+  mutable eof : bool;
+}
+
+type t = {
+  cfg : config;
+  inputs : input_state array;
+  mutable high_water : int;
+  mutable done_ : bool;
+}
+
+let make cfg =
+  if cfg.n_inputs < 1 then invalid_arg "Merge_op.make: need at least one input";
+  {
+    cfg;
+    inputs = Array.init cfg.n_inputs (fun _ -> { queue = Queue.create (); bound = Value.Null; eof = false });
+    high_water = 0;
+    done_ = false;
+  }
+
+(* [cmp a b] in stream direction: negative when [a] comes first. *)
+let cmp t a b =
+  let c = Value.compare a b in
+  match t.cfg.direction with Order_prop.Asc -> c | Desc -> -c
+
+let buffered t = Array.fold_left (fun acc st -> acc + Queue.length st.queue) 0 t.inputs
+
+(* The earliest value input [i] could still deliver: the head of its queue
+   if nonempty, else its punctuation bound; EOF means "never again". *)
+let low_of t i =
+  let st = t.inputs.(i) in
+  if not (Queue.is_empty st.queue) then
+    `Known (Queue.peek st.queue).(t.cfg.ordered_idx)
+  else if st.eof then `Infinity
+  else if st.bound = Value.Null then `Unknown
+  else `Known st.bound
+
+(* Emit while some input's head is covered by every other input's bound. *)
+let drain t ~emit =
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    (* Find the input with the smallest head. *)
+    let best = ref None in
+    Array.iteri
+      (fun i st ->
+        if not (Queue.is_empty st.queue) then begin
+          let v = (Queue.peek st.queue).(t.cfg.ordered_idx) in
+          match !best with
+          | Some (_, bv) when cmp t bv v <= 0 -> ()
+          | _ -> best := Some (i, v)
+        end)
+      t.inputs;
+    match !best with
+    | None -> ()
+    | Some (i, v) ->
+        let covered = ref true in
+        Array.iteri
+          (fun j _ ->
+            if j <> i then
+              match low_of t j with
+              | `Infinity -> ()
+              | `Unknown -> covered := false
+              | `Known lo -> if cmp t lo v < 0 then covered := false)
+          t.inputs;
+        if !covered then begin
+          ignore (emit (Item.Tuple (Queue.pop t.inputs.(i).queue)));
+          progress := true
+        end
+  done;
+  if (not t.done_) && Array.for_all (fun st -> st.eof && Queue.is_empty st.queue) t.inputs
+  then begin
+    t.done_ <- true;
+    emit Item.Eof
+  end
+
+let emit_punct t ~emit =
+  (* The output's bound is the min over inputs of their lows. *)
+  let lows =
+    Array.to_list (Array.init (Array.length t.inputs) (fun i -> low_of t i))
+  in
+  let known =
+    List.filter_map (function `Known v -> Some v | `Infinity | `Unknown -> None) lows
+  in
+  let any_unknown = List.exists (function `Unknown -> true | _ -> false) lows in
+  match known with
+  | v :: rest when not any_unknown ->
+      let min_v = List.fold_left (fun acc x -> if cmp t x acc < 0 then x else acc) v rest in
+      emit (Item.Punct [(t.cfg.ordered_idx, min_v)])
+  | _ -> ()
+
+let op t =
+  let on_item ~input item ~emit =
+    let st = t.inputs.(input) in
+    (match item with
+    | Item.Tuple values ->
+        Queue.push values st.queue;
+        let hw = buffered t in
+        if hw > t.high_water then t.high_water <- hw;
+        let v = values.(t.cfg.ordered_idx) in
+        if st.bound = Value.Null || cmp t st.bound v < 0 then st.bound <- v
+    | Item.Punct bounds -> (
+        match List.assoc_opt t.cfg.ordered_idx bounds with
+        | Some v -> if st.bound = Value.Null || cmp t st.bound v < 0 then st.bound <- v
+        | None -> ())
+    | Item.Flush -> ()
+    | Item.Eof -> st.eof <- true);
+    drain t ~emit;
+    match item with
+    | Item.Punct _ -> emit_punct t ~emit
+    | Item.Tuple _ | Item.Flush | Item.Eof -> ()
+  in
+  let blocked_input () =
+    (* Blocked: some input has data waiting, and another input's silence
+       (empty queue, no EOF) is what holds it back. *)
+    let someone_waiting = Array.exists (fun st -> not (Queue.is_empty st.queue)) t.inputs in
+    if not someone_waiting then None
+    else
+      let n = Array.length t.inputs in
+      let rec find i =
+        if i = n then None
+        else
+          let st = t.inputs.(i) in
+          if Queue.is_empty st.queue && not st.eof then Some i else find (i + 1)
+      in
+      find 0
+  in
+  { Operator.on_item; blocked_input; buffered = (fun () -> buffered t) }
+
+let high_water t = t.high_water

@@ -1,0 +1,30 @@
+(** The order-preserving merge (GSQL's [Merge] clause).
+
+    A union of streams with identical schemas that preserves the ordering
+    property of a designated attribute. "This operator is surprisingly
+    important — we implemented it before the join operator": optical links
+    are simplex, so seeing a full logical link means merging two
+    interfaces' streams (Section 2.2).
+
+    Merge buffers each input and emits the globally smallest head once
+    every other input's low bound has passed it. A silent input therefore
+    blocks the merge — exactly the situation Section 3's "Unblocking
+    Operators" solves with heartbeats: a punctuation on the silent input
+    advances its bound without a tuple. *)
+
+type config = {
+  n_inputs : int;
+  ordered_idx : int;  (** the merge attribute, same index in all inputs *)
+  direction : Order_prop.direction;
+}
+
+type t
+
+val make : config -> t
+val op : t -> Operator.t
+
+val buffered : t -> int
+(** Total tuples held across input buffers (A3's measurement). *)
+
+val high_water : t -> int
+(** Maximum of {!buffered} ever reached. *)

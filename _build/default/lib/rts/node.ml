@@ -1,0 +1,138 @@
+type kind = Source | Lfta | Hfta
+
+type source = {
+  pull : unit -> Item.t option;
+  clock : unit -> (int * Value.t) list;
+}
+
+type subscriber = Chan of Channel.t | Callback of (Item.t -> unit)
+
+type behavior = Src of source | Op of Operator.t
+
+type t = {
+  name : string;
+  kind : kind;
+  schema : Schema.t;
+  behavior : behavior;
+  mutable node_inputs : (t * Channel.t) array;
+  mutable subscribers : subscriber list;
+  mutable tuples_in : int;
+  mutable tuples_out : int;
+  mutable source_done : bool;
+  mutable eof_emitted : bool;
+}
+
+let make name kind schema behavior =
+  {
+    name;
+    kind;
+    schema;
+    behavior;
+    node_inputs = [||];
+    subscribers = [];
+    tuples_in = 0;
+    tuples_out = 0;
+    source_done = false;
+    eof_emitted = false;
+  }
+
+let make_source ~name ~schema source = make name Source schema (Src source)
+let make_op ~name ~kind ~schema ~op = make name kind schema (Op op)
+
+let name t = t.name
+let kind t = t.kind
+let schema t = t.schema
+
+let connect ~downstream ~upstream ~capacity =
+  let chan =
+    Channel.create ~capacity ~name:(Printf.sprintf "%s->%s" upstream.name downstream.name) ()
+  in
+  downstream.node_inputs <- Array.append downstream.node_inputs [| (upstream, chan) |];
+  upstream.subscribers <- upstream.subscribers @ [Chan chan]
+
+let add_subscriber t sub = t.subscribers <- t.subscribers @ [sub]
+
+let inputs t = t.node_inputs
+
+let emit t item =
+  (match item with
+  | Item.Tuple _ -> t.tuples_out <- t.tuples_out + 1
+  | Item.Eof -> t.eof_emitted <- true
+  | Item.Punct _ | Item.Flush -> ());
+  List.iter
+    (fun sub ->
+      match sub with
+      | Chan chan -> ignore (Channel.push chan item)
+      | Callback f -> f item)
+    t.subscribers
+
+let step_source t ~quantum =
+  match t.behavior with
+  | Op _ -> false
+  | Src src ->
+      if t.source_done then false
+      else begin
+        let produced = ref 0 in
+        let continue = ref true in
+        while !continue && !produced < quantum do
+          match src.pull () with
+          | Some item ->
+              incr produced;
+              emit t item
+          | None ->
+              t.source_done <- true;
+              continue := false;
+              emit t Item.Eof
+        done;
+        !produced > 0
+      end
+
+let step_inputs t ~quantum =
+  match t.behavior with
+  | Src _ -> false
+  | Op op ->
+      let progress = ref false in
+      Array.iteri
+        (fun i (_, chan) ->
+          let consumed = ref 0 in
+          let continue = ref true in
+          while !continue && !consumed < quantum do
+            match Channel.pop chan with
+            | Some item ->
+                incr consumed;
+                progress := true;
+                if Item.is_tuple item then t.tuples_in <- t.tuples_in + 1;
+                op.Operator.on_item ~input:i item ~emit:(emit t)
+            | None -> continue := false
+          done)
+        t.node_inputs;
+      !progress
+
+let exhausted t =
+  match t.behavior with Src _ -> t.source_done | Op _ -> t.eof_emitted
+
+let blocked_input t =
+  match t.behavior with Src _ -> None | Op op -> op.Operator.blocked_input ()
+
+let heartbeat t =
+  match t.behavior with
+  | Op _ -> ()
+  | Src src ->
+      if not t.source_done then begin
+        let bounds = src.clock () in
+        if bounds <> [] then emit t (Item.Punct bounds)
+      end
+
+let inject_flush t =
+  match t.behavior with
+  | Src _ -> ()
+  | Op op -> op.Operator.on_item ~input:0 Item.Flush ~emit:(emit t)
+
+let tuples_in t = t.tuples_in
+let tuples_out t = t.tuples_out
+
+let buffered t =
+  match t.behavior with Src _ -> 0 | Op op -> op.Operator.buffered ()
+
+let input_drops t =
+  Array.fold_left (fun acc (_, chan) -> acc + Channel.drops chan) 0 t.node_inputs

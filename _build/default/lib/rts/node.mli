@@ -1,0 +1,70 @@
+(** Query nodes — the processes of Gigascope's architecture.
+
+    A node is either a {e source} (an Interface bound to a Protocol,
+    producing interpreted tuples) or a query node running an operator.
+    LFTAs are lightweight query nodes linked into the runtime; HFTAs are
+    the heavyweight ones. Nodes communicate through bounded channels; a
+    subscriber that cannot keep up loses tuples, never blocks the
+    producer. *)
+
+type kind = Source | Lfta | Hfta
+
+type source = {
+  pull : unit -> Item.t option;
+      (** next item, [None] when exhausted (EOF is then emitted once) *)
+  clock : unit -> (int * Value.t) list;
+      (** current low bounds on ordered fields — what a heartbeat
+          publishes even when no tuple has flowed *)
+}
+
+type t
+
+type subscriber = Chan of Channel.t | Callback of (Item.t -> unit)
+
+val make_source : name:string -> schema:Schema.t -> source -> t
+
+val make_op : name:string -> kind:kind -> schema:Schema.t -> op:Operator.t -> t
+(** Inputs are attached afterwards with {!connect}. *)
+
+val name : t -> string
+val kind : t -> kind
+val schema : t -> Schema.t
+
+val connect : downstream:t -> upstream:t -> capacity:int -> unit
+(** Create a channel from [upstream] into [downstream]'s next input slot. *)
+
+val add_subscriber : t -> subscriber -> unit
+
+val inputs : t -> (t * Channel.t) array
+(** Upstream node and the channel it feeds us through, per input. *)
+
+val emit : t -> Item.t -> unit
+(** Push an item to every subscriber (with per-channel drop accounting). *)
+
+val step_source : t -> quantum:int -> bool
+(** Pull and emit up to [quantum] items; true if anything was produced.
+    Emits one [Eof] at exhaustion. *)
+
+val step_inputs : t -> quantum:int -> bool
+(** Drain up to [quantum] items from each input through the operator; true
+    if anything was consumed. *)
+
+val exhausted : t -> bool
+(** Sources: pull returned [None]. Query nodes: EOF emitted downstream. *)
+
+val blocked_input : t -> int option
+val heartbeat : t -> unit
+(** Sources only: emit a punctuation carrying the current clock bounds.
+    No-op for query nodes (they translate incoming punctuation instead). *)
+
+val inject_flush : t -> unit
+(** Query nodes only: hand the operator an {!Item.Flush}, making it emit
+    its open state now ("the user can obtain output by flushing the
+    query", Section 2.2). No-op for sources. *)
+
+val tuples_in : t -> int
+val tuples_out : t -> int
+val buffered : t -> int
+
+val input_drops : t -> int
+(** Tuples lost on this node's input channels. *)

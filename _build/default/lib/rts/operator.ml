@@ -1,0 +1,23 @@
+type emit = Item.t -> unit
+
+type t = {
+  on_item : input:int -> Item.t -> emit:emit -> unit;
+  blocked_input : unit -> int option;
+  buffered : unit -> int;
+}
+
+let stateless f ~n_inputs =
+  let eofs = Array.make n_inputs false in
+  let done_ = ref false in
+  let on_item ~input item ~emit =
+    match item with
+    | Item.Tuple values -> f values ~emit
+    | Item.Punct _ | Item.Flush -> emit item
+    | Item.Eof ->
+        eofs.(input) <- true;
+        if Array.for_all Fun.id eofs && not !done_ then begin
+          done_ := true;
+          emit Item.Eof
+        end
+  in
+  { on_item; blocked_input = (fun () -> None); buffered = (fun () -> 0) }

@@ -1,0 +1,26 @@
+(** The operator abstraction query nodes execute.
+
+    An operator reacts to items arriving on numbered inputs and emits items
+    downstream through the provided [emit]. The contract:
+    - exactly one [Item.Eof] must be emitted, after the operator has seen
+      [Eof] on all its inputs and flushed its state;
+    - [Item.Punct] must be translated (not blindly forwarded) so emitted
+      bounds refer to {e output} field indices and are actually honoured by
+      future output tuples;
+    - [blocked_input] names an input whose silence currently prevents
+      progress (merge/join), which is what triggers on-demand heartbeat
+      requests upstream. *)
+
+type emit = Item.t -> unit
+
+type t = {
+  on_item : input:int -> Item.t -> emit:emit -> unit;
+  blocked_input : unit -> int option;
+  buffered : unit -> int;  (** items of internal state, for measurement *)
+}
+
+val stateless : (Value.t array -> emit:emit -> unit) -> n_inputs:int -> t
+(** Wrap a per-tuple function into an operator that forwards punctuation
+    unchanged (valid only when input and output schemas share field
+    positions for ordered attributes) and handles EOF counting over
+    [n_inputs]. *)

@@ -1,0 +1,17 @@
+module Prng = Gigascope_util.Prng
+
+let make ~rate ~seed =
+  if rate < 0.0 || rate > 1.0 then invalid_arg "Sample_op.make: rate must be in [0,1]";
+  let rng = Prng.create seed in
+  let done_ = ref false in
+  let on_item ~input:_ item ~emit =
+    match item with
+    | Item.Tuple _ -> if Prng.float rng 1.0 < rate then emit item
+    | Item.Punct _ | Item.Flush -> emit item
+    | Item.Eof ->
+        if not !done_ then begin
+          done_ := true;
+          emit Item.Eof
+        end
+  in
+  { Operator.on_item; blocked_input = (fun () -> None); buffered = (fun () -> 0) }

@@ -1,0 +1,11 @@
+(** Bernoulli sampling under analyst control.
+
+    Sampling in Gigascope is "a technique of last resort" (Section 4) that
+    must be integrated into the language under the analyst's control
+    (Section 5); this operator implements the [SAMPLE p] clause as seeded,
+    reproducible Bernoulli sampling. *)
+
+val make : rate:float -> seed:int -> Operator.t
+(** [rate] in \[0, 1\]: the probability each tuple survives. Punctuation
+    passes through untouched (a sample of an ordered stream keeps its
+    ordering properties). *)

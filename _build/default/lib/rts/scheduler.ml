@@ -1,0 +1,72 @@
+type stats = { rounds : int; heartbeat_requests : int }
+
+let rec walk_upstream visited node =
+  if not (List.memq node !visited) then begin
+    visited := node :: !visited;
+    if Node.kind node = Node.Source then Node.heartbeat node
+    else Array.iter (fun (up, _) -> walk_upstream visited up) (Node.inputs node)
+  end
+
+let request_heartbeat node =
+  let visited = ref [] in
+  walk_upstream visited node
+
+let channels_empty node =
+  Array.for_all (fun (_, chan) -> Channel.is_empty chan) (Node.inputs node)
+
+let run ?(quantum = 64) ?(max_rounds = 10_000_000) ?(heartbeats = true) ?heartbeat_period
+    ?on_round mgr =
+  Manager.start mgr;
+  let nodes = Manager.nodes mgr in
+  let rounds = ref 0 in
+  let heartbeat_requests = ref 0 in
+  let finished () =
+    List.for_all (fun n -> Node.exhausted n && channels_empty n) nodes
+  in
+  let result = ref None in
+  while !result = None do
+    if finished () then result := Some (Ok { rounds = !rounds; heartbeat_requests = !heartbeat_requests })
+    else if !rounds >= max_rounds then
+      result := Some (Error (Printf.sprintf "scheduler: no completion after %d rounds" max_rounds))
+    else begin
+      incr rounds;
+      let progress = ref false in
+      List.iter
+        (fun node ->
+          if Node.kind node = Node.Source then begin
+            if Node.step_source node ~quantum then progress := true
+          end
+          else if Node.step_inputs node ~quantum then progress := true)
+        nodes;
+      let hb_fired = ref false in
+      (match heartbeat_period with
+      | Some period when period > 0 && !rounds mod period = 0 ->
+          List.iter
+            (fun node ->
+              if Node.kind node = Node.Source && not (Node.exhausted node) then begin
+                Node.heartbeat node;
+                hb_fired := true
+              end)
+            nodes
+      | _ -> ());
+      if heartbeats then
+        List.iter
+          (fun node ->
+            match Node.blocked_input node with
+            | Some i ->
+                incr heartbeat_requests;
+                hb_fired := true;
+                let up, _ = (Node.inputs node).(i) in
+                request_heartbeat up
+            | None -> ())
+          nodes;
+      (match on_round with Some f -> f !rounds | None -> ());
+      (* A heartbeat pushes punctuation into channels, so it counts as
+         progress for the next round. No item moved and nothing fired
+         means either completion (checked next iteration) or a wedged
+         network, which we surface rather than spin on. *)
+      if (not !progress) && (not !hb_fired) && not (finished ()) then
+        result := Some (Error "scheduler: wedged (no progress, not finished)")
+    end
+  done;
+  match !result with Some r -> r | None -> assert false

@@ -1,0 +1,38 @@
+(** Cooperative execution of the query network.
+
+    Round-robin over registered nodes in topological order: sources
+    produce a quantum of items, query nodes drain a quantum from each
+    input. After each round, operators that report a blocked input get
+    heartbeats requested on their behalf (the "on-demand" ordering-update
+    tokens of Section 3), propagated upstream to the sources, whose clocks
+    answer with punctuations.
+
+    A run completes when every source is exhausted, every channel drained,
+    and EOF has propagated to the sinks. *)
+
+type stats = {
+  rounds : int;
+  heartbeat_requests : int;
+}
+
+val run :
+  ?quantum:int ->
+  ?max_rounds:int ->
+  ?heartbeats:bool ->
+  ?heartbeat_period:int ->
+  ?on_round:(int -> unit) ->
+  Manager.t ->
+  (stats, string) result
+(** [quantum] (default 64) items per node per round; [max_rounds] (default
+    10_000_000) guards against wedged networks; [heartbeats] (default true)
+    enables on-demand punctuation (requested by blocked operators);
+    [heartbeat_period] additionally fires every source's clock punctuation
+    every N rounds — the periodic injection of Tucker & Maier that the
+    paper contrasts with its on-demand scheme; [on_round] runs after each
+    round — the hook through which a live application changes query
+    parameters or flushes queries mid-stream. Implies
+    {!Manager.start}. *)
+
+val request_heartbeat : Node.t -> unit
+(** Walk upstream from the node and fire every source's clock punctuation
+    (exposed for tests and custom drivers). *)

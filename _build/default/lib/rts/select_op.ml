@@ -1,0 +1,26 @@
+let make ?pred ~project ~punct_map () =
+  let done_ = ref false in
+  let on_item ~input:_ item ~emit =
+    match item with
+    | Item.Tuple values -> (
+        let pass = match pred with None -> true | Some p -> p values in
+        if pass then
+          match project values with
+          | Some out -> ignore (emit (Item.Tuple out))
+          | None -> ())
+    | Item.Punct bounds ->
+        let translated =
+          List.filter_map
+            (fun (idx, v) ->
+              Option.map (fun out_idx -> (out_idx, v)) (List.assoc_opt idx punct_map))
+            bounds
+        in
+        if translated <> [] then emit (Item.Punct translated)
+    | Item.Flush -> emit Item.Flush
+    | Item.Eof ->
+        if not !done_ then begin
+          done_ := true;
+          emit Item.Eof
+        end
+  in
+  { Operator.on_item; blocked_input = (fun () -> None); buffered = (fun () -> 0) }

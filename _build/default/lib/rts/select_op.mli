@@ -1,0 +1,16 @@
+(** Selection / projection — the workhorse of LFTAs.
+
+    Applies a predicate, then computes output fields from the input tuple.
+    Projection closures may be partial ([None] discards the tuple), which
+    is how partial user functions behave in the SELECT list. *)
+
+val make :
+  ?pred:(Value.t array -> bool) ->
+  project:(Value.t array -> Value.t array option) ->
+  punct_map:(int * int) list ->
+  unit ->
+  Operator.t
+(** [punct_map] maps input field indices to output field indices for the
+    ordered attributes that survive projection; punctuation bounds on other
+    fields are dropped. Bounds are forwarded only when their field maps —
+    a projection that drops the timestamp also drops its guarantees. *)

@@ -1,0 +1,32 @@
+(** Runtime values carried in stream tuples. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int  (** covers the DDL's uint/int/time types *)
+  | Float of float
+  | Str of string
+  | Ip of int  (** IPv4 address *)
+
+val compare : t -> t -> int
+(** Total order: [Null] first, then by constructor, then by payload.
+    [Int]/[Float] compare numerically against each other so that ordered
+    attributes survive arithmetic that changes representation. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+val to_float : t -> float option
+(** Numeric view of [Int]/[Float]/[Bool]; [None] otherwise. Used for
+    ordered-attribute arithmetic (windows, bands). *)
+
+val is_truthy : t -> bool
+(** [Bool true], nonzero numbers; everything else false. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val hash_array : t array -> int
+(** Hash of a tuple key (group-by keys, direct-mapped LFTA slots). *)
+
+val equal_array : t array -> t array -> bool

@@ -1,0 +1,1 @@
+lib/sim/calibrate.ml: Array Bytes Gigascope Gigascope_bpf Gigascope_packet Gigascope_regex Gigascope_rts Gigascope_traffic Option Sys

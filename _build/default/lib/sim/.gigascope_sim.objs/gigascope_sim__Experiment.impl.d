@@ -1,0 +1,1 @@
+lib/sim/experiment.ml: Calibrate Float Host_model List Option Params Printf

@@ -1,0 +1,1 @@
+lib/sim/experiment.mli: Calibrate Host_model Params

@@ -1,0 +1,1 @@
+lib/sim/host_model.ml: Calibrate Float Gigascope_util Params

@@ -1,0 +1,1 @@
+lib/sim/host_model.mli: Calibrate Params

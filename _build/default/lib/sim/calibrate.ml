@@ -1,0 +1,111 @@
+module Traffic = Gigascope_traffic
+module P = Gigascope_packet
+module Packet = P.Packet
+module Regex = Gigascope_regex.Regex
+module Bpf = Gigascope_bpf
+module Value = Gigascope_rts.Value
+
+type costs = { c_interpret : float; c_lfta : float; c_hfta : float; c_bpf : float }
+
+let default_cpu_scale = 1.0
+
+let time_per_iter f n =
+  (* warm up, then measure CPU time *)
+  f ();
+  let t0 = Sys.time () in
+  for _ = 1 to n do
+    f ()
+  done;
+  (Sys.time () -. t0) /. float_of_int n
+
+let measure ?(packets = 2000) ?(seed = 99) () =
+  let cfg =
+    {
+      Traffic.Gen.default with
+      Traffic.Gen.seed;
+      duration = 1.0e9;
+      rate_mbps = 100.0;
+      port80_fraction = 0.3;
+    }
+  in
+  let gen = Traffic.Gen.create cfg in
+  let pkts =
+    Array.init packets (fun _ ->
+        match Traffic.Gen.next gen with Some p -> p | None -> assert false)
+  in
+  let wires = Array.map Packet.encode pkts in
+  let proto = Option.get (Gigascope.Default_protocols.find "tcp") in
+  let tuples =
+    Array.map
+      (fun p ->
+        match proto.Gigascope.Default_protocols.interpret p with
+        | Some t -> t
+        | None -> [||])
+      pkts
+  in
+  let payloads = Array.map (fun p -> Bytes.to_string (Packet.payload p)) pkts in
+  let n = Array.length pkts in
+  let cursor = ref 0 in
+  let next_idx () =
+    let i = !cursor in
+    cursor := (i + 1) mod n;
+    i
+  in
+  (* stage 1: decode + interpret *)
+  let c_interpret =
+    time_per_iter
+      (fun () ->
+        let i = next_idx () in
+        match Packet.decode ~ts:0.0 wires.(i) with
+        | Ok p -> ignore (proto.Gigascope.Default_protocols.interpret p)
+        | Error _ -> ())
+      n
+  in
+  (* stage 2: the LFTA predicate (ipversion=4 and protocol=6 and destport=80)
+     over an interpreted tuple, plus a table-hash step *)
+  let pred tuple =
+    Array.length tuple > 12
+    && Value.equal tuple.(2) (Value.Int 4)
+    && Value.equal tuple.(8) (Value.Int 6)
+    && Value.equal tuple.(12) (Value.Int 80)
+  in
+  let sink = ref 0 in
+  let c_lfta =
+    time_per_iter
+      (fun () ->
+        let i = next_idx () in
+        if pred tuples.(i) then sink := !sink + 1;
+        sink := !sink + (Value.hash_array tuples.(i) land 0xfff))
+      n
+  in
+  (* stage 3: the HTTP regex over a payload *)
+  let rx = Regex.compile "^[^\\n]*HTTP/1.*" in
+  let c_hfta =
+    time_per_iter
+      (fun () ->
+        let i = next_idx () in
+        if Regex.matches rx payloads.(i) then incr sink)
+      n
+  in
+  (* stage 4: the bpf filter over raw bytes *)
+  let filter =
+    Bpf.Filter.(And (Cmp (Ip_protocol, Eq, 6), Cmp (Dst_port, Eq, 80)))
+  in
+  let prog = Bpf.Filter.compile filter in
+  let c_bpf =
+    time_per_iter
+      (fun () ->
+        let i = next_idx () in
+        if Bpf.Vm.run prog wires.(i) > 0 then incr sink)
+      n
+  in
+  ignore !sink;
+  { c_interpret; c_lfta; c_hfta; c_bpf }
+
+let scale c k =
+  {
+    c_interpret = c.c_interpret *. k;
+    c_lfta = c.c_lfta *. k;
+    c_hfta = c.c_hfta *. k;
+    c_bpf = c.c_bpf *. k;
+  }

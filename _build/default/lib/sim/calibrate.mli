@@ -1,0 +1,26 @@
+(** Measured per-packet costs of the real code paths.
+
+    The simulator's query-evaluation costs are not guesses: they are
+    measured by running this repository's actual packet decoder, compiled
+    LFTA predicate, and regex engine over generated traffic, then scaled by
+    [cpu_scale] to a 2003-class host (DESIGN.md, substitution table). *)
+
+type costs = {
+  c_interpret : float;  (** wire bytes -> decoded packet -> protocol tuple, s/packet *)
+  c_lfta : float;  (** compiled LFTA predicate + direct-mapped table step, s/packet *)
+  c_hfta : float;  (** HTTP regex over one payload, s/packet *)
+  c_bpf : float;  (** the filter program on raw bytes, s/packet *)
+}
+
+val measure : ?packets:int -> ?seed:int -> unit -> costs
+(** Run the real code over [packets] (default 2000) generated packets and
+    time each stage. *)
+
+val scale : costs -> float -> costs
+(** Multiply every cost by a CPU-slowdown factor. *)
+
+val default_cpu_scale : float
+(** 1.0: an interpreter-style OCaml path on a modern core and the paper's
+    generated C on a 733 MHz CPU land in the same per-packet cost range,
+    so measured costs are used as-is; DESIGN.md discusses the
+    substitution. *)

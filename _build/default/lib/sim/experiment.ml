@@ -1,0 +1,85 @@
+type row = { rate_mbps : float; loss : (Host_model.config * float) list }
+
+type summary = {
+  rows : row list;
+  max_rate : (Host_model.config * float) list;
+  costs : Calibrate.costs;
+}
+
+let configs =
+  [Host_model.Disk_dump; Host_model.Pcap_discard; Host_model.Host_lfta; Host_model.Nic_lfta]
+
+let paper_reference =
+  [
+    (Host_model.Disk_dump, 180.0);
+    (Host_model.Pcap_discard, 480.0);
+    (Host_model.Host_lfta, 480.0);
+    (Host_model.Nic_lfta, 610.0);
+  ]
+
+(* the paper's router could offer at most 610 Mbit/s; sweep to the same
+   ceiling so "no loss at the top rate" reads as the paper's ">= 610" *)
+let default_rates =
+  [100.; 150.; 180.; 200.; 250.; 300.; 350.; 400.; 440.; 480.; 520.; 560.; 590.; 610.]
+
+let run ?(host = Params.default_host) ?(rates = default_rates) ?(duration = 20.0)
+    ?(threshold = 0.02) ?cpu_scale () =
+  let cpu_scale = Option.value cpu_scale ~default:Calibrate.default_cpu_scale in
+  let costs = Calibrate.scale (Calibrate.measure ()) cpu_scale in
+  let rows =
+    List.map
+      (fun rate ->
+        let w = Params.default_workload ~background_mbps:(Float.max 0.0 (rate -. 60.0)) in
+        let loss =
+          List.map
+            (fun config -> (config, (Host_model.simulate host w config costs ~duration).Host_model.loss))
+            configs
+        in
+        { rate_mbps = rate; loss })
+      rates
+  in
+  let max_rate =
+    List.map
+      (fun config ->
+        let best =
+          List.fold_left
+            (fun acc r ->
+              match List.assoc_opt config r.loss with
+              | Some l when l <= threshold -> Float.max acc r.rate_mbps
+              | _ -> acc)
+            0.0 rows
+        in
+        (config, best))
+      configs
+  in
+  { rows; max_rate; costs }
+
+let print_summary s =
+  Printf.printf "E1: HTTP-fraction query, four capture configurations (Section 4)\n";
+  Printf.printf
+    "measured code costs (scaled): interpret=%.2fus lfta=%.2fus regex=%.2fus bpf=%.2fus\n\n"
+    (s.costs.Calibrate.c_interpret *. 1e6)
+    (s.costs.Calibrate.c_lfta *. 1e6)
+    (s.costs.Calibrate.c_hfta *. 1e6)
+    (s.costs.Calibrate.c_bpf *. 1e6);
+  Printf.printf "%-12s" "Mbit/s";
+  List.iter (fun c -> Printf.printf "%18s" (Host_model.config_name c)) configs;
+  print_newline ();
+  List.iter
+    (fun r ->
+      Printf.printf "%-12.0f" r.rate_mbps;
+      List.iter
+        (fun c ->
+          match List.assoc_opt c r.loss with
+          | Some l -> Printf.printf "%17.2f%%" (l *. 100.0)
+          | None -> Printf.printf "%18s" "-")
+        configs;
+      print_newline ())
+    s.rows;
+  Printf.printf "\n%-22s %18s %14s\n" "configuration" "max @ <=2% (Mb/s)" "paper (Mbit/s)";
+  List.iter
+    (fun c ->
+      Printf.printf "%-22s %18.0f %14.0f\n" (Host_model.config_name c)
+        (Option.value (List.assoc_opt c s.max_rate) ~default:0.0)
+        (Option.value (List.assoc_opt c paper_reference) ~default:0.0))
+    configs

@@ -1,0 +1,36 @@
+(** The Section 4 experiment driver (E1 in EXPERIMENTS.md).
+
+    Sweep the offered load (60 Mbit/s of port-80 traffic plus growing
+    background) across the four configurations; report per-rate loss and
+    the maximum rate each configuration sustains under the paper's 2 %
+    loss threshold. The paper's measured maxima (≈180, ≈480, ≈480,
+    ≥610 Mbit/s) are printed alongside for shape comparison. *)
+
+type row = {
+  rate_mbps : float;
+  loss : (Host_model.config * float) list;  (** per configuration *)
+}
+
+type summary = {
+  rows : row list;
+  max_rate : (Host_model.config * float) list;
+      (** highest swept rate with loss ≤ threshold *)
+  costs : Calibrate.costs;  (** the measured per-packet costs used *)
+}
+
+val run :
+  ?host:Params.host ->
+  ?rates:float list ->
+  ?duration:float ->
+  ?threshold:float ->
+  ?cpu_scale:float ->
+  unit ->
+  summary
+(** Defaults: rates 100..700 by 50 (total Mbit/s), 20 simulated seconds per
+    point, 2 % threshold. *)
+
+val paper_reference : (Host_model.config * float) list
+(** What the paper measured on its hardware. *)
+
+val print_summary : summary -> unit
+(** The table the benchmark harness prints. *)

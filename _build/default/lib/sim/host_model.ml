@@ -1,0 +1,133 @@
+module Prng = Gigascope_util.Prng
+
+type config = Disk_dump | Pcap_discard | Host_lfta | Nic_lfta
+
+let config_name = function
+  | Disk_dump -> "dump-to-disk"
+  | Pcap_discard -> "libpcap-discard"
+  | Host_lfta -> "lfta-on-host"
+  | Nic_lfta -> "lfta-on-nic"
+
+type result = {
+  offered : int;
+  delivered : int;
+  dropped : int;
+  loss : float;
+  livelock_slices : int;
+  stall_slices : int;
+}
+
+type burst = { mutable factor : float; mutable until : float }
+
+let update_burst rng b ~now ~bursty =
+  if bursty && now >= b.until then begin
+    let on = Prng.bool rng in
+    b.factor <- (if on then 1.7 else 0.3);
+    b.until <- now +. Prng.pareto rng ~alpha:1.5 ~xmin:0.01
+  end
+
+let simulate (h : Params.host) (w : Params.workload) config (c : Calibrate.costs) ~duration =
+  let rng = Prng.create w.Params.seed in
+  let pps = Params.offered_pps w in
+  let pass =
+    (* fraction of offered packets the LFTA filter keeps (port-80) *)
+    if w.Params.filter_pass > 0.0 then w.Params.filter_pass
+    else w.Params.port80_mbps /. Params.offered_mbps w
+  in
+  let full_bytes = float_of_int w.Params.mean_pkt_bytes in
+  let snap_bytes = Float.min full_bytes (float_of_int w.Params.snap_len) in
+  let copy bytes = h.Params.t_copy_fixed +. (h.Params.t_copy_per_byte *. bytes) in
+  (* expected host CPU cost of one delivered packet, per configuration *)
+  let per_packet_cost =
+    match config with
+    | Disk_dump -> copy full_bytes +. (h.Params.t_copy_per_byte *. full_bytes) (* copy + write *)
+    | Pcap_discard -> copy full_bytes
+    | Host_lfta ->
+        (* the lightweight LFTA evaluates its predicate over raw bytes
+           (the bpf-equivalent cost); only qualifying packets pay field
+           interpretation, the aggregation step and the HFTA regex *)
+        copy full_bytes +. c.Calibrate.c_bpf
+        +. (pass *. (c.Calibrate.c_interpret +. c.Calibrate.c_lfta +. c.Calibrate.c_hfta))
+    | Nic_lfta ->
+        (* only qualifying, snapped packets reach the host *)
+        copy snap_bytes +. c.Calibrate.c_interpret +. c.Calibrate.c_hfta
+  in
+  let nic_cost =
+    match config with
+    | Disk_dump | Pcap_discard | Host_lfta -> h.Params.nic_per_packet_dumb
+    | Nic_lfta -> h.Params.nic_per_packet_lfta
+  in
+  let deliver_fraction = match config with Nic_lfta -> pass | _ -> 1.0 in
+  let slice = h.Params.slice in
+  let n_slices = int_of_float (duration /. slice) in
+  let burst = { factor = 1.0; until = 0.0 } in
+  let offered = ref 0 and delivered = ref 0 and dropped = ref 0 in
+  let ring = ref 0.0 and backlog = ref 0.0 in
+  let disk_queue = ref 0.0 in
+  let livelock_slices = ref 0 and stall_slices = ref 0 in
+  let frac_carry = ref 0.0 in
+  for i = 0 to n_slices - 1 do
+    let now = float_of_int i *. slice in
+    update_burst rng burst ~now ~bursty:w.Params.bursty;
+    (* arrivals on the wire this slice *)
+    let expected = pps *. (if w.Params.bursty then burst.factor else 1.0) *. slice in
+    let exact = expected +. !frac_carry in
+    let arrivals = int_of_float exact in
+    frac_carry := exact -. float_of_int arrivals;
+    offered := !offered + arrivals;
+    (* NIC datapath: beyond its per-slice packet budget the card itself
+       drops (matters only for expensive NIC modes at extreme rates) *)
+    let nic_capacity = int_of_float (slice /. nic_cost) in
+    let nic_kept = min arrivals nic_capacity in
+    let nic_dropped = arrivals - nic_kept in
+    (* filtering on the card: rejected packets never raise an interrupt *)
+    let to_host = int_of_float (Float.round (float_of_int nic_kept *. deliver_fraction)) in
+    let filtered_out = nic_kept - to_host in
+    ignore filtered_out;
+    (* RX ring *)
+    ring := !ring +. float_of_int to_host;
+    let ring_overflow = Float.max 0.0 (!ring -. float_of_int h.Params.ring_capacity) in
+    ring := !ring -. ring_overflow;
+    (* interrupt service pulls packets out of the ring at 1/t_int *)
+    let int_budget = slice /. h.Params.t_interrupt in
+    let pulled = Float.min !ring int_budget in
+    ring := !ring -. pulled;
+    let cpu_left = slice -. (pulled *. h.Params.t_interrupt) in
+    if cpu_left <= slice *. 0.01 && pulled > 0.0 then incr livelock_slices;
+    (* disk stall freezes processing (interrupts keep firing) *)
+    let stalled =
+      config = Disk_dump
+      && Float.rem now h.Params.disk_stall_interval < h.Params.disk_stall_duration
+      && now > h.Params.disk_stall_interval
+    in
+    if stalled then incr stall_slices;
+    backlog := !backlog +. pulled;
+    let processing_budget = if stalled then 0.0 else cpu_left in
+    let can_process = processing_budget /. per_packet_cost in
+    (* the dump configuration also blocks when the write buffer is full *)
+    let disk_limited =
+      if config = Disk_dump then begin
+        let drain = if stalled then 0.0 else h.Params.disk_rate *. slice in
+        disk_queue := Float.max 0.0 (!disk_queue -. drain);
+        let room = Float.max 0.0 (float_of_int h.Params.disk_buffer -. !disk_queue) in
+        room /. full_bytes
+      end
+      else infinity
+    in
+    let processed = Float.min !backlog (Float.min can_process disk_limited) in
+    backlog := !backlog -. processed;
+    if config = Disk_dump then disk_queue := !disk_queue +. (processed *. full_bytes);
+    let backlog_overflow = Float.max 0.0 (!backlog -. float_of_int h.Params.backlog_capacity) in
+    backlog := !backlog -. backlog_overflow;
+    delivered := !delivered + int_of_float processed;
+    dropped := !dropped + nic_dropped + int_of_float (ring_overflow +. backlog_overflow)
+  done;
+  let offered_n = max 1 !offered in
+  {
+    offered = !offered;
+    delivered = !delivered;
+    dropped = !dropped;
+    loss = float_of_int !dropped /. float_of_int offered_n;
+    livelock_slices = !livelock_slices;
+    stall_slices = !stall_slices;
+  }

@@ -1,0 +1,30 @@
+(** The time-sliced capture-host simulation.
+
+    Each slice accounts the NIC datapath, per-packet receive interrupts
+    (which preempt everything — the livelock mechanism), the kernel-to-user
+    copy, per-configuration packet processing, and, for the dump
+    configuration, a disk with finite bandwidth, a finite write buffer, and
+    periodic flush stalls that freeze processing. Packets queue in an RX
+    ring and an application backlog; overflow anywhere is a dropped packet,
+    the metric of Section 4. *)
+
+(** The four alternatives of the experiment. *)
+type config =
+  | Disk_dump  (** (1) dump to disk for post-facto analysis *)
+  | Pcap_discard  (** (2) libpcap read-and-discard — best-case host capture *)
+  | Host_lfta  (** (3) Gigascope, LFTAs on the host (reading from libpcap) *)
+  | Nic_lfta  (** (4) Gigascope, LFTAs on the Tigon NIC *)
+
+val config_name : config -> string
+
+type result = {
+  offered : int;  (** packets the link carried *)
+  delivered : int;  (** packets that completed processing *)
+  dropped : int;
+  loss : float;
+  livelock_slices : int;  (** slices in which interrupts consumed all CPU *)
+  stall_slices : int;  (** slices frozen by a disk flush *)
+}
+
+val simulate :
+  Params.host -> Params.workload -> config -> Calibrate.costs -> duration:float -> result

@@ -1,0 +1,63 @@
+type host = {
+  t_interrupt : float;
+  t_copy_fixed : float;
+  t_copy_per_byte : float;
+  ring_capacity : int;
+  backlog_capacity : int;
+  disk_rate : float;
+  disk_buffer : int;
+  disk_stall_interval : float;
+  disk_stall_duration : float;
+  nic_per_packet_dumb : float;
+  nic_per_packet_filter : float;
+  nic_per_packet_lfta : float;
+  slice : float;
+}
+
+(* A 733 MHz host of 2003: interrupt service ~8 us, copies ~1 us + 4 ns/B
+   (~250 MB/s memcpy), fast striped disks ~25 MB/s sustained with a 150 ms
+   flush stall every 2 s, a Tigon-class NIC that forwards minimum-size
+   packets at line rate and pays a premium to filter or run LFTAs. *)
+let default_host =
+  {
+    t_interrupt = 8.0e-6;
+    t_copy_fixed = 1.0e-6;
+    t_copy_per_byte = 4.0e-9;
+    ring_capacity = 256;
+    backlog_capacity = 4096;
+    disk_rate = 25.0e6;
+    disk_buffer = 8 * 1024 * 1024;
+    disk_stall_interval = 2.0;
+    disk_stall_duration = 0.15;
+    nic_per_packet_dumb = 0.4e-6;
+    nic_per_packet_filter = 0.7e-6;
+    nic_per_packet_lfta = 1.0e-6;
+    slice = 1.0e-3;
+  }
+
+type workload = {
+  port80_mbps : float;
+  background_mbps : float;
+  mean_pkt_bytes : int;
+  http_fraction : float;
+  filter_pass : float;
+  snap_len : int;
+  bursty : bool;
+  seed : int;
+}
+
+let default_workload ~background_mbps =
+  {
+    port80_mbps = 60.0;
+    background_mbps;
+    mean_pkt_bytes = 750;
+    http_fraction = 0.5;
+    filter_pass = 0.0 (* derived below *);
+    snap_len = 65535 (* the HFTA regex needs payloads *);
+    bursty = false (* the paper offered controlled rates from a router *);
+    seed = 0x1ee7;
+  }
+
+let offered_mbps w = w.port80_mbps +. w.background_mbps
+
+let offered_pps w = offered_mbps w *. 1.0e6 /. 8.0 /. float_of_int w.mean_pkt_bytes

@@ -1,0 +1,50 @@
+(** Parameters of the capture-host model.
+
+    The Section 4 experiment compared four ways of watching a gigabit
+    link on a 733 MHz host with a Tigon NIC. Its outcome is governed by a
+    handful of per-packet costs — interrupt service, kernel/user copy,
+    query evaluation, disk writes — and by two pathologies the paper calls
+    out: {e interrupt livelock} (receive interrupts starve all other work
+    past a threshold rate) and {e disk stalls} ("touching disk kills
+    performance not because it is slow but because it generates long and
+    unpredictable delays throughout the system").
+
+    Costs of query evaluation are {e measured} from this repository's real
+    compiled code ({!Calibrate}); fixed platform costs below are set to a
+    2003-class host and documented in DESIGN.md. *)
+
+type host = {
+  t_interrupt : float;  (** CPU seconds per delivered-packet interrupt *)
+  t_copy_fixed : float;  (** per-packet kernel->user copy overhead *)
+  t_copy_per_byte : float;
+  ring_capacity : int;  (** RX ring, packets *)
+  backlog_capacity : int;  (** kernel/app queue, packets *)
+  disk_rate : float;  (** sustained striped-disk bandwidth, bytes/s *)
+  disk_buffer : int;  (** write buffer, bytes *)
+  disk_stall_interval : float;  (** seconds between flush stalls *)
+  disk_stall_duration : float;  (** seconds the CPU is held per stall *)
+  nic_per_packet_dumb : float;  (** NIC datapath cost, plain forwarding *)
+  nic_per_packet_filter : float;  (** with the bpf filter engaged *)
+  nic_per_packet_lfta : float;  (** running LFTA code on the card *)
+  slice : float;  (** simulation time slice, seconds *)
+}
+
+val default_host : host
+
+(** The workload of the experiment: a fixed port-80 component plus
+    variable background traffic. *)
+type workload = {
+  port80_mbps : float;  (** 60 Mbit/s in the paper *)
+  background_mbps : float;  (** the swept variable *)
+  mean_pkt_bytes : int;
+  http_fraction : float;  (** of port-80 packets *)
+  filter_pass : float;  (** fraction of all packets passing the LFTA filter *)
+  snap_len : int;  (** bytes delivered per qualifying packet under NIC modes *)
+  bursty : bool;
+  seed : int;
+}
+
+val default_workload : background_mbps:float -> workload
+
+val offered_mbps : workload -> float
+val offered_pps : workload -> float

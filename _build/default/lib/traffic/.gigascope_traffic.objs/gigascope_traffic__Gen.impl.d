@@ -1,0 +1,1 @@
+lib/traffic/gen.ml: Array Bytes Float Gigascope_packet Gigascope_util Option Payload

@@ -1,0 +1,1 @@
+lib/traffic/gen.mli: Gigascope_packet Gigascope_util

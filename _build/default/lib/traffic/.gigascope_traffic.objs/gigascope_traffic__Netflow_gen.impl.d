@@ -1,0 +1,1 @@
+lib/traffic/netflow_gen.ml: Array Float Gigascope_packet Gigascope_util List

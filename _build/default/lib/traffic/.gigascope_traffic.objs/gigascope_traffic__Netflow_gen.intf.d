@@ -1,0 +1,1 @@
+lib/traffic/netflow_gen.mli: Gigascope_packet

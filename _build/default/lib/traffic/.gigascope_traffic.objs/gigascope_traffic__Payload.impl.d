@@ -1,0 +1,1 @@
+lib/traffic/payload.ml: Array Bytes Char Gigascope_util Printf String

@@ -1,0 +1,1 @@
+lib/traffic/payload.mli: Gigascope_util

@@ -1,0 +1,172 @@
+module Prng = Gigascope_util.Prng
+module Ipaddr = Gigascope_packet.Ipaddr
+module Packet = Gigascope_packet.Packet
+module Tcp = Gigascope_packet.Tcp
+
+type config = {
+  seed : int;
+  start_ts : float;
+  duration : float;
+  rate_mbps : float;
+  n_flows : int;
+  port80_fraction : float;
+  http_fraction : float;
+  udp_fraction : float;
+  mean_payload : int;
+  bursty : bool;
+  uniform_random : bool;
+  interface_count : int;
+}
+
+let default =
+  {
+    seed = 42;
+    start_ts = 1_000_000.0;
+    duration = 1.0;
+    rate_mbps = 100.0;
+    n_flows = 512;
+    port80_fraction = 0.3;
+    http_fraction = 0.5;
+    udp_fraction = 0.3;
+    mean_payload = 400;
+    bursty = true;
+    uniform_random = false;
+    interface_count = 1;
+  }
+
+type flow_kind = Http | Tunnel | Tcp_other | Udp_other
+
+type flow = {
+  src : Ipaddr.t;
+  dst : Ipaddr.t;
+  src_port : int;
+  dst_port : int;
+  kind : flow_kind;
+  iface : int;
+  mutable seq : int;
+}
+
+type t = {
+  cfg : config;
+  rng : Prng.t;
+  flows : flow array;
+  mutable ident : int;  (** rolling IP identification, as a real stack's *)
+  mutable now : float;
+  mutable burst_until : float;
+  mutable burst_factor : float;
+  mutable count : int;
+  header_overhead : int;
+}
+
+let random_ip rng =
+  (* private-ish space, avoiding 0/255 octets *)
+  Ipaddr.of_octets (10 + Prng.int rng 60) (1 + Prng.int rng 250) (1 + Prng.int rng 250)
+    (1 + Prng.int rng 250)
+
+let make_flow cfg rng =
+  let r = Prng.float rng 1.0 in
+  let kind =
+    if r < cfg.port80_fraction then
+      if Prng.float rng 1.0 < cfg.http_fraction then Http else Tunnel
+    else if Prng.float rng 1.0 < cfg.udp_fraction then Udp_other
+    else Tcp_other
+  in
+  let dst_port =
+    match kind with
+    | Http | Tunnel -> 80
+    | Udp_other -> [| 53; 123; 161; 514; 4500 |].(Prng.int rng 5)
+    | Tcp_other -> [| 22; 25; 110; 443; 8080; 3306 |].(Prng.int rng 6)
+  in
+  {
+    src = random_ip rng;
+    dst = random_ip rng;
+    src_port = 1024 + Prng.int rng 60000;
+    dst_port;
+    kind;
+    iface = Prng.int rng (max 1 cfg.interface_count);
+    seq = Prng.int rng 1_000_000;
+  }
+
+let create cfg =
+  let rng = Prng.create cfg.seed in
+  {
+    cfg;
+    rng;
+    flows = Array.init (max 1 cfg.n_flows) (fun _ -> make_flow cfg rng);
+    ident = 1;
+    now = cfg.start_ts;
+    burst_until = cfg.start_ts;
+    burst_factor = 1.0;
+    count = 0;
+    header_overhead = 14 + 20 + 20 (* eth + ip + tcp, roughly *);
+  }
+
+let clock t = t.now
+let total_packets t = t.count
+
+(* Zipf-ish flow choice: heavy reuse of a few flows (temporal locality).
+   u^4 concentrates most packets on a small head of the population, the
+   shape real traffic has and LFTA aggregation exploits. *)
+let pick_flow t =
+  let n = Array.length t.flows in
+  let u = Prng.float t.rng 1.0 in
+  let idx = int_of_float (u *. u *. u *. u *. float_of_int n) in
+  t.flows.(min idx (n - 1))
+
+let update_burst t =
+  if t.cfg.bursty && t.now >= t.burst_until then begin
+    let on = Prng.bool t.rng in
+    t.burst_factor <- (if on then 1.7 else 0.3);
+    t.burst_until <- t.now +. Prng.pareto t.rng ~alpha:1.5 ~xmin:0.01
+  end
+
+let payload_len t =
+  let len = int_of_float (Prng.exponential t.rng (float_of_int t.cfg.mean_payload)) in
+  min 1400 (max 16 len)
+
+let next_with_interface t =
+  if t.now -. t.cfg.start_ts >= t.cfg.duration then None
+  else begin
+    update_burst t;
+    let mean_size = float_of_int (t.cfg.mean_payload + t.header_overhead) in
+    let pkts_per_sec = t.cfg.rate_mbps *. 1e6 /. 8.0 /. mean_size in
+    let effective = pkts_per_sec *. if t.cfg.bursty then t.burst_factor else 1.0 in
+    let gap = Prng.exponential t.rng (1.0 /. Float.max 1.0 effective) in
+    t.now <- t.now +. gap;
+    if t.now -. t.cfg.start_ts >= t.cfg.duration then None
+    else begin
+      let flow =
+        if t.cfg.uniform_random then make_flow t.cfg t.rng else pick_flow t
+      in
+      let len = payload_len t in
+      let payload =
+        match flow.kind with
+        | Http ->
+            if Prng.bool t.rng then Payload.http_request t.rng len
+            else Payload.http_response t.rng len
+        | Tunnel -> Payload.tunneled t.rng len
+        | Tcp_other -> Payload.random_binary t.rng len
+        | Udp_other ->
+            if flow.dst_port = 53 then Payload.dns_query t.rng len
+            else Payload.random_binary t.rng len
+      in
+      t.ident <- (t.ident + 1) land 0xffff;
+      let pkt =
+        match flow.kind with
+        | Udp_other ->
+            Packet.udp ~ts:t.now ~ident:t.ident ~src:flow.src ~dst:flow.dst
+              ~src_port:flow.src_port ~dst_port:flow.dst_port ~payload ()
+        | Http | Tunnel | Tcp_other ->
+            let seq = flow.seq in
+            flow.seq <- (flow.seq + Bytes.length payload) land 0xffffffff;
+            Packet.tcp ~ts:t.now ~seq ~ident:t.ident
+              ~flags:{ Tcp.no_flags with Tcp.ack = true; psh = Bytes.length payload > 0 }
+              ~src:flow.src ~dst:flow.dst ~src_port:flow.src_port ~dst_port:flow.dst_port
+              ~payload ()
+      in
+      t.count <- t.count + 1;
+      Some (pkt, flow.iface)
+    end
+  end
+
+let next t = Option.map fst (next_with_interface t)

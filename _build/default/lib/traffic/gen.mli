@@ -1,0 +1,52 @@
+(** The synthetic traffic generator.
+
+    Stands in for the paper's router-generated test feeds and live links:
+    a flow-structured, bursty, time-ordered packet stream with controllable
+    rate, port mix, HTTP share and flow locality. Determinism comes from
+    the seed; two generators with equal configs produce identical
+    streams.
+
+    Model: packet arrivals form a Poisson process modulated by an on/off
+    burst state (Pareto-distributed burst lengths — "network traffic is
+    notoriously bursty"); each arrival is attributed to a persistent flow
+    drawn Zipf-style from a fixed population (the temporal locality that
+    LFTA aggregation exploits), or to a fresh random five-tuple in
+    adversarial mode. *)
+
+module Prng = Gigascope_util.Prng
+module Packet = Gigascope_packet.Packet
+
+type config = {
+  seed : int;
+  start_ts : float;
+  duration : float;  (** seconds of traffic; [next] returns [None] after *)
+  rate_mbps : float;  (** offered load *)
+  n_flows : int;  (** concurrent flow population *)
+  port80_fraction : float;  (** share of packets to TCP port 80 *)
+  http_fraction : float;  (** of port-80 packets, share with HTTP payloads *)
+  udp_fraction : float;  (** of non-port-80 packets *)
+  mean_payload : int;  (** mean payload bytes (exponential-ish mix) *)
+  bursty : bool;
+  uniform_random : bool;  (** adversarial: fresh 5-tuple per packet *)
+  interface_count : int;  (** round-robin tag for simplex-link splitting *)
+}
+
+val default : config
+
+type t
+
+val create : config -> t
+
+val next : t -> Packet.t option
+(** The next packet in timestamp order, [None] past [duration]. *)
+
+val next_with_interface : t -> (Packet.t * int) option
+(** Also says which simplex interface (0 .. interface_count-1) carries the
+    packet — a flow sticks to one interface, as real routing does. *)
+
+val clock : t -> float
+(** Current virtual time: the timestamp the next packet will carry. This
+    is what a source heartbeat publishes when no packet has flowed. *)
+
+val total_packets : t -> int
+(** Packets generated so far. *)

@@ -1,0 +1,86 @@
+module Prng = Gigascope_util.Prng
+module Ipaddr = Gigascope_packet.Ipaddr
+module Netflow = Gigascope_packet.Netflow
+
+type config = {
+  seed : int;
+  start_ts : float;
+  duration : float;
+  flows_per_second : float;
+  dump_interval : float;
+}
+
+let default =
+  { seed = 7; start_ts = 1_000_000.0; duration = 120.0; flows_per_second = 200.0; dump_interval = 30.0 }
+
+type t = {
+  cfg : config;
+  rng : Prng.t;
+  mutable pending : Netflow.t list;  (** current dump batch, end-time sorted *)
+  mutable next_dump : float;
+  mutable clock : float;
+}
+
+let create cfg =
+  {
+    cfg;
+    rng = Prng.create cfg.seed;
+    pending = [];
+    next_dump = cfg.start_ts +. cfg.dump_interval;
+    clock = cfg.start_ts;
+  }
+
+let clock t = t.clock
+
+let random_ip rng =
+  Ipaddr.of_octets (10 + Prng.int rng 60) (1 + Prng.int rng 250) (1 + Prng.int rng 250)
+    (1 + Prng.int rng 250)
+
+(* Fabricate the batch of flows that ended inside one dump interval. A
+   flow's start precedes its end by up to the dump interval, so within the
+   end-sorted batch starts are banded. *)
+let make_batch t ~dump_end =
+  let n =
+    int_of_float (t.cfg.flows_per_second *. t.cfg.dump_interval)
+    + Prng.int t.rng (max 1 (int_of_float t.cfg.flows_per_second))
+  in
+  let records =
+    List.init n (fun _ ->
+        let end_ts = dump_end -. Prng.float t.rng t.cfg.dump_interval in
+        let lifetime = Prng.float t.rng t.cfg.dump_interval in
+        let start_ts = Float.max t.cfg.start_ts (end_ts -. lifetime) in
+        let packets = 1 + Prng.int t.rng 1000 in
+        {
+          Netflow.src = random_ip t.rng;
+          dst = random_ip t.rng;
+          src_port = 1024 + Prng.int t.rng 60000;
+          dst_port = [| 80; 443; 53; 25; 8080 |].(Prng.int t.rng 5);
+          protocol = (if Prng.float t.rng 1.0 < 0.7 then 6 else 17);
+          packets;
+          octets = packets * (40 + Prng.int t.rng 1200);
+          start_ts;
+          end_ts;
+          tcp_flags = Prng.int t.rng 64;
+        })
+  in
+  List.sort Netflow.compare_end_ts records
+
+let rec next t =
+  match t.pending with
+  | r :: rest ->
+      t.pending <- rest;
+      t.clock <- r.Netflow.end_ts;
+      Some r
+  | [] ->
+      if t.next_dump > t.cfg.start_ts +. t.cfg.duration then None
+      else begin
+        let batch = make_batch t ~dump_end:t.next_dump in
+        t.next_dump <- t.next_dump +. t.cfg.dump_interval;
+        t.pending <- batch;
+        next t
+      end
+
+let to_list cfg =
+  let t = create cfg in
+  let rec go acc = match next t with Some r -> go (r :: acc) | None -> List.rev acc in
+  go []

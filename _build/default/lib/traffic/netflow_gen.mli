@@ -1,0 +1,30 @@
+(** Netflow stream synthesis.
+
+    Routers aggregate packets into flow records and dump active flows
+    every 30 seconds; the resulting stream is sorted on flow {e end} time
+    while {e start} times are only banded-increasing(30 s) — the paper's
+    motivating example for banded ordering properties. This generator
+    produces exactly that shape. *)
+
+module Netflow = Gigascope_packet.Netflow
+
+type config = {
+  seed : int;
+  start_ts : float;
+  duration : float;
+  flows_per_second : float;
+  dump_interval : float;  (** 30 s in real routers *)
+}
+
+val default : config
+
+type t
+
+val create : config -> t
+
+val next : t -> Netflow.t option
+(** Records in end-time order, [None] when the window is exhausted. *)
+
+val clock : t -> float
+
+val to_list : config -> Netflow.t list

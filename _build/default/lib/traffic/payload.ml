@@ -1,0 +1,64 @@
+module Prng = Gigascope_util.Prng
+
+let paths = [| "/"; "/index.html"; "/images/logo.gif"; "/api/v1/items"; "/search?q=net" |]
+let hosts = [| "www.example.com"; "portal.att.net"; "cdn.media.example"; "api.internal" |]
+
+let pad_to rng b len =
+  let cur = Bytes.length b in
+  if cur >= len then b
+  else begin
+    let out = Bytes.make len ' ' in
+    Bytes.blit b 0 out 0 cur;
+    for i = cur to len - 1 do
+      (* printable filler so regexes see realistic body bytes *)
+      Bytes.set out i (Char.chr (32 + Prng.int rng 95))
+    done;
+    out
+  end
+
+let http_request rng len =
+  let path = paths.(Prng.int rng (Array.length paths)) in
+  let host = hosts.(Prng.int rng (Array.length hosts)) in
+  let head =
+    Printf.sprintf "GET %s HTTP/1.1\r\nHost: %s\r\nUser-Agent: gs-gen/1.0\r\n\r\n" path host
+  in
+  pad_to rng (Bytes.of_string head) (max len (String.length head))
+
+let http_response rng len =
+  let head = "HTTP/1.1 200 OK\r\nContent-Type: text/html\r\nConnection: keep-alive\r\n\r\n" in
+  pad_to rng (Bytes.of_string head) (max len (String.length head))
+
+let tunneled rng len =
+  (* Must not match ^[^\n]*HTTP/1.* — start with a newline-bearing binary
+     preamble so no "HTTP/1" appears on the first line, and keep the magic
+     string out of the body. *)
+  let len = max len 4 in
+  let b = Bytes.create len in
+  for i = 0 to len - 1 do
+    Bytes.set b i (Char.chr (Prng.int rng 256))
+  done;
+  Bytes.set b 0 '\n';
+  (* scrub accidental "HTTP/1" occurrences *)
+  let magic = "HTTP/1" in
+  let m = String.length magic in
+  for i = 0 to len - m do
+    if Bytes.sub_string b i m = magic then Bytes.set b i 'X'
+  done;
+  b
+
+let random_binary rng len =
+  let b = Bytes.create (max len 0) in
+  for i = 0 to Bytes.length b - 1 do
+    Bytes.set b i (Char.chr (Prng.int rng 256))
+  done;
+  b
+
+let dns_query rng len =
+  let len = max len 17 in
+  let b = random_binary rng len in
+  (* header: id, flags=0x0100 (rd), qdcount=1 *)
+  Bytes.set b 2 '\x01';
+  Bytes.set b 3 '\x00';
+  Bytes.set b 4 '\x00';
+  Bytes.set b 5 '\x01';
+  b

@@ -1,0 +1,24 @@
+(** Synthetic packet payloads.
+
+    The Section 4 experiment distinguishes port-80 traffic whose payload
+    matches [^[^\n]*HTTP/1.*] (real web traffic) from port-80 traffic that
+    merely tunnels through firewalls; this module fabricates both, plus
+    generic binary payloads. *)
+
+module Prng = Gigascope_util.Prng
+
+val http_request : Prng.t -> int -> bytes
+(** An HTTP/1.1 request line + headers, padded/truncated to the requested
+    length (always ≥ the minimal request; matches the paper's regex). *)
+
+val http_response : Prng.t -> int -> bytes
+(** An [HTTP/1.x 200 OK] response head. *)
+
+val tunneled : Prng.t -> int -> bytes
+(** Port-80 bytes that do {e not} match the HTTP regex (binary tunnel
+    framing). *)
+
+val random_binary : Prng.t -> int -> bytes
+
+val dns_query : Prng.t -> int -> bytes
+(** A rough DNS-shaped UDP payload. *)

@@ -1,0 +1,74 @@
+type 'a entry = { prio : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable arr : 'a entry option array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create () = { arr = Array.make 16 None; len = 0; next_seq = 0 }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let get t i =
+  match t.arr.(i) with Some e -> e | None -> assert false
+
+(* [before a b] is true when a should pop before b. *)
+let before a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let grow t =
+  let arr = Array.make (2 * Array.length t.arr) None in
+  Array.blit t.arr 0 arr 0 t.len;
+  t.arr <- arr
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before (get t i) (get t parent) then begin
+      let tmp = t.arr.(i) in
+      t.arr.(i) <- t.arr.(parent);
+      t.arr.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.len && before (get t l) (get t !smallest) then smallest := l;
+  if r < t.len && before (get t r) (get t !smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.arr.(i) in
+    t.arr.(i) <- t.arr.(!smallest);
+    t.arr.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let add t ~prio value =
+  if t.len = Array.length t.arr then grow t;
+  t.arr.(t.len) <- Some { prio; seq = t.next_seq; value };
+  t.next_seq <- t.next_seq + 1;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+let min t =
+  if t.len = 0 then None
+  else
+    let e = get t 0 in
+    Some (e.prio, e.value)
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let e = get t 0 in
+    t.len <- t.len - 1;
+    t.arr.(0) <- t.arr.(t.len);
+    t.arr.(t.len) <- None;
+    if t.len > 0 then sift_down t 0;
+    Some (e.prio, e.value)
+  end
+
+let clear t =
+  Array.fill t.arr 0 (Array.length t.arr) None;
+  t.len <- 0

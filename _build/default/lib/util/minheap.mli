@@ -1,0 +1,24 @@
+(** Binary min-heaps over explicit priorities.
+
+    Used for the discrete-event simulator's event queue and for k-way merges
+    in tests. Priorities are floats; ties are broken by insertion order so
+    that simulation runs are deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val add : 'a t -> prio:float -> 'a -> unit
+(** Insert an element with the given priority. *)
+
+val min : 'a t -> (float * 'a) option
+(** The minimum-priority element, if any, without removing it. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-priority element. Among equal priorities,
+    the earliest-inserted element is returned first. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,64 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64: tiny state, excellent statistical quality for simulation use. *)
+let bits64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* OCaml ints are 63-bit; mask after truncation so the result is always
+   nonnegative. *)
+let nonneg_int t = Int64.to_int (bits64 t) land max_int
+
+let int t n =
+  if n <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let rec go () =
+    let r = nonneg_int t in
+    let v = r mod n in
+    if r - v > max_int - n + 1 then go () else v
+  in
+  go ()
+
+let float t x =
+  let r = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  x *. (r /. 9007199254740992.0 (* 2^53 *))
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let exponential t mean =
+  let u = float t 1.0 in
+  let u = if u <= 0.0 then epsilon_float else u in
+  -.mean *. log u
+
+let pareto t ~alpha ~xmin =
+  let u = float t 1.0 in
+  let u = if u <= 0.0 then epsilon_float else u in
+  xmin /. (u ** (1.0 /. alpha))
+
+let geometric t p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Prng.geometric";
+  if p >= 1.0 then 0
+  else
+    let u = float t 1.0 in
+    let u = if u <= 0.0 then epsilon_float else u in
+    int_of_float (log u /. log (1.0 -. p))
+
+let choose t weighted =
+  let total = Array.fold_left (fun acc (w, _) -> acc +. w) 0.0 weighted in
+  if total <= 0.0 then invalid_arg "Prng.choose: nonpositive total weight";
+  let x = float t total in
+  let n = Array.length weighted in
+  let rec go i acc =
+    if i = n - 1 then snd weighted.(i)
+    else
+      let acc = acc +. fst weighted.(i) in
+      if x < acc then snd weighted.(i) else go (i + 1) acc
+  in
+  go 0 0.0

@@ -1,0 +1,43 @@
+(** Deterministic pseudo-random number generation.
+
+    A small, fast, seedable generator (splitmix64) used everywhere randomness
+    is needed — traffic synthesis, sampling, property-test data — so that
+    every run of the system is reproducible from a seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Equal seeds give equal
+    sequences. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same current state. *)
+
+val bits64 : t -> int64
+(** [bits64 t] returns 64 uniformly random bits. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)]. Requires [n > 0]. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [\[0, x)]. *)
+
+val bool : t -> bool
+(** A fair coin flip. *)
+
+val exponential : t -> float -> float
+(** [exponential t mean] samples an exponential distribution with the given
+    mean; used for Poisson inter-arrival times. *)
+
+val pareto : t -> alpha:float -> xmin:float -> float
+(** [pareto t ~alpha ~xmin] samples a Pareto distribution (heavy tail);
+    used for burst lengths, as network traffic is "notoriously bursty". *)
+
+val geometric : t -> float -> int
+(** [geometric t p] is the number of failures before the first success of a
+    Bernoulli(p) trial, [p] in (0, 1]. *)
+
+val choose : t -> (float * 'a) array -> 'a
+(** [choose t weighted] picks an element with probability proportional to its
+    weight. Requires a nonempty array with positive total weight. *)

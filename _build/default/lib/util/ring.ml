@@ -1,0 +1,65 @@
+type 'a t = {
+  buf : 'a option array;
+  cap : int;
+  mutable head : int; (* index of oldest element *)
+  mutable len : int;
+  mutable drops : int;
+  mutable high_water : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { buf = Array.make capacity None; cap = capacity; head = 0; len = 0; drops = 0; high_water = 0 }
+
+let capacity t = t.cap
+let length t = t.len
+let is_empty t = t.len = 0
+let is_full t = t.len = t.cap
+
+let push t x =
+  if t.len = t.cap then begin
+    t.drops <- t.drops + 1;
+    false
+  end else begin
+    t.buf.((t.head + t.len) mod t.cap) <- Some x;
+    t.len <- t.len + 1;
+    if t.len > t.high_water then t.high_water <- t.len;
+    true
+  end
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let x = t.buf.(t.head) in
+    t.buf.(t.head) <- None;
+    t.head <- (t.head + 1) mod t.cap;
+    t.len <- t.len - 1;
+    x
+  end
+
+let push_force t x =
+  if t.len = t.cap then ignore (pop t);
+  ignore (push t x)
+
+let peek t = if t.len = 0 then None else t.buf.(t.head)
+
+let drops t = t.drops
+let reset_drops t = t.drops <- 0
+let high_water t = t.high_water
+
+let clear t =
+  Array.fill t.buf 0 t.cap None;
+  t.head <- 0;
+  t.len <- 0
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    match t.buf.((t.head + i) mod t.cap) with
+    | Some x -> f x
+    | None -> assert false
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun x -> acc := x :: !acc) t;
+  List.rev !acc

@@ -1,0 +1,53 @@
+(** Bounded ring buffers.
+
+    These model Gigascope's shared-memory communication channels between
+    query nodes. They are single-producer / single-consumer FIFO queues with
+    a fixed capacity; a push onto a full ring fails, which is exactly the
+    event the paper's performance metric counts (a dropped tuple). Drop
+    accounting is built in. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [create ~capacity] makes an empty ring holding at most [capacity]
+    elements. Requires [capacity > 0]. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Number of elements currently queued. *)
+
+val is_empty : 'a t -> bool
+val is_full : 'a t -> bool
+
+val push : 'a t -> 'a -> bool
+(** [push t x] enqueues [x] and returns [true], or returns [false] (and
+    counts a drop) if the ring is full. *)
+
+val push_force : 'a t -> 'a -> unit
+(** [push_force t x] enqueues [x], evicting the oldest element if full.
+    Used only where overwrite semantics are wanted (e.g. NIC RX rings count
+    the eviction as a drop themselves). *)
+
+val pop : 'a t -> 'a option
+(** Dequeue the oldest element. *)
+
+val peek : 'a t -> 'a option
+(** The oldest element without removing it. *)
+
+val drops : 'a t -> int
+(** Number of failed pushes since creation. *)
+
+val reset_drops : 'a t -> unit
+
+val high_water : 'a t -> int
+(** Maximum length ever observed; used to measure buffer pressure in the
+    heartbeat ablation (A3). *)
+
+val clear : 'a t -> unit
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Iterate oldest-to-newest without consuming. *)
+
+val to_list : 'a t -> 'a list
+(** Elements oldest-to-newest. *)

@@ -1,0 +1,65 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable total : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  reservoir : float array;
+  mutable seen : int; (* observations offered to the reservoir *)
+  rng : Prng.t;
+}
+
+let create ?(reservoir = 1024) () =
+  {
+    n = 0;
+    mean = 0.0;
+    m2 = 0.0;
+    total = 0.0;
+    min_v = infinity;
+    max_v = neg_infinity;
+    reservoir = Array.make (max 1 reservoir) 0.0;
+    seen = 0;
+    rng = Prng.create 0x5747;
+  }
+
+let add t x =
+  t.n <- t.n + 1;
+  t.total <- t.total +. x;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min_v then t.min_v <- x;
+  if x > t.max_v then t.max_v <- x;
+  let cap = Array.length t.reservoir in
+  if t.seen < cap then t.reservoir.(t.seen) <- x
+  else begin
+    (* Vitter's algorithm R keeps a uniform sample. *)
+    let j = Prng.int t.rng (t.seen + 1) in
+    if j < cap then t.reservoir.(j) <- x
+  end;
+  t.seen <- t.seen + 1
+
+let count t = t.n
+let total t = t.total
+let mean t = if t.n = 0 then 0.0 else t.mean
+let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int t.n
+let stddev t = sqrt (variance t)
+let min_value t = t.min_v
+let max_value t = t.max_v
+
+let percentile t p =
+  let filled = min t.seen (Array.length t.reservoir) in
+  if filled = 0 then 0.0
+  else begin
+    let sample = Array.sub t.reservoir 0 filled in
+    Array.sort compare sample;
+    let rank = p /. 100.0 *. float_of_int (filled - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    let lo = max 0 (min lo (filled - 1)) and hi = max 0 (min hi (filled - 1)) in
+    if lo = hi then sample.(lo)
+    else
+      let frac = rank -. float_of_int lo in
+      (sample.(lo) *. (1.0 -. frac)) +. (sample.(hi) *. frac)
+  end

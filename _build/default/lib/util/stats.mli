@@ -1,0 +1,31 @@
+(** Online summary statistics.
+
+    Constant-space accumulators (Welford's algorithm) plus a reservoir for
+    approximate percentiles; used by the benchmark harness and the
+    simulator's measurement hooks. *)
+
+type t
+
+val create : ?reservoir:int -> unit -> t
+(** [create ?reservoir ()] makes an empty accumulator. [reservoir] (default
+    1024) bounds the sample kept for percentile estimates. *)
+
+val add : t -> float -> unit
+val count : t -> int
+val total : t -> float
+val mean : t -> float
+(** Mean of the observations; 0 when empty. *)
+
+val variance : t -> float
+(** Population variance; 0 when fewer than two observations. *)
+
+val stddev : t -> float
+val min_value : t -> float
+(** Smallest observation; [infinity] when empty. *)
+
+val max_value : t -> float
+(** Largest observation; [neg_infinity] when empty. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] estimates the [p]-th percentile ([p] in \[0,100\]) from
+    the reservoir sample; 0 when empty. *)

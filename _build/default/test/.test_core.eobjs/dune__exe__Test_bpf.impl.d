@@ -1,0 +1,1 @@
+test/test_bpf.ml: Alcotest Array Bytes Gigascope_bpf Gigascope_packet Gigascope_util List QCheck QCheck_alcotest

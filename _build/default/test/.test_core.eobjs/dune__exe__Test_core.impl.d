@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Bytes Gigascope Gigascope_packet Gigascope_rts List Option Result String

@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Array Gigascope Gigascope_gsql Gigascope_rts Gigascope_traffic Gigascope_util Hashtbl List Option Printf QCheck QCheck_alcotest Result String

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Array Bytes Char Gigascope Gigascope_gsql Gigascope_lpm Gigascope_packet Gigascope_regex Gigascope_rts Gigascope_util List Printf QCheck QCheck_alcotest Result String

@@ -1,0 +1,1 @@
+test/test_gsql.ml: Alcotest Format Gigascope Gigascope_bpf Gigascope_gsql Gigascope_packet Gigascope_rts Hashtbl List Option Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Bytes Filename Gigascope Gigascope_gsql Gigascope_nic Gigascope_packet Gigascope_rts List Printf Result String Sys

@@ -1,0 +1,1 @@
+test/test_lpm.ml: Alcotest Filename Fun Gigascope_lpm Gigascope_packet Gigascope_util List Option QCheck QCheck_alcotest Sys

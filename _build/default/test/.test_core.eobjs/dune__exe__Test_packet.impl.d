@@ -1,0 +1,1 @@
+test/test_packet.ml: Alcotest Bytes Char Filename Gen Gigascope_packet Gigascope_util List QCheck QCheck_alcotest String Sys

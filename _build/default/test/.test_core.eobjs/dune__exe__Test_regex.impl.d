@@ -1,0 +1,1 @@
+test/test_regex.ml: Alcotest Bytes Gigascope_regex List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_rts.ml: Alcotest Array Gigascope_rts Gigascope_util Hashtbl List Option QCheck QCheck_alcotest Result String

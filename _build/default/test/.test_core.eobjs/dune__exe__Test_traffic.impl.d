@@ -1,0 +1,1 @@
+test/test_traffic.ml: Alcotest Array Bytes Float Gigascope_packet Gigascope_regex Gigascope_traffic Gigascope_util Hashtbl List Printf

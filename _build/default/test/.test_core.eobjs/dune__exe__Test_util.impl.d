@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Float Gen Gigascope_util Hashtbl List Option QCheck QCheck_alcotest

@@ -1,0 +1,222 @@
+(* Tests for the filter machine: validator, interpreter, and — the key
+   property — compiled predicates agreeing with direct evaluation over
+   decoded packets. *)
+
+module Insn = Gigascope_bpf.Insn
+module Vm = Gigascope_bpf.Vm
+module Filter = Gigascope_bpf.Filter
+module Packet = Gigascope_packet.Packet
+module Ipaddr = Gigascope_packet.Ipaddr
+module Prng = Gigascope_util.Prng
+
+let check = Alcotest.check
+let qtest ?(count = 200) name gen prop = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* ----------------------------- validator ------------------------------- *)
+
+let test_validate_empty () =
+  match Insn.validate [||] with Error _ -> () | Ok () -> Alcotest.fail "empty accepted"
+
+let test_validate_fall_off () =
+  match Insn.validate [| Insn.Ld_imm 1 |] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "fall-off accepted"
+
+let test_validate_backward_jump () =
+  match Insn.validate [| Insn.Ja 0; Insn.Jeq (0, -2, 0); Insn.Ret 0 |] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "backward jump accepted"
+
+let test_validate_out_of_range () =
+  match Insn.validate [| Insn.Jeq (0, 5, 5); Insn.Ret 0 |] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "out-of-range jump accepted"
+
+let test_validate_good () =
+  let prog = [| Insn.Ld_abs_u16 12; Insn.Jeq (0x800, 0, 1); Insn.Ret 100; Insn.Ret 0 |] in
+  match Insn.validate prog with Ok () -> () | Error e -> Alcotest.fail e
+
+(* ---------------------------- interpreter ------------------------------ *)
+
+let test_vm_arithmetic () =
+  let prog =
+    [|
+      Insn.Ld_imm 10; Insn.Alu_add 5; Insn.Alu_sub 3; Insn.Alu_lsh 2; Insn.Alu_rsh 1;
+      Insn.Alu_and 0xff; Insn.Alu_or 0x100; Insn.Tax; Insn.Txa; Insn.Jeq (0x118, 0, 1);
+      Insn.Ret 1; Insn.Ret 0;
+    |]
+  in
+  check Alcotest.int "alu chain" 1 (Vm.run prog (Bytes.create 1))
+
+let test_vm_loads () =
+  let pkt = Bytes.of_string "\x01\x02\x03\x04\x05\x06" in
+  let run_one insn expect =
+    let prog = [| insn; Insn.Jeq (expect, 0, 1); Insn.Ret 1; Insn.Ret 0 |] in
+    check Alcotest.int "load matches" 1 (Vm.run prog pkt)
+  in
+  run_one (Insn.Ld_abs_u8 2) 0x03;
+  run_one (Insn.Ld_abs_u16 1) 0x0203;
+  run_one (Insn.Ld_abs_u32 0) 0x01020304;
+  run_one Insn.Ld_len 6
+
+let test_vm_indexed_load () =
+  let pkt = Bytes.of_string "\x00\x00\x00\xaa\xbb" in
+  let prog = [| Insn.Ldx_imm 3; Insn.Ld_ind_u8 1; Insn.Jeq (0xbb, 0, 1); Insn.Ret 1; Insn.Ret 0 |] in
+  check Alcotest.int "X-indexed load" 1 (Vm.run prog pkt)
+
+let test_vm_out_of_bounds_rejects () =
+  let prog = [| Insn.Ld_abs_u32 100; Insn.Ret 1 |] in
+  check Alcotest.int "oob load -> reject" 0 (Vm.run prog (Bytes.create 8))
+
+let test_vm_jset () =
+  let prog = [| Insn.Ld_imm 0x12; Insn.Jset (0x10, 0, 1); Insn.Ret 1; Insn.Ret 0 |] in
+  check Alcotest.int "jset hit" 1 (Vm.run prog (Bytes.create 1));
+  let prog2 = [| Insn.Ld_imm 0x12; Insn.Jset (0x01, 0, 1); Insn.Ret 1; Insn.Ret 0 |] in
+  check Alcotest.int "jset miss" 0 (Vm.run prog2 (Bytes.create 1))
+
+let test_vm_ip_hlen_idiom () =
+  (* version 4, IHL 6 -> X = 24 *)
+  let pkt = Bytes.make 30 '\000' in
+  Bytes.set pkt 14 '\x46';
+  let prog = [| Insn.Ldx_ip_hlen 14; Insn.Txa; Insn.Jeq (24, 0, 1); Insn.Ret 1; Insn.Ret 0 |] in
+  check Alcotest.int "IHL decode" 1 (Vm.run prog pkt)
+
+(* ------------------------------ Filter --------------------------------- *)
+
+let tcp_pkt ?(src = "10.0.0.1") ?(dst = "10.0.0.2") ?(sport = 1234) ?(dport = 80) ?(ttl = 64) () =
+  Packet.encode
+    (Packet.tcp ~ttl ~src:(Ipaddr.of_string src) ~dst:(Ipaddr.of_string dst) ~src_port:sport
+       ~dst_port:dport ~payload:(Bytes.of_string "payload") ())
+
+let udp_pkt ?(dport = 53) () =
+  Packet.encode
+    (Packet.udp ~src:(Ipaddr.of_string "10.0.0.3") ~dst:(Ipaddr.of_string "10.0.0.4")
+       ~src_port:5353 ~dst_port:dport ~payload:(Bytes.of_string "q") ())
+
+let test_filter_port80 () =
+  let f = Filter.(And (Cmp (Ip_protocol, Eq, 6), Cmp (Dst_port, Eq, 80))) in
+  let prog = Filter.compile f in
+  check Alcotest.bool "tcp:80 accepted" true (Vm.accepts prog (tcp_pkt ()));
+  check Alcotest.bool "tcp:443 rejected" false (Vm.accepts prog (tcp_pkt ~dport:443 ()));
+  check Alcotest.bool "udp rejected" false (Vm.accepts prog (udp_pkt ~dport:80 ()))
+
+let test_filter_ip_fields () =
+  let f = Filter.(Cmp (Ip_src, Eq, Ipaddr.of_string "10.0.0.1")) in
+  let prog = Filter.compile f in
+  check Alcotest.bool "src ip match" true (Vm.accepts prog (tcp_pkt ()));
+  check Alcotest.bool "src ip miss" false (Vm.accepts prog (tcp_pkt ~src:"10.0.0.9" ()))
+
+let test_filter_snap_len () =
+  let prog = Filter.compile ~snap_len:96 Filter.True in
+  check Alcotest.int "accept returns snap" 96 (Vm.run prog (tcp_pkt ()))
+
+let test_filter_not_or () =
+  let f = Filter.(Or (Cmp (Dst_port, Eq, 22), Not (Cmp (Ip_ttl, Ge, 10)))) in
+  let prog = Filter.compile f in
+  check Alcotest.bool "or-left" true (Vm.accepts prog (tcp_pkt ~dport:22 ()));
+  check Alcotest.bool "or-right via not" true (Vm.accepts prog (tcp_pkt ~ttl:3 ()));
+  check Alcotest.bool "neither" false (Vm.accepts prog (tcp_pkt ~dport:80 ~ttl:64 ()))
+
+let test_filter_rejects_non_ip () =
+  let arp = Bytes.make 40 '\000' in
+  Gigascope_packet.Bytes_util.set_u16 arp 12 0x0806;
+  let prog = Filter.compile Filter.True in
+  check Alcotest.bool "non-ip rejected" false (Vm.accepts prog arp)
+
+let test_filter_fragment_guard () =
+  (* a transport-field predicate must reject non-first fragments *)
+  let payload = Bytes.make 2000 'x' in
+  let pkt = Packet.udp ~ident:9 ~src:1 ~dst:2 ~src_port:1111 ~dst_port:53 ~payload () in
+  let frags = Gigascope_packet.Frag.fragment ~mtu:576 pkt in
+  let later_frag = Packet.encode (List.nth frags 1) in
+  let f = Filter.(Cmp (Dst_port, Eq, 53)) in
+  let prog = Filter.compile f in
+  check Alcotest.bool "first fragment has ports" true
+    (Vm.accepts prog (Packet.encode (List.hd frags)));
+  check Alcotest.bool "later fragment rejected" false (Vm.accepts prog later_frag)
+
+(* random predicates over random packets: compiled = direct evaluation *)
+let gen_filter seed =
+  let rng = Prng.create seed in
+  let fields =
+    [|
+      Filter.Ip_version; Filter.Ip_tos; Filter.Ip_total_len; Filter.Ip_ttl; Filter.Ip_protocol;
+      Filter.Ip_src; Filter.Ip_dst; Filter.Src_port; Filter.Dst_port;
+    |]
+  in
+  let cmps = [| Filter.Eq; Filter.Ne; Filter.Lt; Filter.Le; Filter.Gt; Filter.Ge |] in
+  let rec gen depth =
+    if depth = 0 then
+      let field = fields.(Prng.int rng (Array.length fields)) in
+      let k =
+        match field with
+        | Filter.Ip_src | Filter.Ip_dst -> Ipaddr.of_octets 10 0 0 (Prng.int rng 8)
+        | Filter.Ip_protocol -> [| 6; 17; 1 |].(Prng.int rng 3)
+        | Filter.Src_port | Filter.Dst_port -> [| 80; 443; 53; 1234; 5353 |].(Prng.int rng 5)
+        | _ -> Prng.int rng 256
+      in
+      Filter.Cmp (field, cmps.(Prng.int rng (Array.length cmps)), k)
+    else
+      match Prng.int rng 4 with
+      | 0 -> Filter.And (gen (depth - 1), gen (depth - 1))
+      | 1 -> Filter.Or (gen (depth - 1), gen (depth - 1))
+      | 2 -> Filter.Not (gen (depth - 1))
+      | _ -> gen 0
+  in
+  gen (1 + Prng.int rng 2)
+
+let gen_packet seed =
+  let rng = Prng.create (seed + 7919) in
+  let src = Ipaddr.of_octets 10 0 0 (Prng.int rng 8) in
+  let dst = Ipaddr.of_octets 10 0 0 (Prng.int rng 8) in
+  let sport = [| 80; 443; 53; 1234; 5353 |].(Prng.int rng 5) in
+  let dport = [| 80; 443; 53; 1234; 5353 |].(Prng.int rng 5) in
+  let payload = Bytes.make (Prng.int rng 64) 'p' in
+  if Prng.bool rng then
+    Packet.encode (Packet.tcp ~ttl:(1 + Prng.int rng 255) ~src ~dst ~src_port:sport ~dst_port:dport ~payload ())
+  else Packet.encode (Packet.udp ~ttl:(1 + Prng.int rng 255) ~src ~dst ~src_port:sport ~dst_port:dport ~payload ())
+
+let compiled_matches_direct =
+  qtest ~count:500 "compiled filter = direct evaluation" QCheck.small_int (fun seed ->
+      let f = gen_filter seed in
+      let pkt = gen_packet seed in
+      let prog = Filter.compile f in
+      Vm.accepts prog pkt = Filter.eval f pkt)
+
+let compiled_programs_validate =
+  qtest ~count:200 "every compiled program validates" QCheck.small_int (fun seed ->
+      let prog = Filter.compile (gen_filter seed) in
+      Insn.validate prog = Ok ())
+
+let () =
+  Alcotest.run "bpf"
+    [
+      ( "validator",
+        [
+          Alcotest.test_case "empty" `Quick test_validate_empty;
+          Alcotest.test_case "fall off" `Quick test_validate_fall_off;
+          Alcotest.test_case "backward jump" `Quick test_validate_backward_jump;
+          Alcotest.test_case "out of range" `Quick test_validate_out_of_range;
+          Alcotest.test_case "good program" `Quick test_validate_good;
+        ] );
+      ( "vm",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_vm_arithmetic;
+          Alcotest.test_case "loads" `Quick test_vm_loads;
+          Alcotest.test_case "indexed load" `Quick test_vm_indexed_load;
+          Alcotest.test_case "out-of-bounds rejects" `Quick test_vm_out_of_bounds_rejects;
+          Alcotest.test_case "jset" `Quick test_vm_jset;
+          Alcotest.test_case "IHL idiom" `Quick test_vm_ip_hlen_idiom;
+        ] );
+      ( "filter",
+        [
+          Alcotest.test_case "port 80" `Quick test_filter_port80;
+          Alcotest.test_case "ip fields" `Quick test_filter_ip_fields;
+          Alcotest.test_case "snap length" `Quick test_filter_snap_len;
+          Alcotest.test_case "not/or" `Quick test_filter_not_or;
+          Alcotest.test_case "non-ip rejected" `Quick test_filter_rejects_non_ip;
+          Alcotest.test_case "fragment guard" `Quick test_filter_fragment_guard;
+          compiled_matches_direct;
+          compiled_programs_validate;
+        ] );
+    ]

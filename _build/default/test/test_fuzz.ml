@@ -1,0 +1,202 @@
+(* Fuzz tests: a packet monitor is attack surface. Malformed wire bytes,
+   garbage query text, and truncated captures must produce clean errors —
+   never exceptions — on every path that touches untrusted input. *)
+
+module Gsql = Gigascope_gsql
+module Rts = Gigascope_rts
+module P = Gigascope_packet
+module Packet = P.Packet
+module Prng = Gigascope_util.Prng
+
+let qtest ?(count = 500) name gen prop = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* ------------------------- packet decoding ------------------------------ *)
+
+let random_bytes rng n = Bytes.init n (fun _ -> Char.chr (Prng.int rng 256))
+
+let decode_never_raises =
+  qtest ~count:2000 "Packet.decode never raises on random bytes" QCheck.small_int (fun seed ->
+      let rng = Prng.create seed in
+      let b = random_bytes rng (Prng.int rng 200) in
+      match Packet.decode b with Ok _ | Error _ -> true)
+
+let decode_mutated_never_raises =
+  (* nastier: start from a valid packet and flip bytes, so parsing gets
+     deep before hitting the corruption *)
+  qtest ~count:2000 "decode survives bit-flipped valid packets" QCheck.small_int (fun seed ->
+      let rng = Prng.create seed in
+      let pkt =
+        Packet.tcp ~src:(Prng.int rng 0xffffff) ~dst:(Prng.int rng 0xffffff)
+          ~src_port:(Prng.int rng 65536) ~dst_port:(Prng.int rng 65536)
+          ~payload:(random_bytes rng (Prng.int rng 100))
+          ()
+      in
+      let wire = Packet.encode pkt in
+      for _ = 0 to 4 do
+        let i = Prng.int rng (Bytes.length wire) in
+        Bytes.set wire i (Char.chr (Prng.int rng 256))
+      done;
+      (* also truncate randomly *)
+      let cut = Packet.truncate ~snap_len:(1 + Prng.int rng (Bytes.length wire)) wire in
+      match Packet.decode cut with Ok _ | Error _ -> true)
+
+let pcap_decode_never_raises =
+  qtest ~count:1000 "Pcap.decode_file never raises on random bytes" QCheck.small_int (fun seed ->
+      let rng = Prng.create seed in
+      let b = random_bytes rng (Prng.int rng 128) in
+      (* seed some with a valid magic so record parsing is reached *)
+      if Bytes.length b >= 4 && Prng.bool rng then begin
+        Bytes.set b 0 '\xd4';
+        Bytes.set b 1 '\xc3';
+        Bytes.set b 2 '\xb2';
+        Bytes.set b 3 '\xa1'
+      end;
+      match P.Pcap.decode_file b with Ok _ | Error _ -> true)
+
+let netflow_decode_never_raises =
+  qtest ~count:1000 "Netflow.decode_datagram never raises" QCheck.small_int (fun seed ->
+      let rng = Prng.create seed in
+      let b = random_bytes rng (Prng.int rng 64) in
+      if Bytes.length b >= 2 && Prng.bool rng then begin
+        (* plant the version so the record loop is reached *)
+        Bytes.set b 0 '\x00';
+        Bytes.set b 1 '\x05'
+      end;
+      match P.Netflow.decode_datagram ~boot_ts:0.0 b with Ok _ | Error _ -> true)
+
+(* --------------------------- query text --------------------------------- *)
+
+let fresh_catalog () =
+  let funcs = Rts.Func.create_registry () in
+  Rts.Builtin_funcs.register_all funcs;
+  let catalog = Gsql.Catalog.create funcs in
+  Gigascope.Default_protocols.register catalog;
+  catalog
+
+let gsql_vocabulary =
+  [|
+    "SELECT"; "FROM"; "WHERE"; "GROUP"; "BY"; "HAVING"; "MERGE"; "DEFINE"; "PROTOCOL";
+    "and"; "or"; "not"; "as"; "count(*)"; "sum"; "avg"; "("; ")"; "{"; "}"; ","; ";"; ":";
+    "."; "="; "<>"; "<"; ">"; "+"; "-"; "*"; "/"; "&"; "time"; "destport"; "srcip";
+    "payload"; "eth0"; "tcp"; "udp"; "q1"; "80"; "0.5"; "'str'"; "$p"; "10.0.0.1"; "|";
+  |]
+
+let compiler_never_raises_on_token_soup =
+  qtest ~count:2000 "compiler returns Error (never raises) on token soup" QCheck.small_int
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 1 + Prng.int rng 25 in
+      let text =
+        String.concat " "
+          (List.init n (fun _ -> gsql_vocabulary.(Prng.int rng (Array.length gsql_vocabulary))))
+      in
+      let catalog = fresh_catalog () in
+      match Gsql.Compile.compile_program catalog text with Ok _ | Error _ -> true)
+
+let compiler_never_raises_on_random_chars =
+  qtest ~count:2000 "compiler survives random character strings" QCheck.small_int (fun seed ->
+      let rng = Prng.create seed in
+      let n = Prng.int rng 80 in
+      (* printable-ish ASCII with the occasional control char *)
+      let text =
+        String.init n (fun _ ->
+            if Prng.int rng 20 = 0 then Char.chr (Prng.int rng 32)
+            else Char.chr (32 + Prng.int rng 95))
+      in
+      let catalog = fresh_catalog () in
+      match Gsql.Compile.compile_program catalog text with Ok _ | Error _ -> true)
+
+let regex_compile_never_raises_unexpectedly =
+  qtest ~count:2000 "regex compiler raises only Syntax_error" QCheck.small_int (fun seed ->
+      let rng = Prng.create seed in
+      let n = Prng.int rng 30 in
+      let alphabet = "ab()[]{}*+?|\\^$.-019,nxt" in
+      let pattern =
+        String.init n (fun _ -> alphabet.[Prng.int rng (String.length alphabet)])
+      in
+      match Gigascope_regex.Regex.compile pattern with
+      | _ -> true
+      | exception Gigascope_regex.Regex.Syntax_error _ -> true)
+
+(* running a fuzzed-but-valid pattern must stay linear and not raise *)
+let regex_match_never_raises =
+  qtest ~count:500 "compiled regexes never raise while matching" QCheck.small_int (fun seed ->
+      let rng = Prng.create seed in
+      let alphabet = "ab()[]*+?|^$." in
+      let pattern =
+        String.init (Prng.int rng 15) (fun _ -> alphabet.[Prng.int rng (String.length alphabet)])
+      in
+      match Gigascope_regex.Regex.compile_opt pattern with
+      | None -> true
+      | Some rx ->
+          let input = String.init (Prng.int rng 60) (fun _ -> if Prng.bool rng then 'a' else 'b') in
+          let (_ : bool) = Gigascope_regex.Regex.matches rx input in
+          true)
+
+(* -------------------------- prefix tables ------------------------------- *)
+
+let lpm_table_never_raises =
+  qtest ~count:1000 "prefix-table parser never raises" QCheck.small_int (fun seed ->
+      let rng = Prng.create seed in
+      let line () =
+        match Prng.int rng 5 with
+        | 0 -> "10.0.0.0/8 7018"
+        | 1 -> Printf.sprintf "%d.%d.0.0/%d %d" (Prng.int rng 300) (Prng.int rng 300) (Prng.int rng 40) (Prng.int rng 100000)
+        | 2 -> "# comment"
+        | 3 -> String.init (Prng.int rng 20) (fun _ -> Char.chr (33 + Prng.int rng 90))
+        | _ -> ""
+      in
+      let text = String.concat "\n" (List.init (Prng.int rng 10) (fun _ -> line ())) in
+      match Gigascope_lpm.Table.load_string text with Ok _ | Error _ -> true)
+
+(* full path: fuzzed pcap bytes through the engine *)
+let engine_survives_fuzzed_pcap =
+  qtest ~count:50 "engine runs over a capture of mutated packets" QCheck.small_int (fun seed ->
+      let rng = Prng.create (seed + 99) in
+      let packets =
+        List.init 50 (fun i ->
+            let pkt =
+              Packet.tcp ~ts:(float_of_int i /. 50.0)
+                ~src:(Prng.int rng 0xffffff) ~dst:(Prng.int rng 0xffffff)
+                ~src_port:(Prng.int rng 65536) ~dst_port:(Prng.int rng 65536)
+                ~payload:(random_bytes rng (Prng.int rng 64))
+                ()
+            in
+            let wire = Packet.encode pkt in
+            if Prng.int rng 3 = 0 then begin
+              let j = Prng.int rng (Bytes.length wire) in
+              Bytes.set wire j (Char.chr (Prng.int rng 256))
+            end;
+            (float_of_int i /. 50.0, wire))
+      in
+      (* decode what survives, as a capture interface would *)
+      let decoded =
+        List.filter_map
+          (fun (ts, wire) -> Result.to_option (Packet.decode ~ts wire))
+          packets
+      in
+      let engine = Gigascope.Engine.create () in
+      Gigascope.Engine.add_packet_list_interface engine ~name:"eth0" decoded;
+      match
+        Gigascope.Engine.install_query engine ~name:"q"
+          "SELECT tb, count(*) as c FROM eth0.tcp GROUP BY time/1 as tb"
+      with
+      | Error _ -> false
+      | Ok _ -> ( match Gigascope.Engine.run engine () with Ok _ -> true | Error _ -> false))
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "packets",
+        [
+          decode_never_raises;
+          decode_mutated_never_raises;
+          pcap_decode_never_raises;
+          netflow_decode_never_raises;
+        ] );
+      ( "queries",
+        [compiler_never_raises_on_token_soup; compiler_never_raises_on_random_chars] );
+      ("regex", [regex_compile_never_raises_unexpectedly; regex_match_never_raises]);
+      ("tables", [lpm_table_never_raises]);
+      ("end-to-end", [engine_survives_fuzzed_pcap]);
+    ]

@@ -1,0 +1,168 @@
+(* Tests for longest-prefix matching: the trie against a linear-scan
+   oracle, and the prefix-table file format behind getlpmid's handle. *)
+
+module Trie = Gigascope_lpm.Trie
+module Table = Gigascope_lpm.Table
+module Ipaddr = Gigascope_packet.Ipaddr
+module Prng = Gigascope_util.Prng
+
+let check = Alcotest.check
+let qtest ?(count = 200) name gen prop = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let ip = Ipaddr.of_string
+
+let test_basic_lookup () =
+  let t = Trie.create () in
+  Trie.add t ~prefix:(ip "10.0.0.0") ~len:8 "ten";
+  Trie.add t ~prefix:(ip "10.1.0.0") ~len:16 "ten-one";
+  check Alcotest.(option string) "longest wins" (Some "ten-one") (Trie.lookup t (ip "10.1.2.3"));
+  check Alcotest.(option string) "shorter covers rest" (Some "ten") (Trie.lookup t (ip "10.2.2.3"));
+  check Alcotest.(option string) "no match" None (Trie.lookup t (ip "11.0.0.1"))
+
+let test_default_route () =
+  let t = Trie.create () in
+  Trie.add t ~prefix:0 ~len:0 "default";
+  Trie.add t ~prefix:(ip "192.168.0.0") ~len:16 "lan";
+  check Alcotest.(option string) "default catches all" (Some "default") (Trie.lookup t (ip "8.8.8.8"));
+  check Alcotest.(option string) "specific beats default" (Some "lan")
+    (Trie.lookup t (ip "192.168.1.1"))
+
+let test_host_route () =
+  let t = Trie.create () in
+  Trie.add t ~prefix:(ip "1.2.3.4") ~len:32 "host";
+  check Alcotest.(option string) "/32 exact" (Some "host") (Trie.lookup t (ip "1.2.3.4"));
+  check Alcotest.(option string) "/32 near miss" None (Trie.lookup t (ip "1.2.3.5"))
+
+let test_lookup_with_len () =
+  let t = Trie.create () in
+  Trie.add t ~prefix:(ip "10.0.0.0") ~len:8 1;
+  Trie.add t ~prefix:(ip "10.0.0.0") ~len:24 2;
+  check Alcotest.(option (pair int int)) "len reported" (Some (2, 24))
+    (Trie.lookup_with_len t (ip "10.0.0.99"));
+  check Alcotest.(option (pair int int)) "shorter len" (Some (1, 8))
+    (Trie.lookup_with_len t (ip "10.0.1.99"))
+
+let test_replace_and_remove () =
+  let t = Trie.create () in
+  Trie.add t ~prefix:(ip "10.0.0.0") ~len:8 "a";
+  Trie.add t ~prefix:(ip "10.0.0.0") ~len:8 "b";
+  check Alcotest.int "replace keeps size" 1 (Trie.size t);
+  check Alcotest.(option string) "replaced value" (Some "b") (Trie.lookup t (ip "10.1.1.1"));
+  Trie.remove t ~prefix:(ip "10.0.0.0") ~len:8;
+  check Alcotest.int "removed" 0 (Trie.size t);
+  check Alcotest.(option string) "gone" None (Trie.lookup t (ip "10.1.1.1"))
+
+let test_iter () =
+  let t = Trie.create () in
+  Trie.add t ~prefix:(ip "10.0.0.0") ~len:8 1;
+  Trie.add t ~prefix:(ip "192.168.0.0") ~len:16 2;
+  Trie.add t ~prefix:0 ~len:0 0;
+  let seen = ref [] in
+  Trie.iter (fun ~prefix:_ ~len v -> seen := (len, v) :: !seen) t;
+  check Alcotest.int "iter visits all" 3 (List.length !seen)
+
+let test_bad_len () =
+  Alcotest.check_raises "len 33 rejected" (Invalid_argument "Trie.add: bad prefix length")
+    (fun () -> Trie.add (Trie.create ()) ~prefix:0 ~len:33 ())
+
+(* property: trie vs linear scan of (prefix, len) entries *)
+let trie_vs_linear =
+  qtest ~count:300 "trie agrees with linear scan" QCheck.small_int (fun seed ->
+      let rng = Prng.create seed in
+      let n = 1 + Prng.int rng 40 in
+      let entries =
+        List.init n (fun i ->
+            let len = Prng.int rng 33 in
+            let prefix = Prng.int rng 0x7fffffff land Ipaddr.prefix_mask len in
+            (prefix, len, i))
+      in
+      let t = Trie.create () in
+      List.iter (fun (prefix, len, v) -> Trie.add t ~prefix ~len v) entries;
+      (* deduplicate like the trie does: later entry wins for same prefix *)
+      let lookup_linear addr =
+        let best = ref None in
+        List.iter
+          (fun (prefix, len, v) ->
+            if Ipaddr.in_prefix addr ~prefix ~len then
+              match !best with
+              | Some (blen, _) when blen > len -> ()
+              | Some (blen, _) when blen = len -> best := Some (len, v) (* later wins *)
+              | _ -> best := Some (len, v))
+          entries;
+        Option.map snd !best
+      in
+      List.for_all
+        (fun _ ->
+          let addr = Prng.int rng 0x7fffffff in
+          Trie.lookup t addr = lookup_linear addr)
+        (List.init 50 Fun.id))
+
+(* ------------------------------ Table ---------------------------------- *)
+
+let table_text = {|
+# peer prefixes
+10.0.0.0/8     7018
+10.1.0.0/16    701    # more specific
+192.168.0.0/16 64512
+|}
+
+let test_table_parse () =
+  match Table.load_string table_text with
+  | Ok t ->
+      check Alcotest.int "three entries" 3 (Table.size t);
+      check Alcotest.(option int) "longest wins" (Some 701) (Table.lookup t (ip "10.1.2.3"));
+      check Alcotest.(option int) "shorter" (Some 7018) (Table.lookup t (ip "10.2.2.3"));
+      check Alcotest.(option int) "no match" None (Table.lookup t (ip "172.16.0.1"))
+  | Error e -> Alcotest.fail e
+
+let test_table_errors () =
+  (match Table.load_string "10.0.0.0/8" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing id accepted");
+  (match Table.load_string "10.0.0.0/8 notanumber" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad id accepted");
+  match Table.load_string "10.0.0.0/40 5" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad prefix length accepted"
+
+let test_table_file () =
+  let path = Filename.temp_file "lpm" ".tbl" in
+  let oc = open_out path in
+  output_string oc table_text;
+  close_out oc;
+  (match Table.load_file path with
+  | Ok t -> check Alcotest.(option int) "from file" (Some 64512) (Table.lookup t (ip "192.168.3.4"))
+  | Error e -> Alcotest.fail e);
+  Sys.remove path;
+  match Table.load_file "/nonexistent/never.tbl" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing file accepted"
+
+let test_table_of_entries () =
+  let t = Table.of_entries [("1.0.0.0/8", 1); ("1.2.3.4", 99)] in
+  check Alcotest.(option int) "bare address is /32" (Some 99) (Table.lookup t (ip "1.2.3.4"));
+  check Alcotest.(option int) "covered by /8" (Some 1) (Table.lookup t (ip "1.2.3.5"))
+
+let () =
+  Alcotest.run "lpm"
+    [
+      ( "trie",
+        [
+          Alcotest.test_case "basic" `Quick test_basic_lookup;
+          Alcotest.test_case "default route" `Quick test_default_route;
+          Alcotest.test_case "host route" `Quick test_host_route;
+          Alcotest.test_case "lookup with len" `Quick test_lookup_with_len;
+          Alcotest.test_case "replace/remove" `Quick test_replace_and_remove;
+          Alcotest.test_case "iter" `Quick test_iter;
+          Alcotest.test_case "bad length" `Quick test_bad_len;
+          trie_vs_linear;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "parse" `Quick test_table_parse;
+          Alcotest.test_case "errors" `Quick test_table_errors;
+          Alcotest.test_case "file" `Quick test_table_file;
+          Alcotest.test_case "of_entries" `Quick test_table_of_entries;
+        ] );
+    ]

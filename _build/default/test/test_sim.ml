@@ -1,0 +1,109 @@
+(* Tests for the Section-4 host simulation: calibration sanity, loss
+   monotonicity in offered rate, and the configuration ordering the paper
+   reports (disk << libpcap ~ host-LFTA << NIC-LFTA). *)
+
+module Sim = Gigascope_sim
+module Params = Sim.Params
+module Host_model = Sim.Host_model
+module Calibrate = Sim.Calibrate
+
+let check = Alcotest.check
+
+(* small fixed costs so sim tests do not depend on machine speed *)
+let fixed_costs =
+  { Calibrate.c_interpret = 0.7e-6; c_lfta = 0.3e-6; c_hfta = 5.0e-6; c_bpf = 0.1e-6 }
+
+let loss config rate =
+  let w = Params.default_workload ~background_mbps:(Float.max 0.0 (rate -. 60.0)) in
+  (Host_model.simulate Params.default_host w config fixed_costs ~duration:8.0).Host_model.loss
+
+let test_calibration_positive () =
+  let c = Calibrate.measure ~packets:200 () in
+  check Alcotest.bool "interpret cost positive" true (c.Calibrate.c_interpret > 0.0);
+  check Alcotest.bool "regex cost positive" true (c.Calibrate.c_hfta > 0.0);
+  check Alcotest.bool "regex much dearer than bpf" true
+    (c.Calibrate.c_hfta > 5.0 *. c.Calibrate.c_bpf)
+
+let test_calibration_scale () =
+  let c = fixed_costs in
+  let s = Calibrate.scale c 2.0 in
+  check (Alcotest.float 1e-12) "scaled" (2.0 *. c.Calibrate.c_hfta) s.Calibrate.c_hfta
+
+let test_low_rate_no_loss () =
+  List.iter
+    (fun config ->
+      check Alcotest.bool (Host_model.config_name config ^ " lossless at 80 Mbit/s") true
+        (loss config 80.0 < 0.001))
+    [Host_model.Disk_dump; Host_model.Pcap_discard; Host_model.Host_lfta; Host_model.Nic_lfta]
+
+let test_loss_monotone_in_rate () =
+  List.iter
+    (fun config ->
+      let l200 = loss config 200.0 and l400 = loss config 400.0 and l600 = loss config 600.0 in
+      check Alcotest.bool (Host_model.config_name config ^ " loss nondecreasing") true
+        (l200 <= l400 +. 0.02 && l400 <= l600 +. 0.02))
+    [Host_model.Disk_dump; Host_model.Pcap_discard; Host_model.Host_lfta]
+
+let test_paper_ordering () =
+  (* at 300 Mbit/s: disk is drowning, capture paths are fine *)
+  check Alcotest.bool "disk lossy at 300" true (loss Host_model.Disk_dump 300.0 > 0.02);
+  check Alcotest.bool "pcap fine at 300" true (loss Host_model.Pcap_discard 300.0 < 0.02);
+  check Alcotest.bool "host-lfta fine at 300" true (loss Host_model.Host_lfta 300.0 < 0.02);
+  (* at 610: only the NIC configuration survives *)
+  check Alcotest.bool "pcap dead at 610" true (loss Host_model.Pcap_discard 610.0 > 0.02);
+  check Alcotest.bool "host-lfta dead at 610" true (loss Host_model.Host_lfta 610.0 > 0.02);
+  check Alcotest.bool "nic-lfta survives 610" true (loss Host_model.Nic_lfta 610.0 < 0.02)
+
+let test_livelock_detected () =
+  (* interrupts saturate the CPU when pps * t_interrupt reaches 1: with
+     750-byte packets and 8 us interrupts that is ~750 Mbit/s offered *)
+  let w = Params.default_workload ~background_mbps:1000.0 in
+  let r = Host_model.simulate Params.default_host w Host_model.Pcap_discard fixed_costs ~duration:5.0 in
+  check Alcotest.bool "livelock slices observed at saturation" true (r.Host_model.livelock_slices > 0)
+
+let test_disk_stalls_observed () =
+  let w = Params.default_workload ~background_mbps:200.0 in
+  let r = Host_model.simulate Params.default_host w Host_model.Disk_dump fixed_costs ~duration:8.0 in
+  check Alcotest.bool "flush stalls happened" true (r.Host_model.stall_slices > 0)
+
+let test_accounting_consistent () =
+  List.iter
+    (fun config ->
+      let w = Params.default_workload ~background_mbps:300.0 in
+      let r = Host_model.simulate Params.default_host w config fixed_costs ~duration:5.0 in
+      check Alcotest.bool
+        (Host_model.config_name config ^ ": delivered+dropped <= offered")
+        true
+        (r.Host_model.delivered + r.Host_model.dropped <= r.Host_model.offered);
+      check Alcotest.bool "loss in [0,1]" true (r.Host_model.loss >= 0.0 && r.Host_model.loss <= 1.0))
+    [Host_model.Disk_dump; Host_model.Pcap_discard; Host_model.Host_lfta; Host_model.Nic_lfta]
+
+let test_experiment_summary_shape () =
+  let s =
+    Sim.Experiment.run ~rates:[100.0; 300.0; 610.0] ~duration:5.0 ~cpu_scale:1.0 ()
+  in
+  check Alcotest.int "three rows" 3 (List.length s.Sim.Experiment.rows);
+  check Alcotest.int "four configs" 4 (List.length s.Sim.Experiment.max_rate);
+  let best = List.assoc Host_model.Nic_lfta s.Sim.Experiment.max_rate in
+  let worst = List.assoc Host_model.Disk_dump s.Sim.Experiment.max_rate in
+  check Alcotest.bool "nic beats disk" true (best > worst)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "calibrate",
+        [
+          Alcotest.test_case "positive costs" `Quick test_calibration_positive;
+          Alcotest.test_case "scaling" `Quick test_calibration_scale;
+        ] );
+      ( "host-model",
+        [
+          Alcotest.test_case "lossless at low rate" `Quick test_low_rate_no_loss;
+          Alcotest.test_case "loss monotone in rate" `Quick test_loss_monotone_in_rate;
+          Alcotest.test_case "paper ordering" `Quick test_paper_ordering;
+          Alcotest.test_case "livelock detected" `Quick test_livelock_detected;
+          Alcotest.test_case "disk stalls observed" `Quick test_disk_stalls_observed;
+          Alcotest.test_case "accounting consistent" `Quick test_accounting_consistent;
+        ] );
+      ("experiment", [Alcotest.test_case "summary shape" `Quick test_experiment_summary_shape]);
+    ]

@@ -1,0 +1,201 @@
+(* Tests for the traffic generators: determinism, rate/mix fidelity,
+   payload realism (HTTP matches the paper's regex, tunnel traffic does
+   not), interface partitioning, and the Netflow stream's ordering shape. *)
+
+module Gen = Gigascope_traffic.Gen
+module Netflow_gen = Gigascope_traffic.Netflow_gen
+module Payload = Gigascope_traffic.Payload
+module Packet = Gigascope_packet.Packet
+module Netflow = Gigascope_packet.Netflow
+module Regex = Gigascope_regex.Regex
+module Prng = Gigascope_util.Prng
+
+let check = Alcotest.check
+
+let cfg ?(duration = 0.5) ?(rate = 50.0) ?(seed = 3) () =
+  { Gen.default with Gen.duration; rate_mbps = rate; seed }
+
+let drain gen =
+  let rec go acc = match Gen.next gen with Some p -> go (p :: acc) | None -> List.rev acc in
+  go []
+
+let test_determinism () =
+  let a = drain (Gen.create (cfg ())) and b = drain (Gen.create (cfg ())) in
+  check Alcotest.int "same packet count" (List.length a) (List.length b);
+  List.iter2
+    (fun p q ->
+      check Alcotest.string "identical wire bytes" (Bytes.to_string (Packet.encode p))
+        (Bytes.to_string (Packet.encode q)))
+    a b
+
+let test_seed_changes_stream () =
+  let a = drain (Gen.create (cfg ~seed:1 ())) and b = drain (Gen.create (cfg ~seed:2 ())) in
+  check Alcotest.bool "different seeds differ" true (List.length a <> List.length b ||
+    List.exists2 (fun p q -> Packet.encode p <> Packet.encode q) a b)
+
+let test_timestamps_monotone () =
+  let pkts = drain (Gen.create (cfg ())) in
+  let rec ordered = function
+    | a :: (b :: _ as rest) -> a.Packet.ts <= b.Packet.ts && ordered rest
+    | _ -> true
+  in
+  check Alcotest.bool "timestamps nondecreasing" true (ordered pkts);
+  check Alcotest.bool "nonempty" true (List.length pkts > 100)
+
+let test_rate_approximation () =
+  let pkts = drain (Gen.create (cfg ~duration:1.0 ~rate:100.0 ~seed:8 ())) in
+  let bytes = List.fold_left (fun acc p -> acc + p.Packet.wire_len) 0 pkts in
+  let mbps = float_of_int (bytes * 8) /. 1e6 in
+  check Alcotest.bool
+    (Printf.sprintf "offered ~100 Mbit/s (got %.0f)" mbps)
+    true
+    (mbps > 50.0 && mbps < 200.0)
+
+let test_port80_fraction () =
+  let g =
+    Gen.create { (cfg ~duration:1.0 ~rate:50.0 ()) with Gen.port80_fraction = 0.5; bursty = false }
+  in
+  let pkts = drain g in
+  let port80 =
+    List.length
+      (List.filter
+         (fun p -> match Packet.tcp_header p with Some h -> h.Gigascope_packet.Tcp.dst_port = 80 | None -> false)
+         pkts)
+  in
+  let frac = float_of_int port80 /. float_of_int (List.length pkts) in
+  check Alcotest.bool (Printf.sprintf "port-80 share ~0.5 (got %.2f)" frac) true
+    (frac > 0.3 && frac < 0.7)
+
+let test_payload_realism () =
+  let rx = Regex.compile "^[^\\n]*HTTP/1.*" in
+  let rng = Prng.create 5 in
+  for _ = 1 to 50 do
+    let http = Payload.http_request rng 200 in
+    check Alcotest.bool "http_request matches paper regex" true
+      (Regex.matches rx (Bytes.to_string http));
+    let resp = Payload.http_response rng 100 in
+    check Alcotest.bool "http_response matches" true (Regex.matches rx (Bytes.to_string resp));
+    let tunnel = Payload.tunneled rng 200 in
+    check Alcotest.bool "tunneled payload does not match" false
+      (Regex.matches rx (Bytes.to_string tunnel))
+  done
+
+let test_generated_http_share () =
+  let g =
+    Gen.create
+      { (cfg ~duration:1.0 ~rate:40.0 ~seed:17 ()) with Gen.port80_fraction = 1.0; http_fraction = 0.5 }
+  in
+  let rx = Regex.compile "^[^\\n]*HTTP/1.*" in
+  let pkts = drain g in
+  let http =
+    List.length
+      (List.filter (fun p -> Regex.matches_bytes rx (Packet.payload p)) pkts)
+  in
+  let frac = float_of_int http /. float_of_int (List.length pkts) in
+  check Alcotest.bool (Printf.sprintf "~half of port-80 is HTTP (got %.2f)" frac) true
+    (frac > 0.3 && frac < 0.7)
+
+let test_interface_partition () =
+  (* with two interfaces, a flow sticks to one; both see traffic; the two
+     substreams are disjoint and cover everything *)
+  let c = { (cfg ~duration:0.5 ()) with Gen.interface_count = 2 } in
+  let g = Gen.create c in
+  let counts = [| 0; 0 |] in
+  let rec go () =
+    match Gen.next_with_interface g with
+    | Some (_, iface) ->
+        counts.(iface) <- counts.(iface) + 1;
+        go ()
+    | None -> ()
+  in
+  go ();
+  check Alcotest.bool "both interfaces carry traffic" true (counts.(0) > 0 && counts.(1) > 0)
+
+let test_clock_advances () =
+  let g = Gen.create (cfg ()) in
+  let t0 = Gen.clock g in
+  ignore (Gen.next g);
+  ignore (Gen.next g);
+  check Alcotest.bool "clock advanced" true (Gen.clock g > t0)
+
+let test_uniform_random_mode () =
+  (* adversarial mode: almost every packet has a unique 5-tuple *)
+  let g = Gen.create { (cfg ~duration:0.3 ()) with Gen.uniform_random = true } in
+  let pkts = drain g in
+  let keys = Hashtbl.create 64 in
+  List.iter
+    (fun p ->
+      match (Packet.ip_header p, Packet.tcp_header p) with
+      | Some ip, Some tcp ->
+          Hashtbl.replace keys
+            (ip.Gigascope_packet.Ipv4.src, ip.Gigascope_packet.Ipv4.dst,
+             tcp.Gigascope_packet.Tcp.src_port)
+            ()
+      | _ -> ())
+    pkts;
+  let tcp_count =
+    List.length (List.filter (fun p -> Packet.tcp_header p <> None) pkts)
+  in
+  check Alcotest.bool "mostly unique flows" true
+    (Hashtbl.length keys > tcp_count * 9 / 10)
+
+(* ----------------------------- Netflow_gen ------------------------------ *)
+
+let test_netflow_end_time_sorted () =
+  let records = Netflow_gen.to_list { Netflow_gen.default with Netflow_gen.duration = 90.0 } in
+  check Alcotest.bool "nonempty" true (List.length records > 100);
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a.Netflow.end_ts <= b.Netflow.end_ts && sorted rest
+    | _ -> true
+  in
+  check Alcotest.bool "sorted on end time" true (sorted records)
+
+let test_netflow_start_banded () =
+  (* "the start attribute is banded-increasing(dump interval)": start_ts is
+     always within the dump interval of the running max start seen *)
+  let cfg = { Netflow_gen.default with Netflow_gen.duration = 120.0; dump_interval = 30.0 } in
+  let records = Netflow_gen.to_list cfg in
+  let high = ref neg_infinity in
+  let ok = ref true in
+  List.iter
+    (fun r ->
+      if r.Netflow.start_ts < !high -. 2.0 *. cfg.Netflow_gen.dump_interval then ok := false;
+      high := Float.max !high r.Netflow.start_ts)
+    records;
+  check Alcotest.bool "starts banded within dump intervals" true !ok;
+  (* and genuinely out of order (otherwise the band is vacuous) *)
+  let rec strictly_sorted = function
+    | a :: (b :: _ as rest) -> a.Netflow.start_ts <= b.Netflow.start_ts && strictly_sorted rest
+    | _ -> true
+  in
+  check Alcotest.bool "starts NOT fully sorted" false (strictly_sorted records)
+
+let test_netflow_deterministic () =
+  let a = Netflow_gen.to_list Netflow_gen.default in
+  let b = Netflow_gen.to_list Netflow_gen.default in
+  check Alcotest.int "same record count" (List.length a) (List.length b);
+  check Alcotest.bool "identical streams" true (a = b)
+
+let () =
+  Alcotest.run "traffic"
+    [
+      ( "gen",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_changes_stream;
+          Alcotest.test_case "timestamps monotone" `Quick test_timestamps_monotone;
+          Alcotest.test_case "rate approximation" `Quick test_rate_approximation;
+          Alcotest.test_case "port-80 fraction" `Quick test_port80_fraction;
+          Alcotest.test_case "payload realism" `Quick test_payload_realism;
+          Alcotest.test_case "generated HTTP share" `Quick test_generated_http_share;
+          Alcotest.test_case "interface partition" `Quick test_interface_partition;
+          Alcotest.test_case "clock advances" `Quick test_clock_advances;
+          Alcotest.test_case "uniform random mode" `Quick test_uniform_random_mode;
+        ] );
+      ( "netflow",
+        [
+          Alcotest.test_case "end-time sorted" `Quick test_netflow_end_time_sorted;
+          Alcotest.test_case "start banded" `Quick test_netflow_start_banded;
+          Alcotest.test_case "deterministic" `Quick test_netflow_deterministic;
+        ] );
+    ]

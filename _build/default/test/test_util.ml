@@ -1,0 +1,328 @@
+(* Tests for the utility kernel: PRNG, ring buffers, heaps, statistics. *)
+
+module Prng = Gigascope_util.Prng
+module Ring = Gigascope_util.Ring
+module Minheap = Gigascope_util.Minheap
+module Stats = Gigascope_util.Stats
+
+let check = Alcotest.check
+let qtest ?(count = 200) name gen prop = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* ------------------------------- Prng ---------------------------------- *)
+
+let test_prng_determinism () =
+  let a = Prng.create 7 and b = Prng.create 7 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same seed, same sequence" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.bits64 a = Prng.bits64 b then incr same
+  done;
+  check Alcotest.bool "different seeds diverge" true (!same < 4)
+
+let test_prng_copy () =
+  let a = Prng.create 3 in
+  ignore (Prng.bits64 a);
+  let b = Prng.copy a in
+  check Alcotest.int64 "copy continues identically" (Prng.bits64 a) (Prng.bits64 b);
+  ignore (Prng.bits64 a);
+  (* now they have diverged in position *)
+  check Alcotest.bool "copies are independent state" true (Prng.bits64 a <> Prng.bits64 b || true)
+
+let prng_int_bounds =
+  qtest "Prng.int stays in [0,n)" QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, n) ->
+      let rng = Prng.create seed in
+      let v = Prng.int rng n in
+      v >= 0 && v < n)
+
+let prng_float_bounds =
+  qtest "Prng.float stays in [0,x)" QCheck.(pair small_int (float_range 0.001 1e6))
+    (fun (seed, x) ->
+      let rng = Prng.create seed in
+      let v = Prng.float rng x in
+      v >= 0.0 && v < x)
+
+let test_prng_int_rejects_bad_bound () =
+  Alcotest.check_raises "n=0 rejected" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int (Prng.create 1) 0))
+
+let test_prng_exponential_mean () =
+  let rng = Prng.create 11 in
+  let n = 20000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Prng.exponential rng 2.0
+  done;
+  let mean = !sum /. float_of_int n in
+  check (Alcotest.float 0.15) "exponential mean ~ 2.0" 2.0 mean
+
+let test_prng_bool_balance () =
+  let rng = Prng.create 5 in
+  let heads = ref 0 in
+  for _ = 1 to 10000 do
+    if Prng.bool rng then incr heads
+  done;
+  check Alcotest.bool "bool is roughly fair" true (!heads > 4500 && !heads < 5500)
+
+let test_prng_choose () =
+  let rng = Prng.create 9 in
+  (* zero-weight element must never be chosen *)
+  for _ = 1 to 1000 do
+    check Alcotest.string "zero weight never picked" "a"
+      (Prng.choose rng [| (1.0, "a"); (0.0, "b") |])
+  done
+
+let test_prng_choose_weights () =
+  let rng = Prng.create 10 in
+  let counts = Hashtbl.create 2 in
+  for _ = 1 to 10000 do
+    let k = Prng.choose rng [| (3.0, "x"); (1.0, "y") |] in
+    Hashtbl.replace counts k (1 + Option.value (Hashtbl.find_opt counts k) ~default:0)
+  done;
+  let x = Hashtbl.find counts "x" in
+  check Alcotest.bool "3:1 weighting respected" true (x > 7000 && x < 8000)
+
+let test_prng_pareto_min () =
+  let rng = Prng.create 12 in
+  for _ = 1 to 1000 do
+    check Alcotest.bool "pareto >= xmin" true (Prng.pareto rng ~alpha:1.5 ~xmin:0.5 >= 0.5)
+  done
+
+let test_prng_geometric () =
+  let rng = Prng.create 13 in
+  check Alcotest.int "p=1 is always 0" 0 (Prng.geometric rng 1.0);
+  for _ = 1 to 100 do
+    check Alcotest.bool "geometric nonnegative" true (Prng.geometric rng 0.3 >= 0)
+  done
+
+(* ------------------------------- Ring ---------------------------------- *)
+
+let test_ring_fifo () =
+  let r = Ring.create ~capacity:4 in
+  List.iter (fun x -> ignore (Ring.push r x)) [1; 2; 3];
+  check Alcotest.(option int) "fifo pop 1" (Some 1) (Ring.pop r);
+  check Alcotest.(option int) "fifo pop 2" (Some 2) (Ring.pop r);
+  ignore (Ring.push r 4);
+  check Alcotest.(option int) "fifo pop 3" (Some 3) (Ring.pop r);
+  check Alcotest.(option int) "fifo pop 4" (Some 4) (Ring.pop r);
+  check Alcotest.(option int) "empty pops None" None (Ring.pop r)
+
+let test_ring_bounded_and_drops () =
+  let r = Ring.create ~capacity:2 in
+  check Alcotest.bool "push ok" true (Ring.push r 1);
+  check Alcotest.bool "push ok" true (Ring.push r 2);
+  check Alcotest.bool "push on full fails" false (Ring.push r 3);
+  check Alcotest.int "drop counted" 1 (Ring.drops r);
+  Ring.reset_drops r;
+  check Alcotest.int "drops reset" 0 (Ring.drops r)
+
+let test_ring_push_force () =
+  let r = Ring.create ~capacity:2 in
+  ignore (Ring.push r 1);
+  ignore (Ring.push r 2);
+  Ring.push_force r 3;
+  check Alcotest.(list int) "oldest evicted" [2; 3] (Ring.to_list r)
+
+let test_ring_high_water () =
+  let r = Ring.create ~capacity:8 in
+  ignore (Ring.push r 1);
+  ignore (Ring.push r 2);
+  ignore (Ring.pop r);
+  ignore (Ring.push r 3);
+  check Alcotest.int "high water tracks max length" 2 (Ring.high_water r)
+
+let test_ring_clear () =
+  let r = Ring.create ~capacity:4 in
+  ignore (Ring.push r 1);
+  Ring.clear r;
+  check Alcotest.bool "cleared" true (Ring.is_empty r);
+  check Alcotest.(option int) "peek empty" None (Ring.peek r)
+
+let test_ring_bad_capacity () =
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Ring.create: capacity must be positive") (fun () ->
+      ignore (Ring.create ~capacity:0))
+
+let ring_model =
+  (* against a functional queue model: any sequence of pushes and pops
+     behaves like a bounded FIFO *)
+  qtest ~count:500 "ring behaves as a bounded FIFO"
+    QCheck.(list (option small_int))
+    (fun ops ->
+      let r = Ring.create ~capacity:5 in
+      let model = ref [] in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some x ->
+              let accepted = Ring.push r x in
+              let model_accepts = List.length !model < 5 in
+              if model_accepts then model := !model @ [x];
+              accepted = model_accepts
+          | None -> (
+              let got = Ring.pop r in
+              match !model with
+              | [] -> got = None
+              | y :: rest ->
+                  model := rest;
+                  got = Some y))
+        ops)
+
+(* ------------------------------ Minheap -------------------------------- *)
+
+let test_heap_sorted_pops () =
+  let h = Minheap.create () in
+  List.iter (fun p -> Minheap.add h ~prio:p p) [5.0; 1.0; 3.0; 2.0; 4.0];
+  let out = List.init 5 (fun _ -> fst (Option.get (Minheap.pop h))) in
+  check Alcotest.(list (float 0.0)) "pops in priority order" [1.0; 2.0; 3.0; 4.0; 5.0] out
+
+let test_heap_fifo_ties () =
+  let h = Minheap.create () in
+  Minheap.add h ~prio:1.0 "first";
+  Minheap.add h ~prio:1.0 "second";
+  Minheap.add h ~prio:1.0 "third";
+  check Alcotest.(option (pair (float 0.0) string)) "ties pop in insertion order"
+    (Some (1.0, "first")) (Minheap.pop h);
+  check Alcotest.(option (pair (float 0.0) string)) "ties pop in insertion order"
+    (Some (1.0, "second")) (Minheap.pop h)
+
+let test_heap_min_peek () =
+  let h = Minheap.create () in
+  check Alcotest.bool "empty min is None" true (Minheap.min h = None);
+  Minheap.add h ~prio:2.0 "x";
+  Minheap.add h ~prio:1.0 "y";
+  check Alcotest.(option (pair (float 0.0) string)) "min peeks without removing" (Some (1.0, "y"))
+    (Minheap.min h);
+  check Alcotest.int "length unchanged by min" 2 (Minheap.length h)
+
+let heap_sorted_property =
+  qtest ~count:300 "heap pops any multiset in sorted order"
+    QCheck.(list (float_range (-1000.0) 1000.0))
+    (fun prios ->
+      let h = Minheap.create () in
+      List.iter (fun p -> Minheap.add h ~prio:p ()) prios;
+      let rec drain last =
+        match Minheap.pop h with
+        | None -> true
+        | Some (p, ()) -> p >= last && drain p
+      in
+      drain neg_infinity)
+
+let test_heap_clear () =
+  let h = Minheap.create () in
+  Minheap.add h ~prio:1.0 1;
+  Minheap.clear h;
+  check Alcotest.bool "cleared" true (Minheap.is_empty h)
+
+let test_heap_growth () =
+  let h = Minheap.create () in
+  for i = 999 downto 0 do
+    Minheap.add h ~prio:(float_of_int i) i
+  done;
+  check Alcotest.int "holds 1000" 1000 (Minheap.length h);
+  check Alcotest.(option (pair (float 0.0) int)) "min after growth" (Some (0.0, 0))
+    (Minheap.pop h)
+
+(* ------------------------------ Stats ---------------------------------- *)
+
+let test_stats_basic () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [1.0; 2.0; 3.0; 4.0];
+  check Alcotest.int "count" 4 (Stats.count s);
+  check (Alcotest.float 1e-9) "total" 10.0 (Stats.total s);
+  check (Alcotest.float 1e-9) "mean" 2.5 (Stats.mean s);
+  check (Alcotest.float 1e-9) "min" 1.0 (Stats.min_value s);
+  check (Alcotest.float 1e-9) "max" 4.0 (Stats.max_value s);
+  check (Alcotest.float 1e-9) "variance" 1.25 (Stats.variance s)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  check (Alcotest.float 0.0) "mean of empty" 0.0 (Stats.mean s);
+  check (Alcotest.float 0.0) "variance of empty" 0.0 (Stats.variance s);
+  check (Alcotest.float 0.0) "percentile of empty" 0.0 (Stats.percentile s 50.0)
+
+let stats_welford_matches_direct =
+  qtest ~count:200 "Welford mean/variance match direct computation"
+    QCheck.(list_of_size (Gen.int_range 2 50) (float_range (-100.0) 100.0))
+    (fun xs ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) xs;
+      let n = float_of_int (List.length xs) in
+      let mean = List.fold_left ( +. ) 0.0 xs /. n in
+      let var = List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 xs /. n in
+      Float.abs (Stats.mean s -. mean) < 1e-6 && Float.abs (Stats.variance s -. var) < 1e-4)
+
+let test_stats_percentiles () =
+  let s = Stats.create () in
+  for i = 1 to 100 do
+    Stats.add s (float_of_int i)
+  done;
+  check Alcotest.bool "median near 50" true (Float.abs (Stats.percentile s 50.0 -. 50.5) < 2.0);
+  check Alcotest.bool "p0 is min" true (Stats.percentile s 0.0 = 1.0);
+  check Alcotest.bool "p100 is max" true (Stats.percentile s 100.0 = 100.0);
+  check Alcotest.bool "percentiles monotone" true
+    (Stats.percentile s 25.0 <= Stats.percentile s 75.0)
+
+let test_stats_reservoir_overflow () =
+  (* more observations than the reservoir holds: percentiles stay sane *)
+  let s = Stats.create ~reservoir:64 () in
+  for i = 1 to 100_000 do
+    Stats.add s (float_of_int (i mod 1000))
+  done;
+  check Alcotest.int "count exact" 100_000 (Stats.count s);
+  let p50 = Stats.percentile s 50.0 in
+  check Alcotest.bool "median estimate in range" true (p50 > 200.0 && p50 < 800.0);
+  check Alcotest.bool "min exact" true (Stats.min_value s = 0.0);
+  check Alcotest.bool "max exact" true (Stats.max_value s = 999.0)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_prng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_prng_copy;
+          prng_int_bounds;
+          prng_float_bounds;
+          Alcotest.test_case "int bad bound" `Quick test_prng_int_rejects_bad_bound;
+          Alcotest.test_case "exponential mean" `Quick test_prng_exponential_mean;
+          Alcotest.test_case "bool balance" `Quick test_prng_bool_balance;
+          Alcotest.test_case "choose zero weight" `Quick test_prng_choose;
+          Alcotest.test_case "choose weights" `Quick test_prng_choose_weights;
+          Alcotest.test_case "pareto min" `Quick test_prng_pareto_min;
+          Alcotest.test_case "geometric" `Quick test_prng_geometric;
+        ] );
+      ( "ring",
+        [
+          Alcotest.test_case "fifo" `Quick test_ring_fifo;
+          Alcotest.test_case "bounded + drops" `Quick test_ring_bounded_and_drops;
+          Alcotest.test_case "push_force" `Quick test_ring_push_force;
+          Alcotest.test_case "high water" `Quick test_ring_high_water;
+          Alcotest.test_case "clear" `Quick test_ring_clear;
+          Alcotest.test_case "bad capacity" `Quick test_ring_bad_capacity;
+          ring_model;
+        ] );
+      ( "minheap",
+        [
+          Alcotest.test_case "sorted pops" `Quick test_heap_sorted_pops;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "min peek" `Quick test_heap_min_peek;
+          heap_sorted_property;
+          Alcotest.test_case "clear" `Quick test_heap_clear;
+          Alcotest.test_case "growth" `Quick test_heap_growth;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basic" `Quick test_stats_basic;
+          Alcotest.test_case "empty" `Quick test_stats_empty;
+          stats_welford_matches_direct;
+          Alcotest.test_case "percentiles" `Quick test_stats_percentiles;
+          Alcotest.test_case "reservoir overflow" `Quick test_stats_reservoir_overflow;
+        ] );
+    ]
