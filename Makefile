@@ -1,0 +1,21 @@
+# Convenience targets; `make ci` is what a CI job should run.
+
+.PHONY: all build test ci bench clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+ci:
+	dune build @all
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -1,8 +1,10 @@
 (* gsq — the Gigascope command line.
 
      gsq run query.gsql [--rate 100] [--duration 2] [--seed 42] [--pcap in.pcap]
+         [--stats] [--trace] [--metrics-out m.json] [--log-level info]
          compile and run GSQL over synthetic traffic or a capture file,
-         printing the output stream(s)
+         printing the output stream(s); observability flags render the
+         runtime metrics registry after the run
 
      gsq explain query.gsql
          show the logical plan, the LFTA/HFTA split, imputed ordering
@@ -18,6 +20,7 @@
 module E = Gigascope.Engine
 module Rts = Gigascope_rts
 module Value = Rts.Value
+module Metrics = Gigascope_obs.Metrics
 open Cmdliner
 
 let read_file path =
@@ -53,7 +56,57 @@ let max_rows =
     & info ["max-rows"] ~docv:"N" ~doc:"Print at most N tuples per output stream.")
 
 let stats =
-  Arg.(value & flag & info ["stats"] ~doc:"Print per-node runtime statistics after the run.")
+  Arg.(
+    value & flag
+    & info ["stats"]
+        ~doc:
+          "Render the runtime metrics registry after the run (also on a failed or interrupted \
+           run: whatever was measured up to that point).")
+
+let trace =
+  Arg.(
+    value & flag
+    & info ["trace"]
+        ~doc:
+          "Time every scheduler step and print an EXPLAIN-ANALYZE-style per-operator breakdown \
+           (tuples, drops, cumulative service time, ns/tuple) after the run.")
+
+let metrics_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info ["metrics-out"] ~docv:"FILE"
+        ~doc:
+          "Write a metrics snapshot to FILE after the run (Prometheus text format when FILE \
+           ends in .prom, JSON otherwise).")
+
+let log_level =
+  Arg.(
+    value & opt string "warning"
+    & info ["log-level"] ~docv:"LEVEL"
+        ~doc:"Runtime log verbosity: quiet, app, error, warning, info or debug.")
+
+let setup_logging level =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  match Logs.level_of_string level with
+  | Ok lvl -> Logs.set_level lvl
+  | Error (`Msg m) ->
+      prerr_endline ("bad --log-level: " ^ m);
+      exit 2
+
+let write_metrics engine path =
+  let snap = E.metrics_snapshot engine in
+  let text =
+    if Filename.check_suffix path ".prom" then Metrics.to_prometheus snap
+    else Metrics.to_json snap
+  in
+  match
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc
+  with
+  | () -> Printf.printf "-- metrics written to %s\n" path
+  | exception Sys_error e -> prerr_endline ("cannot write metrics: " ^ e)
 
 let sessions =
   Arg.(
@@ -67,7 +120,9 @@ let query_file = Arg.(required & pos 0 (some file) None & info [] ~docv:"QUERY.g
 
 (* ---- run ---- *)
 
-let do_run query_file rate duration seed pcap_in iface max_rows sessions show_stats =
+let do_run query_file rate duration seed pcap_in iface max_rows sessions show_stats trace
+    metrics_out log_level =
+  setup_logging log_level;
   let text = read_file query_file in
   let engine = E.create () in
   let gen_cfg = { Gigascope_traffic.Gen.default with rate_mbps = rate; duration; seed } in
@@ -136,23 +191,38 @@ let do_run query_file rate duration seed pcap_in iface max_rows sessions show_st
                    print_newline ()
                  end)))
         instances;
-      (match E.run engine () with
+      (* Whatever was measured prints even on a failed or interrupted run:
+         a drop-rate question answered by "the run crashed" is no answer. *)
+      let epilogue () =
+        Hashtbl.iter (fun name n -> Printf.printf "-- %s: %d tuples\n" name n) printed;
+        if trace then print_string (E.trace_report engine);
+        if show_stats then print_string (Metrics.render (E.metrics_snapshot engine));
+        Option.iter (write_metrics engine) metrics_out
+      in
+      Sys.catch_break true;
+      (match E.run engine ~trace () with
       | Ok stats ->
           Printf.printf "-- done: %d rounds, %d heartbeats, %d drops\n"
             stats.Rts.Scheduler.rounds stats.Rts.Scheduler.heartbeat_requests
             (E.total_drops engine);
-          Hashtbl.iter (fun name n -> Printf.printf "-- %s: %d tuples\n" name n) printed;
-          if show_stats then print_string (E.stats_report engine)
+          epilogue ()
       | Error e ->
           prerr_endline ("run error: " ^ e);
-          exit 1)
+          Printf.printf "-- run failed; statistics up to the failure:\n";
+          epilogue ();
+          exit 1
+      | exception Sys.Break ->
+          prerr_endline "interrupted";
+          Printf.printf "-- interrupted; statistics up to the interrupt:\n";
+          epilogue ();
+          exit 130)
 
 let run_cmd =
   let doc = "compile and run GSQL over synthetic traffic or a pcap file" in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const do_run $ query_file $ rate $ duration $ seed $ pcap_in $ iface $ max_rows
-      $ sessions $ stats)
+      $ sessions $ stats $ trace $ metrics_out $ log_level)
 
 (* ---- explain ---- *)
 

@@ -6,6 +6,11 @@ module Traffic = Gigascope_traffic
 module P = Gigascope_packet
 module Packet = P.Packet
 module Value = Rts.Value
+module Metrics = Gigascope_obs.Metrics
+
+let log_src = Logs.Src.create "gigascope.engine" ~doc:"Gigascope engine lifecycle events"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
 
 let ( let* ) = Result.bind
 
@@ -35,10 +40,13 @@ let create ?(default_capacity = 4096) () =
 
 let manager t = t.mgr
 let catalog t = t.catalog
+let metrics t = Rts.Manager.metrics t.mgr
+let metrics_snapshot t = Metrics.snapshot (Rts.Manager.metrics t.mgr)
 
 let register_function t f = Rts.Func.register (Rts.Manager.functions t.mgr) f
 
 let add_interface t ~name ?(capability = Cap_none) ~feed () =
+  Log.debug (fun m -> m "interface %s added" name);
   Hashtbl.replace t.interfaces (String.lowercase_ascii name)
     { feed_factory = feed; nic = Nic.create (); capability; nic_configured = false }
 
@@ -225,7 +233,15 @@ let install_compiled t ?params (c : Gsql.Compile.compiled) =
         in
         go rest
   in
-  go c.Gsql.Compile.helpers
+  let result = go c.Gsql.Compile.helpers in
+  (match result with
+  | Ok inst ->
+      Metrics.Counter.incr (Metrics.counter (metrics t) "engine.queries_installed");
+      Log.info (fun m ->
+          m "installed query %s (%d nodes)" inst.Gsql.Codegen.inst_name
+            (List.length inst.Gsql.Codegen.node_names))
+  | Error e -> Log.err (fun m -> m "query install failed: %s" e));
+  result
 
 let install_program t ?params text =
   let* compiled = Gsql.Compile.compile_program t.catalog text in
@@ -252,11 +268,22 @@ let on_tuple t name f =
     | Rts.Item.Tuple values -> f values
     | Rts.Item.Punct _ | Rts.Item.Flush | Rts.Item.Eof -> ())
 
-let run t ?quantum ?heartbeats ?heartbeat_period ?on_round () =
-  Rts.Scheduler.run ?quantum ?heartbeats ?heartbeat_period ?on_round t.mgr
+let run t ?quantum ?heartbeats ?heartbeat_period ?on_round ?trace () =
+  Log.info (fun m -> m "run: %d nodes" (List.length (Rts.Manager.nodes t.mgr)));
+  let result = Rts.Scheduler.run ?quantum ?heartbeats ?heartbeat_period ?on_round ?trace t.mgr in
+  (match result with
+  | Ok stats ->
+      Log.info (fun m ->
+          m "run complete: %d rounds, %d heartbeat requests, %d drops"
+            stats.Rts.Scheduler.rounds stats.Rts.Scheduler.heartbeat_requests
+            (Rts.Manager.total_drops t.mgr))
+  | Error e -> Log.err (fun m -> m "run failed: %s" e));
+  result
 
 let flush t name = Rts.Manager.flush t.mgr name
 
 let stats_report t = Rts.Manager.stats_report t.mgr
+
+let trace_report t = Rts.Manager.trace_report t.mgr
 
 let total_drops t = Rts.Manager.total_drops t.mgr

@@ -26,6 +26,14 @@ val create : ?default_capacity:int -> unit -> t
 val manager : t -> Rts.Manager.t
 val catalog : t -> Gsql.Catalog.t
 
+val metrics : t -> Gigascope_obs.Metrics.t
+(** The runtime's metrics registry (owned by the stream manager): every
+    node, channel, operator and the scheduler report here. See DESIGN.md
+    for the metric namespace. *)
+
+val metrics_snapshot : t -> Gigascope_obs.Metrics.snapshot
+(** Convenience: {!Gigascope_obs.Metrics.snapshot} of {!metrics}. *)
+
 val register_function : t -> Rts.Func.t -> unit
 (** Extend the function library ("users can make new functions available by
     adding the code to the function library and registering the
@@ -125,12 +133,15 @@ val run :
   ?heartbeats:bool ->
   ?heartbeat_period:int ->
   ?on_round:(int -> unit) ->
+  ?trace:bool ->
   unit ->
   (Rts.Scheduler.stats, string) result
 (** Drive the network until every source is exhausted. [heartbeats]
     enables on-demand punctuation; [heartbeat_period] adds periodic
     source punctuation every N scheduler rounds; [on_round] is the live
-    application's hook (change parameters, flush queries). *)
+    application's hook (change parameters, flush queries); [trace] times
+    every scheduler step (instead of a 1-in-8 sample) so
+    {!trace_report} gives exact per-operator costs. *)
 
 val flush : t -> string -> (unit, string) result
 (** Make the named query emit its open state now — how an analyst gets
@@ -140,4 +151,13 @@ val flush : t -> string -> (unit, string) result
 val stats_report : t -> string
 (** Per-node runtime statistics (tuples in/out, drops, buffered state). *)
 
+val trace_report : t -> string
+(** EXPLAIN-ANALYZE-style per-operator breakdown: tuples, drops, timed
+    steps, cumulative service time, ns/tuple (see
+    {!Rts.Manager.trace_report}). *)
+
 val total_drops : t -> int
+
+val log_src : Logs.src
+(** The [logs] source ([gigascope.engine]) for engine lifecycle events
+    (interface added, query installed, run started/completed). *)

@@ -343,9 +343,10 @@ let make_op ~params ~seed (phys : Split.phys_node) =
       in
       let* item_fns = compile_items ~params sel_items in
       let punct_map = punct_map_of_items ~in_schema sel_items in
+      let rejected = Gigascope_obs.Metrics.Counter.make () in
       Ok
-        ( Rts.Select_op.make ?pred ~project:(projector item_fns) ~punct_map (),
-          `Select )
+        ( Rts.Select_op.make ~rejected ?pred ~project:(projector item_fns) ~punct_map (),
+          `Select rejected )
   | Plan.Agg a ->
       let* cfg = make_agg_config ~params ~sample_seed:seed a in
       if phys.Split.pkind = Rts.Node.Lfta then begin
@@ -438,6 +439,18 @@ let install mgr ~source_binder ?(params = []) ?(seed = 0x6516) (split : Split.t)
   List.iter (fun (k, v) -> Hashtbl.replace param_tbl k v) params;
   (* Check every declared parameter has a value when used in handles is
      deferred to expression compilation; here just install node by node. *)
+  let reg = Rts.Manager.metrics mgr in
+  (* Operator-specific cells attach once the node exists: the node name
+     anchors the metric namespace. *)
+  let register_op_metrics name stat =
+    let pfx sub = Printf.sprintf "rts.node.%s.%s" name sub in
+    match stat with
+    | `Select rejected -> Gigascope_obs.Metrics.attach_counter reg (pfx "select.rejected") rejected
+    | `Lfta_agg agg -> Rts.Lfta_aggregate.register_metrics agg reg ~prefix:(pfx "lfta")
+    | `Hfta_agg agg -> Rts.Aggregate.register_metrics agg reg ~prefix:(pfx "agg")
+    | `Join join -> Rts.Join_op.register_metrics join reg ~prefix:(pfx "join")
+    | `Merge merge -> Rts.Merge_op.register_metrics merge reg ~prefix:(pfx "merge")
+  in
   let rec go acc_names acc_stats = function
     | [] -> Ok (List.rev acc_names, acc_stats)
     | (phys : Split.phys_node) :: rest ->
@@ -447,6 +460,7 @@ let install mgr ~source_binder ?(params = []) ?(seed = 0x6516) (split : Split.t)
           Rts.Manager.add_query_node mgr ~name:phys.Split.pname ~kind:phys.Split.pkind
             ~schema:phys.Split.pschema ~inputs ~op
         in
+        register_op_metrics phys.Split.pname stat;
         go (phys.Split.pname :: acc_names) ((phys.Split.pname, stat) :: acc_stats) rest
   in
   let* node_names, stats = go [] [] split.Split.phys in

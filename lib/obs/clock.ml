@@ -1,0 +1,1 @@
+let now_ns () = Unix.gettimeofday () *. 1e9

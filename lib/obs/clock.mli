@@ -1,0 +1,4 @@
+(** Wall-clock time source for service-time measurements. *)
+
+val now_ns : unit -> float
+(** Current wall-clock time in nanoseconds (microsecond resolution). *)

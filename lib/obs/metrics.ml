@@ -1,0 +1,403 @@
+module Stats = Gigascope_util.Stats
+
+(* ---------------- metric cells ----------------------------------------- *)
+
+module Counter = struct
+  type t = { mutable v : int }
+
+  let make () = { v = 0 }
+  let incr t = t.v <- t.v + 1
+  let add t n = t.v <- t.v + n
+  let get t = t.v
+  let reset t = t.v <- 0
+end
+
+module Gauge = struct
+  type t = { mutable v : float }
+
+  let make () = { v = 0.0 }
+  let set t x = t.v <- x
+  let set_int t n = t.v <- float_of_int n
+  let get t = t.v
+end
+
+module Histogram = struct
+  type t = { stats : Stats.t }
+
+  let make ?reservoir () = { stats = Stats.create ?reservoir () }
+  let observe t x = Stats.add t.stats x
+  let count t = Stats.count t.stats
+  let total t = Stats.total t.stats
+  let stats t = t.stats
+  let clear t = Stats.clear t.stats
+end
+
+(* ---------------- registry --------------------------------------------- *)
+
+type metric =
+  | M_counter of Counter.t
+  | M_gauge of Gauge.t
+  | M_gauge_fn of (unit -> float)
+  | M_histogram of Histogram.t
+
+type t = {
+  metrics : (string, metric) Hashtbl.t;
+  mutable last : snapshot option;  (* previous [delta] baseline *)
+}
+
+and hist_snap = {
+  h_count : int;
+  h_total : float;
+  h_mean : float;
+  h_stddev : float;
+  h_min : float;
+  h_max : float;
+  h_p50 : float;
+  h_p90 : float;
+  h_p99 : float;
+}
+
+and value = Counter of int | Gauge of float | Histogram of hist_snap
+
+and snapshot = (string * value) list
+
+let create () = { metrics = Hashtbl.create 64; last = None }
+
+let kind_name = function
+  | M_counter _ -> "counter"
+  | M_gauge _ | M_gauge_fn _ -> "gauge"
+  | M_histogram _ -> "histogram"
+
+let attach t name metric =
+  match Hashtbl.find_opt t.metrics name with
+  | Some existing ->
+      invalid_arg
+        (Printf.sprintf "Metrics: %s already registered as a %s" name (kind_name existing))
+  | None -> Hashtbl.replace t.metrics name metric
+
+let attach_counter t name c = attach t name (M_counter c)
+let attach_gauge t name g = attach t name (M_gauge g)
+let attach_gauge_fn t name f = attach t name (M_gauge_fn f)
+let attach_histogram t name h = attach t name (M_histogram h)
+
+let counter t name =
+  match Hashtbl.find_opt t.metrics name with
+  | Some (M_counter c) -> c
+  | Some m -> invalid_arg (Printf.sprintf "Metrics: %s is a %s, not a counter" name (kind_name m))
+  | None ->
+      let c = Counter.make () in
+      Hashtbl.replace t.metrics name (M_counter c);
+      c
+
+let gauge t name =
+  match Hashtbl.find_opt t.metrics name with
+  | Some (M_gauge g) -> g
+  | Some m -> invalid_arg (Printf.sprintf "Metrics: %s is a %s, not a gauge" name (kind_name m))
+  | None ->
+      let g = Gauge.make () in
+      Hashtbl.replace t.metrics name (M_gauge g);
+      g
+
+let histogram ?reservoir t name =
+  match Hashtbl.find_opt t.metrics name with
+  | Some (M_histogram h) -> h
+  | Some m ->
+      invalid_arg (Printf.sprintf "Metrics: %s is a %s, not a histogram" name (kind_name m))
+  | None ->
+      let h = Histogram.make ?reservoir () in
+      Hashtbl.replace t.metrics name (M_histogram h);
+      h
+
+let mem t name = Hashtbl.mem t.metrics name
+let names t = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.metrics [])
+
+let remove t name = Hashtbl.remove t.metrics name
+
+(* ---------------- snapshots -------------------------------------------- *)
+
+(* Non-finite values (empty histogram min/max, a gauge fed infinity) have no
+   JSON encoding; observable state reads as 0 instead. *)
+let fin f = if Float.is_finite f then f else 0.0
+
+let snap_histogram h =
+  let s = Histogram.stats h in
+  {
+    h_count = Stats.count s;
+    h_total = fin (Stats.total s);
+    h_mean = fin (Stats.mean s);
+    h_stddev = fin (Stats.stddev s);
+    h_min = fin (Stats.min_value s);
+    h_max = fin (Stats.max_value s);
+    h_p50 = fin (Stats.percentile s 50.0);
+    h_p90 = fin (Stats.percentile s 90.0);
+    h_p99 = fin (Stats.percentile s 99.0);
+  }
+
+let snapshot t =
+  Hashtbl.fold
+    (fun name metric acc ->
+      let v =
+        match metric with
+        | M_counter c -> Counter (Counter.get c)
+        | M_gauge g -> Gauge (fin (Gauge.get g))
+        | M_gauge_fn f -> Gauge (fin (f ()))
+        | M_histogram h -> Histogram (snap_histogram h)
+      in
+      (name, v) :: acc)
+    t.metrics []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let find snap name = List.assoc_opt name snap
+
+(* Counters and histogram count/total are differenced; gauges and the
+   histogram's distribution shape (mean, percentiles, extrema) describe
+   current state, so the [after] side is reported as-is. *)
+let diff ~before ~after =
+  List.map
+    (fun (name, v) ->
+      match (v, List.assoc_opt name before) with
+      | Counter a, Some (Counter b) -> (name, Counter (a - b))
+      | Histogram a, Some (Histogram b) ->
+          (name, Histogram { a with h_count = a.h_count - b.h_count; h_total = a.h_total -. b.h_total })
+      | _ -> (name, v))
+    after
+
+let delta t =
+  let now = snapshot t in
+  let d = match t.last with None -> now | Some before -> diff ~before ~after:now in
+  t.last <- Some now;
+  d
+
+(* ---------------- JSON exposition -------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* %.17g round-trips any finite double through float_of_string. *)
+let json_float f = Printf.sprintf "%.17g" f
+
+let to_json snap =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf (Printf.sprintf "  \"%s\": " (json_escape name));
+      (match v with
+      | Counter n -> Buffer.add_string buf (Printf.sprintf "{\"type\": \"counter\", \"value\": %d}" n)
+      | Gauge g ->
+          Buffer.add_string buf (Printf.sprintf "{\"type\": \"gauge\", \"value\": %s}" (json_float g))
+      | Histogram h ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"type\": \"histogram\", \"count\": %d, \"total\": %s, \"mean\": %s, \"stddev\": \
+                %s, \"min\": %s, \"max\": %s, \"p50\": %s, \"p90\": %s, \"p99\": %s}"
+               h.h_count (json_float h.h_total) (json_float h.h_mean) (json_float h.h_stddev)
+               (json_float h.h_min) (json_float h.h_max) (json_float h.h_p50) (json_float h.h_p90)
+               (json_float h.h_p99))))
+    snap;
+  Buffer.add_string buf "\n}\n";
+  Buffer.contents buf
+
+(* Minimal parser for the subset emitted above: one object of objects whose
+   fields are strings or numbers. *)
+let of_json text =
+  let pos = ref 0 in
+  let len = String.length text in
+  let error fmt = Printf.ksprintf (fun s -> failwith s) fmt in
+  let peek () = if !pos < len then Some text.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < len && (match text.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c =
+    skip_ws ();
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> error "expected '%c' at offset %d, got '%c'" c !pos c'
+    | None -> error "expected '%c' at offset %d, got end of input" c !pos
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= len then error "unterminated string"
+      else
+        match text.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+            advance ();
+            (if !pos >= len then error "unterminated escape");
+            (match text.[!pos] with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'u' ->
+                if !pos + 4 >= len then error "truncated \\u escape";
+                let code = int_of_string ("0x" ^ String.sub text (!pos + 1) 4) in
+                Buffer.add_char buf (Char.chr (code land 0xff));
+                pos := !pos + 4
+            | c -> error "unknown escape \\%c" c);
+            advance ();
+            go ()
+        | c ->
+            Buffer.add_char buf c;
+            advance ();
+            go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    skip_ws ();
+    let start = !pos in
+    while
+      !pos < len
+      && match text.[!pos] with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+    do
+      advance ()
+    done;
+    if start = !pos then error "expected a number at offset %d" start;
+    float_of_string (String.sub text start (!pos - start))
+  in
+  let parse_fields () =
+    (* inner object: { "k": <string|number>, ... } *)
+    expect '{';
+    let fields = ref [] in
+    let rec go () =
+      skip_ws ();
+      match peek () with
+      | Some '}' -> advance ()
+      | _ ->
+          let k = parse_string () in
+          expect ':';
+          skip_ws ();
+          let v =
+            match peek () with
+            | Some '"' -> `S (parse_string ())
+            | _ -> `F (parse_number ())
+          in
+          fields := (k, v) :: !fields;
+          skip_ws ();
+          (match peek () with
+          | Some ',' ->
+              advance ();
+              go ()
+          | Some '}' -> advance ()
+          | _ -> error "expected ',' or '}' at offset %d" !pos)
+    in
+    go ();
+    List.rev !fields
+  in
+  let value_of_fields name fields =
+    let str k = match List.assoc_opt k fields with Some (`S s) -> Some s | _ -> None in
+    let num k = match List.assoc_opt k fields with Some (`F f) -> Some f | _ -> None in
+    let req k = match num k with Some f -> f | None -> error "%s: missing field %s" name k in
+    match str "type" with
+    | Some "counter" -> Counter (int_of_float (req "value"))
+    | Some "gauge" -> Gauge (req "value")
+    | Some "histogram" ->
+        Histogram
+          {
+            h_count = int_of_float (req "count");
+            h_total = req "total";
+            h_mean = req "mean";
+            h_stddev = req "stddev";
+            h_min = req "min";
+            h_max = req "max";
+            h_p50 = req "p50";
+            h_p90 = req "p90";
+            h_p99 = req "p99";
+          }
+    | Some k -> error "%s: unknown metric type %s" name k
+    | None -> error "%s: missing type field" name
+  in
+  try
+    expect '{';
+    let entries = ref [] in
+    let rec go () =
+      skip_ws ();
+      match peek () with
+      | Some '}' -> advance ()
+      | _ ->
+          let name = parse_string () in
+          expect ':';
+          let fields = parse_fields () in
+          entries := (name, value_of_fields name fields) :: !entries;
+          skip_ws ();
+          (match peek () with
+          | Some ',' ->
+              advance ();
+              go ()
+          | Some '}' -> advance ()
+          | _ -> error "expected ',' or '}' at offset %d" !pos)
+    in
+    go ();
+    Ok (List.sort (fun (a, _) (b, _) -> compare a b) !entries)
+  with Failure msg -> Error ("metrics JSON: " ^ msg)
+
+(* ---------------- Prometheus exposition -------------------------------- *)
+
+let prom_name name =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c | _ -> '_')
+    name
+
+let prom_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let to_prometheus snap =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, v) ->
+      let n = prom_name name in
+      match v with
+      | Counter c ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n%s %d\n" n n c)
+      | Gauge g ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n%s %s\n" n n (prom_float g))
+      | Histogram h ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s summary\n" n);
+          Buffer.add_string buf
+            (Printf.sprintf "%s{quantile=\"0.5\"} %s\n" n (prom_float h.h_p50));
+          Buffer.add_string buf
+            (Printf.sprintf "%s{quantile=\"0.9\"} %s\n" n (prom_float h.h_p90));
+          Buffer.add_string buf
+            (Printf.sprintf "%s{quantile=\"0.99\"} %s\n" n (prom_float h.h_p99));
+          Buffer.add_string buf (Printf.sprintf "%s_sum %s\n" n (prom_float h.h_total));
+          Buffer.add_string buf (Printf.sprintf "%s_count %d\n" n h.h_count))
+    snap;
+  Buffer.contents buf
+
+(* ---------------- human rendering --------------------------------------- *)
+
+let render snap =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "%-52s %-10s %s\n" "metric" "type" "value");
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Counter c -> Buffer.add_string buf (Printf.sprintf "%-52s %-10s %d\n" name "counter" c)
+      | Gauge g -> Buffer.add_string buf (Printf.sprintf "%-52s %-10s %g\n" name "gauge" g)
+      | Histogram h ->
+          Buffer.add_string buf
+            (Printf.sprintf "%-52s %-10s count=%d mean=%.1f p50=%.1f p99=%.1f max=%.1f\n" name
+               "histogram" h.h_count h.h_mean h.h_p50 h.h_p99 h.h_max))
+    snap;
+  Buffer.contents buf

@@ -1,0 +1,126 @@
+(** Typed metrics registry for the LFTA/HFTA runtime.
+
+    The registry answers the paper's central measurement question — "how
+    high can the input rate go before tuples drop?" (Section 4) — by making
+    every runtime component a measurable one. Three metric kinds:
+
+    - {b counters}: monotone event counts (tuples in/out, drops, evictions);
+    - {b gauges}: instantaneous readings (channel depth, open groups),
+      either pushed or polled from a closure at snapshot time;
+    - {b histograms}: distributions (service time per scheduler round),
+      backed by {!Gigascope_util.Stats} (Welford + reservoir percentiles).
+
+    Metric cells are plain mutable records created independently of any
+    registry, so hot-path components (the LFTA data path) own their cells
+    directly: an increment is one unboxed int store, no allocation, no
+    hashing. Registration only attaches a hierarchical name
+    ([rts.node.<query>.<op>.tuples_out]) for snapshots and exposition. *)
+
+module Counter : sig
+  type t
+
+  val make : unit -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val get : t -> int
+  val reset : t -> unit
+end
+
+module Gauge : sig
+  type t
+
+  val make : unit -> t
+  val set : t -> float -> unit
+  val set_int : t -> int -> unit
+  val get : t -> float
+end
+
+module Histogram : sig
+  type t
+
+  val make : ?reservoir:int -> unit -> t
+  val observe : t -> float -> unit
+  val count : t -> int
+  val total : t -> float
+  val stats : t -> Gigascope_util.Stats.t
+  val clear : t -> unit
+end
+
+type t
+(** A registry: a flat namespace of dot-separated hierarchical names. *)
+
+val create : unit -> t
+
+(** {2 Registration}
+
+    [counter]/[gauge]/[histogram] are get-or-create: a second call with the
+    same name returns the {e same} cell; a call whose name is registered
+    under a different kind raises [Invalid_argument]. The [attach_*]
+    functions register an externally created cell and raise
+    [Invalid_argument] if the name is taken (by any kind). *)
+
+val counter : t -> string -> Counter.t
+val gauge : t -> string -> Gauge.t
+val histogram : ?reservoir:int -> t -> string -> Histogram.t
+val attach_counter : t -> string -> Counter.t -> unit
+val attach_gauge : t -> string -> Gauge.t -> unit
+
+val attach_gauge_fn : t -> string -> (unit -> float) -> unit
+(** A polled gauge: the closure is read at snapshot time. *)
+
+val attach_histogram : t -> string -> Histogram.t -> unit
+val mem : t -> string -> bool
+
+val names : t -> string list
+(** Sorted. *)
+
+val remove : t -> string -> unit
+
+(** {2 Snapshots} *)
+
+type hist_snap = {
+  h_count : int;
+  h_total : float;
+  h_mean : float;
+  h_stddev : float;
+  h_min : float;
+  h_max : float;
+  h_p50 : float;
+  h_p90 : float;
+  h_p99 : float;
+}
+
+type value = Counter of int | Gauge of float | Histogram of hist_snap
+
+type snapshot = (string * value) list
+(** Sorted by name. Non-finite readings are reported as 0. *)
+
+val snapshot : t -> snapshot
+
+val diff : before:snapshot -> after:snapshot -> snapshot
+(** Counters and histogram count/total are differenced; gauges and the
+    histogram distribution shape are taken from [after] (they describe
+    current state, not accumulation). Names absent from [before] pass
+    through unchanged. *)
+
+val delta : t -> snapshot
+(** Snapshot relative to the previous [delta] call on this registry (the
+    first call is equivalent to {!snapshot}). *)
+
+val find : snapshot -> string -> value option
+
+(** {2 Exposition} *)
+
+val to_json : snapshot -> string
+
+val of_json : string -> (snapshot, string) result
+(** Parses exactly the subset {!to_json} emits; [to_json] then [of_json]
+    is the identity on snapshots. *)
+
+val to_prometheus : snapshot -> string
+(** Prometheus text format: counters and gauges as-is (names sanitized to
+    [\[a-zA-Z0-9_:\]]), histograms as summaries with 0.5/0.9/0.99
+    quantiles plus [_sum] and [_count]. *)
+
+val render : snapshot -> string
+(** Human-readable table, one metric per line. *)

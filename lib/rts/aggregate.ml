@@ -13,11 +13,13 @@ type config = {
 
 type group = { key : Value.t array; accs : Agg_fn.acc array }
 
+module Metrics = Gigascope_obs.Metrics
+
 type t = {
   cfg : config;
   groups : group Group_tbl.t;
   mutable high_water : Value.t;  (** extremum of epoch values seen; Null before any *)
-  mutable flushes : int;
+  flushes : Metrics.Counter.t;
   mutable done_ : bool;
 }
 
@@ -61,7 +63,7 @@ let emit_group t g ~emit =
     | Some h -> h (Array.append g.key agg_values)
   in
   if keep then begin
-    t.flushes <- t.flushes + 1;
+    Metrics.Counter.incr t.flushes;
     ignore (emit (Item.Tuple (t.cfg.assemble ~keys:g.key ~aggs:agg_values)))
   end
 
@@ -104,7 +106,13 @@ let flush_behind t ?threshold ~emit () =
         sorted
 
 let make cfg =
-  { cfg; groups = Group_tbl.create 64; high_water = Value.Null; flushes = 0; done_ = false }
+  {
+    cfg;
+    groups = Group_tbl.create 64;
+    high_water = Value.Null;
+    flushes = Metrics.Counter.make ();
+    done_ = false;
+  }
 
 let on_tuple t values ~emit =
   let cfg = t.cfg in
@@ -177,4 +185,9 @@ let op t =
   }
 
 let open_groups t = Group_tbl.length t.groups
-let flushes t = t.flushes
+let flushes t = Metrics.Counter.get t.flushes
+
+let register_metrics t reg ~prefix =
+  Metrics.attach_counter reg (prefix ^ ".flushes") t.flushes;
+  Metrics.attach_gauge_fn reg (prefix ^ ".open_groups") (fun () ->
+      float_of_int (Group_tbl.length t.groups))

@@ -39,3 +39,7 @@ val op : t -> Operator.t
 val open_groups : t -> int
 val flushes : t -> int
 (** Number of group closures emitted so far. *)
+
+val register_metrics : t -> Gigascope_obs.Metrics.t -> prefix:string -> unit
+(** Attach under [prefix]: the [flushes] counter and a polled
+    [open_groups] gauge. *)

@@ -1,8 +1,20 @@
 module Ring = Gigascope_util.Ring
+module Metrics = Gigascope_obs.Metrics
 
-type t = { name : string; ring : Item.t Ring.t; mutable tuples_in : int }
+type t = {
+  name : string;
+  ring : Item.t Ring.t;
+  tuples_in : Metrics.Counter.t;
+  dropped : Metrics.Counter.t;
+}
 
-let create ?(capacity = 4096) ~name () = { name; ring = Ring.create ~capacity; tuples_in = 0 }
+let create ?(capacity = 4096) ~name () =
+  {
+    name;
+    ring = Ring.create ~capacity;
+    tuples_in = Metrics.Counter.make ();
+    dropped = Metrics.Counter.make ();
+  }
 
 let name t = t.name
 
@@ -13,14 +25,24 @@ let push t item =
       true
   | Item.Tuple _ ->
       let ok = Ring.push t.ring item in
-      if ok then t.tuples_in <- t.tuples_in + 1;
+      if ok then Metrics.Counter.incr t.tuples_in else Metrics.Counter.incr t.dropped;
       ok
-  | Item.Punct _ | Item.Flush -> Ring.push t.ring item
+  | Item.Punct _ | Item.Flush ->
+      let ok = Ring.push t.ring item in
+      if not ok then Metrics.Counter.incr t.dropped;
+      ok
 
 let pop t = Ring.pop t.ring
 let peek t = Ring.peek t.ring
 let length t = Ring.length t.ring
 let is_empty t = Ring.is_empty t.ring
-let tuples_in t = t.tuples_in
-let drops t = Ring.drops t.ring
+let tuples_in t = Metrics.Counter.get t.tuples_in
+let drops t = Metrics.Counter.get t.dropped
 let high_water t = Ring.high_water t.ring
+
+let register_metrics t reg ~prefix =
+  Metrics.attach_counter reg (prefix ^ ".tuples_in") t.tuples_in;
+  Metrics.attach_counter reg (prefix ^ ".drops") t.dropped;
+  Metrics.attach_gauge_fn reg (prefix ^ ".depth") (fun () -> float_of_int (Ring.length t.ring));
+  Metrics.attach_gauge_fn reg (prefix ^ ".high_water") (fun () ->
+      float_of_int (Ring.high_water t.ring))

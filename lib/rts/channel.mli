@@ -24,4 +24,12 @@ val tuples_in : t -> int
 (** Tuples successfully enqueued (punctuation and EOF not counted). *)
 
 val drops : t -> int
+(** Items rejected by a full ring (tuples and punctuation alike). *)
+
 val high_water : t -> int
+
+val register_metrics : t -> Gigascope_obs.Metrics.t -> prefix:string -> unit
+(** Attach this channel's counters ([tuples_in], [drops]) and polled gauges
+    ([depth], [high_water]) under [prefix]. The cells are the channel's own
+    accounting — {!tuples_in} and {!drops} read the same counters — so
+    registration adds no cost to {!push}. *)

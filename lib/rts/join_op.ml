@@ -18,6 +18,8 @@ type side_state = {
   mutable eof : bool;
 }
 
+module Metrics = Gigascope_obs.Metrics
+
 type t = {
   cfg : config;
   left : side_state;
@@ -180,3 +182,12 @@ let op t =
   { Operator.on_item; blocked_input; buffered = (fun () -> buffered t) }
 
 let high_water t = t.high_water
+
+let register_metrics t reg ~prefix =
+  Metrics.attach_gauge_fn reg (prefix ^ ".window_left") (fun () ->
+      float_of_int (Queue.length t.left.buffer));
+  Metrics.attach_gauge_fn reg (prefix ^ ".window_right") (fun () ->
+      float_of_int (Queue.length t.right.buffer));
+  Metrics.attach_gauge_fn reg (prefix ^ ".held") (fun () ->
+      float_of_int (Gigascope_util.Minheap.length t.held));
+  Metrics.attach_gauge_fn reg (prefix ^ ".high_water") (fun () -> float_of_int t.high_water)

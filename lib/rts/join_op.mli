@@ -41,3 +41,8 @@ val buffered : t -> int
     matches. *)
 
 val high_water : t -> int
+
+val register_metrics : t -> Gigascope_obs.Metrics.t -> prefix:string -> unit
+(** Attach under [prefix]: polled gauges for the per-side window state
+    ([window_left], [window_right]), the ordered-output hold heap
+    ([held]), and the buffering [high_water]. *)

@@ -11,13 +11,15 @@ type config = {
 
 type slot = { key : Value.t array; accs : Agg_fn.acc array }
 
+module Metrics = Gigascope_obs.Metrics
+
 type t = {
   cfg : config;
   slots : slot option array;
   mutable occupied : int;
   mutable high_water : Value.t;
-  mutable evictions : int;
-  mutable emitted : int;
+  evictions : Metrics.Counter.t;
+  emitted : Metrics.Counter.t;
   mutable done_ : bool;
 }
 
@@ -29,8 +31,8 @@ let make cfg =
     slots = Array.make (1 lsl cfg.table_bits) None;
     occupied = 0;
     high_water = Value.Null;
-    evictions = 0;
-    emitted = 0;
+    evictions = Metrics.Counter.make ();
+    emitted = Metrics.Counter.make ();
     done_ = false;
   }
 
@@ -42,7 +44,7 @@ let ahead cfg a b =
 let emit_slot t s ~emit =
   let agg_values = Array.map Agg_fn.final s.accs in
   let out = t.cfg.assemble ~keys:s.key ~aggs:agg_values in
-  t.emitted <- t.emitted + 1;
+  Metrics.Counter.incr t.emitted;
   ignore (emit (Item.Tuple out))
 
 let flush_all t ~emit =
@@ -86,7 +88,7 @@ let on_tuple t values ~emit =
       match t.slots.(idx) with
       | Some s when Value.equal_array s.key key -> s
       | Some victim ->
-          t.evictions <- t.evictions + 1;
+          Metrics.Counter.incr t.evictions;
           emit_slot t victim ~emit;
           let s = { key = Array.copy key; accs = Array.map (fun sp -> Agg_fn.init sp.Agg_fn.kind) cfg.aggs } in
           t.slots.(idx) <- Some s;
@@ -130,5 +132,18 @@ let op t =
     buffered = (fun () -> t.occupied);
   }
 
-let evictions t = t.evictions
-let emitted t = t.emitted
+let evictions t = Metrics.Counter.get t.evictions
+let emitted t = Metrics.Counter.get t.emitted
+
+let register_metrics t reg ~prefix =
+  Metrics.attach_counter reg (prefix ^ ".evictions") t.evictions;
+  Metrics.attach_counter reg (prefix ^ ".emitted") t.emitted;
+  Metrics.attach_gauge_fn reg (prefix ^ ".occupied") (fun () -> float_of_int t.occupied);
+  Metrics.attach_gauge_fn reg (prefix ^ ".slots") (fun () ->
+      float_of_int (Array.length t.slots));
+  (* collision rate: fraction of input tuples that hit an occupied slot
+     holding another group's key -- the paper's "table too small" signal *)
+  Metrics.attach_gauge_fn reg (prefix ^ ".eviction_rate") (fun () ->
+      let ev = Metrics.Counter.get t.evictions in
+      let em = Metrics.Counter.get t.emitted in
+      if em = 0 then 0.0 else float_of_int ev /. float_of_int em)

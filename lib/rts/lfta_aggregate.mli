@@ -35,3 +35,9 @@ val evictions : t -> int
 val emitted : t -> int
 (** Partial tuples written to the output stream; [emitted/input] is the
     early-data-reduction factor measured in experiment A1. *)
+
+val register_metrics : t -> Gigascope_obs.Metrics.t -> prefix:string -> unit
+(** Attach under [prefix]: [evictions] and [emitted] counters (the same
+    cells {!evictions}/{!emitted} read), plus polled gauges [occupied],
+    [slots] and [eviction_rate] (evictions per emitted partial — the
+    "table too small" signal). *)

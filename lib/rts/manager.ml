@@ -1,7 +1,14 @@
+module Metrics = Gigascope_obs.Metrics
+
+let log_src = Logs.Src.create "gigascope.rts" ~doc:"Gigascope runtime (stream manager) events"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
 type t = {
   registry : (string, Node.t) Hashtbl.t;
   mutable order : Node.t list;  (* reverse registration order *)
   funcs : Func.registry;
+  metrics : Metrics.t;
   default_capacity : int;
   mutable started : bool;
 }
@@ -9,11 +16,35 @@ type t = {
 let create ?(default_capacity = 4096) () =
   let funcs = Func.create_registry () in
   Builtin_funcs.register_all funcs;
-  { registry = Hashtbl.create 32; order = []; funcs; default_capacity; started = false }
+  {
+    registry = Hashtbl.create 32;
+    order = [];
+    funcs;
+    metrics = Metrics.create ();
+    default_capacity;
+    started = false;
+  }
 
 let functions t = t.funcs
+let metrics t = t.metrics
 
 let key = String.lowercase_ascii
+
+(* Channel names repeat (a self-join reads one upstream twice; an app
+   subscribes to the same query twice), so suffix until the prefix is
+   free. *)
+let unique_chan_prefix reg base =
+  if not (Metrics.mem reg (base ^ ".tuples_in")) then base
+  else
+    let rec go i =
+      let p = Printf.sprintf "%s#%d" base i in
+      if Metrics.mem reg (p ^ ".tuples_in") then go (i + 1) else p
+    in
+    go 2
+
+let register_channel_metrics t chan =
+  let prefix = unique_chan_prefix t.metrics ("rts.chan." ^ Channel.name chan) in
+  Channel.register_metrics chan t.metrics ~prefix
 
 let register t node =
   let k = key (Node.name node) in
@@ -22,6 +53,9 @@ let register t node =
   else begin
     Hashtbl.replace t.registry k node;
     t.order <- node :: t.order;
+    Node.register_metrics node t.metrics;
+    Metrics.Counter.incr (Metrics.counter t.metrics "rts.manager.nodes_registered");
+    Log.debug (fun m -> m "registered node %s" (Node.name node));
     Ok node
   end
 
@@ -31,7 +65,10 @@ let nodes t = List.rev t.order
 let add_source t ~name ~schema source =
   if t.started then
     Error "stream manager: sources are bound into the RTS; stop and restart to change them"
-  else register t (Node.make_source ~name ~schema source)
+  else begin
+    Metrics.Counter.incr (Metrics.counter t.metrics "rts.manager.sources");
+    register t (Node.make_source ~name ~schema source)
+  end
 
 let add_query_node t ~name ~kind ~schema ~inputs ~op =
   let check_batch () =
@@ -77,6 +114,7 @@ let add_query_node t ~name ~kind ~schema ~inputs ~op =
                     (fun up ->
                       Node.connect ~downstream:node ~upstream:up ~capacity:t.default_capacity)
                     ups;
+                  Array.iter (fun (_, chan) -> register_channel_metrics t chan) (Node.inputs node);
                   Ok node)))
 
 let subscribe t ?capacity name =
@@ -86,6 +124,8 @@ let subscribe t ?capacity name =
       let capacity = Option.value capacity ~default:t.default_capacity in
       let chan = Channel.create ~capacity ~name:(Printf.sprintf "%s->app" name) () in
       Node.add_subscriber node (Node.Chan chan);
+      register_channel_metrics t chan;
+      Log.debug (fun m -> m "application subscribed to %s (capacity %d)" name capacity);
       Ok chan
 
 let on_item t name f =
@@ -93,16 +133,24 @@ let on_item t name f =
   | None -> Error (Printf.sprintf "stream manager: unknown stream %s" name)
   | Some node ->
       Node.add_subscriber node (Node.Callback f);
+      Log.debug (fun m -> m "callback subscribed to %s" name);
       Ok ()
 
-let start t = t.started <- true
+let start t =
+  if not t.started then Log.info (fun m -> m "manager started: LFTA set frozen");
+  t.started <- true
+
 let started t = t.started
-let restart t = t.started <- false
+
+let restart t =
+  if t.started then Log.info (fun m -> m "manager restarted: LFTA set unfrozen");
+  t.started <- false
 
 let flush t name =
   match find t name with
   | None -> Error (Printf.sprintf "stream manager: unknown stream %s" name)
   | Some node ->
+      Log.debug (fun m -> m "flushing %s" name);
       (* Flushing "the query" means the whole chain: sub-aggregating LFTAs
          hold the open groups, so flush upstream first and drain each hop
          before flushing the next. *)
@@ -118,6 +166,12 @@ let flush t name =
 
 let total_drops t = List.fold_left (fun acc n -> acc + Node.input_drops n) 0 (nodes t)
 
+let kind_string node =
+  match Node.kind node with
+  | Node.Source -> "source"
+  | Node.Lfta -> "lfta"
+  | Node.Hfta -> "hfta"
+
 let stats_report t =
   let buf = Buffer.create 256 in
   Buffer.add_string buf
@@ -125,15 +179,47 @@ let stats_report t =
        "drops" "buffered");
   List.iter
     (fun node ->
-      let kind =
-        match Node.kind node with
-        | Node.Source -> "source"
-        | Node.Lfta -> "lfta"
-        | Node.Hfta -> "hfta"
-      in
       Buffer.add_string buf
-        (Printf.sprintf "%-24s %-8s %10d %10d %8d %9d\n" (Node.name node) kind
+        (Printf.sprintf "%-24s %-8s %10d %10d %8d %9d\n" (Node.name node) (kind_string node)
            (Node.tuples_in node) (Node.tuples_out node) (Node.input_drops node)
            (Node.buffered node)))
     (nodes t);
+  Buffer.contents buf
+
+let trace_report t =
+  let snap = Metrics.snapshot t.metrics in
+  let factor =
+    match Metrics.find snap "rts.scheduler.service_sample" with
+    | Some (Metrics.Gauge f) when f >= 1.0 -> f
+    | _ -> 1.0
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-24s %-8s %10s %10s %8s %11s %10s %9s\n" "node" "kind" "tuples-in"
+       "tuples-out" "drops" "timed-steps" "cum-ms" "ns/tuple");
+  List.iter
+    (fun node ->
+      let name = Node.name node in
+      let hist = Metrics.find snap (Printf.sprintf "rts.node.%s.service_ns" name) in
+      let steps, cum_ns =
+        match hist with
+        | Some (Metrics.Histogram h) -> (h.Metrics.h_count, h.Metrics.h_total *. factor)
+        | _ -> (0, 0.0)
+      in
+      let tuples =
+        match Node.kind node with
+        | Node.Source -> Node.tuples_out node
+        | Node.Lfta | Node.Hfta -> Node.tuples_in node
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-24s %-8s %10d %10d %8d %11d %10.2f %9.0f\n" name (kind_string node)
+           (Node.tuples_in node) (Node.tuples_out node) (Node.input_drops node) steps
+           (cum_ns /. 1e6)
+           (cum_ns /. float_of_int (max 1 tuples))))
+    (nodes t);
+  if factor > 1.0 then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "(service times sampled every %.0f rounds; cum-ms and ns/tuple are scaled estimates)\n"
+         factor);
   Buffer.contents buf

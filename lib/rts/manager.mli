@@ -18,6 +18,12 @@ val create : ?default_capacity:int -> unit -> t
 val functions : t -> Func.registry
 (** The function registry, pre-populated with {!Builtin_funcs}. *)
 
+val metrics : t -> Gigascope_obs.Metrics.t
+(** The manager's metrics registry. Every node registered here attaches
+    its cells under [rts.node.<name>], every channel (inter-node and
+    application subscription) under [rts.chan.<from>-><to>], and the
+    scheduler its round/service-time metrics under [rts.scheduler]. *)
+
 val add_source : t -> name:string -> schema:Schema.t -> Node.source -> (Node.t, string) result
 (** Sources are bound before start, like LFTAs. *)
 
@@ -61,3 +67,14 @@ val total_drops : t -> int
 val stats_report : t -> string
 (** A human-readable table: every node's kind, tuples in/out, input drops,
     and buffered operator state. *)
+
+val trace_report : t -> string
+(** EXPLAIN-ANALYZE-style per-operator breakdown from the metrics
+    registry: tuples in/out, drops, timed scheduler steps, cumulative
+    service time and per-tuple cost. Most accurate after a
+    {!Scheduler.run} with [~trace:true] (otherwise service times are
+    sampled and the totals are scaled estimates). *)
+
+val log_src : Logs.src
+(** The [logs] source ([gigascope.rts]) under which manager lifecycle
+    events (register, subscribe, start/restart, flush) are emitted. *)

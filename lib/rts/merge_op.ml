@@ -6,10 +6,15 @@ type input_state = {
   mutable eof : bool;
 }
 
+module Metrics = Gigascope_obs.Metrics
+
 type t = {
   cfg : config;
   inputs : input_state array;
   mutable high_water : int;
+  reorder_lag : Metrics.Histogram.t;
+      (** tuples still buffered when one is released: how far the merge had
+          to look across inputs to restore order *)
   mutable done_ : bool;
 }
 
@@ -19,6 +24,7 @@ let make cfg =
     cfg;
     inputs = Array.init cfg.n_inputs (fun _ -> { queue = Queue.create (); bound = Value.Null; eof = false });
     high_water = 0;
+    reorder_lag = Metrics.Histogram.make ();
     done_ = false;
   }
 
@@ -68,6 +74,7 @@ let drain t ~emit =
               | `Known lo -> if cmp t lo v < 0 then covered := false)
           t.inputs;
         if !covered then begin
+          Metrics.Histogram.observe t.reorder_lag (float_of_int (buffered t - 1));
           ignore (emit (Item.Tuple (Queue.pop t.inputs.(i).queue)));
           progress := true
         end
@@ -132,3 +139,8 @@ let op t =
   { Operator.on_item; blocked_input; buffered = (fun () -> buffered t) }
 
 let high_water t = t.high_water
+
+let register_metrics t reg ~prefix =
+  Metrics.attach_gauge_fn reg (prefix ^ ".buffered") (fun () -> float_of_int (buffered t));
+  Metrics.attach_gauge_fn reg (prefix ^ ".high_water") (fun () -> float_of_int t.high_water);
+  Metrics.attach_histogram reg (prefix ^ ".reorder_lag") t.reorder_lag

@@ -28,3 +28,8 @@ val buffered : t -> int
 
 val high_water : t -> int
 (** Maximum of {!buffered} ever reached. *)
+
+val register_metrics : t -> Gigascope_obs.Metrics.t -> prefix:string -> unit
+(** Attach under [prefix]: polled [buffered] and [high_water] gauges plus
+    the [reorder_lag] histogram — tuples still buffered at each release,
+    i.e. how far the merge had to look to restore order. *)

@@ -1,3 +1,6 @@
+module Metrics = Gigascope_obs.Metrics
+module Clock = Gigascope_obs.Clock
+
 type kind = Source | Lfta | Hfta
 
 type source = {
@@ -9,6 +12,10 @@ type subscriber = Chan of Channel.t | Callback of (Item.t -> unit)
 
 type behavior = Src of source | Op of Operator.t
 
+(* Time 1 callback in [cb_sample]: latency measurement costs two clock
+   reads, too much for every tuple of a busy subscriber. *)
+let cb_sample = 64
+
 type t = {
   name : string;
   kind : kind;
@@ -16,8 +23,11 @@ type t = {
   behavior : behavior;
   mutable node_inputs : (t * Channel.t) array;
   mutable subscribers : subscriber list;
-  mutable tuples_in : int;
-  mutable tuples_out : int;
+  tuples_in : Metrics.Counter.t;
+  tuples_out : Metrics.Counter.t;
+  service : Metrics.Histogram.t;
+  cb_latency : Metrics.Histogram.t;
+  mutable cb_seen : int;
   mutable source_done : bool;
   mutable eof_emitted : bool;
 }
@@ -30,8 +40,11 @@ let make name kind schema behavior =
     behavior;
     node_inputs = [||];
     subscribers = [];
-    tuples_in = 0;
-    tuples_out = 0;
+    tuples_in = Metrics.Counter.make ();
+    tuples_out = Metrics.Counter.make ();
+    service = Metrics.Histogram.make ();
+    cb_latency = Metrics.Histogram.make ();
+    cb_seen = 0;
     source_done = false;
     eof_emitted = false;
   }
@@ -56,14 +69,21 @@ let inputs t = t.node_inputs
 
 let emit t item =
   (match item with
-  | Item.Tuple _ -> t.tuples_out <- t.tuples_out + 1
+  | Item.Tuple _ -> Metrics.Counter.incr t.tuples_out
   | Item.Eof -> t.eof_emitted <- true
   | Item.Punct _ | Item.Flush -> ());
   List.iter
     (fun sub ->
       match sub with
       | Chan chan -> ignore (Channel.push chan item)
-      | Callback f -> f item)
+      | Callback f ->
+          t.cb_seen <- t.cb_seen + 1;
+          if t.cb_seen mod cb_sample = 0 then begin
+            let t0 = Clock.now_ns () in
+            f item;
+            Metrics.Histogram.observe t.cb_latency (Clock.now_ns () -. t0)
+          end
+          else f item)
     t.subscribers
 
 let step_source t ~quantum =
@@ -101,7 +121,7 @@ let step_inputs t ~quantum =
             | Some item ->
                 incr consumed;
                 progress := true;
-                if Item.is_tuple item then t.tuples_in <- t.tuples_in + 1;
+                if Item.is_tuple item then Metrics.Counter.incr t.tuples_in;
                 op.Operator.on_item ~input:i item ~emit:(emit t)
             | None -> continue := false
           done)
@@ -128,11 +148,21 @@ let inject_flush t =
   | Src _ -> ()
   | Op op -> op.Operator.on_item ~input:0 Item.Flush ~emit:(emit t)
 
-let tuples_in t = t.tuples_in
-let tuples_out t = t.tuples_out
+let tuples_in t = Metrics.Counter.get t.tuples_in
+let tuples_out t = Metrics.Counter.get t.tuples_out
 
 let buffered t =
   match t.behavior with Src _ -> 0 | Op op -> op.Operator.buffered ()
 
 let input_drops t =
   Array.fold_left (fun acc (_, chan) -> acc + Channel.drops chan) 0 t.node_inputs
+
+let record_service t dt_ns = Metrics.Histogram.observe t.service dt_ns
+
+let register_metrics t reg =
+  let pfx = "rts.node." ^ t.name in
+  Metrics.attach_counter reg (pfx ^ ".tuples_in") t.tuples_in;
+  Metrics.attach_counter reg (pfx ^ ".tuples_out") t.tuples_out;
+  Metrics.attach_gauge_fn reg (pfx ^ ".buffered") (fun () -> float_of_int (buffered t));
+  Metrics.attach_histogram reg (pfx ^ ".service_ns") t.service;
+  Metrics.attach_histogram reg (pfx ^ ".callback_ns") t.cb_latency

@@ -68,3 +68,13 @@ val buffered : t -> int
 
 val input_drops : t -> int
 (** Tuples lost on this node's input channels. *)
+
+val record_service : t -> float -> unit
+(** Record one scheduler service slice (nanoseconds) into this node's
+    service-time histogram (fed by {!Scheduler.run}). *)
+
+val register_metrics : t -> Gigascope_obs.Metrics.t -> unit
+(** Attach this node's cells under [rts.node.<name>]: [tuples_in] and
+    [tuples_out] counters, a polled [buffered] gauge, the [service_ns]
+    histogram, and the sampled [callback_ns] subscriber-latency
+    histogram. *)

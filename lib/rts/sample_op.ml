@@ -1,12 +1,15 @@
 module Prng = Gigascope_util.Prng
+module Metrics = Gigascope_obs.Metrics
 
-let make ~rate ~seed =
+let make ?dropped ~rate ~seed () =
   if rate < 0.0 || rate > 1.0 then invalid_arg "Sample_op.make: rate must be in [0,1]";
   let rng = Prng.create seed in
   let done_ = ref false in
   let on_item ~input:_ item ~emit =
     match item with
-    | Item.Tuple _ -> if Prng.float rng 1.0 < rate then emit item
+    | Item.Tuple _ ->
+        if Prng.float rng 1.0 < rate then emit item
+        else ( match dropped with Some c -> Metrics.Counter.incr c | None -> ())
     | Item.Punct _ | Item.Flush -> emit item
     | Item.Eof ->
         if not !done_ then begin

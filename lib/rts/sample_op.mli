@@ -5,7 +5,9 @@
     (Section 5); this operator implements the [SAMPLE p] clause as seeded,
     reproducible Bernoulli sampling. *)
 
-val make : rate:float -> seed:int -> Operator.t
+val make :
+  ?dropped:Gigascope_obs.Metrics.Counter.t -> rate:float -> seed:int -> unit -> Operator.t
 (** [rate] in \[0, 1\]: the probability each tuple survives. Punctuation
     passes through untouched (a sample of an ordered stream keeps its
-    ordering properties). *)
+    ordering properties). [dropped], when given, counts the tuples sampled
+    away. *)

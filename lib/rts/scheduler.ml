@@ -1,4 +1,12 @@
+module Metrics = Gigascope_obs.Metrics
+module Clock = Gigascope_obs.Clock
+
 type stats = { rounds : int; heartbeat_requests : int }
+
+(* Service-time sampling period outside trace mode: timing every round
+   costs two clock reads per node per round, which the 5%-overhead budget
+   on the hot path does not allow. *)
+let default_service_sample = 8
 
 let rec walk_upstream visited node =
   if not (List.memq node !visited) then begin
@@ -15,8 +23,13 @@ let channels_empty node =
   Array.for_all (fun (_, chan) -> Channel.is_empty chan) (Node.inputs node)
 
 let run ?(quantum = 64) ?(max_rounds = 10_000_000) ?(heartbeats = true) ?heartbeat_period
-    ?on_round mgr =
+    ?on_round ?(trace = false) mgr =
   Manager.start mgr;
+  let reg = Manager.metrics mgr in
+  let rounds_c = Metrics.counter reg "rts.scheduler.rounds" in
+  let hb_c = Metrics.counter reg "rts.scheduler.heartbeat_requests" in
+  let sample = if trace then 1 else default_service_sample in
+  Metrics.Gauge.set_int (Metrics.gauge reg "rts.scheduler.service_sample") sample;
   let nodes = Manager.nodes mgr in
   let rounds = ref 0 in
   let heartbeat_requests = ref 0 in
@@ -30,13 +43,25 @@ let run ?(quantum = 64) ?(max_rounds = 10_000_000) ?(heartbeats = true) ?heartbe
       result := Some (Error (Printf.sprintf "scheduler: no completion after %d rounds" max_rounds))
     else begin
       incr rounds;
+      Metrics.Counter.incr rounds_c;
+      let timed = (!rounds - 1) mod sample = 0 in
       let progress = ref false in
       List.iter
         (fun node ->
-          if Node.kind node = Node.Source then begin
-            if Node.step_source node ~quantum then progress := true
-          end
-          else if Node.step_inputs node ~quantum then progress := true)
+          let step () =
+            if Node.kind node = Node.Source then Node.step_source node ~quantum
+            else Node.step_inputs node ~quantum
+          in
+          let made =
+            if timed then begin
+              let t0 = Clock.now_ns () in
+              let r = step () in
+              Node.record_service node (Clock.now_ns () -. t0);
+              r
+            end
+            else step ()
+          in
+          if made then progress := true)
         nodes;
       let hb_fired = ref false in
       (match heartbeat_period with
@@ -55,6 +80,7 @@ let run ?(quantum = 64) ?(max_rounds = 10_000_000) ?(heartbeats = true) ?heartbe
             match Node.blocked_input node with
             | Some i ->
                 incr heartbeat_requests;
+                Metrics.Counter.incr hb_c;
                 hb_fired := true;
                 let up, _ = (Node.inputs node).(i) in
                 request_heartbeat up

@@ -21,6 +21,7 @@ val run :
   ?heartbeats:bool ->
   ?heartbeat_period:int ->
   ?on_round:(int -> unit) ->
+  ?trace:bool ->
   Manager.t ->
   (stats, string) result
 (** [quantum] (default 64) items per node per round; [max_rounds] (default
@@ -31,7 +32,15 @@ val run :
     paper contrasts with its on-demand scheme; [on_round] runs after each
     round — the hook through which a live application changes query
     parameters or flushes queries mid-stream. Implies
-    {!Manager.start}. *)
+    {!Manager.start}.
+
+    The run feeds the manager's metrics registry: [rts.scheduler.rounds]
+    and [rts.scheduler.heartbeat_requests] counters, plus each node's
+    [service_ns] histogram. Service times are sampled (one round in 8);
+    [trace] (default false) times {e every} round instead, for
+    EXPLAIN-ANALYZE-grade per-operator cost ({!Manager.trace_report}).
+    The effective sampling period is published as the
+    [rts.scheduler.service_sample] gauge. *)
 
 val request_heartbeat : Node.t -> unit
 (** Walk upstream from the node and fire every source's clock punctuation

@@ -1,5 +1,8 @@
-let make ?pred ~project ~punct_map () =
+module Metrics = Gigascope_obs.Metrics
+
+let make ?rejected ?pred ~project ~punct_map () =
   let done_ = ref false in
+  let reject () = match rejected with Some c -> Metrics.Counter.incr c | None -> () in
   let on_item ~input:_ item ~emit =
     match item with
     | Item.Tuple values -> (
@@ -7,7 +10,8 @@ let make ?pred ~project ~punct_map () =
         if pass then
           match project values with
           | Some out -> ignore (emit (Item.Tuple out))
-          | None -> ())
+          | None -> reject ()
+        else reject ())
     | Item.Punct bounds ->
         let translated =
           List.filter_map

@@ -5,6 +5,7 @@
     is how partial user functions behave in the SELECT list. *)
 
 val make :
+  ?rejected:Gigascope_obs.Metrics.Counter.t ->
   ?pred:(Value.t array -> bool) ->
   project:(Value.t array -> Value.t array option) ->
   punct_map:(int * int) list ->
@@ -13,4 +14,7 @@ val make :
 (** [punct_map] maps input field indices to output field indices for the
     ordered attributes that survive projection; punctuation bounds on other
     fields are dropped. Bounds are forwarded only when their field maps —
-    a projection that drops the timestamp also drops its guarantees. *)
+    a projection that drops the timestamp also drops its guarantees.
+
+    [rejected], when given, counts tuples discarded by the predicate or by
+    a partial projection (the complement of the node's [tuples_out]). *)

@@ -40,6 +40,15 @@ let add t x =
   end;
   t.seen <- t.seen + 1
 
+let clear t =
+  t.n <- 0;
+  t.mean <- 0.0;
+  t.m2 <- 0.0;
+  t.total <- 0.0;
+  t.min_v <- infinity;
+  t.max_v <- neg_infinity;
+  t.seen <- 0
+
 let count t = t.n
 let total t = t.total
 let mean t = if t.n = 0 then 0.0 else t.mean

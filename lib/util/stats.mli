@@ -11,6 +11,11 @@ val create : ?reservoir:int -> unit -> t
     1024) bounds the sample kept for percentile estimates. *)
 
 val add : t -> float -> unit
+
+val clear : t -> unit
+(** Forget every observation (the reservoir PRNG keeps its state, so a
+    cleared accumulator is not bit-identical to a fresh one). *)
+
 val count : t -> int
 val total : t -> float
 val mean : t -> float

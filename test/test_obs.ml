@@ -1,0 +1,315 @@
+(* Tests for the observability layer: registry semantics, snapshots and
+   deltas, histogram percentiles, JSON/Prometheus exposition, and an
+   end-to-end check that the runtime's own metrics agree with what a
+   query actually did to a known packet list. *)
+
+module Metrics = Gigascope_obs.Metrics
+module E = Gigascope.Engine
+module Rts = Gigascope_rts
+module Packet = Gigascope_packet.Packet
+module Ipaddr = Gigascope_packet.Ipaddr
+
+let check = Alcotest.check
+
+(* ----------------------------- cells ----------------------------------- *)
+
+let test_counter_cell () =
+  let c = Metrics.Counter.make () in
+  check Alcotest.int "starts at zero" 0 (Metrics.Counter.get c);
+  Metrics.Counter.incr c;
+  Metrics.Counter.add c 41;
+  check Alcotest.int "incr + add" 42 (Metrics.Counter.get c);
+  Metrics.Counter.reset c;
+  check Alcotest.int "reset" 0 (Metrics.Counter.get c)
+
+let test_gauge_cell () =
+  let g = Metrics.Gauge.make () in
+  Metrics.Gauge.set g 2.5;
+  check (Alcotest.float 1e-9) "set" 2.5 (Metrics.Gauge.get g);
+  Metrics.Gauge.set_int g 7;
+  check (Alcotest.float 1e-9) "set_int" 7.0 (Metrics.Gauge.get g)
+
+let test_histogram_percentiles () =
+  let h = Metrics.Histogram.make () in
+  (* 1..100: exact percentiles are known *)
+  for i = 1 to 100 do
+    Metrics.Histogram.observe h (float_of_int i)
+  done;
+  let reg = Metrics.create () in
+  Metrics.attach_histogram reg "h" h;
+  match Metrics.find (Metrics.snapshot reg) "h" with
+  | Some (Metrics.Histogram s) ->
+      check Alcotest.int "count" 100 s.Metrics.h_count;
+      check (Alcotest.float 1e-6) "total" 5050.0 s.Metrics.h_total;
+      check (Alcotest.float 1e-6) "mean" 50.5 s.Metrics.h_mean;
+      check (Alcotest.float 1e-6) "min" 1.0 s.Metrics.h_min;
+      check (Alcotest.float 1e-6) "max" 100.0 s.Metrics.h_max;
+      check Alcotest.bool "p50 near median" true (abs_float (s.Metrics.h_p50 -. 50.5) <= 2.0);
+      check Alcotest.bool "p90 near 90" true (abs_float (s.Metrics.h_p90 -. 90.0) <= 2.0);
+      check Alcotest.bool "p99 near 99" true (abs_float (s.Metrics.h_p99 -. 99.0) <= 2.0)
+  | _ -> Alcotest.fail "histogram missing from snapshot"
+
+(* --------------------------- registration ------------------------------ *)
+
+let test_get_or_create () =
+  let reg = Metrics.create () in
+  let a = Metrics.counter reg "x" in
+  let b = Metrics.counter reg "x" in
+  Metrics.Counter.incr a;
+  check Alcotest.int "same cell" 1 (Metrics.Counter.get b)
+
+let test_kind_mismatch () =
+  let reg = Metrics.create () in
+  ignore (Metrics.counter reg "x");
+  Alcotest.check_raises "gauge over counter"
+    (Invalid_argument "Metrics: x is a counter, not a gauge") (fun () ->
+      ignore (Metrics.gauge reg "x"))
+
+let test_attach_duplicate () =
+  let reg = Metrics.create () in
+  Metrics.attach_counter reg "dup" (Metrics.Counter.make ());
+  check Alcotest.bool "raises on duplicate attach" true
+    (try
+       Metrics.attach_counter reg "dup" (Metrics.Counter.make ());
+       false
+     with Invalid_argument _ -> true);
+  check Alcotest.bool "even across kinds" true
+    (try
+       Metrics.attach_gauge reg "dup" (Metrics.Gauge.make ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_names_sorted_and_remove () =
+  let reg = Metrics.create () in
+  ignore (Metrics.counter reg "b.z");
+  ignore (Metrics.gauge reg "a.y");
+  ignore (Metrics.counter reg "b.a");
+  check Alcotest.(list string) "sorted" ["a.y"; "b.a"; "b.z"] (Metrics.names reg);
+  Metrics.remove reg "b.a";
+  check Alcotest.bool "removed" false (Metrics.mem reg "b.a")
+
+let test_gauge_fn_polled () =
+  let reg = Metrics.create () in
+  let depth = ref 3 in
+  Metrics.attach_gauge_fn reg "depth" (fun () -> float_of_int !depth);
+  (match Metrics.find (Metrics.snapshot reg) "depth" with
+  | Some (Metrics.Gauge v) -> check (Alcotest.float 1e-9) "first read" 3.0 v
+  | _ -> Alcotest.fail "gauge_fn missing");
+  depth := 9;
+  match Metrics.find (Metrics.snapshot reg) "depth" with
+  | Some (Metrics.Gauge v) -> check (Alcotest.float 1e-9) "polled at snapshot" 9.0 v
+  | _ -> Alcotest.fail "gauge_fn missing"
+
+(* --------------------------- snapshot/delta ---------------------------- *)
+
+let test_snapshot_delta () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "c" in
+  let g = Metrics.gauge reg "g" in
+  Metrics.Counter.add c 10;
+  Metrics.Gauge.set g 5.0;
+  let d1 = Metrics.delta reg in
+  (match Metrics.find d1 "c" with
+  | Some (Metrics.Counter n) -> check Alcotest.int "first delta = absolute" 10 n
+  | _ -> Alcotest.fail "c missing");
+  Metrics.Counter.add c 7;
+  Metrics.Gauge.set g 2.0;
+  let d2 = Metrics.delta reg in
+  (match Metrics.find d2 "c" with
+  | Some (Metrics.Counter n) -> check Alcotest.int "counter differenced" 7 n
+  | _ -> Alcotest.fail "c missing");
+  match Metrics.find d2 "g" with
+  | Some (Metrics.Gauge v) -> check (Alcotest.float 1e-9) "gauge absolute" 2.0 v
+  | _ -> Alcotest.fail "g missing"
+
+let test_diff_histogram () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg "h" in
+  Metrics.Histogram.observe h 10.0;
+  Metrics.Histogram.observe h 20.0;
+  let before = Metrics.snapshot reg in
+  Metrics.Histogram.observe h 30.0;
+  let after = Metrics.snapshot reg in
+  match Metrics.find (Metrics.diff ~before ~after) "h" with
+  | Some (Metrics.Histogram s) ->
+      check Alcotest.int "count differenced" 1 s.Metrics.h_count;
+      check (Alcotest.float 1e-6) "total differenced" 30.0 s.Metrics.h_total;
+      (* shape comes from [after]: max over all 3 observations *)
+      check (Alcotest.float 1e-6) "shape absolute" 30.0 s.Metrics.h_max
+  | _ -> Alcotest.fail "h missing"
+
+let test_diff_new_name_passthrough () =
+  let reg = Metrics.create () in
+  let before = Metrics.snapshot reg in
+  Metrics.Counter.add (Metrics.counter reg "late") 4;
+  let after = Metrics.snapshot reg in
+  match Metrics.find (Metrics.diff ~before ~after) "late" with
+  | Some (Metrics.Counter n) -> check Alcotest.int "new name passes through" 4 n
+  | _ -> Alcotest.fail "late missing"
+
+(* --------------------------- exposition -------------------------------- *)
+
+let full_registry () =
+  let reg = Metrics.create () in
+  Metrics.Counter.add (Metrics.counter reg "rts.node.q.tuples_in") 12345;
+  Metrics.Gauge.set (Metrics.gauge reg "rts.chan.a->b.depth") 3.25;
+  let h = Metrics.histogram reg "rts.node.q.service_ns" in
+  List.iter (Metrics.Histogram.observe h) [1.0; 2.0; 4.0; 8.0; 16.0];
+  reg
+
+let test_json_roundtrip () =
+  let snap = Metrics.snapshot (full_registry ()) in
+  match Metrics.of_json (Metrics.to_json snap) with
+  | Error e -> Alcotest.fail ("of_json: " ^ e)
+  | Ok back ->
+      check Alcotest.int "same length" (List.length snap) (List.length back);
+      List.iter2
+        (fun (n1, v1) (n2, v2) ->
+          check Alcotest.string "name" n1 n2;
+          match (v1, v2) with
+          | Metrics.Counter a, Metrics.Counter b -> check Alcotest.int "counter" a b
+          | Metrics.Gauge a, Metrics.Gauge b -> check (Alcotest.float 1e-12) "gauge" a b
+          | Metrics.Histogram a, Metrics.Histogram b ->
+              check Alcotest.int "h.count" a.Metrics.h_count b.Metrics.h_count;
+              check (Alcotest.float 1e-12) "h.total" a.Metrics.h_total b.Metrics.h_total;
+              check (Alcotest.float 1e-12) "h.p99" a.Metrics.h_p99 b.Metrics.h_p99
+          | _ -> Alcotest.fail ("kind mismatch at " ^ n1))
+        snap back
+
+let test_json_rejects_garbage () =
+  check Alcotest.bool "garbage rejected" true (Result.is_error (Metrics.of_json "not json"));
+  check Alcotest.bool "truncated rejected" true
+    (Result.is_error (Metrics.of_json {|{"x": {"type": "counter", |}))
+
+let test_prometheus_format () =
+  let text = Metrics.to_prometheus (Metrics.snapshot (full_registry ())) in
+  let has needle =
+    let nl = String.length needle and tl = String.length text in
+    let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "counter line" true (has "rts_node_q_tuples_in 12345");
+  check Alcotest.bool "gauge sanitized" true (has "rts_chan_a__b_depth 3.25");
+  check Alcotest.bool "summary count" true (has "rts_node_q_service_ns_count 5");
+  check Alcotest.bool "summary sum" true (has "rts_node_q_service_ns_sum 31");
+  check Alcotest.bool "quantile label" true (has "quantile=\"0.99\"");
+  check Alcotest.bool "no bad chars" true
+    (String.for_all
+       (fun ch ->
+         match ch with
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' | ' ' | '\n' | '.' | '-' | '+'
+         | '#' | '"' | '=' | '{' | '}' | ',' ->
+             true
+         | _ -> false)
+       text)
+
+(* ------------------------- runtime integration ------------------------- *)
+
+(* Known traffic through a real query: the registry must agree with the
+   ground truth.  4 TCP packets, 3 to port 80 -> select passes 3, rejects 1. *)
+let test_engine_metrics_ground_truth () =
+  let ip = Ipaddr.of_string in
+  let pkt ts dport =
+    Packet.tcp ~ts ~src:(ip "10.0.0.1") ~dst:(ip "10.0.0.2") ~src_port:1234 ~dst_port:dport
+      ~payload:(Bytes.of_string "x") ()
+  in
+  let engine = E.create () in
+  E.add_packet_list_interface engine ~name:"eth0"
+    [pkt 1.0 80; pkt 1.1 443; pkt 1.2 80; pkt 1.3 80];
+  (match
+     E.install_query engine ~name:"web"
+       {| SELECT time, srcip FROM eth0.tcp WHERE protocol = 6 and destport = 80 |}
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let rows = ref 0 in
+  Result.get_ok (E.on_tuple engine "web" (fun _ -> incr rows));
+  (match E.run engine () with Ok _ -> () | Error e -> Alcotest.fail e);
+  let snap = E.metrics_snapshot engine in
+  let counter name =
+    match Metrics.find snap name with
+    | Some (Metrics.Counter n) -> n
+    | _ -> Alcotest.fail ("missing counter " ^ name)
+  in
+  check Alcotest.int "callback saw the passes" 3 !rows;
+  check Alcotest.int "node tuples_in" 4 (counter "rts.node.web.tuples_in");
+  check Alcotest.int "node tuples_out" 3 (counter "rts.node.web.tuples_out");
+  check Alcotest.int "select rejected" 1 (counter "rts.node.web.select.rejected");
+  check Alcotest.int "channel carried all packets" 4 (counter "rts.chan.eth0.tcp->web.tuples_in");
+  check Alcotest.int "no drops" 0 (counter "rts.chan.eth0.tcp->web.drops");
+  check Alcotest.int "source emitted" 4 (counter "rts.node.eth0.tcp.tuples_out");
+  check Alcotest.bool "scheduler rounds counted" true (counter "rts.scheduler.rounds" > 0)
+
+(* LFTA aggregate: evictions + emitted appear and account for the input. *)
+let test_engine_lfta_metrics () =
+  let ip = Ipaddr.of_string in
+  let pkt ts dport =
+    Packet.tcp ~ts ~src:(ip "10.0.0.1") ~dst:(ip "10.0.0.2") ~src_port:1234 ~dst_port:dport
+      ~payload:(Bytes.of_string "x") ()
+  in
+  (* tiny LFTA table (4 slots) + 64 distinct ports: collisions guaranteed *)
+  let engine = E.create () in
+  E.add_packet_list_interface engine ~name:"eth0"
+    (List.init 64 (fun i -> pkt (1.0 +. (0.001 *. float_of_int i)) (1000 + i)));
+  (match
+     E.install_query engine
+       {| DEFINE { query_name ports; lfta_bits 2; }
+          SELECT tb, destport, count(*) as cnt
+          FROM eth0.tcp WHERE ipversion = 4
+          GROUP BY time/1 as tb, destport |}
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  Result.get_ok (E.on_tuple engine "ports" (fun _ -> ()));
+  (match E.run engine () with Ok _ -> () | Error e -> Alcotest.fail e);
+  let snap = E.metrics_snapshot engine in
+  let counter name =
+    match Metrics.find snap name with
+    | Some (Metrics.Counter n) -> n
+    | _ -> Alcotest.fail ("missing counter " ^ name)
+  in
+  let evictions = counter "rts.node._lfta_ports.lfta.evictions" in
+  let emitted = counter "rts.node._lfta_ports.lfta.emitted" in
+  check Alcotest.int "lfta consumed everything" 64 (counter "rts.node._lfta_ports.tuples_in");
+  check Alcotest.bool "collisions evicted" true (evictions > 0);
+  check Alcotest.int "evictions are emissions" emitted (counter "rts.node._lfta_ports.tuples_out");
+  check Alcotest.bool "every group left the table" true (emitted >= 60);
+  match Metrics.find snap "rts.node._lfta_ports.lfta.slots" with
+  | Some (Metrics.Gauge v) -> check (Alcotest.float 1e-9) "table size from lfta_bits" 4.0 v
+  | _ -> Alcotest.fail "missing slots gauge"
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "cells",
+        [
+          Alcotest.test_case "counter" `Quick test_counter_cell;
+          Alcotest.test_case "gauge" `Quick test_gauge_cell;
+          Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "get-or-create" `Quick test_get_or_create;
+          Alcotest.test_case "kind mismatch" `Quick test_kind_mismatch;
+          Alcotest.test_case "attach duplicate" `Quick test_attach_duplicate;
+          Alcotest.test_case "names sorted, remove" `Quick test_names_sorted_and_remove;
+          Alcotest.test_case "polled gauge" `Quick test_gauge_fn_polled;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "delta" `Quick test_snapshot_delta;
+          Alcotest.test_case "diff histogram" `Quick test_diff_histogram;
+          Alcotest.test_case "diff new-name passthrough" `Quick test_diff_new_name_passthrough;
+        ] );
+      ( "exposition",
+        [
+          Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "json rejects garbage" `Quick test_json_rejects_garbage;
+          Alcotest.test_case "prometheus" `Quick test_prometheus_format;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "select ground truth" `Quick test_engine_metrics_ground_truth;
+          Alcotest.test_case "lfta table metrics" `Quick test_engine_lfta_metrics;
+        ] );
+    ]

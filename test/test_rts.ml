@@ -151,16 +151,16 @@ let test_select_partial_projection () =
 (* ------------------------------ Sample op ------------------------------ *)
 
 let test_sample_extremes () =
-  let none = Rts.Sample_op.make ~rate:0.0 ~seed:1 in
-  let all = Rts.Sample_op.make ~rate:1.0 ~seed:1 in
+  let none = Rts.Sample_op.make ~rate:0.0 ~seed:1 () in
+  let all = Rts.Sample_op.make ~rate:1.0 ~seed:1 () in
   let input = List.init 100 (fun i -> Item.Tuple [| vint i |]) @ [Item.Eof] in
   check Alcotest.int "rate 0 keeps none" 0 (List.length (tuples (run_op none input)));
   check Alcotest.int "rate 1 keeps all" 100 (List.length (tuples (run_op all input)))
 
 let test_sample_deterministic () =
   let input = List.init 200 (fun i -> Item.Tuple [| vint i |]) @ [Item.Eof] in
-  let a = run_op (Rts.Sample_op.make ~rate:0.5 ~seed:9) input in
-  let b = run_op (Rts.Sample_op.make ~rate:0.5 ~seed:9) input in
+  let a = run_op (Rts.Sample_op.make ~rate:0.5 ~seed:9 ()) input in
+  let b = run_op (Rts.Sample_op.make ~rate:0.5 ~seed:9 ()) input in
   check Alcotest.int "same seed same sample" (List.length (tuples a)) (List.length (tuples b));
   let n = List.length (tuples a) in
   check Alcotest.bool "roughly half" true (n > 70 && n < 130)
