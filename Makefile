@@ -10,9 +10,13 @@ build:
 test:
 	dune runtest
 
+# CI runs the suite twice: single-threaded, then with every Engine.run
+# forced onto 2 domains (the test/dune env_var dep makes the second run
+# re-execute rather than hit the cache).
 ci:
 	dune build @all
 	dune runtest
+	GIGASCOPE_PARALLEL=2 dune runtest --force
 
 bench:
 	dune exec bench/main.exe

@@ -118,10 +118,30 @@ let sessions =
 
 let query_file = Arg.(required & pos 0 (some file) None & info [] ~docv:"QUERY.gsql")
 
+let parallel =
+  Arg.(
+    value & opt int 1
+    & info ["parallel"] ~docv:"N"
+        ~doc:
+          "Run the query network on N OCaml domains: HFTAs on worker domains, sources and \
+           LFTAs on the packet-path domain. 1 (the default) is single-threaded; the \
+           $(b,GIGASCOPE_PARALLEL) environment variable sets the default. Output is \
+           byte-identical to a single-threaded run.")
+
+let placement =
+  Arg.(
+    value
+    & opt (list (pair ~sep:'=' string int)) []
+    & info ["placement"] ~docv:"NODE=DOM,..."
+        ~doc:
+          "Pin named query nodes to execution domains (e.g. \
+           $(b,--placement total=1,volume=2)), overriding round-robin HFTA placement. \
+           Only meaningful with $(b,--parallel).")
+
 (* ---- run ---- *)
 
 let do_run query_file rate duration seed pcap_in iface max_rows sessions show_stats trace
-    metrics_out log_level =
+    metrics_out log_level parallel placement =
   setup_logging log_level;
   let text = read_file query_file in
   let engine = E.create () in
@@ -174,11 +194,15 @@ let do_run query_file rate duration seed pcap_in iface max_rows sessions show_st
       exit 1
   | Ok instances ->
       let printed = Hashtbl.create 8 in
+      (* with --parallel, each query's callback runs on the domain hosting
+         its output node; the shared table and stdout need the lock *)
+      let print_mu = Mutex.create () in
       List.iter
         (fun (inst : Gigascope_gsql.Codegen.instance) ->
           let name = inst.Gigascope_gsql.Codegen.inst_name in
           Result.get_ok
             (E.on_tuple engine name (fun tuple ->
+                 Mutex.lock print_mu;
                  let n = Option.value (Hashtbl.find_opt printed name) ~default:0 in
                  Hashtbl.replace printed name (n + 1);
                  if n < max_rows then begin
@@ -189,7 +213,8 @@ let do_run query_file rate duration seed pcap_in iface max_rows sessions show_st
                        print_string (Value.to_string v))
                      tuple;
                    print_newline ()
-                 end)))
+                 end;
+                 Mutex.unlock print_mu)))
         instances;
       (* Whatever was measured prints even on a failed or interrupted run:
          a drop-rate question answered by "the run crashed" is no answer. *)
@@ -200,7 +225,11 @@ let do_run query_file rate duration seed pcap_in iface max_rows sessions show_st
         Option.iter (write_metrics engine) metrics_out
       in
       Sys.catch_break true;
-      (match E.run engine ~trace () with
+      (match
+         E.run engine ~trace
+           ?parallel:(if parallel > 1 then Some parallel else None)
+           ~placement ()
+       with
       | Ok stats ->
           Printf.printf "-- done: %d rounds, %d heartbeats, %d drops\n"
             stats.Rts.Scheduler.rounds stats.Rts.Scheduler.heartbeat_requests
@@ -222,7 +251,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const do_run $ query_file $ rate $ duration $ seed $ pcap_in $ iface $ max_rows
-      $ sessions $ stats $ trace $ metrics_out $ log_level)
+      $ sessions $ stats $ trace $ metrics_out $ log_level $ parallel $ placement)
 
 (* ---- explain ---- *)
 

@@ -268,9 +268,29 @@ let on_tuple t name f =
     | Rts.Item.Tuple values -> f values
     | Rts.Item.Punct _ | Rts.Item.Flush | Rts.Item.Eof -> ())
 
-let run t ?quantum ?heartbeats ?heartbeat_period ?on_round ?trace () =
-  Log.info (fun m -> m "run: %d nodes" (List.length (Rts.Manager.nodes t.mgr)));
-  let result = Rts.Scheduler.run ?quantum ?heartbeats ?heartbeat_period ?on_round ?trace t.mgr in
+(* GIGASCOPE_PARALLEL=N makes every run parallel by default — the hook the
+   CI matrix uses to execute the whole test suite on N domains. *)
+let default_parallel () =
+  match Sys.getenv_opt "GIGASCOPE_PARALLEL" with
+  | Some s -> ( match int_of_string_opt (String.trim s) with Some n when n > 1 -> n | _ -> 1)
+  | None -> 1
+
+let run t ?quantum ?heartbeats ?heartbeat_period ?on_round ?trace ?parallel ?placement () =
+  let domains = match parallel with Some n -> n | None -> default_parallel () in
+  (* on_round hooks mutate live operator state (set_param, flush) from the
+     caller; racing them against worker domains is unsound, so their
+     presence forces the single-threaded scheduler. *)
+  let domains = if on_round <> None then 1 else domains in
+  Log.info (fun m ->
+      m "run: %d nodes%s"
+        (List.length (Rts.Manager.nodes t.mgr))
+        (if domains > 1 then Printf.sprintf " on %d domains" domains else ""));
+  let result =
+    if domains > 1 then
+      Rts.Scheduler.run_parallel ?quantum ?heartbeats ?heartbeat_period ?trace ?placement
+        ~domains t.mgr
+    else Rts.Scheduler.run ?quantum ?heartbeats ?heartbeat_period ?on_round ?trace t.mgr
+  in
   (match result with
   | Ok stats ->
       Log.info (fun m ->

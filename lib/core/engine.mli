@@ -134,6 +134,8 @@ val run :
   ?heartbeat_period:int ->
   ?on_round:(int -> unit) ->
   ?trace:bool ->
+  ?parallel:int ->
+  ?placement:(string * int) list ->
   unit ->
   (Rts.Scheduler.stats, string) result
 (** Drive the network until every source is exhausted. [heartbeats]
@@ -141,7 +143,15 @@ val run :
     source punctuation every N scheduler rounds; [on_round] is the live
     application's hook (change parameters, flush queries); [trace] times
     every scheduler step (instead of a 1-in-8 sample) so
-    {!trace_report} gives exact per-operator costs. *)
+    {!trace_report} gives exact per-operator costs.
+
+    [parallel] (default from [GIGASCOPE_PARALLEL], else 1) > 1 runs the
+    network on that many OCaml domains via
+    {!Rts.Scheduler.run_parallel} — HFTAs on worker domains, sources and
+    LFTAs on the caller; [placement] pins named nodes to domains. Output
+    is byte-identical to the single-threaded run. [on_round] forces
+    single-threaded execution (the hook mutates live operator state,
+    which must not race worker domains). *)
 
 val flush : t -> string -> (unit, string) result
 (** Make the named query emit its open state now — how an analyst gets

@@ -456,10 +456,11 @@ let install mgr ~source_binder ?(params = []) ?(seed = 0x6516) (split : Split.t)
     | (phys : Split.phys_node) :: rest ->
         let* op, stat = make_op ~params:param_tbl ~seed phys in
         let* inputs = input_names ~binder:source_binder phys in
-        let* _node =
+        let* node =
           Rts.Manager.add_query_node mgr ~name:phys.Split.pname ~kind:phys.Split.pkind
             ~schema:phys.Split.pschema ~inputs ~op
         in
+        Rts.Node.set_placement node phys.Split.pplace;
         register_op_metrics phys.Split.pname stat;
         go (phys.Split.pname :: acc_names) ((phys.Split.pname, stat) :: acc_stats) rest
   in

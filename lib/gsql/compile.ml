@@ -63,7 +63,8 @@ let compile_def_flat catalog ~default_interface ~lfta_table_bits ~name def =
   let bits =
     Option.value (prop_int def.Ast.props "lfta_bits") ~default:lfta_table_bits
   in
-  let* split = Split.split catalog ~lfta_table_bits:bits plan in
+  let placement = prop_int def.Ast.props "placement" in
+  let* split = Split.split catalog ~lfta_table_bits:bits ?placement plan in
   Catalog.add_stream catalog ~name:plan.Plan.name plan.Plan.out_schema;
   Ok { plan; split; helpers = [] }
 

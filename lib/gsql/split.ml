@@ -14,6 +14,7 @@ type phys_node = {
   pschema : Schema.t;
   pnic : nic_hint option;
   ptable_bits : int;
+  pplace : int option;
 }
 
 type t = { plan : Plan.t; phys : phys_node list }
@@ -174,6 +175,7 @@ let split_select catalog ~qname ~interface ~protocol ~schema ~pred ~items ~sampl
         pschema;
         pnic = Some (nic_hint_for catalog ~protocol ~schema ~pred:(Expr_ir.conjoin cheap) ~fields_needed);
         ptable_bits = 0;
+        pplace = None;
       };
     ]
   else begin
@@ -203,6 +205,7 @@ let split_select catalog ~qname ~interface ~protocol ~schema ~pred ~items ~sampl
                ~fields_needed:
                  (List.sort_uniq compare (hfta_fields @ fields_of_pred (Expr_ir.conjoin cheap))));
         ptable_bits = 0;
+        pplace = None;
       }
     in
     let mapping = mapping_of hfta_fields in
@@ -236,6 +239,7 @@ let split_select catalog ~qname ~interface ~protocol ~schema ~pred ~items ~sampl
         pschema = hschema;
         pnic = None;
         ptable_bits = 0;
+        pplace = None;
       }
     in
     [lfta; hfta]
@@ -341,6 +345,7 @@ let split_agg catalog ~qname ~table_bits ~interface ~protocol ~schema (a : Plan.
                           match c.Plan.arg with Some e -> Expr_ir.fields_used e | None -> [])
                         a.Plan.aggs)));
         ptable_bits = table_bits;
+        pplace = None;
       }
     in
     (* HFTA super-aggregation over the LFTA's output *)
@@ -430,6 +435,7 @@ let split_agg catalog ~qname ~table_bits ~interface ~protocol ~schema (a : Plan.
         pschema = out_schema;
         pnic = None;
         ptable_bits = 0;
+        pplace = None;
       }
     in
     [lfta; hfta]
@@ -465,6 +471,7 @@ let split_agg catalog ~qname ~table_bits ~interface ~protocol ~schema (a : Plan.
             (nic_hint_for catalog ~protocol ~schema ~pred:(Expr_ir.conjoin cheap)
                ~fields_needed:(List.sort_uniq compare (needed @ fields_of_pred (Expr_ir.conjoin cheap))));
         ptable_bits = 0;
+        pplace = None;
       }
     in
     let mapping = mapping_of needed in
@@ -489,6 +496,7 @@ let split_agg catalog ~qname ~table_bits ~interface ~protocol ~schema (a : Plan.
         pschema = out_schema;
         pnic = None;
         ptable_bits = 0;
+        pplace = None;
       }
     in
     [lfta; hfta]
@@ -514,10 +522,27 @@ let protocol_feeder catalog ~name ~interface ~protocol ~schema ~fields ~pred =
         (nic_hint_for catalog ~protocol ~schema ~pred
            ~fields_needed:(List.sort_uniq compare (fields @ fields_of_pred pred)));
     ptable_bits = 0;
+    pplace = None;
   }
 
-let split catalog ?(lfta_table_bits = 12) (plan : Plan.t) =
+let split catalog ?(lfta_table_bits = 12) ?placement (plan : Plan.t) =
   let qname = plan.Plan.name in
+  (* Placement from the DEFINE block lands on the query's HFTAs; LFTAs
+     always run on the packet-path domain, like the paper's RTS. *)
+  let placed t =
+    match placement with
+    | None -> t
+    | Some d ->
+        {
+          t with
+          phys =
+            List.map
+              (fun p -> if p.pkind = Rts.Node.Hfta then { p with pplace = Some d } else p)
+              t.phys;
+        }
+  in
+  Result.map placed
+  @@
   match plan.Plan.body with
   | Plan.Select { sel_input = Plan.From_protocol { interface; protocol; schema }; sel_pred; sel_items; sample }
     ->
@@ -540,6 +565,7 @@ let split catalog ?(lfta_table_bits = 12) (plan : Plan.t) =
                 pschema = plan.Plan.out_schema;
                 pnic = None;
                 ptable_bits = 0;
+        pplace = None;
               };
             ];
         }
@@ -564,6 +590,7 @@ let split catalog ?(lfta_table_bits = 12) (plan : Plan.t) =
                 pschema = plan.Plan.out_schema;
                 pnic = None;
                 ptable_bits = 0;
+        pplace = None;
               };
             ];
         }
@@ -634,6 +661,7 @@ let split catalog ?(lfta_table_bits = 12) (plan : Plan.t) =
           pschema = plan.Plan.out_schema;
           pnic = None;
           ptable_bits = 0;
+        pplace = None;
         }
       in
       Ok { plan; phys = List.filter_map Fun.id [left_node; right_node] @ [hfta] }
@@ -664,6 +692,7 @@ let split catalog ?(lfta_table_bits = 12) (plan : Plan.t) =
           pschema = plan.Plan.out_schema;
           pnic = None;
           ptable_bits = 0;
+        pplace = None;
         }
       in
       Ok { plan; phys = feeders @ [hfta] }

@@ -33,6 +33,9 @@ type phys_node = {
   pnic : nic_hint option;  (** LFTAs over a protocol only *)
   ptable_bits : int;
       (** direct-mapped table size for an LFTA aggregation body *)
+  pplace : int option;
+      (** pinned execution domain for {!Gigascope_rts.Scheduler.run_parallel};
+          HFTAs only (LFTAs stay on the packet-path domain) *)
 }
 
 type t = {
@@ -40,9 +43,11 @@ type t = {
   phys : phys_node list;  (** topological order; the last node is the query *)
 }
 
-val split : Catalog.t -> ?lfta_table_bits:int -> Plan.t -> (t, string) result
+val split : Catalog.t -> ?lfta_table_bits:int -> ?placement:int -> Plan.t -> (t, string) result
 (** [lfta_table_bits] (default 12, i.e. 4096 slots) sizes LFTA aggregation
-    tables; the DEFINE property [lfta_bits] overrides it upstream. *)
+    tables; the DEFINE property [lfta_bits] overrides it upstream.
+    [placement] pins the query's HFTAs to an execution domain (the DEFINE
+    property [placement] sets it upstream). *)
 
 val lower_filter :
   bpf_of_field:(int -> Bpf.Filter.field option) -> Expr_ir.t -> Bpf.Filter.t option

@@ -1,9 +1,16 @@
 module Ring = Gigascope_util.Ring
 module Metrics = Gigascope_obs.Metrics
 
+(* A channel starts Local (plain bounded ring, single-domain cooperative
+   scheduling). run_parallel promotes edges that cross a domain boundary
+   to Cross before any domain spawns; Node.step_inputs and the operators
+   never notice the difference. *)
+type impl = Local of Item.t Ring.t | Cross of Xchannel.t
+
 type t = {
   name : string;
-  ring : Item.t Ring.t;
+  capacity : int;
+  mutable impl : impl;
   tuples_in : Metrics.Counter.t;
   dropped : Metrics.Counter.t;
 }
@@ -11,38 +18,82 @@ type t = {
 let create ?(capacity = 4096) ~name () =
   {
     name;
-    ring = Ring.create ~capacity;
+    capacity;
+    impl = Local (Ring.create ~capacity);
     tuples_in = Metrics.Counter.make ();
     dropped = Metrics.Counter.make ();
   }
 
 let name t = t.name
+let capacity t = t.capacity
 
 let push t item =
-  match item with
-  | Item.Eof ->
-      Ring.push_force t.ring Item.Eof;
-      true
-  | Item.Tuple _ ->
-      let ok = Ring.push t.ring item in
-      if ok then Metrics.Counter.incr t.tuples_in else Metrics.Counter.incr t.dropped;
-      ok
-  | Item.Punct _ | Item.Flush ->
-      let ok = Ring.push t.ring item in
-      if not ok then Metrics.Counter.incr t.dropped;
+  match t.impl with
+  | Local ring -> (
+      match item with
+      | Item.Eof ->
+          Ring.push_force ring Item.Eof;
+          true
+      | Item.Tuple _ ->
+          let ok = Ring.push ring item in
+          if ok then Metrics.Counter.incr t.tuples_in else Metrics.Counter.incr t.dropped;
+          ok
+      | Item.Punct _ | Item.Flush ->
+          let ok = Ring.push ring item in
+          if not ok then Metrics.Counter.incr t.dropped;
+          ok)
+  | Cross xc ->
+      (* Blocking push: cross-domain edges apply backpressure instead of
+         dropping; a refusal means the channel was closed by an error
+         shutdown. The channel's own cells keep counting so [rts.chan.*]
+         and drop totals stay live after promotion. *)
+      let ok = Xchannel.push xc item in
+      (match item with
+      | Item.Eof -> ()
+      | Item.Tuple _ ->
+          if ok then Metrics.Counter.incr t.tuples_in else Metrics.Counter.incr t.dropped
+      | Item.Punct _ | Item.Flush -> if not ok then Metrics.Counter.incr t.dropped);
       ok
 
-let pop t = Ring.pop t.ring
-let peek t = Ring.peek t.ring
-let length t = Ring.length t.ring
-let is_empty t = Ring.is_empty t.ring
+let pop t = match t.impl with Local ring -> Ring.pop ring | Cross xc -> Xchannel.pop xc
+let peek t = match t.impl with Local ring -> Ring.peek ring | Cross xc -> Xchannel.peek xc
+let length t = match t.impl with Local ring -> Ring.length ring | Cross xc -> Xchannel.length xc
+let is_empty t = length t = 0
 let tuples_in t = Metrics.Counter.get t.tuples_in
 let drops t = Metrics.Counter.get t.dropped
-let high_water t = Ring.high_water t.ring
+
+let high_water t =
+  match t.impl with Local ring -> Ring.high_water ring | Cross xc -> Xchannel.high_water xc
+
+let is_cross t = match t.impl with Cross _ -> true | Local _ -> false
+
+let promote_cross ?capacity t =
+  match t.impl with
+  | Cross xc -> xc
+  | Local ring ->
+      (* Never smaller than what is already buffered: promotion runs on a
+         single domain, so a blocking push here would never be drained. *)
+      let capacity =
+        max (match capacity with Some c -> max 1 c | None -> t.capacity) (Ring.length ring)
+      in
+      let xc = Xchannel.create ~capacity ~name:t.name () in
+      (* Carry over anything buffered before the switch (promotion happens
+         before the run, so this is normally empty). *)
+      let rec drain () =
+        match Ring.pop ring with
+        | Some item ->
+            ignore (Xchannel.push xc item);
+            drain ()
+        | None -> ()
+      in
+      drain ();
+      t.impl <- Cross xc;
+      xc
+
+let cross t = match t.impl with Cross xc -> Some xc | Local _ -> None
 
 let register_metrics t reg ~prefix =
   Metrics.attach_counter reg (prefix ^ ".tuples_in") t.tuples_in;
   Metrics.attach_counter reg (prefix ^ ".drops") t.dropped;
-  Metrics.attach_gauge_fn reg (prefix ^ ".depth") (fun () -> float_of_int (Ring.length t.ring));
-  Metrics.attach_gauge_fn reg (prefix ^ ".high_water") (fun () ->
-      float_of_int (Ring.high_water t.ring))
+  Metrics.attach_gauge_fn reg (prefix ^ ".depth") (fun () -> float_of_int (length t));
+  Metrics.attach_gauge_fn reg (prefix ^ ".high_water") (fun () -> float_of_int (high_water t))

@@ -10,10 +10,14 @@ val create : ?capacity:int -> name:string -> unit -> t
 (** Default capacity 4096 items. *)
 
 val name : t -> string
+val capacity : t -> int
+
 val push : t -> Item.t -> bool
-(** False (and a counted drop) when full — except [Eof], which is always
-    accepted by evicting the newest item if necessary, so a full channel
-    cannot wedge shutdown. *)
+(** Local channels: false (and a counted drop) when full — except [Eof],
+    which is always accepted by evicting the newest item if necessary, so
+    a full channel cannot wedge shutdown. Channels promoted by
+    {!promote_cross} block instead of dropping (backpressure across the
+    domain boundary) and refuse only once closed. *)
 
 val pop : t -> Item.t option
 val peek : t -> Item.t option
@@ -27,6 +31,22 @@ val drops : t -> int
 (** Items rejected by a full ring (tuples and punctuation alike). *)
 
 val high_water : t -> int
+
+val promote_cross : ?capacity:int -> t -> Xchannel.t
+(** Switch this channel's transport to a bounded SPSC cross-domain
+    channel (idempotent; buffered items carry over). [capacity] defaults
+    to the channel's own; the parallel scheduler passes a small bound so
+    backpressure keeps producer and consumer domains rate-matched — the
+    paper's fixed-size ring buffers between the runtime process and each
+    HFTA process (Section 2.2). It is clamped up to whatever is already
+    buffered, since promotion happens on one domain before any worker
+    spawns and a blocking push here could never be drained. Called on
+    edges whose endpoints land on different domains. *)
+
+val is_cross : t -> bool
+
+val cross : t -> Xchannel.t option
+(** The cross-domain transport, once promoted. *)
 
 val register_metrics : t -> Gigascope_obs.Metrics.t -> prefix:string -> unit
 (** Attach this channel's counters ([tuples_in], [drops]) and polled gauges

@@ -1,0 +1,166 @@
+module Metrics = Gigascope_obs.Metrics
+module Clock = Gigascope_obs.Clock
+
+(* ---------------- wakeup signals ---------------------------------------- *)
+
+type signal = { mu : Mutex.t; cond : Condition.t; mutable hint : bool }
+
+let make_signal () = { mu = Mutex.create (); cond = Condition.create (); hint = false }
+
+let notify s =
+  Mutex.lock s.mu;
+  s.hint <- true;
+  Condition.signal s.cond;
+  Mutex.unlock s.mu
+
+(* The hint closes the classic race: a producer that pushed between our
+   last empty-check and this wait leaves the hint set, so we return
+   immediately instead of sleeping through the wakeup. *)
+let wait s =
+  Mutex.lock s.mu;
+  if not s.hint then Condition.wait s.cond s.mu;
+  s.hint <- false;
+  Mutex.unlock s.mu
+
+(* ---------------- shared run state -------------------------------------- *)
+
+type shared = {
+  stop : bool Atomic.t;
+  error : string option Atomic.t;
+  signals : signal array;  (* one per partition; index 0 = packet-path domain *)
+  mutable xchannels : Xchannel.t list;
+  hb_mu : Mutex.t;
+  mutable hb_pending : Node.t list;  (* source nodes awaiting a heartbeat *)
+}
+
+let make_shared ~partitions =
+  {
+    stop = Atomic.make false;
+    error = Atomic.make None;
+    signals = Array.init partitions (fun _ -> make_signal ());
+    xchannels = [];
+    hb_mu = Mutex.create ();
+    hb_pending = [];
+  }
+
+let add_xchannel shared xc = shared.xchannels <- xc :: shared.xchannels
+let signals shared = shared.signals
+
+let wake_all shared = Array.iter notify shared.signals
+
+(* Stop everything: set the flag, unblock producers stuck on full
+   channels, and wake every parked domain. Closing the channels is what
+   lets an error propagate out of a crashed domain — its peers would
+   otherwise block forever pushing into (or waiting on) its edges. *)
+let abort shared =
+  Atomic.set shared.stop true;
+  List.iter Xchannel.close shared.xchannels;
+  wake_all shared
+
+let fail shared msg =
+  ignore (Atomic.compare_and_set shared.error None (Some msg));
+  abort shared
+
+let error shared = Atomic.get shared.error
+let stopped shared = Atomic.get shared.stop
+
+(* ---------------- cross-domain heartbeat requests ------------------------ *)
+
+(* A blocked HFTA on a worker domain cannot fire source clocks itself:
+   sources live on domain 0 and their state (feed cursor, last_ts) is not
+   synchronized. The worker walks its upstream cone (wiring is frozen at
+   spawn, so the walk is a pure read), queues the source nodes here, and
+   pokes domain 0, which fires the heartbeats between rounds. *)
+let rec collect_sources visited acc node =
+  if List.memq node !visited then acc
+  else begin
+    visited := node :: !visited;
+    if Node.kind node = Node.Source then node :: acc
+    else Array.fold_left (fun acc (up, _) -> collect_sources visited acc up) acc (Node.inputs node)
+  end
+
+let request_heartbeat shared node =
+  let sources = collect_sources (ref []) [] node in
+  if sources <> [] then begin
+    Mutex.lock shared.hb_mu;
+    shared.hb_pending <- sources @ shared.hb_pending;
+    Mutex.unlock shared.hb_mu;
+    notify shared.signals.(0)
+  end
+
+let take_heartbeats shared =
+  Mutex.lock shared.hb_mu;
+  let pending = shared.hb_pending in
+  shared.hb_pending <- [];
+  Mutex.unlock shared.hb_mu;
+  (* dedupe: a merge blocked on two silent inputs queues a source twice *)
+  List.fold_left (fun acc n -> if List.memq n acc then acc else n :: acc) [] pending
+
+(* ---------------- worker domain loop ------------------------------------ *)
+
+type t = {
+  id : int;  (* partition index, >= 1 *)
+  nodes : Node.t list;  (* this domain's HFTAs, in topological order *)
+  quantum : int;
+  heartbeats : bool;
+  sample : int;  (* service-time sampling period *)
+}
+
+let make ~id ~nodes ~quantum ~heartbeats ~sample = { id; nodes; quantum; heartbeats; sample }
+
+let inputs_empty node =
+  Array.for_all (fun (_, chan) -> Channel.is_empty chan) (Node.inputs node)
+
+let run_loop shared r =
+  let my_signal = shared.signals.(r.id) in
+  let finished () = List.for_all (fun n -> Node.exhausted n && inputs_empty n) r.nodes in
+  let iter = ref 0 in
+  let continue = ref true in
+  while !continue && not (Atomic.get shared.stop) do
+    incr iter;
+    let timed = (!iter - 1) mod r.sample = 0 in
+    let progress = ref false in
+    List.iter
+      (fun node ->
+        let made =
+          if timed then begin
+            let t0 = Clock.now_ns () in
+            let m = Node.step_inputs node ~quantum:r.quantum in
+            Node.record_service node (Clock.now_ns () -. t0);
+            m
+          end
+          else Node.step_inputs node ~quantum:r.quantum
+        in
+        if made then progress := true)
+      r.nodes;
+    (* Same policy as the single-threaded scheduler: consult blocked
+       inputs every iteration, not just when parked — an operator can
+       keep absorbing one input while starving on another (a merge over
+       skewed streams), and only the heartbeat bounds its buffer. *)
+    if r.heartbeats then
+      List.iter
+        (fun node ->
+          match Node.blocked_input node with
+          | Some i ->
+              let up, _ = (Node.inputs node).(i) in
+              request_heartbeat shared up
+          | None -> ())
+        r.nodes;
+    if not !progress then begin
+      if finished () then continue := false
+      else
+        (* Park until an input channel is pushed, a requested heartbeat's
+           punctuation arrives, or the run aborts. Waiting only when every
+           input is empty keeps the network deadlock-free: the producer of
+           a full channel never waits on its own consumer. *)
+        wait my_signal
+    end
+  done
+
+let spawn shared r =
+  Domain.spawn (fun () ->
+      try run_loop shared r
+      with e ->
+        let names = String.concat "," (List.map Node.name r.nodes) in
+        fail shared
+          (Printf.sprintf "domain %d (%s): %s" r.id names (Printexc.to_string e)))

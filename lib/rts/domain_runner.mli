@@ -1,0 +1,61 @@
+(** Per-domain execution of a partition of the query network.
+
+    The parallel scheduler ({!Scheduler.run_parallel}) keeps sources and
+    LFTAs on the calling domain (the packet path) and hands each worker
+    domain a list of HFTAs to step. Workers run the same cooperative
+    quantum loop as the single-threaded scheduler, but park on a condvar
+    signal when all their inputs are empty instead of spinning — pushes
+    into their cross-domain input channels wake them. *)
+
+type signal
+
+val make_signal : unit -> signal
+val notify : signal -> unit
+val wait : signal -> unit
+(** Returns immediately if a {!notify} landed since the last {!wait}
+    (the hint protocol — no lost wakeups). *)
+
+type shared
+(** State shared by all domains of one parallel run: stop flag, first
+    error, per-partition wakeup signals, the cross-domain channels (for
+    error shutdown), and the pending cross-domain heartbeat requests. *)
+
+val make_shared : partitions:int -> shared
+val add_xchannel : shared -> Xchannel.t -> unit
+val signals : shared -> signal array
+
+val abort : shared -> unit
+(** Stop all domains: raise the stop flag, close every cross-domain
+    channel (unblocking producers), wake every parked domain. *)
+
+val fail : shared -> string -> unit
+(** Record the first error, then {!abort}. *)
+
+val error : shared -> string option
+val stopped : shared -> bool
+val wake_all : shared -> unit
+
+val request_heartbeat : shared -> Node.t -> unit
+(** Worker-side: walk upstream from [node] to its sources (a pure read of
+    the frozen wiring) and queue them for domain 0, which owns source
+    state and fires the actual clock punctuation. *)
+
+val take_heartbeats : shared -> Node.t list
+(** Domain-0 side: drain and dedupe the queued heartbeat requests. *)
+
+type t
+
+val make :
+  id:int -> nodes:Node.t list -> quantum:int -> heartbeats:bool -> sample:int -> t
+(** [id] is the partition index ([>= 1]; 0 is the packet-path domain);
+    [sample] is the service-time sampling period (1 = every iteration). *)
+
+val run_loop : shared -> t -> unit
+(** The worker loop, exposed for tests; normally entered via {!spawn}.
+    Steps every node a quantum per iteration; when nothing moves, either
+    exits (all nodes exhausted and drained), requests heartbeats for
+    blocked inputs, or parks on this partition's signal. *)
+
+val spawn : shared -> t -> unit Domain.t
+(** Run {!run_loop} on a fresh domain; an escaped exception becomes the
+    run's error ({!fail}), stopping every other domain. *)

@@ -75,20 +75,47 @@ let output_watermark t =
   let rb = if t.right.eof then infinity else t.right.bound in
   Float.min lb (rb +. t.cfg.lo)
 
+let compare_rows a b =
+  let n = Array.length a and m = Array.length b in
+  let rec go i =
+    if i >= n || i >= m then compare n m
+    else
+      let c = Value.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+(* Strictly below the watermark, as a whole batch, content-sorted.
+   Both points matter for determinism: the heap breaks equal-priority
+   ties by insertion order, which depends on probe interleaving, and a
+   non-strict gate can release part of an equal-key group now and the
+   rest after more input arrives — at a split point that also depends on
+   interleaving. Strict release keeps every equal-key group intact until
+   the watermark passes it, and the content sort fixes its internal
+   order. *)
 let release t ~emit =
   match t.cfg.output_mode with
   | Banded_output -> ()
   | Ordered_output ->
       let wm = output_watermark t in
+      let batch = ref [] in
       let continue = ref true in
       while !continue do
         match Gigascope_util.Minheap.min t.held with
-        | Some (key, _) when key <= wm -> (
+        | Some (key, _) when key < wm -> (
             match Gigascope_util.Minheap.pop t.held with
-            | Some (_, out) -> ignore (emit (Item.Tuple out))
+            | Some entry -> batch := entry :: !batch
             | None -> continue := false)
         | _ -> continue := false
-      done
+      done;
+      if !batch <> [] then
+        List.iter
+          (fun (_, out) -> ignore (emit (Item.Tuple out)))
+          (List.sort
+             (fun (ka, a) (kb, b) ->
+               let c = Float.compare ka kb in
+               if c <> 0 then c else compare_rows a b)
+             !batch)
 
 let produce t ~left_ts out ~emit =
   match t.cfg.output_mode with
@@ -123,13 +150,20 @@ let probe t ~from_left values ~emit =
   end
 
 let emit_punct t ~emit =
-  (* Output tuples pair a left >= left.bound with a right >= right.bound,
-     so any projected ordered attribute respects its own side's bound. *)
+  (* The raw side bounds are unsound here: a held Ordered_output pair
+     whose left key trails left.bound would be emitted after a punctuation
+     claiming that bound, and even in Banded_output a future pair's right
+     value can be as low as left.bound - hi. What is truly final is the
+     output watermark of each projected side. *)
+  let lb = if t.left.eof then infinity else t.left.bound in
+  let rb = if t.right.eof then infinity else t.right.bound in
+  let left_wm = Float.min lb (rb +. t.cfg.lo) in
+  let right_wm = Float.min rb (lb -. t.cfg.hi) in
   let bounds =
     List.filter_map Fun.id
       [
-        Option.map (fun out -> (out, Value.Float t.left.bound)) t.cfg.left_out;
-        Option.map (fun out -> (out, Value.Float t.right.bound)) t.cfg.right_out;
+        Option.map (fun out -> (out, Value.Float left_wm)) t.cfg.left_out;
+        Option.map (fun out -> (out, Value.Float right_wm)) t.cfg.right_out;
       ]
   in
   let finite = List.filter (fun (_, v) -> match v with Value.Float f -> Float.is_finite f | _ -> true) bounds in
@@ -157,6 +191,10 @@ let op t =
             | Some f ->
                 if f > side.bound then side.bound <- f;
                 purge t;
+                (* Release before punctuating: held pairs below the new
+                   watermark must leave ahead of the punctuation that
+                   declares them final. *)
+                release t ~emit;
                 emit_punct t ~emit
             | None -> ())
         | None -> ())

@@ -30,6 +30,7 @@ type t = {
   mutable cb_seen : int;
   mutable source_done : bool;
   mutable eof_emitted : bool;
+  mutable pinned : int option;
 }
 
 let make name kind schema behavior =
@@ -47,6 +48,7 @@ let make name kind schema behavior =
     cb_seen = 0;
     source_done = false;
     eof_emitted = false;
+    pinned = None;
   }
 
 let make_source ~name ~schema source = make name Source schema (Src source)
@@ -55,6 +57,8 @@ let make_op ~name ~kind ~schema ~op = make name kind schema (Op op)
 let name t = t.name
 let kind t = t.kind
 let schema t = t.schema
+let placement t = t.pinned
+let set_placement t p = t.pinned <- p
 
 let connect ~downstream ~upstream ~capacity =
   let chan =

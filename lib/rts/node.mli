@@ -30,6 +30,13 @@ val name : t -> string
 val kind : t -> kind
 val schema : t -> Schema.t
 
+val placement : t -> int option
+(** Pinned execution domain for the parallel scheduler; [None] lets the
+    scheduler place the node (sources and LFTAs on the packet-path
+    domain, HFTAs round-robin over the workers). *)
+
+val set_placement : t -> int option -> unit
+
 val connect : downstream:t -> upstream:t -> capacity:int -> unit
 (** Create a channel from [upstream] into [downstream]'s next input slot. *)
 

@@ -31,6 +31,13 @@ let run ?(quantum = 64) ?(max_rounds = 10_000_000) ?(heartbeats = true) ?heartbe
   let sample = if trace then 1 else default_service_sample in
   Metrics.Gauge.set_int (Metrics.gauge reg "rts.scheduler.service_sample") sample;
   let nodes = Manager.nodes mgr in
+  (* [iter] counts scheduling iterations (max_rounds guard, sampling,
+     periodic heartbeats, the on_round hook); [rounds] counts only the
+     productive ones — iterations in which some node actually moved an
+     item. The two diverge when every node is blocked awaiting heartbeats
+     (punctuation-only iterations) and on the final wedged iteration, so
+     the [rts.scheduler.rounds] metric tracks observable progress. *)
+  let iter = ref 0 in
   let rounds = ref 0 in
   let heartbeat_requests = ref 0 in
   let finished () =
@@ -39,12 +46,11 @@ let run ?(quantum = 64) ?(max_rounds = 10_000_000) ?(heartbeats = true) ?heartbe
   let result = ref None in
   while !result = None do
     if finished () then result := Some (Ok { rounds = !rounds; heartbeat_requests = !heartbeat_requests })
-    else if !rounds >= max_rounds then
+    else if !iter >= max_rounds then
       result := Some (Error (Printf.sprintf "scheduler: no completion after %d rounds" max_rounds))
     else begin
-      incr rounds;
-      Metrics.Counter.incr rounds_c;
-      let timed = (!rounds - 1) mod sample = 0 in
+      incr iter;
+      let timed = (!iter - 1) mod sample = 0 in
       let progress = ref false in
       List.iter
         (fun node ->
@@ -63,9 +69,13 @@ let run ?(quantum = 64) ?(max_rounds = 10_000_000) ?(heartbeats = true) ?heartbe
           in
           if made then progress := true)
         nodes;
+      if !progress then begin
+        incr rounds;
+        Metrics.Counter.incr rounds_c
+      end;
       let hb_fired = ref false in
       (match heartbeat_period with
-      | Some period when period > 0 && !rounds mod period = 0 ->
+      | Some period when period > 0 && !iter mod period = 0 ->
           List.iter
             (fun node ->
               if Node.kind node = Node.Source && not (Node.exhausted node) then begin
@@ -86,7 +96,7 @@ let run ?(quantum = 64) ?(max_rounds = 10_000_000) ?(heartbeats = true) ?heartbe
                 request_heartbeat up
             | None -> ())
           nodes;
-      (match on_round with Some f -> f !rounds | None -> ());
+      (match on_round with Some f -> f !iter | None -> ());
       (* A heartbeat pushes punctuation into channels, so it counts as
          progress for the next round. No item moved and nothing fired
          means either completion (checked next iteration) or a wedged
@@ -96,3 +106,209 @@ let run ?(quantum = 64) ?(max_rounds = 10_000_000) ?(heartbeats = true) ?heartbe
     end
   done;
   match !result with Some r -> r | None -> assert false
+
+(* ---------------- parallel execution ------------------------------------ *)
+
+(* Partition the network over [domains] execution domains: sources and
+   LFTAs stay on domain 0 (the paper's runtime process, which owns the
+   packet path and the source clocks), HFTAs go one per worker domain,
+   round-robin once there are more HFTAs than workers. A node pinned via
+   {!Node.set_placement} (the [placement] DEFINE property or gsq's
+   [--placement]) goes exactly where it asks, including domain 0. *)
+let partition ~domains nodes =
+  let parts = Array.make domains [] in
+  let next = ref 0 in
+  let n_workers = domains - 1 in
+  List.iter
+    (fun node ->
+      let p =
+        match Node.kind node with
+        | Node.Source | Node.Lfta -> 0
+        | Node.Hfta -> (
+            match Node.placement node with
+            | Some d -> ((d mod domains) + domains) mod domains
+            | None ->
+                let p = 1 + (!next mod n_workers) in
+                incr next;
+                p)
+      in
+      parts.(p) <- node :: parts.(p))
+    nodes;
+  Array.map List.rev parts
+
+let run_parallel ?(quantum = 64) ?(max_rounds = 10_000_000) ?(heartbeats = true)
+    ?heartbeat_period ?(trace = false) ?(placement = []) ~domains mgr =
+  let apply_placement () =
+    let rec go = function
+      | [] -> Ok ()
+      | (name, d) :: rest -> (
+          match Manager.find mgr name with
+          | Some node ->
+              Node.set_placement node (Some d);
+              go rest
+          | None -> Error (Printf.sprintf "scheduler: --placement names unknown node %s" name))
+    in
+    go placement
+  in
+  match apply_placement () with
+  | Error _ as e -> e
+  | Ok () ->
+      if domains <= 1 then
+        run ~quantum ~max_rounds ~heartbeats ?heartbeat_period ~trace mgr
+      else begin
+        Manager.start mgr;
+        let reg = Manager.metrics mgr in
+        let rounds_c = Metrics.counter reg "rts.scheduler.rounds" in
+        let hb_c = Metrics.counter reg "rts.scheduler.heartbeat_requests" in
+        let sample = if trace then 1 else default_service_sample in
+        Metrics.Gauge.set_int (Metrics.gauge reg "rts.scheduler.service_sample") sample;
+        Metrics.Gauge.set_int (Metrics.gauge reg "rts.scheduler.domains") domains;
+        let nodes = Manager.nodes mgr in
+        let parts = partition ~domains nodes in
+        let part_of = Hashtbl.create 32 in
+        Array.iteri
+          (fun p ns -> List.iter (fun n -> Hashtbl.replace part_of (Node.name n) p) ns)
+          parts;
+        let shared = Domain_runner.make_shared ~partitions:domains in
+        let signals = Domain_runner.signals shared in
+        (* Promote every edge that crosses a domain boundary. This happens
+           before any domain spawns, so registration in the metrics
+           registry and the consumer-wakeup hooks are race-free. *)
+        List.iter
+          (fun node ->
+            let pn = Hashtbl.find part_of (Node.name node) in
+            Array.iter
+              (fun ((up : Node.t), chan) ->
+                if Hashtbl.find part_of (Node.name up) <> pn then begin
+                  let already = Channel.is_cross chan in
+                  (* Small capacity on purpose: a deep cross channel lets
+                     the producer domain run unboundedly ahead, and a
+                     downstream merge/join then buffers that whole lead
+                     before its heartbeat punctuation catches up. *)
+                  let xcap = min (Channel.capacity chan) (max (4 * quantum) 64) in
+                  let xc = Channel.promote_cross ~capacity:xcap chan in
+                  Xchannel.set_on_push xc (fun () -> Domain_runner.notify signals.(pn));
+                  if not already then begin
+                    Manager.register_xchannel_metrics mgr xc;
+                    Domain_runner.add_xchannel shared xc
+                  end
+                end)
+              (Node.inputs node))
+          nodes;
+        let runners =
+          List.filter_map
+            (fun id ->
+              match parts.(id) with
+              | [] -> None
+              | ns ->
+                  Some
+                    (Domain_runner.make ~id ~nodes:ns ~quantum ~heartbeats ~sample))
+            (List.init (domains - 1) (fun i -> i + 1))
+        in
+        let handles = List.map (Domain_runner.spawn shared) runners in
+        (* Domain 0: the single-threaded loop over sources + LFTAs (plus
+           pinned HFTAs), with two extra duties — draining cross-domain
+           heartbeat requests, and parking instead of declaring a wedge
+           when its own nodes are quiet but workers are still chewing. *)
+        let my_nodes = parts.(0) in
+        let iter = ref 0 in
+        let rounds = ref 0 in
+        let heartbeat_requests = ref 0 in
+        let finished0 () =
+          List.for_all (fun n -> Node.exhausted n && channels_empty n) my_nodes
+        in
+        let loop () =
+          let result = ref None in
+          while !result = None do
+            if Domain_runner.stopped shared then
+              result :=
+                Some
+                  (Error
+                     (Option.value (Domain_runner.error shared)
+                        ~default:"scheduler: parallel run aborted"))
+            else if finished0 () then result := Some (Ok ())
+            else if !iter >= max_rounds then
+              result :=
+                Some
+                  (Error (Printf.sprintf "scheduler: no completion after %d rounds" max_rounds))
+            else begin
+              incr iter;
+              let timed = (!iter - 1) mod sample = 0 in
+              let progress = ref false in
+              List.iter
+                (fun node ->
+                  let step () =
+                    if Node.kind node = Node.Source then Node.step_source node ~quantum
+                    else Node.step_inputs node ~quantum
+                  in
+                  let made =
+                    if timed then begin
+                      let t0 = Clock.now_ns () in
+                      let r = step () in
+                      Node.record_service node (Clock.now_ns () -. t0);
+                      r
+                    end
+                    else step ()
+                  in
+                  if made then progress := true)
+                my_nodes;
+              if !progress then begin
+                incr rounds;
+                Metrics.Counter.incr rounds_c
+              end;
+              let hb_fired = ref false in
+              (match heartbeat_period with
+              | Some period when period > 0 && !iter mod period = 0 ->
+                  List.iter
+                    (fun node ->
+                      if Node.kind node = Node.Source && not (Node.exhausted node) then begin
+                        Node.heartbeat node;
+                        hb_fired := true
+                      end)
+                    my_nodes
+              | _ -> ());
+              if heartbeats then
+                List.iter
+                  (fun node ->
+                    match Node.blocked_input node with
+                    | Some i ->
+                        incr heartbeat_requests;
+                        Metrics.Counter.incr hb_c;
+                        hb_fired := true;
+                        let up, _ = (Node.inputs node).(i) in
+                        request_heartbeat up
+                    | None -> ())
+                  my_nodes;
+              (match Domain_runner.take_heartbeats shared with
+              | [] -> ()
+              | pending ->
+                  hb_fired := true;
+                  List.iter
+                    (fun src ->
+                      incr heartbeat_requests;
+                      Metrics.Counter.incr hb_c;
+                      Node.heartbeat src)
+                    pending);
+              (* Quiet is not a wedge here: a worker may be mid-quantum, or
+                 about to queue a heartbeat request. Park until a worker
+                 pokes us (heartbeat queue, a push into a pinned HFTA's
+                 input, or an abort). *)
+              if (not !progress) && (not !hb_fired) && not (finished0 ()) then
+                Domain_runner.wait signals.(0)
+            end
+          done;
+          match !result with Some r -> r | None -> assert false
+        in
+        let res = try loop () with e -> Error (Printexc.to_string e) in
+        (* On error, unblock everyone before joining; on success the
+           workers are still draining — join waits for their EOF. *)
+        (match res with
+        | Error msg -> Domain_runner.fail shared msg
+        | Ok () -> ());
+        List.iter Domain.join handles;
+        match (res, Domain_runner.error shared) with
+        | Error _, Some msg -> Error msg
+        | Error msg, None -> Error msg
+        | Ok (), Some msg -> Error msg
+        | Ok (), None -> Ok { rounds = !rounds; heartbeat_requests = !heartbeat_requests }
+      end

@@ -25,22 +25,61 @@ val run :
   Manager.t ->
   (stats, string) result
 (** [quantum] (default 64) items per node per round; [max_rounds] (default
-    10_000_000) guards against wedged networks; [heartbeats] (default true)
-    enables on-demand punctuation (requested by blocked operators);
-    [heartbeat_period] additionally fires every source's clock punctuation
-    every N rounds — the periodic injection of Tucker & Maier that the
-    paper contrasts with its on-demand scheme; [on_round] runs after each
-    round — the hook through which a live application changes query
-    parameters or flushes queries mid-stream. Implies
-    {!Manager.start}.
+    10_000_000) bounds scheduling iterations as a wedge guard;
+    [heartbeats] (default true) enables on-demand punctuation (requested
+    by blocked operators); [heartbeat_period] additionally fires every
+    source's clock punctuation every N iterations — the periodic
+    injection of Tucker & Maier that the paper contrasts with its
+    on-demand scheme; [on_round] runs after each scheduling iteration —
+    the hook through which a live application changes query parameters or
+    flushes queries mid-stream. Implies {!Manager.start}.
 
     The run feeds the manager's metrics registry: [rts.scheduler.rounds]
     and [rts.scheduler.heartbeat_requests] counters, plus each node's
-    [service_ns] histogram. Service times are sampled (one round in 8);
-    [trace] (default false) times {e every} round instead, for
+    [service_ns] histogram. [rounds] (the stat and the metric) counts
+    only {e productive} rounds — iterations in which some node moved at
+    least one item; iterations where every node is blocked awaiting
+    heartbeat punctuation are scheduling overhead, not progress, and are
+    not counted. Service times are sampled (one round in 8); [trace]
+    (default false) times {e every} round instead, for
     EXPLAIN-ANALYZE-grade per-operator cost ({!Manager.trace_report}).
     The effective sampling period is published as the
     [rts.scheduler.service_sample] gauge. *)
+
+val run_parallel :
+  ?quantum:int ->
+  ?max_rounds:int ->
+  ?heartbeats:bool ->
+  ?heartbeat_period:int ->
+  ?trace:bool ->
+  ?placement:(string * int) list ->
+  domains:int ->
+  Manager.t ->
+  (stats, string) result
+(** Multicore execution: the paper's process-per-HFTA architecture
+    (Section 2.2) mapped onto OCaml domains. Domain 0 (the caller) runs
+    the sources and LFTAs — the packet path; each HFTA runs on one of
+    [domains - 1] worker domains, round-robin, unless pinned by
+    [placement] (node name → domain index; modulo [domains]) or a prior
+    {!Node.set_placement}. Channels crossing a domain boundary are
+    promoted to blocking cross-domain channels ({!Xchannel}) — the
+    inter-process "shared memory" edges get backpressure instead of
+    drops, and their metrics move under [rts.xchannel.*].
+
+    Blocked HFTAs on worker domains still get on-demand heartbeats: the
+    request is queued to domain 0, which owns the source clocks.
+
+    [domains <= 1] degrades to {!run} (same semantics, zero spawns).
+    The returned stats count domain 0's productive rounds only; worker
+    progress shows up in node and channel metrics. On any domain's error
+    the run aborts all domains and returns the first error. Publishes
+    the [rts.scheduler.domains] gauge.
+
+    Parallel output is deterministic: every operator's emitted tuple
+    sequence depends only on its per-channel input tuple sequences, not
+    on punctuation timing or domain interleaving, so a parallel run
+    produces byte-identical subscriber output to a single-threaded run
+    (verified by test/test_parallel.ml). *)
 
 val request_heartbeat : Node.t -> unit
 (** Walk upstream from the node and fire every source's clock punctuation

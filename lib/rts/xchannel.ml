@@ -1,0 +1,117 @@
+module Metrics = Gigascope_obs.Metrics
+module Clock = Gigascope_obs.Clock
+
+type t = {
+  name : string;
+  capacity : int;
+  q : Item.t Queue.t;
+  lock : Mutex.t;
+  not_full : Condition.t;
+  mutable closed : bool;
+  mutable hw : int;
+  mutable on_push : unit -> unit;
+  tuples_in : Metrics.Counter.t;
+  dropped : Metrics.Counter.t;
+  blocked_ns : Metrics.Counter.t;
+}
+
+let create ?(capacity = 4096) ~name () =
+  if capacity <= 0 then invalid_arg "Xchannel.create: capacity must be positive";
+  {
+    name;
+    capacity;
+    q = Queue.create ();
+    lock = Mutex.create ();
+    not_full = Condition.create ();
+    closed = false;
+    hw = 0;
+    on_push = ignore;
+    tuples_in = Metrics.Counter.make ();
+    dropped = Metrics.Counter.make ();
+    blocked_ns = Metrics.Counter.make ();
+  }
+
+let name t = t.name
+let capacity t = t.capacity
+
+let set_on_push t f = t.on_push <- f
+
+let push t item =
+  Mutex.lock t.lock;
+  (* Backpressure: block until the consumer makes room. The wait is the
+     cross-domain analogue of a dropped tuple, so it is accounted
+     ([blocked_ns]) the way the single-threaded Channel accounts drops. *)
+  if (not t.closed) && Queue.length t.q >= t.capacity then begin
+    let t0 = Clock.now_ns () in
+    while (not t.closed) && Queue.length t.q >= t.capacity do
+      Condition.wait t.not_full t.lock
+    done;
+    Metrics.Counter.add t.blocked_ns (int_of_float (Clock.now_ns () -. t0))
+  end;
+  let accepted = not t.closed in
+  if accepted then begin
+    Queue.push item t.q;
+    let d = Queue.length t.q in
+    if d > t.hw then t.hw <- d;
+    match item with
+    | Item.Tuple _ -> Metrics.Counter.incr t.tuples_in
+    | Item.Punct _ | Item.Flush | Item.Eof -> ()
+  end
+  else begin
+    match item with
+    | Item.Tuple _ | Item.Punct _ | Item.Flush -> Metrics.Counter.incr t.dropped
+    | Item.Eof -> ()
+  end;
+  Mutex.unlock t.lock;
+  (* Notify outside the lock: the consumer's signal has its own mutex and
+     taking both at once invites lock-order cycles. *)
+  if accepted then t.on_push ();
+  accepted
+
+let pop t =
+  Mutex.lock t.lock;
+  let item = Queue.take_opt t.q in
+  if item <> None then Condition.signal t.not_full;
+  Mutex.unlock t.lock;
+  item
+
+(* Sound for SPSC use: only the consumer removes items, so a peeked head
+   stays the head until the same domain pops it. *)
+let peek t =
+  Mutex.lock t.lock;
+  let item = Queue.peek_opt t.q in
+  Mutex.unlock t.lock;
+  item
+
+let length t =
+  Mutex.lock t.lock;
+  let n = Queue.length t.q in
+  Mutex.unlock t.lock;
+  n
+
+let is_empty t = length t = 0
+
+let close t =
+  Mutex.lock t.lock;
+  t.closed <- true;
+  Condition.broadcast t.not_full;
+  Mutex.unlock t.lock;
+  t.on_push ()
+
+let is_closed t =
+  Mutex.lock t.lock;
+  let c = t.closed in
+  Mutex.unlock t.lock;
+  c
+
+let high_water t = t.hw
+let tuples_in t = Metrics.Counter.get t.tuples_in
+let drops t = Metrics.Counter.get t.dropped
+let blocked_ns t = Metrics.Counter.get t.blocked_ns
+
+let register_metrics t reg ~prefix =
+  Metrics.attach_counter reg (prefix ^ ".tuples_in") t.tuples_in;
+  Metrics.attach_counter reg (prefix ^ ".drops") t.dropped;
+  Metrics.attach_counter reg (prefix ^ ".blocked_ns") t.blocked_ns;
+  Metrics.attach_gauge_fn reg (prefix ^ ".depth") (fun () -> float_of_int (length t));
+  Metrics.attach_gauge_fn reg (prefix ^ ".high_water") (fun () -> float_of_int t.hw)

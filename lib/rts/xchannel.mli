@@ -1,0 +1,59 @@
+(** Bounded SPSC cross-domain channel (mutex + condvar).
+
+    The parallel scheduler's replacement for the shared-memory ring
+    between an LFTA and an HFTA when the two run on different OCaml
+    domains. Unlike {!Channel}, which drops on overflow (a slow HFTA must
+    not stall the packet path within one domain), the cross-domain edge
+    blocks the producer — backpressure instead of loss — and accounts the
+    stall time in [blocked_ns]. Drops happen only after {!close} (error
+    shutdown), so a crashed consumer domain cannot wedge its producer.
+
+    Single producer, single consumer: the owning domains of the two
+    endpoint nodes. {!pop}/{!peek} are non-blocking; a consumer with
+    nothing to read parks on its {!Domain_runner} signal, which
+    [on_push] pokes. *)
+
+type t
+
+val create : ?capacity:int -> name:string -> unit -> t
+(** Default capacity 4096 items, matching {!Channel}. *)
+
+val name : t -> string
+val capacity : t -> int
+
+val set_on_push : t -> (unit -> unit) -> unit
+(** Hook run after every successful push (and after {!close}), outside
+    the channel lock — the consumer domain's wakeup. Set before the
+    consumer domain spawns. *)
+
+val push : t -> Item.t -> bool
+(** Blocks while the channel is full. False (and a counted drop, except
+    for [Eof]) only when the channel is closed. *)
+
+val pop : t -> Item.t option
+(** Non-blocking; signals a producer waiting on a full channel. *)
+
+val peek : t -> Item.t option
+(** Non-blocking; stable only for the consumer domain (SPSC). *)
+
+val length : t -> int
+val is_empty : t -> bool
+
+val close : t -> unit
+(** Mark closed and wake a blocked producer; subsequent pushes are
+    dropped. Used for error propagation from a crashed domain. Items
+    already queued remain poppable. *)
+
+val is_closed : t -> bool
+
+val high_water : t -> int
+val tuples_in : t -> int
+val drops : t -> int
+
+val blocked_ns : t -> int
+(** Cumulative nanoseconds producers spent blocked on a full channel. *)
+
+val register_metrics : t -> Gigascope_obs.Metrics.t -> prefix:string -> unit
+(** Attach [tuples_in], [drops] and [blocked_ns] counters plus polled
+    [depth] and [high_water] gauges under [prefix] (the manager uses
+    [rts.xchannel.<from>-><to>]). *)

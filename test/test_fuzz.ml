@@ -149,6 +149,63 @@ let lpm_table_never_raises =
       let text = String.concat "\n" (List.init (Prng.int rng 10) (fun _ -> line ())) in
       match Gigascope_lpm.Table.load_string text with Ok _ | Error _ -> true)
 
+(* ------------------- cross-domain channel -------------------------------- *)
+
+(* The SPSC contract under real concurrency: a producer domain pushing with
+   random stalls (sometimes closing mid-stream), a consumer domain popping
+   with random stalls (so EOF regularly lands before the queue drains).
+   Whatever the interleaving: the consumer sees exactly the accepted
+   tuples, in push order; acceptance is a prefix when the channel closes
+   mid-stream; and the metrics add up. *)
+let xchannel_fuzz =
+  qtest ~count:150 "Xchannel: order, prefix-on-close, metric consistency" QCheck.small_int
+    (fun seed ->
+      let rng = Prng.create ((seed * 7) + 1) in
+      let capacity = 1 + Prng.int rng 8 in
+      let n = 20 + Prng.int rng 300 in
+      let close_at = if Prng.int rng 3 = 0 then Some (Prng.int rng n) else None in
+      let xc = Rts.Xchannel.create ~capacity ~name:"fuzz" () in
+      let stall prng =
+        if Prng.int prng 10 = 0 then
+          for _ = 1 to 50 do
+            ignore (Sys.opaque_identity prng)
+          done
+      in
+      let consumer =
+        Domain.spawn (fun () ->
+            let crng = Prng.create (seed lxor 0x5ca1ab1e) in
+            let acc = ref [] in
+            let continue = ref true in
+            while !continue do
+              (match Rts.Xchannel.pop xc with
+              | Some (Rts.Item.Tuple [| Rts.Value.Int v |]) -> acc := v :: !acc
+              | Some Rts.Item.Eof -> continue := false
+              | Some _ -> ()
+              | None ->
+                  if Rts.Xchannel.is_closed xc && Rts.Xchannel.is_empty xc then
+                    continue := false
+                  else Domain.cpu_relax ());
+              stall crng
+            done;
+            List.rev !acc)
+      in
+      for i = 0 to n - 1 do
+        (match close_at with Some c when c = i -> Rts.Xchannel.close xc | _ -> ());
+        ignore (Rts.Xchannel.push xc (Rts.Item.Tuple [| Rts.Value.Int i |]));
+        stall rng
+      done;
+      ignore (Rts.Xchannel.push xc Rts.Item.Eof);
+      (* EOF is dropped silently on a closed channel; close again so a
+         consumer still draining observes termination either way *)
+      Rts.Xchannel.close xc;
+      let got = Domain.join consumer in
+      let accepted = match close_at with Some c -> c | None -> n in
+      got = List.init accepted (fun i -> i)
+      && Rts.Xchannel.tuples_in xc = accepted
+      && Rts.Xchannel.drops xc = n - accepted
+      && Rts.Xchannel.high_water xc <= capacity
+      && Rts.Xchannel.blocked_ns xc >= 0)
+
 (* full path: fuzzed pcap bytes through the engine *)
 let engine_survives_fuzzed_pcap =
   qtest ~count:50 "engine runs over a capture of mutated packets" QCheck.small_int (fun seed ->
@@ -198,5 +255,6 @@ let () =
         [compiler_never_raises_on_token_soup; compiler_never_raises_on_random_chars] );
       ("regex", [regex_compile_never_raises_unexpectedly; regex_match_never_raises]);
       ("tables", [lpm_table_never_raises]);
+      ("xchannel", [xchannel_fuzz]);
       ("end-to-end", [engine_survives_fuzzed_pcap]);
     ]

@@ -1,0 +1,323 @@
+(* The parallel-execution determinism harness.
+
+   Every workload below runs twice over the SAME generated traffic: once
+   on the single-threaded scheduler, once on N OCaml domains via
+   Engine.run ~parallel. The subscriber output of every query must be
+   byte-identical — not multiset-equal, identical in order — because the
+   runtime's claim (Scheduler.run_parallel's doc) is that operator output
+   depends only on per-channel input tuple order, never on punctuation
+   timing or domain interleaving.
+
+   The matrix: every example query from queries/ (plus an ordered-output
+   join program, the hardest case) × three generator seeds × 2 and 3
+   domains, then heartbeat on/off, a quantum sweep, pinned placements,
+   and repeated runs of the same parallel configuration (the OS schedules
+   domains differently every time — free interleaving fuzz). *)
+
+module E = Gigascope.Engine
+module Rts = Gigascope_rts
+module Value = Rts.Value
+module Traffic = Gigascope_traffic
+module Packet = Gigascope_packet.Packet
+module Ipaddr = Gigascope_packet.Ipaddr
+
+let check = Alcotest.check
+
+let read_query name =
+  let path = Filename.concat ".." (Filename.concat "queries" (name ^ ".gsql")) in
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let row_to_string row = String.concat "," (List.map Value.to_string (Array.to_list row))
+
+let collect engine name =
+  let rows = ref [] in
+  Result.get_ok (E.on_tuple engine name (fun t -> rows := Array.copy t :: !rows));
+  fun () -> List.rev_map row_to_string !rows
+
+(* ------------------------------ workloads ------------------------------- *)
+
+type workload = {
+  wname : string;
+  program : unit -> string;
+  setup : seed:int -> E.t -> unit;
+  outputs : string list;
+  params : (string * Value.t) list;
+}
+
+let gen_cfg ~seed ~duration ~rate ?(interfaces = 1) () =
+  {
+    Traffic.Gen.default with
+    rate_mbps = rate;
+    duration;
+    seed;
+    interface_count = interfaces;
+  }
+
+let eth0_setup ~rate ~duration ~seed engine =
+  E.add_generator_interface engine ~name:"eth0" (gen_cfg ~seed ~duration ~rate ())
+
+let from_file ?(outputs = []) ?(params = []) ?(rate = 40.0) ?(duration = 1.0) name =
+  {
+    wname = name;
+    program = (fun () -> read_query name);
+    setup = eth0_setup ~rate ~duration;
+    outputs;
+    params;
+  }
+
+(* q3-style ordered join: the output-order-sensitive case. Two taps see
+   overlapping traffic; the join has an explicit +-1s window, equality on
+   three attributes, and ORDERED output — held pairs release strictly
+   behind the watermark, so equal-timestamp matches exercise the
+   content-sorted batch release. *)
+let join_program =
+  {|
+  DEFINE { query_name bb; }
+  SELECT time, srcip, destip, ident FROM backbone.ip WHERE ipversion = 4
+
+  DEFINE { query_name cust; }
+  SELECT time, srcip, destip, ident FROM custlink.ip WHERE ipversion = 4
+
+  DEFINE { query_name matched; join_output ordered; }
+  SELECT c.time as t, c.srcip as src
+  FROM cust c, bb b
+  WHERE c.time >= b.time - 1 and c.time <= b.time + 1
+    and c.srcip = b.srcip and c.destip = b.destip and c.ident = b.ident
+
+  DEFINE { query_name matched_per_sec; }
+  SELECT tb, count(*) as cnt FROM matched GROUP BY t/1 as tb
+
+  DEFINE { query_name bb_per_sec; }
+  SELECT tb, count(*) as cnt FROM bb GROUP BY time/1 as tb
+|}
+
+let customer_prefix = Ipaddr.of_string "10.0.0.0"
+
+let is_customer pkt =
+  match Packet.ip_header pkt with
+  | Some ip ->
+      Ipaddr.in_prefix ip.Gigascope_packet.Ipv4.src ~prefix:customer_prefix ~len:8
+  | None -> false
+
+let join_setup ~seed engine =
+  let cfg = gen_cfg ~seed ~duration:2.0 ~rate:2.0 () in
+  E.add_interface engine ~name:"backbone"
+    ~feed:(fun () ->
+      let g = Traffic.Gen.create cfg in
+      fun () -> Traffic.Gen.next g)
+    ();
+  E.add_interface engine ~name:"custlink"
+    ~feed:(fun () ->
+      let g = Traffic.Gen.create cfg in
+      let rec pull () =
+        match Traffic.Gen.next g with
+        | Some p when is_customer p -> Some p
+        | Some _ -> pull ()
+        | None -> None
+      in
+      pull)
+    ()
+
+let link_merge_setup ~seed engine =
+  E.add_split_interfaces engine ~names:["eth0"; "eth1"]
+    (gen_cfg ~seed ~duration:1.0 ~rate:20.0 ~interfaces:2 ())
+
+let sessions_setup ~seed engine =
+  let g = Traffic.Gen.create (gen_cfg ~seed ~duration:2.0 ~rate:20.0 ()) in
+  Result.get_ok
+    (E.add_session_source engine ~name:"sessions" ~feed:(fun () -> Traffic.Gen.next g) ())
+
+let workloads =
+  [
+    from_file "http_fraction" ~outputs:["port80"; "http80"];
+    from_file "subnet_volume" ~outputs:["subnet_volume"];
+    from_file "syn_flood" ~outputs:["syn_flood"] ~params:[("threshold", Value.Int 2)];
+    from_file "tcpdest" ~outputs:["tcpdest0"; "portcounts"];
+    {
+      wname = "link_merge";
+      program = (fun () -> read_query "link_merge");
+      setup = link_merge_setup;
+      outputs = ["t0"; "t1"; "link"; "volume"];
+      params = [];
+    };
+    {
+      wname = "sessions_report";
+      program = (fun () -> read_query "sessions_report");
+      setup = sessions_setup;
+      outputs = ["session_sizes"];
+      params = [];
+    };
+    {
+      wname = "ordered_join";
+      program = (fun () -> join_program);
+      setup = join_setup;
+      outputs = ["matched"; "matched_per_sec"; "bb_per_sec"];
+      params = [];
+    };
+  ]
+
+(* ------------------------------ execution ------------------------------- *)
+
+let exec w ~seed ~parallel ?(quantum = 64) ?(heartbeats = true) ?heartbeat_period
+    ?placement () =
+  let engine = E.create () in
+  w.setup ~seed engine;
+  (match E.install_program engine ~params:w.params (w.program ()) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Printf.sprintf "%s: install: %s" w.wname e));
+  let collectors = List.map (fun n -> (n, collect engine n)) w.outputs in
+  (match
+     E.run engine ~quantum ~heartbeats ?heartbeat_period ~parallel ?placement ()
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Printf.sprintf "%s: run: %s" w.wname e));
+  (List.map (fun (n, get) -> (n, get ())) collectors, E.total_drops engine)
+
+let assert_same ~label baseline got =
+  List.iter2
+    (fun (n, expected) (n', actual) ->
+      assert (n = n');
+      check
+        Alcotest.(list string)
+        (Printf.sprintf "%s output %s" label n)
+        expected actual)
+    baseline got
+
+(* every workload, >= 3 seeds, single vs 2 and 3 domains *)
+let test_differential w () =
+  List.iter
+    (fun seed ->
+      let baseline, _ = exec w ~seed ~parallel:1 () in
+      List.iter
+        (fun domains ->
+          let got, _ = exec w ~seed ~parallel:domains () in
+          assert_same
+            ~label:(Printf.sprintf "%s seed=%d domains=%d" w.wname seed domains)
+            baseline got)
+        [2; 3])
+    [11; 42; 77]
+
+(* punctuation-timing insensitivity: heartbeats off entirely (operators
+   coast to EOF), and aggressive periodic heartbeats, both on domains *)
+let test_heartbeat_variants w () =
+  let seed = 42 in
+  let baseline, _ = exec w ~seed ~parallel:1 () in
+  let no_hb, _ = exec w ~seed ~parallel:2 ~heartbeats:false () in
+  assert_same ~label:(w.wname ^ " heartbeats=off") baseline no_hb;
+  let periodic, _ = exec w ~seed ~parallel:2 ~heartbeat_period:25 () in
+  assert_same ~label:(w.wname ^ " heartbeat_period=25") baseline periodic
+
+(* scheduling-granularity insensitivity: the quantum changes how much of
+   each stream is in flight at once, hence every interleaving *)
+let test_quantum_sweep w () =
+  let seed = 42 in
+  let baseline, _ = exec w ~seed ~parallel:1 () in
+  List.iter
+    (fun q ->
+      let single, _ = exec w ~seed ~parallel:1 ~quantum:q () in
+      assert_same ~label:(Printf.sprintf "%s single quantum=%d" w.wname q) baseline single;
+      let par, _ = exec w ~seed ~parallel:2 ~quantum:q () in
+      assert_same ~label:(Printf.sprintf "%s parallel quantum=%d" w.wname q) baseline par)
+    [1; 7; 512]
+
+(* same config, repeated: the OS interleaves the domains differently on
+   every run, so repetition is interleaving fuzz *)
+let test_repeated_stress w () =
+  let seed = 42 in
+  let baseline, _ = exec w ~seed ~parallel:1 () in
+  for i = 1 to 4 do
+    let got, _ = exec w ~seed ~parallel:3 () in
+    assert_same ~label:(Printf.sprintf "%s stress run %d" w.wname i) baseline got
+  done
+
+(* explicit pinning must only change placement, never output *)
+let test_placement_pinned () =
+  let w = List.find (fun w -> w.wname = "tcpdest") workloads in
+  let seed = 42 in
+  let baseline, _ = exec w ~seed ~parallel:1 () in
+  let pinned, _ =
+    exec w ~seed ~parallel:3 ~placement:[("portcounts", 2); ("tcpdest0", 1)] ()
+  in
+  assert_same ~label:"tcpdest pinned placement" baseline pinned;
+  (* unknown node names must be rejected, not ignored *)
+  let engine = E.create () in
+  w.setup ~seed engine;
+  ignore (Result.get_ok (E.install_program engine (w.program ())));
+  match E.run engine ~parallel:2 ~placement:[("no_such_node", 1)] () with
+  | Ok _ -> Alcotest.fail "placement of unknown node accepted"
+  | Error e ->
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        go 0
+      in
+      check Alcotest.bool "error names the node" true (contains e "no_such_node")
+
+(* the DEFINE { placement N; } property lands on the query's HFTAs *)
+let test_placement_property () =
+  let engine = E.create () in
+  eth0_setup ~rate:10.0 ~duration:0.2 ~seed:1 engine;
+  ignore
+    (Result.get_ok
+       (E.install_program engine
+          {| DEFINE { query_name pinned_q; placement 2; }
+             SELECT tb, count(*) as c FROM eth0.tcp
+             WHERE protocol = 6 GROUP BY time/1 as tb |}));
+  let mgr = E.manager engine in
+  (match Rts.Manager.find mgr "pinned_q" with
+  | Some node ->
+      check
+        Alcotest.(option int)
+        "hfta pinned" (Some 2) (Rts.Node.placement node)
+  | None -> Alcotest.fail "pinned_q not registered");
+  match Rts.Manager.find mgr "_lfta_pinned_q" with
+  | Some node ->
+      check Alcotest.(option int) "lfta not pinned" None (Rts.Node.placement node)
+  | None -> Alcotest.fail "_lfta_pinned_q not registered"
+
+(* the e2-style acceptance run: several query networks at once on two
+   domains — completes, zero dropped tuples, identical output *)
+let test_multi_query_no_drops () =
+  let program =
+    String.concat "\n" [read_query "http_fraction"; read_query "subnet_volume"; read_query "tcpdest"]
+  in
+  let w =
+    {
+      wname = "multi_query";
+      program = (fun () -> program);
+      setup = eth0_setup ~rate:40.0 ~duration:1.0;
+      outputs = ["port80"; "http80"; "subnet_volume"; "tcpdest0"; "portcounts"];
+      params = [];
+    }
+  in
+  let baseline, base_drops = exec w ~seed:42 ~parallel:1 () in
+  check Alcotest.int "single-threaded drops" 0 base_drops;
+  let got, drops = exec w ~seed:42 ~parallel:2 () in
+  check Alcotest.int "parallel drops" 0 drops;
+  assert_same ~label:"multi-query parallel=2" baseline got
+
+let () =
+  let tc name f = Alcotest.test_case name `Slow f in
+  Alcotest.run "parallel"
+    [
+      ( "differential",
+        List.map (fun w -> tc w.wname (test_differential w)) workloads );
+      ( "heartbeat variants",
+        List.map
+          (fun n -> tc n (test_heartbeat_variants (List.find (fun w -> w.wname = n) workloads)))
+          ["tcpdest"; "link_merge"; "ordered_join"] );
+      ( "quantum sweep",
+        List.map
+          (fun n -> tc n (test_quantum_sweep (List.find (fun w -> w.wname = n) workloads)))
+          ["link_merge"; "subnet_volume"] );
+      ( "interleaving stress",
+        List.map
+          (fun n -> tc n (test_repeated_stress (List.find (fun w -> w.wname = n) workloads)))
+          ["ordered_join"; "link_merge"] );
+      ( "placement",
+        [tc "pinned nodes" test_placement_pinned; tc "define property" test_placement_property] );
+      ("multi-query", [tc "two domains, no drops" test_multi_query_no_drops]);
+    ]

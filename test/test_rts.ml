@@ -978,6 +978,36 @@ let test_scheduler_rerun_is_noop () =
   | Ok stats -> check Alcotest.bool "no extra rounds needed" true (stats.Rts.Scheduler.rounds <= 1)
   | Error e -> Alcotest.fail e
 
+let rounds_metric mgr =
+  match
+    Gigascope_obs.Metrics.find
+      (Gigascope_obs.Metrics.snapshot (Rts.Manager.metrics mgr))
+      "rts.scheduler.rounds"
+  with
+  | Some (Gigascope_obs.Metrics.Counter n) -> n
+  | _ -> Alcotest.fail "rts.scheduler.rounds counter missing"
+
+let test_scheduler_rounds_match_progress () =
+  (* regression: [rounds] (stat and metric) counts only iterations that
+     moved data. An empty source's single Eof-emitting iteration moves
+     nothing — it used to be reported as a round *)
+  let mgr = Rts.Manager.create () in
+  ignore (Result.get_ok (Rts.Manager.add_source mgr ~name:"s" ~schema:src_schema (counting_source 0)));
+  let stats = Result.get_ok (Rts.Scheduler.run ~quantum:1 mgr) in
+  check Alcotest.int "empty source: zero rounds" 0 stats.Rts.Scheduler.rounds;
+  check Alcotest.int "empty source: metric agrees" 0 (rounds_metric mgr);
+  (* N tuples at quantum 1: exactly N productive iterations. The trailing
+     iteration that only discovers Eof is not observable progress and must
+     not be counted (it used to make this N + 1) *)
+  let mgr = Rts.Manager.create () in
+  ignore (Result.get_ok (Rts.Manager.add_source mgr ~name:"s" ~schema:src_schema (counting_source 7)));
+  let seen = ref 0 in
+  Result.get_ok (Rts.Manager.on_item mgr "s" (function Item.Tuple _ -> incr seen | _ -> ()));
+  let stats = Result.get_ok (Rts.Scheduler.run ~quantum:1 mgr) in
+  check Alcotest.int "all tuples observed" 7 !seen;
+  check Alcotest.int "one round per tuple, Eof round excluded" 7 stats.Rts.Scheduler.rounds;
+  check Alcotest.int "metric matches the stat" stats.Rts.Scheduler.rounds (rounds_metric mgr)
+
 let test_scheduler_multiple_subscribers () =
   let mgr = Rts.Manager.create () in
   ignore (Result.get_ok (Rts.Manager.add_source mgr ~name:"s" ~schema:src_schema (counting_source 10)));
@@ -1072,5 +1102,6 @@ let () =
           Alcotest.test_case "max rounds guard" `Quick test_scheduler_max_rounds_guard;
           Alcotest.test_case "rerun is noop" `Quick test_scheduler_rerun_is_noop;
           Alcotest.test_case "multiple subscribers" `Quick test_scheduler_multiple_subscribers;
+          Alcotest.test_case "rounds match progress" `Quick test_scheduler_rounds_match_progress;
         ] );
     ]
