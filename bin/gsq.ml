@@ -135,8 +135,10 @@ let placement =
     & info ["placement"] ~docv:"NODE=DOM,..."
         ~doc:
           "Pin named query nodes to execution domains (e.g. \
-           $(b,--placement total=1,volume=2)), overriding round-robin HFTA placement. \
-           Only meaningful with $(b,--parallel).")
+           $(b,--placement total=1,volume=2)), overriding the automatic pipeline-stage \
+           HFTA placement. A placement whose domain graph is cyclic is rejected \
+           (bounded cross-domain channels would deadlock). Only meaningful with \
+           $(b,--parallel).")
 
 (* ---- run ---- *)
 

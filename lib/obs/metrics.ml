@@ -2,23 +2,28 @@ module Stats = Gigascope_util.Stats
 
 (* ---------------- metric cells ----------------------------------------- *)
 
+(* Atomic, not plain mutable: the parallel scheduler's worker domains
+   write node/channel cells while domain 0 reads them for exposition, and
+   under the OCaml 5 memory model a plain-field read of another domain's
+   write is unsound (arbitrarily stale, no happens-before). An atomic int
+   add is still allocation-free on the hot path. *)
 module Counter = struct
-  type t = { mutable v : int }
+  type t = int Atomic.t
 
-  let make () = { v = 0 }
-  let incr t = t.v <- t.v + 1
-  let add t n = t.v <- t.v + n
-  let get t = t.v
-  let reset t = t.v <- 0
+  let make () = Atomic.make 0
+  let incr t = Atomic.incr t
+  let add t n = ignore (Atomic.fetch_and_add t n)
+  let get t = Atomic.get t
+  let reset t = Atomic.set t 0
 end
 
 module Gauge = struct
-  type t = { mutable v : float }
+  type t = float Atomic.t
 
-  let make () = { v = 0.0 }
-  let set t x = t.v <- x
-  let set_int t n = t.v <- float_of_int n
-  let get t = t.v
+  let make () = Atomic.make 0.0
+  let set t x = Atomic.set t x
+  let set_int t n = Atomic.set t (float_of_int n)
+  let get t = Atomic.get t
 end
 
 module Histogram = struct

@@ -10,11 +10,18 @@
     - {b histograms}: distributions (service time per scheduler round),
       backed by {!Gigascope_util.Stats} (Welford + reservoir percentiles).
 
-    Metric cells are plain mutable records created independently of any
+    Metric cells are standalone atomic cells created independently of any
     registry, so hot-path components (the LFTA data path) own their cells
-    directly: an increment is one unboxed int store, no allocation, no
-    hashing. Registration only attaches a hierarchical name
-    ([rts.node.<query>.<op>.tuples_out]) for snapshots and exposition. *)
+    directly: an increment is one lock-free atomic add, no allocation, no
+    hashing — and sound to write from a worker domain while another
+    domain snapshots the value (the parallel scheduler's workers feed
+    node and channel counters live). Histograms are the exception: their
+    Welford/reservoir state is unsynchronized, so a histogram written by
+    one domain must only be read after that domain has been joined (the
+    parallel scheduler joins every worker before control returns to the
+    caller, so post-run exposition is safe). Registration only attaches a
+    hierarchical name ([rts.node.<query>.<op>.tuples_out]) for snapshots
+    and exposition. *)
 
 module Counter : sig
   type t

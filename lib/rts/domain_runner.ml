@@ -3,24 +3,71 @@ module Clock = Gigascope_obs.Clock
 
 (* ---------------- wakeup signals ---------------------------------------- *)
 
-type signal = { mu : Mutex.t; cond : Condition.t; mutable hint : bool }
+type signal = {
+  mu : Mutex.t;
+  cond : Condition.t;
+  mutable hint : bool;
+  mutable parked : bool;  (* inside Condition.wait *)
+  mutable exited : bool;  (* the owning domain's loop has returned *)
+  mutable seq : int;  (* notify count — the wedge probe's activity witness *)
+}
 
-let make_signal () = { mu = Mutex.create (); cond = Condition.create (); hint = false }
+let make_signal () =
+  {
+    mu = Mutex.create ();
+    cond = Condition.create ();
+    hint = false;
+    parked = false;
+    exited = false;
+    seq = 0;
+  }
 
 let notify s =
   Mutex.lock s.mu;
   s.hint <- true;
+  s.seq <- s.seq + 1;
   Condition.signal s.cond;
   Mutex.unlock s.mu
 
 (* The hint closes the classic race: a producer that pushed between our
    last empty-check and this wait leaves the hint set, so we return
-   immediately instead of sleeping through the wakeup. *)
-let wait s =
+   immediately instead of sleeping through the wakeup. [poke] (a worker's
+   "I am parking" announcement to domain 0) runs after [parked] is set and
+   before the wait, all under the signal lock: by the time the poke is
+   observable, the wedge probe already sees this signal as quiescent. The
+   reverse order would let the probe find the worker "awake", park domain
+   0, and then miss the worker's silent park — the all-parked deadlock.
+   Lock order: a worker's signal lock may be held while taking domain 0's
+   (inside [poke]); domain 0's is never held while taking another. *)
+let wait ?(poke = ignore) s =
   Mutex.lock s.mu;
-  if not s.hint then Condition.wait s.cond s.mu;
+  if not s.hint then begin
+    s.parked <- true;
+    poke ();
+    Condition.wait s.cond s.mu;
+    s.parked <- false
+  end;
   s.hint <- false;
   Mutex.unlock s.mu
+
+let mark_exited s =
+  Mutex.lock s.mu;
+  s.exited <- true;
+  Mutex.unlock s.mu
+
+let signal_exited s =
+  Mutex.lock s.mu;
+  let r = s.exited in
+  Mutex.unlock s.mu;
+  r
+
+(* Quiet in a way the domain cannot leave on its own: parked with no
+   wakeup pending, or gone. *)
+let quiescent s =
+  Mutex.lock s.mu;
+  let r = s.exited || (s.parked && not s.hint) in
+  Mutex.unlock s.mu;
+  r
 
 (* ---------------- shared run state -------------------------------------- *)
 
@@ -63,6 +110,52 @@ let fail shared msg =
 
 let error shared = Atomic.get shared.error
 let stopped shared = Atomic.get shared.stop
+
+let all_workers_exited shared =
+  let ok = ref true in
+  Array.iteri (fun i s -> if i > 0 && not (signal_exited s) then ok := false) shared.signals;
+  !ok
+
+let seq_sum shared =
+  Array.fold_left
+    (fun acc s ->
+      Mutex.lock s.mu;
+      let v = s.seq in
+      Mutex.unlock s.mu;
+      acc + v)
+    0 shared.signals
+
+(* Termination detection for domain 0: true only when the run is provably
+   frozen — every worker parked (having announced the park via its poke)
+   or exited, no queued heartbeat request, no wakeup pending for domain 0
+   itself, and no notify anywhere during the probe (stable [seq] sum).
+   Soundness: a false positive needs some domain awake at declare time;
+   it was observed quiescent mid-probe, so a notify must have woken it,
+   and any notify either leaves its hint set (the quiescent check fails)
+   or bumps a seq (the stability check fails). Liveness: the last domain
+   to go quiet always pokes domain 0 (the [wait ~poke] protocol), which
+   re-runs this probe. *)
+let probe_wedged shared =
+  let a1 = seq_sum shared in
+  let workers_quiet =
+    let ok = ref true in
+    Array.iteri (fun i s -> if i > 0 && not (quiescent s) then ok := false) shared.signals;
+    !ok
+  in
+  let hb_empty =
+    Mutex.lock shared.hb_mu;
+    let e = shared.hb_pending = [] in
+    Mutex.unlock shared.hb_mu;
+    e
+  in
+  let own_idle =
+    let s = shared.signals.(0) in
+    Mutex.lock s.mu;
+    let r = not s.hint in
+    Mutex.unlock s.mu;
+    r
+  in
+  workers_quiet && hb_empty && own_idle && seq_sum shared = a1
 
 (* ---------------- cross-domain heartbeat requests ------------------------ *)
 
@@ -113,6 +206,7 @@ let inputs_empty node =
 
 let run_loop shared r =
   let my_signal = shared.signals.(r.id) in
+  let poke0 () = notify shared.signals.(0) in
   let finished () = List.for_all (fun n -> Node.exhausted n && inputs_empty n) r.nodes in
   let iter = ref 0 in
   let continue = ref true in
@@ -152,15 +246,22 @@ let run_loop shared r =
         (* Park until an input channel is pushed, a requested heartbeat's
            punctuation arrives, or the run aborts. Waiting only when every
            input is empty keeps the network deadlock-free: the producer of
-           a full channel never waits on its own consumer. *)
-        wait my_signal
+           a full channel never waits on its own consumer. The poke tells
+           domain 0 to re-run its wedge probe — a run where every domain
+           parks like this must end in an error, not a hang. *)
+        wait ~poke:poke0 my_signal
     end
-  done
+  done;
+  (* Domain 0's completion and wedge checks both wait on worker exits;
+     announce ours even on abort. *)
+  mark_exited my_signal;
+  poke0 ()
 
 let spawn shared r =
   Domain.spawn (fun () ->
       try run_loop shared r
       with e ->
         let names = String.concat "," (List.map Node.name r.nodes) in
+        mark_exited shared.signals.(r.id);
         fail shared
           (Printf.sprintf "domain %d (%s): %s" r.id names (Printexc.to_string e)))

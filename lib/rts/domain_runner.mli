@@ -11,9 +11,19 @@ type signal
 
 val make_signal : unit -> signal
 val notify : signal -> unit
-val wait : signal -> unit
+
+val wait : ?poke:(unit -> unit) -> signal -> unit
 (** Returns immediately if a {!notify} landed since the last {!wait}
-    (the hint protocol — no lost wakeups). *)
+    (the hint protocol — no lost wakeups). [poke] runs under the signal
+    lock, after the signal is marked parked and before the wait: a
+    worker passes [notify] on domain 0's signal so the wedge probe
+    ({!probe_wedged}) re-runs whenever a domain goes quiet, and cannot
+    observe the worker as awake after the announcement. *)
+
+val mark_exited : signal -> unit
+(** Mark the owning domain's loop as returned; the signal counts as
+    quiescent for {!probe_wedged} and done for {!all_workers_exited}
+    from then on. Also used for partitions that never spawn. *)
 
 type shared
 (** State shared by all domains of one parallel run: stop flag, first
@@ -34,6 +44,17 @@ val fail : shared -> string -> unit
 val error : shared -> string option
 val stopped : shared -> bool
 val wake_all : shared -> unit
+
+val all_workers_exited : shared -> bool
+(** Every worker signal (index [>= 1]) is {!mark_exited}. *)
+
+val probe_wedged : shared -> bool
+(** Domain-0 termination detection: true only when the parallel run is
+    provably frozen — every worker parked or exited, no pending
+    cross-domain heartbeat request, no wakeup pending for domain 0, and
+    no {!notify} observed anywhere during the probe. The caller turns
+    this into the same wedge error the single-threaded scheduler
+    reports, instead of parking forever. *)
 
 val request_heartbeat : shared -> Node.t -> unit
 (** Worker-side: walk upstream from [node] to its sources (a pure read of

@@ -33,7 +33,8 @@ val schema : t -> Schema.t
 val placement : t -> int option
 (** Pinned execution domain for the parallel scheduler; [None] lets the
     scheduler place the node (sources and LFTAs on the packet-path
-    domain, HFTAs round-robin over the workers). *)
+    domain, HFTAs as pipeline stages over the workers — see
+    {!Scheduler.partition}). *)
 
 val set_placement : t -> int option -> unit
 

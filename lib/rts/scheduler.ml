@@ -111,30 +111,110 @@ let run ?(quantum = 64) ?(max_rounds = 10_000_000) ?(heartbeats = true) ?heartbe
 
 (* Partition the network over [domains] execution domains: sources and
    LFTAs stay on domain 0 (the paper's runtime process, which owns the
-   packet path and the source clocks), HFTAs go one per worker domain,
-   round-robin once there are more HFTAs than workers. A node pinned via
-   {!Node.set_placement} (the [placement] DEFINE property or gsq's
-   [--placement]) goes exactly where it asks, including domain 0. *)
+   packet path and the source clocks), HFTAs are spread over the
+   [domains - 1] worker domains. A node pinned via {!Node.set_placement}
+   (the [placement] DEFINE property or gsq's [--placement]) goes exactly
+   where it asks, including domain 0.
+
+   The spread must be acyclic at the {e domain} level: cross-domain
+   channels block when full ({!Xchannel.push}), and a domain blocked
+   mid-push cannot step its other nodes, so a ring of domains each
+   pushing into the next's full input is a permanent deadlock no
+   heartbeat can break (naive round-robin creates one as soon as a chain
+   of three HFTAs wraps back onto an earlier worker). Unpinned HFTAs are
+   therefore assigned as pipeline stages, in topological order: an HFTA
+   fed only by domain 0 starts a pipeline on the next worker
+   (round-robin for load spread); an HFTA downstream of other HFTAs
+   lands one worker above its highest upstream, saturating at the last
+   worker. Every cross edge then goes from domain 0 into a worker or
+   from a lower- to a strictly higher-numbered worker — a DAG by
+   construction, and in a domain-level DAG the topologically last
+   blocked domain always has a consumer that drains it. Pinning can
+   still express a cycle; that is detected and rejected here rather than
+   letting the run hang. *)
 let partition ~domains nodes =
-  let parts = Array.make domains [] in
-  let next = ref 0 in
   let n_workers = domains - 1 in
+  let dom = Hashtbl.create 32 in
+  let next = ref 0 in
   List.iter
     (fun node ->
-      let p =
+      let d =
         match Node.kind node with
         | Node.Source | Node.Lfta -> 0
         | Node.Hfta -> (
             match Node.placement node with
             | Some d -> ((d mod domains) + domains) mod domains
             | None ->
-                let p = 1 + (!next mod n_workers) in
-                incr next;
-                p)
+                let upstream_floor =
+                  Array.fold_left
+                    (fun acc (up, _) ->
+                      match Hashtbl.find_opt dom (Node.name up) with
+                      | Some d -> max acc d
+                      | None -> acc)
+                    0 (Node.inputs node)
+                in
+                if upstream_floor = 0 then begin
+                  let p = 1 + (!next mod n_workers) in
+                  incr next;
+                  p
+                end
+                else min (upstream_floor + 1) n_workers)
       in
-      parts.(p) <- node :: parts.(p))
+      Hashtbl.replace dom (Node.name node) d)
     nodes;
-  Array.map List.rev parts
+  (* Cycle check over the domain graph — only pinning can defeat the
+     pipeline rule, but a hang is bad enough to verify unconditionally. *)
+  let adj = Array.make domains [] in
+  List.iter
+    (fun node ->
+      let dn = Hashtbl.find dom (Node.name node) in
+      Array.iter
+        (fun ((up : Node.t), _) ->
+          let du = Hashtbl.find dom (Node.name up) in
+          if du <> dn && not (List.mem dn adj.(du)) then adj.(du) <- dn :: adj.(du))
+        (Node.inputs node))
+    nodes;
+  let color = Array.make domains 0 in
+  let cycle = ref None in
+  let rec dfs path d =
+    if Option.is_none !cycle then
+      match color.(d) with
+      | 1 ->
+          (* [path] is most-recent-first; the cycle runs d .. path-head d *)
+          let seg = ref [] in
+          (try
+             List.iter
+               (fun x ->
+                 seg := x :: !seg;
+                 if x = d then raise Exit)
+               path
+           with Exit -> ());
+          cycle := Some (!seg @ [ d ])
+      | 2 -> ()
+      | _ ->
+          color.(d) <- 1;
+          List.iter (dfs (d :: path)) adj.(d);
+          color.(d) <- 2
+  in
+  for d = 0 to domains - 1 do
+    dfs [] d
+  done;
+  match !cycle with
+  | Some ds ->
+      Error
+        (Printf.sprintf
+           "scheduler: placement creates a cross-domain channel cycle (domains %s); blocking \
+            cross-domain channels would deadlock — place each stage on a domain no lower than \
+            its upstream HFTAs"
+           (String.concat " -> " (List.map string_of_int ds)))
+  | None ->
+      let parts = Array.make domains [] in
+      List.iter
+        (fun node ->
+          let p = Hashtbl.find dom (Node.name node) in
+          parts.(p) <- node :: parts.(p))
+        nodes;
+      Ok (Array.map List.rev parts)
 
 let run_parallel ?(quantum = 64) ?(max_rounds = 10_000_000) ?(heartbeats = true)
     ?heartbeat_period ?(trace = false) ?(placement = []) ~domains mgr =
@@ -152,10 +232,13 @@ let run_parallel ?(quantum = 64) ?(max_rounds = 10_000_000) ?(heartbeats = true)
   in
   match apply_placement () with
   | Error _ as e -> e
-  | Ok () ->
+  | Ok () -> (
       if domains <= 1 then
         run ~quantum ~max_rounds ~heartbeats ?heartbeat_period ~trace mgr
-      else begin
+      else
+      match partition ~domains (Manager.nodes mgr) with
+      | Error _ as e -> e
+      | Ok parts ->
         Manager.start mgr;
         let reg = Manager.metrics mgr in
         let rounds_c = Metrics.counter reg "rts.scheduler.rounds" in
@@ -164,7 +247,6 @@ let run_parallel ?(quantum = 64) ?(max_rounds = 10_000_000) ?(heartbeats = true)
         Metrics.Gauge.set_int (Metrics.gauge reg "rts.scheduler.service_sample") sample;
         Metrics.Gauge.set_int (Metrics.gauge reg "rts.scheduler.domains") domains;
         let nodes = Manager.nodes mgr in
-        let parts = partition ~domains nodes in
         let part_of = Hashtbl.create 32 in
         Array.iteri
           (fun p ns -> List.iter (fun n -> Hashtbl.replace part_of (Node.name n) p) ns)
@@ -199,7 +281,11 @@ let run_parallel ?(quantum = 64) ?(max_rounds = 10_000_000) ?(heartbeats = true)
           List.filter_map
             (fun id ->
               match parts.(id) with
-              | [] -> None
+              | [] ->
+                  (* no domain will ever own this signal; count it done
+                     for the completion and wedge checks *)
+                  Domain_runner.mark_exited signals.(id);
+                  None
               | ns ->
                   Some
                     (Domain_runner.make ~id ~nodes:ns ~quantum ~heartbeats ~sample))
@@ -208,14 +294,16 @@ let run_parallel ?(quantum = 64) ?(max_rounds = 10_000_000) ?(heartbeats = true)
         let handles = List.map (Domain_runner.spawn shared) runners in
         (* Domain 0: the single-threaded loop over sources + LFTAs (plus
            pinned HFTAs), with two extra duties — draining cross-domain
-           heartbeat requests, and parking instead of declaring a wedge
-           when its own nodes are quiet but workers are still chewing. *)
+           heartbeat requests, and staying in the loop (servicing those
+           requests) until every worker has exited, so the final join
+           never waits on a parked domain. *)
         let my_nodes = parts.(0) in
         let iter = ref 0 in
         let rounds = ref 0 in
         let heartbeat_requests = ref 0 in
         let finished0 () =
           List.for_all (fun n -> Node.exhausted n && channels_empty n) my_nodes
+          && Domain_runner.all_workers_exited shared
         in
         let loop () =
           let result = ref None in
@@ -289,19 +377,26 @@ let run_parallel ?(quantum = 64) ?(max_rounds = 10_000_000) ?(heartbeats = true)
                       Metrics.Counter.incr hb_c;
                       Node.heartbeat src)
                     pending);
-              (* Quiet is not a wedge here: a worker may be mid-quantum, or
-                 about to queue a heartbeat request. Park until a worker
-                 pokes us (heartbeat queue, a push into a pinned HFTA's
-                 input, or an abort). *)
-              if (not !progress) && (not !hb_fired) && not (finished0 ()) then
-                Domain_runner.wait signals.(0)
+              (* Quiet is not necessarily a wedge here: a worker may be
+                 mid-quantum or about to queue a heartbeat request. But if
+                 the probe shows every domain parked with nothing pending
+                 anywhere, nobody will ever wake anybody — report the same
+                 wedge the single-threaded scheduler does. Otherwise park
+                 until a worker pokes us (heartbeat queue, a push into a
+                 pinned HFTA's input, its own park or exit, or an abort). *)
+              if (not !progress) && (not !hb_fired) && not (finished0 ()) then begin
+                if Domain_runner.probe_wedged shared then
+                  result := Some (Error "scheduler: wedged (no progress, not finished)")
+                else Domain_runner.wait signals.(0)
+              end
             end
           done;
           match !result with Some r -> r | None -> assert false
         in
         let res = try loop () with e -> Error (Printexc.to_string e) in
-        (* On error, unblock everyone before joining; on success the
-           workers are still draining — join waits for their EOF. *)
+        (* On error, unblock everyone before joining; on success every
+           worker has already exited its loop (finished0 waits for that),
+           so the joins return promptly. *)
         (match res with
         | Error msg -> Domain_runner.fail shared msg
         | Ok () -> ());
@@ -310,5 +405,4 @@ let run_parallel ?(quantum = 64) ?(max_rounds = 10_000_000) ?(heartbeats = true)
         | Error _, Some msg -> Error msg
         | Error msg, None -> Error msg
         | Ok (), Some msg -> Error msg
-        | Ok (), None -> Ok { rounds = !rounds; heartbeat_requests = !heartbeat_requests }
-      end
+        | Ok (), None -> Ok { rounds = !rounds; heartbeat_requests = !heartbeat_requests })

@@ -59,12 +59,15 @@ val run_parallel :
 (** Multicore execution: the paper's process-per-HFTA architecture
     (Section 2.2) mapped onto OCaml domains. Domain 0 (the caller) runs
     the sources and LFTAs — the packet path; each HFTA runs on one of
-    [domains - 1] worker domains, round-robin, unless pinned by
-    [placement] (node name → domain index; modulo [domains]) or a prior
-    {!Node.set_placement}. Channels crossing a domain boundary are
-    promoted to blocking cross-domain channels ({!Xchannel}) — the
-    inter-process "shared memory" edges get backpressure instead of
-    drops, and their metrics move under [rts.xchannel.*].
+    [domains - 1] worker domains as a pipeline stage (see {!partition}),
+    unless pinned by [placement] (node name → domain index; modulo
+    [domains]) or a prior {!Node.set_placement}. Channels crossing a
+    domain boundary are promoted to blocking cross-domain channels
+    ({!Xchannel}) — the inter-process "shared memory" edges get
+    backpressure instead of drops, and their metrics move under
+    [rts.xchannel.*]. A [placement] whose domain graph is cyclic is
+    rejected with an error: bounded blocking channels would deadlock on
+    such a cycle.
 
     Blocked HFTAs on worker domains still get on-demand heartbeats: the
     request is queued to domain 0, which owns the source clocks.
@@ -72,8 +75,12 @@ val run_parallel :
     [domains <= 1] degrades to {!run} (same semantics, zero spawns).
     The returned stats count domain 0's productive rounds only; worker
     progress shows up in node and channel metrics. On any domain's error
-    the run aborts all domains and returns the first error. Publishes
-    the [rts.scheduler.domains] gauge.
+    the run aborts all domains and returns the first error. A wedged
+    network (no domain can make progress, nothing pending anywhere — e.g.
+    with [heartbeats:false], or an operator that never completes) is
+    detected by a cross-domain termination probe and reported as the
+    same wedge error {!run} produces, never as a hang. Publishes the
+    [rts.scheduler.domains] gauge.
 
     Parallel output is deterministic: every operator's emitted tuple
     sequence depends only on its per-channel input tuple sequences, not
@@ -84,3 +91,14 @@ val run_parallel :
 val request_heartbeat : Node.t -> unit
 (** Walk upstream from the node and fire every source's clock punctuation
     (exposed for tests and custom drivers). *)
+
+val partition : domains:int -> Node.t list -> (Node.t list array, string) result
+(** Assign nodes to execution domains ([nodes] in registration order,
+    which is topological). Sources and LFTAs land on domain 0; unpinned
+    HFTAs become pipeline stages: a stage never lands on a lower-numbered
+    worker than its upstream HFTAs, so every cross-domain edge ascends
+    and the domain graph is acyclic — the property that keeps the
+    blocking cross-domain channels deadlock-free. Explicit placements
+    ({!Node.set_placement}) are honoured verbatim; if they make the
+    domain graph cyclic the partition is rejected ([Error] naming the
+    cycle). Exposed for tests. *)

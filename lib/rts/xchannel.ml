@@ -104,7 +104,14 @@ let is_closed t =
   Mutex.unlock t.lock;
   c
 
-let high_water t = t.hw
+(* [hw] is written under the lock by the producer; read it under the
+   lock too, or a mid-run exposition from another domain is a race. *)
+let high_water t =
+  Mutex.lock t.lock;
+  let hw = t.hw in
+  Mutex.unlock t.lock;
+  hw
+
 let tuples_in t = Metrics.Counter.get t.tuples_in
 let drops t = Metrics.Counter.get t.dropped
 let blocked_ns t = Metrics.Counter.get t.blocked_ns
@@ -114,4 +121,4 @@ let register_metrics t reg ~prefix =
   Metrics.attach_counter reg (prefix ^ ".drops") t.dropped;
   Metrics.attach_counter reg (prefix ^ ".blocked_ns") t.blocked_ns;
   Metrics.attach_gauge_fn reg (prefix ^ ".depth") (fun () -> float_of_int (length t));
-  Metrics.attach_gauge_fn reg (prefix ^ ".high_water") (fun () -> float_of_int t.hw)
+  Metrics.attach_gauge_fn reg (prefix ^ ".high_water") (fun () -> float_of_int (high_water t))

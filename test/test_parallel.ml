@@ -23,6 +23,11 @@ module Ipaddr = Gigascope_packet.Ipaddr
 
 let check = Alcotest.check
 
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
 let read_query name =
   let path = Filename.concat ".." (Filename.concat "queries" (name ^ ".gsql")) in
   let ic = open_in path in
@@ -248,13 +253,7 @@ let test_placement_pinned () =
   ignore (Result.get_ok (E.install_program engine (w.program ())));
   match E.run engine ~parallel:2 ~placement:[("no_such_node", 1)] () with
   | Ok _ -> Alcotest.fail "placement of unknown node accepted"
-  | Error e ->
-      let contains hay needle =
-        let nh = String.length hay and nn = String.length needle in
-        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
-        go 0
-      in
-      check Alcotest.bool "error names the node" true (contains e "no_such_node")
+  | Error e -> check Alcotest.bool "error names the node" true (contains e "no_such_node")
 
 (* the DEFINE { placement N; } property lands on the query's HFTAs *)
 let test_placement_property () =
@@ -277,6 +276,150 @@ let test_placement_property () =
   | Some node ->
       check Alcotest.(option int) "lfta not pinned" None (Rts.Node.placement node)
   | None -> Alcotest.fail "_lfta_pinned_q not registered"
+
+(* --------------------- partitioning & liveness -------------------------- *)
+
+(* A linear pipeline of HFTAs: the shape that deadlocked under naive
+   round-robin placement once the chain wrapped back onto an earlier
+   worker (stages 1 and 3 on worker 1, stage 2 on worker 2: each domain
+   blocks mid-push into the other's full cross channel and neither can
+   drain the one its peer waits on). The per-packet selects keep the
+   tuple volume far above the cross-channel capacity. *)
+let chain_program =
+  {|
+  DEFINE { query_name c1; } SELECT time, srcip FROM eth0.ip WHERE ipversion = 4
+  DEFINE { query_name c2; } SELECT time, srcip FROM c1 WHERE time >= 0
+  DEFINE { query_name c3; } SELECT time, srcip FROM c2 WHERE time >= 0
+  DEFINE { query_name c4; } SELECT time, srcip FROM c3 WHERE time >= 0
+|}
+
+let chain_workload =
+  {
+    wname = "hfta_chain";
+    program = (fun () -> chain_program);
+    setup = eth0_setup ~rate:40.0 ~duration:1.0;
+    outputs = ["c4"];
+    params = [];
+  }
+
+(* the default partition is a pipeline: every cross-domain edge ascends,
+   so the domain graph cannot contain the blocking cycle above *)
+let test_partition_pipeline () =
+  let engine = E.create () in
+  chain_workload.setup ~seed:42 engine;
+  ignore (Result.get_ok (E.install_program engine chain_program));
+  let nodes = Rts.Manager.nodes (E.manager engine) in
+  match Rts.Scheduler.partition ~domains:3 nodes with
+  | Error e -> Alcotest.fail e
+  | Ok parts ->
+      let dom_of name =
+        let d = ref (-1) in
+        Array.iteri
+          (fun i ns -> if List.exists (fun n -> Rts.Node.name n = name) ns then d := i)
+          parts;
+        !d
+      in
+      List.iter
+        (fun n ->
+          match Rts.Node.kind n with
+          | Rts.Node.Source | Rts.Node.Lfta ->
+              check Alcotest.int (Rts.Node.name n ^ " on domain 0") 0 (dom_of (Rts.Node.name n))
+          | Rts.Node.Hfta -> ())
+        nodes;
+      List.iter
+        (fun n ->
+          let dn = dom_of (Rts.Node.name n) in
+          Array.iter
+            (fun (up, _) ->
+              let du = dom_of (Rts.Node.name up) in
+              if du <> dn then
+                check Alcotest.bool
+                  (Printf.sprintf "edge %s(dom %d) -> %s(dom %d) ascends" (Rts.Node.name up) du
+                     (Rts.Node.name n) dn)
+                  true (du < dn))
+            (Rts.Node.inputs n))
+        nodes;
+      let used =
+        List.length (List.filter (fun ns -> ns <> []) (List.tl (Array.to_list parts)))
+      in
+      check Alcotest.bool "chain still spans multiple workers" true (used >= 2)
+
+(* end-to-end regression for the round-robin deadlock: a 3+-stage HFTA
+   chain on 3 and 4 domains, with a small quantum so the 64-item cross
+   channels fill, must complete and match the single-threaded output *)
+let test_chain_no_deadlock () =
+  List.iter
+    (fun seed ->
+      let baseline, _ = exec chain_workload ~seed ~parallel:1 ~quantum:4 () in
+      List.iter
+        (fun domains ->
+          let got, _ = exec chain_workload ~seed ~parallel:domains ~quantum:4 () in
+          assert_same
+            ~label:(Printf.sprintf "hfta_chain seed=%d domains=%d" seed domains)
+            baseline got)
+        [2; 3; 4])
+    [11; 42]
+
+(* pinning a mid-chain stage onto the packet-path domain below its
+   worker upstream closes a domain-level cycle (0 -> worker -> 0); the
+   run must refuse up front, not hang *)
+let test_cyclic_placement_rejected () =
+  let engine = E.create () in
+  chain_workload.setup ~seed:42 engine;
+  ignore (Result.get_ok (E.install_program engine chain_program));
+  match E.run engine ~parallel:2 ~placement:[("c3", 0)] () with
+  | Ok _ -> Alcotest.fail "cyclic placement accepted"
+  | Error e -> check Alcotest.bool ("error names the cycle: " ^ e) true (contains e "cycle")
+
+(* an operator that consumes everything but never emits its EOF wedges
+   the network with nothing blocked on a heartbeat; the parallel
+   scheduler must report the wedge like the single-threaded one instead
+   of parking domain 0 forever *)
+let test_wedge_detected () =
+  let module Schema = Rts.Schema in
+  let module Ty = Rts.Ty in
+  let module Order_prop = Rts.Order_prop in
+  let run_wedged ~parallel =
+    let mgr = Rts.Manager.create () in
+    let schema =
+      Schema.make [ { Schema.name = "x"; ty = Ty.Int; order = Order_prop.Unordered } ]
+    in
+    let remaining = ref 5 in
+    let source =
+      {
+        Rts.Node.pull =
+          (fun () ->
+            if !remaining > 0 then begin
+              decr remaining;
+              Some (Rts.Item.Tuple [| Value.Int !remaining |])
+            end
+            else None);
+        clock = (fun () -> []);
+      }
+    in
+    ignore (Result.get_ok (Rts.Manager.add_source mgr ~name:"src" ~schema source));
+    let stuck =
+      {
+        Rts.Operator.on_item = (fun ~input:_ _ ~emit:_ -> ());
+        blocked_input = (fun () -> None);
+        buffered = (fun () -> 0);
+      }
+    in
+    ignore
+      (Result.get_ok
+         (Rts.Manager.add_query_node mgr ~name:"stuck" ~kind:Rts.Node.Hfta ~schema
+            ~inputs:["src"] ~op:stuck));
+    if parallel <= 1 then Rts.Scheduler.run mgr else Rts.Scheduler.run_parallel ~domains:parallel mgr
+  in
+  List.iter
+    (fun parallel ->
+      match run_wedged ~parallel with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "wedge not detected (parallel=%d)" parallel)
+      | Error e ->
+          check Alcotest.bool
+            (Printf.sprintf "parallel=%d reports the wedge: %s" parallel e)
+            true (contains e "wedged"))
+    [1; 2; 3]
 
 (* the e2-style acceptance run: several query networks at once on two
    domains — completes, zero dropped tuples, identical output *)
@@ -319,5 +462,12 @@ let () =
           ["ordered_join"; "link_merge"] );
       ( "placement",
         [tc "pinned nodes" test_placement_pinned; tc "define property" test_placement_property] );
+      ( "partitioning & liveness",
+        [
+          tc "pipeline partition is acyclic" test_partition_pipeline;
+          tc "hfta chain does not deadlock" test_chain_no_deadlock;
+          tc "cyclic placement rejected" test_cyclic_placement_rejected;
+          tc "wedge detected, not hung" test_wedge_detected;
+        ] );
       ("multi-query", [tc "two domains, no drops" test_multi_query_no_drops]);
     ]
