@@ -22,6 +22,72 @@ module Metrics = Gigascope_obs.Metrics
 let section title =
   Printf.printf "\n==== %s ====\n%!" title
 
+(* Minimal JSON emitter for the BENCH_*.json artifacts (no deps; the
+   registry's own Metrics.to_json only covers snapshots, and the bench
+   records are summary rows, not raw metrics). *)
+module Json = struct
+  type t =
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let rec emit buf ~indent j =
+    let pad n = String.make n ' ' in
+    match j with
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int n -> Buffer.add_string buf (string_of_int n)
+    | Float f ->
+        if Float.is_integer f && Float.abs f < 1e15 then
+          Buffer.add_string buf (Printf.sprintf "%.1f" f)
+        else Buffer.add_string buf (Printf.sprintf "%.6g" f)
+    | Str s -> Buffer.add_string buf (Printf.sprintf "\"%s\"" (escape s))
+    | List [] -> Buffer.add_string buf "[]"
+    | List items ->
+        Buffer.add_string buf "[\n";
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            Buffer.add_string buf (pad (indent + 2));
+            emit buf ~indent:(indent + 2) item)
+          items;
+        Buffer.add_string buf ("\n" ^ pad indent ^ "]")
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+        Buffer.add_string buf "{\n";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            Buffer.add_string buf (Printf.sprintf "%s\"%s\": " (pad (indent + 2)) (escape k));
+            emit buf ~indent:(indent + 2) v)
+          fields;
+        Buffer.add_string buf ("\n" ^ pad indent ^ "}")
+
+  let to_file path j =
+    let buf = Buffer.create 4096 in
+    emit buf ~indent:0 j;
+    Buffer.add_char buf '\n';
+    let oc = open_out path in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Printf.printf "wrote %s\n%!" path
+end
+
 (* ---------------------------------------------------------------- E1 --- *)
 
 let run_e1 () =
@@ -66,8 +132,10 @@ let e2_queries =
   GROUP BY time/1 as tb, srcip, destip, srcport, destport
 |}
 
-let run_e2 () =
-  section "E2: sustained packets/second through a 5-query production-like set";
+let e2_names = ["e2_port80cnt"; "e2_http"; "e2_ports"; "e2_subnets"; "e2_flows"]
+
+(* pre-generate so the measurement is the query network, not the source *)
+let e2_packets () =
   let cfg =
     {
       Traffic.Gen.default with
@@ -77,49 +145,150 @@ let run_e2 () =
       n_flows = 2048;
     }
   in
-  (* pre-generate so the measurement is the query network, not the source *)
   let gen = Traffic.Gen.create cfg in
-  let packets =
-    let rec go acc = match Traffic.Gen.next gen with Some p -> go (p :: acc) | None -> List.rev acc in
-    go []
+  let rec go acc = match Traffic.Gen.next gen with Some p -> go (p :: acc) | None -> List.rev acc in
+  go []
+
+(* Best of [n] repetitions by wall time (first element of the result
+   tuple): the container this runs in is noisy, and minimum-of-N is the
+   standard way to read a throughput bench through the noise. *)
+let best_of n run =
+  let rec go best k =
+    if k = 0 then best
+    else
+      let r = run () in
+      let best = match best with Some b when fst b <= fst r -> Some b | _ -> Some r in
+      go best (k - 1)
   in
-  let n_packets = List.length packets in
-  let eng = E.create ~default_capacity:65536 () in
-  E.add_packet_list_interface eng ~name:"eth0" packets;
-  (match E.install_program eng e2_queries with
-  | Ok _ -> ()
-  | Error e -> failwith ("e2 install: " ^ e));
-  let outputs = ref 0 in
-  List.iter
-    (fun q -> Result.get_ok (E.on_tuple eng q (fun _ -> incr outputs)))
-    ["e2_port80cnt"; "e2_http"; "e2_ports"; "e2_subnets"; "e2_flows"];
-  let t0 = Unix.gettimeofday () in
-  (match E.run eng () with Ok _ -> () | Error e -> failwith ("e2 run: " ^ e));
-  let dt = Unix.gettimeofday () -. t0 in
-  Printf.printf "packets: %d  wall: %.2fs  throughput: %.0f pkts/s  outputs: %d  drops: %d\n"
-    n_packets dt
-    (float_of_int n_packets /. dt)
-    !outputs (E.total_drops eng);
-  (* per-operator detail straight from the metrics registry: where the
-     packets went and which LFTA tables thrashed *)
-  let snap = E.metrics_snapshot eng in
+  Option.get (go None n)
+
+(* Per-operator rows (tuples in/out, evictions, service time) from a run's
+   metrics registry, as both a printed table and the JSON records. *)
+let per_op_rows snap =
   let counter name =
     match Metrics.find snap name with Some (Metrics.Counter n) -> n | _ -> 0
   in
-  Printf.printf "%-22s %12s %12s %10s\n" "operator" "tuples-in" "tuples-out" "evictions";
-  List.iter
+  List.filter_map
     (fun (name, value) ->
       match value with
       | Metrics.Counter tout
         when String.starts_with ~prefix:"rts.node." name
              && Filename.check_suffix name ".tuples_out" ->
           let node = String.sub name 9 (String.length name - 9 - String.length ".tuples_out") in
-          Printf.printf "%-22s %12d %12d %10d\n" node
-            (counter (Printf.sprintf "rts.node.%s.tuples_in" node))
-            tout
-            (counter (Printf.sprintf "rts.node.%s.lfta.evictions" node))
-      | _ -> ())
-    snap;
+          let service =
+            match Metrics.find snap (Printf.sprintf "rts.node.%s.service_ns" node) with
+            | Some (Metrics.Histogram h) -> Some h
+            | _ -> None
+          in
+          Some
+            ( node,
+              counter (Printf.sprintf "rts.node.%s.tuples_in" node),
+              tout,
+              counter (Printf.sprintf "rts.node.%s.lfta.evictions" node),
+              service )
+      | _ -> None)
+    snap
+
+let per_op_json rows =
+  Json.List
+    (List.map
+       (fun (node, tin, tout, evictions, service) ->
+         Json.Obj
+           ([
+              ("node", Json.Str node);
+              ("tuples_in", Json.Int tin);
+              ("tuples_out", Json.Int tout);
+              ("lfta_evictions", Json.Int evictions);
+            ]
+           @
+           match service with
+           | Some h ->
+               [
+                 ("service_steps", Json.Int h.Metrics.h_count);
+                 ("service_ns_mean", Json.Float h.Metrics.h_mean);
+                 ("service_ns_p99", Json.Float h.Metrics.h_p99);
+               ]
+           | None -> []))
+       rows)
+
+let run_e2 () =
+  section "E2: sustained packets/second through a 5-query production-like set";
+  let packets = e2_packets () in
+  let n_packets = List.length packets in
+  let run_one ~batch =
+    let eng = E.create ~default_capacity:65536 () in
+    E.add_packet_list_interface eng ~name:"eth0" packets;
+    (match E.install_program eng e2_queries with
+    | Ok _ -> ()
+    | Error e -> failwith ("e2 install: " ^ e));
+    let outputs = ref 0 in
+    List.iter (fun q -> Result.get_ok (E.on_tuple eng q (fun _ -> incr outputs))) e2_names;
+    Gc.compact ();
+    let t0 = Unix.gettimeofday () in
+    (match E.run eng ~batch () with Ok _ -> () | Error e -> failwith ("e2 run: " ^ e));
+    let dt = Unix.gettimeofday () -. t0 in
+    (dt, (!outputs, E.total_drops eng, eng))
+  in
+  Printf.printf "packets: %d\n" n_packets;
+  (* one discarded warmup run: the first run through the packet list pays
+     promotion of the shared fixtures into the major heap *)
+  ignore (run_one ~batch:1);
+  Printf.printf "%-8s %10s %14s %10s %8s %10s\n" "batch" "wall(s)" "pkts/s" "outputs" "drops"
+    "speedup";
+  let base_outputs = ref (-1) and baseline = ref 0.0 and base_rows = ref [] in
+  let sweep =
+    List.map
+      (fun batch ->
+        let dt, (outputs, drops, eng) = best_of 3 (fun () -> run_one ~batch) in
+        if !base_outputs < 0 then begin
+          base_outputs := outputs;
+          baseline := dt;
+          base_rows := per_op_rows (E.metrics_snapshot eng)
+        end
+        else if outputs <> !base_outputs then
+          failwith
+            (Printf.sprintf "e2: batch %d produced %d outputs, batch 1 produced %d" batch
+               outputs !base_outputs);
+        let rate = float_of_int n_packets /. dt in
+        Printf.printf "%-8d %10.2f %14.0f %10d %8d %9.2fx\n%!" batch dt rate outputs drops
+          (!baseline /. dt);
+        Json.Obj
+          [
+            ("batch", Json.Int batch);
+            ("wall_s", Json.Float dt);
+            ("pkts_per_s", Json.Float rate);
+            ("outputs", Json.Int outputs);
+            ("drops", Json.Int drops);
+            ("speedup_vs_batch1", Json.Float (!baseline /. dt));
+          ])
+      [1; 16; 64; 256]
+  in
+  (* per-operator detail from the batch=1 run: where the packets went and
+     which LFTA tables thrashed *)
+  Printf.printf "%-22s %12s %12s %10s %14s\n" "operator" "tuples-in" "tuples-out" "evictions"
+    "service(ns)";
+  List.iter
+    (fun (node, tin, tout, evictions, service) ->
+      Printf.printf "%-22s %12d %12d %10d %14s\n" node tin tout evictions
+        (match service with
+        | Some h -> Printf.sprintf "%.0f" h.Metrics.h_mean
+        | None -> "-"))
+    !base_rows;
+  Json.to_file "BENCH_e2.json"
+    (Json.Obj
+       [
+         ("bench", Json.Str "e2");
+         ("description", Json.Str "packets/second through a 5-query production-like set, swept over data-plane batch size");
+         ("packets", Json.Int n_packets);
+         ( "pre_refactor_baseline",
+           Json.Obj
+             [
+               ("note", Json.Str "tuple-at-a-time data plane, before the batched refactor");
+               ("pkts_per_s", Json.Float 220_434.0);
+             ] );
+         ("sweep", Json.List sweep);
+         ("per_op_batch1", per_op_json !base_rows);
+       ]);
   Printf.printf "paper: 1.2M pkts/s sustained on a 2003 dual 2.4GHz server\n"
 
 (* ---------------------------------------------------------------- E3 --- *)
@@ -128,25 +297,105 @@ let run_e2 () =
    worker domains (the paper's process-per-HFTA architecture, Section 2.2,
    on OCaml domains). The outputs must agree exactly between the modes;
    the interesting number is the wall-clock ratio. *)
-let run_e3 () =
-  section "E3: single-threaded vs. parallel HFTA execution (e2 query set)";
-  let cfg =
+(* The data-plane workload for the batch sweep: a select feeding an
+   aggregate over cheap synthetic tuples, so the per-item channel and
+   dispatch overhead — what batching removes — dominates the measurement
+   instead of packet decoding. Output fingerprints must be byte-identical
+   across every (domains, batch) point. *)
+let e3_select_aggregate ~n ~domains ~batch =
+  let mgr = Rts.Manager.create ~default_capacity:65536 () in
+  let schema =
+    Rts.Schema.make
+      [
+        { Rts.Schema.name = "ts"; ty = Rts.Ty.Int; order = Rts.Order_prop.Monotone Rts.Order_prop.Asc };
+        { Rts.Schema.name = "port"; ty = Rts.Ty.Int; order = Rts.Order_prop.Unordered };
+        { Rts.Schema.name = "len"; ty = Rts.Ty.Int; order = Rts.Order_prop.Unordered };
+      ]
+  in
+  let out_schema =
+    Rts.Schema.make
+      [
+        { Rts.Schema.name = "tb"; ty = Rts.Ty.Int; order = Rts.Order_prop.Monotone Rts.Order_prop.Asc };
+        { Rts.Schema.name = "cnt"; ty = Rts.Ty.Int; order = Rts.Order_prop.Unordered };
+        { Rts.Schema.name = "bytes"; ty = Rts.Ty.Int; order = Rts.Order_prop.Unordered };
+      ]
+  in
+  let i = ref 0 in
+  let source =
     {
-      Traffic.Gen.default with
-      Traffic.Gen.duration = 3.0;
-      rate_mbps = 300.0;
-      seed = 5;
-      n_flows = 2048;
+      Rts.Node.pull =
+        (fun () ->
+          if !i >= n then None
+          else begin
+            let t = !i in
+            incr i;
+            Some
+              (Rts.Item.Tuple
+                 [| Value.Int (t / 1000); Value.Int (t mod 997); Value.Int (64 + (t mod 1400)) |])
+          end);
+      clock = (fun () -> [(0, Value.Int (!i / 1000))]);
     }
   in
-  let gen = Traffic.Gen.create cfg in
-  let packets =
-    let rec go acc = match Traffic.Gen.next gen with Some p -> go (p :: acc) | None -> List.rev acc in
-    go []
+  Result.get_ok (Result.map ignore (Rts.Manager.add_source mgr ~name:"src" ~schema source));
+  let select =
+    Rts.Select_op.make
+      ~pred:(fun t -> match t.(1) with Value.Int p -> p < 512 | _ -> false)
+      ~project:(fun t -> Some [| t.(0); t.(2) |])
+      ~punct_map:[(0, 0)] ()
   in
+  Result.get_ok
+    (Result.map ignore
+       (Rts.Manager.add_query_node mgr ~name:"sel" ~kind:Rts.Node.Lfta ~schema
+          ~inputs:["src"] ~op:select));
+  let agg =
+    Rts.Aggregate.make
+      {
+        Rts.Aggregate.pred = None;
+        keys = [| (fun t -> Some t.(0)) |];
+        epoch_key = Some 0;
+        direction = Rts.Order_prop.Asc;
+        band = 0.0;
+        aggs =
+          [|
+            { Rts.Agg_fn.kind = Rts.Agg_fn.Count; arg = None };
+            { Rts.Agg_fn.kind = Rts.Agg_fn.Sum; arg = Some (fun t -> Some t.(1)) };
+          |];
+        assemble = (fun ~keys ~aggs -> Array.append keys aggs);
+        having = None;
+        epoch_out = Some 0;
+        punct_in = Some (0, fun v -> Some v);
+      }
+  in
+  Result.get_ok
+    (Result.map ignore
+       (Rts.Manager.add_query_node mgr ~name:"agg" ~kind:Rts.Node.Hfta ~schema:out_schema
+          ~inputs:["sel"] ~op:(Rts.Aggregate.op agg)));
+  let out = Result.get_ok (Rts.Manager.subscribe mgr "agg") in
+  Gc.compact ();
+  let t0 = Unix.gettimeofday () in
+  (match
+     if domains > 1 then Rts.Scheduler.run_parallel ~domains ~batch mgr
+     else Rts.Scheduler.run ~batch mgr
+   with
+  | Ok _ -> ()
+  | Error e -> failwith ("e3 select+aggregate: " ^ e));
+  let dt = Unix.gettimeofday () -. t0 in
+  let fingerprint = Buffer.create 4096 in
+  let rec drain () =
+    match Rts.Channel.pop out with
+    | Some item ->
+        Buffer.add_string fingerprint (Format.asprintf "%a@." Rts.Item.pp item);
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  (dt, Buffer.contents fingerprint)
+
+let run_e3 () =
+  section "E3: single-threaded vs. parallel HFTA execution (e2 query set)";
+  let packets = e2_packets () in
   let n_packets = List.length packets in
-  let names = ["e2_port80cnt"; "e2_http"; "e2_ports"; "e2_subnets"; "e2_flows"] in
-  let run_one ~domains =
+  let run_one ~domains ~batch =
     let eng = E.create ~default_capacity:65536 () in
     E.add_packet_list_interface eng ~name:"eth0" packets;
     (match E.install_program eng e2_queries with
@@ -155,38 +404,120 @@ let run_e3 () =
     (* one counter per query: each output's callback runs on the single
        domain hosting that query, so plain refs summed after the join are
        race-free *)
-    let counters = List.map (fun q -> (q, ref 0)) names in
+    let counters = List.map (fun q -> (q, ref 0)) e2_names in
     List.iter (fun (q, r) -> Result.get_ok (E.on_tuple eng q (fun _ -> incr r))) counters;
+    Gc.compact ();
     let t0 = Unix.gettimeofday () in
-    (match E.run eng ~parallel:domains () with
+    (match E.run eng ~parallel:domains ~batch () with
     | Ok _ -> ()
     | Error e -> failwith ("e3 run: " ^ e));
     let dt = Unix.gettimeofday () -. t0 in
     let outputs = List.fold_left (fun acc (_, r) -> acc + !r) 0 counters in
-    (dt, outputs, E.total_drops eng)
+    (dt, (outputs, E.total_drops eng))
   in
-  let baseline = ref 0.0 and base_outputs = ref 0 in
-  Printf.printf "%-10s %10s %14s %10s %8s %10s\n" "domains" "wall(s)" "pkts/s" "outputs"
-    "drops" "speedup";
-  List.iter
-    (fun domains ->
-      let dt, outputs, drops = run_one ~domains in
-      if domains = 1 then begin
-        baseline := dt;
-        base_outputs := outputs
-      end
-      else if outputs <> !base_outputs then
-        failwith
-          (Printf.sprintf "e3: %d domains produced %d outputs, single-threaded produced %d"
-             domains outputs !base_outputs);
-      Printf.printf "%-10d %10.2f %14.0f %10d %8d %9.2fx\n" domains dt
-        (float_of_int n_packets /. dt)
-        outputs drops (!baseline /. dt))
-    [1; 2; 3];
+  ignore (run_one ~domains:1 ~batch:1) (* warmup, see run_e2 *);
+  let baseline = ref 0.0 and base_outputs = ref (-1) in
+  Printf.printf "%-10s %-8s %10s %14s %10s %8s %10s\n" "domains" "batch" "wall(s)" "pkts/s"
+    "outputs" "drops" "speedup";
+  let e2_sweep =
+    List.map
+      (fun (domains, batch) ->
+        let dt, (outputs, drops) = best_of 3 (fun () -> run_one ~domains ~batch) in
+        if !base_outputs < 0 then begin
+          baseline := dt;
+          base_outputs := outputs
+        end
+        else if outputs <> !base_outputs then
+          failwith
+            (Printf.sprintf
+               "e3: %d domains batch %d produced %d outputs, the baseline produced %d" domains
+               batch outputs !base_outputs);
+        Printf.printf "%-10d %-8d %10.2f %14.0f %10d %8d %9.2fx\n%!" domains batch dt
+          (float_of_int n_packets /. dt)
+          outputs drops (!baseline /. dt);
+        Json.Obj
+          [
+            ("domains", Json.Int domains);
+            ("batch", Json.Int batch);
+            ("wall_s", Json.Float dt);
+            ("pkts_per_s", Json.Float (float_of_int n_packets /. dt));
+            ("outputs", Json.Int outputs);
+            ("drops", Json.Int drops);
+            ("speedup_vs_baseline", Json.Float (!baseline /. dt));
+          ])
+      [(1, 1); (1, 64); (2, 1); (2, 64); (3, 1); (3, 64)]
+  in
   Printf.printf
     "claim: the process-per-HFTA architecture (Section 2.2) moves HFTA work off\n\
      the packet path without drops or any change in output; when LFTA reduction\n\
-     already makes the HFTAs cheap, channel overhead can outweigh the offload.\n"
+     already makes the HFTAs cheap, channel overhead can outweigh the offload.\n";
+  (* -- the batched data plane on a select+aggregate chain ------------- *)
+  Printf.printf "\nselect+aggregate chain, %d tuples (batched data plane):\n" 2_000_000;
+  let n = 2_000_000 in
+  let sa_baseline = ref 0.0 and sa_fingerprint = ref "" in
+  Printf.printf "%-10s %-8s %10s %14s %10s\n" "domains" "batch" "wall(s)" "tuples/s" "speedup";
+  let sa_sweep =
+    List.map
+      (fun (domains, batch) ->
+        let dt, fp = best_of 3 (fun () -> e3_select_aggregate ~n ~domains ~batch) in
+        if !sa_fingerprint = "" then begin
+          sa_baseline := dt;
+          sa_fingerprint := fp
+        end
+        else if fp <> !sa_fingerprint then
+          failwith
+            (Printf.sprintf "e3: select+aggregate output diverged at domains %d batch %d"
+               domains batch);
+        Printf.printf "%-10d %-8d %10.2f %14.0f %9.2fx\n%!" domains batch dt
+          (float_of_int n /. dt) (!sa_baseline /. dt);
+        ( (domains, batch, !sa_baseline /. dt),
+          Json.Obj
+            [
+              ("domains", Json.Int domains);
+              ("batch", Json.Int batch);
+              ("wall_s", Json.Float dt);
+              ("tuples_per_s", Json.Float (float_of_int n /. dt));
+              ("speedup_vs_batch1", Json.Float (!sa_baseline /. dt));
+            ] ))
+      [(1, 1); (1, 8); (1, 64); (1, 256); (1, 1024); (2, 64)]
+  in
+  let best_batched =
+    List.fold_left
+      (fun acc ((domains, batch, speedup), _) ->
+        if domains = 1 && batch >= 64 then max acc speedup else acc)
+      0.0 sa_sweep
+  in
+  let meets = best_batched >= 1.5 in
+  Printf.printf "batch>=64 single-threaded speedup: %.2fx (target 1.5x) %s\n" best_batched
+    (if meets then "PASS" else "MISS");
+  Json.to_file "BENCH_e3.json"
+    (Json.Obj
+       [
+         ("bench", Json.Str "e3");
+         ("description", Json.Str "parallel HFTA execution and the batched data plane: e2 query set over domains x batch, plus a select+aggregate chain swept over batch size");
+         ( "pre_refactor_baseline",
+           Json.Obj
+             [
+               ("note", Json.Str "tuple-at-a-time data plane, before the batched refactor; e2 query set");
+               ( "pkts_per_s_by_domains",
+                 Json.Obj
+                   [
+                     ("1", Json.Float 95_733.0);
+                     ("2", Json.Float 107_381.0);
+                     ("3", Json.Float 105_552.0);
+                   ] );
+             ] );
+         ("e2_set", Json.Obj [ ("packets", Json.Int n_packets); ("sweep", Json.List e2_sweep) ]);
+         ( "select_aggregate",
+           Json.Obj
+             [
+               ("tuples", Json.Int n);
+               ("sweep", Json.List (List.map snd sa_sweep));
+               ("best_batched_speedup_1domain", Json.Float best_batched);
+               ("target_speedup", Json.Float 1.5);
+               ("meets_target", Json.Bool meets);
+             ] );
+       ])
 
 (* ---------------------------------------------------------------- A1 --- *)
 

@@ -128,6 +128,17 @@ let parallel =
            $(b,GIGASCOPE_PARALLEL) environment variable sets the default. Output is \
            byte-identical to a single-threaded run.")
 
+let batch =
+  Arg.(
+    value & opt int 1
+    & info ["batch"] ~docv:"N"
+        ~doc:
+          "Batch the data plane: tuples move through channels, operators and the scheduler \
+           in runs of up to N (control items seal a batch early, so punctuation keeps its \
+           stream position). 1 (the default) is tuple-at-a-time; the $(b,GIGASCOPE_BATCH) \
+           environment variable sets the default. Output is byte-identical for every batch \
+           size.")
+
 let placement =
   Arg.(
     value
@@ -143,7 +154,7 @@ let placement =
 (* ---- run ---- *)
 
 let do_run query_file rate duration seed pcap_in iface max_rows sessions show_stats trace
-    metrics_out log_level parallel placement =
+    metrics_out log_level parallel placement batch =
   setup_logging log_level;
   let text = read_file query_file in
   let engine = E.create () in
@@ -230,6 +241,7 @@ let do_run query_file rate duration seed pcap_in iface max_rows sessions show_st
       (match
          E.run engine ~trace
            ?parallel:(if parallel > 1 then Some parallel else None)
+           ?batch:(if batch > 1 then Some batch else None)
            ~placement ()
        with
       | Ok stats ->
@@ -253,7 +265,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const do_run $ query_file $ rate $ duration $ seed $ pcap_in $ iface $ max_rows
-      $ sessions $ stats $ trace $ metrics_out $ log_level $ parallel $ placement)
+      $ sessions $ stats $ trace $ metrics_out $ log_level $ parallel $ placement $ batch)
 
 (* ---- explain ---- *)
 

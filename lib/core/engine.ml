@@ -275,21 +275,31 @@ let default_parallel () =
   | Some s -> ( match int_of_string_opt (String.trim s) with Some n when n > 1 -> n | _ -> 1)
   | None -> 1
 
-let run t ?quantum ?heartbeats ?heartbeat_period ?on_round ?trace ?parallel ?placement () =
+(* GIGASCOPE_BATCH=N batches every run's data plane by default — the hook
+   the CI matrix uses to execute the whole test suite vectorized. *)
+let default_batch () =
+  match Sys.getenv_opt "GIGASCOPE_BATCH" with
+  | Some s -> ( match int_of_string_opt (String.trim s) with Some n when n > 1 -> n | _ -> 1)
+  | None -> 1
+
+let run t ?quantum ?heartbeats ?heartbeat_period ?on_round ?trace ?parallel ?placement ?batch ()
+    =
   let domains = match parallel with Some n -> n | None -> default_parallel () in
+  let batch = match batch with Some n -> max 1 n | None -> default_batch () in
   (* on_round hooks mutate live operator state (set_param, flush) from the
      caller; racing them against worker domains is unsound, so their
      presence forces the single-threaded scheduler. *)
   let domains = if on_round <> None then 1 else domains in
   Log.info (fun m ->
-      m "run: %d nodes%s"
+      m "run: %d nodes%s%s"
         (List.length (Rts.Manager.nodes t.mgr))
-        (if domains > 1 then Printf.sprintf " on %d domains" domains else ""));
+        (if domains > 1 then Printf.sprintf " on %d domains" domains else "")
+        (if batch > 1 then Printf.sprintf ", batch %d" batch else ""));
   let result =
     if domains > 1 then
       Rts.Scheduler.run_parallel ?quantum ?heartbeats ?heartbeat_period ?trace ?placement
-        ~domains t.mgr
-    else Rts.Scheduler.run ?quantum ?heartbeats ?heartbeat_period ?on_round ?trace t.mgr
+        ~batch ~domains t.mgr
+    else Rts.Scheduler.run ?quantum ?heartbeats ?heartbeat_period ?on_round ?trace ~batch t.mgr
   in
   (match result with
   | Ok stats ->

@@ -136,6 +136,7 @@ val run :
   ?trace:bool ->
   ?parallel:int ->
   ?placement:(string * int) list ->
+  ?batch:int ->
   unit ->
   (Rts.Scheduler.stats, string) result
 (** Drive the network until every source is exhausted. [heartbeats]
@@ -151,7 +152,12 @@ val run :
     LFTAs on the caller; [placement] pins named nodes to domains. Output
     is byte-identical to the single-threaded run. [on_round] forces
     single-threaded execution (the hook mutates live operator state,
-    which must not race worker domains). *)
+    which must not race worker domains).
+
+    [batch] (default from [GIGASCOPE_BATCH], else 1) vectorizes the data
+    plane: tuples move through channels, operators and the scheduler in
+    runs of up to [batch] ({!Rts.Scheduler.run}'s knob). Output is
+    byte-identical for every batch size. *)
 
 val flush : t -> string -> (unit, string) result
 (** Make the named query emit its open state now — how an analyst gets

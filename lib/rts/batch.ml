@@ -1,0 +1,55 @@
+(* A batch is a run of consecutive tuples plus at most one trailing
+   control item. Control items seal the batch that carries them, so
+   punctuation, Flush and Eof keep their exact stream position: every
+   item order observable through a channel is independent of the batch
+   size (the property the differential tests enforce). *)
+
+type t = {
+  tuples : Value.t array array;
+  ctrl : Item.t option;
+}
+
+let make tuples ctrl =
+  (match ctrl with
+  | Some (Item.Tuple _) -> invalid_arg "Batch.make: control position holds a tuple"
+  | Some (Item.Punct _ | Item.Flush | Item.Eof) | None -> ());
+  { tuples; ctrl }
+
+let of_item = function
+  | Item.Tuple values -> { tuples = [| values |]; ctrl = None }
+  | (Item.Punct _ | Item.Flush | Item.Eof) as ctrl -> { tuples = [||]; ctrl = Some ctrl }
+
+(* Rebuild a batch from an item list in batch shape (tuples first, then
+   at most one control item) — the shape of any partially consumed
+   batch remainder, which is the only caller. *)
+let of_items items =
+  let rec split acc = function
+    | Item.Tuple values :: rest -> split (values :: acc) rest
+    | [ ((Item.Punct _ | Item.Flush | Item.Eof) as ctrl) ] ->
+        (List.rev acc, Some ctrl)
+    | [] -> (List.rev acc, None)
+    | (Item.Punct _ | Item.Flush | Item.Eof) :: _ ->
+        invalid_arg "Batch.of_items: control item before the end"
+  in
+  let tuples, ctrl = split [] items in
+  { tuples = Array.of_list tuples; ctrl }
+
+let tuples t = t.tuples
+let ctrl t = t.ctrl
+let n_tuples t = Array.length t.tuples
+let items t = Array.length t.tuples + match t.ctrl with Some _ -> 1 | None -> 0
+let is_empty t = t.ctrl = None && Array.length t.tuples = 0
+
+let iter t f =
+  Array.iter (fun values -> f (Item.Tuple values)) t.tuples;
+  match t.ctrl with Some ctrl -> f ctrl | None -> ()
+
+let to_items t =
+  let tail = match t.ctrl with Some ctrl -> [ ctrl ] | None -> [] in
+  Array.fold_right (fun values acc -> Item.Tuple values :: acc) t.tuples tail
+
+let pp fmt t =
+  Format.fprintf fmt "@[<h>batch[%d tuples%s]@]" (n_tuples t)
+    (match t.ctrl with
+    | Some c -> Format.asprintf "; %a" Item.pp c
+    | None -> "")

@@ -1,0 +1,46 @@
+(** Vectorized item flow: the unit the batched data plane moves.
+
+    A batch is a run of consecutive tuples plus at most one trailing
+    control item ({!Item.Punct}, {!Item.Flush} or {!Item.Eof}). Control
+    items always {e seal} the batch carrying them, so they keep their
+    exact position in the stream: flattening a channel's batch sequence
+    with {!to_items} yields the same item sequence whatever the batch
+    size. That invariant is what keeps batched execution byte-identical
+    to tuple-at-a-time execution (see DESIGN.md §14).
+
+    Batches are immutable once built and may be shared by every
+    subscriber of a node. *)
+
+type t
+
+val make : Value.t array array -> Item.t option -> t
+(** [make tuples ctrl]. Raises [Invalid_argument] if [ctrl] is a
+    tuple. The tuple array is owned by the batch afterwards. *)
+
+val of_item : Item.t -> t
+(** A singleton batch — how the item-level channel API is expressed on
+    the batched transport. *)
+
+val of_items : Item.t list -> t
+(** Rebuild from a list in batch shape (tuples first, then at most one
+    trailing control item); raises [Invalid_argument] otherwise. *)
+
+val tuples : t -> Value.t array array
+val ctrl : t -> Item.t option
+
+val n_tuples : t -> int
+
+val items : t -> int
+(** Tuples plus the control item, if present — the unit channel
+    capacity and quantum accounting are measured in. *)
+
+val is_empty : t -> bool
+
+val iter : t -> (Item.t -> unit) -> unit
+(** Visit the batch as items, tuples first then the control item — the
+    per-tuple fallback path for operators without a batch
+    implementation. *)
+
+val to_items : t -> Item.t list
+
+val pp : Format.formatter -> t -> unit

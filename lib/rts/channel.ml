@@ -4,15 +4,24 @@ module Metrics = Gigascope_obs.Metrics
 (* A channel starts Local (plain bounded ring, single-domain cooperative
    scheduling). run_parallel promotes edges that cross a domain boundary
    to Cross before any domain spawns; Node.step_inputs and the operators
-   never notice the difference. *)
-type impl = Local of Item.t Ring.t | Cross of Xchannel.t
+   never notice the difference.
+
+   The transport unit is a Batch: one ring slot (or one lock acquire on
+   a promoted channel) moves a whole run of tuples. The item-level
+   push/pop/peek API is kept as singleton-batch wrappers, with [cur]
+   holding the consumer-side remainder of a partially consumed batch —
+   only the consumer touches it, so it is as single-threaded as the ring
+   itself. *)
+type impl = Local of Batch.t Ring.t | Cross of Xchannel.t
 
 type t = {
   name : string;
   capacity : int;
   mutable impl : impl;
+  mutable cur : Item.t list;  (* consumer-side remainder of a popped batch *)
   tuples_in : Metrics.Counter.t;
   dropped : Metrics.Counter.t;
+  occupancy : Metrics.Histogram.t;  (* items per pushed batch *)
 }
 
 let create ?(capacity = 4096) ~name () =
@@ -20,45 +29,115 @@ let create ?(capacity = 4096) ~name () =
     name;
     capacity;
     impl = Local (Ring.create ~capacity);
+    cur = [];
     tuples_in = Metrics.Counter.make ();
     dropped = Metrics.Counter.make ();
+    occupancy = Metrics.Histogram.make ();
   }
 
 let name t = t.name
 let capacity t = t.capacity
 
-let push t item =
+let push_batch t batch =
+  let nt = Batch.n_tuples batch in
   match t.impl with
-  | Local ring -> (
-      match item with
-      | Item.Eof ->
-          Ring.push_force ring Item.Eof;
-          true
-      | Item.Tuple _ ->
-          let ok = Ring.push ring item in
-          if ok then Metrics.Counter.incr t.tuples_in else Metrics.Counter.incr t.dropped;
-          ok
-      | Item.Punct _ | Item.Flush ->
-          let ok = Ring.push ring item in
-          if not ok then Metrics.Counter.incr t.dropped;
-          ok)
+  | Local ring ->
+      if Ring.push ring batch then begin
+        if nt > 0 then Metrics.Counter.add t.tuples_in nt;
+        Metrics.Histogram.observe t.occupancy (float_of_int (Batch.items batch));
+        true
+      end
+      else begin
+        (* Full ring: the whole batch is rejected and every tuple it
+           carried counts as a drop (not one drop per batch — the
+           paper's headline metric must not silently improve under
+           batching). A non-Eof control item counts too, as before. An
+           Eof must still get through or shutdown wedges: force a
+           control-only Eof batch in, evicting a buffered batch exactly
+           as the item-at-a-time path evicted a buffered item. *)
+        match Batch.ctrl batch with
+        | Some Item.Eof ->
+            if nt > 0 then Metrics.Counter.add t.dropped nt;
+            Ring.push_force ring (Batch.of_item Item.Eof);
+            Metrics.Histogram.observe t.occupancy 1.0;
+            true
+        | Some (Item.Punct _ | Item.Flush) ->
+            Metrics.Counter.add t.dropped (nt + 1);
+            false
+        | Some (Item.Tuple _) | None ->
+            if nt > 0 then Metrics.Counter.add t.dropped nt;
+            false
+      end
   | Cross xc ->
       (* Blocking push: cross-domain edges apply backpressure instead of
          dropping; a refusal means the channel was closed by an error
          shutdown. The channel's own cells keep counting so [rts.chan.*]
          and drop totals stay live after promotion. *)
-      let ok = Xchannel.push xc item in
-      (match item with
-      | Item.Eof -> ()
-      | Item.Tuple _ ->
-          if ok then Metrics.Counter.incr t.tuples_in else Metrics.Counter.incr t.dropped
-      | Item.Punct _ | Item.Flush -> if not ok then Metrics.Counter.incr t.dropped);
+      let ok = Xchannel.push_batch xc batch in
+      if ok then begin
+        if nt > 0 then Metrics.Counter.add t.tuples_in nt;
+        Metrics.Histogram.observe t.occupancy (float_of_int (Batch.items batch))
+      end
+      else begin
+        let lost =
+          nt
+          + (match Batch.ctrl batch with
+            | Some (Item.Punct _ | Item.Flush) -> 1
+            | Some Item.Eof | Some (Item.Tuple _) | None -> 0)
+        in
+        if lost > 0 then Metrics.Counter.add t.dropped lost
+      end;
       ok
 
-let pop t = match t.impl with Local ring -> Ring.pop ring | Cross xc -> Xchannel.pop xc
-let peek t = match t.impl with Local ring -> Ring.peek ring | Cross xc -> Xchannel.peek xc
-let length t = match t.impl with Local ring -> Ring.length ring | Cross xc -> Xchannel.length xc
-let is_empty t = length t = 0
+let push t item = push_batch t (Batch.of_item item)
+
+let impl_pop_batch t =
+  match t.impl with Local ring -> Ring.pop ring | Cross xc -> Xchannel.pop_batch xc
+
+let pop_batch t =
+  match t.cur with
+  | [] -> impl_pop_batch t
+  | items ->
+      t.cur <- [];
+      Some (Batch.of_items items)
+
+let rec pop t =
+  match t.cur with
+  | item :: rest ->
+      t.cur <- rest;
+      Some item
+  | [] -> (
+      match impl_pop_batch t with
+      | Some b ->
+          t.cur <- Batch.to_items b;
+          pop t
+      | None -> None)
+
+let peek t =
+  match t.cur with
+  | item :: _ -> Some item
+  | [] -> (
+      match impl_pop_batch t with
+      | Some b -> (
+          t.cur <- Batch.to_items b;
+          match t.cur with item :: _ -> Some item | [] -> None)
+      | None -> None)
+
+let length t =
+  let buffered =
+    match t.impl with
+    | Local ring ->
+        let n = ref 0 in
+        Ring.iter (fun b -> n := !n + Batch.items b) ring;
+        !n
+    | Cross xc -> Xchannel.length xc
+  in
+  List.length t.cur + buffered
+
+let is_empty t =
+  t.cur = []
+  && match t.impl with Local ring -> Ring.is_empty ring | Cross xc -> Xchannel.is_empty xc
+
 let tuples_in t = Metrics.Counter.get t.tuples_in
 let drops t = Metrics.Counter.get t.dropped
 
@@ -72,17 +151,24 @@ let promote_cross ?capacity t =
   | Cross xc -> xc
   | Local ring ->
       (* Never smaller than what is already buffered: promotion runs on a
-         single domain, so a blocking push here would never be drained. *)
+         single domain, so a blocking push here would never be drained.
+         The bound is in items, so count through the batches (and any
+         partially consumed remainder). *)
+      let buffered = ref (List.length t.cur) in
+      Ring.iter (fun b -> buffered := !buffered + Batch.items b) ring;
       let capacity =
-        max (match capacity with Some c -> max 1 c | None -> t.capacity) (Ring.length ring)
+        max (match capacity with Some c -> max 1 c | None -> t.capacity) !buffered
       in
       let xc = Xchannel.create ~capacity ~name:t.name () in
       (* Carry over anything buffered before the switch (promotion happens
-         before the run, so this is normally empty). *)
+         before the run, so this is normally empty): first the consumed
+         batch's remainder, then the ring, oldest first. *)
+      List.iter (fun item -> ignore (Xchannel.push xc item)) t.cur;
+      t.cur <- [];
       let rec drain () =
         match Ring.pop ring with
-        | Some item ->
-            ignore (Xchannel.push xc item);
+        | Some batch ->
+            ignore (Xchannel.push_batch xc batch);
             drain ()
         | None -> ()
       in
@@ -96,4 +182,5 @@ let register_metrics t reg ~prefix =
   Metrics.attach_counter reg (prefix ^ ".tuples_in") t.tuples_in;
   Metrics.attach_counter reg (prefix ^ ".drops") t.dropped;
   Metrics.attach_gauge_fn reg (prefix ^ ".depth") (fun () -> float_of_int (length t));
-  Metrics.attach_gauge_fn reg (prefix ^ ".high_water") (fun () -> float_of_int (high_water t))
+  Metrics.attach_gauge_fn reg (prefix ^ ".high_water") (fun () -> float_of_int (high_water t));
+  Metrics.attach_histogram reg (prefix ^ ".batch_items") t.occupancy

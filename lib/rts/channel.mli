@@ -2,40 +2,66 @@
 
     Models the shared-memory ring buffers of the real system: bounded FIFO
     with drop accounting (the paper's performance metric is precisely "how
-    high can the input rate be before tuples drop"). *)
+    high can the input rate be before tuples drop").
+
+    The transport unit is a {!Batch}: one ring slot holds one batch, so a
+    run of tuples costs one push and one pop however long it is. The
+    item-level {!push}/{!pop}/{!peek} API is kept for tests and
+    applications as singleton-batch wrappers; flattening the batch
+    sequence always yields the same item sequence the tuple-at-a-time
+    plane carried. A Local ring's capacity bounds {e batches}, so the
+    item capacity scales with the batch size; drop accounting is always
+    per item. *)
 
 type t
 
 val create : ?capacity:int -> name:string -> unit -> t
-(** Default capacity 4096 items. *)
+(** Default capacity 4096 batches (= items at batch size 1). *)
 
 val name : t -> string
 val capacity : t -> int
 
+val push_batch : t -> Batch.t -> bool
+(** Local channels: false when full, counting every tuple the batch
+    carried (plus a non-Eof control item) as drops — except a batch
+    sealed by [Eof], whose control item is always delivered (tuples
+    dropped, a buffered batch evicted if necessary) so a full channel
+    cannot wedge shutdown. Channels promoted by {!promote_cross} block
+    instead of dropping (backpressure across the domain boundary) and
+    refuse only once closed. *)
+
 val push : t -> Item.t -> bool
-(** Local channels: false (and a counted drop) when full — except [Eof],
-    which is always accepted by evicting the newest item if necessary, so
-    a full channel cannot wedge shutdown. Channels promoted by
-    {!promote_cross} block instead of dropping (backpressure across the
-    domain boundary) and refuse only once closed. *)
+(** {!push_batch} of a singleton batch — item-at-a-time behaviour,
+    byte-for-byte the pre-batching semantics. *)
+
+val pop_batch : t -> Batch.t option
+(** Dequeue one batch. If the item-level {!pop} partially consumed a
+    batch, its remainder is returned first. *)
 
 val pop : t -> Item.t option
 val peek : t -> Item.t option
+
 val length : t -> int
+(** Buffered items (tuples plus control items), including the remainder
+    of a partially consumed batch. *)
+
 val is_empty : t -> bool
 
 val tuples_in : t -> int
 (** Tuples successfully enqueued (punctuation and EOF not counted). *)
 
 val drops : t -> int
-(** Items rejected by a full ring (tuples and punctuation alike). *)
+(** Items rejected by a full ring, counted {e per item}: a rejected
+    batch adds every tuple it contained. *)
 
 val high_water : t -> int
+(** Local channels: ring slots (batches); promoted channels: items. *)
 
 val promote_cross : ?capacity:int -> t -> Xchannel.t
 (** Switch this channel's transport to a bounded SPSC cross-domain
-    channel (idempotent; buffered items carry over). [capacity] defaults
-    to the channel's own; the parallel scheduler passes a small bound so
+    channel (idempotent; buffered batches — and any partially consumed
+    remainder — carry over in order). [capacity] defaults to the
+    channel's own; the parallel scheduler passes a small bound so
     backpressure keeps producer and consumer domains rate-matched — the
     paper's fixed-size ring buffers between the runtime process and each
     HFTA process (Section 2.2). It is clamped up to whatever is already
@@ -49,7 +75,8 @@ val cross : t -> Xchannel.t option
 (** The cross-domain transport, once promoted. *)
 
 val register_metrics : t -> Gigascope_obs.Metrics.t -> prefix:string -> unit
-(** Attach this channel's counters ([tuples_in], [drops]) and polled gauges
-    ([depth], [high_water]) under [prefix]. The cells are the channel's own
-    accounting — {!tuples_in} and {!drops} read the same counters — so
-    registration adds no cost to {!push}. *)
+(** Attach this channel's counters ([tuples_in], [drops]), polled gauges
+    ([depth], [high_water]) and the [batch_items] occupancy histogram
+    (items per pushed batch) under [prefix]. The cells are the channel's
+    own accounting — {!tuples_in} and {!drops} read the same counters —
+    so registration adds no cost to {!push_batch}. *)

@@ -211,13 +211,46 @@ let op t =
       emit Item.Eof
     end
   in
+  (* Batched path: probe/buffer/purge per tuple (preserving the purge
+     invariant that no held pair ever falls below the current output
+     watermark), with the Ordered_output release deferred to the end of
+     the run. Deferring is output-identical: the watermark only grows,
+     every new pair's key is at or above it, and release takes strictly
+     below it — so per-tuple releases occupy disjoint ascending key
+     ranges and their concatenation equals one release at the final
+     watermark. *)
+  let on_batch ~input batch ~emit =
+    let side, idx, from_left =
+      if input = 0 then (t.left, cfg.left_idx, true) else (t.right, cfg.right_idx, false)
+    in
+    let tuples = Batch.tuples batch in
+    let n = Array.length tuples in
+    if n > 0 then begin
+      for i = 0 to n - 1 do
+        let values = tuples.(i) in
+        let ts = ts_of values idx in
+        if ts > side.bound then side.bound <- ts;
+        probe t ~from_left values ~emit;
+        Queue.push values side.buffer;
+        purge t
+      done;
+      let b = buffered t in
+      if b > t.high_water then t.high_water <- b
+    end;
+    match Batch.ctrl batch with
+    | Some ctrl -> on_item ~input ctrl ~emit
+    | None ->
+        release t ~emit;
+        let b = buffered t in
+        if b > t.high_water then t.high_water <- b
+  in
   let blocked_input () =
     let starving st = Queue.is_empty st.buffer && not st.eof in
     if (not (Queue.is_empty t.left.buffer)) && starving t.right then Some 1
     else if (not (Queue.is_empty t.right.buffer)) && starving t.left then Some 0
     else None
   in
-  { Operator.on_item; blocked_input; buffered = (fun () -> buffered t) }
+  { Operator.on_item; on_batch = Some on_batch; blocked_input; buffered = (fun () -> buffered t) }
 
 let high_water t = t.high_water
 

@@ -93,8 +93,16 @@ let op t =
           emit Item.Eof
         end
   in
+  let on_batch ~input batch ~emit =
+    let tuples = Batch.tuples batch in
+    for i = 0 to Array.length tuples - 1 do
+      on_tuple t tuples.(i) ~emit
+    done;
+    match Batch.ctrl batch with Some ctrl -> on_item ~input ctrl ~emit | None -> ()
+  in
   {
     Operator.on_item;
+    on_batch = Some on_batch;
     blocked_input = (fun () -> None);
     buffered = (fun () -> Array.length t.cfg.base);
   }

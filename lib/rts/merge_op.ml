@@ -121,6 +121,30 @@ let op t =
     | Item.Punct _ -> emit_punct t ~emit
     | Item.Tuple _ | Item.Flush | Item.Eof -> ()
   in
+  (* Batched path: enqueue the whole run (each tuple advancing the
+     input's bound exactly as it would one at a time), then drain once.
+     Deferring the drain is output-identical: bounds only grow, so the
+     released sequence — smallest covered head first, ties to the lowest
+     input — is the same whether it leaves in one run or interleaved
+     between pushes. *)
+  let on_batch ~input batch ~emit =
+    let st = t.inputs.(input) in
+    let tuples = Batch.tuples batch in
+    let n = Array.length tuples in
+    if n > 0 then begin
+      for i = 0 to n - 1 do
+        let values = tuples.(i) in
+        Queue.push values st.queue;
+        let v = values.(t.cfg.ordered_idx) in
+        if st.bound = Value.Null || cmp t st.bound v < 0 then st.bound <- v
+      done;
+      let hw = buffered t in
+      if hw > t.high_water then t.high_water <- hw
+    end;
+    match Batch.ctrl batch with
+    | Some ctrl -> on_item ~input ctrl ~emit
+    | None -> drain t ~emit
+  in
   let blocked_input () =
     (* Blocked: some input has data waiting, and another input's silence
        (empty queue, no EOF) is what holds it back. *)
@@ -136,7 +160,7 @@ let op t =
       in
       find 0
   in
-  { Operator.on_item; blocked_input; buffered = (fun () -> buffered t) }
+  { Operator.on_item; on_batch = Some on_batch; blocked_input; buffered = (fun () -> buffered t) }
 
 let high_water t = t.high_water
 

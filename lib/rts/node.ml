@@ -31,6 +31,12 @@ type t = {
   mutable source_done : bool;
   mutable eof_emitted : bool;
   mutable pinned : int option;
+  (* Output batch builder: emitted tuples accumulate here until the
+     batch size is reached or a control item seals the batch. Sealed
+     batches are immutable and delivered once to every subscriber. *)
+  mutable batch_size : int;
+  mutable out_buf : Value.t array array;
+  mutable out_n : int;
 }
 
 let make name kind schema behavior =
@@ -49,6 +55,9 @@ let make name kind schema behavior =
     source_done = false;
     eof_emitted = false;
     pinned = None;
+    batch_size = 1;
+    out_buf = [||];
+    out_n = 0;
   }
 
 let make_source ~name ~schema source = make name Source schema (Src source)
@@ -71,24 +80,72 @@ let add_subscriber t sub = t.subscribers <- t.subscribers @ [sub]
 
 let inputs t = t.node_inputs
 
-let emit t item =
-  (match item with
-  | Item.Tuple _ -> Metrics.Counter.incr t.tuples_out
-  | Item.Eof -> t.eof_emitted <- true
-  | Item.Punct _ | Item.Flush -> ());
+let deliver t batch =
   List.iter
     (fun sub ->
       match sub with
-      | Chan chan -> ignore (Channel.push chan item)
+      | Chan chan -> ignore (Channel.push_batch chan batch)
       | Callback f ->
-          t.cb_seen <- t.cb_seen + 1;
-          if t.cb_seen mod cb_sample = 0 then begin
-            let t0 = Clock.now_ns () in
-            f item;
-            Metrics.Histogram.observe t.cb_latency (Clock.now_ns () -. t0)
-          end
-          else f item)
+          Batch.iter batch (fun item ->
+              t.cb_seen <- t.cb_seen + 1;
+              if t.cb_seen mod cb_sample = 0 then begin
+                let t0 = Clock.now_ns () in
+                f item;
+                Metrics.Histogram.observe t.cb_latency (Clock.now_ns () -. t0)
+              end
+              else f item))
     t.subscribers
+
+(* Seal the pending tuples into a batch carrying [ctrl] and deliver it.
+   A full builder is handed to the batch directly (the next emit
+   reallocates it) — at large batch sizes the tuple array lives in the
+   major heap, and copying it too would double the GC pressure. *)
+let seal t ctrl =
+  let tuples =
+    if t.out_n = Array.length t.out_buf then begin
+      let full = t.out_buf in
+      t.out_buf <- [||];
+      full
+    end
+    else Array.sub t.out_buf 0 t.out_n
+  in
+  let batch = Batch.make tuples ctrl in
+  t.out_n <- 0;
+  deliver t batch
+
+let flush_out t = if t.out_n > 0 then seal t None
+
+let set_batch t n =
+  let n = max 1 n in
+  if n <> t.batch_size then begin
+    flush_out t;
+    t.batch_size <- n;
+    t.out_buf <- [||]
+  end
+
+let batch_size t = t.batch_size
+
+let emit t item =
+  match item with
+  | Item.Tuple values ->
+      Metrics.Counter.incr t.tuples_out;
+      if t.batch_size <= 1 then deliver t (Batch.of_item item)
+      else begin
+        if Array.length t.out_buf < t.batch_size then begin
+          let grown = Array.make t.batch_size [||] in
+          Array.blit t.out_buf 0 grown 0 t.out_n;
+          t.out_buf <- grown
+        end;
+        t.out_buf.(t.out_n) <- values;
+        t.out_n <- t.out_n + 1;
+        if t.out_n >= t.batch_size then flush_out t
+      end
+  | Item.Punct _ | Item.Flush | Item.Eof ->
+      (* Control items seal the batch immediately: they keep their exact
+         stream position, and downstream (heartbeat punctuation, wedge
+         detection, EOF propagation) never waits on a partial batch. *)
+      (match item with Item.Eof -> t.eof_emitted <- true | _ -> ());
+      seal t (Some item)
 
 let step_source t ~quantum =
   match t.behavior with
@@ -108,6 +165,10 @@ let step_source t ~quantum =
               continue := false;
               emit t Item.Eof
         done;
+        (* Flush-on-idle: a partial batch never outlives the step that
+           built it, so batching adds at most one scheduler round of
+           latency when input is sparse. *)
+        flush_out t;
         !produced > 0
       end
 
@@ -121,15 +182,21 @@ let step_inputs t ~quantum =
           let consumed = ref 0 in
           let continue = ref true in
           while !continue && !consumed < quantum do
-            match Channel.pop chan with
-            | Some item ->
-                incr consumed;
+            match Channel.pop_batch chan with
+            | Some batch ->
+                (* Whole batches only: the quantum is checked between
+                   batches, so a large batch can overshoot it by one
+                   batch — the output is quantum-independent either
+                   way. *)
+                consumed := !consumed + Batch.items batch;
                 progress := true;
-                if Item.is_tuple item then Metrics.Counter.incr t.tuples_in;
-                op.Operator.on_item ~input:i item ~emit:(emit t)
+                let nt = Batch.n_tuples batch in
+                if nt > 0 then Metrics.Counter.add t.tuples_in nt;
+                Operator.apply_batch op ~input:i batch ~emit:(emit t)
             | None -> continue := false
           done)
         t.node_inputs;
+      flush_out t;
       !progress
 
 let exhausted t =
@@ -150,7 +217,11 @@ let heartbeat t =
 let inject_flush t =
   match t.behavior with
   | Src _ -> ()
-  | Op op -> op.Operator.on_item ~input:0 Item.Flush ~emit:(emit t)
+  | Op op ->
+      op.Operator.on_item ~input:0 Item.Flush ~emit:(emit t);
+      (* Operators that swallow Flush (merge) may still have emitted
+         tuples; don't leave them in the builder. *)
+      flush_out t
 
 let tuples_in t = Metrics.Counter.get t.tuples_in
 let tuples_out t = Metrics.Counter.get t.tuples_out

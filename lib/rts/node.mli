@@ -46,16 +46,33 @@ val add_subscriber : t -> subscriber -> unit
 val inputs : t -> (t * Channel.t) array
 (** Upstream node and the channel it feeds us through, per input. *)
 
+val set_batch : t -> int -> unit
+(** Output batch size (default 1): emitted tuples accumulate into a
+    per-node builder and are delivered to every subscriber as one batch
+    when [n] tuples are pending or a control item seals the batch.
+    Changing the size flushes any pending partial batch. *)
+
+val batch_size : t -> int
+
 val emit : t -> Item.t -> unit
-(** Push an item to every subscriber (with per-channel drop accounting). *)
+(** Feed an item to the output builder. At batch size 1 (the default)
+    every item is delivered to every subscriber immediately (with
+    per-channel drop accounting), exactly the tuple-at-a-time plane;
+    at larger sizes tuples accumulate until sealed. Control items
+    always seal and deliver the pending batch at once, so they never
+    trail their stream position. *)
 
 val step_source : t -> quantum:int -> bool
 (** Pull and emit up to [quantum] items; true if anything was produced.
-    Emits one [Eof] at exhaustion. *)
+    Emits one [Eof] at exhaustion. Any partial output batch is flushed
+    before returning (flush-on-idle: batching never adds more than one
+    scheduler round of latency). *)
 
 val step_inputs : t -> quantum:int -> bool
-(** Drain up to [quantum] items from each input through the operator; true
-    if anything was consumed. *)
+(** Drain up to [quantum] items from each input through the operator
+    (whole batches at a time; the quantum is checked between batches);
+    true if anything was consumed. Any partial output batch is flushed
+    before returning. *)
 
 val exhausted : t -> bool
 (** Sources: pull returned [None]. Query nodes: EOF emitted downstream. *)

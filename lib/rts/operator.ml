@@ -2,9 +2,15 @@ type emit = Item.t -> unit
 
 type t = {
   on_item : input:int -> Item.t -> emit:emit -> unit;
+  on_batch : (input:int -> Batch.t -> emit:emit -> unit) option;
   blocked_input : unit -> int option;
   buffered : unit -> int;
 }
+
+let apply_batch t ~input batch ~emit =
+  match t.on_batch with
+  | Some f -> f ~input batch ~emit
+  | None -> Batch.iter batch (fun item -> t.on_item ~input item ~emit)
 
 let stateless f ~n_inputs =
   let eofs = Array.make n_inputs false in
@@ -20,4 +26,13 @@ let stateless f ~n_inputs =
           emit Item.Eof
         end
   in
-  { on_item; blocked_input = (fun () -> None); buffered = (fun () -> 0) }
+  let on_batch ~input batch ~emit =
+    Array.iter (fun values -> f values ~emit) (Batch.tuples batch);
+    match Batch.ctrl batch with Some ctrl -> on_item ~input ctrl ~emit | None -> ()
+  in
+  {
+    on_item;
+    on_batch = Some on_batch;
+    blocked_input = (fun () -> None);
+    buffered = (fun () -> 0);
+  }

@@ -15,12 +15,21 @@ type emit = Item.t -> unit
 
 type t = {
   on_item : input:int -> Item.t -> emit:emit -> unit;
+  on_batch : (input:int -> Batch.t -> emit:emit -> unit) option;
+      (** Vectorized path: consume a whole batch in one call. Must emit
+          exactly what feeding the batch's items to [on_item] one at a
+          time would emit — {!apply_batch} falls back to doing just that
+          when absent, so exotic operators keep working untouched. *)
   blocked_input : unit -> int option;
   buffered : unit -> int;  (** items of internal state, for measurement *)
 }
+
+val apply_batch : t -> input:int -> Batch.t -> emit:emit -> unit
+(** Dispatch a batch through [on_batch], or iterate [on_item] over its
+    items when the operator has no batch implementation. *)
 
 val stateless : (Value.t array -> emit:emit -> unit) -> n_inputs:int -> t
 (** Wrap a per-tuple function into an operator that forwards punctuation
     unchanged (valid only when input and output schemas share field
     positions for ordered attributes) and handles EOF counting over
-    [n_inputs]. *)
+    [n_inputs]. Processes batches in a tight per-tuple loop. *)

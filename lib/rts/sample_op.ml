@@ -17,4 +17,19 @@ let make ?dropped ~rate ~seed () =
           emit Item.Eof
         end
   in
-  { Operator.on_item; blocked_input = (fun () -> None); buffered = (fun () -> 0) }
+  (* The PRNG draws in tuple order, so the batched loop keeps the exact
+     per-tuple keep/drop sequence. *)
+  let on_batch ~input batch ~emit =
+    Array.iter
+      (fun values ->
+        if Prng.float rng 1.0 < rate then emit (Item.Tuple values)
+        else match dropped with Some c -> Metrics.Counter.incr c | None -> ())
+      (Batch.tuples batch);
+    match Batch.ctrl batch with Some ctrl -> on_item ~input ctrl ~emit | None -> ()
+  in
+  {
+    Operator.on_item;
+    on_batch = Some on_batch;
+    blocked_input = (fun () -> None);
+    buffered = (fun () -> 0);
+  }

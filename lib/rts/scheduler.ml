@@ -22,15 +22,23 @@ let request_heartbeat node =
 let channels_empty node =
   Array.for_all (fun (_, chan) -> Channel.is_empty chan) (Node.inputs node)
 
-let run ?(quantum = 64) ?(max_rounds = 10_000_000) ?(heartbeats = true) ?heartbeat_period
-    ?on_round ?(trace = false) mgr =
+let run ?quantum ?(max_rounds = 10_000_000) ?(heartbeats = true) ?heartbeat_period
+    ?on_round ?(trace = false) ?(batch = 1) mgr =
+  (* A quantum smaller than the batch flushes every output builder before
+     it fills, so the *default* quantum floors at the batch — the knobs
+     compose. An explicit quantum wins: callers pinning the scheduling
+     granularity (round-indexed hooks, granularity sweeps) keep the round
+     structure they asked for, at the price of partial batches. *)
+  let quantum = match quantum with Some q -> q | None -> max 64 batch in
   Manager.start mgr;
   let reg = Manager.metrics mgr in
   let rounds_c = Metrics.counter reg "rts.scheduler.rounds" in
   let hb_c = Metrics.counter reg "rts.scheduler.heartbeat_requests" in
   let sample = if trace then 1 else default_service_sample in
   Metrics.Gauge.set_int (Metrics.gauge reg "rts.scheduler.service_sample") sample;
+  Metrics.Gauge.set_int (Metrics.gauge reg "rts.scheduler.batch") (max 1 batch);
   let nodes = Manager.nodes mgr in
+  List.iter (fun n -> Node.set_batch n batch) nodes;
   (* [iter] counts scheduling iterations (max_rounds guard, sampling,
      periodic heartbeats, the on_round hook); [rounds] counts only the
      productive ones — iterations in which some node actually moved an
@@ -216,8 +224,9 @@ let partition ~domains nodes =
         nodes;
       Ok (Array.map List.rev parts)
 
-let run_parallel ?(quantum = 64) ?(max_rounds = 10_000_000) ?(heartbeats = true)
-    ?heartbeat_period ?(trace = false) ?(placement = []) ~domains mgr =
+let run_parallel ?quantum ?(max_rounds = 10_000_000) ?(heartbeats = true)
+    ?heartbeat_period ?(trace = false) ?(placement = []) ?(batch = 1) ~domains mgr =
+  let quantum = match quantum with Some q -> q | None -> max 64 batch in
   let apply_placement () =
     let rec go = function
       | [] -> Ok ()
@@ -234,7 +243,7 @@ let run_parallel ?(quantum = 64) ?(max_rounds = 10_000_000) ?(heartbeats = true)
   | Error _ as e -> e
   | Ok () -> (
       if domains <= 1 then
-        run ~quantum ~max_rounds ~heartbeats ?heartbeat_period ~trace mgr
+        run ~quantum ~max_rounds ~heartbeats ?heartbeat_period ~trace ~batch mgr
       else
       match partition ~domains (Manager.nodes mgr) with
       | Error _ as e -> e
@@ -246,7 +255,9 @@ let run_parallel ?(quantum = 64) ?(max_rounds = 10_000_000) ?(heartbeats = true)
         let sample = if trace then 1 else default_service_sample in
         Metrics.Gauge.set_int (Metrics.gauge reg "rts.scheduler.service_sample") sample;
         Metrics.Gauge.set_int (Metrics.gauge reg "rts.scheduler.domains") domains;
+        Metrics.Gauge.set_int (Metrics.gauge reg "rts.scheduler.batch") (max 1 batch);
         let nodes = Manager.nodes mgr in
+        List.iter (fun n -> Node.set_batch n batch) nodes;
         let part_of = Hashtbl.create 32 in
         Array.iteri
           (fun p ns -> List.iter (fun n -> Hashtbl.replace part_of (Node.name n) p) ns)
@@ -267,7 +278,11 @@ let run_parallel ?(quantum = 64) ?(max_rounds = 10_000_000) ?(heartbeats = true)
                      the producer domain run unboundedly ahead, and a
                      downstream merge/join then buffers that whole lead
                      before its heartbeat punctuation catches up. *)
-                  let xcap = min (Channel.capacity chan) (max (4 * quantum) 64) in
+                  (* Room for at least two full batches, or a producer
+                     ping-pongs against the bound on every push. *)
+                  let xcap =
+                    min (Channel.capacity chan) (max (max (4 * quantum) 64) (2 * batch))
+                  in
                   let xc = Channel.promote_cross ~capacity:xcap chan in
                   Xchannel.set_on_push xc (fun () -> Domain_runner.notify signals.(pn));
                   if not already then begin

@@ -22,9 +22,20 @@ val run :
   ?heartbeat_period:int ->
   ?on_round:(int -> unit) ->
   ?trace:bool ->
+  ?batch:int ->
   Manager.t ->
   (stats, string) result
-(** [quantum] (default 64) items per node per round; [max_rounds] (default
+(** [batch] (default 1) sets every node's output batch size
+    ({!Node.set_batch}): tuples move through channels in runs of up to
+    [batch], sealed early by any control item and flushed at the end of
+    every node step, so the emitted item sequence — and therefore the
+    subscriber output — is byte-identical for every batch size. The
+    effective size is published as the [rts.scheduler.batch] gauge.
+    The {e default} quantum is floored at [batch] so a large batch is
+    not flushed early; an explicit [quantum] wins (round-indexed hooks
+    keep their round structure) at the price of partial batches.
+
+    [quantum] (default [max 64 batch]) items per node per round; [max_rounds] (default
     10_000_000) bounds scheduling iterations as a wedge guard;
     [heartbeats] (default true) enables on-demand punctuation (requested
     by blocked operators); [heartbeat_period] additionally fires every
@@ -53,6 +64,7 @@ val run_parallel :
   ?heartbeat_period:int ->
   ?trace:bool ->
   ?placement:(string * int) list ->
+  ?batch:int ->
   domains:int ->
   Manager.t ->
   (stats, string) result
@@ -86,7 +98,11 @@ val run_parallel :
     sequence depends only on its per-channel input tuple sequences, not
     on punctuation timing or domain interleaving, so a parallel run
     produces byte-identical subscriber output to a single-threaded run
-    (verified by test/test_parallel.ml). *)
+    (verified by test/test_parallel.ml).
+
+    [batch] behaves as in {!run}; one cross-domain push then moves a
+    whole batch under a single lock acquire, and the cross-channel
+    capacity is clamped up so it always holds at least two batches. *)
 
 val request_heartbeat : Node.t -> unit
 (** Walk upstream from the node and fire every source's clock punctuation

@@ -3,15 +3,17 @@ module Metrics = Gigascope_obs.Metrics
 let make ?rejected ?pred ~project ~punct_map () =
   let done_ = ref false in
   let reject () = match rejected with Some c -> Metrics.Counter.incr c | None -> () in
+  let on_tuple values ~emit =
+    let pass = match pred with None -> true | Some p -> p values in
+    if pass then
+      match project values with
+      | Some out -> ignore (emit (Item.Tuple out))
+      | None -> reject ()
+    else reject ()
+  in
   let on_item ~input:_ item ~emit =
     match item with
-    | Item.Tuple values -> (
-        let pass = match pred with None -> true | Some p -> p values in
-        if pass then
-          match project values with
-          | Some out -> ignore (emit (Item.Tuple out))
-          | None -> reject ()
-        else reject ())
+    | Item.Tuple values -> on_tuple values ~emit
     | Item.Punct bounds ->
         let translated =
           List.filter_map
@@ -27,4 +29,18 @@ let make ?rejected ?pred ~project ~punct_map () =
           emit Item.Eof
         end
   in
-  { Operator.on_item; blocked_input = (fun () -> None); buffered = (fun () -> 0) }
+  (* The hot path of the plane: one dispatch filters and projects a whole
+     run of tuples. *)
+  let on_batch ~input batch ~emit =
+    let tuples = Batch.tuples batch in
+    for i = 0 to Array.length tuples - 1 do
+      on_tuple tuples.(i) ~emit
+    done;
+    match Batch.ctrl batch with Some ctrl -> on_item ~input ctrl ~emit | None -> ()
+  in
+  {
+    Operator.on_item;
+    on_batch = Some on_batch;
+    blocked_input = (fun () -> None);
+    buffered = (fun () -> 0);
+  }

@@ -3,8 +3,10 @@ module Clock = Gigascope_obs.Clock
 
 type t = {
   name : string;
-  capacity : int;
-  q : Item.t Queue.t;
+  capacity : int;  (* in items, matching Channel *)
+  q : Batch.t Queue.t;
+  mutable cur : Item.t list;  (* consumer-side remainder of a popped batch *)
+  mutable n_items : int;  (* items buffered: queue plus remainder *)
   lock : Mutex.t;
   not_full : Condition.t;
   mutable closed : bool;
@@ -13,6 +15,7 @@ type t = {
   tuples_in : Metrics.Counter.t;
   dropped : Metrics.Counter.t;
   blocked_ns : Metrics.Counter.t;
+  occupancy : Metrics.Histogram.t;  (* items per pushed batch *)
 }
 
 let create ?(capacity = 4096) ~name () =
@@ -21,6 +24,8 @@ let create ?(capacity = 4096) ~name () =
     name;
     capacity;
     q = Queue.create ();
+    cur = [];
+    n_items = 0;
     lock = Mutex.create ();
     not_full = Condition.create ();
     closed = false;
@@ -29,6 +34,7 @@ let create ?(capacity = 4096) ~name () =
     tuples_in = Metrics.Counter.make ();
     dropped = Metrics.Counter.make ();
     blocked_ns = Metrics.Counter.make ();
+    occupancy = Metrics.Histogram.make ();
   }
 
 let name t = t.name
@@ -36,31 +42,43 @@ let capacity t = t.capacity
 
 let set_on_push t f = t.on_push <- f
 
-let push t item =
+let push_batch t batch =
+  let size = Batch.items batch in
   Mutex.lock t.lock;
   (* Backpressure: block until the consumer makes room. The wait is the
      cross-domain analogue of a dropped tuple, so it is accounted
-     ([blocked_ns]) the way the single-threaded Channel accounts drops. *)
-  if (not t.closed) && Queue.length t.q >= t.capacity then begin
+     ([blocked_ns]) the way the single-threaded Channel accounts drops.
+     A batch is admitted whole once any room exists, so depth can
+     overshoot [capacity] by one batch — blocking a partially admissible
+     batch until it fits exactly would deadlock when a batch is larger
+     than the capacity. *)
+  if (not t.closed) && t.n_items >= t.capacity then begin
     let t0 = Clock.now_ns () in
-    while (not t.closed) && Queue.length t.q >= t.capacity do
+    while (not t.closed) && t.n_items >= t.capacity do
       Condition.wait t.not_full t.lock
     done;
     Metrics.Counter.add t.blocked_ns (int_of_float (Clock.now_ns () -. t0))
   end;
   let accepted = not t.closed in
   if accepted then begin
-    Queue.push item t.q;
-    let d = Queue.length t.q in
-    if d > t.hw then t.hw <- d;
-    match item with
-    | Item.Tuple _ -> Metrics.Counter.incr t.tuples_in
-    | Item.Punct _ | Item.Flush | Item.Eof -> ()
+    Queue.push batch t.q;
+    t.n_items <- t.n_items + size;
+    if t.n_items > t.hw then t.hw <- t.n_items;
+    let nt = Batch.n_tuples batch in
+    if nt > 0 then Metrics.Counter.add t.tuples_in nt;
+    Metrics.Histogram.observe t.occupancy (float_of_int size)
   end
   else begin
-    match item with
-    | Item.Tuple _ | Item.Punct _ | Item.Flush -> Metrics.Counter.incr t.dropped
-    | Item.Eof -> ()
+    (* Closed channel: count what was lost — every tuple the batch held,
+       plus a non-Eof control item (Eof on a closed channel is the
+       normal shutdown overlap, not a loss). *)
+    let lost =
+      Batch.n_tuples batch
+      + (match Batch.ctrl batch with
+        | Some (Item.Punct _ | Item.Flush) -> 1
+        | Some Item.Eof | Some (Item.Tuple _) | None -> 0)
+    in
+    if lost > 0 then Metrics.Counter.add t.dropped lost
   end;
   Mutex.unlock t.lock;
   (* Notify outside the lock: the consumer's signal has its own mutex and
@@ -68,24 +86,62 @@ let push t item =
   if accepted then t.on_push ();
   accepted
 
+let push t item = push_batch t (Batch.of_item item)
+
+(* Consumer side (SPSC): [cur] holds the remainder of a dequeued batch so
+   the item-level API can interleave with batch pops; both run under the
+   lock, and only the consumer domain touches them. *)
+
+let refill_cur t =
+  if t.cur = [] then
+    match Queue.take_opt t.q with Some b -> t.cur <- Batch.to_items b | None -> ()
+
 let pop t =
   Mutex.lock t.lock;
-  let item = Queue.take_opt t.q in
+  refill_cur t;
+  let item =
+    match t.cur with
+    | it :: rest ->
+        t.cur <- rest;
+        t.n_items <- t.n_items - 1;
+        Some it
+    | [] -> None
+  in
   if item <> None then Condition.signal t.not_full;
   Mutex.unlock t.lock;
   item
+
+let pop_batch t =
+  Mutex.lock t.lock;
+  let batch =
+    match t.cur with
+    | [] -> (
+        match Queue.take_opt t.q with
+        | Some b ->
+            t.n_items <- t.n_items - Batch.items b;
+            Some b
+        | None -> None)
+    | items ->
+        t.cur <- [];
+        t.n_items <- t.n_items - List.length items;
+        Some (Batch.of_items items)
+  in
+  if batch <> None then Condition.signal t.not_full;
+  Mutex.unlock t.lock;
+  batch
 
 (* Sound for SPSC use: only the consumer removes items, so a peeked head
    stays the head until the same domain pops it. *)
 let peek t =
   Mutex.lock t.lock;
-  let item = Queue.peek_opt t.q in
+  refill_cur t;
+  let item = match t.cur with it :: _ -> Some it | [] -> None in
   Mutex.unlock t.lock;
   item
 
 let length t =
   Mutex.lock t.lock;
-  let n = Queue.length t.q in
+  let n = t.n_items in
   Mutex.unlock t.lock;
   n
 
@@ -121,4 +177,5 @@ let register_metrics t reg ~prefix =
   Metrics.attach_counter reg (prefix ^ ".drops") t.dropped;
   Metrics.attach_counter reg (prefix ^ ".blocked_ns") t.blocked_ns;
   Metrics.attach_gauge_fn reg (prefix ^ ".depth") (fun () -> float_of_int (length t));
-  Metrics.attach_gauge_fn reg (prefix ^ ".high_water") (fun () -> float_of_int (high_water t))
+  Metrics.attach_gauge_fn reg (prefix ^ ".high_water") (fun () -> float_of_int (high_water t));
+  Metrics.attach_histogram reg (prefix ^ ".batch_items") t.occupancy

@@ -1,4 +1,4 @@
-(** Bounded SPSC cross-domain channel (mutex + condvar).
+(** Bounded SPSC cross-domain channel (mutex + condvar) carrying batches.
 
     The parallel scheduler's replacement for the shared-memory ring
     between an LFTA and an HFTA when the two run on different OCaml
@@ -7,6 +7,13 @@
     blocks the producer — backpressure instead of loss — and accounts the
     stall time in [blocked_ns]. Drops happen only after {!close} (error
     shutdown), so a crashed consumer domain cannot wedge its producer.
+
+    The transport unit is a {!Batch}: one lock acquire, one queue
+    operation and one condvar signal move a whole run of tuples across
+    the domain boundary. Capacity, depth and high-water are measured in
+    {e items} (tuples plus control items), matching {!Channel}; a batch
+    is admitted whole once any room exists, so depth can briefly
+    overshoot the capacity by one batch.
 
     Single producer, single consumer: the owning domains of the two
     endpoint nodes. {!pop}/{!peek} are non-blocking; a consumer with
@@ -26,17 +33,28 @@ val set_on_push : t -> (unit -> unit) -> unit
     the channel lock — the consumer domain's wakeup. Set before the
     consumer domain spawns. *)
 
+val push_batch : t -> Batch.t -> bool
+(** Blocks while the channel is full. False (and counted drops — the
+    batch's tuples plus a non-Eof control item) only when the channel is
+    closed. *)
+
 val push : t -> Item.t -> bool
-(** Blocks while the channel is full. False (and a counted drop, except
-    for [Eof]) only when the channel is closed. *)
+(** {!push_batch} of a singleton batch. *)
+
+val pop_batch : t -> Batch.t option
+(** Non-blocking; signals a producer waiting on a full channel. When the
+    item-level {!pop} has partially consumed a batch, the remainder is
+    returned first. *)
 
 val pop : t -> Item.t option
-(** Non-blocking; signals a producer waiting on a full channel. *)
+(** Item-level view of {!pop_batch}: consumes one item at a time. *)
 
 val peek : t -> Item.t option
 (** Non-blocking; stable only for the consumer domain (SPSC). *)
 
 val length : t -> int
+(** Buffered items (tuples plus control items). *)
+
 val is_empty : t -> bool
 
 val close : t -> unit
@@ -54,6 +72,7 @@ val blocked_ns : t -> int
 (** Cumulative nanoseconds producers spent blocked on a full channel. *)
 
 val register_metrics : t -> Gigascope_obs.Metrics.t -> prefix:string -> unit
-(** Attach [tuples_in], [drops] and [blocked_ns] counters plus polled
-    [depth] and [high_water] gauges under [prefix] (the manager uses
+(** Attach [tuples_in], [drops] and [blocked_ns] counters, polled
+    [depth] and [high_water] gauges, and the [batch_items] occupancy
+    histogram (items per pushed batch) under [prefix] (the manager uses
     [rts.xchannel.<from>-><to>]). *)

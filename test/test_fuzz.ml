@@ -206,6 +206,38 @@ let xchannel_fuzz =
       && Rts.Xchannel.high_water xc <= capacity
       && Rts.Xchannel.blocked_ns xc >= 0)
 
+(* ---------------------- batched data plane ------------------------------ *)
+
+(* Differential fuzz over the data-plane batch size: the knob is pure
+   plumbing, so for every workload in the determinism matrix the
+   subscriber output must be byte-identical — same rows, same order — at
+   every batch size. The sizes cross the interesting thresholds: 2 (the
+   smallest real batch), 7 (never divides a quantum evenly, so every step
+   ends in a flushed partial batch), 64 (the default quantum, one batch
+   per step), and 4096 (larger than any default quantum or channel
+   capacity ratio, so the quantum floor and the cross-channel capacity
+   clamp both engage). *)
+let batch_differential =
+  List.map
+    (fun (w : Workloads.workload) ->
+      Alcotest.test_case w.Workloads.wname `Slow (fun () ->
+          let seed = 23 in
+          let baseline, _ = Workloads.exec w ~seed ~parallel:1 ~batch:1 () in
+          List.iter
+            (fun batch ->
+              let got, _ = Workloads.exec w ~seed ~parallel:1 ~batch () in
+              Workloads.assert_same
+                ~label:(Printf.sprintf "%s batch=%d" w.Workloads.wname batch)
+                baseline got)
+            [2; 7; 64; 4096];
+          (* and batched across a domain boundary: one cross-channel push
+             per batch must not reorder or lose anything either *)
+          let par, _ = Workloads.exec w ~seed ~parallel:2 ~batch:64 () in
+          Workloads.assert_same
+            ~label:(Printf.sprintf "%s domains=2 batch=64" w.Workloads.wname)
+            baseline par))
+    Workloads.workloads
+
 (* full path: fuzzed pcap bytes through the engine *)
 let engine_survives_fuzzed_pcap =
   qtest ~count:50 "engine runs over a capture of mutated packets" QCheck.small_int (fun seed ->
@@ -256,5 +288,6 @@ let () =
       ("regex", [regex_compile_never_raises_unexpectedly; regex_match_never_raises]);
       ("tables", [lpm_table_never_raises]);
       ("xchannel", [xchannel_fuzz]);
+      ("batch-differential", batch_differential);
       ("end-to-end", [engine_survives_fuzzed_pcap]);
     ]

@@ -938,6 +938,92 @@ let test_manager_lfta_input_restriction () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "LFTA reading a stream accepted"
 
+(* -------------------- channel promotion --------------------------------- *)
+
+let drain_channel chan =
+  let rec go acc =
+    match Rts.Channel.pop chan with Some item -> go (item :: acc) | None -> List.rev acc
+  in
+  go []
+
+let test_promote_cross_carries_buffer () =
+  (* whatever sits buffered at promotion time — tuples, punctuation, Eof —
+     must come out of the cross-domain channel intact and in order *)
+  let chan = Rts.Channel.create ~capacity:16 ~name:"edge" () in
+  let items =
+    [
+      Item.Tuple [| vint 0; vint 0 |];
+      Item.Tuple [| vint 1; vint 0 |];
+      Item.Punct [(0, vint 1)];
+      Item.Tuple [| vint 2; vint 0 |];
+      Item.Eof;
+    ]
+  in
+  List.iter (fun item -> assert (Rts.Channel.push chan item)) items;
+  let xc = Rts.Channel.promote_cross chan in
+  check Alcotest.bool "channel reports cross" true (Rts.Channel.is_cross chan);
+  check Alcotest.int "nothing lost in the move" (List.length items) (Rts.Channel.length chan);
+  check Alcotest.int "xchannel holds the buffer" (List.length items) (Rts.Xchannel.length xc);
+  let got = drain_channel chan in
+  check Alcotest.bool "buffered items carry over in order" true (got = items);
+  check Alcotest.int "no drops from promotion" 0 (Rts.Channel.drops chan)
+
+let test_promote_cross_partial_batch () =
+  (* promotion mid-stream, after a batch was partially consumed: the
+     consumer-side remainder must carry over ahead of the ring *)
+  let chan = Rts.Channel.create ~capacity:16 ~name:"edge" () in
+  let batch =
+    Rts.Batch.make
+      [| [| vint 0; vint 0 |]; [| vint 1; vint 0 |]; [| vint 2; vint 0 |] |]
+      (Some (Item.Punct [(0, vint 2)]))
+  in
+  assert (Rts.Channel.push_batch chan batch);
+  assert (Rts.Channel.push chan (Item.Tuple [| vint 3; vint 0 |]));
+  (match Rts.Channel.pop chan with
+  | Some (Item.Tuple [| Value.Int 0; _ |]) -> ()
+  | _ -> Alcotest.fail "first tuple expected before promotion");
+  ignore (Rts.Channel.promote_cross chan);
+  let got = drain_channel chan in
+  let expected =
+    [
+      Item.Tuple [| vint 1; vint 0 |];
+      Item.Tuple [| vint 2; vint 0 |];
+      Item.Punct [(0, vint 2)];
+      Item.Tuple [| vint 3; vint 0 |];
+    ]
+  in
+  check Alcotest.bool "remainder then ring, in order" true (got = expected)
+
+let test_promote_cross_idempotent () =
+  (* a second promotion mid-stream must return the same xchannel and
+     disturb nothing *)
+  let chan = Rts.Channel.create ~capacity:16 ~name:"edge" () in
+  assert (Rts.Channel.push chan (Item.Tuple [| vint 0; vint 0 |]));
+  let xc1 = Rts.Channel.promote_cross chan in
+  assert (Rts.Channel.push chan (Item.Tuple [| vint 1; vint 0 |]));
+  (match Rts.Channel.pop chan with
+  | Some (Item.Tuple [| Value.Int 0; _ |]) -> ()
+  | _ -> Alcotest.fail "first tuple expected between promotions");
+  let xc2 = Rts.Channel.promote_cross chan in
+  check Alcotest.bool "same xchannel both times" true (xc1 == xc2);
+  (match Rts.Channel.cross chan with
+  | Some xc -> check Alcotest.bool "cross accessor agrees" true (xc == xc1)
+  | None -> Alcotest.fail "promoted channel lost its xchannel");
+  let got = drain_channel chan in
+  check Alcotest.bool "in-flight item undisturbed" true
+    (got = [Item.Tuple [| vint 1; vint 0 |]])
+
+let test_promote_cross_capacity_clamp () =
+  (* the cross capacity is never smaller than what is already buffered:
+     promotion runs single-domain, so a blocking push would never drain *)
+  let chan = Rts.Channel.create ~capacity:8 ~name:"edge" () in
+  for i = 0 to 4 do
+    assert (Rts.Channel.push chan (Item.Tuple [| vint i; vint 0 |]))
+  done;
+  let xc = Rts.Channel.promote_cross ~capacity:2 chan in
+  check Alcotest.bool "capacity clamped to buffer" true (Rts.Xchannel.capacity xc >= 5);
+  check Alcotest.int "every buffered item admitted" 5 (Rts.Xchannel.length xc)
+
 let test_scheduler_end_to_end () =
   let mgr = Rts.Manager.create () in
   ignore (Result.get_ok (Rts.Manager.add_source mgr ~name:"s" ~schema:src_schema (counting_source 100)));
@@ -1092,6 +1178,14 @@ let () =
           Alcotest.test_case "empty base rejected" `Quick test_md_join_empty_base_rejected;
           Alcotest.test_case "flush + punct" `Quick test_md_join_flush_and_punct;
           Alcotest.test_case "as a query node" `Quick test_md_join_in_manager;
+        ] );
+      ( "channel",
+        [
+          Alcotest.test_case "promotion carries buffer" `Quick test_promote_cross_carries_buffer;
+          Alcotest.test_case "promotion carries partial batch" `Quick
+            test_promote_cross_partial_batch;
+          Alcotest.test_case "promotion idempotent" `Quick test_promote_cross_idempotent;
+          Alcotest.test_case "promotion capacity clamp" `Quick test_promote_cross_capacity_clamp;
         ] );
       ( "manager-scheduler",
         [
