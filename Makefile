@@ -10,17 +10,19 @@ build:
 test:
 	dune runtest
 
-# CI runs the suite three times: single-threaded tuple-at-a-time, with
-# every Engine.run forced onto 2 domains, and with every Engine.run's
-# data plane batched at 64 (the test/dune env_var deps make the later
-# runs re-execute rather than hit the cache). Both knobs claim
-# byte-identical output, so the whole suite doubles as their
-# determinism check.
+# CI runs the suite four times: single-threaded tuple-at-a-time, with
+# every Engine.run forced onto 2 domains, with every Engine.run's data
+# plane batched at 64, and with both knobs combined (the test/dune
+# env_var deps make the later runs re-execute rather than hit the
+# cache). All knobs claim byte-identical output, so the whole suite
+# doubles as their determinism check — including the parallel×batched
+# interaction, which neither single-knob pass exercises.
 ci:
 	dune build @all
 	dune runtest
 	GIGASCOPE_PARALLEL=2 dune runtest --force
 	GIGASCOPE_BATCH=64 dune runtest --force
+	GIGASCOPE_PARALLEL=2 GIGASCOPE_BATCH=64 dune runtest --force
 
 bench:
 	dune exec bench/main.exe

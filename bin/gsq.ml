@@ -6,6 +6,15 @@
          printing the output stream(s); observability flags render the
          runtime metrics registry after the run
 
+     gsq serve query.gsql --listen unix:/tmp/gsq.sock --listen :5577
+         run as a stream-database server: remote clients list the
+         installed queries and subscribe to their output streams over
+         the binary wire protocol
+
+     gsq tap ADDR [QUERY] [--format csv|json]
+         subscribe to a query on a running gsq server and print its
+         stream; without QUERY, list what the server offers
+
      gsq explain query.gsql
          show the logical plan, the LFTA/HFTA split, imputed ordering
          properties, NIC hints and generated pseudo-C
@@ -153,12 +162,10 @@ let placement =
 
 (* ---- run ---- *)
 
-let do_run query_file rate duration seed pcap_in iface max_rows sessions show_stats trace
-    metrics_out log_level parallel placement batch =
-  setup_logging log_level;
-  let text = read_file query_file in
+(* Engine with traffic plumbing shared by `run` and `serve`: a pcap
+   replay or generator interface, plus the optional session stream. *)
+let setup_engine ~pcap_in ~iface ~gen_cfg ~sessions =
   let engine = E.create () in
-  let gen_cfg = { Gigascope_traffic.Gen.default with rate_mbps = rate; duration; seed } in
   (match pcap_in with
   | Some path -> (
       match E.add_pcap_interface engine ~name:iface path with
@@ -201,6 +208,14 @@ let do_run query_file rate duration seed pcap_in iface max_rows sessions show_st
         prerr_endline e;
         exit 1
   end;
+  engine
+
+let do_run query_file rate duration seed pcap_in iface max_rows sessions show_stats trace
+    metrics_out log_level parallel placement batch =
+  setup_logging log_level;
+  let text = read_file query_file in
+  let gen_cfg = { Gigascope_traffic.Gen.default with rate_mbps = rate; duration; seed } in
+  let engine = setup_engine ~pcap_in ~iface ~gen_cfg ~sessions in
   match E.install_program engine text with
   | Error e ->
       prerr_endline ("error: " ^ e);
@@ -266,6 +281,257 @@ let run_cmd =
     Term.(
       const do_run $ query_file $ rate $ duration $ seed $ pcap_in $ iface $ max_rows
       $ sessions $ stats $ trace $ metrics_out $ log_level $ parallel $ placement $ batch)
+
+(* ---- serve ---- *)
+
+module Server = Gigascope_net.Server
+module Client = Gigascope_net.Client
+module Addr = Gigascope_net.Addr
+
+let listen_addrs =
+  Arg.(
+    non_empty & opt_all string []
+    & info ["listen"] ~docv:"ADDR"
+        ~doc:
+          "Accept subscribers on ADDR: $(b,unix:/path.sock) or $(b,host:port) ($(b,:port) \
+           for every interface, port 0 for a kernel-chosen port). Repeatable.")
+
+let policy_arg =
+  let parse s = Result.map_error (fun e -> `Msg e) (Server.policy_of_string s) in
+  let print fmt p = Format.pp_print_string fmt (Server.policy_to_string p) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Server.Drop_newest
+    & info ["policy"] ~docv:"POLICY"
+        ~doc:
+          "Slow-consumer policy when a subscriber's egress queue fills: $(b,block) the \
+           engine, $(b,drop) the newest tuples (default; drops are counted under \
+           net.subscriber.drops), or $(b,disconnect) the subscriber.")
+
+let egress =
+  Arg.(
+    value & opt int 4096
+    & info ["egress"] ~docv:"N" ~doc:"Per-subscriber egress queue capacity in items.")
+
+let wait_subscribers =
+  Arg.(
+    value & opt int 0
+    & info ["wait-subscribers"] ~docv:"N"
+        ~doc:"Hold the traffic until N subscribers have attached, then start the run.")
+
+let ingests =
+  Arg.(
+    value
+    & opt_all (pair ~sep:'=' string string) []
+    & info ["ingest"] ~docv:"NAME=PROTO"
+        ~doc:
+          "Register a network-fed source stream NAME with the schema of protocol PROTO \
+           (see $(b,gsq catalog)); remote publishers feed it with $(b,Publish NAME). \
+           Repeatable.")
+
+let do_serve query_file rate duration seed pcap_in iface sessions show_stats trace
+    metrics_out log_level parallel placement batch listen_addrs policy egress
+    wait_subscribers ingests =
+  setup_logging log_level;
+  let text = read_file query_file in
+  let gen_cfg = { Gigascope_traffic.Gen.default with rate_mbps = rate; duration; seed } in
+  let engine = setup_engine ~pcap_in ~iface ~gen_cfg ~sessions in
+  let server = Server.create ~policy ~egress_capacity:egress engine in
+  List.iter
+    (fun (name, proto) ->
+      match Gigascope_gsql.Catalog.find_protocol (E.catalog engine) proto with
+      | None ->
+          prerr_endline ("unknown protocol for --ingest: " ^ proto);
+          exit 1
+      | Some p -> (
+          match
+            Server.add_ingest server ~name ~schema:p.Gigascope_gsql.Catalog.schema ()
+          with
+          | Ok () -> ()
+          | Error e ->
+              prerr_endline ("--ingest " ^ name ^ ": " ^ e);
+              exit 1))
+    ingests;
+  (match E.install_program engine text with
+  | Ok _ -> ()
+  | Error e ->
+      prerr_endline ("error: " ^ e);
+      exit 1);
+  List.iter
+    (fun addr_s ->
+      match Result.bind (Addr.of_string addr_s) (Server.listen server) with
+      | Ok bound -> Printf.printf "-- listening on %s\n%!" (Addr.to_string bound)
+      | Error e ->
+          prerr_endline ("listen " ^ addr_s ^ ": " ^ e);
+          Server.stop server;
+          exit 1)
+    listen_addrs;
+  Sys.catch_break true;
+  let epilogue () =
+    if trace then print_string (E.trace_report engine);
+    if show_stats then print_string (Metrics.render (E.metrics_snapshot engine));
+    Option.iter (write_metrics engine) metrics_out
+  in
+  let finish code =
+    if not (Server.drain server) then
+      Logs.warn (fun m -> m "timed out waiting for subscribers to drain");
+    Server.stop server;
+    epilogue ();
+    exit code
+  in
+  (try
+     while Server.subscriber_count server < wait_subscribers do
+       Thread.delay 0.02
+     done
+   with Sys.Break ->
+     prerr_endline "interrupted";
+     finish 130);
+  match
+    E.run engine ~trace
+      ?parallel:(if parallel > 1 then Some parallel else None)
+      ?batch:(if batch > 1 then Some batch else None)
+      ~placement ()
+  with
+  | Ok stats ->
+      Printf.printf "-- done: %d rounds, %d heartbeats, %d drops\n%!"
+        stats.Rts.Scheduler.rounds stats.Rts.Scheduler.heartbeat_requests
+        (E.total_drops engine);
+      finish 0
+  | Error e ->
+      prerr_endline ("run error: " ^ e);
+      finish 1
+  | exception Sys.Break ->
+      prerr_endline "interrupted";
+      finish 130
+
+let serve_cmd =
+  let doc = "run as a stream-database server: remote clients subscribe over the wire" in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const do_serve $ query_file $ rate $ duration $ seed $ pcap_in $ iface $ sessions
+      $ stats $ trace $ metrics_out $ log_level $ parallel $ placement $ batch
+      $ listen_addrs $ policy_arg $ egress $ wait_subscribers $ ingests)
+
+(* ---- tap ---- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_of_value = function
+  | Value.Null -> "null"
+  | Value.Bool b -> string_of_bool b
+  | Value.Int i -> string_of_int i
+  | Value.Float f ->
+      if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+      else if Float.is_finite f then Printf.sprintf "%.17g" f
+      else "null" (* nan/inf have no JSON spelling *)
+  | Value.Str s -> "\"" ^ json_escape s ^ "\""
+  | (Value.Ip _) as v -> "\"" ^ json_escape (Value.to_string v) ^ "\""
+
+let tap_addr = Arg.(required & pos 0 (some string) None & info [] ~docv:"ADDR")
+
+let tap_query = Arg.(value & pos 1 (some string) None & info [] ~docv:"QUERY")
+
+let tap_format =
+  Arg.(
+    value
+    & opt (enum [("csv", `Csv); ("json", `Json)]) `Csv
+    & info ["format"] ~docv:"FMT" ~doc:"Output format: $(b,csv) (default) or $(b,json).")
+
+let tap_max_rows =
+  Arg.(
+    value & opt int 0
+    & info ["max-rows"] ~docv:"N" ~doc:"Stop after printing N tuples (0 = unlimited).")
+
+let do_tap addr_s query format max_rows log_level =
+  setup_logging log_level;
+  let fail e =
+    prerr_endline ("tap: " ^ e);
+    exit 1
+  in
+  let addr = match Addr.of_string addr_s with Ok a -> a | Error e -> fail e in
+  let client = match Client.connect addr with Ok c -> c | Error e -> fail e in
+  match query with
+  | None ->
+      (match Client.list client with
+      | Error e -> fail e
+      | Ok qs ->
+          List.iter
+            (fun (q : Gigascope_net.Wire.query_info) ->
+              Printf.printf "%-20s %-8s %s\n" q.Gigascope_net.Wire.q_name
+                q.Gigascope_net.Wire.q_kind
+                (Format.asprintf "%a" Rts.Schema.pp q.Gigascope_net.Wire.q_schema))
+            qs);
+      Client.close client
+  | Some name -> (
+      let schema = match Client.subscribe client name with Ok s -> s | Error e -> fail e in
+      let fields = Rts.Schema.fields schema in
+      let print_tuple tuple =
+        match format with
+        | `Csv ->
+            Array.iteri
+              (fun i v ->
+                if i > 0 then print_string ",";
+                print_string (Value.to_string v))
+              tuple;
+            print_newline ()
+        | `Json ->
+            print_char '{';
+            Array.iteri
+              (fun i v ->
+                if i > 0 then print_string ", ";
+                let fname =
+                  if i < Array.length fields then fields.(i).Rts.Schema.name
+                  else Printf.sprintf "f%d" i
+                in
+                Printf.printf "\"%s\": %s" (json_escape fname) (json_of_value v))
+              tuple;
+            print_string "}\n"
+      in
+      if format = `Csv then begin
+        Array.iteri
+          (fun i (f : Rts.Schema.field) ->
+            if i > 0 then print_string ",";
+            print_string f.Rts.Schema.name)
+          fields;
+        print_newline ()
+      end;
+      let rows = ref 0 in
+      let rec go () =
+        if max_rows > 0 && !rows >= max_rows then ()
+        else
+          match Client.next client with
+          | Ok None -> ()
+          | Ok (Some (Rts.Item.Tuple tuple)) ->
+              print_tuple tuple;
+              incr rows;
+              go ()
+          | Ok (Some _) -> go () (* punctuation / flush: not rows *)
+          | Error e ->
+              Client.close client;
+              fail e
+      in
+      Sys.catch_break true;
+      (try go () with Sys.Break -> ());
+      Client.close client;
+      Printf.printf "-- %d tuples\n%!" !rows)
+
+let tap_cmd =
+  let doc = "subscribe to a query on a running gsq server and print its stream" in
+  Cmd.v (Cmd.info "tap" ~doc)
+    Term.(const do_tap $ tap_addr $ tap_query $ tap_format $ tap_max_rows $ log_level)
 
 (* ---- explain ---- *)
 
@@ -357,4 +623,6 @@ let e1_cmd =
 let () =
   let doc = "Gigascope: a stream database for network applications" in
   let info = Cmd.info "gsq" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [run_cmd; explain_cmd; gen_cmd; catalog_cmd; e1_cmd]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [run_cmd; serve_cmd; tap_cmd; explain_cmd; gen_cmd; catalog_cmd; e1_cmd]))

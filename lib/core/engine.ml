@@ -268,19 +268,28 @@ let on_tuple t name f =
     | Rts.Item.Tuple values -> f values
     | Rts.Item.Punct _ | Rts.Item.Flush | Rts.Item.Eof -> ())
 
-(* GIGASCOPE_PARALLEL=N makes every run parallel by default — the hook the
-   CI matrix uses to execute the whole test suite on N domains. *)
-let default_parallel () =
-  match Sys.getenv_opt "GIGASCOPE_PARALLEL" with
-  | Some s -> ( match int_of_string_opt (String.trim s) with Some n when n > 1 -> n | _ -> 1)
+(* GIGASCOPE_PARALLEL / GIGASCOPE_BATCH make every run parallel /
+   batched by default — the hooks the CI matrix uses to execute the
+   whole test suite on N domains or vectorized. A value that is not a
+   clean positive integer is ignored, but never silently: degrading
+   GIGASCOPE_PARALLEL=abc to a single-threaded run would quietly void
+   what the CI matrix claims to test. *)
+let env_knob name =
+  match Sys.getenv_opt name with
   | None -> 1
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | Some n ->
+          Log.warn (fun m -> m "ignoring %s=%d: must be a positive integer; using 1" name n);
+          1
+      | None ->
+          Log.warn (fun m -> m "ignoring %s=%S: not an integer; using 1" name s);
+          1)
 
-(* GIGASCOPE_BATCH=N batches every run's data plane by default — the hook
-   the CI matrix uses to execute the whole test suite vectorized. *)
-let default_batch () =
-  match Sys.getenv_opt "GIGASCOPE_BATCH" with
-  | Some s -> ( match int_of_string_opt (String.trim s) with Some n when n > 1 -> n | _ -> 1)
-  | None -> 1
+let default_parallel () = env_knob "GIGASCOPE_PARALLEL"
+
+let default_batch () = env_knob "GIGASCOPE_BATCH"
 
 let run t ?quantum ?heartbeats ?heartbeat_period ?on_round ?trace ?parallel ?placement ?batch ()
     =

@@ -1,0 +1,40 @@
+type t = Unix_sock of string | Tcp of string * int
+
+let of_string s =
+  let s = String.trim s in
+  if s = "" then Error "address: empty"
+  else if String.length s >= 5 && String.sub s 0 5 = "unix:" then begin
+    let path = String.sub s 5 (String.length s - 5) in
+    if path = "" then Error "address: unix: needs a socket path" else Ok (Unix_sock path)
+  end
+  else
+    match String.rindex_opt s ':' with
+    | None -> Error (Printf.sprintf "address %S: expected unix:PATH or HOST:PORT" s)
+    | Some i -> (
+        let host = String.sub s 0 i in
+        let port = String.sub s (i + 1) (String.length s - i - 1) in
+        match int_of_string_opt port with
+        | Some p when p >= 0 && p <= 0xffff ->
+            Ok (Tcp ((if host = "" then "0.0.0.0" else host), p))
+        | Some p -> Error (Printf.sprintf "address %S: port %d out of range" s p)
+        | None -> Error (Printf.sprintf "address %S: bad port %S" s port))
+
+let to_string = function
+  | Unix_sock path -> "unix:" ^ path
+  | Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+
+let to_sockaddr = function
+  | Unix_sock path -> Ok (Unix.ADDR_UNIX path)
+  | Tcp (host, port) -> (
+      match Unix.inet_addr_of_string host with
+      | ip -> Ok (Unix.ADDR_INET (ip, port))
+      | exception Failure _ -> (
+          match Unix.gethostbyname host with
+          | { Unix.h_addr_list = [||]; _ } ->
+              Error (Printf.sprintf "address: no A record for %s" host)
+          | { Unix.h_addr_list; _ } -> Ok (Unix.ADDR_INET (h_addr_list.(0), port))
+          | exception Not_found -> Error (Printf.sprintf "address: cannot resolve %s" host)))
+
+let of_sockaddr = function
+  | Unix.ADDR_UNIX path -> Unix_sock path
+  | Unix.ADDR_INET (ip, port) -> Tcp (Unix.string_of_inet_addr ip, port)

@@ -1,0 +1,20 @@
+(** Endpoint addresses for the network data plane.
+
+    Two transports, one textual form:
+    - ["unix:/path/to.sock"] — a Unix-domain socket (same-host, the
+      cheap transport for co-located gsq processes);
+    - ["host:port"] or [":port"] — TCP (the cross-host transport;
+      [":port"] listens on every interface). *)
+
+type t = Unix_sock of string | Tcp of string * int
+
+val of_string : string -> (t, string) result
+val to_string : t -> string
+
+val to_sockaddr : t -> (Unix.sockaddr, string) result
+(** Resolves the host name for TCP addresses; [Error] when resolution
+    fails. *)
+
+val of_sockaddr : Unix.sockaddr -> t
+(** Render a bound socket's address (how a listener on port 0 reports
+    the port it actually got). *)

@@ -1,0 +1,138 @@
+module Rts = Gigascope_rts
+module Item = Rts.Item
+module Batch = Rts.Batch
+
+let ( let* ) = Result.bind
+
+type t = {
+  conn : Conn.t;
+  mutable server : string;
+  mutable pending : Item.t list;  (* unbatched items not yet handed out *)
+  mutable at_eof : bool;
+  mutable last_bounds : (int * Rts.Value.t) list;
+}
+
+let server_name t = t.server
+
+let connect ?(peer_name = "gsq-client") addr =
+  let* sockaddr = Addr.to_sockaddr addr in
+  match
+    let fd = Unix.socket (Unix.domain_of_sockaddr sockaddr) Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd sockaddr
+     with exn ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise exn);
+    fd
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error
+        (Printf.sprintf "connect %s: %s" (Addr.to_string addr) (Unix.error_message e))
+  | fd -> (
+      let conn = Conn.of_fd ~peer:(Addr.to_string addr) fd in
+      let t = { conn; server = "?"; pending = []; at_eof = false; last_bounds = [] } in
+      let* () =
+        Conn.send conn (Wire.Hello { version = Wire.protocol_version; peer = peer_name })
+      in
+      match Conn.recv conn with
+      | Ok (Wire.Hello { peer; _ }) ->
+          t.server <- peer;
+          Ok t
+      | Ok (Wire.Err e) ->
+          Conn.close conn;
+          Error ("server refused: " ^ e)
+      | Ok msg ->
+          Conn.close conn;
+          Error (Printf.sprintf "expected hello, got %s" (Wire.msg_label msg))
+      | Error e ->
+          Conn.close conn;
+          Error e)
+
+let list t =
+  let* () = Conn.send t.conn Wire.List_queries in
+  match Conn.recv t.conn with
+  | Ok (Wire.Queries qs) -> Ok qs
+  | Ok (Wire.Err e) -> Error e
+  | Ok msg -> Error (Printf.sprintf "expected queries, got %s" (Wire.msg_label msg))
+  | Error _ as e -> e
+
+let subscribe t name =
+  let* () = Conn.send t.conn (Wire.Subscribe name) in
+  match Conn.recv t.conn with
+  | Ok (Wire.Subscribed { schema; _ }) -> Ok schema
+  | Ok (Wire.Err e) -> Error e
+  | Ok msg -> Error (Printf.sprintf "expected subscribed, got %s" (Wire.msg_label msg))
+  | Error _ as e -> e
+
+let rec next t =
+  match t.pending with
+  | item :: rest ->
+      t.pending <- rest;
+      (match item with Item.Punct bounds -> t.last_bounds <- bounds | _ -> ());
+      if item = Item.Eof then begin
+        t.at_eof <- true;
+        Ok None
+      end
+      else Ok (Some item)
+  | [] ->
+      if t.at_eof then Ok None
+      else (
+        match Conn.recv t.conn with
+        | Ok (Wire.Batch b) ->
+            t.pending <- Batch.to_items b;
+            next t
+        | Ok Wire.Bye ->
+            t.at_eof <- true;
+            Ok None
+        | Ok (Wire.Err e) -> Error e
+        | Ok msg -> Error (Printf.sprintf "expected batch, got %s" (Wire.msg_label msg))
+        | Error _ as e -> e)
+
+let iter t f =
+  let rec go () =
+    match next t with
+    | Ok (Some item) ->
+        f item;
+        go ()
+    | Ok None -> Ok ()
+    | Error _ as e -> e
+  in
+  go ()
+
+let publish t ~iface =
+  let* () = Conn.send t.conn (Wire.Publish iface) in
+  match Conn.recv t.conn with
+  | Ok (Wire.Publish_ok { schema; _ }) -> Ok schema
+  | Ok (Wire.Err e) -> Error e
+  | Ok msg -> Error (Printf.sprintf "expected publish_ok, got %s" (Wire.msg_label msg))
+  | Error _ as e -> e
+
+let send_batch t batch = Conn.send t.conn (Wire.Batch batch)
+
+let send_tuple t values = send_batch t (Batch.of_item (Item.Tuple values))
+
+let finish t = send_batch t (Batch.make [||] (Some Item.Eof))
+
+let close t = Conn.close t.conn
+
+let source t =
+  let pull () =
+    match next t with
+    | Ok (Some item) -> Some item
+    | Ok None -> None
+    | Error _ ->
+        (* a lost upstream ends the stream; hanging the engine helps no one *)
+        None
+  in
+  let clock () = t.last_bounds in
+  { Rts.Node.pull; clock }
+
+let add_remote_interface engine ~name addr ~query =
+  let* client = connect addr in
+  match subscribe client query with
+  | Error e ->
+      close client;
+      Error e
+  | Ok schema ->
+      let src = source client in
+      Gigascope.Engine.add_custom_source engine ~name ~schema ~pull:src.Rts.Node.pull
+        ~clock:src.Rts.Node.clock

@@ -1,0 +1,63 @@
+(** Client side of the network data plane: the application that
+    "contacts the registry, obtains the FTA's output, and subscribes"
+    (paper §3) — over a socket instead of shared memory.
+
+    A connection is single-purpose after setup: [subscribe] turns it
+    into a stream of items ({!next}/{!iter}), [publish] turns it into a
+    tuple sink ({!send_batch}). [list] may be called any number of times
+    before that.
+
+    {!source} and {!add_remote_interface} close the loop for
+    distribution: a subscribed connection exposed as an engine source
+    lets one gsq process feed another — the first step toward running
+    LFTAs and HFTAs on different hosts (the paper's two-level split,
+    stretched across a network). *)
+
+module Rts = Gigascope_rts
+
+type t
+
+val connect : ?peer_name:string -> Addr.t -> (t, string) result
+(** Dial, exchange [Hello] frames. *)
+
+val server_name : t -> string
+(** The server's self-reported identity from its [Hello]. *)
+
+val list : t -> (Wire.query_info list, string) result
+
+val subscribe : t -> string -> (Rts.Schema.t, string) result
+(** Attach to the named query; returns its output schema. *)
+
+val next : t -> (Rts.Item.t option, string) result
+(** Next item of a subscribed stream, unbatching wire frames; [Ok None]
+    after EOF (or a server [Bye]). [Error] on protocol violations or a
+    lost connection. *)
+
+val iter : t -> (Rts.Item.t -> unit) -> (unit, string) result
+(** Drive {!next} to EOF. *)
+
+val publish : t -> iface:string -> (Rts.Schema.t, string) result
+(** Claim the named ingest interface; returns its schema. *)
+
+val send_batch : t -> Rts.Batch.t -> (unit, string) result
+
+val send_tuple : t -> Rts.Value.t array -> (unit, string) result
+
+val finish : t -> (unit, string) result
+(** End a published stream cleanly (an EOF-sealed empty batch). *)
+
+val close : t -> unit
+
+val source : t -> Rts.Node.source
+(** View a subscribed connection as an engine source: [pull] yields
+    tuples and punctuation and returns [None] at EOF (or on a lost
+    connection — a vanished upstream ends the stream, it does not hang
+    the engine); [clock] republishes the last punctuation bounds
+    received, so heartbeats keep working across the wire. *)
+
+val add_remote_interface :
+  Gigascope.Engine.t -> name:string -> Addr.t -> query:string -> (unit, string) result
+(** Convenience: connect to [addr], subscribe to [query], and register
+    the stream as source [name] (with the remote schema) on the local
+    engine — one call to make a remote query's output locally
+    queryable. *)

@@ -1,0 +1,662 @@
+module E = Gigascope.Engine
+module Rts = Gigascope_rts
+module Item = Rts.Item
+module Schema = Rts.Schema
+module Manager = Rts.Manager
+module Node = Rts.Node
+module Metrics = Gigascope_obs.Metrics
+
+let log_src = Logs.Src.create "gigascope.net" ~doc:"Gigascope network data plane"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type policy = Block | Drop_newest | Disconnect
+
+let policy_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "block" -> Ok Block
+  | "drop" | "drop_newest" | "drop-newest" -> Ok Drop_newest
+  | "disconnect" -> Ok Disconnect
+  | other -> Error (Printf.sprintf "unknown slow-consumer policy %S (block|drop|disconnect)" other)
+
+let policy_to_string = function
+  | Block -> "block"
+  | Drop_newest -> "drop_newest"
+  | Disconnect -> "disconnect"
+
+(* Per-subscriber bounded egress queue. The engine-side fanout callback
+   enqueues under [mu]; the connection's writer thread drains. The two
+   condvars make both directions blockable: [not_empty] parks the
+   writer, [not_full] parks the engine under the Block policy. *)
+type sub = {
+  sub_id : int;
+  sub_query : string;
+  sq : Item.t Queue.t;
+  smu : Mutex.t;
+  s_not_empty : Condition.t;
+  s_not_full : Condition.t;
+  s_capacity : int;
+  mutable s_items : int;
+  mutable s_eof : bool;  (* EOF is in (or has passed through) the queue *)
+  mutable s_dead : bool;
+  mutable s_disconnected : bool;  (* dead because the Disconnect policy fired *)
+}
+
+(* A network-fed source: publishers push, the engine's source pull pops.
+   Bounded, so a fast publisher is backpressured through TCP instead of
+   ballooning the heap. *)
+type ingest = {
+  ing_name : string;
+  ing_schema : Schema.t;
+  ingq : Item.t Queue.t;
+  ing_mu : Mutex.t;
+  ing_not_empty : Condition.t;
+  ing_not_full : Condition.t;
+  ing_capacity : int;
+  mutable ing_closed : bool;
+  mutable ing_busy : bool;
+  mutable ing_clock : (int * Rts.Value.t) list;  (* last punctuation bounds seen *)
+}
+
+type t = {
+  engine : E.t;
+  policy : policy;
+  egress_capacity : int;
+  peer_name : string;
+  mu : Mutex.t;
+  subs : (int, sub) Hashtbl.t;
+  by_query : (string, sub list) Hashtbl.t;
+  attached : (string, unit) Hashtbl.t;
+  ingests : (string, ingest) Hashtbl.t;
+  conns : (int, Conn.t) Hashtbl.t;
+  mutable listeners : (Unix.file_descr * Addr.t) list;
+  mutable threads : Thread.t list;
+  mutable running : bool;
+  mutable next_id : int;
+  counters : Conn.counters;
+  c_connections : Metrics.Counter.t;
+  c_subscribers : Metrics.Counter.t;
+  c_drops : Metrics.Counter.t;
+  c_disconnects : Metrics.Counter.t;
+  c_errors : Metrics.Counter.t;
+  c_ingest_tuples : Metrics.Counter.t;
+}
+
+let qkey = String.lowercase_ascii
+
+let create ?(policy = Drop_newest) ?(egress_capacity = 4096) ?(peer_name = "gsq-server") engine =
+  let reg = E.metrics engine in
+  let t =
+    {
+      engine;
+      policy;
+      egress_capacity = max 1 egress_capacity;
+      peer_name;
+      mu = Mutex.create ();
+      subs = Hashtbl.create 16;
+      by_query = Hashtbl.create 16;
+      attached = Hashtbl.create 16;
+      ingests = Hashtbl.create 4;
+      conns = Hashtbl.create 16;
+      listeners = [];
+      threads = [];
+      running = true;
+      next_id = 0;
+      counters = Conn.counters_in reg ~prefix:"net";
+      c_connections = Metrics.counter reg "net.connections";
+      c_subscribers = Metrics.counter reg "net.subscribers";
+      c_drops = Metrics.counter reg "net.subscriber.drops";
+      c_disconnects = Metrics.counter reg "net.subscriber.disconnects";
+      c_errors = Metrics.counter reg "net.errors";
+      c_ingest_tuples = Metrics.counter reg "net.ingest.tuples";
+    }
+  in
+  (* Polled gauges close over this server; guard against a second server
+     on the same engine re-attaching the same names. *)
+  let attach_gauge name f = if not (Metrics.mem reg name) then Metrics.attach_gauge_fn reg name f in
+  attach_gauge "net.connections.active" (fun () ->
+      Mutex.lock t.mu;
+      let n = Hashtbl.length t.conns in
+      Mutex.unlock t.mu;
+      float_of_int n);
+  attach_gauge "net.subscribers.active" (fun () ->
+      Mutex.lock t.mu;
+      let n = Hashtbl.length t.subs in
+      Mutex.unlock t.mu;
+      float_of_int n);
+  attach_gauge "net.subscriber.queue_depth" (fun () ->
+      Mutex.lock t.mu;
+      let depth = Hashtbl.fold (fun _ s acc -> acc + s.s_items) t.subs 0 in
+      Mutex.unlock t.mu;
+      float_of_int depth);
+  t
+
+(* --------------------------- egress fanout ------------------------------ *)
+
+(* Engine side: runs on whatever domain delivers the node's output.
+   Control items always land (bounded overshoot) so stream position and
+   shutdown survive any policy; only tuples are subject to it. *)
+let enqueue t sub item =
+  Mutex.lock sub.smu;
+  if not sub.s_dead then begin
+    let accept () =
+      Queue.push item sub.sq;
+      sub.s_items <- sub.s_items + 1;
+      (match item with Item.Eof -> sub.s_eof <- true | _ -> ());
+      Condition.signal sub.s_not_empty
+    in
+    if (not (Item.is_tuple item)) || sub.s_items < sub.s_capacity then accept ()
+    else
+      match t.policy with
+      | Block ->
+          while sub.s_items >= sub.s_capacity && not sub.s_dead do
+            Condition.wait sub.s_not_full sub.smu
+          done;
+          if not sub.s_dead then accept ()
+      | Drop_newest -> Metrics.Counter.incr t.c_drops
+      | Disconnect ->
+          sub.s_dead <- true;
+          sub.s_disconnected <- true;
+          Metrics.Counter.incr t.c_disconnects;
+          Condition.broadcast sub.s_not_empty
+  end;
+  Mutex.unlock sub.smu
+
+let fanout t qname item =
+  let targets =
+    Mutex.lock t.mu;
+    let l = Option.value (Hashtbl.find_opt t.by_query qname) ~default:[] in
+    Mutex.unlock t.mu;
+    l
+  in
+  List.iter (fun sub -> enqueue t sub item) targets
+
+let attach_queries t =
+  Mutex.lock t.mu;
+  let missing =
+    List.filter
+      (fun node -> not (Hashtbl.mem t.attached (qkey (Node.name node))))
+      (Manager.nodes (E.manager t.engine))
+  in
+  List.iter (fun node -> Hashtbl.replace t.attached (qkey (Node.name node)) ()) missing;
+  Mutex.unlock t.mu;
+  List.iter
+    (fun node ->
+      let qname = qkey (Node.name node) in
+      match Manager.on_item (E.manager t.engine) (Node.name node) (fun it -> fanout t qname it) with
+      | Ok () -> ()
+      | Error e -> Log.warn (fun m -> m "cannot attach fanout to %s: %s" (Node.name node) e))
+    missing
+
+(* ------------------------------ ingest ---------------------------------- *)
+
+let add_ingest t ~name ~schema ?(capacity = 4096) () =
+  let ing =
+    {
+      ing_name = name;
+      ing_schema = schema;
+      ingq = Queue.create ();
+      ing_mu = Mutex.create ();
+      ing_not_empty = Condition.create ();
+      ing_not_full = Condition.create ();
+      ing_capacity = max 1 capacity;
+      ing_closed = false;
+      ing_busy = false;
+      ing_clock = [];
+    }
+  in
+  let pull () =
+    Mutex.lock ing.ing_mu;
+    while Queue.is_empty ing.ingq && not ing.ing_closed do
+      Condition.wait ing.ing_not_empty ing.ing_mu
+    done;
+    let item = Queue.take_opt ing.ingq in
+    (match item with
+    | Some (Item.Punct bounds) -> ing.ing_clock <- bounds
+    | Some _ | None -> ());
+    if item <> None then Condition.signal ing.ing_not_full;
+    Mutex.unlock ing.ing_mu;
+    item
+  in
+  let clock () =
+    Mutex.lock ing.ing_mu;
+    let bounds = ing.ing_clock in
+    Mutex.unlock ing.ing_mu;
+    bounds
+  in
+  Mutex.lock t.mu;
+  let dup = Hashtbl.mem t.ingests (qkey name) in
+  if not dup then Hashtbl.replace t.ingests (qkey name) ing;
+  Mutex.unlock t.mu;
+  if dup then Error (Printf.sprintf "ingest %s already registered" name)
+  else
+    match E.add_custom_source t.engine ~name ~schema ~pull ~clock with
+    | Ok () -> Ok ()
+    | Error _ as e ->
+        Mutex.lock t.mu;
+        Hashtbl.remove t.ingests (qkey name);
+        Mutex.unlock t.mu;
+        e
+
+let close_ingest ing =
+  Mutex.lock ing.ing_mu;
+  ing.ing_closed <- true;
+  Condition.broadcast ing.ing_not_empty;
+  Condition.broadcast ing.ing_not_full;
+  Mutex.unlock ing.ing_mu
+
+(* Publisher side: push one item, blocking when full (TCP backpressure:
+   the handler thread stops reading the socket). False once closed. *)
+let ingest_push t ing item =
+  Mutex.lock ing.ing_mu;
+  while Queue.length ing.ingq >= ing.ing_capacity && not ing.ing_closed do
+    Condition.wait ing.ing_not_full ing.ing_mu
+  done;
+  let accepted = not ing.ing_closed in
+  if accepted then begin
+    Queue.push item ing.ingq;
+    if Item.is_tuple item then Metrics.Counter.incr t.c_ingest_tuples;
+    Condition.signal ing.ing_not_empty
+  end;
+  Mutex.unlock ing.ing_mu;
+  accepted
+
+(* --------------------------- subscriber side ---------------------------- *)
+
+let add_sub t qname =
+  Mutex.lock t.mu;
+  t.next_id <- t.next_id + 1;
+  let sub =
+    {
+      sub_id = t.next_id;
+      sub_query = qname;
+      sq = Queue.create ();
+      smu = Mutex.create ();
+      s_not_empty = Condition.create ();
+      s_not_full = Condition.create ();
+      s_capacity = t.egress_capacity;
+      s_items = 0;
+      s_eof = false;
+      s_dead = false;
+      s_disconnected = false;
+    }
+  in
+  Hashtbl.replace t.subs sub.sub_id sub;
+  Hashtbl.replace t.by_query qname
+    (sub :: Option.value (Hashtbl.find_opt t.by_query qname) ~default:[]);
+  Mutex.unlock t.mu;
+  Metrics.Counter.incr t.c_subscribers;
+  sub
+
+let remove_sub t sub =
+  Mutex.lock t.mu;
+  Hashtbl.remove t.subs sub.sub_id;
+  (match Hashtbl.find_opt t.by_query sub.sub_query with
+  | Some l -> Hashtbl.replace t.by_query sub.sub_query (List.filter (fun s -> s != sub) l)
+  | None -> ());
+  Mutex.unlock t.mu;
+  (* a dead queue must never hold the engine hostage *)
+  Mutex.lock sub.smu;
+  sub.s_dead <- true;
+  Condition.broadcast sub.s_not_full;
+  Mutex.unlock sub.smu
+
+let kill_sub sub =
+  Mutex.lock sub.smu;
+  sub.s_dead <- true;
+  Condition.broadcast sub.s_not_full;
+  Condition.broadcast sub.s_not_empty;
+  Mutex.unlock sub.smu
+
+(* Drain the egress queue to the socket, coalescing runs of tuples into
+   one wire batch per run (ctrl items seal, mirroring Rts.Batch). *)
+let writer_loop t conn sub =
+  let send_batch tuples ctrl =
+    let batch = Wire.Batch.make (Array.of_list (List.rev tuples)) ctrl in
+    match Conn.send conn (Wire.Batch batch) with
+    | Ok () -> true
+    | Error e ->
+        Log.debug (fun m -> m "subscriber %s: %s" (Conn.peer conn) e);
+        kill_sub sub;
+        false
+  in
+  let rec flush_items items =
+    (* items arrive oldest-first; accumulate tuples reversed, seal on ctrl *)
+    let rec go tuples = function
+      | [] -> if tuples = [] then `Sent else if send_batch tuples None then `Sent else `Dead
+      | Item.Tuple v :: rest -> go (v :: tuples) rest
+      | (Item.Punct _ | Item.Flush) as ctrl :: rest ->
+          if send_batch tuples (Some ctrl) then go [] rest else `Dead
+      | Item.Eof :: _ -> if send_batch tuples (Some Item.Eof) then `Eof else `Dead
+    in
+    go [] items
+  and loop () =
+    Mutex.lock sub.smu;
+    while sub.s_items = 0 && not sub.s_dead do
+      Condition.wait sub.s_not_empty sub.smu
+    done;
+    if sub.s_dead && sub.s_items = 0 then begin
+      Mutex.unlock sub.smu;
+      if sub.s_disconnected then
+        ignore (Conn.send conn (Wire.Err "disconnected: slow consumer (policy disconnect)"))
+    end
+    else begin
+      let n = min sub.s_items 512 in
+      let items = List.init n (fun _ -> Queue.pop sub.sq) in
+      sub.s_items <- sub.s_items - n;
+      Condition.broadcast sub.s_not_full;
+      let disconnected = sub.s_disconnected in
+      Mutex.unlock sub.smu;
+      if disconnected then
+        ignore (Conn.send conn (Wire.Err "disconnected: slow consumer (policy disconnect)"))
+      else
+        match flush_items items with
+        | `Sent -> loop ()
+        | `Eof -> ignore (Conn.send conn Wire.Bye)
+        | `Dead -> ()
+    end
+  in
+  loop ();
+  remove_sub t sub
+
+(* --------------------------- connections -------------------------------- *)
+
+let registry_listing t =
+  List.map
+    (fun node ->
+      let kind =
+        match Node.kind node with
+        | Node.Source -> "source"
+        | Node.Lfta -> "lfta"
+        | Node.Hfta -> "hfta"
+      in
+      { Wire.q_name = Node.name node; q_kind = kind; q_schema = Node.schema node })
+    (Manager.nodes (E.manager t.engine))
+
+let publish_loop t conn ing =
+  let finish () = close_ingest ing in
+  let rec loop () =
+    match Conn.recv conn with
+    | Ok (Wire.Batch b) ->
+        let eof = ref false in
+        Wire.Batch.iter b (fun item ->
+            match item with
+            | Item.Eof -> eof := true
+            | it -> if not (ingest_push t ing it) then eof := true);
+        if !eof then begin
+          finish ();
+          ignore (Conn.send conn Wire.Bye)
+        end
+        else loop ()
+    | Ok Wire.Bye -> finish ()
+    | Ok msg ->
+        ignore
+          (Conn.send conn (Wire.Err (Printf.sprintf "unexpected %s while publishing" (Wire.msg_label msg))));
+        finish ()
+    | Error e ->
+        (* the publisher vanished: the stream is over, the engine must
+           not wait forever on a pull that can never be satisfied *)
+        Log.info (fun m -> m "publisher for %s gone: %s" ing.ing_name e);
+        finish ()
+  in
+  loop ()
+
+let control_loop t conn =
+  let rec loop () =
+    match Conn.recv conn with
+    | Ok Wire.List_queries -> (
+        match Conn.send conn (Wire.Queries (registry_listing t)) with
+        | Ok () -> loop ()
+        | Error _ -> ())
+    | Ok (Wire.Subscribe name) -> (
+        match Manager.find (E.manager t.engine) name with
+        | None ->
+            ignore (Conn.send conn (Wire.Err (Printf.sprintf "unknown query %s" name)));
+            loop ()
+        | Some node ->
+            let canonical = qkey (Node.name node) in
+            let sub = add_sub t canonical in
+            (match
+               Conn.send conn
+                 (Wire.Subscribed { name = Node.name node; schema = Node.schema node })
+             with
+            | Ok () ->
+                Log.info (fun m -> m "%s subscribed to %s" (Conn.peer conn) (Node.name node));
+                writer_loop t conn sub
+            | Error _ -> remove_sub t sub))
+    | Ok (Wire.Publish name) -> (
+        let ing =
+          Mutex.lock t.mu;
+          let i = Hashtbl.find_opt t.ingests (qkey name) in
+          Mutex.unlock t.mu;
+          i
+        in
+        match ing with
+        | None ->
+            ignore (Conn.send conn (Wire.Err (Printf.sprintf "unknown ingest interface %s" name)));
+            loop ()
+        | Some ing ->
+            let claimed =
+              Mutex.lock ing.ing_mu;
+              let free = (not ing.ing_busy) && not ing.ing_closed in
+              if free then ing.ing_busy <- true;
+              Mutex.unlock ing.ing_mu;
+              free
+            in
+            if not claimed then begin
+              ignore
+                (Conn.send conn
+                   (Wire.Err (Printf.sprintf "ingest %s already has a publisher" name)));
+              loop ()
+            end
+            else begin
+              match
+                Conn.send conn
+                  (Wire.Publish_ok { iface = ing.ing_name; schema = ing.ing_schema })
+              with
+              | Ok () ->
+                  Log.info (fun m -> m "%s publishing to %s" (Conn.peer conn) ing.ing_name);
+                  publish_loop t conn ing
+              | Error _ -> close_ingest ing
+            end)
+    | Ok Wire.Bye -> ()
+    | Ok msg ->
+        Metrics.Counter.incr t.c_errors;
+        ignore (Conn.send conn (Wire.Err (Printf.sprintf "unexpected %s" (Wire.msg_label msg))))
+    | Error e ->
+        if t.running then begin
+          Metrics.Counter.incr t.c_errors;
+          Log.info (fun m -> m "connection %s: %s" (Conn.peer conn) e);
+          ignore (Conn.send conn (Wire.Err e))
+        end
+  in
+  loop ()
+
+let handle_conn t fd peer_addr =
+  let peer = Addr.to_string (Addr.of_sockaddr peer_addr) in
+  let conn = Conn.of_fd ~counters:t.counters ~peer fd in
+  let conn_id =
+    Mutex.lock t.mu;
+    t.next_id <- t.next_id + 1;
+    let id = t.next_id in
+    Hashtbl.replace t.conns id conn;
+    Mutex.unlock t.mu;
+    id
+  in
+  Metrics.Counter.incr t.c_connections;
+  Fun.protect
+    ~finally:(fun () ->
+      Conn.close conn;
+      Mutex.lock t.mu;
+      Hashtbl.remove t.conns conn_id;
+      Mutex.unlock t.mu)
+    (fun () ->
+      match Conn.recv conn with
+      | Ok (Wire.Hello { version; peer = who }) ->
+          if version <> Wire.protocol_version then
+            ignore
+              (Conn.send conn
+                 (Wire.Err
+                    (Printf.sprintf "protocol version %d unsupported (want %d)" version
+                       Wire.protocol_version)))
+          else begin
+            Log.debug (fun m -> m "hello from %s (%s)" who peer);
+            match
+              Conn.send conn (Wire.Hello { version = Wire.protocol_version; peer = t.peer_name })
+            with
+            | Ok () -> control_loop t conn
+            | Error _ -> ()
+          end
+      | Ok msg ->
+          Metrics.Counter.incr t.c_errors;
+          ignore
+            (Conn.send conn (Wire.Err (Printf.sprintf "expected hello, got %s" (Wire.msg_label msg))))
+      | Error e ->
+          Metrics.Counter.incr t.c_errors;
+          Log.info (fun m -> m "handshake with %s failed: %s" peer e))
+
+let accept_loop t lfd addr =
+  let rec loop () =
+    match Unix.accept lfd with
+    | fd, _ when not t.running ->
+        (* the wake-up connection from [stop], or a last-instant client *)
+        (try Unix.close fd with Unix.Unix_error _ -> ())
+    | fd, peer_addr ->
+        let th =
+          Thread.create
+            (fun () ->
+              try handle_conn t fd peer_addr
+              with exn ->
+                Metrics.Counter.incr t.c_errors;
+                Log.warn (fun m -> m "connection handler died: %s" (Printexc.to_string exn)))
+            ()
+        in
+        Mutex.lock t.mu;
+        t.threads <- th :: t.threads;
+        Mutex.unlock t.mu;
+        loop ()
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+        (* listener closed: shutdown path *)
+        ()
+    | exception Unix.Unix_error (e, _, _) ->
+        if t.running then begin
+          Log.warn (fun m ->
+              m "accept on %s: %s" (Addr.to_string addr) (Unix.error_message e));
+          Thread.delay 0.01;
+          loop ()
+        end
+  in
+  loop ()
+
+let listen t addr =
+  attach_queries t;
+  match Addr.to_sockaddr addr with
+  | Error _ as e -> e
+  | Ok sockaddr -> (
+      let domain = Unix.domain_of_sockaddr sockaddr in
+      match
+        let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+        (try
+           if domain <> Unix.PF_UNIX then Unix.setsockopt fd Unix.SO_REUSEADDR true;
+           (match sockaddr with
+           | Unix.ADDR_UNIX path when Sys.file_exists path -> (
+               try Unix.unlink path with Unix.Unix_error _ -> ())
+           | _ -> ());
+           Unix.bind fd sockaddr;
+           Unix.listen fd 64
+         with exn ->
+           (try Unix.close fd with Unix.Unix_error _ -> ());
+           raise exn);
+        fd
+      with
+      | fd ->
+          let bound = Addr.of_sockaddr (Unix.getsockname fd) in
+          let bound = match (bound, addr) with
+            | Addr.Tcp (_, port), Addr.Tcp (host, _) -> Addr.Tcp (host, port)
+            | b, _ -> b
+          in
+          Mutex.lock t.mu;
+          t.listeners <- (fd, bound) :: t.listeners;
+          Mutex.unlock t.mu;
+          let th = Thread.create (fun () -> accept_loop t fd bound) () in
+          Mutex.lock t.mu;
+          t.threads <- th :: t.threads;
+          Mutex.unlock t.mu;
+          Log.info (fun m -> m "listening on %s" (Addr.to_string bound));
+          Ok bound
+      | exception Unix.Unix_error (e, _, _) ->
+          Error
+            (Printf.sprintf "cannot listen on %s: %s" (Addr.to_string addr)
+               (Unix.error_message e)))
+
+let addresses t =
+  Mutex.lock t.mu;
+  let l = List.rev_map snd t.listeners in
+  Mutex.unlock t.mu;
+  l
+
+let subscriber_count t =
+  Mutex.lock t.mu;
+  let n = Hashtbl.length t.subs in
+  Mutex.unlock t.mu;
+  n
+
+let drain ?(timeout = 10.0) t =
+  let deadline = Gigascope_obs.Clock.now_ns () +. (timeout *. 1e9) in
+  let rec wait () =
+    if subscriber_count t = 0 then true
+    else if Gigascope_obs.Clock.now_ns () > deadline then false
+    else begin
+      Thread.delay 0.005;
+      wait ()
+    end
+  in
+  wait ()
+
+let stop t =
+  Mutex.lock t.mu;
+  let was_running = t.running in
+  t.running <- false;
+  let listeners = t.listeners in
+  t.listeners <- [];
+  let conns = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+  let subs = Hashtbl.fold (fun _ s acc -> s :: acc) t.subs [] in
+  let ingests = Hashtbl.fold (fun _ i acc -> i :: acc) t.ingests [] in
+  Mutex.unlock t.mu;
+  if was_running then begin
+    (* Closing a listening fd does not wake a thread blocked in accept(2);
+       shutdown plus a throwaway self-connection does, whatever the
+       transport. The accept loop sees [running = false] and exits. *)
+    List.iter
+      (fun (fd, addr) ->
+        (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+        (match Addr.to_sockaddr addr with
+        | Ok sa -> (
+            try
+              let wfd = Unix.socket (Unix.domain_of_sockaddr sa) Unix.SOCK_STREAM 0 in
+              (try Unix.connect wfd sa with Unix.Unix_error _ -> ());
+              try Unix.close wfd with Unix.Unix_error _ -> ()
+            with Unix.Unix_error _ -> ())
+        | Error _ -> ());
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        match addr with
+        | Addr.Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+        | Addr.Tcp _ -> ())
+      listeners;
+    List.iter kill_sub subs;
+    List.iter close_ingest ingests;
+    List.iter Conn.close conns;
+    let rec join_all () =
+      Mutex.lock t.mu;
+      let ths = t.threads in
+      t.threads <- [];
+      Mutex.unlock t.mu;
+      match ths with
+      | [] -> ()
+      | ths ->
+          List.iter Thread.join ths;
+          join_all ()
+    in
+    join_all ();
+    Log.info (fun m -> m "server stopped")
+  end

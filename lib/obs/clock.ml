@@ -1,1 +1,1 @@
-let now_ns () = Unix.gettimeofday () *. 1e9
+external now_ns : unit -> float = "gigascope_clock_monotonic_ns"

@@ -1,4 +1,7 @@
-(** Wall-clock time source for service-time measurements. *)
+(** Monotonic time source for service-time measurements. *)
 
 val now_ns : unit -> float
-(** Current wall-clock time in nanoseconds (microsecond resolution). *)
+(** Current monotonic time in nanoseconds. The epoch is arbitrary (boot
+    time on Linux): readings are only meaningful as differences. Unlike
+    wall-clock time, a reading never goes backwards — an NTP step
+    mid-run cannot corrupt interval measurements. *)

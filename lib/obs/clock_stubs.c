@@ -1,0 +1,23 @@
+/* Monotonic clock for service-time measurement.
+
+   Unix.gettimeofday is wall-clock time: an NTP step (or a manual date
+   change) mid-run makes intervals negative or wildly large, corrupting
+   every service-time histogram fed from Clock.now_ns. CLOCK_MONOTONIC
+   is immune to clock steps; its epoch is arbitrary, which is fine —
+   every caller only ever subtracts two readings. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value gigascope_clock_monotonic_ns(value unit)
+{
+  struct timespec ts;
+#ifdef CLOCK_MONOTONIC
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+#else
+  clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+  (void)unit;
+  return caml_copy_double((double)ts.tv_sec * 1e9 + (double)ts.tv_nsec);
+}

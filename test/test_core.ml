@@ -320,6 +320,82 @@ let test_periodic_heartbeats () =
   | Error e -> Alcotest.fail e);
   check Alcotest.bool "periodic punctuation flowed" true (!puncts > 5)
 
+(* ------------------------ env knob fallback ----------------------------- *)
+
+(* GIGASCOPE_PARALLEL / GIGASCOPE_BATCH are the CI matrix's hooks; a
+   value that fails to parse must degrade to 1 loudly — silently voiding
+   what the matrix claims to test is how configuration bugs hide. *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* putenv cannot unset, so an originally-absent variable restores to "1"
+   (behaviorally identical to absent: both knobs default to 1). *)
+let with_env name value f =
+  let old = Sys.getenv_opt name in
+  Unix.putenv name value;
+  Fun.protect ~finally:(fun () -> Unix.putenv name (Option.value old ~default:"1")) f
+
+let capture_warnings f =
+  let old_reporter = Logs.reporter () in
+  let old_level = Logs.level () in
+  let buf = Buffer.create 128 in
+  let reporter =
+    {
+      Logs.report =
+        (fun _src level ~over k msgf ->
+          msgf (fun ?header:_ ?tags:_ fmt ->
+              Format.kasprintf
+                (fun s ->
+                  if level = Logs.Warning then begin
+                    Buffer.add_string buf s;
+                    Buffer.add_char buf '\n'
+                  end;
+                  over ();
+                  k ())
+                fmt));
+    }
+  in
+  Logs.set_reporter reporter;
+  Logs.set_level (Some Logs.Warning);
+  let restore () =
+    Logs.set_reporter old_reporter;
+    Logs.set_level old_level
+  in
+  let result = try f () with e -> restore (); raise e in
+  restore ();
+  (result, Buffer.contents buf)
+
+(* An engine with no sources: run consults the knobs, then finds nothing
+   to schedule — the cheapest way to exercise the fallback path. *)
+let empty_run () =
+  match E.run (E.create ()) () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+let test_env_parallel_garbage_warns () =
+  let (), warnings =
+    capture_warnings (fun () -> with_env "GIGASCOPE_PARALLEL" "abc" empty_run)
+  in
+  check Alcotest.bool "warning names the variable and value" true
+    (contains warnings "GIGASCOPE_PARALLEL" && contains warnings "abc")
+
+let test_env_batch_negative_warns () =
+  let (), warnings =
+    capture_warnings (fun () -> with_env "GIGASCOPE_BATCH" "-3" empty_run)
+  in
+  check Alcotest.bool "warning names the variable and value" true
+    (contains warnings "GIGASCOPE_BATCH" && contains warnings "-3")
+
+let test_env_clean_value_silent () =
+  let (), warnings =
+    capture_warnings (fun () ->
+        with_env "GIGASCOPE_PARALLEL" "2" (fun () -> with_env "GIGASCOPE_BATCH" " 8 " empty_run))
+  in
+  check Alcotest.string "no warnings for parseable values" "" warnings
+
 let () =
   Alcotest.run "core"
     [
@@ -352,4 +428,11 @@ let () =
           Alcotest.test_case "duplicate query name" `Quick test_engine_duplicate_query_name;
         ] );
       ("heartbeats", [Alcotest.test_case "periodic mode" `Quick test_periodic_heartbeats]);
+      ( "env-knobs",
+        [
+          Alcotest.test_case "garbage GIGASCOPE_PARALLEL warns" `Quick
+            test_env_parallel_garbage_warns;
+          Alcotest.test_case "negative GIGASCOPE_BATCH warns" `Quick test_env_batch_negative_warns;
+          Alcotest.test_case "clean value stays silent" `Quick test_env_clean_value_silent;
+        ] );
     ]

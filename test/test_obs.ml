@@ -11,6 +11,28 @@ module Ipaddr = Gigascope_packet.Ipaddr
 
 let check = Alcotest.check
 
+(* ----------------------------- clock ------------------------------------ *)
+
+(* The timing clock must be monotonic: a wall-clock step (NTP, manual
+   date change) during a run must never yield a negative duration or a
+   nonsense rate. Only differences of readings are meaningful. *)
+let test_clock_monotonic () =
+  let prev = ref (Gigascope_obs.Clock.now_ns ()) in
+  for _ = 1 to 10_000 do
+    let t = Gigascope_obs.Clock.now_ns () in
+    if t < !prev then
+      Alcotest.failf "clock went backwards: %.0f -> %.0f" !prev t;
+    prev := t
+  done
+
+let test_clock_measures_elapsed_time () =
+  let t0 = Gigascope_obs.Clock.now_ns () in
+  Unix.sleepf 0.05;
+  let dt = Gigascope_obs.Clock.now_ns () -. t0 in
+  (* a 50 ms sleep reads as at least 40 ms and at most 10 s, whatever the
+     scheduler does to us *)
+  check Alcotest.bool "delta in nanoseconds" true (dt >= 4e7 && dt < 1e10)
+
 (* ----------------------------- cells ----------------------------------- *)
 
 let test_counter_cell () =
@@ -352,6 +374,11 @@ let () =
           Alcotest.test_case "counter" `Quick test_counter_cell;
           Alcotest.test_case "gauge" `Quick test_gauge_cell;
           Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
+        ] );
+      ( "clock",
+        [
+          Alcotest.test_case "monotonic" `Quick test_clock_monotonic;
+          Alcotest.test_case "measures elapsed time" `Quick test_clock_measures_elapsed_time;
         ] );
       ( "registry",
         [

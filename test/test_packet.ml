@@ -446,6 +446,46 @@ let test_pcap_truncated_record () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "truncated record accepted"
 
+(* Each malformed-input branch by its exact message: a capture file is
+   untrusted input, and "which byte was wrong" is the whole diagnostic. *)
+
+let expect_pcap_error what expected b =
+  match Pcap.decode_file b with
+  | Error msg -> check Alcotest.string what expected msg
+  | Ok _ -> Alcotest.failf "%s: accepted" what
+
+let test_pcap_truncated_global_header () =
+  expect_pcap_error "empty file" "pcap: truncated global header" Bytes.empty;
+  expect_pcap_error "header cut short" "pcap: truncated global header" (Bytes.make 23 '\x00')
+
+let test_pcap_bad_magic_message () =
+  let b = Bytes.make 24 '\x00' in
+  (* the message echoes the magic as read from disk (little-endian) *)
+  Bytes.set_int32_le b 0 0xdeadbeefl;
+  expect_pcap_error "wrong magic value" "pcap: bad magic 0xdeadbeef" b
+
+let test_pcap_truncated_record_header () =
+  let good = Pcap.encode_file [ { Pcap.ts = 1.0; orig_len = 4; data = Bytes.of_string "abcd" } ] in
+  (* keep the global header plus half a record header *)
+  expect_pcap_error "record header cut" "pcap: truncated record header" (Bytes.sub good 0 (24 + 8))
+
+let test_pcap_truncated_record_body () =
+  let good = Pcap.encode_file [ { Pcap.ts = 1.0; orig_len = 4; data = Bytes.of_string "abcd" } ] in
+  (* whole record header, body short of its declared caplen *)
+  expect_pcap_error "record body cut" "pcap: truncated record body"
+    (Bytes.sub good 0 (Bytes.length good - 2))
+
+let test_pcap_read_file_missing () =
+  let path = Filename.concat (Filename.get_temp_dir_name ()) "gsq-no-such-file.pcap" in
+  (try Sys.remove path with Sys_error _ -> ());
+  (match Pcap.read_file path with
+  | Error msg -> check Alcotest.bool "error is tagged pcap:" true
+      (String.length msg > 5 && String.sub msg 0 5 = "pcap:")
+  | Ok _ -> Alcotest.fail "read a file that does not exist");
+  match Pcap.fold_file path ~init:0 ~f:(fun n _ -> n + 1) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "folded a file that does not exist"
+
 let test_pcap_big_endian_read () =
   (* hand-build a big-endian file: swapped magic *)
   let b = Bytes.make (24 + 16 + 2) '\000' in
@@ -578,6 +618,11 @@ let () =
           Alcotest.test_case "fold_file" `Quick test_pcap_fold_file;
           Alcotest.test_case "bad magic" `Quick test_pcap_bad_magic;
           Alcotest.test_case "truncated record" `Quick test_pcap_truncated_record;
+          Alcotest.test_case "truncated global header" `Quick test_pcap_truncated_global_header;
+          Alcotest.test_case "bad magic message" `Quick test_pcap_bad_magic_message;
+          Alcotest.test_case "truncated record header" `Quick test_pcap_truncated_record_header;
+          Alcotest.test_case "truncated record body" `Quick test_pcap_truncated_record_body;
+          Alcotest.test_case "missing file" `Quick test_pcap_read_file_missing;
           Alcotest.test_case "big-endian read" `Quick test_pcap_big_endian_read;
         ] );
       ( "netflow",
