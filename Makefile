@@ -10,19 +10,32 @@ build:
 test:
 	dune runtest
 
-# CI runs the suite four times: single-threaded tuple-at-a-time, with
+# CI runs the suite five times: single-threaded tuple-at-a-time, with
 # every Engine.run forced onto 2 domains, with every Engine.run's data
-# plane batched at 64, and with both knobs combined (the test/dune
-# env_var deps make the later runs re-execute rather than hit the
-# cache). All knobs claim byte-identical output, so the whole suite
-# doubles as their determinism check — including the parallel×batched
-# interaction, which neither single-knob pass exercises.
+# plane batched at 64, with both knobs combined, and once under a
+# seeded chaos spec (the test/dune env_var deps make the later runs
+# re-execute rather than hit the cache). All knobs claim byte-identical
+# output, so the whole suite doubles as their determinism check —
+# including the parallel×batched interaction, which neither single-knob
+# pass exercises.
+#
+# The chaos pass injects only output-preserving faults — a stall on the
+# tcpdest cross-domain channel and a one-shot per-peer network delay —
+# so every determinism assertion must still hold with the injection
+# machinery armed end to end. (Tests that install their own plan export
+# it via GIGASCOPE_FAULTS for their scope, so the global spec never
+# clobbers them mid-test.) Each pass runs under a hard timeout: the
+# failure model's core claim is "never hangs", and CI enforces it by
+# turning any wedge into a loud nonzero exit instead of a stuck job.
+CI_TIMEOUT ?= 600
+CHAOS_FAULTS = seed=11,stall=tcpdest0->portcounts:2:2,delay=5:2
 ci:
 	dune build @all
-	dune runtest
-	GIGASCOPE_PARALLEL=2 dune runtest --force
-	GIGASCOPE_BATCH=64 dune runtest --force
-	GIGASCOPE_PARALLEL=2 GIGASCOPE_BATCH=64 dune runtest --force
+	timeout $(CI_TIMEOUT) dune runtest
+	GIGASCOPE_PARALLEL=2 timeout $(CI_TIMEOUT) dune runtest --force
+	GIGASCOPE_BATCH=64 timeout $(CI_TIMEOUT) dune runtest --force
+	GIGASCOPE_PARALLEL=2 GIGASCOPE_BATCH=64 timeout $(CI_TIMEOUT) dune runtest --force
+	GIGASCOPE_FAULTS="$(CHAOS_FAULTS)" GIGASCOPE_PARALLEL=2 timeout $(CI_TIMEOUT) dune runtest --force
 
 bench:
 	dune exec bench/main.exe

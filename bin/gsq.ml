@@ -160,6 +160,40 @@ let placement =
            (bounded cross-domain channels would deadlock). Only meaningful with \
            $(b,--parallel).")
 
+let inject =
+  Arg.(
+    value & opt (some string) None
+    & info ["inject"] ~docv:"SPEC"
+        ~doc:
+          "Install a deterministic fault plan before the run (e.g.            $(b,seed=7,crash=total:3,torn=2)) — see the failure-model documentation for the            clause grammar. Also settable via $(b,GIGASCOPE_FAULTS). Same spec, same seed:            same faults, every run.")
+
+let supervise_arg =
+  let parse s = Result.map_error (fun e -> `Msg e) (Rts.Supervisor.policy_of_string s) in
+  let print fmt p = Format.pp_print_string fmt (Rts.Supervisor.policy_to_string p) in
+  Arg.(
+    value
+    & opt (some (conv (parse, print))) None
+    & info ["supervise"] ~docv:"POLICY"
+        ~doc:
+          "Crash policy for query nodes: $(b,fail_fast) (default; the run stops with an            error naming the node), $(b,isolate) (poison only the crashing subtree —            downstream sees an explicit error marker and terminates), or $(b,restart)            (restart stateless operators in place, with a capped budget).            $(b,GIGASCOPE_SUPERVISE) sets the default.")
+
+let shed_arg =
+  Arg.(
+    value & opt (some float) None
+    & info ["shed"] ~docv:"FRAC"
+        ~doc:
+          "Source-side load shedding: while any subscriber channel sits at or above this            fraction of its capacity (in (0,1]), sources discard incoming tuples, counting            them under rts.shed.* and announcing the loss downstream as a gap marker.            $(b,GIGASCOPE_SHED) sets the default.")
+
+let install_inject inject =
+  match inject with
+  | None -> ()
+  | Some spec -> (
+      match Rts.Faults.parse spec with
+      | Ok plan -> Rts.Faults.install plan
+      | Error e ->
+          prerr_endline ("--inject: " ^ e);
+          exit 2)
+
 (* ---- run ---- *)
 
 (* Engine with traffic plumbing shared by `run` and `serve`: a pcap
@@ -211,8 +245,9 @@ let setup_engine ~pcap_in ~iface ~gen_cfg ~sessions =
   engine
 
 let do_run query_file rate duration seed pcap_in iface max_rows sessions show_stats trace
-    metrics_out log_level parallel placement batch =
+    metrics_out log_level parallel placement batch inject supervise shed =
   setup_logging log_level;
+  install_inject inject;
   let text = read_file query_file in
   let gen_cfg = { Gigascope_traffic.Gen.default with rate_mbps = rate; duration; seed } in
   let engine = setup_engine ~pcap_in ~iface ~gen_cfg ~sessions in
@@ -257,7 +292,7 @@ let do_run query_file rate duration seed pcap_in iface max_rows sessions show_st
          E.run engine ~trace
            ?parallel:(if parallel > 1 then Some parallel else None)
            ?batch:(if batch > 1 then Some batch else None)
-           ~placement ()
+           ?supervise ?shed ~placement ()
        with
       | Ok stats ->
           Printf.printf "-- done: %d rounds, %d heartbeats, %d drops\n"
@@ -280,7 +315,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const do_run $ query_file $ rate $ duration $ seed $ pcap_in $ iface $ max_rows
-      $ sessions $ stats $ trace $ metrics_out $ log_level $ parallel $ placement $ batch)
+      $ sessions $ stats $ trace $ metrics_out $ log_level $ parallel $ placement $ batch
+      $ inject $ supervise_arg $ shed_arg)
 
 (* ---- serve ---- *)
 
@@ -319,6 +355,13 @@ let wait_subscribers =
     & info ["wait-subscribers"] ~docv:"N"
         ~doc:"Hold the traffic until N subscribers have attached, then start the run.")
 
+let heartbeat_arg =
+  Arg.(
+    value & opt float 0.0
+    & info ["heartbeat"] ~docv:"SEC"
+        ~doc:
+          "Send liveness frames to every subscriber at this interval (0 disables). A            subscriber with an idle timeout can then tell a quiet query from a dead            server.")
+
 let ingests =
   Arg.(
     value
@@ -331,12 +374,17 @@ let ingests =
 
 let do_serve query_file rate duration seed pcap_in iface sessions show_stats trace
     metrics_out log_level parallel placement batch listen_addrs policy egress
-    wait_subscribers ingests =
+    wait_subscribers ingests heartbeat inject supervise shed =
   setup_logging log_level;
+  install_inject inject;
   let text = read_file query_file in
   let gen_cfg = { Gigascope_traffic.Gen.default with rate_mbps = rate; duration; seed } in
   let engine = setup_engine ~pcap_in ~iface ~gen_cfg ~sessions in
-  let server = Server.create ~policy ~egress_capacity:egress engine in
+  let server =
+    Server.create ~policy ~egress_capacity:egress
+      ?heartbeat:(if heartbeat > 0.0 then Some heartbeat else None)
+      engine
+  in
   List.iter
     (fun (name, proto) ->
       match Gigascope_gsql.Catalog.find_protocol (E.catalog engine) proto with
@@ -390,7 +438,7 @@ let do_serve query_file rate duration seed pcap_in iface sessions show_stats tra
     E.run engine ~trace
       ?parallel:(if parallel > 1 then Some parallel else None)
       ?batch:(if batch > 1 then Some batch else None)
-      ~placement ()
+      ?supervise ?shed ~placement ()
   with
   | Ok stats ->
       Printf.printf "-- done: %d rounds, %d heartbeats, %d drops\n%!"
@@ -410,7 +458,8 @@ let serve_cmd =
     Term.(
       const do_serve $ query_file $ rate $ duration $ seed $ pcap_in $ iface $ sessions
       $ stats $ trace $ metrics_out $ log_level $ parallel $ placement $ batch
-      $ listen_addrs $ policy_arg $ egress $ wait_subscribers $ ingests)
+      $ listen_addrs $ policy_arg $ egress $ wait_subscribers $ ingests $ heartbeat_arg
+      $ inject $ supervise_arg $ shed_arg)
 
 (* ---- tap ---- *)
 
@@ -455,14 +504,39 @@ let tap_max_rows =
     value & opt int 0
     & info ["max-rows"] ~docv:"N" ~doc:"Stop after printing N tuples (0 = unlimited).")
 
-let do_tap addr_s query format max_rows log_level =
+let tap_reconnect =
+  Arg.(
+    value & opt int 0
+    & info ["reconnect"] ~docv:"N"
+        ~doc:
+          "Self-heal a lost subscription: redial up to N times with exponential backoff            and resume from the last delivered tuple (missed tuples arrive as an explicit            gap marker). 0 (default) fails on the first connection loss.")
+
+let tap_idle_timeout =
+  Arg.(
+    value & opt float 0.0
+    & info ["idle-timeout"] ~docv:"SEC"
+        ~doc:
+          "Treat SEC seconds without any frame (data or heartbeat) as a dead connection            instead of waiting forever. Pair with the server's $(b,--heartbeat), using a            timeout of several heartbeat intervals.")
+
+let do_tap addr_s query format max_rows log_level reconnect_n idle_timeout =
   setup_logging log_level;
   let fail e =
     prerr_endline ("tap: " ^ e);
     exit 1
   in
   let addr = match Addr.of_string addr_s with Ok a -> a | Error e -> fail e in
-  let client = match Client.connect addr with Ok c -> c | Error e -> fail e in
+  let client =
+    match
+      Client.connect
+        ?reconnect:
+          (if reconnect_n > 0 then Some { Client.default_reconnect with attempts = reconnect_n }
+           else None)
+        ?idle_timeout:(if idle_timeout > 0.0 then Some idle_timeout else None)
+        addr
+    with
+    | Ok c -> c
+    | Error e -> fail e
+  in
   match query with
   | None ->
       (match Client.list client with
@@ -531,7 +605,9 @@ let do_tap addr_s query format max_rows log_level =
 let tap_cmd =
   let doc = "subscribe to a query on a running gsq server and print its stream" in
   Cmd.v (Cmd.info "tap" ~doc)
-    Term.(const do_tap $ tap_addr $ tap_query $ tap_format $ tap_max_rows $ log_level)
+    Term.(
+      const do_tap $ tap_addr $ tap_query $ tap_format $ tap_max_rows $ log_level
+      $ tap_reconnect $ tap_idle_timeout)
 
 (* ---- explain ---- *)
 

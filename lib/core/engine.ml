@@ -266,7 +266,7 @@ let subscribe t ?capacity name = Rts.Manager.subscribe t.mgr ?capacity name
 let on_tuple t name f =
   Rts.Manager.on_item t.mgr name (function
     | Rts.Item.Tuple values -> f values
-    | Rts.Item.Punct _ | Rts.Item.Flush | Rts.Item.Eof -> ())
+    | Rts.Item.Punct _ | Rts.Item.Flush | Rts.Item.Eof | Rts.Item.Error _ | Rts.Item.Gap _ -> ())
 
 (* GIGASCOPE_PARALLEL / GIGASCOPE_BATCH make every run parallel /
    batched by default — the hooks the CI matrix uses to execute the
@@ -291,10 +291,46 @@ let default_parallel () = env_knob "GIGASCOPE_PARALLEL"
 
 let default_batch () = env_knob "GIGASCOPE_BATCH"
 
-let run t ?quantum ?heartbeats ?heartbeat_period ?on_round ?trace ?parallel ?placement ?batch ()
-    =
+(* GIGASCOPE_SUPERVISE / GIGASCOPE_SHED / GIGASCOPE_FAULTS: the failure
+   model's knobs, same CI-matrix stance as above — a malformed value is
+   warned about and ignored, never silently honoured as something else. *)
+let default_supervise () =
+  match Sys.getenv_opt "GIGASCOPE_SUPERVISE" with
+  | None | Some "" -> Rts.Supervisor.Fail_fast
+  | Some s -> (
+      match Rts.Supervisor.policy_of_string s with
+      | Ok p -> p
+      | Error e ->
+          Log.warn (fun m -> m "ignoring GIGASCOPE_SUPERVISE: %s; using fail_fast" e);
+          Rts.Supervisor.Fail_fast)
+
+let default_shed () =
+  match Sys.getenv_opt "GIGASCOPE_SHED" with
+  | None | Some "" -> None
+  | Some s -> (
+      match float_of_string_opt (String.trim s) with
+      | Some f when f > 0.0 && f <= 1.0 -> Some f
+      | _ ->
+          Log.warn (fun m ->
+              m "ignoring GIGASCOPE_SHED=%S: must be a fraction in (0,1]" s);
+          None)
+
+let run t ?quantum ?heartbeats ?heartbeat_period ?on_round ?trace ?parallel ?placement ?batch
+    ?supervise ?(restart_budget = 3) ?shed () =
   let domains = match parallel with Some n -> n | None -> default_parallel () in
   let batch = match batch with Some n -> max 1 n | None -> default_batch () in
+  let policy = match supervise with Some p -> p | None -> default_supervise () in
+  let shed = match shed with Some _ as s -> s | None -> default_shed () in
+  (match Rts.Faults.install_env () with
+  | Ok true ->
+      Log.warn (fun m ->
+          m "fault injection active: %s"
+            (match Rts.Faults.current () with
+            | Some plan -> Rts.Faults.to_string plan
+            | None -> "?"))
+  | Ok false -> ()
+  | Error e -> Log.warn (fun m -> m "%s; no faults installed" e));
+  let supervisor = Rts.Supervisor.create ~policy ~restart_budget () in
   (* on_round hooks mutate live operator state (set_param, flush) from the
      caller; racing them against worker domains is unsound, so their
      presence forces the single-threaded scheduler. *)
@@ -307,8 +343,10 @@ let run t ?quantum ?heartbeats ?heartbeat_period ?on_round ?trace ?parallel ?pla
   let result =
     if domains > 1 then
       Rts.Scheduler.run_parallel ?quantum ?heartbeats ?heartbeat_period ?trace ?placement
-        ~batch ~domains t.mgr
-    else Rts.Scheduler.run ?quantum ?heartbeats ?heartbeat_period ?on_round ?trace ~batch t.mgr
+        ~batch ~domains ~supervisor ?shed t.mgr
+    else
+      Rts.Scheduler.run ?quantum ?heartbeats ?heartbeat_period ?on_round ?trace ~batch
+        ~supervisor ?shed t.mgr
   in
   (match result with
   | Ok stats ->

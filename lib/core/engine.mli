@@ -137,6 +137,9 @@ val run :
   ?parallel:int ->
   ?placement:(string * int) list ->
   ?batch:int ->
+  ?supervise:Rts.Supervisor.policy ->
+  ?restart_budget:int ->
+  ?shed:float ->
   unit ->
   (Rts.Scheduler.stats, string) result
 (** Drive the network until every source is exhausted. [heartbeats]
@@ -157,7 +160,21 @@ val run :
     [batch] (default from [GIGASCOPE_BATCH], else 1) vectorizes the data
     plane: tuples move through channels, operators and the scheduler in
     runs of up to [batch] ({!Rts.Scheduler.run}'s knob). Output is
-    byte-identical for every batch size. *)
+    byte-identical for every batch size.
+
+    [supervise] (default from [GIGASCOPE_SUPERVISE], else [Fail_fast])
+    chooses the crash policy — see {!Rts.Supervisor}: [Fail_fast] turns
+    any node crash into this run's [Error] (naming the node);
+    [Isolate] poisons only the crashing subtree ([Item.Error] then
+    [Item.Eof] downstream); [Restart] restarts stateless operators in
+    place up to [restart_budget] (default 3) times per node. [shed]
+    (default from [GIGASCOPE_SHED]) is a high-water fraction in (0,1]:
+    sources discard tuples while a subscriber channel sits above it,
+    counting them under [rts.shed.<node>] and announcing them
+    downstream as [Item.Gap].
+
+    If [GIGASCOPE_FAULTS] is set, its fault plan is (re)installed at the
+    start of every run — see {!Rts.Faults}. *)
 
 val flush : t -> string -> (unit, string) result
 (** Make the named query emit its open state now — how an analyst gets

@@ -1,20 +1,45 @@
 module Rts = Gigascope_rts
 module Item = Rts.Item
 module Batch = Rts.Batch
+module Metrics = Gigascope_obs.Metrics
+module Prng = Gigascope_util.Prng
 
 let ( let* ) = Result.bind
 
+type reconnect = {
+  attempts : int;
+  base_delay : float;
+  max_delay : float;
+  jitter : float;
+  seed : int;
+}
+
+let default_reconnect =
+  { attempts = 5; base_delay = 0.05; max_delay = 2.0; jitter = 0.5; seed = 0 }
+
 type t = {
-  conn : Conn.t;
+  mutable conn : Conn.t;
+  addr : Addr.t;
+  peer_name : string;
+  reconnect : reconnect option;
+  idle_timeout : float option;
+  rng : Prng.t;
+  c_reconnects : Metrics.Counter.t;
+  c_heartbeats : Metrics.Counter.t;
+  c_gaps : Metrics.Counter.t;
   mutable server : string;
+  mutable sub : (string * int) option;  (* subscribed query, server-side sub id *)
+  mutable delivered : int;  (* tuples handed to the application: the resume token *)
   mutable pending : Item.t list;  (* unbatched items not yet handed out *)
   mutable at_eof : bool;
   mutable last_bounds : (int * Rts.Value.t) list;
 }
 
 let server_name t = t.server
+let delivered t = t.delivered
 
-let connect ?(peer_name = "gsq-client") addr =
+(* One dial + Hello exchange; shared by [connect] and the redial loop. *)
+let dial ~peer_name ~idle_timeout addr =
   let* sockaddr = Addr.to_sockaddr addr in
   match
     let fd = Unix.socket (Unix.domain_of_sockaddr sockaddr) Unix.SOCK_STREAM 0 in
@@ -29,14 +54,12 @@ let connect ?(peer_name = "gsq-client") addr =
         (Printf.sprintf "connect %s: %s" (Addr.to_string addr) (Unix.error_message e))
   | fd -> (
       let conn = Conn.of_fd ~peer:(Addr.to_string addr) fd in
-      let t = { conn; server = "?"; pending = []; at_eof = false; last_bounds = [] } in
+      (match idle_timeout with Some s when s > 0.0 -> Conn.set_read_deadline conn s | _ -> ());
       let* () =
         Conn.send conn (Wire.Hello { version = Wire.protocol_version; peer = peer_name })
       in
       match Conn.recv conn with
-      | Ok (Wire.Hello { peer; _ }) ->
-          t.server <- peer;
-          Ok t
+      | Ok (Wire.Hello { peer; _ }) -> Ok (conn, peer)
       | Ok (Wire.Err e) ->
           Conn.close conn;
           Error ("server refused: " ^ e)
@@ -46,6 +69,31 @@ let connect ?(peer_name = "gsq-client") addr =
       | Error e ->
           Conn.close conn;
           Error e)
+
+let connect ?(peer_name = "gsq-client") ?reconnect ?idle_timeout ?metrics addr =
+  let* conn, server = dial ~peer_name ~idle_timeout addr in
+  let cnt name =
+    match metrics with Some reg -> Metrics.counter reg name | None -> Metrics.Counter.make ()
+  in
+  let seed = match reconnect with Some r -> r.seed | None -> 0 in
+  Ok
+    {
+      conn;
+      addr;
+      peer_name;
+      reconnect;
+      idle_timeout;
+      rng = Prng.create seed;
+      c_reconnects = cnt "net.reconnects";
+      c_heartbeats = cnt "net.heartbeats.recv";
+      c_gaps = cnt "net.gaps";
+      server;
+      sub = None;
+      delivered = 0;
+      pending = [];
+      at_eof = false;
+      last_bounds = [];
+    }
 
 let list t =
   let* () = Conn.send t.conn Wire.List_queries in
@@ -58,16 +106,67 @@ let list t =
 let subscribe t name =
   let* () = Conn.send t.conn (Wire.Subscribe name) in
   match Conn.recv t.conn with
-  | Ok (Wire.Subscribed { schema; _ }) -> Ok schema
+  | Ok (Wire.Subscribed { schema; sub_id; _ }) ->
+      t.sub <- Some (name, sub_id);
+      Ok schema
   | Ok (Wire.Err e) -> Error e
   | Ok msg -> Error (Printf.sprintf "expected subscribed, got %s" (Wire.msg_label msg))
   | Error _ as e -> e
+
+(* Redial with exponential backoff plus jitter, then [Resume] the
+   subscription with the delivered-tuple count as the token. The jitter
+   comes from a seeded generator so a chaos run retries at the same
+   instants every time. A server that explicitly refuses the resume ends
+   the loop at once — only transport failures are worth retrying. *)
+let try_resume t =
+  match (t.reconnect, t.sub) with
+  | None, _ -> Error "connection lost (no reconnect configured)"
+  | _, None -> Error "connection lost (not subscribed)"
+  | Some rc, Some (name, sub_id) ->
+      let rec attempt n =
+        if n > rc.attempts then
+          Error (Printf.sprintf "reconnect: gave up after %d attempts" rc.attempts)
+        else begin
+          let backoff =
+            Float.min rc.max_delay (rc.base_delay *. (2.0 ** float_of_int (n - 1)))
+          in
+          Thread.delay (backoff *. (1.0 +. (rc.jitter *. Prng.float t.rng 1.0)));
+          match dial ~peer_name:t.peer_name ~idle_timeout:t.idle_timeout t.addr with
+          | Error _ -> attempt (n + 1)
+          | Ok (conn, server) -> (
+              match
+                Conn.send conn (Wire.Resume { name; sub_id; token = t.delivered })
+              with
+              | Error _ ->
+                  Conn.close conn;
+                  attempt (n + 1)
+              | Ok () -> (
+                  match Conn.recv conn with
+                  | Ok (Wire.Subscribed { sub_id = id; _ }) ->
+                      Metrics.Counter.incr t.c_reconnects;
+                      t.conn <- conn;
+                      t.server <- server;
+                      t.sub <- Some (name, id);
+                      Ok ()
+                  | Ok (Wire.Err e) ->
+                      Conn.close conn;
+                      Error ("resume refused: " ^ e)
+                  | Ok _ | Error _ ->
+                      Conn.close conn;
+                      attempt (n + 1)))
+        end
+      in
+      attempt 1
 
 let rec next t =
   match t.pending with
   | item :: rest ->
       t.pending <- rest;
-      (match item with Item.Punct bounds -> t.last_bounds <- bounds | _ -> ());
+      (match item with
+      | Item.Punct bounds -> t.last_bounds <- bounds
+      | Item.Tuple _ -> t.delivered <- t.delivered + 1
+      | Item.Gap _ -> Metrics.Counter.incr t.c_gaps
+      | Item.Flush | Item.Error _ | Item.Eof -> ());
       if item = Item.Eof then begin
         t.at_eof <- true;
         Ok None
@@ -80,12 +179,21 @@ let rec next t =
         | Ok (Wire.Batch b) ->
             t.pending <- Batch.to_items b;
             next t
+        | Ok Wire.Heartbeat ->
+            Metrics.Counter.incr t.c_heartbeats;
+            next t
         | Ok Wire.Bye ->
             t.at_eof <- true;
             Ok None
         | Ok (Wire.Err e) -> Error e
         | Ok msg -> Error (Printf.sprintf "expected batch, got %s" (Wire.msg_label msg))
-        | Error _ as e -> e)
+        | Error e -> (
+            (* the socket died (or the idle deadline fired with no
+               heartbeat): self-heal if configured, else surface it *)
+            Conn.close t.conn;
+            match try_resume t with
+            | Ok () -> next t
+            | Error e2 -> Error (if e2 = e then e else e ^ "; " ^ e2)))
 
 let iter t f =
   let rec go () =
@@ -115,19 +223,24 @@ let finish t = send_batch t (Batch.make [||] (Some Item.Eof))
 let close t = Conn.close t.conn
 
 let source t =
+  let failed = ref false in
   let pull () =
-    match next t with
-    | Ok (Some item) -> Some item
-    | Ok None -> None
-    | Error _ ->
-        (* a lost upstream ends the stream; hanging the engine helps no one *)
-        None
+    if !failed then None
+    else
+      match next t with
+      | Ok (Some item) -> Some item
+      | Ok None -> None
+      | Error e ->
+          (* a lost upstream ends the stream explicitly: one in-band
+             Error (the node follows with Eof), never a hang *)
+          failed := true;
+          Some (Item.Error e)
   in
   let clock () = t.last_bounds in
   { Rts.Node.pull; clock }
 
-let add_remote_interface engine ~name addr ~query =
-  let* client = connect addr in
+let add_remote_interface ?reconnect ?idle_timeout engine ~name addr ~query =
+  let* client = connect ?reconnect ?idle_timeout ~metrics:(Gigascope.Engine.metrics engine) addr in
   match subscribe client query with
   | Error e ->
       close client;

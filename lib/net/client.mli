@@ -17,8 +17,40 @@ module Rts = Gigascope_rts
 
 type t
 
-val connect : ?peer_name:string -> Addr.t -> (t, string) result
-(** Dial, exchange [Hello] frames. *)
+type reconnect = {
+  attempts : int;  (** redials before giving up *)
+  base_delay : float;  (** seconds; doubles per attempt *)
+  max_delay : float;  (** backoff ceiling, seconds *)
+  jitter : float;  (** fraction of the backoff added at random *)
+  seed : int;  (** jitter generator seed — same seed, same retry instants *)
+}
+
+val default_reconnect : reconnect
+(** 5 attempts, 50 ms base, 2 s ceiling, 0.5 jitter, seed 0. *)
+
+val connect :
+  ?peer_name:string ->
+  ?reconnect:reconnect ->
+  ?idle_timeout:float ->
+  ?metrics:Gigascope_obs.Metrics.t ->
+  Addr.t ->
+  (t, string) result
+(** Dial, exchange [Hello] frames.
+
+    With [reconnect], a connection lost {e while subscribed} is
+    self-healed: redial with exponential backoff plus seeded jitter,
+    then [Resume] with the delivered-tuple count as the token — the
+    server replays what it still holds and announces the rest as one
+    [Item.Gap]. Counted under [net.reconnects] when [metrics] is given.
+
+    With [idle_timeout] (seconds), a {!next} that sees no frame for
+    that long fails with a timeout [Error] instead of blocking forever
+    — the fix for clients hanging when the server host dies silently.
+    Size it to a multiple of the server's heartbeat interval: a live
+    but quiet server keeps the deadline fed with [Heartbeat] frames. *)
+
+val delivered : t -> int
+(** Tuples handed to the application so far — the resume token. *)
 
 val server_name : t -> string
 (** The server's self-reported identity from its [Hello]. *)
@@ -26,12 +58,17 @@ val server_name : t -> string
 val list : t -> (Wire.query_info list, string) result
 
 val subscribe : t -> string -> (Rts.Schema.t, string) result
-(** Attach to the named query; returns its output schema. *)
+(** Attach to the named query; returns its output schema and remembers
+    the server's subscription id for later [Resume]. *)
 
 val next : t -> (Rts.Item.t option, string) result
 (** Next item of a subscribed stream, unbatching wire frames; [Ok None]
-    after EOF (or a server [Bye]). [Error] on protocol violations or a
-    lost connection. *)
+    after EOF (or a server [Bye]). [Heartbeat] frames are absorbed
+    (counted under [net.heartbeats.recv]). [Error] on protocol
+    violations or a lost connection — after the reconnect-and-resume
+    loop, if one is configured, has given up. Items may include
+    [Item.Gap n] markers for tuples lost to slow-consumer drops or
+    across a resume, and [Item.Error] when the producer crashed. *)
 
 val iter : t -> (Rts.Item.t -> unit) -> (unit, string) result
 (** Drive {!next} to EOF. *)
@@ -50,13 +87,20 @@ val close : t -> unit
 
 val source : t -> Rts.Node.source
 (** View a subscribed connection as an engine source: [pull] yields
-    tuples and punctuation and returns [None] at EOF (or on a lost
-    connection — a vanished upstream ends the stream, it does not hang
-    the engine); [clock] republishes the last punctuation bounds
-    received, so heartbeats keep working across the wire. *)
+    tuples and punctuation and returns [None] at EOF; on a lost
+    connection (after any configured reconnects) it yields one
+    [Item.Error] and then [None] — the loss is explicit downstream and
+    the engine never hangs; [clock] republishes the last punctuation
+    bounds received, so heartbeats keep working across the wire. *)
 
 val add_remote_interface :
-  Gigascope.Engine.t -> name:string -> Addr.t -> query:string -> (unit, string) result
+  ?reconnect:reconnect ->
+  ?idle_timeout:float ->
+  Gigascope.Engine.t ->
+  name:string ->
+  Addr.t ->
+  query:string ->
+  (unit, string) result
 (** Convenience: connect to [addr], subscribe to [query], and register
     the stream as source [name] (with the remote schema) on the local
     engine — one call to make a remote query's output locally

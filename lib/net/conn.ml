@@ -51,6 +51,18 @@ let peer t = t.peer_name
 
 let is_closed t = t.closed
 
+(* SO_RCVTIMEO/SO_SNDTIMEO: the kernel fails the blocking call with
+   EAGAIN after [s] seconds instead of waiting forever — the mechanism
+   behind subscriber idle-timeouts and the fix for clients hanging in
+   [recv] when the server dies without closing the socket. 0 disables. *)
+let set_read_deadline t s =
+  try Unix.setsockopt_float t.fd Unix.SO_RCVTIMEO (Float.max 0.0 s)
+  with Unix.Unix_error _ | Invalid_argument _ -> ()
+
+let set_write_deadline t s =
+  try Unix.setsockopt_float t.fd Unix.SO_SNDTIMEO (Float.max 0.0 s)
+  with Unix.Unix_error _ | Invalid_argument _ -> ()
+
 let close t =
   Mutex.lock t.send_mu;
   let was_closed = t.closed in
@@ -71,23 +83,53 @@ let send t msg =
       let result =
         if t.closed then Error "connection closed"
         else
-          match
-            let n = Bytes.length frame in
-            let off = ref 0 in
-            while !off < n do
-              off := !off + Unix.write t.fd frame !off (n - !off)
-            done;
-            n
-          with
-          | n ->
-              count
-                (fun c ->
-                  Metrics.Counter.incr c.frames_out;
-                  Metrics.Counter.add c.bytes_out n)
-                t.counters;
+          let fault = Gigascope_rts.Faults.send_point ~peer:t.peer_name ~len:(Bytes.length frame) in
+          match fault with
+          | Gigascope_rts.Faults.Disconnect ->
+              t.closed <- true;
+              (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+              (try Unix.close t.fd with Unix.Unix_error _ -> ());
+              Error "send: injected disconnect"
+          | Gigascope_rts.Faults.Torn k ->
+              (* write a truncated frame, then fail the connection: the
+                 peer's decoder sees a half-written tail *)
+              let k = min k (Bytes.length frame) in
+              (try
+                 let off = ref 0 in
+                 while !off < k do
+                   off := !off + Unix.write t.fd frame !off (k - !off)
+                 done
+               with Unix.Unix_error _ -> ());
+              t.closed <- true;
+              (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+              (try Unix.close t.fd with Unix.Unix_error _ -> ());
+              Error "send: injected torn write"
+          | Gigascope_rts.Faults.Drop ->
+              (* frame silently vanishes; connection stays up *)
               Ok ()
-          | exception Unix.Unix_error (e, _, _) ->
-              Error (Printf.sprintf "send: %s" (Unix.error_message e))
+          | Gigascope_rts.Faults.Pass | Gigascope_rts.Faults.Delay _ -> (
+              (match fault with
+              | Gigascope_rts.Faults.Delay s -> Thread.delay s
+              | _ -> ());
+              match
+                let n = Bytes.length frame in
+                let off = ref 0 in
+                while !off < n do
+                  off := !off + Unix.write t.fd frame !off (n - !off)
+                done;
+                n
+              with
+              | n ->
+                  count
+                    (fun c ->
+                      Metrics.Counter.incr c.frames_out;
+                      Metrics.Counter.add c.bytes_out n)
+                    t.counters;
+                  Ok ()
+              | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+                  Error "send: timeout (write deadline exceeded)"
+              | exception Unix.Unix_error (e, _, _) ->
+                  Error (Printf.sprintf "send: %s" (Unix.error_message e)))
       in
       Mutex.unlock t.send_mu;
       result)
@@ -134,5 +176,7 @@ let rec recv t =
             t.filled <- t.filled + n;
             count (fun c -> Metrics.Counter.add c.bytes_in n) t.counters;
             recv t
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            Error "recv: timeout (read deadline exceeded)"
         | exception Unix.Unix_error (e, _, _) ->
             Error (Printf.sprintf "recv: %s" (Unix.error_message e)))

@@ -25,6 +25,15 @@ val of_fd : ?counters:counters -> ?peer:string -> Unix.file_descr -> t
 
 val peer : t -> string
 
+val set_read_deadline : t -> float -> unit
+(** Fail a blocked {!recv} with ["recv: timeout (read deadline
+    exceeded)"] after this many seconds of silence (SO_RCVTIMEO);
+    [0.] disables. The connection stays usable only in principle —
+    callers should treat the timeout as connection loss. *)
+
+val set_write_deadline : t -> float -> unit
+(** Same for {!send} (SO_SNDTIMEO). *)
+
 val send : t -> Wire.msg -> (unit, string) result
 
 val recv : t -> (Wire.msg, string) result

@@ -40,6 +40,20 @@ type sub = {
   mutable s_eof : bool;  (* EOF is in (or has passed through) the queue *)
   mutable s_dead : bool;
   mutable s_disconnected : bool;  (* dead because the Disconnect policy fired *)
+  (* Resume bookkeeping. A writer that loses its socket {e orphans} the
+     sub instead of killing it: the queue keeps filling (never blocking
+     the engine — Block degrades to dropping for an orphan), and a
+     client quoting [sub_id] in a [Resume] re-attaches to it. [s_sent]
+     counts tuples popped for sending; the client's resume token counts
+     tuples actually delivered, so [s_sent - token] is exactly the
+     in-flight loss to announce as a leading [Item.Gap]. Tuples dropped
+     by policy accumulate in [s_pending_gap] and enter the queue as an
+     in-band [Item.Gap] marker in their true stream position, so replay
+     after a resume reports every hole. *)
+  mutable s_orphaned : bool;
+  mutable s_sent : int;
+  mutable s_pending_gap : int;
+  mutable s_conn : Conn.t option;  (* attached writer's connection, for heartbeats *)
 }
 
 (* A network-fed source: publishers push, the engine's source pull pops.
@@ -63,6 +77,7 @@ type t = {
   policy : policy;
   egress_capacity : int;
   peer_name : string;
+  heartbeat : float option;  (* interval (s) of liveness frames to subscribers *)
   mu : Mutex.t;
   subs : (int, sub) Hashtbl.t;
   by_query : (string, sub list) Hashtbl.t;
@@ -72,6 +87,7 @@ type t = {
   mutable listeners : (Unix.file_descr * Addr.t) list;
   mutable threads : Thread.t list;
   mutable running : bool;
+  mutable hb_started : bool;
   mutable next_id : int;
   counters : Conn.counters;
   c_connections : Metrics.Counter.t;
@@ -80,11 +96,15 @@ type t = {
   c_disconnects : Metrics.Counter.t;
   c_errors : Metrics.Counter.t;
   c_ingest_tuples : Metrics.Counter.t;
+  c_heartbeats : Metrics.Counter.t;
+  c_gaps : Metrics.Counter.t;
+  c_resumes : Metrics.Counter.t;
 }
 
 let qkey = String.lowercase_ascii
 
-let create ?(policy = Drop_newest) ?(egress_capacity = 4096) ?(peer_name = "gsq-server") engine =
+let create ?(policy = Drop_newest) ?(egress_capacity = 4096) ?(peer_name = "gsq-server")
+    ?heartbeat engine =
   let reg = E.metrics engine in
   let t =
     {
@@ -92,6 +112,7 @@ let create ?(policy = Drop_newest) ?(egress_capacity = 4096) ?(peer_name = "gsq-
       policy;
       egress_capacity = max 1 egress_capacity;
       peer_name;
+      heartbeat;
       mu = Mutex.create ();
       subs = Hashtbl.create 16;
       by_query = Hashtbl.create 16;
@@ -101,6 +122,7 @@ let create ?(policy = Drop_newest) ?(egress_capacity = 4096) ?(peer_name = "gsq-
       listeners = [];
       threads = [];
       running = true;
+      hb_started = false;
       next_id = 0;
       counters = Conn.counters_in reg ~prefix:"net";
       c_connections = Metrics.counter reg "net.connections";
@@ -109,6 +131,9 @@ let create ?(policy = Drop_newest) ?(egress_capacity = 4096) ?(peer_name = "gsq-
       c_disconnects = Metrics.counter reg "net.subscriber.disconnects";
       c_errors = Metrics.counter reg "net.errors";
       c_ingest_tuples = Metrics.counter reg "net.ingest.tuples";
+      c_heartbeats = Metrics.counter reg "net.heartbeats.sent";
+      c_gaps = Metrics.counter reg "net.gaps";
+      c_resumes = Metrics.counter reg "net.resumes";
     }
   in
   (* Polled gauges close over this server; guard against a second server
@@ -140,25 +165,44 @@ let enqueue t sub item =
   Mutex.lock sub.smu;
   if not sub.s_dead then begin
     let accept () =
+      (* A pending drop run enters the queue first, as one Gap marker in
+         its true stream position — loss is reported, never silent. *)
+      if sub.s_pending_gap > 0 then begin
+        Queue.push (Item.Gap sub.s_pending_gap) sub.sq;
+        sub.s_items <- sub.s_items + 1;
+        sub.s_pending_gap <- 0
+      end;
       Queue.push item sub.sq;
       sub.s_items <- sub.s_items + 1;
       (match item with Item.Eof -> sub.s_eof <- true | _ -> ());
       Condition.signal sub.s_not_empty
     in
+    let drop () =
+      sub.s_pending_gap <- sub.s_pending_gap + 1;
+      Metrics.Counter.incr t.c_drops
+    in
     if (not (Item.is_tuple item)) || sub.s_items < sub.s_capacity then accept ()
     else
       match t.policy with
       | Block ->
-          while sub.s_items >= sub.s_capacity && not sub.s_dead do
-            Condition.wait sub.s_not_full sub.smu
-          done;
-          if not sub.s_dead then accept ()
-      | Drop_newest -> Metrics.Counter.incr t.c_drops
+          (* an orphaned sub has no writer to drain it; blocking the
+             engine on one would trade a client failure for a wedge *)
+          if sub.s_orphaned then drop ()
+          else begin
+            while sub.s_items >= sub.s_capacity && not sub.s_dead && not sub.s_orphaned do
+              Condition.wait sub.s_not_full sub.smu
+            done;
+            if not sub.s_dead then if sub.s_orphaned then drop () else accept ()
+          end
+      | Drop_newest -> drop ()
       | Disconnect ->
-          sub.s_dead <- true;
-          sub.s_disconnected <- true;
-          Metrics.Counter.incr t.c_disconnects;
-          Condition.broadcast sub.s_not_empty
+          if sub.s_orphaned then drop ()
+          else begin
+            sub.s_dead <- true;
+            sub.s_disconnected <- true;
+            Metrics.Counter.incr t.c_disconnects;
+            Condition.broadcast sub.s_not_empty
+          end
   end;
   Mutex.unlock sub.smu
 
@@ -279,6 +323,10 @@ let add_sub t qname =
       s_eof = false;
       s_dead = false;
       s_disconnected = false;
+      s_orphaned = false;
+      s_sent = 0;
+      s_pending_gap = 0;
+      s_conn = None;
     }
   in
   Hashtbl.replace t.subs sub.sub_id sub;
@@ -304,20 +352,41 @@ let remove_sub t sub =
 let kill_sub sub =
   Mutex.lock sub.smu;
   sub.s_dead <- true;
+  sub.s_conn <- None;
+  Condition.broadcast sub.s_not_full;
+  Condition.broadcast sub.s_not_empty;
+  Mutex.unlock sub.smu
+
+(* The writer lost its socket: keep the queue alive for a possible
+   [Resume], release any engine thread blocked on it, and make sure the
+   engine can never block on it again (see [enqueue]). *)
+let orphan_sub sub =
+  Mutex.lock sub.smu;
+  sub.s_orphaned <- true;
+  sub.s_conn <- None;
   Condition.broadcast sub.s_not_full;
   Condition.broadcast sub.s_not_empty;
   Mutex.unlock sub.smu
 
 (* Drain the egress queue to the socket, coalescing runs of tuples into
-   one wire batch per run (ctrl items seal, mirroring Rts.Batch). *)
-let writer_loop t conn sub =
+   one wire batch per run (ctrl items seal, mirroring Rts.Batch).
+
+   [initial_gap] is the loss to announce before any data: the in-flight
+   tuples a resumed client missed, or [-1] (unknown) when the original
+   queue could not be recovered. A failed send {e orphans} the sub
+   rather than killing it — the queue keeps collecting (with in-band gap
+   markers once full) so a [Resume] can pick up where the socket died. *)
+let writer_loop ?(initial_gap = 0) t conn sub =
+  Mutex.lock sub.smu;
+  sub.s_conn <- Some conn;
+  Mutex.unlock sub.smu;
   let send_batch tuples ctrl =
+    (match ctrl with Some (Item.Gap _) -> Metrics.Counter.incr t.c_gaps | _ -> ());
     let batch = Wire.Batch.make (Array.of_list (List.rev tuples)) ctrl in
     match Conn.send conn (Wire.Batch batch) with
     | Ok () -> true
     | Error e ->
         Log.debug (fun m -> m "subscriber %s: %s" (Conn.peer conn) e);
-        kill_sub sub;
         false
   in
   let rec flush_items items =
@@ -325,7 +394,7 @@ let writer_loop t conn sub =
     let rec go tuples = function
       | [] -> if tuples = [] then `Sent else if send_batch tuples None then `Sent else `Dead
       | Item.Tuple v :: rest -> go (v :: tuples) rest
-      | (Item.Punct _ | Item.Flush) as ctrl :: rest ->
+      | (Item.Punct _ | Item.Flush | Item.Error _ | Item.Gap _) as ctrl :: rest ->
           if send_batch tuples (Some ctrl) then go [] rest else `Dead
       | Item.Eof :: _ -> if send_batch tuples (Some Item.Eof) then `Eof else `Dead
     in
@@ -338,26 +407,55 @@ let writer_loop t conn sub =
     if sub.s_dead && sub.s_items = 0 then begin
       Mutex.unlock sub.smu;
       if sub.s_disconnected then
-        ignore (Conn.send conn (Wire.Err "disconnected: slow consumer (policy disconnect)"))
+        ignore (Conn.send conn (Wire.Err "disconnected: slow consumer (policy disconnect)"));
+      `Done
     end
     else begin
       let n = min sub.s_items 512 in
       let items = List.init n (fun _ -> Queue.pop sub.sq) in
+      (* popped is as good as sent for resume accounting: a tuple that
+         dies between here and the socket is exactly what the client's
+         token subtraction turns into a gap *)
+      List.iter (fun it -> if Item.is_tuple it then sub.s_sent <- sub.s_sent + 1) items;
       sub.s_items <- sub.s_items - n;
       Condition.broadcast sub.s_not_full;
       let disconnected = sub.s_disconnected in
       Mutex.unlock sub.smu;
-      if disconnected then
-        ignore (Conn.send conn (Wire.Err "disconnected: slow consumer (policy disconnect)"))
+      if disconnected then begin
+        ignore (Conn.send conn (Wire.Err "disconnected: slow consumer (policy disconnect)"));
+        `Done
+      end
       else
         match flush_items items with
         | `Sent -> loop ()
-        | `Eof -> ignore (Conn.send conn Wire.Bye)
-        | `Dead -> ()
+        | `Eof ->
+            ignore (Conn.send conn Wire.Bye);
+            `Done
+        | `Dead -> `Lost
     end
   in
-  loop ();
-  remove_sub t sub
+  let announced =
+    if initial_gap = 0 then true
+    else begin
+      Metrics.Counter.incr t.c_gaps;
+      match Conn.send conn (Wire.Batch (Wire.Batch.make [||] (Some (Item.Gap initial_gap)))) with
+      | Ok () -> true
+      | Error _ -> false
+    end
+  in
+  match (if announced then loop () else `Lost) with
+  | `Done -> remove_sub t sub
+  | `Lost -> orphan_sub sub
+
+(* Atomically adopt an orphaned sub for a resuming client; the returned
+   [s_sent] against the client's token gives the loss to announce. *)
+let claim_sub sub =
+  Mutex.lock sub.smu;
+  let ok = sub.s_orphaned && not sub.s_dead in
+  if ok then sub.s_orphaned <- false;
+  let sent = sub.s_sent in
+  Mutex.unlock sub.smu;
+  if ok then Some sent else None
 
 (* --------------------------- connections -------------------------------- *)
 
@@ -418,12 +516,50 @@ let control_loop t conn =
             let sub = add_sub t canonical in
             (match
                Conn.send conn
-                 (Wire.Subscribed { name = Node.name node; schema = Node.schema node })
+                 (Wire.Subscribed
+                    { name = Node.name node; schema = Node.schema node; sub_id = sub.sub_id })
              with
             | Ok () ->
                 Log.info (fun m -> m "%s subscribed to %s" (Conn.peer conn) (Node.name node));
                 writer_loop t conn sub
             | Error _ -> remove_sub t sub))
+    | Ok (Wire.Resume { name; sub_id; token }) -> (
+        match Manager.find (E.manager t.engine) name with
+        | None -> ignore (Conn.send conn (Wire.Err (Printf.sprintf "unknown query %s" name)))
+        | Some node -> (
+            let existing =
+              Mutex.lock t.mu;
+              let s = Hashtbl.find_opt t.subs sub_id in
+              Mutex.unlock t.mu;
+              s
+            in
+            let subscribed sub =
+              Conn.send conn
+                (Wire.Subscribed
+                   { name = Node.name node; schema = Node.schema node; sub_id = sub.sub_id })
+            in
+            match existing with
+            | Some sub when sub.sub_query = qkey (Node.name node) -> (
+                match claim_sub sub with
+                | Some sent -> (
+                    (* replay from the egress queue; what was popped past
+                       the client's token is announced as a leading gap *)
+                    Metrics.Counter.incr t.c_resumes;
+                    Log.info (fun m ->
+                        m "%s resumed %s (sub %d, token %d, sent %d)" (Conn.peer conn)
+                          (Node.name node) sub_id token sent);
+                    match subscribed sub with
+                    | Ok () -> writer_loop t conn sub ~initial_gap:(max 0 (sent - token))
+                    | Error _ -> orphan_sub sub)
+                | None -> ignore (Conn.send conn (Wire.Err "subscription not resumable")))
+            | Some _ | None -> (
+                (* nothing to replay from: a fresh subscription whose
+                   first frame declares the unknown loss explicitly *)
+                let sub = add_sub t (qkey (Node.name node)) in
+                Metrics.Counter.incr t.c_resumes;
+                match subscribed sub with
+                | Ok () -> writer_loop t conn sub ~initial_gap:(-1)
+                | Error _ -> remove_sub t sub)))
     | Ok (Wire.Publish name) -> (
         let ing =
           Mutex.lock t.mu;
@@ -548,8 +684,57 @@ let accept_loop t lfd addr =
   in
   loop ()
 
+(* Liveness frames on the control/data socket: a subscriber whose query
+   is quiet still sees traffic every [iv] seconds, so a client-side read
+   deadline can tell "idle stream" from "dead server". Sent from one
+   thread for all subscribers; a send error here is left for the
+   sub's own writer to discover and orphan on. Sleep in short slices so
+   [stop] never waits a full interval for the join. *)
+let heartbeat_loop t iv =
+  let rec nap remaining =
+    if t.running && remaining > 0.0 then begin
+      let d = Float.min 0.05 remaining in
+      Thread.delay d;
+      nap (remaining -. d)
+    end
+  in
+  while t.running do
+    nap iv;
+    if t.running then begin
+      Mutex.lock t.mu;
+      let conns =
+        Hashtbl.fold (fun _ s acc -> match s.s_conn with Some c -> c :: acc | None -> acc)
+          t.subs []
+      in
+      Mutex.unlock t.mu;
+      List.iter
+        (fun conn ->
+          match Conn.send conn Wire.Heartbeat with
+          | Ok () -> Metrics.Counter.incr t.c_heartbeats
+          | Error _ -> ())
+        conns
+    end
+  done
+
+let start_heartbeat t =
+  match t.heartbeat with
+  | None -> ()
+  | Some iv when iv > 0.0 ->
+      Mutex.lock t.mu;
+      let start = (not t.hb_started) && t.running in
+      if start then t.hb_started <- true;
+      Mutex.unlock t.mu;
+      if start then begin
+        let th = Thread.create (fun () -> heartbeat_loop t iv) () in
+        Mutex.lock t.mu;
+        t.threads <- th :: t.threads;
+        Mutex.unlock t.mu
+      end
+  | Some _ -> ()
+
 let listen t addr =
   attach_queries t;
+  start_heartbeat t;
   match Addr.to_sockaddr addr with
   | Error _ as e -> e
   | Ok sockaddr -> (
@@ -559,8 +744,25 @@ let listen t addr =
         (try
            if domain <> Unix.PF_UNIX then Unix.setsockopt fd Unix.SO_REUSEADDR true;
            (match sockaddr with
-           | Unix.ADDR_UNIX path when Sys.file_exists path -> (
-               try Unix.unlink path with Unix.Unix_error _ -> ())
+           | Unix.ADDR_UNIX path when Sys.file_exists path ->
+               (* A leftover socket file from a dead server should be
+                  reclaimed; one with a live listener behind it must not
+                  be stolen. Only a connect probe can tell the two
+                  apart. *)
+               let live =
+                 match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+                 | exception Unix.Unix_error _ -> false
+                 | probe -> (
+                     let alive =
+                       match Unix.connect probe sockaddr with
+                       | () -> true
+                       | exception Unix.Unix_error _ -> false
+                     in
+                     (try Unix.close probe with Unix.Unix_error _ -> ());
+                     alive)
+               in
+               if live then raise (Unix.Unix_error (Unix.EADDRINUSE, "bind", path))
+               else ( try Unix.unlink path with Unix.Unix_error _ -> ())
            | _ -> ());
            Unix.bind fd sockaddr;
            Unix.listen fd 64
@@ -601,10 +803,16 @@ let subscriber_count t =
   Mutex.unlock t.mu;
   n
 
+let attached_count t =
+  Mutex.lock t.mu;
+  let n = Hashtbl.fold (fun _ s acc -> if s.s_orphaned then acc else acc + 1) t.subs 0 in
+  Mutex.unlock t.mu;
+  n
+
 let drain ?(timeout = 10.0) t =
   let deadline = Gigascope_obs.Clock.now_ns () +. (timeout *. 1e9) in
   let rec wait () =
-    if subscriber_count t = 0 then true
+    if attached_count t = 0 then true
     else if Gigascope_obs.Clock.now_ns () > deadline then false
     else begin
       Thread.delay 0.005;

@@ -42,11 +42,20 @@ val policy_to_string : policy -> string
 
 type t
 
-val create : ?policy:policy -> ?egress_capacity:int -> ?peer_name:string -> Gigascope.Engine.t -> t
+val create :
+  ?policy:policy ->
+  ?egress_capacity:int ->
+  ?peer_name:string ->
+  ?heartbeat:float ->
+  Gigascope.Engine.t ->
+  t
 (** [egress_capacity] (default 4096) bounds each subscriber's egress
-    queue in items. Registers the [net.*] metrics in the engine's
-    registry. The server serves whatever queries are installed by the
-    time {!listen} is called. *)
+    queue in items. [heartbeat] (seconds; off by default) sends
+    {!Wire.msg} [Heartbeat] liveness frames to every subscriber at that
+    interval, counted under [net.heartbeats.sent] — pair with a client
+    idle timeout to detect dead peers. Registers the [net.*] metrics in
+    the engine's registry. The server serves whatever queries are
+    installed by the time {!listen} is called. *)
 
 val add_ingest :
   t -> name:string -> schema:Rts.Schema.t -> ?capacity:int -> unit -> (unit, string) result
@@ -70,9 +79,10 @@ val subscriber_count : t -> int
 (** Live subscribers (for [--wait-subscribers] style orchestration). *)
 
 val drain : ?timeout:float -> t -> bool
-(** Wait (up to [timeout] seconds, default 10) until every subscriber
-    has received its EOF and disconnected; [false] on timeout. Call
-    after the engine run completes. *)
+(** Wait (up to [timeout] seconds, default 10) until every {e attached}
+    subscriber has received its EOF and disconnected; [false] on
+    timeout. Orphaned subscriptions (socket died, held for {!Wire.msg}
+    [Resume]) are not waited on. Call after the engine run completes. *)
 
 val stop : t -> unit
 (** Close listeners, ingests and every connection; wake every blocked

@@ -16,12 +16,14 @@ type msg =
   | List_queries
   | Queries of query_info list
   | Subscribe of string
-  | Subscribed of { name : string; schema : Schema.t }
+  | Subscribed of { name : string; schema : Schema.t; sub_id : int }
   | Publish of string
   | Publish_ok of { iface : string; schema : Schema.t }
   | Batch of Batch.t
   | Err of string
   | Bye
+  | Resume of { name : string; sub_id : int; token : int }
+  | Heartbeat
 
 let msg_label = function
   | Hello _ -> "hello"
@@ -34,6 +36,8 @@ let msg_label = function
   | Batch _ -> "batch"
   | Err _ -> "err"
   | Bye -> "bye"
+  | Resume _ -> "resume"
+  | Heartbeat -> "heartbeat"
 
 let tag_of_msg = function
   | Hello _ -> 1
@@ -46,6 +50,8 @@ let tag_of_msg = function
   | Batch _ -> 8
   | Err _ -> 9
   | Bye -> 10
+  | Resume _ -> 11
+  | Heartbeat -> 12
 
 (* ------------------------------ encoding ------------------------------- *)
 
@@ -143,6 +149,12 @@ let put_batch buf batch =
       put_punct buf bounds
   | Some Item.Flush -> put_u8 buf 2
   | Some Item.Eof -> put_u8 buf 3
+  | Some (Item.Error e) ->
+      put_u8 buf 4;
+      put_str buf e
+  | Some (Item.Gap n) ->
+      put_u8 buf 5;
+      put_i64 buf n
   | Some (Item.Tuple _) -> assert false (* Batch.make rejects a tuple ctrl *)
 
 let put_query_info buf { q_name; q_kind; q_schema } =
@@ -159,14 +171,20 @@ let put_payload buf = function
       put_u16 buf (List.length qs);
       List.iter (put_query_info buf) qs
   | Subscribe name | Publish name -> put_str buf name
-  | Subscribed { name; schema } ->
+  | Subscribed { name; schema; sub_id } ->
       put_str buf name;
-      put_schema buf schema
+      put_schema buf schema;
+      put_i64 buf sub_id
   | Publish_ok { iface; schema } ->
       put_str buf iface;
       put_schema buf schema
   | Batch b -> put_batch buf b
   | Err e -> put_str buf e
+  | Resume { name; sub_id; token } ->
+      put_str buf name;
+      put_i64 buf sub_id;
+      put_i64 buf token
+  | Heartbeat -> ()
 
 let encode msg =
   let payload = Buffer.create 64 in
@@ -308,6 +326,8 @@ let get_batch cur =
     | 1 -> Some (Item.Punct (get_punct cur))
     | 2 -> Some Item.Flush
     | 3 -> Some Item.Eof
+    | 4 -> Some (Item.Error (get_str cur "error control"))
+    | 5 -> Some (Item.Gap (get_i64 cur "gap control"))
     | t -> raise (Bad (Printf.sprintf "unknown batch control tag %d" t))
   in
   Batch.make tuples ctrl
@@ -332,7 +352,8 @@ let parse_payload tag cur =
   | 5 ->
       let name = get_str cur "subscribed name" in
       let schema = get_schema cur in
-      Subscribed { name; schema }
+      let sub_id = get_i64 cur "subscribed sub id" in
+      Subscribed { name; schema; sub_id }
   | 6 -> Publish (get_str cur "publish iface")
   | 7 ->
       let iface = get_str cur "publish_ok iface" in
@@ -341,6 +362,12 @@ let parse_payload tag cur =
   | 8 -> Batch (get_batch cur)
   | 9 -> Err (get_str cur "error text")
   | 10 -> Bye
+  | 11 ->
+      let name = get_str cur "resume name" in
+      let sub_id = get_i64 cur "resume sub id" in
+      let token = get_i64 cur "resume token" in
+      Resume { name; sub_id; token }
+  | 12 -> Heartbeat
   | t -> raise (Bad (Printf.sprintf "unknown message type %d" t))
 
 type decoded = Frame of msg * int | Need_more | Corrupt of string

@@ -49,7 +49,9 @@ type msg =
   | List_queries
   | Queries of query_info list
   | Subscribe of string  (** attach to the named query's output stream *)
-  | Subscribed of { name : string; schema : Schema.t }
+  | Subscribed of { name : string; schema : Schema.t; sub_id : int }
+      (** [sub_id] names the server-side egress queue; quote it in a
+          [Resume] to re-attach to the same queue after a reconnect. *)
   | Publish of string  (** feed the named ingest interface *)
   | Publish_ok of { iface : string; schema : Schema.t }
   | Batch of Batch.t
@@ -57,6 +59,16 @@ type msg =
           EOF travels as a batch sealed by [Item.Eof]. *)
   | Err of string
   | Bye  (** clean close *)
+  | Resume of { name : string; sub_id : int; token : int }
+      (** Re-attach to subscription [sub_id] of query [name] after a
+          reconnect. [token] is the count of tuples the client has
+          already delivered; the server replays anything newer still in
+          the egress queue, or seals the first batch with an explicit
+          [Item.Gap] when tuples are unrecoverable. *)
+  | Heartbeat
+      (** Liveness probe. Carries no payload; either side may send it
+          when a connection idles so the peer's read deadline keeps
+          proving the link is alive. *)
 
 val encode : msg -> bytes
 (** A complete frame, header included. Raises [Invalid_argument] only if

@@ -177,6 +177,7 @@ let op t =
           flush_behind t ~emit ();
           emit Item.Eof
         end
+    | (Item.Error _ | Item.Gap _) as ctrl -> emit ctrl
   in
   let on_batch ~input batch ~emit =
     let tuples = Batch.tuples batch in
@@ -190,6 +191,7 @@ let op t =
     on_batch = Some on_batch;
     blocked_input = (fun () -> None);
     buffered = (fun () -> Group_tbl.length t.groups);
+  reset = None;
   }
 
 let open_groups t = Group_tbl.length t.groups

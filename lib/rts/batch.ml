@@ -12,12 +12,13 @@ type t = {
 let make tuples ctrl =
   (match ctrl with
   | Some (Item.Tuple _) -> invalid_arg "Batch.make: control position holds a tuple"
-  | Some (Item.Punct _ | Item.Flush | Item.Eof) | None -> ());
+  | Some (Item.Punct _ | Item.Flush | Item.Eof | Item.Error _ | Item.Gap _) | None -> ());
   { tuples; ctrl }
 
 let of_item = function
   | Item.Tuple values -> { tuples = [| values |]; ctrl = None }
-  | (Item.Punct _ | Item.Flush | Item.Eof) as ctrl -> { tuples = [||]; ctrl = Some ctrl }
+  | (Item.Punct _ | Item.Flush | Item.Eof | Item.Error _ | Item.Gap _) as ctrl ->
+      { tuples = [||]; ctrl = Some ctrl }
 
 (* Rebuild a batch from an item list in batch shape (tuples first, then
    at most one control item) — the shape of any partially consumed
@@ -25,10 +26,10 @@ let of_item = function
 let of_items items =
   let rec split acc = function
     | Item.Tuple values :: rest -> split (values :: acc) rest
-    | [ ((Item.Punct _ | Item.Flush | Item.Eof) as ctrl) ] ->
+    | [ ((Item.Punct _ | Item.Flush | Item.Eof | Item.Error _ | Item.Gap _) as ctrl) ] ->
         (List.rev acc, Some ctrl)
     | [] -> (List.rev acc, None)
-    | (Item.Punct _ | Item.Flush | Item.Eof) :: _ ->
+    | (Item.Punct _ | Item.Flush | Item.Eof | Item.Error _ | Item.Gap _) :: _ ->
         invalid_arg "Batch.of_items: control item before the end"
   in
   let tuples, ctrl = split [] items in

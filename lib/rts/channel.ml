@@ -56,12 +56,12 @@ let push_batch t batch =
            control-only Eof batch in, evicting a buffered batch exactly
            as the item-at-a-time path evicted a buffered item. *)
         match Batch.ctrl batch with
-        | Some Item.Eof ->
+        | Some ((Item.Eof | Item.Error _) as ctrl) ->
             if nt > 0 then Metrics.Counter.add t.dropped nt;
-            Ring.push_force ring (Batch.of_item Item.Eof);
+            Ring.push_force ring (Batch.of_item ctrl);
             Metrics.Histogram.observe t.occupancy 1.0;
             true
-        | Some (Item.Punct _ | Item.Flush) ->
+        | Some (Item.Punct _ | Item.Flush | Item.Gap _) ->
             Metrics.Counter.add t.dropped (nt + 1);
             false
         | Some (Item.Tuple _) | None ->
@@ -82,8 +82,8 @@ let push_batch t batch =
         let lost =
           nt
           + (match Batch.ctrl batch with
-            | Some (Item.Punct _ | Item.Flush) -> 1
-            | Some Item.Eof | Some (Item.Tuple _) | None -> 0)
+            | Some (Item.Punct _ | Item.Flush | Item.Gap _) -> 1
+            | Some (Item.Eof | Item.Error _) | Some (Item.Tuple _) | None -> 0)
         in
         if lost > 0 then Metrics.Counter.add t.dropped lost
       end;

@@ -207,7 +207,25 @@ let inputs_empty node =
 let run_loop shared r =
   let my_signal = shared.signals.(r.id) in
   let poke0 () = notify shared.signals.(0) in
-  let finished () = List.for_all (fun n -> Node.exhausted n && inputs_empty n) r.nodes in
+  (* A poisoned node announces Error+Eof (and so reads as exhausted)
+     while its upstream may still be producing. If the worker exited the
+     moment its drain caught up, that producer would block forever
+     pushing into a full cross-channel nobody pops — and a producer
+     blocked mid-push is not parked, so the wedge probe cannot see it.
+     Keep the domain alive (draining, or parked until the next push
+     pokes it) until every upstream of a poisoned node is exhausted
+     too. Non-poisoned nodes only emit Eof after consuming their
+     inputs' Eofs, so for them the extra condition already holds. *)
+  let upstreams_exhausted n =
+    Array.for_all (fun ((up : Node.t), _) -> Node.exhausted up) (Node.inputs n)
+  in
+  let finished () =
+    List.for_all
+      (fun n ->
+        Node.exhausted n && inputs_empty n
+        && ((not (Node.is_poisoned n)) || upstreams_exhausted n))
+      r.nodes
+  in
   let iter = ref 0 in
   let continue = ref true in
   while !continue && not (Atomic.get shared.stop) do

@@ -1,9 +1,19 @@
-type t = Tuple of Value.t array | Punct of (int * Value.t) list | Flush | Eof
+type t =
+  | Tuple of Value.t array
+  | Punct of (int * Value.t) list
+  | Flush
+  | Eof
+  | Error of string
+  | Gap of int
 
-let is_tuple = function Tuple _ -> true | Punct _ | Flush | Eof -> false
+let is_tuple = function
+  | Tuple _ -> true
+  | Punct _ | Flush | Eof | Error _ | Gap _ -> false
 
 let punct_bound t i =
-  match t with Punct bounds -> List.assoc_opt i bounds | Tuple _ | Flush | Eof -> None
+  match t with
+  | Punct bounds -> List.assoc_opt i bounds
+  | Tuple _ | Flush | Eof | Error _ | Gap _ -> None
 
 let pp fmt = function
   | Tuple vs ->
@@ -24,3 +34,5 @@ let pp fmt = function
       Format.fprintf fmt ")"
   | Flush -> Format.fprintf fmt "flush"
   | Eof -> Format.fprintf fmt "eof"
+  | Error msg -> Format.fprintf fmt "error(%s)" msg
+  | Gap n -> if n < 0 then Format.fprintf fmt "gap(?)" else Format.fprintf fmt "gap(%d)" n

@@ -3,7 +3,15 @@
     Besides data tuples, channels carry {e punctuations} — the
     ordering-update tokens of Tucker & Maier that Gigascope injects to
     unblock merge and join when an input is slow — and an end-of-stream
-    marker. *)
+    marker.
+
+    The failure model adds two more control kinds: [Error] marks a
+    stream whose producer crashed (it is always followed by [Eof], so
+    downstream terminates normally but knows the result is partial),
+    and [Gap] marks a known discontinuity — [n] tuples were lost here
+    (shed, dropped on a closed channel, or unrecoverable after a
+    reconnect). [Gap (-1)] means the count is unknown. Both mirror the
+    paper's stance that loss must be {e reported}, never silent. *)
 
 type t =
   | Tuple of Value.t array
@@ -12,6 +20,12 @@ type t =
           ascending attributes) the paired value *)
   | Flush  (** operator hint: flush open state now (user-requested) *)
   | Eof
+  | Error of string
+      (** upstream failure marker; the producing subtree is dead and an
+          [Eof] follows — results downstream of this point are partial *)
+  | Gap of int
+      (** [Gap n]: [n] tuples are missing at this stream position;
+          [n < 0] when the count is unknown *)
 
 val is_tuple : t -> bool
 

@@ -201,7 +201,8 @@ let op t =
     | Item.Flush -> ()
     | Item.Eof ->
         side.eof <- true;
-        purge t);
+        purge t
+    | (Item.Error _ | Item.Gap _) as ctrl -> emit ctrl);
     release t ~emit;
     let b = buffered t in
     if b > t.high_water then t.high_water <- b;
@@ -250,7 +251,13 @@ let op t =
     else if (not (Queue.is_empty t.right.buffer)) && starving t.left then Some 0
     else None
   in
-  { Operator.on_item; on_batch = Some on_batch; blocked_input; buffered = (fun () -> buffered t) }
+  {
+    Operator.on_item;
+    on_batch = Some on_batch;
+    blocked_input;
+    buffered = (fun () -> buffered t);
+    reset = None;
+  }
 
 let high_water t = t.high_water
 

@@ -125,6 +125,7 @@ let op t =
           flush_all t ~emit;
           emit Item.Eof
         end
+    | (Item.Error _ | Item.Gap _) as ctrl -> emit ctrl
   in
   (* The paper's cheap path: one dispatch folds a whole run of tuples
      into the direct-mapped table. *)
@@ -140,6 +141,7 @@ let op t =
     on_batch = Some on_batch;
     blocked_input = (fun () -> None);
     buffered = (fun () -> t.occupied);
+  reset = None;
   }
 
 let evictions t = Metrics.Counter.get t.evictions

@@ -92,6 +92,7 @@ let op t =
           if t.epoch <> Value.Null then emit_epoch t ~emit;
           emit Item.Eof
         end
+    | (Item.Error _ | Item.Gap _) as ctrl -> emit ctrl
   in
   let on_batch ~input batch ~emit =
     let tuples = Batch.tuples batch in
@@ -105,6 +106,7 @@ let op t =
     on_batch = Some on_batch;
     blocked_input = (fun () -> None);
     buffered = (fun () -> Array.length t.cfg.base);
+  reset = None;
   }
 
 let epochs_emitted t = t.epochs_emitted

@@ -115,11 +115,12 @@ let op t =
         | Some v -> if st.bound = Value.Null || cmp t st.bound v < 0 then st.bound <- v
         | None -> ())
     | Item.Flush -> ()
-    | Item.Eof -> st.eof <- true);
+    | Item.Eof -> st.eof <- true
+    | (Item.Error _ | Item.Gap _) as ctrl -> emit ctrl);
     drain t ~emit;
     match item with
     | Item.Punct _ -> emit_punct t ~emit
-    | Item.Tuple _ | Item.Flush | Item.Eof -> ()
+    | Item.Tuple _ | Item.Flush | Item.Eof | Item.Error _ | Item.Gap _ -> ()
   in
   (* Batched path: enqueue the whole run (each tuple advancing the
      input's bound exactly as it would one at a time), then drain once.
@@ -160,7 +161,13 @@ let op t =
       in
       find 0
   in
-  { Operator.on_item; on_batch = Some on_batch; blocked_input; buffered = (fun () -> buffered t) }
+  {
+    Operator.on_item;
+    on_batch = Some on_batch;
+    blocked_input;
+    buffered = (fun () -> buffered t);
+    reset = None;
+  }
 
 let high_water t = t.high_water
 

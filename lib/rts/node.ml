@@ -37,6 +37,18 @@ type t = {
   mutable batch_size : int;
   mutable out_buf : Value.t array array;
   mutable out_n : int;
+  (* Failure model: the supervisor rules on crashes caught in the step
+     functions; a poisoned node has announced Error+Eof downstream and
+     only drains (discards) its inputs from then on. *)
+  mutable supervisor : Supervisor.t option;
+  mutable poisoned : bool;
+  (* Source-side load shedding: when set, a source discards pulled
+     tuples while any subscriber channel sits at or above this fraction
+     of its capacity, and announces the discard as an [Item.Gap] once
+     pressure clears (or at EOF) — the paper's reported-drop stance. *)
+  mutable shed_hw : float option;
+  mutable shed_pending : int;
+  shed_c : Metrics.Counter.t;
 }
 
 let make name kind schema behavior =
@@ -58,12 +70,21 @@ let make name kind schema behavior =
     batch_size = 1;
     out_buf = [||];
     out_n = 0;
+    supervisor = None;
+    poisoned = false;
+    shed_hw = None;
+    shed_pending = 0;
+    shed_c = Metrics.Counter.make ();
   }
 
 let make_source ~name ~schema source = make name Source schema (Src source)
 let make_op ~name ~kind ~schema ~op = make name kind schema (Op op)
 
 let name t = t.name
+let set_supervisor t sup = t.supervisor <- sup
+let set_shed t hw = t.shed_hw <- hw
+let is_poisoned t = t.poisoned
+let shed_count t = Metrics.Counter.get t.shed_c
 let kind t = t.kind
 let schema t = t.schema
 let placement t = t.pinned
@@ -140,12 +161,60 @@ let emit t item =
         t.out_n <- t.out_n + 1;
         if t.out_n >= t.batch_size then flush_out t
       end
-  | Item.Punct _ | Item.Flush | Item.Eof ->
+  | Item.Punct _ | Item.Flush | Item.Eof | Item.Error _ | Item.Gap _ ->
       (* Control items seal the batch immediately: they keep their exact
          stream position, and downstream (heartbeat punctuation, wedge
          detection, EOF propagation) never waits on a partial batch. *)
       (match item with Item.Eof -> t.eof_emitted <- true | _ -> ());
       seal t (Some item)
+
+(* Announce the failure downstream and stop producing. Tuples already
+   in the output builder were emitted before the crash and are still
+   valid; the Error control item seals them into their batch. *)
+let poison t msg =
+  t.poisoned <- true;
+  emit t (Item.Error msg);
+  if not t.eof_emitted then emit t Item.Eof;
+  match t.behavior with Src _ -> t.source_done <- true | Op _ -> ()
+
+let handle_crash t exn =
+  match t.supervisor with
+  | None -> raise exn
+  | Some sup -> (
+      let restartable =
+        match t.behavior with
+        | Op op -> op.Operator.reset <> None
+        | Src _ -> false
+      in
+      let verdict, msg = Supervisor.on_crash sup ~node:t.name ~restartable exn in
+      match verdict with
+      | Supervisor.Escalate -> raise (Supervisor.Crashed (t.name, msg))
+      | Supervisor.Poison -> poison t msg
+      | Supervisor.Retry ->
+          (match t.behavior with
+          | Op { Operator.reset = Some r; _ } -> r ()
+          | Op _ | Src _ -> ());
+          (* the crash consumed an unknown slice of the in-flight work *)
+          emit t (Item.Gap (-1)))
+
+let over_high_water t frac =
+  List.exists
+    (function
+      | Chan chan ->
+          (* A local ring's capacity bounds batches while [length] counts
+             items; at batch size 1 (and on promoted cross channels) the
+             units agree, and at larger batch sizes the comparison is
+             simply a more tolerant high-water mark. *)
+          Channel.length chan >= max 1 (int_of_float (frac *. float_of_int (Channel.capacity chan)))
+      | Callback _ -> false)
+    t.subscribers
+
+let flush_shed_gap t =
+  if t.shed_pending > 0 then begin
+    let n = t.shed_pending in
+    t.shed_pending <- 0;
+    emit t (Item.Gap n)
+  end
 
 let step_source t ~quantum =
   match t.behavior with
@@ -155,16 +224,33 @@ let step_source t ~quantum =
       else begin
         let produced = ref 0 in
         let continue = ref true in
-        while !continue && !produced < quantum do
-          match src.pull () with
-          | Some item ->
-              incr produced;
-              emit t item
-          | None ->
-              t.source_done <- true;
-              continue := false;
-              emit t Item.Eof
-        done;
+        (try
+           while !continue && !produced < quantum do
+             Faults.crash_point ~node:t.name;
+             match src.pull () with
+             | Some item ->
+                 incr produced;
+                 let shed =
+                   Item.is_tuple item
+                   && match t.shed_hw with Some f -> over_high_water t f | None -> false
+                 in
+                 if shed then begin
+                   t.shed_pending <- t.shed_pending + 1;
+                   Metrics.Counter.incr t.shed_c
+                 end
+                 else begin
+                   flush_shed_gap t;
+                   emit t item
+                 end
+             | None ->
+                 t.source_done <- true;
+                 continue := false;
+                 flush_shed_gap t;
+                 emit t Item.Eof
+           done
+         with exn ->
+           continue := false;
+           handle_crash t exn);
         (* Flush-on-idle: a partial batch never outlives the step that
            built it, so batching adds at most one scheduler round of
            latency when input is sparse. *)
@@ -172,30 +258,54 @@ let step_source t ~quantum =
         !produced > 0
       end
 
+(* A poisoned node has already announced Error+Eof; it keeps consuming
+   (and discarding) its inputs so upstream nodes never wedge against a
+   full channel into a dead consumer, and the completion check's
+   channels-empty condition still holds. *)
+let drain_poisoned t ~quantum =
+  let progress = ref false in
+  Array.iter
+    (fun (_, chan) ->
+      let consumed = ref 0 in
+      let continue = ref true in
+      while !continue && !consumed < quantum do
+        match Channel.pop_batch chan with
+        | Some batch ->
+            consumed := !consumed + Batch.items batch;
+            progress := true
+        | None -> continue := false
+      done)
+    t.node_inputs;
+  !progress
+
 let step_inputs t ~quantum =
   match t.behavior with
   | Src _ -> false
+  | Op _ when t.poisoned -> drain_poisoned t ~quantum
   | Op op ->
       let progress = ref false in
-      Array.iteri
-        (fun i (_, chan) ->
-          let consumed = ref 0 in
-          let continue = ref true in
-          while !continue && !consumed < quantum do
-            match Channel.pop_batch chan with
-            | Some batch ->
-                (* Whole batches only: the quantum is checked between
-                   batches, so a large batch can overshoot it by one
-                   batch — the output is quantum-independent either
-                   way. *)
-                consumed := !consumed + Batch.items batch;
-                progress := true;
-                let nt = Batch.n_tuples batch in
-                if nt > 0 then Metrics.Counter.add t.tuples_in nt;
-                Operator.apply_batch op ~input:i batch ~emit:(emit t)
-            | None -> continue := false
-          done)
-        t.node_inputs;
+      (try
+         Array.iteri
+           (fun i (_, chan) ->
+             let consumed = ref 0 in
+             let continue = ref true in
+             while !continue && !consumed < quantum do
+               match Channel.pop_batch chan with
+               | Some batch ->
+                   (* Whole batches only: the quantum is checked between
+                      batches, so a large batch can overshoot it by one
+                      batch — the output is quantum-independent either
+                      way. *)
+                   consumed := !consumed + Batch.items batch;
+                   progress := true;
+                   let nt = Batch.n_tuples batch in
+                   if nt > 0 then Metrics.Counter.add t.tuples_in nt;
+                   Faults.crash_point ~node:t.name;
+                   Operator.apply_batch op ~input:i batch ~emit:(emit t)
+               | None -> continue := false
+             done)
+           t.node_inputs
+       with exn -> handle_crash t exn);
       flush_out t;
       !progress
 
@@ -240,4 +350,5 @@ let register_metrics t reg =
   Metrics.attach_counter reg (pfx ^ ".tuples_out") t.tuples_out;
   Metrics.attach_gauge_fn reg (pfx ^ ".buffered") (fun () -> float_of_int (buffered t));
   Metrics.attach_histogram reg (pfx ^ ".service_ns") t.service;
-  Metrics.attach_histogram reg (pfx ^ ".callback_ns") t.cb_latency
+  Metrics.attach_histogram reg (pfx ^ ".callback_ns") t.cb_latency;
+  Metrics.attach_counter reg ("rts.shed." ^ t.name) t.shed_c

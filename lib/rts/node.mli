@@ -38,6 +38,27 @@ val placement : t -> int option
 
 val set_placement : t -> int option -> unit
 
+val set_supervisor : t -> Supervisor.t option -> unit
+(** With a supervisor installed, an exception raised inside a step
+    (operator dispatch or source pull) is submitted to it instead of
+    propagating: the node restarts, poisons itself (emitting
+    [Item.Error] then [Item.Eof], and draining its inputs from then on
+    so upstream never wedges), or escalates as {!Supervisor.Crashed}
+    according to the policy. Without one (the default), the exception
+    propagates as before. *)
+
+val is_poisoned : t -> bool
+
+val set_shed : t -> float option -> unit
+(** Sources only (no-op elsewhere): with [Some hw] (a fraction of
+    channel capacity in (0, 1]), a pulled tuple is discarded instead of
+    emitted while any subscriber channel sits at or above the mark.
+    Discards count in the [rts.shed.<node>] counter and are announced
+    downstream as one [Item.Gap n] when pressure clears or at EOF, so
+    [pulled = emitted + shed] always holds and the loss is visible. *)
+
+val shed_count : t -> int
+
 val connect : downstream:t -> upstream:t -> capacity:int -> unit
 (** Create a channel from [upstream] into [downstream]'s next input slot. *)
 

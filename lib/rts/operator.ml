@@ -5,6 +5,7 @@ type t = {
   on_batch : (input:int -> Batch.t -> emit:emit -> unit) option;
   blocked_input : unit -> int option;
   buffered : unit -> int;
+  reset : (unit -> unit) option;
 }
 
 let apply_batch t ~input batch ~emit =
@@ -18,7 +19,7 @@ let stateless f ~n_inputs =
   let on_item ~input item ~emit =
     match item with
     | Item.Tuple values -> f values ~emit
-    | Item.Punct _ | Item.Flush -> emit item
+    | Item.Punct _ | Item.Flush | Item.Error _ | Item.Gap _ -> emit item
     | Item.Eof ->
         eofs.(input) <- true;
         if Array.for_all Fun.id eofs && not !done_ then begin
@@ -35,4 +36,5 @@ let stateless f ~n_inputs =
     on_batch = Some on_batch;
     blocked_input = (fun () -> None);
     buffered = (fun () -> 0);
+    reset = Some (fun () -> ());
   }

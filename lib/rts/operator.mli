@@ -22,6 +22,11 @@ type t = {
           when absent, so exotic operators keep working untouched. *)
   blocked_input : unit -> int option;
   buffered : unit -> int;  (** items of internal state, for measurement *)
+  reset : (unit -> unit) option;
+      (** Restartable operators expose a state reset the supervisor may
+          call to restart them in place after a crash ([restart] policy).
+          [None] marks the operator as stateful-unrestartable: a crash
+          poisons it instead. *)
 }
 
 val apply_batch : t -> input:int -> Batch.t -> emit:emit -> unit

@@ -10,7 +10,7 @@ let make ?dropped ~rate ~seed () =
     | Item.Tuple _ ->
         if Prng.float rng 1.0 < rate then emit item
         else ( match dropped with Some c -> Metrics.Counter.incr c | None -> ())
-    | Item.Punct _ | Item.Flush -> emit item
+    | Item.Punct _ | Item.Flush | Item.Error _ | Item.Gap _ -> emit item
     | Item.Eof ->
         if not !done_ then begin
           done_ := true;
@@ -32,4 +32,5 @@ let make ?dropped ~rate ~seed () =
     on_batch = Some on_batch;
     blocked_input = (fun () -> None);
     buffered = (fun () -> 0);
+    reset = None;
   }

@@ -23,7 +23,7 @@ let channels_empty node =
   Array.for_all (fun (_, chan) -> Channel.is_empty chan) (Node.inputs node)
 
 let run ?quantum ?(max_rounds = 10_000_000) ?(heartbeats = true) ?heartbeat_period
-    ?on_round ?(trace = false) ?(batch = 1) mgr =
+    ?on_round ?(trace = false) ?(batch = 1) ?supervisor ?shed mgr =
   (* A quantum smaller than the batch flushes every output builder before
      it fills, so the *default* quantum floors at the batch — the knobs
      compose. An explicit quantum wins: callers pinning the scheduling
@@ -38,7 +38,13 @@ let run ?quantum ?(max_rounds = 10_000_000) ?(heartbeats = true) ?heartbeat_peri
   Metrics.Gauge.set_int (Metrics.gauge reg "rts.scheduler.service_sample") sample;
   Metrics.Gauge.set_int (Metrics.gauge reg "rts.scheduler.batch") (max 1 batch);
   let nodes = Manager.nodes mgr in
-  List.iter (fun n -> Node.set_batch n batch) nodes;
+  List.iter
+    (fun n ->
+      Node.set_batch n batch;
+      Node.set_supervisor n supervisor;
+      Node.set_shed n shed)
+    nodes;
+  (match supervisor with Some s -> Supervisor.register_metrics s reg | None -> ());
   (* [iter] counts scheduling iterations (max_rounds guard, sampling,
      periodic heartbeats, the on_round hook); [rounds] counts only the
      productive ones — iterations in which some node actually moved an
@@ -52,6 +58,7 @@ let run ?quantum ?(max_rounds = 10_000_000) ?(heartbeats = true) ?heartbeat_peri
     List.for_all (fun n -> Node.exhausted n && channels_empty n) nodes
   in
   let result = ref None in
+  (try
   while !result = None do
     if finished () then result := Some (Ok { rounds = !rounds; heartbeat_requests = !heartbeat_requests })
     else if !iter >= max_rounds then
@@ -112,7 +119,8 @@ let run ?quantum ?(max_rounds = 10_000_000) ?(heartbeats = true) ?heartbeat_peri
       if (not !progress) && (not !hb_fired) && not (finished ()) then
         result := Some (Error "scheduler: wedged (no progress, not finished)")
     end
-  done;
+  done
+  with Supervisor.Crashed _ as e -> result := Some (Error (Printexc.to_string e)));
   match !result with Some r -> r | None -> assert false
 
 (* ---------------- parallel execution ------------------------------------ *)
@@ -225,7 +233,8 @@ let partition ~domains nodes =
       Ok (Array.map List.rev parts)
 
 let run_parallel ?quantum ?(max_rounds = 10_000_000) ?(heartbeats = true)
-    ?heartbeat_period ?(trace = false) ?(placement = []) ?(batch = 1) ~domains mgr =
+    ?heartbeat_period ?(trace = false) ?(placement = []) ?(batch = 1) ?supervisor ?shed
+    ~domains mgr =
   let quantum = match quantum with Some q -> q | None -> max 64 batch in
   let apply_placement () =
     let rec go = function
@@ -243,7 +252,8 @@ let run_parallel ?quantum ?(max_rounds = 10_000_000) ?(heartbeats = true)
   | Error _ as e -> e
   | Ok () -> (
       if domains <= 1 then
-        run ~quantum ~max_rounds ~heartbeats ?heartbeat_period ~trace ~batch mgr
+        run ~quantum ~max_rounds ~heartbeats ?heartbeat_period ~trace ~batch ?supervisor ?shed
+          mgr
       else
       match partition ~domains (Manager.nodes mgr) with
       | Error _ as e -> e
@@ -257,7 +267,13 @@ let run_parallel ?quantum ?(max_rounds = 10_000_000) ?(heartbeats = true)
         Metrics.Gauge.set_int (Metrics.gauge reg "rts.scheduler.domains") domains;
         Metrics.Gauge.set_int (Metrics.gauge reg "rts.scheduler.batch") (max 1 batch);
         let nodes = Manager.nodes mgr in
-        List.iter (fun n -> Node.set_batch n batch) nodes;
+        List.iter
+          (fun n ->
+            Node.set_batch n batch;
+            Node.set_supervisor n supervisor;
+            Node.set_shed n shed)
+          nodes;
+        (match supervisor with Some s -> Supervisor.register_metrics s reg | None -> ());
         let part_of = Hashtbl.create 32 in
         Array.iteri
           (fun p ns -> List.iter (fun n -> Hashtbl.replace part_of (Node.name n) p) ns)

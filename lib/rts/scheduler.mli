@@ -23,9 +23,17 @@ val run :
   ?on_round:(int -> unit) ->
   ?trace:bool ->
   ?batch:int ->
+  ?supervisor:Supervisor.t ->
+  ?shed:float ->
   Manager.t ->
   (stats, string) result
-(** [batch] (default 1) sets every node's output batch size
+(** [supervisor] installs crash supervision on every node
+    ({!Node.set_supervisor}); a [Fail_fast] escalation surfaces as this
+    function's [Error] result instead of an exception. [shed] arms
+    source-side load shedding at that high-water fraction
+    ({!Node.set_shed}).
+
+    [batch] (default 1) sets every node's output batch size
     ({!Node.set_batch}): tuples move through channels in runs of up to
     [batch], sealed early by any control item and flushed at the end of
     every node step, so the emitted item sequence — and therefore the
@@ -65,6 +73,8 @@ val run_parallel :
   ?trace:bool ->
   ?placement:(string * int) list ->
   ?batch:int ->
+  ?supervisor:Supervisor.t ->
+  ?shed:float ->
   domains:int ->
   Manager.t ->
   (stats, string) result

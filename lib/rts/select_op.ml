@@ -23,6 +23,7 @@ let make ?rejected ?pred ~project ~punct_map () =
         in
         if translated <> [] then emit (Item.Punct translated)
     | Item.Flush -> emit Item.Flush
+    | (Item.Error _ | Item.Gap _) as ctrl -> emit ctrl
     | Item.Eof ->
         if not !done_ then begin
           done_ := true;
@@ -43,4 +44,5 @@ let make ?rejected ?pred ~project ~punct_map () =
     on_batch = Some on_batch;
     blocked_input = (fun () -> None);
     buffered = (fun () -> 0);
+    reset = Some (fun () -> ());
   }

@@ -44,6 +44,18 @@ let set_on_push t f = t.on_push <- f
 
 let push_batch t batch =
   let size = Batch.items batch in
+  (* Chaos hooks, fired before the lock: an injected stall models a slow
+     consumer domain; an injected close reproduces the
+     close-while-producer-mid-push race (the closer below is [close]
+     inlined — [close] itself is defined later and must not be called
+     under our lock). *)
+  Faults.stall_point ~chan:t.name;
+  Faults.xclose_point ~chan:t.name (fun () ->
+      Mutex.lock t.lock;
+      t.closed <- true;
+      Condition.broadcast t.not_full;
+      Mutex.unlock t.lock;
+      t.on_push ());
   Mutex.lock t.lock;
   (* Backpressure: block until the consumer makes room. The wait is the
      cross-domain analogue of a dropped tuple, so it is accounted
@@ -75,8 +87,8 @@ let push_batch t batch =
     let lost =
       Batch.n_tuples batch
       + (match Batch.ctrl batch with
-        | Some (Item.Punct _ | Item.Flush) -> 1
-        | Some Item.Eof | Some (Item.Tuple _) | None -> 0)
+        | Some (Item.Punct _ | Item.Flush | Item.Gap _) -> 1
+        | Some (Item.Eof | Item.Error _) | Some (Item.Tuple _) | None -> 0)
     in
     if lost > 0 then Metrics.Counter.add t.dropped lost
   end;

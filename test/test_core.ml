@@ -331,12 +331,13 @@ let contains hay needle =
   let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
   go 0
 
-(* putenv cannot unset, so an originally-absent variable restores to "1"
-   (behaviorally identical to absent: both knobs default to 1). *)
-let with_env name value f =
+(* putenv cannot unset, so an originally-absent variable restores to
+   [default] — "1" for the numeric knobs (behaviorally identical to
+   absent: both default to 1), "" for GIGASCOPE_FAULTS (empty = off). *)
+let with_env ?(default = "1") name value f =
   let old = Sys.getenv_opt name in
   Unix.putenv name value;
-  Fun.protect ~finally:(fun () -> Unix.putenv name (Option.value old ~default:"1")) f
+  Fun.protect ~finally:(fun () -> Unix.putenv name (Option.value old ~default)) f
 
 let capture_warnings f =
   let old_reporter = Logs.reporter () in
@@ -390,9 +391,14 @@ let test_env_batch_negative_warns () =
     (contains warnings "GIGASCOPE_BATCH" && contains warnings "-3")
 
 let test_env_clean_value_silent () =
+  (* GIGASCOPE_FAULTS is pinned off: an ambient chaos spec (make ci's
+     chaos pass) legitimately logs a fault-injection notice, and this
+     test is about the knob parsers staying quiet, not about faults. *)
   let (), warnings =
     capture_warnings (fun () ->
-        with_env "GIGASCOPE_PARALLEL" "2" (fun () -> with_env "GIGASCOPE_BATCH" " 8 " empty_run))
+        with_env ~default:"" "GIGASCOPE_FAULTS" "" (fun () ->
+            with_env "GIGASCOPE_PARALLEL" "2" (fun () ->
+                with_env "GIGASCOPE_BATCH" " 8 " empty_run)))
   in
   check Alcotest.string "no warnings for parseable values" "" warnings
 

@@ -62,7 +62,7 @@ let sample_msgs =
         { Wire.q_name = "odd"; q_kind = "hfta"; q_schema = schema_exotic };
       ];
     Wire.Subscribe "portcounts";
-    Wire.Subscribed { name = "portcounts"; schema = schema_exotic };
+    Wire.Subscribed { name = "portcounts"; schema = schema_exotic; sub_id = 7 };
     Wire.Publish "feed";
     Wire.Publish_ok { iface = "feed"; schema = schema_small };
     Wire.Batch sample_batch;
@@ -71,6 +71,12 @@ let sample_msgs =
     Wire.Batch (Batch.make [| [| Value.Int 1 |] |] None);
     Wire.Err "no such query";
     Wire.Bye;
+    (* failure-model control frames: heartbeat, resume, in-band loss *)
+    Wire.Heartbeat;
+    Wire.Resume { name = "portcounts"; sub_id = 7; token = 123456 };
+    Wire.Batch (Batch.make [| [| Value.Int 1; Value.Bool true; Value.Str "x" |] |] (Some (Item.Gap 42)));
+    Wire.Batch (Batch.make [||] (Some (Item.Gap (-1))));
+    Wire.Batch (Batch.make [||] (Some (Item.Error "operator total crashed: injected")));
   ]
 
 (* Byte-level equality after a re-encode sidesteps the need for a

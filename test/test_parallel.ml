@@ -245,6 +245,7 @@ let test_wedge_detected () =
         on_batch = None;
         blocked_input = (fun () -> None);
         buffered = (fun () -> 0);
+        reset = None;
       }
     in
     ignore
@@ -262,6 +263,45 @@ let test_wedge_detected () =
             (Printf.sprintf "parallel=%d reports the wedge: %s" parallel e)
             true (contains e "wedged"))
     [1; 2; 3]
+
+(* close-while-producer-blocked-in-push: the producer domain is parked
+   in Xchannel.push on a full channel when the consumer tears the
+   channel down. close must release the waiter and the push must report
+   rejection — a hang here deadlocked shutdown paths. *)
+let test_xchannel_close_releases_blocked_push () =
+  let xc = Rts.Xchannel.create ~capacity:4 ~name:"xc-close-race" () in
+  for i = 1 to 4 do
+    check Alcotest.bool "fill accepted" true (Rts.Xchannel.push xc (Rts.Item.Tuple [| Value.Int i |]))
+  done;
+  let released = Atomic.make false in
+  let accepted = Atomic.make true in
+  let producer =
+    Thread.create
+      (fun () ->
+        let ok = Rts.Xchannel.push xc (Rts.Item.Tuple [| Value.Int 99 |]) in
+        Atomic.set accepted ok;
+        Atomic.set released true)
+      ()
+  in
+  Thread.delay 0.05;
+  check Alcotest.bool "producer is parked on the full channel" false (Atomic.get released);
+  Rts.Xchannel.close xc;
+  Thread.join producer (* hangs forever if close does not broadcast *);
+  check Alcotest.bool "blocked push rejected after close" false (Atomic.get accepted)
+
+(* same race, injected: a fault clause closes the channel out from under
+   a push mid-run; the parallel run must still terminate *)
+let test_xchannel_injected_close_terminates () =
+  let plan = Result.get_ok (Rts.Faults.parse "xclose=c2->c3:5") in
+  Rts.Faults.install plan;
+  Fun.protect ~finally:Rts.Faults.clear (fun () ->
+      match
+        let engine = E.create () in
+        chain_workload.setup ~seed:42 engine;
+        ignore (Result.get_ok (E.install_program engine chain_program));
+        E.run engine ~parallel:3 ~quantum:4 ()
+      with
+      | Ok _ | Error _ -> () (* either verdict is fine; hanging is not *))
 
 (* the e2-style acceptance run: several query networks at once on two
    domains — completes, zero dropped tuples, identical output *)
@@ -310,6 +350,8 @@ let () =
           tc "hfta chain does not deadlock" test_chain_no_deadlock;
           tc "cyclic placement rejected" test_cyclic_placement_rejected;
           tc "wedge detected, not hung" test_wedge_detected;
+          tc "xchannel close releases a blocked push" test_xchannel_close_releases_blocked_push;
+          tc "injected xchannel close terminates" test_xchannel_injected_close_terminates;
         ] );
       ("multi-query", [tc "two domains, no drops" test_multi_query_no_drops]);
     ]
