@@ -1,6 +1,6 @@
 # Convenience targets; `make ci` is what a CI job should run.
 
-.PHONY: all build test ci bench clean
+.PHONY: all build test ci ci-observability bench clean
 
 all: build
 
@@ -36,6 +36,34 @@ ci:
 	GIGASCOPE_BATCH=64 timeout $(CI_TIMEOUT) dune runtest --force
 	GIGASCOPE_PARALLEL=2 GIGASCOPE_BATCH=64 timeout $(CI_TIMEOUT) dune runtest --force
 	GIGASCOPE_FAULTS="$(CHAOS_FAULTS)" GIGASCOPE_PARALLEL=2 timeout $(CI_TIMEOUT) dune runtest --force
+	$(MAKE) ci-observability
+
+# The latency-observability smoke: a short paced soak (the bench exits
+# nonzero when loss exceeds the 2% doctrine, gap markers don't conserve
+# the server's drop count, or p99 goes insane), then a live scrape of a
+# serve --http endpoint — /metrics must expose Prometheus families and
+# /queries must list the installed streams, checked with curl like a
+# real scraper would.
+HTTP_SMOKE_PORT ?= 19378
+ci-observability:
+	timeout 20 dune exec bench/main.exe -- soak 4 40
+	( dune exec bin/gsq.exe -- serve queries/tcpdest.gsql \
+	    --listen 127.0.0.1:0 --http 127.0.0.1:$(HTTP_SMOKE_PORT) \
+	    --rate 400 --duration 120 --latency-sample 16 & \
+	  echo $$! > .http-smoke.pid; \
+	  ok=1; \
+	  for i in 1 2 3 4 5 6 7 8 9 10; do \
+	    sleep 0.5; \
+	    if curl -sf http://127.0.0.1:$(HTTP_SMOKE_PORT)/metrics > .http-smoke.prom; then ok=0; break; fi; \
+	  done; \
+	  if [ $$ok -eq 0 ]; then \
+	    grep -q '^# TYPE rts_scheduler_rounds counter' .http-smoke.prom && \
+	    grep -q '^# TYPE rts_latency_tcpdest0 summary' .http-smoke.prom && \
+	    curl -sf http://127.0.0.1:$(HTTP_SMOKE_PORT)/queries | grep -q '"name":"tcpdest0"' || ok=1; \
+	  fi; \
+	  kill $$(cat .http-smoke.pid) 2>/dev/null; \
+	  rm -f .http-smoke.pid .http-smoke.prom; \
+	  exit $$ok )
 
 bench:
 	dune exec bench/main.exe

@@ -7,6 +7,8 @@
      a3    - merge of skewed streams: buffer growth with/without heartbeats
      a4    - NIC capability levels: bytes delivered to the host
      a5    - join algorithm choice: output ordering vs. buffer space
+     soak  - paced end-to-end replay over the loopback wire protocol:
+             the 2%-loss doctrine, gap conservation, latency percentiles
      micro - Bechamel micro-costs of the operators and substrates
 
    `main.exe` with no argument runs everything. *)
@@ -87,6 +89,33 @@ module Json = struct
     close_out oc;
     Printf.printf "wrote %s\n%!" path
 end
+
+(* Run metadata stamped into every BENCH_*.json: a bench number without
+   the revision and the knobs it ran under cannot be compared to anything. *)
+let run_meta ~wall_s =
+  let git_rev =
+    match
+      let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
+      let line = try String.trim (input_line ic) with End_of_file -> "" in
+      match Unix.close_process_in ic with Unix.WEXITED 0 when line <> "" -> line | _ -> ""
+    with
+    | "" -> "unknown"
+    | rev -> rev
+    | exception _ -> "unknown"
+  in
+  let env name =
+    match Sys.getenv_opt name with Some v when v <> "" -> v | _ -> "unset"
+  in
+  Json.Obj
+    [
+      ("git_rev", Json.Str git_rev);
+      ("wall_clock_s", Json.Float wall_s);
+      ("env_parallel", Json.Str (env "GIGASCOPE_PARALLEL"));
+      ("env_batch", Json.Str (env "GIGASCOPE_BATCH"));
+      ("env_latency", Json.Str (env "GIGASCOPE_LATENCY"));
+      ("ocaml", Json.Str Sys.ocaml_version);
+      ("word_size_bits", Json.Int Sys.word_size);
+    ]
 
 (* ---------------------------------------------------------------- E1 --- *)
 
@@ -213,6 +242,7 @@ let per_op_json rows =
 
 let run_e2 () =
   section "E2: sustained packets/second through a 5-query production-like set";
+  let t_start = Unix.gettimeofday () in
   let packets = e2_packets () in
   let n_packets = List.length packets in
   let run_one ~batch =
@@ -279,6 +309,7 @@ let run_e2 () =
        [
          ("bench", Json.Str "e2");
          ("description", Json.Str "packets/second through a 5-query production-like set, swept over data-plane batch size");
+         ("meta", run_meta ~wall_s:(Unix.gettimeofday () -. t_start));
          ("packets", Json.Int n_packets);
          ( "pre_refactor_baseline",
            Json.Obj
@@ -393,6 +424,7 @@ let e3_select_aggregate ~n ~domains ~batch =
 
 let run_e3 () =
   section "E3: single-threaded vs. parallel HFTA execution (e2 query set)";
+  let t_start = Unix.gettimeofday () in
   let packets = e2_packets () in
   let n_packets = List.length packets in
   let run_one ~domains ~batch =
@@ -495,6 +527,7 @@ let run_e3 () =
        [
          ("bench", Json.Str "e3");
          ("description", Json.Str "parallel HFTA execution and the batched data plane: e2 query set over domains x batch, plus a select+aggregate chain swept over batch size");
+         ("meta", run_meta ~wall_s:(Unix.gettimeofday () -. t_start));
          ( "pre_refactor_baseline",
            Json.Obj
              [
@@ -783,6 +816,274 @@ let run_a4 () =
     "claim: pushing the filter and snap length into the card shrinks what the\n\
      host must touch, without changing any query result (Section 3).\n"
 
+(* -------------------------------------------------------------- soak --- *)
+
+(* A paced end-to-end regression harness: replay synthetic traffic at its
+   own timestamps (wall-clock pacing, not flat-out), deliver every query's
+   output to a real subscriber over the loopback wire protocol, and hold
+   the run to the paper's doctrine — at the offered rate the system keeps
+   up, loses at most 2%, and accounts for every tuple it does lose (gap
+   markers at the subscribers must conserve the server's drop count).
+   Ingest→deliver latency is sampled throughout and reported per query.
+
+     main.exe soak [DURATION_S] [RATE_MBPS]     (defaults 10s, 80 Mbit/s) *)
+
+module Net = Gigascope_net
+
+let soak_loss_threshold_pct = 2.0
+
+(* p99 sanity bound for the smoke test: on a paced run that keeps up,
+   ingest→deliver latency is queue residence, not load; anything beyond
+   this means the plane stalled. Generous because CI containers are noisy. *)
+let soak_sane_p99_ms = 5_000.0
+
+let run_soak () =
+  section "SOAK: paced replay, loopback delivery, the 2%-loss doctrine";
+  let t_start = Unix.gettimeofday () in
+  let argf i default =
+    if Array.length Sys.argv > i then
+      match float_of_string_opt Sys.argv.(i) with Some f when f > 0.0 -> f | _ -> default
+    else default
+  in
+  let duration = argf 2 10.0 in
+  let rate = argf 3 80.0 in
+  let latency_every = 32 in
+  (* pre-generate so pacing (and nothing else) is the source-side cost *)
+  let packets =
+    let cfg =
+      {
+        Traffic.Gen.default with
+        Traffic.Gen.duration;
+        rate_mbps = rate;
+        seed = 77;
+        n_flows = 1024;
+      }
+    in
+    let gen = Traffic.Gen.create cfg in
+    let rec go acc =
+      match Traffic.Gen.next gen with Some p -> go (p :: acc) | None -> List.rev acc
+    in
+    Array.of_list (go [])
+  in
+  let n_packets = Array.length packets in
+  Printf.printf "replaying %d packets over %.1fs at %.0f Mbit/s, latency sample 1/%d\n%!"
+    n_packets duration rate latency_every;
+  let eng = E.create ~default_capacity:65536 () in
+  (* capture timestamps are absolute (the generator's start_ts); pace
+     relative to the first packet *)
+  let base_ts = if n_packets > 0 then packets.(0).Gigascope_packet.Packet.ts else 0.0 in
+  E.add_interface eng ~name:"eth0"
+    ~feed:(fun () ->
+      let i = ref 0 in
+      let t0 = ref nan in
+      fun () ->
+        if !i >= n_packets then None
+        else begin
+          let p = packets.(!i) in
+          incr i;
+          if Float.is_nan !t0 then t0 := Unix.gettimeofday ();
+          let lag =
+            !t0 +. (p.Gigascope_packet.Packet.ts -. base_ts) -. Unix.gettimeofday ()
+          in
+          if lag > 0.0005 then Thread.delay lag;
+          Some p
+        end)
+    ();
+  (match E.install_program eng e2_queries with
+  | Ok _ -> ()
+  | Error e -> failwith ("soak install: " ^ e));
+  let server = Net.Server.create ~policy:Net.Server.Drop_newest ~egress_capacity:4096 eng in
+  let addr =
+    match Net.Server.listen server (Net.Addr.Tcp ("127.0.0.1", 0)) with
+    | Ok a -> a
+    | Error e -> failwith ("soak listen: " ^ e)
+  in
+  let subscribe q =
+    let delivered = ref 0 and gap_tuples = ref 0 and err = ref "" in
+    let thread =
+      Thread.create
+        (fun () ->
+          match Net.Client.connect addr with
+          | Error e -> err := e
+          | Ok c ->
+              (match Net.Client.subscribe c q with
+              | Error e -> err := e
+              | Ok _ ->
+                  let rec go () =
+                    match Net.Client.next c with
+                    | Ok (Some (Rts.Item.Tuple _)) ->
+                        incr delivered;
+                        go ()
+                    | Ok (Some (Rts.Item.Gap n)) ->
+                        gap_tuples := !gap_tuples + max 0 n;
+                        go ()
+                    | Ok (Some _) -> go ()
+                    | Ok None -> ()
+                    | Error e -> err := e
+                  in
+                  go ());
+              Net.Client.close c)
+        ()
+    in
+    (q, delivered, gap_tuples, err, thread)
+  in
+  let subs = List.map subscribe e2_names in
+  let n_subs = List.length subs in
+  let rec wait_attached tries =
+    if Net.Server.subscriber_count server < n_subs then
+      if tries = 0 then failwith "soak: subscribers failed to attach"
+      else begin
+        Thread.delay 0.02;
+        wait_attached (tries - 1)
+      end
+  in
+  wait_attached 250;
+  let t_run = Unix.gettimeofday () in
+  (match E.run eng ~latency_sample:latency_every () with
+  | Ok _ -> ()
+  | Error e -> failwith ("soak run: " ^ e));
+  let replay_wall = Unix.gettimeofday () -. t_run in
+  if not (Net.Server.drain server) then prerr_endline "soak: drain timed out";
+  Net.Server.stop server;
+  List.iter (fun (_, _, _, _, thread) -> Thread.join thread) subs;
+  List.iter
+    (fun (q, _, _, err, _) -> if !err <> "" then prerr_endline ("soak " ^ q ^ ": " ^ !err))
+    subs;
+  (* -- accounting ---------------------------------------------------- *)
+  let snap = E.metrics_snapshot eng in
+  let counter name =
+    match Metrics.find snap name with Some (Metrics.Counter n) -> n | _ -> 0
+  in
+  let hist name =
+    match Metrics.find snap name with Some (Metrics.Histogram h) -> Some h | _ -> None
+  in
+  let sum_counters ~prefix ~suffix =
+    List.fold_left
+      (fun acc (name, v) ->
+        match v with
+        | Metrics.Counter n
+          when String.starts_with ~prefix name && Filename.check_suffix name suffix ->
+            acc + n
+        | _ -> acc)
+      0 snap
+  in
+  let source_out = counter "rts.node.eth0.tcp.tuples_out" in
+  let chan_drops = sum_counters ~prefix:"rts.chan." ~suffix:".drops" in
+  let shed = sum_counters ~prefix:"rts.shed." ~suffix:"" in
+  let egress_drops = counter "net.subscriber.drops" in
+  let client_gap_tuples = List.fold_left (fun acc (_, _, g, _, _) -> acc + !g) 0 subs in
+  let delivered_total = List.fold_left (fun acc (_, d, _, _, _) -> acc + !d) 0 subs in
+  let lost = chan_drops + shed + egress_drops in
+  let loss_pct = 100.0 *. float_of_int lost /. float_of_int (max 1 source_out) in
+  let loss_ok = loss_pct <= soak_loss_threshold_pct in
+  let gaps_conserved = client_gap_tuples = egress_drops in
+  let hist_ms name =
+    match hist name with
+    | Some h when h.Metrics.h_count > 0 ->
+        Some (h.Metrics.h_count, h.Metrics.h_p50 /. 1e6, h.Metrics.h_p90 /. 1e6, h.Metrics.h_p99 /. 1e6)
+    | _ -> None
+  in
+  let p99_sane =
+    List.for_all
+      (fun q ->
+        match hist_ms ("rts.latency." ^ q) with
+        | Some (_, _, _, p99) -> p99 <= soak_sane_p99_ms
+        | None -> true)
+      e2_names
+  in
+  Printf.printf "replay: %.2fs wall (%.0f pkt/s paced, %.0f achieved)\n" replay_wall
+    (float_of_int n_packets /. duration)
+    (float_of_int n_packets /. replay_wall);
+  Printf.printf
+    "source tuples %d  delivered %d  chan drops %d  shed %d  egress drops %d  gaps@clients %d\n"
+    source_out delivered_total chan_drops shed egress_drops client_gap_tuples;
+  Printf.printf "%-14s %10s %8s  %-26s %-26s\n" "query" "delivered" "gaps" "rts p50/p90/p99 ms"
+    "net p50/p90/p99 ms";
+  let query_rows =
+    List.map
+      (fun (q, delivered, gaps, _, _) ->
+        let render = function
+          | Some (_, p50, p90, p99) -> Printf.sprintf "%.2f/%.2f/%.2f" p50 p90 p99
+          | None -> "-"
+        in
+        let rts_h = hist_ms ("rts.latency." ^ q) and net_h = hist_ms ("net.latency." ^ q) in
+        Printf.printf "%-14s %10d %8d  %-26s %-26s\n" q !delivered !gaps (render rts_h)
+          (render net_h);
+        let lat_json = function
+          | Some (count, p50, p90, p99) ->
+              Json.Obj
+                [
+                  ("samples", Json.Int count);
+                  ("p50_ms", Json.Float p50);
+                  ("p90_ms", Json.Float p90);
+                  ("p99_ms", Json.Float p99);
+                ]
+          | None -> Json.Obj []
+        in
+        Json.Obj
+          [
+            ("query", Json.Str q);
+            ("delivered", Json.Int !delivered);
+            ("gap_tuples", Json.Int !gaps);
+            ("rts_latency", lat_json rts_h);
+            ("net_latency", lat_json net_h);
+          ])
+      subs
+  in
+  Json.to_file "BENCH_soak.json"
+    (Json.Obj
+       [
+         ("bench", Json.Str "soak");
+         ( "description",
+           Json.Str
+             "paced end-to-end replay through the loopback wire protocol: loss vs. the 2% doctrine, gap conservation, ingest-to-deliver latency per query" );
+         ("meta", run_meta ~wall_s:(Unix.gettimeofday () -. t_start));
+         ( "config",
+           Json.Obj
+             [
+               ("duration_s", Json.Float duration);
+               ("rate_mbps", Json.Float rate);
+               ("packets", Json.Int n_packets);
+               ("latency_sample", Json.Int latency_every);
+               ("queries", Json.Int n_subs);
+               ("egress_policy", Json.Str "drop");
+             ] );
+         ( "replay",
+           Json.Obj
+             [
+               ("wall_s", Json.Float replay_wall);
+               ("paced_pkts_per_s", Json.Float (float_of_int n_packets /. duration));
+               ("achieved_pkts_per_s", Json.Float (float_of_int n_packets /. replay_wall));
+             ] );
+         ( "loss",
+           Json.Obj
+             [
+               ("source_tuples", Json.Int source_out);
+               ("delivered_tuples", Json.Int delivered_total);
+               ("channel_drops", Json.Int chan_drops);
+               ("shed_tuples", Json.Int shed);
+               ("egress_drops", Json.Int egress_drops);
+               ("loss_pct", Json.Float loss_pct);
+               ("threshold_pct", Json.Float soak_loss_threshold_pct);
+               ("pass", Json.Bool loss_ok);
+             ] );
+         ( "gap_conservation",
+           Json.Obj
+             [
+               ("egress_drops", Json.Int egress_drops);
+               ("client_gap_tuples", Json.Int client_gap_tuples);
+               ("conserved", Json.Bool gaps_conserved);
+             ] );
+         ("p99_sane", Json.Bool p99_sane);
+         ("queries", Json.List query_rows);
+       ]);
+  Printf.printf "loss %.3f%% (threshold %.1f%%) %s  gap conservation %s  p99 sanity %s\n"
+    loss_pct soak_loss_threshold_pct
+    (if loss_ok then "PASS" else "FAIL")
+    (if gaps_conserved then "PASS" else "FAIL")
+    (if p99_sane then "PASS" else "FAIL");
+  if not (loss_ok && gaps_conserved && p99_sane) then exit 1
+
 (* ------------------------------------------------------------- micro --- *)
 
 let run_micro () =
@@ -878,7 +1179,7 @@ let () =
   let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   let all =
     [ ("e1", run_e1); ("e2", run_e2); ("e3", run_e3); ("a1", run_a1); ("a2", run_a2); ("a3", run_a3);
-      ("a4", run_a4); ("a5", run_a5); ("micro", run_micro) ]
+      ("a4", run_a4); ("a5", run_a5); ("soak", run_soak); ("micro", run_micro) ]
   in
   match List.assoc_opt which all with
   | Some f -> f ()

@@ -15,6 +15,11 @@
          subscribe to a query on a running gsq server and print its
          stream; without QUERY, list what the server offers
 
+     gsq top ADDR [--interval 2] [--once]
+         refreshing per-query view of a server's --http endpoint:
+         throughput, queue depths, drops and ingest→deliver latency
+         percentiles, computed from metrics-registry deltas
+
      gsq explain query.gsql
          show the logical plan, the LFTA/HFTA split, imputed ordering
          properties, NIC hints and generated pseudo-C
@@ -103,6 +108,21 @@ let setup_logging level =
       prerr_endline ("bad --log-level: " ^ m);
       exit 2
 
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
 let write_metrics engine path =
   let snap = E.metrics_snapshot engine in
   let text =
@@ -147,6 +167,17 @@ let batch =
            stream position). 1 (the default) is tuple-at-a-time; the $(b,GIGASCOPE_BATCH) \
            environment variable sets the default. Output is byte-identical for every batch \
            size.")
+
+let latency_sample_arg =
+  Arg.(
+    value & opt int 64
+    & info ["latency-sample"] ~docv:"N"
+        ~doc:
+          "Stamp every Nth source tuple with its ingest time and record ingest-to-deliver \
+           latency histograms, per query, under $(b,rts.latency.*) (and $(b,net.latency.*) \
+           on a server). Unsampled tuples carry no stamp and cost nothing; 0 disables \
+           sampling entirely. The percentiles surface through $(b,--stats), \
+           $(b,--metrics-out), the $(b,--http) endpoint and $(b,gsq top).")
 
 let placement =
   Arg.(
@@ -245,7 +276,7 @@ let setup_engine ~pcap_in ~iface ~gen_cfg ~sessions =
   engine
 
 let do_run query_file rate duration seed pcap_in iface max_rows sessions show_stats trace
-    metrics_out log_level parallel placement batch inject supervise shed =
+    metrics_out log_level parallel placement batch latency_sample inject supervise shed =
   setup_logging log_level;
   install_inject inject;
   let text = read_file query_file in
@@ -292,7 +323,7 @@ let do_run query_file rate duration seed pcap_in iface max_rows sessions show_st
          E.run engine ~trace
            ?parallel:(if parallel > 1 then Some parallel else None)
            ?batch:(if batch > 1 then Some batch else None)
-           ?supervise ?shed ~placement ()
+           ~latency_sample ?supervise ?shed ~placement ()
        with
       | Ok stats ->
           Printf.printf "-- done: %d rounds, %d heartbeats, %d drops\n"
@@ -316,13 +347,14 @@ let run_cmd =
     Term.(
       const do_run $ query_file $ rate $ duration $ seed $ pcap_in $ iface $ max_rows
       $ sessions $ stats $ trace $ metrics_out $ log_level $ parallel $ placement $ batch
-      $ inject $ supervise_arg $ shed_arg)
+      $ latency_sample_arg $ inject $ supervise_arg $ shed_arg)
 
 (* ---- serve ---- *)
 
 module Server = Gigascope_net.Server
 module Client = Gigascope_net.Client
 module Addr = Gigascope_net.Addr
+module Http = Gigascope_net.Http
 
 let listen_addrs =
   Arg.(
@@ -362,6 +394,41 @@ let heartbeat_arg =
         ~doc:
           "Send liveness frames to every subscriber at this interval (0 disables). A            subscriber with an idle timeout can then tell a quiet query from a dead            server.")
 
+let http_addr =
+  Arg.(
+    value
+    & opt (some string) None
+    & info ["http"] ~docv:"ADDR"
+        ~doc:
+          "Serve a read-only observability endpoint on ADDR ($(b,unix:/path.sock) or \
+           $(b,host:port)): $(b,/metrics) is the registry in Prometheus text format, \
+           $(b,/stats) the same snapshot as JSON, $(b,/queries) the installed streams as \
+           JSON. $(b,gsq top) and a Prometheus scraper read this endpoint.")
+
+(* What /queries serves: the same listing the wire protocol's List request
+   answers, as JSON for HTTP consumers. *)
+let queries_json engine =
+  let buf = Buffer.create 256 in
+  Buffer.add_char buf '[';
+  List.iteri
+    (fun i node ->
+      if i > 0 then Buffer.add_char buf ',';
+      let kind =
+        match Rts.Node.kind node with
+        | Rts.Node.Source -> "source"
+        | Rts.Node.Lfta -> "lfta"
+        | Rts.Node.Hfta -> "hfta"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "{\"name\":\"%s\",\"kind\":\"%s\",\"schema\":\"%s\"}"
+           (json_escape (Rts.Node.name node))
+           kind
+           (json_escape
+              (Format.asprintf "%a" Rts.Schema.pp (Rts.Node.schema node)))))
+    (Rts.Manager.nodes (E.manager engine));
+  Buffer.add_char buf ']';
+  Buffer.contents buf
+
 let ingests =
   Arg.(
     value
@@ -373,8 +440,8 @@ let ingests =
            Repeatable.")
 
 let do_serve query_file rate duration seed pcap_in iface sessions show_stats trace
-    metrics_out log_level parallel placement batch listen_addrs policy egress
-    wait_subscribers ingests heartbeat inject supervise shed =
+    metrics_out log_level parallel placement batch latency_sample listen_addrs policy egress
+    wait_subscribers ingests heartbeat http_addr inject supervise shed =
   setup_logging log_level;
   install_inject inject;
   let text = read_file query_file in
@@ -414,6 +481,30 @@ let do_serve query_file rate duration seed pcap_in iface sessions show_stats tra
           Server.stop server;
           exit 1)
     listen_addrs;
+  let http =
+    match http_addr with
+    | None -> None
+    | Some addr_s -> (
+        let handler ~path =
+          match path with
+          | "/metrics" ->
+              Some
+                ( "text/plain; version=0.0.4; charset=utf-8",
+                  Metrics.to_prometheus (E.metrics_snapshot engine) )
+          | "/stats" -> Some ("application/json", Metrics.to_json (E.metrics_snapshot engine))
+          | "/queries" -> Some ("application/json", queries_json engine)
+          | _ -> None
+        in
+        let h = Http.create ~handler in
+        match Result.bind (Addr.of_string addr_s) (Http.listen h) with
+        | Ok bound ->
+            Printf.printf "-- http on %s\n%!" (Addr.to_string bound);
+            Some h
+        | Error e ->
+            prerr_endline ("http " ^ addr_s ^ ": " ^ e);
+            Server.stop server;
+            exit 1)
+  in
   Sys.catch_break true;
   let epilogue () =
     if trace then print_string (E.trace_report engine);
@@ -421,9 +512,14 @@ let do_serve query_file rate duration seed pcap_in iface sessions show_stats tra
     Option.iter (write_metrics engine) metrics_out
   in
   let finish code =
-    if not (Server.drain server) then
-      Logs.warn (fun m -> m "timed out waiting for subscribers to drain");
+    (* A second Ctrl-C during the drain must not skip the epilogue: whoever
+       asked for --stats or --metrics-out still gets whatever was measured. *)
+    (match Server.drain server with
+    | true -> ()
+    | false -> Logs.warn (fun m -> m "timed out waiting for subscribers to drain")
+    | exception Sys.Break -> prerr_endline "interrupted again; not waiting for drain");
     Server.stop server;
+    Option.iter Http.stop http;
     epilogue ();
     exit code
   in
@@ -438,7 +534,7 @@ let do_serve query_file rate duration seed pcap_in iface sessions show_stats tra
     E.run engine ~trace
       ?parallel:(if parallel > 1 then Some parallel else None)
       ?batch:(if batch > 1 then Some batch else None)
-      ?supervise ?shed ~placement ()
+      ~latency_sample ?supervise ?shed ~placement ()
   with
   | Ok stats ->
       Printf.printf "-- done: %d rounds, %d heartbeats, %d drops\n%!"
@@ -458,25 +554,10 @@ let serve_cmd =
     Term.(
       const do_serve $ query_file $ rate $ duration $ seed $ pcap_in $ iface $ sessions
       $ stats $ trace $ metrics_out $ log_level $ parallel $ placement $ batch
-      $ listen_addrs $ policy_arg $ egress $ wait_subscribers $ ingests $ heartbeat_arg
-      $ inject $ supervise_arg $ shed_arg)
+      $ latency_sample_arg $ listen_addrs $ policy_arg $ egress $ wait_subscribers $ ingests
+      $ heartbeat_arg $ http_addr $ inject $ supervise_arg $ shed_arg)
 
 (* ---- tap ---- *)
-
-let json_escape s =
-  let buf = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
 
 let json_of_value = function
   | Value.Null -> "null"
@@ -609,6 +690,225 @@ let tap_cmd =
       const do_tap $ tap_addr $ tap_query $ tap_format $ tap_max_rows $ log_level
       $ tap_reconnect $ tap_idle_timeout)
 
+(* ---- top ---- *)
+
+(* A one-shot HTTP/1.0 GET against a serve --http endpoint. Blocking
+   Unix sockets are fine here: the endpoint answers and closes. *)
+let http_get addr path =
+  match Addr.to_sockaddr addr with
+  | Error e -> Error e
+  | Ok sa -> (
+      let fd = Unix.socket (Unix.domain_of_sockaddr sa) Unix.SOCK_STREAM 0 in
+      let raw =
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            match
+              Unix.connect fd sa;
+              let req = Printf.sprintf "GET %s HTTP/1.0\r\nConnection: close\r\n\r\n" path in
+              let rec send_all off =
+                if off < String.length req then
+                  send_all (off + Unix.write_substring fd req off (String.length req - off))
+              in
+              send_all 0;
+              let buf = Buffer.create 4096 in
+              let chunk = Bytes.create 4096 in
+              let rec recv_all () =
+                let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+                if n > 0 then begin
+                  Buffer.add_subbytes buf chunk 0 n;
+                  recv_all ()
+                end
+              in
+              recv_all ();
+              Buffer.contents buf
+            with
+            | raw -> Ok raw
+            | exception Unix.Unix_error (e, fn, _) ->
+                Error (Printf.sprintf "%s: %s" fn (Unix.error_message e)))
+      in
+      match raw with
+      | Error _ as e -> e
+      | Ok raw -> (
+          let len = String.length raw in
+          let rec find i =
+            if i + 3 >= len then None
+            else if
+              raw.[i] = '\r' && raw.[i + 1] = '\n' && raw.[i + 2] = '\r' && raw.[i + 3] = '\n'
+            then Some i
+            else find (i + 1)
+          in
+          match find 0 with
+          | None -> Error "malformed HTTP response"
+          | Some i -> (
+              let head = String.sub raw 0 i in
+              let body = String.sub raw (i + 4) (len - i - 4) in
+              let status =
+                match String.index_opt head '\r' with
+                | Some j -> String.sub head 0 j
+                | None -> head
+              in
+              match String.split_on_char ' ' status with
+              | _ :: "200" :: _ -> Ok body
+              | _ :: code :: _ -> Error ("HTTP " ^ code ^ " for " ^ path)
+              | _ -> Error ("bad status line: " ^ status))))
+
+(* Pull every string value of [key] out of the /queries JSON, in document
+   order. The endpoint is ours, so a targeted scan beats a JSON parser. *)
+let json_string_fields key s =
+  let pat = "\"" ^ key ^ "\":\"" in
+  let plen = String.length pat and len = String.length s in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i + plen <= len do
+    if String.sub s !i plen = pat then begin
+      let b = Buffer.create 16 in
+      let j = ref (!i + plen) in
+      let stop = ref false in
+      while (not !stop) && !j < len do
+        (match s.[!j] with
+        | '\\' when !j + 1 < len ->
+            incr j;
+            Buffer.add_char b s.[!j]
+        | '"' -> stop := true
+        | c -> Buffer.add_char b c);
+        incr j
+      done;
+      out := Buffer.contents b :: !out;
+      i := !j
+    end
+    else incr i
+  done;
+  List.rev !out
+
+let top_addr = Arg.(required & pos 0 (some string) None & info [] ~docv:"ADDR")
+
+let top_interval =
+  Arg.(
+    value & opt float 2.0
+    & info ["interval"] ~docv:"SEC" ~doc:"Seconds between refreshes (and the rate window).")
+
+let top_once =
+  Arg.(
+    value & flag
+    & info ["once"]
+        ~doc:"Render a single frame (one rate window) and exit, without clearing the screen.")
+
+let do_top addr_s interval once log_level =
+  setup_logging log_level;
+  let fail e =
+    prerr_endline ("top: " ^ e);
+    exit 1
+  in
+  let interval = if interval > 0.0 then interval else 2.0 in
+  let addr = match Addr.of_string addr_s with Ok a -> a | Error e -> fail e in
+  let fetch path = match http_get addr path with Ok b -> b | Error e -> fail e in
+  let queries =
+    let raw = fetch "/queries" in
+    let names = json_string_fields "name" raw in
+    let kinds = json_string_fields "kind" raw in
+    List.mapi
+      (fun i name -> (name, try List.nth kinds i with Failure _ -> "?"))
+      names
+  in
+  let snap () =
+    match Metrics.of_json (fetch "/stats") with
+    | Ok s -> s
+    | Error e -> fail ("bad /stats payload: " ^ e)
+  in
+  let counter s name =
+    match Metrics.find s name with Some (Metrics.Counter n) -> n | _ -> 0
+  in
+  let gauge s name =
+    match Metrics.find s name with Some (Metrics.Gauge g) -> g | _ -> 0.0
+  in
+  let hist s name =
+    match Metrics.find s name with Some (Metrics.Histogram h) -> Some h | _ -> None
+  in
+  (* channel drops land on the consumer: "rts.chan.<src>-><dst>[...].drops" *)
+  let drops_into s query =
+    let marker = "->" ^ query in
+    List.fold_left
+      (fun acc (name, v) ->
+        match v with
+        | Metrics.Counter n
+          when String.length name > 9
+               && String.sub name 0 9 = "rts.chan."
+               && Filename.check_suffix name ".drops" ->
+            let mid = String.sub name 9 (String.length name - 9 - 6) in
+            let mlen = String.length marker in
+            let rec has i =
+              if i + mlen > String.length mid then false
+              else if String.sub mid i mlen = marker then
+                (* full dest-name match: marker runs to the end of the
+                   channel name or up to a dedup "#" suffix *)
+                i + mlen = String.length mid || mid.[i + mlen] = '#'
+              else has (i + 1)
+            in
+            if has 0 then acc + n else acc
+        | _ -> acc)
+      0 s
+  in
+  let pct h = (h.Metrics.h_p50 /. 1e6, h.Metrics.h_p90 /. 1e6, h.Metrics.h_p99 /. 1e6) in
+  let render d =
+    let buf = Buffer.create 2048 in
+    let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+    let t = Unix.localtime (Unix.gettimeofday ()) in
+    line "gsq top — %s — %02d:%02d:%02d — window %.1fs" (Addr.to_string addr) t.Unix.tm_hour
+      t.Unix.tm_min t.Unix.tm_sec interval;
+    line "batch %.0f  domains %.0f  latency sample 1/%.0f  subscribers %.0f  connections %.0f"
+      (Float.max 1.0 (gauge d "rts.scheduler.batch"))
+      (Float.max 1.0 (gauge d "rts.scheduler.domains"))
+      (gauge d "rts.scheduler.latency_sample")
+      (gauge d "net.subscribers.active")
+      (gauge d "net.connections.active");
+    line "";
+    line "%-24s %-7s %10s %7s %7s  %-22s %-22s" "QUERY" "KIND" "TUP/S" "BUF" "DROPS"
+      "LAT p50/p90/p99 ms" "NET p50/p90/p99 ms";
+    List.iter
+      (fun (q, kind) ->
+        let rate = float_of_int (counter d ("rts.node." ^ q ^ ".tuples_out")) /. interval in
+        let buffered = gauge d ("rts.node." ^ q ^ ".buffered") in
+        let drops = drops_into d q in
+        let fmt_lat = function
+          | Some h when h.Metrics.h_count > 0 ->
+              let p50, p90, p99 = pct h in
+              Printf.sprintf "%.2f/%.2f/%.2f" p50 p90 p99
+          | _ -> "-"
+        in
+        line "%-24s %-7s %10.1f %7.0f %7d  %-22s %-22s" q kind rate buffered drops
+          (fmt_lat (hist d ("rts.latency." ^ q)))
+          (fmt_lat (hist d ("net.latency." ^ q))))
+      queries;
+    line "";
+    line "net: gaps %d  sub drops %d  disconnects %d  heartbeats %d  ingest tup/s %.1f"
+      (counter d "net.gaps")
+      (counter d "net.subscriber.drops")
+      (counter d "net.subscriber.disconnects")
+      (counter d "net.heartbeats.sent")
+      (float_of_int (counter d "net.ingest.tuples") /. interval);
+    if not once then Buffer.add_string buf "\n(ctrl-c to quit)\n";
+    if not once then print_string "\027[H\027[2J";
+    print_string (Buffer.contents buf);
+    flush stdout
+  in
+  Sys.catch_break true;
+  try
+    let before = ref (snap ()) in
+    let continue = ref true in
+    while !continue do
+      Thread.delay interval;
+      let after = snap () in
+      render (Metrics.diff ~before:!before ~after);
+      before := after;
+      if once then continue := false
+    done
+  with Sys.Break -> print_newline ()
+
+let top_cmd =
+  let doc = "live per-query view of a running server: rates, queues, drops, latency" in
+  Cmd.v (Cmd.info "top" ~doc) Term.(const do_top $ top_addr $ top_interval $ top_once $ log_level)
+
 (* ---- explain ---- *)
 
 let do_explain query_file =
@@ -701,4 +1001,5 @@ let () =
   let info = Cmd.info "gsq" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [run_cmd; serve_cmd; tap_cmd; explain_cmd; gen_cmd; catalog_cmd; e1_cmd]))
+       (Cmd.group info
+          [run_cmd; serve_cmd; tap_cmd; top_cmd; explain_cmd; gen_cmd; catalog_cmd; e1_cmd]))

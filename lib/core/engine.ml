@@ -315,12 +315,30 @@ let default_shed () =
               m "ignoring GIGASCOPE_SHED=%S: must be a fraction in (0,1]" s);
           None)
 
+(* GIGASCOPE_LATENCY: latency-sampling interval (0 = off, the default —
+   sampling costs a clock read per stamped tuple and must be opted
+   into, so the byte-identity differentials and throughput baselines
+   run unperturbed). *)
+let default_latency () =
+  match Sys.getenv_opt "GIGASCOPE_LATENCY" with
+  | None | Some "" -> 0
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 0 -> n
+      | _ ->
+          Log.warn (fun m ->
+              m "ignoring GIGASCOPE_LATENCY=%S: must be a non-negative integer; using 0" s);
+          0)
+
 let run t ?quantum ?heartbeats ?heartbeat_period ?on_round ?trace ?parallel ?placement ?batch
-    ?supervise ?(restart_budget = 3) ?shed () =
+    ?supervise ?(restart_budget = 3) ?shed ?latency_sample () =
   let domains = match parallel with Some n -> n | None -> default_parallel () in
   let batch = match batch with Some n -> max 1 n | None -> default_batch () in
   let policy = match supervise with Some p -> p | None -> default_supervise () in
   let shed = match shed with Some _ as s -> s | None -> default_shed () in
+  let latency_sample =
+    match latency_sample with Some n -> max 0 n | None -> default_latency ()
+  in
   (match Rts.Faults.install_env () with
   | Ok true ->
       Log.warn (fun m ->
@@ -343,10 +361,10 @@ let run t ?quantum ?heartbeats ?heartbeat_period ?on_round ?trace ?parallel ?pla
   let result =
     if domains > 1 then
       Rts.Scheduler.run_parallel ?quantum ?heartbeats ?heartbeat_period ?trace ?placement
-        ~batch ~domains ~supervisor ?shed t.mgr
+        ~batch ~domains ~supervisor ?shed ~latency_sample t.mgr
     else
       Rts.Scheduler.run ?quantum ?heartbeats ?heartbeat_period ?on_round ?trace ~batch
-        ~supervisor ?shed t.mgr
+        ~supervisor ?shed ~latency_sample t.mgr
   in
   (match result with
   | Ok stats ->

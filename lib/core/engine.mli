@@ -140,6 +140,7 @@ val run :
   ?supervise:Rts.Supervisor.policy ->
   ?restart_budget:int ->
   ?shed:float ->
+  ?latency_sample:int ->
   unit ->
   (Rts.Scheduler.stats, string) result
 (** Drive the network until every source is exhausted. [heartbeats]
@@ -172,6 +173,14 @@ val run :
     sources discard tuples while a subscriber channel sits above it,
     counting them under [rts.shed.<node>] and announcing them
     downstream as [Item.Gap].
+
+    [latency_sample] (default from [GIGASCOPE_LATENCY], else 0 = off)
+    arms end-to-end latency measurement: every N-th source tuple is
+    stamped at ingest and ingest→deliver durations land in the
+    [rts.latency.<query>] histograms (and [net.latency.<query>] at the
+    network server's egress). Off by default — the stamp column and
+    clock reads are strictly opt-in, so differential tests and
+    throughput baselines are unperturbed.
 
     If [GIGASCOPE_FAULTS] is set, its fault plan is (re)installed at the
     start of every run — see {!Rts.Faults}. *)

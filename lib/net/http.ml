@@ -1,0 +1,188 @@
+let log_src = Logs.Src.create "gigascope.http" ~doc:"Gigascope HTTP observability endpoint"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type handler = path:string -> (string * string) option
+
+type t = {
+  handler : handler;
+  mu : Mutex.t;
+  mutable listeners : (Unix.file_descr * Addr.t) list;
+  mutable threads : Thread.t list;
+  mutable running : bool;
+}
+
+let create ~handler = { handler; mu = Mutex.create (); listeners = []; threads = []; running = true }
+
+(* Cap on the request head (request line + headers): an observability
+   port must not be talked into buffering unbounded data. *)
+let max_head = 8192
+
+(* Read until the blank line ending the header block (or EOF/cap). *)
+let read_head fd =
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 512 in
+  let rec go () =
+    if Buffer.length buf >= max_head then None
+    else
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
+      | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          let s = Buffer.contents buf in
+          let module S = String in
+          let rec find i =
+            if i + 3 < S.length s then
+              if s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n' then true
+              else find (i + 1)
+            else false
+          in
+          if find 0 then Some s else go ()
+      | exception Unix.Unix_error _ -> None
+  in
+  go ()
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let rec go off =
+    if off < Bytes.length b then
+      match Unix.write fd b off (Bytes.length b - off) with
+      | 0 -> ()
+      | n -> go (off + n)
+      | exception Unix.Unix_error _ -> ()
+  in
+  go 0
+
+let respond fd ~status ~content_type body =
+  write_all fd
+    (Printf.sprintf
+       "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+       status content_type (String.length body) body)
+
+(* One request per connection (HTTP/1.0 semantics, Connection: close):
+   the consumers are curl, Prometheus scrapers and [gsq top], all of
+   which reconnect per poll. *)
+let handle t fd =
+  (match read_head fd with
+  | None -> ()
+  | Some head -> (
+      let line = match String.index_opt head '\r' with
+        | Some i -> String.sub head 0 i
+        | None -> head
+      in
+      match String.split_on_char ' ' line with
+      | [ meth; target; _http ] -> (
+          let path =
+            match String.index_opt target '?' with
+            | Some i -> String.sub target 0 i
+            | None -> target
+          in
+          if meth <> "GET" then
+            respond fd ~status:"405 Method Not Allowed" ~content_type:"text/plain" "GET only\n"
+          else
+            match t.handler ~path with
+            | Some (content_type, body) -> respond fd ~status:"200 OK" ~content_type body
+            | None -> respond fd ~status:"404 Not Found" ~content_type:"text/plain" "not found\n")
+      | _ -> respond fd ~status:"400 Bad Request" ~content_type:"text/plain" "bad request\n"));
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_loop t lfd addr =
+  let rec loop () =
+    match Unix.accept lfd with
+    | fd, _ when not t.running -> (try Unix.close fd with Unix.Unix_error _ -> ())
+    | fd, _ ->
+        let th =
+          Thread.create
+            (fun () ->
+              try handle t fd
+              with exn -> Log.warn (fun m -> m "http handler died: %s" (Printexc.to_string exn)))
+            ()
+        in
+        Mutex.lock t.mu;
+        t.threads <- th :: t.threads;
+        Mutex.unlock t.mu;
+        loop ()
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> ()
+    | exception Unix.Unix_error (e, _, _) ->
+        if t.running then begin
+          Log.warn (fun m -> m "http accept on %s: %s" (Addr.to_string addr) (Unix.error_message e));
+          Thread.delay 0.01;
+          loop ()
+        end
+  in
+  loop ()
+
+let listen t addr =
+  match Addr.to_sockaddr addr with
+  | Error _ as e -> e
+  | Ok sockaddr -> (
+      let domain = Unix.domain_of_sockaddr sockaddr in
+      match
+        let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+        (try
+           if domain <> Unix.PF_UNIX then Unix.setsockopt fd Unix.SO_REUSEADDR true;
+           (match sockaddr with
+           | Unix.ADDR_UNIX path when Sys.file_exists path -> (
+               try Unix.unlink path with Unix.Unix_error _ -> ())
+           | _ -> ());
+           Unix.bind fd sockaddr;
+           Unix.listen fd 16
+         with exn ->
+           (try Unix.close fd with Unix.Unix_error _ -> ());
+           raise exn);
+        fd
+      with
+      | fd ->
+          let bound = Addr.of_sockaddr (Unix.getsockname fd) in
+          let bound =
+            match (bound, addr) with
+            | Addr.Tcp (_, port), Addr.Tcp (host, _) -> Addr.Tcp (host, port)
+            | b, _ -> b
+          in
+          Mutex.lock t.mu;
+          t.listeners <- (fd, bound) :: t.listeners;
+          Mutex.unlock t.mu;
+          let th = Thread.create (fun () -> accept_loop t fd bound) () in
+          Mutex.lock t.mu;
+          t.threads <- th :: t.threads;
+          Mutex.unlock t.mu;
+          Log.info (fun m -> m "http listening on %s" (Addr.to_string bound));
+          Ok bound
+      | exception Unix.Unix_error (e, _, _) ->
+          Error
+            (Printf.sprintf "cannot listen on %s: %s" (Addr.to_string addr)
+               (Unix.error_message e)))
+
+let stop t =
+  Mutex.lock t.mu;
+  let was_running = t.running in
+  t.running <- false;
+  let listeners = t.listeners in
+  t.listeners <- [];
+  Mutex.unlock t.mu;
+  if was_running then begin
+    List.iter
+      (fun (fd, addr) ->
+        (* wake the accept loop with a throwaway connection, then close *)
+        (match Addr.to_sockaddr addr with
+        | Ok sa -> (
+            match Unix.socket (Unix.domain_of_sockaddr sa) Unix.SOCK_STREAM 0 with
+            | exception Unix.Unix_error _ -> ()
+            | s ->
+                (try Unix.connect s sa with Unix.Unix_error _ -> ());
+                (try Unix.close s with Unix.Unix_error _ -> ()))
+        | Error _ -> ());
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        match addr with
+        | Addr.Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+        | Addr.Tcp _ -> ())
+      listeners;
+    let threads =
+      Mutex.lock t.mu;
+      let l = t.threads in
+      t.threads <- [];
+      Mutex.unlock t.mu;
+      l
+    in
+    List.iter (fun th -> try Thread.join th with _ -> ()) threads
+  end

@@ -1,0 +1,32 @@
+(** A minimal HTTP/1.0 observability endpoint.
+
+    Serves GET requests on the systhread pool next to the wire-protocol
+    listeners: one accept loop per bound address, one short-lived thread
+    per request, [Connection: close] semantics. This is deliberately not
+    a web server — it exists so a Prometheus scraper, [curl], or
+    [gsq top] can read the metrics registry of a live [gsq serve]
+    without speaking the binary protocol.
+
+    The handler maps a request path to [(content-type, body)]; [None]
+    renders a 404. Request heads are capped at 8 KiB and anything but
+    GET gets a 405 — the observability port is attack surface like any
+    other listener. *)
+
+type handler = path:string -> (string * string) option
+(** Called once per GET request with the decoded path (query string
+    stripped). Runs on the request's own thread, so it may snapshot the
+    metrics registry at will but must not block indefinitely. *)
+
+type t
+
+val create : handler:handler -> t
+
+val listen : t -> Addr.t -> (Addr.t, string) result
+(** Bind and serve. Returns the bound address (reporting the real port
+    when asked for port 0). May be called for several addresses. A
+    stale Unix-socket path is unlinked unconditionally (the endpoint is
+    read-only; there is nothing to protect from a second server). *)
+
+val stop : t -> unit
+(** Close listeners, wake the accept loops and join every thread.
+    Idempotent. *)

@@ -5,6 +5,7 @@ module Schema = Rts.Schema
 module Manager = Rts.Manager
 module Node = Rts.Node
 module Metrics = Gigascope_obs.Metrics
+module Clock = Gigascope_obs.Clock
 
 let log_src = Logs.Src.create "gigascope.net" ~doc:"Gigascope network data plane"
 
@@ -28,10 +29,14 @@ let policy_to_string = function
    enqueues under [mu]; the connection's writer thread drains. The two
    condvars make both directions blockable: [not_empty] parks the
    writer, [not_full] parks the engine under the Block policy. *)
+(* The egress queue carries each item with its latency stamp (0 = none):
+   a sampled tuple's ingest stamp survives queueing so the writer can
+   close the ingest→send measurement at the socket. *)
 type sub = {
   sub_id : int;
   sub_query : string;
-  sq : Item.t Queue.t;
+  sq : (Item.t * int) Queue.t;
+  s_latency : Metrics.Histogram.t;  (* shared per query: net.latency.<q> *)
   smu : Mutex.t;
   s_not_empty : Condition.t;
   s_not_full : Condition.t;
@@ -161,18 +166,18 @@ let create ?(policy = Drop_newest) ?(egress_capacity = 4096) ?(peer_name = "gsq-
 (* Engine side: runs on whatever domain delivers the node's output.
    Control items always land (bounded overshoot) so stream position and
    shutdown survive any policy; only tuples are subject to it. *)
-let enqueue t sub item =
+let enqueue t sub item stamp =
   Mutex.lock sub.smu;
   if not sub.s_dead then begin
     let accept () =
       (* A pending drop run enters the queue first, as one Gap marker in
          its true stream position — loss is reported, never silent. *)
       if sub.s_pending_gap > 0 then begin
-        Queue.push (Item.Gap sub.s_pending_gap) sub.sq;
+        Queue.push (Item.Gap sub.s_pending_gap, 0) sub.sq;
         sub.s_items <- sub.s_items + 1;
         sub.s_pending_gap <- 0
       end;
-      Queue.push item sub.sq;
+      Queue.push (item, stamp) sub.sq;
       sub.s_items <- sub.s_items + 1;
       (match item with Item.Eof -> sub.s_eof <- true | _ -> ());
       Condition.signal sub.s_not_empty
@@ -206,14 +211,28 @@ let enqueue t sub item =
   end;
   Mutex.unlock sub.smu
 
-let fanout t qname item =
+(* Whole-batch fanout keeps the stamp column alongside the tuples; the
+   per-item egress queues then carry each tuple's stamp individually. *)
+let fanout t qname batch =
   let targets =
     Mutex.lock t.mu;
     let l = Option.value (Hashtbl.find_opt t.by_query qname) ~default:[] in
     Mutex.unlock t.mu;
     l
   in
-  List.iter (fun sub -> enqueue t sub item) targets
+  let tuples = Rts.Batch.tuples batch in
+  let stamps = Rts.Batch.stamps batch in
+  List.iter
+    (fun sub ->
+      Array.iteri
+        (fun i v ->
+          let s = match stamps with Some st -> st.(i) | None -> 0 in
+          enqueue t sub (Item.Tuple v) s)
+        tuples;
+      match Rts.Batch.ctrl batch with
+      | Some ctrl -> enqueue t sub ctrl 0
+      | None -> ())
+    targets
 
 let attach_queries t =
   Mutex.lock t.mu;
@@ -227,7 +246,7 @@ let attach_queries t =
   List.iter
     (fun node ->
       let qname = qkey (Node.name node) in
-      match Manager.on_item (E.manager t.engine) (Node.name node) (fun it -> fanout t qname it) with
+      match Manager.on_batch (E.manager t.engine) (Node.name node) (fun b -> fanout t qname b) with
       | Ok () -> ()
       | Error e -> Log.warn (fun m -> m "cannot attach fanout to %s: %s" (Node.name node) e))
     missing
@@ -308,6 +327,9 @@ let ingest_push t ing item =
 (* --------------------------- subscriber side ---------------------------- *)
 
 let add_sub t qname =
+  (* get-or-create, so every subscriber of a query shares one egress
+     latency histogram under net.latency.<query> *)
+  let latency = Metrics.histogram (E.metrics t.engine) ("net.latency." ^ qname) in
   Mutex.lock t.mu;
   t.next_id <- t.next_id + 1;
   let sub =
@@ -315,6 +337,7 @@ let add_sub t qname =
       sub_id = t.next_id;
       sub_query = qname;
       sq = Queue.create ();
+      s_latency = latency;
       smu = Mutex.create ();
       s_not_empty = Condition.create ();
       s_not_full = Condition.create ();
@@ -382,9 +405,26 @@ let writer_loop ?(initial_gap = 0) t conn sub =
   Mutex.unlock sub.smu;
   let send_batch tuples ctrl =
     (match ctrl with Some (Item.Gap _) -> Metrics.Counter.incr t.c_gaps | _ -> ());
-    let batch = Wire.Batch.make (Array.of_list (List.rev tuples)) ctrl in
+    let vals = Array.of_list (List.rev_map fst tuples) in
+    let stamps =
+      if List.exists (fun (_, s) -> s <> 0) tuples then
+        Some (Array.of_list (List.rev_map snd tuples))
+      else None
+    in
+    let batch = Wire.Batch.make ?stamps vals ctrl in
     match Conn.send conn (Wire.Batch batch) with
-    | Ok () -> true
+    | Ok () ->
+        (* egress latency closes here: the stamped tuple has left the
+           server for this subscriber's socket *)
+        (match stamps with
+        | Some st ->
+            let now = Clock.now_ns () in
+            Array.iter
+              (fun s ->
+                if s <> 0 then Metrics.Histogram.observe sub.s_latency (now -. float_of_int s))
+              st
+        | None -> ());
+        true
     | Error e ->
         Log.debug (fun m -> m "subscriber %s: %s" (Conn.peer conn) e);
         false
@@ -393,10 +433,10 @@ let writer_loop ?(initial_gap = 0) t conn sub =
     (* items arrive oldest-first; accumulate tuples reversed, seal on ctrl *)
     let rec go tuples = function
       | [] -> if tuples = [] then `Sent else if send_batch tuples None then `Sent else `Dead
-      | Item.Tuple v :: rest -> go (v :: tuples) rest
-      | (Item.Punct _ | Item.Flush | Item.Error _ | Item.Gap _) as ctrl :: rest ->
+      | (Item.Tuple v, s) :: rest -> go ((v, s) :: tuples) rest
+      | (((Item.Punct _ | Item.Flush | Item.Error _ | Item.Gap _) as ctrl), _) :: rest ->
           if send_batch tuples (Some ctrl) then go [] rest else `Dead
-      | Item.Eof :: _ -> if send_batch tuples (Some Item.Eof) then `Eof else `Dead
+      | (Item.Eof, _) :: _ -> if send_batch tuples (Some Item.Eof) then `Eof else `Dead
     in
     go [] items
   and loop () =
@@ -416,7 +456,7 @@ let writer_loop ?(initial_gap = 0) t conn sub =
       (* popped is as good as sent for resume accounting: a tuple that
          dies between here and the socket is exactly what the client's
          token subtraction turns into a gap *)
-      List.iter (fun it -> if Item.is_tuple it then sub.s_sent <- sub.s_sent + 1) items;
+      List.iter (fun (it, _) -> if Item.is_tuple it then sub.s_sent <- sub.s_sent + 1) items;
       sub.s_items <- sub.s_items - n;
       Condition.broadcast sub.s_not_full;
       let disconnected = sub.s_disconnected in

@@ -5,7 +5,7 @@ module Batch = Gigascope_rts.Batch
 module Ty = Gigascope_rts.Ty
 module Order_prop = Gigascope_rts.Order_prop
 
-let protocol_version = 1
+let protocol_version = 2
 let header_len = 9
 let max_payload = 16 * 1024 * 1024
 
@@ -142,7 +142,7 @@ let put_batch buf batch =
   let tuples = Batch.tuples batch in
   put_u32 buf (Array.length tuples);
   Array.iter (put_tuple buf) tuples;
-  match Batch.ctrl batch with
+  (match Batch.ctrl batch with
   | None -> put_u8 buf 0
   | Some (Item.Punct bounds) ->
       put_u8 buf 1;
@@ -155,7 +155,16 @@ let put_batch buf batch =
   | Some (Item.Gap n) ->
       put_u8 buf 5;
       put_i64 buf n
-  | Some (Item.Tuple _) -> assert false (* Batch.make rejects a tuple ctrl *)
+  | Some (Item.Tuple _) -> assert false (* Batch.make rejects a tuple ctrl *));
+  (* v2: the latency-stamp column. Unconditional flag byte (so the
+     trailing-bytes corruption check stays exact), i64 per tuple when
+     present — stamped batches are the sampled exception, so the
+     common case costs one byte. *)
+  match Batch.stamps batch with
+  | None -> put_u8 buf 0
+  | Some st ->
+      put_u8 buf 1;
+      Array.iter (put_i64 buf) st
 
 let put_query_info buf { q_name; q_kind; q_schema } =
   put_str buf q_name;
@@ -330,7 +339,15 @@ let get_batch cur =
     | 5 -> Some (Item.Gap (get_i64 cur "gap control"))
     | t -> raise (Bad (Printf.sprintf "unknown batch control tag %d" t))
   in
-  Batch.make tuples ctrl
+  let stamps =
+    match get_u8 cur "batch stamp flag" with
+    | 0 -> None
+    | 1 ->
+        need cur (8 * n) "batch stamps";
+        Some (Array.init n (fun _ -> get_i64 cur "batch stamp"))
+    | t -> raise (Bad (Printf.sprintf "unknown batch stamp flag %d" t))
+  in
+  Batch.make ?stamps tuples ctrl
 
 let get_query_info cur =
   let q_name = get_str cur "query name" in

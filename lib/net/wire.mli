@@ -11,11 +11,17 @@
     {v
       offset  size  field
       0       3     magic "GSW"
-      3       1     protocol version (1)
+      3       1     protocol version (2)
       4       1     message type
       5       4     payload length (bounded by max_payload)
       9       n     payload
     v}
+
+    Version 2 extends the batch frame with an optional latency-stamp
+    column: after the control-item section, an unconditional flag byte
+    (0 = absent, 1 = present) followed, when present, by one i64 ingest
+    stamp per tuple (0 = unstamped). Version 1 frames are rejected as
+    [Corrupt] — both peers live in this repository.
 
     The codec is pure — encode and decode work over [bytes], no IO — and
     total: {!decode} never raises, whatever the input; malformed input
@@ -56,7 +62,9 @@ type msg =
   | Publish_ok of { iface : string; schema : Schema.t }
   | Batch of Batch.t
       (** Data plane: tuples plus at most one sealing control item.
-          EOF travels as a batch sealed by [Item.Eof]. *)
+          EOF travels as a batch sealed by [Item.Eof]. The batch's
+          latency-stamp column ({!Gigascope_rts.Batch.stamps}), when
+          present, rides the frame and round-trips exactly. *)
   | Err of string
   | Bye  (** clean close *)
   | Resume of { name : string; sub_id : int; token : int }

@@ -358,20 +358,43 @@ let of_json text =
 (* ---------------- Prometheus exposition -------------------------------- *)
 
 let prom_name name =
-  String.map
-    (fun c ->
-      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c | _ -> '_')
-    name
+  let s =
+    String.map
+      (fun c ->
+        match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c | _ -> '_')
+      name
+  in
+  (* a metric name must not start with a digit *)
+  if s = "" then "_" else match s.[0] with '0' .. '9' -> "_" ^ s | _ -> s
 
 let prom_float f =
   if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
   else Printf.sprintf "%.9g" f
+
+(* HELP text escaping per the exposition format: backslash and newline
+   only (label values additionally escape double quotes, but we emit
+   none in HELP). *)
+let prom_help_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
 
 let to_prometheus snap =
   let buf = Buffer.create 1024 in
   List.iter
     (fun (name, v) ->
       let n = prom_name name in
+      (* the original registry name (dots, arrows and all) survives in
+         the HELP line, so a scrape stays mappable back to the registry
+         after sanitization *)
+      Buffer.add_string buf
+        (Printf.sprintf "# HELP %s Gigascope registry metric %s\n" n (prom_help_escape name));
       match v with
       | Counter c ->
           Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n%s %d\n" n n c)

@@ -85,6 +85,20 @@ val remove : t -> string -> unit
 
 (** {2 Snapshots} *)
 
+(** Histogram snapshot. Count, total, mean, stddev, min and max are
+    exact (Welford over every observation). The quantiles ([h_p50],
+    [h_p90], [h_p99]) are estimated from a uniform reservoir sample of
+    [k] observations (default 1024, Vitter's algorithm R) by linear
+    interpolation on the sorted sample — see {!Gigascope_util.Stats}.
+
+    Error bound: the estimated [q]-quantile is the true quantile of
+    rank [q ± e] where the standard error [e = sqrt (q (1 - q) / k)] —
+    with the default [k = 1024] about ±1.6 rank points at the median
+    and ±0.3 at p99 (one sigma). The {e rank} is what wobbles, not the
+    value: on a heavy-tailed latency distribution the reported p99 can
+    land anywhere between the true p98.7 and p99.3 (68% confidence),
+    wider in value terms where the tail is steep. Quantiles of fewer
+    than [k] observations interpolate the full (exact) sample. *)
 type hist_snap = {
   h_count : int;
   h_total : float;
@@ -127,7 +141,10 @@ val of_json : string -> (snapshot, string) result
 val to_prometheus : snapshot -> string
 (** Prometheus text format: counters and gauges as-is (names sanitized to
     [\[a-zA-Z0-9_:\]]), histograms as summaries with 0.5/0.9/0.99
-    quantiles plus [_sum] and [_count]. *)
+    quantiles plus [_sum] and [_count]. Every family gets a [# HELP]
+    line (carrying the original, unsanitized registry name, escaped per
+    the exposition format) followed by its [# TYPE] line. Quantile
+    accuracy is the reservoir bound documented on {!hist_snap}. *)
 
 val render : snapshot -> string
 (** Human-readable table, one metric per line. *)

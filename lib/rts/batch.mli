@@ -9,13 +9,23 @@
     to tuple-at-a-time execution (see DESIGN.md §14).
 
     Batches are immutable once built and may be shared by every
-    subscriber of a node. *)
+    subscriber of a node.
+
+    Latency stamps: a batch may carry an optional parallel column of
+    ingest timestamps ({!Obs.Clock.now_ns} truncated to an integer
+    nanosecond count), one slot per tuple, 0 meaning "unstamped". Only
+    a sampled subset of tuples is ever stamped, so most batches carry
+    [None] and pay nothing. The column is pure metadata: it never
+    affects the item sequence, operator semantics, or the
+    byte-identity differentials. *)
 
 type t
 
-val make : Value.t array array -> Item.t option -> t
-(** [make tuples ctrl]. Raises [Invalid_argument] if [ctrl] is a
-    tuple. The tuple array is owned by the batch afterwards. *)
+val make : ?stamps:int array -> Value.t array array -> Item.t option -> t
+(** [make ?stamps tuples ctrl]. Raises [Invalid_argument] if [ctrl] is
+    a tuple, or if [stamps] is present with a length different from
+    the tuple count. The tuple (and stamp) arrays are owned by the
+    batch afterwards. *)
 
 val of_item : Item.t -> t
 (** A singleton batch — how the item-level channel API is expressed on
@@ -23,9 +33,17 @@ val of_item : Item.t -> t
 
 val of_items : Item.t list -> t
 (** Rebuild from a list in batch shape (tuples first, then at most one
-    trailing control item); raises [Invalid_argument] otherwise. *)
+    trailing control item); raises [Invalid_argument] otherwise.
+    Stamps, if the items came from a stamped batch, are not
+    reconstructed — the remainder path is best-effort for the sampled
+    measurement. *)
 
 val tuples : t -> Value.t array array
+
+val stamps : t -> int array option
+(** The ingest-stamp column, if any tuple in the batch was sampled.
+    Same length as {!tuples}; 0 = unstamped. *)
+
 val ctrl : t -> Item.t option
 
 val n_tuples : t -> int

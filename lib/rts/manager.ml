@@ -140,6 +140,14 @@ let on_item t name f =
       Log.debug (fun m -> m "callback subscribed to %s" name);
       Ok ()
 
+let on_batch t name f =
+  match find t name with
+  | None -> Error (Printf.sprintf "stream manager: unknown stream %s" name)
+  | Some node ->
+      Node.add_subscriber node (Node.Batch_callback f);
+      Log.debug (fun m -> m "batch callback subscribed to %s" name);
+      Ok ()
+
 let start t =
   if not t.started then Log.info (fun m -> m "manager started: LFTA set frozen");
   t.started <- true

@@ -56,6 +56,11 @@ val subscribe : t -> ?capacity:int -> string -> (Channel.t, string) result
 val on_item : t -> string -> (Item.t -> unit) -> (unit, string) result
 (** Callback subscription (never drops). *)
 
+val on_batch : t -> string -> (Batch.t -> unit) -> (unit, string) result
+(** Whole-batch callback subscription (never drops). Unlike {!on_item}
+    the callback sees the {!Batch.stamps} latency column, so egress
+    layers can close the ingest→deliver measurement per tuple. *)
+
 val start : t -> unit
 (** Freeze the LFTA set. Idempotent; implied by the first scheduler run. *)
 

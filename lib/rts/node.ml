@@ -8,7 +8,10 @@ type source = {
   clock : unit -> (int * Value.t) list;
 }
 
-type subscriber = Chan of Channel.t | Callback of (Item.t -> unit)
+type subscriber =
+  | Chan of Channel.t
+  | Callback of (Item.t -> unit)
+  | Batch_callback of (Batch.t -> unit)
 
 type behavior = Src of source | Op of Operator.t
 
@@ -49,6 +52,22 @@ type t = {
   mutable shed_hw : float option;
   mutable shed_pending : int;
   shed_c : Metrics.Counter.t;
+  (* Latency observability: sources stamp every [latency_sample]-th
+     pulled tuple (0 = off) with the ingest clock; operators propagate
+     the first stamp of a consumed batch onto their next emitted tuple
+     (consume-once, so a stamp survives aggregation without
+     multiplying). [pending_stamp] is the stamp waiting to ride the
+     next emitted tuple; [out_stamps] is the builder's parallel stamp
+     column, materialized into the sealed batch only when any slot is
+     nonzero. Ingest→deliver latency is observed at terminal
+     subscribers (callbacks — the app/egress boundary). *)
+  mutable latency_sample : int;
+  mutable lat_seen : int;
+  mutable pending_stamp : int;
+  mutable out_stamps : int array;
+  mutable out_stamped : bool;
+  mutable terminal : bool;
+  deliver_latency : Metrics.Histogram.t;
 }
 
 let make name kind schema behavior =
@@ -75,6 +94,13 @@ let make name kind schema behavior =
     shed_hw = None;
     shed_pending = 0;
     shed_c = Metrics.Counter.make ();
+    latency_sample = 0;
+    lat_seen = 0;
+    pending_stamp = 0;
+    out_stamps = [||];
+    out_stamped = false;
+    terminal = false;
+    deliver_latency = Metrics.Histogram.make ();
   }
 
 let make_source ~name ~schema source = make name Source schema (Src source)
@@ -83,6 +109,8 @@ let make_op ~name ~kind ~schema ~op = make name kind schema (Op op)
 let name t = t.name
 let set_supervisor t sup = t.supervisor <- sup
 let set_shed t hw = t.shed_hw <- hw
+let set_latency_sample t n = t.latency_sample <- max 0 n
+let latency_sample t = t.latency_sample
 let is_poisoned t = t.poisoned
 let shed_count t = Metrics.Counter.get t.shed_c
 let kind t = t.kind
@@ -97,15 +125,30 @@ let connect ~downstream ~upstream ~capacity =
   downstream.node_inputs <- Array.append downstream.node_inputs [| (upstream, chan) |];
   upstream.subscribers <- upstream.subscribers @ [Chan chan]
 
-let add_subscriber t sub = t.subscribers <- t.subscribers @ [sub]
+let add_subscriber t sub =
+  (match sub with
+  | Callback _ | Batch_callback _ -> t.terminal <- true
+  | Chan _ -> ());
+  t.subscribers <- t.subscribers @ [sub]
 
 let inputs t = t.node_inputs
 
 let deliver t batch =
+  (* Ingest→deliver latency: at a terminal node (one with an
+     application/egress callback) every stamp in the batch closes its
+     measurement here, just before the subscriber sees the tuple. *)
+  (match Batch.stamps batch with
+  | Some st when t.terminal ->
+      let now = Clock.now_ns () in
+      Array.iter
+        (fun s -> if s <> 0 then Metrics.Histogram.observe t.deliver_latency (now -. float_of_int s))
+        st
+  | Some _ | None -> ());
   List.iter
     (fun sub ->
       match sub with
       | Chan chan -> ignore (Channel.push_batch chan batch)
+      | Batch_callback f -> f batch
       | Callback f ->
           Batch.iter batch (fun item ->
               t.cb_seen <- t.cb_seen + 1;
@@ -122,15 +165,36 @@ let deliver t batch =
    reallocates it) — at large batch sizes the tuple array lives in the
    major heap, and copying it too would double the GC pressure. *)
 let seal t ctrl =
+  let full_handoff = t.out_n = Array.length t.out_buf in
   let tuples =
-    if t.out_n = Array.length t.out_buf then begin
+    if full_handoff then begin
       let full = t.out_buf in
       t.out_buf <- [||];
       full
     end
     else Array.sub t.out_buf 0 t.out_n
   in
-  let batch = Batch.make tuples ctrl in
+  let stamps =
+    if not t.out_stamped then begin
+      (* keep the stamp column the same length as the builder *)
+      if full_handoff then t.out_stamps <- [||];
+      None
+    end
+    else if full_handoff then begin
+      let full = t.out_stamps in
+      t.out_stamps <- [||];
+      Some full
+    end
+    else begin
+      let s = Array.sub t.out_stamps 0 t.out_n in
+      (* the builder is reused; clear the consumed slots so stale
+         stamps never leak into the next batch *)
+      Array.fill t.out_stamps 0 t.out_n 0;
+      Some s
+    end
+  in
+  t.out_stamped <- false;
+  let batch = Batch.make ?stamps tuples ctrl in
   t.out_n <- 0;
   deliver t batch
 
@@ -141,7 +205,8 @@ let set_batch t n =
   if n <> t.batch_size then begin
     flush_out t;
     t.batch_size <- n;
-    t.out_buf <- [||]
+    t.out_buf <- [||];
+    t.out_stamps <- [||]
   end
 
 let batch_size t = t.batch_size
@@ -150,14 +215,29 @@ let emit t item =
   match item with
   | Item.Tuple values ->
       Metrics.Counter.incr t.tuples_out;
-      if t.batch_size <= 1 then deliver t (Batch.of_item item)
+      if t.batch_size <= 1 then begin
+        if t.pending_stamp = 0 then deliver t (Batch.of_item item)
+        else begin
+          let s = t.pending_stamp in
+          t.pending_stamp <- 0;
+          deliver t (Batch.make ~stamps:[| s |] [| values |] None)
+        end
+      end
       else begin
         if Array.length t.out_buf < t.batch_size then begin
           let grown = Array.make t.batch_size [||] in
           Array.blit t.out_buf 0 grown 0 t.out_n;
-          t.out_buf <- grown
+          t.out_buf <- grown;
+          let grown_st = Array.make t.batch_size 0 in
+          Array.blit t.out_stamps 0 grown_st 0 (min t.out_n (Array.length t.out_stamps));
+          t.out_stamps <- grown_st
         end;
         t.out_buf.(t.out_n) <- values;
+        if t.pending_stamp <> 0 then begin
+          t.out_stamps.(t.out_n) <- t.pending_stamp;
+          t.pending_stamp <- 0;
+          t.out_stamped <- true
+        end;
         t.out_n <- t.out_n + 1;
         if t.out_n >= t.batch_size then flush_out t
       end
@@ -206,7 +286,7 @@ let over_high_water t frac =
              units agree, and at larger batch sizes the comparison is
              simply a more tolerant high-water mark. *)
           Channel.length chan >= max 1 (int_of_float (frac *. float_of_int (Channel.capacity chan)))
-      | Callback _ -> false)
+      | Callback _ | Batch_callback _ -> false)
     t.subscribers
 
 let flush_shed_gap t =
@@ -240,6 +320,13 @@ let step_source t ~quantum =
                  end
                  else begin
                    flush_shed_gap t;
+                   if t.latency_sample > 0 && Item.is_tuple item then begin
+                     t.lat_seen <- t.lat_seen + 1;
+                     if t.lat_seen >= t.latency_sample then begin
+                       t.lat_seen <- 0;
+                       t.pending_stamp <- int_of_float (Clock.now_ns ())
+                     end
+                   end;
                    emit t item
                  end
              | None ->
@@ -300,6 +387,20 @@ let step_inputs t ~quantum =
                    progress := true;
                    let nt = Batch.n_tuples batch in
                    if nt > 0 then Metrics.Counter.add t.tuples_in nt;
+                   (* Stamp propagation (consume-once): the first stamp
+                      of a consumed batch rides this node's next emitted
+                      tuple. One input stamp yields at most one output
+                      stamp, so the sample rate stays roughly stable
+                      through filters and aggregates alike. *)
+                   (match Batch.stamps batch with
+                   | Some st when t.pending_stamp = 0 ->
+                       let n = Array.length st in
+                       let rec first j =
+                         if j >= n then 0 else if st.(j) <> 0 then st.(j) else first (j + 1)
+                       in
+                       let s = first 0 in
+                       if s <> 0 then t.pending_stamp <- s
+                   | Some _ | None -> ());
                    Faults.crash_point ~node:t.name;
                    Operator.apply_batch op ~input:i batch ~emit:(emit t)
                | None -> continue := false
@@ -351,4 +452,5 @@ let register_metrics t reg =
   Metrics.attach_gauge_fn reg (pfx ^ ".buffered") (fun () -> float_of_int (buffered t));
   Metrics.attach_histogram reg (pfx ^ ".service_ns") t.service;
   Metrics.attach_histogram reg (pfx ^ ".callback_ns") t.cb_latency;
-  Metrics.attach_counter reg ("rts.shed." ^ t.name) t.shed_c
+  Metrics.attach_counter reg ("rts.shed." ^ t.name) t.shed_c;
+  Metrics.attach_histogram reg ("rts.latency." ^ t.name) t.deliver_latency

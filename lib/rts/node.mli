@@ -19,7 +19,13 @@ type source = {
 
 type t
 
-type subscriber = Chan of Channel.t | Callback of (Item.t -> unit)
+type subscriber =
+  | Chan of Channel.t  (** a downstream node's input ring *)
+  | Callback of (Item.t -> unit)  (** item-level application delivery *)
+  | Batch_callback of (Batch.t -> unit)
+      (** whole-batch application delivery — preserves the latency-stamp
+          column, so egress layers (the network server) can close the
+          ingest→deliver measurement per tuple *)
 
 val make_source : name:string -> schema:Schema.t -> source -> t
 
@@ -58,6 +64,19 @@ val set_shed : t -> float option -> unit
     [pulled = emitted + shed] always holds and the loss is visible. *)
 
 val shed_count : t -> int
+
+val set_latency_sample : t -> int -> unit
+(** Latency measurement interval (default 0 = off). On a source, every
+    [n]-th pulled tuple is stamped with {!Gigascope_obs.Clock.now_ns}
+    at ingest; the stamp rides the batched data plane as a parallel
+    column ({!Batch.stamps}). On a query node the setting is inert —
+    operators always propagate an incoming stamp (consume-once: the
+    first stamp of a consumed batch rides the next emitted tuple).
+    Ingest→deliver durations are observed into the [rts.latency.<name>]
+    histogram when a stamped batch reaches a node with a callback
+    subscriber. *)
+
+val latency_sample : t -> int
 
 val connect : downstream:t -> upstream:t -> capacity:int -> unit
 (** Create a channel from [upstream] into [downstream]'s next input slot. *)
@@ -123,4 +142,6 @@ val register_metrics : t -> Gigascope_obs.Metrics.t -> unit
 (** Attach this node's cells under [rts.node.<name>]: [tuples_in] and
     [tuples_out] counters, a polled [buffered] gauge, the [service_ns]
     histogram, and the sampled [callback_ns] subscriber-latency
-    histogram. *)
+    histogram. Also attaches the ingest→deliver histogram as
+    [rts.latency.<name>] (nanoseconds; populated only when latency
+    sampling is on and this node delivers to a callback). *)

@@ -23,7 +23,7 @@ let channels_empty node =
   Array.for_all (fun (_, chan) -> Channel.is_empty chan) (Node.inputs node)
 
 let run ?quantum ?(max_rounds = 10_000_000) ?(heartbeats = true) ?heartbeat_period
-    ?on_round ?(trace = false) ?(batch = 1) ?supervisor ?shed mgr =
+    ?on_round ?(trace = false) ?(batch = 1) ?supervisor ?shed ?(latency_sample = 0) mgr =
   (* A quantum smaller than the batch flushes every output builder before
      it fills, so the *default* quantum floors at the batch — the knobs
      compose. An explicit quantum wins: callers pinning the scheduling
@@ -37,12 +37,14 @@ let run ?quantum ?(max_rounds = 10_000_000) ?(heartbeats = true) ?heartbeat_peri
   let sample = if trace then 1 else default_service_sample in
   Metrics.Gauge.set_int (Metrics.gauge reg "rts.scheduler.service_sample") sample;
   Metrics.Gauge.set_int (Metrics.gauge reg "rts.scheduler.batch") (max 1 batch);
+  Metrics.Gauge.set_int (Metrics.gauge reg "rts.scheduler.latency_sample") (max 0 latency_sample);
   let nodes = Manager.nodes mgr in
   List.iter
     (fun n ->
       Node.set_batch n batch;
       Node.set_supervisor n supervisor;
-      Node.set_shed n shed)
+      Node.set_shed n shed;
+      Node.set_latency_sample n latency_sample)
     nodes;
   (match supervisor with Some s -> Supervisor.register_metrics s reg | None -> ());
   (* [iter] counts scheduling iterations (max_rounds guard, sampling,
@@ -234,7 +236,7 @@ let partition ~domains nodes =
 
 let run_parallel ?quantum ?(max_rounds = 10_000_000) ?(heartbeats = true)
     ?heartbeat_period ?(trace = false) ?(placement = []) ?(batch = 1) ?supervisor ?shed
-    ~domains mgr =
+    ?(latency_sample = 0) ~domains mgr =
   let quantum = match quantum with Some q -> q | None -> max 64 batch in
   let apply_placement () =
     let rec go = function
@@ -253,7 +255,7 @@ let run_parallel ?quantum ?(max_rounds = 10_000_000) ?(heartbeats = true)
   | Ok () -> (
       if domains <= 1 then
         run ~quantum ~max_rounds ~heartbeats ?heartbeat_period ~trace ~batch ?supervisor ?shed
-          mgr
+          ~latency_sample mgr
       else
       match partition ~domains (Manager.nodes mgr) with
       | Error _ as e -> e
@@ -266,12 +268,14 @@ let run_parallel ?quantum ?(max_rounds = 10_000_000) ?(heartbeats = true)
         Metrics.Gauge.set_int (Metrics.gauge reg "rts.scheduler.service_sample") sample;
         Metrics.Gauge.set_int (Metrics.gauge reg "rts.scheduler.domains") domains;
         Metrics.Gauge.set_int (Metrics.gauge reg "rts.scheduler.batch") (max 1 batch);
+        Metrics.Gauge.set_int (Metrics.gauge reg "rts.scheduler.latency_sample") (max 0 latency_sample);
         let nodes = Manager.nodes mgr in
         List.iter
           (fun n ->
             Node.set_batch n batch;
             Node.set_supervisor n supervisor;
-            Node.set_shed n shed)
+            Node.set_shed n shed;
+            Node.set_latency_sample n latency_sample)
           nodes;
         (match supervisor with Some s -> Supervisor.register_metrics s reg | None -> ());
         let part_of = Hashtbl.create 32 in

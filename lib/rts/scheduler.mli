@@ -25,9 +25,17 @@ val run :
   ?batch:int ->
   ?supervisor:Supervisor.t ->
   ?shed:float ->
+  ?latency_sample:int ->
   Manager.t ->
   (stats, string) result
-(** [supervisor] installs crash supervision on every node
+(** [latency_sample] (default 0 = off) arms end-to-end latency
+    measurement ({!Node.set_latency_sample}): every N-th source tuple
+    is stamped at ingest, the stamp rides the batched data plane, and
+    ingest→deliver durations land in each terminal node's
+    [rts.latency.<name>] histogram. The interval is published as the
+    [rts.scheduler.latency_sample] gauge.
+
+    [supervisor] installs crash supervision on every node
     ({!Node.set_supervisor}); a [Fail_fast] escalation surfaces as this
     function's [Error] result instead of an exception. [shed] arms
     source-side load shedding at that high-water fraction
@@ -75,6 +83,7 @@ val run_parallel :
   ?batch:int ->
   ?supervisor:Supervisor.t ->
   ?shed:float ->
+  ?latency_sample:int ->
   domains:int ->
   Manager.t ->
   (stats, string) result

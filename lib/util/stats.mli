@@ -33,4 +33,15 @@ val max_value : t -> float
 
 val percentile : t -> float -> float
 (** [percentile t p] estimates the [p]-th percentile ([p] in \[0,100\]) from
-    the reservoir sample; 0 when empty. *)
+    the reservoir sample; 0 when empty.
+
+    Estimator: linear interpolation at rank [p/100 * (m - 1)] on the
+    sorted reservoir of [m = min seen k] observations ([k] the
+    reservoir size). While [seen <= k] the sample is the whole stream
+    and the estimate is exact (up to interpolation). Beyond that the
+    reservoir is a uniform sample (Vitter's algorithm R), and the
+    estimate is the true quantile of rank [q ± sqrt (q (1 - q) / k)]
+    (one standard error, [q = p/100]): for the default [k = 1024],
+    ±1.6 rank points at the median, ±0.3 at p99. The error is in rank
+    space — the value error it translates to depends on how steep the
+    distribution is at that quantile. *)

@@ -77,6 +77,22 @@ let sample_msgs =
     Wire.Batch (Batch.make [| [| Value.Int 1; Value.Bool true; Value.Str "x" |] |] (Some (Item.Gap 42)));
     Wire.Batch (Batch.make [||] (Some (Item.Gap (-1))));
     Wire.Batch (Batch.make [||] (Some (Item.Error "operator total crashed: injected")));
+    (* v2 latency-stamp column: mixed stamped/unstamped slots, a fully
+       stamped singleton, and a stamped batch sealed by a control item *)
+    Wire.Batch
+      (Batch.make
+         ~stamps:[| 123_456_789_000; 0; 987_654_321_000 |]
+         [|
+           [| Value.Int 1; Value.Str "a" |];
+           [| Value.Int 2; Value.Str "b" |];
+           [| Value.Int 3; Value.Str "c" |];
+         |]
+         None);
+    Wire.Batch (Batch.make ~stamps:[| 1 |] [| [| Value.Int 9 |] |] None);
+    Wire.Batch
+      (Batch.make ~stamps:[| 0; 55_000_000 |]
+         [| [| Value.Bool false |]; [| Value.Bool true |] |]
+         (Some (Item.Punct [ (0, Value.Int 7) ])));
   ]
 
 (* Byte-level equality after a re-encode sidesteps the need for a
@@ -151,7 +167,21 @@ let test_corrupt_frames () =
   let b = Wire.encode (Wire.Batch sample_batch) in
   let lying = Bytes.copy b in
   Bytes.set_int32_be lying Wire.header_len 0x00ffffffl;
-  expect_corrupt "lying batch tuple count" lying
+  expect_corrupt "lying batch tuple count" lying;
+  (* v1 frames are rejected: the stamp column changed the batch layout *)
+  let v1 = Bytes.copy good in
+  Bytes.set v1 3 '\x01';
+  expect_corrupt "protocol version 1" v1;
+  (* the stamp flag byte admits exactly 0 and 1 *)
+  let stamped = Wire.encode (Wire.Batch (Batch.make ~stamps:[| 5 |] [| [| Value.Int 1 |] |] None)) in
+  let bad_flag = Bytes.copy stamped in
+  (* the flag byte sits 8 stamp bytes from the end *)
+  Bytes.set bad_flag (Bytes.length bad_flag - 9) '\x02';
+  expect_corrupt "bad stamp flag" bad_flag;
+  (* a stamped batch whose column is truncated mid-stamp *)
+  let truncated = Bytes.sub stamped 0 (Bytes.length stamped - 3) in
+  Bytes.set_int32_be truncated 5 (Int32.of_int (Bytes.length truncated - Wire.header_len));
+  expect_corrupt "truncated stamp column" truncated
 
 (* Whatever the bytes, decode returns a value — never raises. *)
 let fuzz_decode_total =

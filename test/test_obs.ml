@@ -203,6 +203,115 @@ let test_json_rejects_garbage () =
   check Alcotest.bool "truncated rejected" true
     (Result.is_error (Metrics.of_json {|{"x": {"type": "counter", |}))
 
+(* A strict exposition-format checker. Every line must parse as a HELP
+   comment, a TYPE comment, or a sample; metric names must be legal;
+   HELP precedes TYPE, TYPE precedes its family's samples, neither
+   repeats; label blocks and sample values must parse. This is what a
+   real scraper enforces — substring spot-checks alone would accept an
+   exposition Prometheus rejects. *)
+let check_prometheus_conformance text =
+  let is_name_start c = match c with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false in
+  let is_name_char c = is_name_start c || match c with '0' .. '9' -> true | _ -> false in
+  let legal_name n = n <> "" && is_name_start n.[0] && String.for_all is_name_char n in
+  let helped = Hashtbl.create 16 and typed = Hashtbl.create 16 in
+  let fail line msg = Alcotest.failf "prometheus conformance: %s in %S" msg line in
+  let starts_with p s =
+    String.length s >= String.length p && String.sub s 0 (String.length p) = p
+  in
+  List.iter
+    (fun line ->
+      if line = "" then () (* the trailing newline *)
+      else if starts_with "# HELP " line then begin
+        let rest = String.sub line 7 (String.length line - 7) in
+        let name =
+          match String.index_opt rest ' ' with Some i -> String.sub rest 0 i | None -> rest
+        in
+        if not (legal_name name) then fail line "illegal name in HELP";
+        if Hashtbl.mem helped name then fail line "duplicate HELP";
+        if Hashtbl.mem typed name then fail line "HELP after TYPE";
+        Hashtbl.replace helped name ()
+      end
+      else if starts_with "# TYPE " line then begin
+        let rest = String.sub line 7 (String.length line - 7) in
+        match String.split_on_char ' ' rest with
+        | [ name; ty ] ->
+            if not (legal_name name) then fail line "illegal name in TYPE";
+            if not (List.mem ty [ "counter"; "gauge"; "summary"; "histogram"; "untyped" ]) then
+              fail line "unknown metric type";
+            if Hashtbl.mem typed name then fail line "duplicate TYPE";
+            Hashtbl.replace typed name ()
+        | _ -> fail line "malformed TYPE line"
+      end
+      else if line.[0] = '#' then fail line "unrecognized comment"
+      else begin
+        (* sample: name[{label="value",...}] value *)
+        let n = String.length line in
+        let i = ref 0 in
+        while !i < n && is_name_char line.[!i] do
+          incr i
+        done;
+        let name = String.sub line 0 !i in
+        if not (legal_name name) then fail line "illegal sample name";
+        if !i < n && line.[!i] = '{' then begin
+          incr i;
+          let closed = ref false in
+          while not !closed do
+            let st = !i in
+            while !i < n && is_name_char line.[!i] do
+              incr i
+            done;
+            if !i = st then fail line "empty label name";
+            if !i >= n || line.[!i] <> '=' then fail line "label missing '='";
+            incr i;
+            if !i >= n || line.[!i] <> '"' then fail line "label value not quoted";
+            incr i;
+            let value_done = ref false in
+            while not !value_done do
+              if !i >= n then fail line "unterminated label value"
+              else
+                match line.[!i] with
+                | '"' ->
+                    value_done := true;
+                    incr i
+                | '\\' ->
+                    if !i + 1 >= n then fail line "dangling escape";
+                    (match line.[!i + 1] with
+                    | '\\' | '"' | 'n' -> i := !i + 2
+                    | _ -> fail line "bad label escape")
+                | _ -> incr i
+            done;
+            if !i < n && line.[!i] = ',' then incr i
+            else if !i < n && line.[!i] = '}' then begin
+              incr i;
+              closed := true
+            end
+            else fail line "malformed label block"
+          done
+        end;
+        if !i >= n || line.[!i] <> ' ' then fail line "missing value separator";
+        let value = String.sub line (!i + 1) (n - !i - 1) in
+        (match float_of_string_opt value with
+        | Some _ -> ()
+        | None -> if not (List.mem value [ "NaN"; "+Inf"; "-Inf" ]) then fail line "unparsable value");
+        let family =
+          let strip suffix s =
+            let ls = String.length suffix and l = String.length s in
+            if l > ls && String.sub s (l - ls) ls = suffix then Some (String.sub s 0 (l - ls))
+            else None
+          in
+          if Hashtbl.mem typed name then name
+          else
+            match strip "_sum" name with
+            | Some b when Hashtbl.mem typed b -> b
+            | _ -> (
+                match strip "_count" name with
+                | Some b when Hashtbl.mem typed b -> b
+                | _ -> fail line "sample precedes its TYPE")
+        in
+        if not (Hashtbl.mem helped family) then fail line "family has no HELP"
+      end)
+    (String.split_on_char '\n' text)
+
 let test_prometheus_format () =
   let text = Metrics.to_prometheus (Metrics.snapshot (full_registry ())) in
   let has needle =
@@ -215,15 +324,29 @@ let test_prometheus_format () =
   check Alcotest.bool "summary count" true (has "rts_node_q_service_ns_count 5");
   check Alcotest.bool "summary sum" true (has "rts_node_q_service_ns_sum 31");
   check Alcotest.bool "quantile label" true (has "quantile=\"0.99\"");
-  check Alcotest.bool "no bad chars" true
-    (String.for_all
-       (fun ch ->
-         match ch with
-         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' | ' ' | '\n' | '.' | '-' | '+'
-         | '#' | '"' | '=' | '{' | '}' | ',' ->
-             true
-         | _ -> false)
-       text)
+  check Alcotest.bool "help line" true (has "# HELP rts_node_q_tuples_in ");
+  check_prometheus_conformance text
+
+(* Hostile registry names: whatever the runtime registers (channel
+   names contain "->", user query names are free-form), the exposition
+   must stay parseable by a strict scraper. *)
+let test_prometheus_conformance_nasty () =
+  let reg = Metrics.create () in
+  Metrics.Counter.add (Metrics.counter reg "rts.chan.tcpdest0->portcounts.drops") 7;
+  Metrics.Counter.add (Metrics.counter reg "weird metric name #1!") 1;
+  Metrics.Counter.add (Metrics.counter reg "9starts.with.a-digit") 2;
+  Metrics.Gauge.set (Metrics.gauge reg {|quotes"and\backslashes|}) 1.5;
+  let h = Metrics.histogram reg "net.latency.spaced out query" in
+  List.iter (Metrics.Histogram.observe h) [ 10.0; 20.0; 30.0 ];
+  let text = Metrics.to_prometheus (Metrics.snapshot reg) in
+  check_prometheus_conformance text;
+  let has needle =
+    let nl = String.length needle and tl = String.length text in
+    let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "arrow sanitized" true (has "rts_chan_tcpdest0__portcounts_drops 7");
+  check Alcotest.bool "leading digit prefixed" true (has "_9starts_with_a_digit 2")
 
 (* ------------------------- runtime integration ------------------------- *)
 
@@ -366,6 +489,70 @@ let test_engine_xchannel_metrics () =
   check Alcotest.bool "prometheus xchannel lines" true (has "rts_xchannel_");
   check Alcotest.bool "prometheus domains gauge" true (has "rts_scheduler_domains 2")
 
+(* End-to-end latency pipeline: with sampling armed, stamps placed at
+   the source must survive the operator chain and close into the
+   terminal node's rts.latency histogram; with sampling off the whole
+   machinery must be invisible. Runs under whatever GIGASCOPE_BATCH /
+   GIGASCOPE_PARALLEL the CI matrix sets — the stamp column rides
+   batches and cross-domain hops alike. *)
+let test_latency_pipeline () =
+  let ip = Ipaddr.of_string in
+  let pkt ts =
+    Packet.tcp ~ts ~src:(ip "10.0.0.1") ~dst:(ip "10.0.0.2") ~src_port:1234 ~dst_port:80
+      ~payload:(Bytes.of_string "x") ()
+  in
+  let n_pkts = 600 and interval = 10 in
+  let run_once ~latency_sample =
+    let engine = E.create () in
+    E.add_packet_list_interface engine ~name:"eth0"
+      (List.init n_pkts (fun i -> pkt (1.0 +. (0.001 *. float_of_int i))));
+    (match
+       E.install_query engine ~name:"web"
+         {| SELECT time, srcip FROM eth0.tcp WHERE protocol = 6 |}
+     with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail e);
+    let seen = ref 0 and stamped = ref 0 in
+    (match
+       Rts.Manager.on_batch (E.manager engine) "web" (fun b ->
+           seen := !seen + Rts.Batch.n_tuples b;
+           match Rts.Batch.stamps b with
+           | Some st -> Array.iter (fun s -> if s <> 0 then incr stamped) st
+           | None -> ())
+     with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail e);
+    (match E.run engine ~latency_sample () with Ok _ -> () | Error e -> Alcotest.fail e);
+    let snap = E.metrics_snapshot engine in
+    let lat_count =
+      match Metrics.find snap "rts.latency.web" with
+      | Some (Metrics.Histogram h) -> h.Metrics.h_count
+      | _ -> Alcotest.fail "missing rts.latency.web histogram"
+    in
+    (!seen, !stamped, lat_count, snap)
+  in
+  (* armed: every tuple delivered, some stamped, histogram agrees *)
+  let seen, stamped, lat_count, snap = run_once ~latency_sample:interval in
+  check Alcotest.int "all tuples delivered" n_pkts seen;
+  check Alcotest.bool "some tuples stamped" true (stamped > 0);
+  (* consume-once propagation can merge stamps that share a batch, so
+     the delivered count is bounded by the source's sample count *)
+  check Alcotest.bool "stamp count bounded by sample rate" true (stamped <= n_pkts / interval);
+  check Alcotest.int "histogram counts the stamped tuples" stamped lat_count;
+  (match Metrics.find snap "rts.latency.web" with
+  | Some (Metrics.Histogram h) ->
+      check Alcotest.bool "latency non-negative" true (h.Metrics.h_min >= 0.0);
+      check Alcotest.bool "latency sane (under 100s)" true (h.Metrics.h_max < 1e11)
+  | _ -> Alcotest.fail "missing rts.latency.web histogram");
+  (match Metrics.find snap "rts.scheduler.latency_sample" with
+  | Some (Metrics.Gauge v) -> check (Alcotest.float 1e-9) "interval gauge" (float_of_int interval) v
+  | _ -> Alcotest.fail "missing rts.scheduler.latency_sample gauge");
+  (* off (the default): no stamps anywhere, empty histogram *)
+  let seen_off, stamped_off, lat_count_off, _ = run_once ~latency_sample:0 in
+  check Alcotest.int "all tuples delivered (off)" n_pkts seen_off;
+  check Alcotest.int "no stamps when off" 0 stamped_off;
+  check Alcotest.int "empty histogram when off" 0 lat_count_off
+
 let () =
   Alcotest.run "obs"
     [
@@ -399,11 +586,14 @@ let () =
           Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
           Alcotest.test_case "json rejects garbage" `Quick test_json_rejects_garbage;
           Alcotest.test_case "prometheus" `Quick test_prometheus_format;
+          Alcotest.test_case "prometheus conformance (hostile names)" `Quick
+            test_prometheus_conformance_nasty;
         ] );
       ( "runtime",
         [
           Alcotest.test_case "select ground truth" `Quick test_engine_metrics_ground_truth;
           Alcotest.test_case "lfta table metrics" `Quick test_engine_lfta_metrics;
           Alcotest.test_case "xchannel metrics (parallel)" `Quick test_engine_xchannel_metrics;
+          Alcotest.test_case "latency pipeline" `Quick test_latency_pipeline;
         ] );
     ]
