@@ -112,6 +112,7 @@ let run_meta ~wall_s =
       ("wall_clock_s", Json.Float wall_s);
       ("env_parallel", Json.Str (env "GIGASCOPE_PARALLEL"));
       ("env_batch", Json.Str (env "GIGASCOPE_BATCH"));
+      ("env_shards", Json.Str (env "GIGASCOPE_SHARDS"));
       ("env_latency", Json.Str (env "GIGASCOPE_LATENCY"));
       ("ocaml", Json.Str Sys.ocaml_version);
       ("word_size_bits", Json.Int Sys.word_size);
@@ -427,8 +428,8 @@ let run_e3 () =
   let t_start = Unix.gettimeofday () in
   let packets = e2_packets () in
   let n_packets = List.length packets in
-  let run_one ~domains ~batch =
-    let eng = E.create ~default_capacity:65536 () in
+  let run_one ~shards ~domains ~batch =
+    let eng = E.create ~default_capacity:65536 ~shards () in
     E.add_packet_list_interface eng ~name:"eth0" packets;
     (match E.install_program eng e2_queries with
     | Ok _ -> ()
@@ -447,14 +448,15 @@ let run_e3 () =
     let outputs = List.fold_left (fun acc (_, r) -> acc + !r) 0 counters in
     (dt, (outputs, E.total_drops eng))
   in
-  ignore (run_one ~domains:1 ~batch:1) (* warmup, see run_e2 *);
+  ignore (run_one ~shards:1 ~domains:1 ~batch:1) (* warmup, see run_e2 *);
   let baseline = ref 0.0 and base_outputs = ref (-1) in
-  Printf.printf "%-10s %-8s %10s %14s %10s %8s %10s\n" "domains" "batch" "wall(s)" "pkts/s"
-    "outputs" "drops" "speedup";
+  let best_sharded = ref 0.0 in
+  Printf.printf "%-8s %-10s %-8s %10s %14s %10s %8s %10s\n" "shards" "domains" "batch"
+    "wall(s)" "pkts/s" "outputs" "drops" "speedup";
   let e2_sweep =
     List.map
-      (fun (domains, batch) ->
-        let dt, (outputs, drops) = best_of 3 (fun () -> run_one ~domains ~batch) in
+      (fun (shards, domains, batch) ->
+        let dt, (outputs, drops) = best_of 3 (fun () -> run_one ~shards ~domains ~batch) in
         if !base_outputs < 0 then begin
           baseline := dt;
           base_outputs := outputs
@@ -462,27 +464,54 @@ let run_e3 () =
         else if outputs <> !base_outputs then
           failwith
             (Printf.sprintf
-               "e3: %d domains batch %d produced %d outputs, the baseline produced %d" domains
-               batch outputs !base_outputs);
-        Printf.printf "%-10d %-8d %10.2f %14.0f %10d %8d %9.2fx\n%!" domains batch dt
+               "e3: %d shards %d domains batch %d produced %d outputs, the baseline \
+                produced %d"
+               shards domains batch outputs !base_outputs);
+        let speedup = !baseline /. dt in
+        if shards = 4 && domains > 1 then best_sharded := max !best_sharded speedup;
+        Printf.printf "%-8d %-10d %-8d %10.2f %14.0f %10d %8d %9.2fx\n%!" shards domains
+          batch dt
           (float_of_int n_packets /. dt)
-          outputs drops (!baseline /. dt);
+          outputs drops speedup;
         Json.Obj
           [
+            ("shards", Json.Int shards);
             ("domains", Json.Int domains);
             ("batch", Json.Int batch);
             ("wall_s", Json.Float dt);
             ("pkts_per_s", Json.Float (float_of_int n_packets /. dt));
             ("outputs", Json.Int outputs);
             ("drops", Json.Int drops);
-            ("speedup_vs_baseline", Json.Float (!baseline /. dt));
+            ("speedup_vs_baseline", Json.Float speedup);
           ])
-      [(1, 1); (1, 64); (2, 1); (2, 64); (3, 1); (3, 64)]
+      [
+        (1, 1, 1);
+        (1, 1, 64);
+        (1, 2, 1);
+        (1, 2, 64);
+        (1, 3, 1);
+        (1, 3, 64);
+        (2, 3, 1);
+        (2, 3, 64);
+        (4, 5, 1);
+        (4, 5, 64);
+      ]
   in
+  let host_cores = Domain.recommended_domain_count () in
+  let shard_meets = !best_sharded >= 1.5 in
+  Printf.printf "best 4-shard multi-domain speedup: %.2fx (target 1.5x) %s\n" !best_sharded
+    (if shard_meets then "PASS"
+     else if host_cores < 2 then
+       "UNMEASURABLE (single-core host: every multi-domain row times N domains \
+        interleaved on 1 core, so the sharded rows price the partitioner+merge overhead, \
+        not the offload)"
+     else "MISS");
   Printf.printf
     "claim: the process-per-HFTA architecture (Section 2.2) moves HFTA work off\n\
      the packet path without drops or any change in output; when LFTA reduction\n\
-     already makes the HFTAs cheap, channel overhead can outweigh the offload.\n";
+     already makes the HFTAs cheap, channel overhead can outweigh the offload —\n\
+     sharding fixes that by replicating the LFTA chain itself across domains\n\
+     behind a partitioner, so the per-packet work leaves the packet path too.\n";
   (* -- the batched data plane on a select+aggregate chain ------------- *)
   Printf.printf "\nselect+aggregate chain, %d tuples (batched data plane):\n" 2_000_000;
   let n = 2_000_000 in
@@ -540,7 +569,23 @@ let run_e3 () =
                      ("3", Json.Float 105_552.0);
                    ] );
              ] );
-         ("e2_set", Json.Obj [ ("packets", Json.Int n_packets); ("sweep", Json.List e2_sweep) ]);
+         ( "e2_set",
+           Json.Obj
+             [
+               ("packets", Json.Int n_packets);
+               ("sweep", Json.List e2_sweep);
+               ("best_sharded_speedup_4shards_multidomain", Json.Float !best_sharded);
+               ("sharded_target_speedup", Json.Float 1.5);
+               ("sharded_meets_target", Json.Bool shard_meets);
+               ("host_cores", Json.Int host_cores);
+               ( "sharded_note",
+                 Json.Str
+                   (if host_cores < 2 then
+                      "single-core host: the multi-domain offload the target measures \
+                       cannot manifest (N domains timeshare 1 core), so the sharded rows \
+                       report pure partitioner+reunify overhead"
+                    else "multi-core host: sharded rows measure real offload") );
+             ] );
          ( "select_aggregate",
            Json.Obj
              [
@@ -1118,6 +1163,8 @@ let run_micro () =
         band = 0.0;
         aggs = [| { Rts.Agg_fn.kind = Rts.Agg_fn.Count; arg = None } |];
         assemble = (fun ~keys ~aggs -> Array.append keys aggs);
+        punct_in = None;
+        epoch_out = None;
       }
   in
   let lfta_op = Rts.Lfta_aggregate.op lfta in

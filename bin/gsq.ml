@@ -168,6 +168,18 @@ let batch =
            environment variable sets the default. Output is byte-identical for every batch \
            size.")
 
+let shards_arg =
+  Arg.(
+    value & opt int 1
+    & info ["shards"] ~docv:"N"
+        ~doc:
+          "Shard each query N ways: the LFTA chain is replicated per shard behind a \
+           source-side hash partitioner and reunified through an order-preserving merge. \
+           Combine with $(b,--parallel) to land the shards on distinct domains. 1 (the \
+           default) is unsharded; the $(b,GIGASCOPE_SHARDS) environment variable sets the \
+           default. Output is byte-identical to an unsharded run; queries that cannot \
+           shard run unsharded and $(b,--trace) reports why.")
+
 let latency_sample_arg =
   Arg.(
     value & opt int 64
@@ -229,8 +241,8 @@ let install_inject inject =
 
 (* Engine with traffic plumbing shared by `run` and `serve`: a pcap
    replay or generator interface, plus the optional session stream. *)
-let setup_engine ~pcap_in ~iface ~gen_cfg ~sessions =
-  let engine = E.create () in
+let setup_engine ~pcap_in ~iface ~gen_cfg ~sessions ~shards =
+  let engine = E.create ?shards:(if shards > 1 then Some shards else None) () in
   (match pcap_in with
   | Some path -> (
       match E.add_pcap_interface engine ~name:iface path with
@@ -276,12 +288,13 @@ let setup_engine ~pcap_in ~iface ~gen_cfg ~sessions =
   engine
 
 let do_run query_file rate duration seed pcap_in iface max_rows sessions show_stats trace
-    metrics_out log_level parallel placement batch latency_sample inject supervise shed =
+    metrics_out log_level parallel placement batch shards latency_sample inject supervise
+    shed =
   setup_logging log_level;
   install_inject inject;
   let text = read_file query_file in
   let gen_cfg = { Gigascope_traffic.Gen.default with rate_mbps = rate; duration; seed } in
-  let engine = setup_engine ~pcap_in ~iface ~gen_cfg ~sessions in
+  let engine = setup_engine ~pcap_in ~iface ~gen_cfg ~sessions ~shards in
   match E.install_program engine text with
   | Error e ->
       prerr_endline ("error: " ^ e);
@@ -347,7 +360,7 @@ let run_cmd =
     Term.(
       const do_run $ query_file $ rate $ duration $ seed $ pcap_in $ iface $ max_rows
       $ sessions $ stats $ trace $ metrics_out $ log_level $ parallel $ placement $ batch
-      $ latency_sample_arg $ inject $ supervise_arg $ shed_arg)
+      $ shards_arg $ latency_sample_arg $ inject $ supervise_arg $ shed_arg)
 
 (* ---- serve ---- *)
 
@@ -440,13 +453,13 @@ let ingests =
            Repeatable.")
 
 let do_serve query_file rate duration seed pcap_in iface sessions show_stats trace
-    metrics_out log_level parallel placement batch latency_sample listen_addrs policy egress
-    wait_subscribers ingests heartbeat http_addr inject supervise shed =
+    metrics_out log_level parallel placement batch shards latency_sample listen_addrs policy
+    egress wait_subscribers ingests heartbeat http_addr inject supervise shed =
   setup_logging log_level;
   install_inject inject;
   let text = read_file query_file in
   let gen_cfg = { Gigascope_traffic.Gen.default with rate_mbps = rate; duration; seed } in
-  let engine = setup_engine ~pcap_in ~iface ~gen_cfg ~sessions in
+  let engine = setup_engine ~pcap_in ~iface ~gen_cfg ~sessions ~shards in
   let server =
     Server.create ~policy ~egress_capacity:egress
       ?heartbeat:(if heartbeat > 0.0 then Some heartbeat else None)
@@ -553,7 +566,7 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const do_serve $ query_file $ rate $ duration $ seed $ pcap_in $ iface $ sessions
-      $ stats $ trace $ metrics_out $ log_level $ parallel $ placement $ batch
+      $ stats $ trace $ metrics_out $ log_level $ parallel $ placement $ batch $ shards_arg
       $ latency_sample_arg $ listen_addrs $ policy_arg $ egress $ wait_subscribers $ ingests
       $ heartbeat_arg $ http_addr $ inject $ supervise_arg $ shed_arg)
 

@@ -30,13 +30,52 @@ type t = {
   catalog : Gsql.Catalog.t;
   interfaces : (string, iface) Hashtbl.t;
   mutable next_seed : int;
+  shards : int;
+  mutable shard_infos : Gsql.Split.shard_info list;
+  mutable shard_notes : (string * string) list;
+      (** queries that could not shard, with the splitter's reason *)
 }
 
-let create ?(default_capacity = 4096) () =
+(* GIGASCOPE_PARALLEL / GIGASCOPE_BATCH / GIGASCOPE_SHARDS make every
+   run parallel / batched / sharded by default — the hooks the CI
+   matrix uses to execute the whole test suite on N domains, vectorized,
+   or data-parallel. A value that is not a clean positive integer is
+   ignored, but never silently: degrading GIGASCOPE_PARALLEL=abc to a
+   single-threaded run would quietly void what the CI matrix claims to
+   test. *)
+let env_knob name =
+  match Sys.getenv_opt name with
+  | None | Some "" -> 1
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | Some n ->
+          Log.warn (fun m -> m "ignoring %s=%d: must be a positive integer; using 1" name n);
+          1
+      | None ->
+          Log.warn (fun m -> m "ignoring %s=%S: not an integer; using 1" name s);
+          1)
+
+(* Sharding rewrites the plan at install time, so its knob is read in
+   [create], not [run]. *)
+let default_shards () = env_knob "GIGASCOPE_SHARDS"
+
+let create ?(default_capacity = 4096) ?shards () =
   let mgr = Rts.Manager.create ~default_capacity () in
   let catalog = Gsql.Catalog.create (Rts.Manager.functions mgr) in
   Default_protocols.register catalog;
-  { mgr; catalog; interfaces = Hashtbl.create 8; next_seed = 0x517 }
+  let shards = match shards with Some n -> max 1 n | None -> default_shards () in
+  {
+    mgr;
+    catalog;
+    interfaces = Hashtbl.create 8;
+    next_seed = 0x517;
+    shards;
+    shard_infos = [];
+    shard_notes = [];
+  }
+
+let shards t = t.shards
 
 let manager t = t.mgr
 let catalog t = t.catalog
@@ -220,17 +259,54 @@ let fresh_seed t =
   t.next_seed <- t.next_seed + 0x9e37;
   t.next_seed
 
+(* Per-shard acceptance counters, an aggregate skew gauge
+   (max_shard * n / total: 1.0 = perfectly even, n = everything on one
+   shard), and the reunification merge's buffering/reorder-lag metrics,
+   all under the rts.shard.<query> prefix. *)
+let register_shard_metrics t (inst : Gsql.Codegen.instance) (info : Gsql.Split.shard_info) =
+  let m = metrics t in
+  let q = info.Gsql.Split.squery in
+  Array.iteri
+    (fun i c -> Metrics.attach_counter m (Printf.sprintf "rts.shard.%s.%d.tuples" q i) c)
+    info.Gsql.Split.stuples;
+  Metrics.attach_gauge_fn m (Printf.sprintf "rts.shard.%s.skew" q) (fun () ->
+      let counts = Array.map Metrics.Counter.get info.Gsql.Split.stuples in
+      let total = Array.fold_left ( + ) 0 counts in
+      if total = 0 then 0.0
+      else
+        let hi = Array.fold_left max 0 counts in
+        float_of_int (hi * Array.length counts) /. float_of_int total);
+  match List.assoc_opt info.Gsql.Split.sreunify inst.Gsql.Codegen.merges with
+  | Some merge ->
+      Rts.Merge_op.register_metrics merge m ~prefix:(Printf.sprintf "rts.shard.%s.reunify" q)
+  | None -> ()
+
+(* Install one split result, shard-rewriting it first when the engine
+   was created with [shards > 1]. A plan the splitter cannot shard
+   installs unchanged and the reason is kept for [trace_report] — the
+   same never-silent stance as the env knobs. *)
+let install_split t ?params split =
+  let install s =
+    Gsql.Codegen.install t.mgr ~source_binder:(binder t) ?params ~seed:(fresh_seed t) s
+  in
+  if t.shards < 2 then install split
+  else
+    match Gsql.Split.shard ~shards:t.shards split with
+    | Ok (sharded, info) ->
+        let* inst = install sharded in
+        t.shard_infos <- t.shard_infos @ [ info ];
+        register_shard_metrics t inst info;
+        Ok inst
+    | Error reason ->
+        t.shard_notes <- t.shard_notes @ [ (split.Gsql.Split.plan.Gsql.Plan.name, reason) ];
+        install split
+
 let install_compiled t ?params (c : Gsql.Compile.compiled) =
   (* hoisted FROM subqueries install first so the main query can subscribe *)
   let rec go = function
-    | [] ->
-        Gsql.Codegen.install t.mgr ~source_binder:(binder t) ?params ~seed:(fresh_seed t)
-          c.Gsql.Compile.split
+    | [] -> install_split t ?params c.Gsql.Compile.split
     | (h : Gsql.Compile.compiled) :: rest ->
-        let* _helper =
-          Gsql.Codegen.install t.mgr ~source_binder:(binder t) ?params ~seed:(fresh_seed t)
-            h.Gsql.Compile.split
-        in
+        let* _helper = install_split t ?params h.Gsql.Compile.split in
         go rest
   in
   let result = go c.Gsql.Compile.helpers in
@@ -267,25 +343,6 @@ let on_tuple t name f =
   Rts.Manager.on_item t.mgr name (function
     | Rts.Item.Tuple values -> f values
     | Rts.Item.Punct _ | Rts.Item.Flush | Rts.Item.Eof | Rts.Item.Error _ | Rts.Item.Gap _ -> ())
-
-(* GIGASCOPE_PARALLEL / GIGASCOPE_BATCH make every run parallel /
-   batched by default — the hooks the CI matrix uses to execute the
-   whole test suite on N domains or vectorized. A value that is not a
-   clean positive integer is ignored, but never silently: degrading
-   GIGASCOPE_PARALLEL=abc to a single-threaded run would quietly void
-   what the CI matrix claims to test. *)
-let env_knob name =
-  match Sys.getenv_opt name with
-  | None -> 1
-  | Some s -> (
-      match int_of_string_opt (String.trim s) with
-      | Some n when n >= 1 -> n
-      | Some n ->
-          Log.warn (fun m -> m "ignoring %s=%d: must be a positive integer; using 1" name n);
-          1
-      | None ->
-          Log.warn (fun m -> m "ignoring %s=%S: not an integer; using 1" name s);
-          1)
 
 let default_parallel () = env_knob "GIGASCOPE_PARALLEL"
 
@@ -331,7 +388,16 @@ let default_latency () =
           0)
 
 let run t ?quantum ?heartbeats ?heartbeat_period ?on_round ?trace ?parallel ?placement ?batch
-    ?supervise ?(restart_budget = 3) ?shed ?latency_sample () =
+    ?supervise ?(restart_budget = 3) ?shed ?latency_sample ?shards () =
+  let* () =
+    match shards with
+    | Some n when max 1 n <> t.shards ->
+        err
+          "run: shards=%d but the engine was created with shards=%d (sharding rewrites plans \
+           at install time; pass ~shards to Engine.create)"
+          n t.shards
+    | _ -> Ok ()
+  in
   let domains = match parallel with Some n -> n | None -> default_parallel () in
   let batch = match batch with Some n -> max 1 n | None -> default_batch () in
   let policy = match supervise with Some p -> p | None -> default_supervise () in
@@ -379,6 +445,28 @@ let flush t name = Rts.Manager.flush t.mgr name
 
 let stats_report t = Rts.Manager.stats_report t.mgr
 
-let trace_report t = Rts.Manager.trace_report t.mgr
+let shard_report t =
+  if t.shards <= 1 then ""
+  else begin
+    let b = Buffer.create 256 in
+    Printf.bprintf b "shards: %d\n" t.shards;
+    List.iter
+      (fun (info : Gsql.Split.shard_info) ->
+        match info.Gsql.Split.smode with
+        | Gsql.Split.Hash_key ->
+            Printf.bprintf b "  %s: %d replicas, hash-partitioned on the group key\n"
+              info.Gsql.Split.squery info.Gsql.Split.sshards
+        | Gsql.Split.Round_robin ->
+            Printf.bprintf b
+              "  %s: %d replicas, keyless plan: round-robin with full reunification merge\n"
+              info.Gsql.Split.squery info.Gsql.Split.sshards)
+      t.shard_infos;
+    List.iter
+      (fun (q, reason) -> Printf.bprintf b "  %s: not sharded: %s\n" q reason)
+      t.shard_notes;
+    Buffer.contents b
+  end
+
+let trace_report t = Rts.Manager.trace_report t.mgr ^ shard_report t
 
 let total_drops t = Rts.Manager.total_drops t.mgr

@@ -21,7 +21,16 @@ type nic_capability =
 
 type t
 
-val create : ?default_capacity:int -> unit -> t
+val create : ?default_capacity:int -> ?shards:int -> unit -> t
+(** [shards] (default from [GIGASCOPE_SHARDS], else 1) > 1 makes every
+    subsequently installed query data-parallel: the splitter replicates
+    the eligible LFTA chain per shard behind a source-side partitioner
+    and reunifies the replicas through an order-preserving merge — see
+    {!Gsql.Split.shard}. Output stays byte-identical to the unsharded
+    engine for every installable query; plans the splitter cannot shard
+    install unchanged and {!trace_report} names them with the reason.
+    Sharding rewrites plans at install time, which is why the knob
+    lives here and not on {!run}. *)
 
 val manager : t -> Rts.Manager.t
 val catalog : t -> Gsql.Catalog.t
@@ -141,6 +150,7 @@ val run :
   ?restart_budget:int ->
   ?shed:float ->
   ?latency_sample:int ->
+  ?shards:int ->
   unit ->
   (Rts.Scheduler.stats, string) result
 (** Drive the network until every source is exhausted. [heartbeats]
@@ -183,7 +193,12 @@ val run :
     throughput baselines are unperturbed.
 
     If [GIGASCOPE_FAULTS] is set, its fault plan is (re)installed at the
-    start of every run — see {!Rts.Faults}. *)
+    start of every run — see {!Rts.Faults}.
+
+    [shards] is a guard, not a knob: sharding is fixed when the engine
+    is created (see {!create}), so passing a value that disagrees with
+    the engine's shard count is an [Error] rather than a silent
+    no-op. *)
 
 val flush : t -> string -> (unit, string) result
 (** Make the named query emit its open state now — how an analyst gets
@@ -196,7 +211,17 @@ val stats_report : t -> string
 val trace_report : t -> string
 (** EXPLAIN-ANALYZE-style per-operator breakdown: tuples, drops, timed
     steps, cumulative service time, ns/tuple (see
-    {!Rts.Manager.trace_report}). *)
+    {!Rts.Manager.trace_report}), followed by {!shard_report} when the
+    engine is sharded. *)
+
+val shards : t -> int
+(** The shard count fixed at {!create} (1 = unsharded). *)
+
+val shard_report : t -> string
+(** One line per installed query when the engine is sharded: replica
+    count and partitioning mode — keyless plans are flagged as falling
+    back to round-robin with a full reunification merge — or the
+    splitter's reason a query could not shard. [""] when unsharded. *)
 
 val total_drops : t -> int
 

@@ -319,6 +319,31 @@ let make_agg_config ~params ~sample_seed:_ (a : Plan.agg_body) =
       punct_in;
     }
 
+(* A shard replica's select appends a private "__seq" column the
+   reunification merge orders on. Tuples advance the merge's bound on
+   that column, but a quiet replica must too: whenever the replica sees
+   punctuation, re-publish it as a bound on the sequence column —
+   [next_seq ()] is the next index this replica could ever assign, hence
+   a firm lower bound on everything it will still emit. *)
+let shard_seq_wrap (op : Rts.Operator.t) ~seq_idx ~next_seq =
+  let seq_punct ~emit = emit (Rts.Item.Punct [ (seq_idx, Value.Int (next_seq ())) ]) in
+  let on_item ~input item ~emit =
+    op.Rts.Operator.on_item ~input item ~emit;
+    match item with Rts.Item.Punct _ -> seq_punct ~emit | _ -> ()
+  in
+  let on_batch =
+    match op.Rts.Operator.on_batch with
+    | None -> None
+    | Some f ->
+        Some
+          (fun ~input batch ~emit ->
+            f ~input batch ~emit;
+            match Rts.Batch.ctrl batch with
+            | Some (Rts.Item.Punct _) -> seq_punct ~emit
+            | _ -> ())
+  in
+  { op with Rts.Operator.on_item; on_batch }
+
 let make_op ~params ~seed (phys : Split.phys_node) =
   match phys.Split.pbody with
   | Plan.Select { sel_input; sel_pred; sel_items; sample } ->
@@ -344,12 +369,22 @@ let make_op ~params ~seed (phys : Split.phys_node) =
       let* item_fns = compile_items ~params sel_items in
       let punct_map = punct_map_of_items ~in_schema sel_items in
       let rejected = Gigascope_obs.Metrics.Counter.make () in
-      Ok
-        ( Rts.Select_op.make ~rejected ?pred ~project:(projector item_fns) ~punct_map (),
-          `Select rejected )
+      let op = Rts.Select_op.make ~rejected ?pred ~project:(projector item_fns) ~punct_map () in
+      let op =
+        match phys.Split.pshard with
+        | Some { Split.sseq = Some (seq_idx, next_seq); _ } -> shard_seq_wrap op ~seq_idx ~next_seq
+        | _ -> op
+      in
+      Ok (op, `Select rejected)
   | Plan.Agg a ->
       let* cfg = make_agg_config ~params ~sample_seed:seed a in
       if phys.Split.pkind = Rts.Node.Lfta then begin
+        (* A shard replica's partials feed a reunification merge, which
+           needs firm bounds from a replica even when the replica's next
+           epoch is slow to arrive — so replicas translate input
+           punctuation onto the epoch column. Unsharded LFTAs keep
+           swallowing punctuation (the HFTA regenerates bounds). *)
+        let sharded = phys.Split.pshard <> None in
         let lcfg =
           {
             Rts.Lfta_aggregate.table_bits = (if phys.Split.ptable_bits > 0 then phys.Split.ptable_bits else 12);
@@ -361,6 +396,8 @@ let make_op ~params ~seed (phys : Split.phys_node) =
             aggs = cfg.Rts.Aggregate.aggs;
             assemble =
               (fun ~keys ~aggs -> cfg.Rts.Aggregate.assemble ~keys ~aggs);
+            punct_in = (if sharded then cfg.Rts.Aggregate.punct_in else None);
+            epoch_out = (if sharded then cfg.Rts.Aggregate.epoch_out else None);
           }
         in
         let agg = Rts.Lfta_aggregate.make lcfg in
@@ -406,13 +443,25 @@ let make_op ~params ~seed (phys : Split.phys_node) =
       let join = Rts.Join_op.make cfg in
       Ok (Rts.Join_op.op join, `Join join)
   | Plan.Merge m ->
+      let schema = Plan.input_schema (List.hd m.Plan.merge_inputs) in
       let direction =
-        let schema = Plan.input_schema (List.hd m.Plan.merge_inputs) in
         match
           Order_prop.direction_of (Schema.field_at schema m.Plan.merge_field).Schema.order
         with
         | Some d -> d
         | None -> Order_prop.Asc
+      in
+      (* Monotone fields beyond the merge attribute survive the merge;
+         republishing their bounds keeps operators keyed on them (e.g. an
+         epoch aggregation downstream of a shard reunification) unblocked. *)
+      let forward =
+        List.concat
+          (List.init (Schema.arity schema) (fun i ->
+               if i = m.Plan.merge_field then []
+               else
+                 match (Schema.field_at schema i).Schema.order with
+                 | Order_prop.Monotone d | Order_prop.Strict d -> [ (i, d) ]
+                 | _ -> []))
       in
       let cfg =
         {
@@ -421,7 +470,7 @@ let make_op ~params ~seed (phys : Split.phys_node) =
           direction;
         }
       in
-      let merge = Rts.Merge_op.make cfg in
+      let merge = Rts.Merge_op.make ~forward cfg in
       Ok (Rts.Merge_op.op merge, `Merge merge)
 
 let input_names ~binder (phys : Split.phys_node) =
@@ -461,6 +510,7 @@ let install mgr ~source_binder ?(params = []) ?(seed = 0x6516) (split : Split.t)
             ~schema:phys.Split.pschema ~inputs ~op
         in
         Rts.Node.set_placement node phys.Split.pplace;
+        Rts.Node.set_shard node (Option.map (fun s -> s.Split.sshard) phys.Split.pshard);
         register_op_metrics phys.Split.pname stat;
         go (phys.Split.pname :: acc_names) ((phys.Split.pname, stat) :: acc_stats) rest
   in

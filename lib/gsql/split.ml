@@ -7,6 +7,11 @@ module Order_prop = Rts.Order_prop
 
 type nic_hint = { nic_filter : Bpf.Filter.t option; snap_len : int }
 
+type shard_tag = {
+  sshard : int;
+  sseq : (int * (unit -> int)) option;
+}
+
 type phys_node = {
   pname : string;
   pkind : Rts.Node.kind;
@@ -15,6 +20,7 @@ type phys_node = {
   pnic : nic_hint option;
   ptable_bits : int;
   pplace : int option;
+  pshard : shard_tag option;
 }
 
 type t = { plan : Plan.t; phys : phys_node list }
@@ -175,7 +181,7 @@ let split_select catalog ~qname ~interface ~protocol ~schema ~pred ~items ~sampl
         pschema;
         pnic = Some (nic_hint_for catalog ~protocol ~schema ~pred:(Expr_ir.conjoin cheap) ~fields_needed);
         ptable_bits = 0;
-        pplace = None;
+        pplace = None; pshard = None;
       };
     ]
   else begin
@@ -205,7 +211,7 @@ let split_select catalog ~qname ~interface ~protocol ~schema ~pred ~items ~sampl
                ~fields_needed:
                  (List.sort_uniq compare (hfta_fields @ fields_of_pred (Expr_ir.conjoin cheap))));
         ptable_bits = 0;
-        pplace = None;
+        pplace = None; pshard = None;
       }
     in
     let mapping = mapping_of hfta_fields in
@@ -239,7 +245,7 @@ let split_select catalog ~qname ~interface ~protocol ~schema ~pred ~items ~sampl
         pschema = hschema;
         pnic = None;
         ptable_bits = 0;
-        pplace = None;
+        pplace = None; pshard = None;
       }
     in
     [lfta; hfta]
@@ -345,7 +351,7 @@ let split_agg catalog ~qname ~table_bits ~interface ~protocol ~schema (a : Plan.
                           match c.Plan.arg with Some e -> Expr_ir.fields_used e | None -> [])
                         a.Plan.aggs)));
         ptable_bits = table_bits;
-        pplace = None;
+        pplace = None; pshard = None;
       }
     in
     (* HFTA super-aggregation over the LFTA's output *)
@@ -435,7 +441,7 @@ let split_agg catalog ~qname ~table_bits ~interface ~protocol ~schema (a : Plan.
         pschema = out_schema;
         pnic = None;
         ptable_bits = 0;
-        pplace = None;
+        pplace = None; pshard = None;
       }
     in
     [lfta; hfta]
@@ -471,7 +477,7 @@ let split_agg catalog ~qname ~table_bits ~interface ~protocol ~schema (a : Plan.
             (nic_hint_for catalog ~protocol ~schema ~pred:(Expr_ir.conjoin cheap)
                ~fields_needed:(List.sort_uniq compare (needed @ fields_of_pred (Expr_ir.conjoin cheap))));
         ptable_bits = 0;
-        pplace = None;
+        pplace = None; pshard = None;
       }
     in
     let mapping = mapping_of needed in
@@ -496,7 +502,7 @@ let split_agg catalog ~qname ~table_bits ~interface ~protocol ~schema (a : Plan.
         pschema = out_schema;
         pnic = None;
         ptable_bits = 0;
-        pplace = None;
+        pplace = None; pshard = None;
       }
     in
     [lfta; hfta]
@@ -522,7 +528,7 @@ let protocol_feeder catalog ~name ~interface ~protocol ~schema ~fields ~pred =
         (nic_hint_for catalog ~protocol ~schema ~pred
            ~fields_needed:(List.sort_uniq compare (fields @ fields_of_pred pred)));
     ptable_bits = 0;
-    pplace = None;
+    pplace = None; pshard = None;
   }
 
 let split catalog ?(lfta_table_bits = 12) ?placement (plan : Plan.t) =
@@ -565,7 +571,7 @@ let split catalog ?(lfta_table_bits = 12) ?placement (plan : Plan.t) =
                 pschema = plan.Plan.out_schema;
                 pnic = None;
                 ptable_bits = 0;
-        pplace = None;
+        pplace = None; pshard = None;
               };
             ];
         }
@@ -590,7 +596,7 @@ let split catalog ?(lfta_table_bits = 12) ?placement (plan : Plan.t) =
                 pschema = plan.Plan.out_schema;
                 pnic = None;
                 ptable_bits = 0;
-        pplace = None;
+        pplace = None; pshard = None;
               };
             ];
         }
@@ -661,7 +667,7 @@ let split catalog ?(lfta_table_bits = 12) ?placement (plan : Plan.t) =
           pschema = plan.Plan.out_schema;
           pnic = None;
           ptable_bits = 0;
-        pplace = None;
+        pplace = None; pshard = None;
         }
       in
       Ok { plan; phys = List.filter_map Fun.id [left_node; right_node] @ [hfta] }
@@ -692,9 +698,240 @@ let split catalog ?(lfta_table_bits = 12) ?placement (plan : Plan.t) =
           pschema = plan.Plan.out_schema;
           pnic = None;
           ptable_bits = 0;
-        pplace = None;
+        pplace = None; pshard = None;
         }
       in
       Ok { plan; phys = feeders @ [hfta] }
     end
+
+(* ---------------- sharded data-parallel execution ----------------------- *)
+
+module Metrics = Gigascope_obs.Metrics
+
+type shard_mode = Hash_key | Round_robin
+
+type shard_info = {
+  squery : string;
+  smode : shard_mode;
+  sshards : int;
+  stuples : Metrics.Counter.t array;
+  sreunify : string;
+}
+
+let replica_name qname i = Printf.sprintf "_shard_%s_%d" qname i
+
+(* Every replica sees the same broadcast input stream and evaluates the
+   same cheap conjuncts, so the private counters inside the ownership
+   closures advance in lockstep across replicas and exactly one replica
+   accepts each tuple. The ownership conjunct must come LAST: And
+   short-circuits left-to-right, which is what keeps the counters equal
+   on every replica regardless of which conjunct rejects a tuple. *)
+let with_owner pred owner =
+  let conjs = match pred with None -> [] | Some p -> Expr_ir.conjuncts p in
+  match Expr_ir.conjoin (conjs @ [ owner ]) with Some p -> p | None -> owner
+
+let round_robin_owner ~shards ~me ~accepted =
+  let ctr = ref 0 in
+  let f =
+    Rts.Func.pure
+      ~name:(Printf.sprintf "_shard_rr_%d_of_%d" me shards)
+      ~arg_tys:[] ~ret_ty:Ty.Bool
+      (fun _ ->
+        let s = !ctr in
+        incr ctr;
+        let mine = s mod shards = me in
+        if mine then Metrics.Counter.incr accepted;
+        Some (Value.Bool mine))
+  in
+  (Expr_ir.Call (f, []), ctr)
+
+let hash_owner ~shards ~me ~accepted key_exprs =
+  let f =
+    Rts.Func.pure
+      ~name:(Printf.sprintf "_shard_hash_%d_of_%d" me shards)
+      ~arg_tys:(List.map Expr_ir.ty key_exprs)
+      ~ret_ty:Ty.Bool
+      (fun vals ->
+        let mine = Value.hash_array vals land max_int mod shards = me in
+        if mine then Metrics.Counter.incr accepted;
+        Some (Value.Bool mine))
+  in
+  Expr_ir.Call (f, key_exprs)
+
+(* A pure-LFTA selection: N round-robin replicas, each appending a private
+   "__seq" column carrying the tuple's global arrival index among the
+   accepted tuples. A reunification merge ordered on __seq restores the
+   exact single-shard output order, and an identity select registered
+   under the original query name strips the column again. *)
+let shard_pure_select ~shards t (node : phys_node) ~sel_input ~sel_pred ~sel_items =
+  let qname = node.pname in
+  let n_items = List.length sel_items in
+  let stuples = Array.init shards (fun _ -> Metrics.Counter.make ()) in
+  let replicas =
+    List.init shards (fun i ->
+        let owner, ctr = round_robin_owner ~shards ~me:i ~accepted:stuples.(i) in
+        let seq =
+          (* reads the round-robin counter the owner conjunct just
+             advanced for this same tuple: [!ctr - 1] is the tuple's
+             global index among cheap-passing tuples *)
+          Rts.Func.pure ~name:"_shard_seq" ~arg_tys:[] ~ret_ty:Ty.Int (fun _ ->
+              Some (Value.Int (!ctr - 1)))
+        in
+        {
+          node with
+          pname = replica_name qname i;
+          pbody =
+            Plan.Select
+              {
+                sel_input;
+                sel_pred = Some (with_owner sel_pred owner);
+                sel_items = sel_items @ [ (Expr_ir.Call (seq, []), "__seq") ];
+                sample = None;
+              };
+          pschema =
+            Schema.make
+              (Array.to_list (Schema.fields node.pschema)
+              @ [
+                  {
+                    Schema.name = "__seq";
+                    ty = Ty.Int;
+                    order = Order_prop.Monotone Order_prop.Asc;
+                  };
+                ]);
+          pshard = Some { sshard = i; sseq = Some (n_items, (fun () -> !ctr)) };
+        })
+  in
+  let rschema = (List.hd replicas).pschema in
+  let merge_name = "_shard_" ^ qname in
+  let merge =
+    {
+      pname = merge_name;
+      pkind = Rts.Node.Hfta;
+      pbody =
+        Plan.Merge
+          {
+            Plan.merge_inputs =
+              List.map
+                (fun r -> Plan.From_stream { stream = r.pname; schema = rschema })
+                replicas;
+            merge_field = n_items;
+          };
+      pschema = rschema;
+      pnic = None;
+      ptable_bits = 0;
+      pplace = None; pshard = None;
+    }
+  in
+  let strip =
+    {
+      pname = qname;
+      pkind = Rts.Node.Hfta;
+      pbody =
+        Plan.Select
+          {
+            sel_input = Plan.From_stream { stream = merge_name; schema = rschema };
+            sel_pred = None;
+            sel_items =
+              List.mapi
+                (fun i (f : Schema.field) -> (Expr_ir.Field (i, f.Schema.ty), f.Schema.name))
+                (Array.to_list (Schema.fields node.pschema));
+            sample = None;
+          };
+      pschema = node.pschema;
+      pnic = None;
+      ptable_bits = 0;
+      pplace = None; pshard = None;
+    }
+  in
+  ( { t with phys = replicas @ [ merge; strip ] },
+    { squery = qname; smode = Round_robin; sshards = shards; stuples; sreunify = merge_name }
+  )
+
+(* A split sub/super aggregation: N replicas of the sub-aggregating LFTA,
+   each owning the group keys that hash to its shard (round-robin when the
+   epoch is the only key), reunified through a merge ordered on the epoch
+   column and registered under the LFTA's name — the super-aggregating
+   HFTA re-groups the shard partials exactly as it re-groups table
+   evictions today, so the final output is unchanged. *)
+let shard_sub_agg ~shards t (lfta : phys_node) (la : Plan.agg_body) (hfta : phys_node) =
+  match (la.Plan.epoch, la.Plan.epoch_in_field) with
+  | None, _ -> Error "no epoch group key to reunify the shard partials on"
+  | _, None -> Error "the epoch key has no punctuation translator"
+  | Some _, Some _ when la.Plan.epoch_band <> 0.0 ->
+      Error "a banded epoch gives the reunification merge unsound bounds"
+  | Some ek, Some _ ->
+      let qname = t.plan.Plan.name in
+      let stuples = Array.init shards (fun _ -> Metrics.Counter.make ()) in
+      let non_epoch = List.filteri (fun j _ -> j <> ek) (List.map fst la.Plan.keys) in
+      let smode = if non_epoch = [] then Round_robin else Hash_key in
+      let replicas =
+        List.init shards (fun i ->
+            let owner =
+              match smode with
+              | Hash_key -> hash_owner ~shards ~me:i ~accepted:stuples.(i) non_epoch
+              | Round_robin -> fst (round_robin_owner ~shards ~me:i ~accepted:stuples.(i))
+            in
+            {
+              lfta with
+              pname = replica_name qname i;
+              pbody =
+                Plan.Agg { la with Plan.agg_pred = Some (with_owner la.Plan.agg_pred owner) };
+              pshard = Some { sshard = i; sseq = None };
+            })
+      in
+      let merge =
+        {
+          pname = lfta.pname;
+          pkind = Rts.Node.Hfta;
+          pbody =
+            Plan.Merge
+              {
+                Plan.merge_inputs =
+                  List.map
+                    (fun r -> Plan.From_stream { stream = r.pname; schema = lfta.pschema })
+                    replicas;
+                merge_field = ek;
+              };
+          pschema = lfta.pschema;
+          pnic = None;
+          ptable_bits = 0;
+          pplace = None; pshard = None;
+        }
+      in
+      Ok
+        ( { t with phys = replicas @ [ merge; hfta ] },
+          { squery = qname; smode; sshards = shards; stuples; sreunify = lfta.pname } )
+
+let fallback_reason t =
+  match t.plan.Plan.body with
+  | Plan.Join _ -> "joins run as a single HFTA"
+  | Plan.Merge _ -> "merges run as a single HFTA"
+  | Plan.Select { sel_input = Plan.From_stream _; _ } | Plan.Agg { Plan.agg_input = Plan.From_stream _; _ }
+    ->
+      "stream input: shard the protocol tap upstream instead"
+  | Plan.Select { sample = Some _; _ } -> "sampling draws from a single stream of randomness"
+  | Plan.Select _ -> "an expensive predicate or item keeps the query on one HFTA"
+  | Plan.Agg _ -> "an expensive predicate, key or argument keeps aggregation on one HFTA"
+
+let shard ~shards (t : t) =
+  if shards < 2 then Error "shards < 2"
+  else if List.exists (fun p -> p.pplace <> None) t.phys then
+    Error "explicit placement pins the chain to fixed domains"
+  else if
+    List.exists
+      (fun p ->
+        Array.exists (fun (f : Schema.field) -> f.Schema.name = "__seq") (Schema.fields p.pschema))
+      t.phys
+  then Error "a \"__seq\" column already exists"
+  else
+    match t.phys with
+    | [
+     ({ pkind = Rts.Node.Lfta; pbody = Plan.Select { sel_input; sel_pred; sel_items; sample = None }; _ }
+      as node);
+    ] ->
+        Ok (shard_pure_select ~shards t node ~sel_input ~sel_pred ~sel_items)
+    | [ ({ pkind = Rts.Node.Lfta; pbody = Plan.Agg la; _ } as lfta); ({ pkind = Rts.Node.Hfta; _ } as hfta) ]
+      ->
+        shard_sub_agg ~shards t lfta la hfta
+    | _ -> Error (fallback_reason t)
 

@@ -25,6 +25,15 @@ type nic_hint = {
   snap_len : int;  (** bytes of each qualifying packet the NIC returns *)
 }
 
+type shard_tag = {
+  sshard : int;  (** which shard this replica is; drives scheduler spreading *)
+  sseq : (int * (unit -> int)) option;
+      (** select replicas only: position of the appended ["__seq"] column
+          and a reader of the next sequence number this replica could
+          assign — a firm lower bound the codegen re-publishes as
+          punctuation so the reunification merge stays live *)
+}
+
 type phys_node = {
   pname : string;  (** registered stream name ("mangled" for helper LFTAs) *)
   pkind : Rts.Node.kind;  (** [Lfta] or [Hfta] *)
@@ -36,6 +45,8 @@ type phys_node = {
   pplace : int option;
       (** pinned execution domain for {!Gigascope_rts.Scheduler.run_parallel};
           HFTAs only (LFTAs stay on the packet-path domain) *)
+  pshard : shard_tag option;
+      (** set by {!shard} on the replicas of a sharded chain *)
 }
 
 type t = {
@@ -54,3 +65,44 @@ val lower_filter :
 (** Best-effort lowering of a predicate to the filter machine. The result
     accepts a superset of the predicate (conjuncts that cannot lower are
     dropped); [None] when nothing lowers. Exposed for tests. *)
+
+(** {1 Sharded data-parallel execution}
+
+    [shard ~shards split] rewrites an eligible split result into [shards]
+    data-parallel replicas of its LFTA, a source-side partitioner
+    embedded in each replica's predicate, and a reunification
+    {!Plan.Merge} that restores a deterministic stream:
+
+    - a {e pure-LFTA selection} becomes round-robin replicas that append
+      a private ["__seq"] arrival-index column, a merge ordered on
+      ["__seq"], and an identity select under the original name that
+      strips the column — the single-shard output order, byte for byte;
+    - a {e sub/super-aggregation} becomes replicas of the sub-aggregating
+      LFTA, each owning the group keys that hash to it ([Hash_key];
+      round-robin when the epoch is the only key), reunified through a
+      merge ordered on the epoch column and registered under the LFTA's
+      name — the super-aggregating HFTA re-groups shard partials exactly
+      as it re-groups table evictions, so its sorted per-epoch output is
+      unchanged.
+
+    Everything else (joins, merges, stream inputs, sampling, expensive
+    splits, epoch-less or banded-epoch aggregates, pinned placements)
+    returns [Error reason]; the engine reports the reason in the run
+    trace rather than silently degrading.
+
+    Caveat: summing floating-point partials regroups additions, so [Sum]/
+    [Avg] over a [Float] column is byte-identical only up to the last
+    ulp. Integer aggregates — every built-in workload — are exact. *)
+
+type shard_mode = Hash_key | Round_robin
+
+type shard_info = {
+  squery : string;  (** the sharded query *)
+  smode : shard_mode;
+  sshards : int;
+  stuples : Gigascope_obs.Metrics.Counter.t array;
+      (** tuples accepted per shard, incremented inside the partitioner *)
+  sreunify : string;  (** name of the reunification merge node *)
+}
+
+val shard : shards:int -> t -> (t * shard_info, string) result

@@ -45,6 +45,27 @@ let final acc =
   | Avg -> if acc.n = 0 then Value.Null else Value.Float (acc.sum_f /. float_of_int acc.n)
   | Min | Max -> acc.extremum
 
+let merge_partial acc other =
+  match acc.kind with
+  | Count -> acc.n <- acc.n + other.n
+  | Sum | Avg ->
+      acc.n <- acc.n + other.n;
+      acc.sum_i <- acc.sum_i + other.sum_i;
+      acc.sum_f <- acc.sum_f +. other.sum_f;
+      acc.is_float <- acc.is_float || other.is_float
+  | Min | Max -> (
+      match other.extremum with
+      | Value.Null -> ()
+      | v ->
+          acc.n <- acc.n + other.n;
+          let better =
+            match acc.extremum with
+            | Value.Null -> true
+            | prev ->
+                if acc.kind = Min then Value.compare v prev < 0 else Value.compare v prev > 0
+          in
+          if better then acc.extremum <- v)
+
 let sub_kinds = function
   | Count -> [Count]
   | Sum -> [Sum]

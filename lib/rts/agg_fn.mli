@@ -26,6 +26,16 @@ val final : acc -> Value.t
 (** [Count] of nothing is 0; [Sum]/[Min]/[Max]/[Avg] of nothing is
     [Null]. *)
 
+val merge_partial : acc -> acc -> unit
+(** [merge_partial acc other] folds [other]'s state into [acc], so that
+    splitting a group's tuples across accumulators and merging them is
+    indistinguishable from stepping them all into one accumulator —
+    the algebraic property that makes sharded sub-aggregation correct.
+    [other] is not mutated. Both accumulators must be of the same
+    [kind]. Caveat: for float [Sum]/[Avg] the merged result can differ
+    from the unsplit one in the last ulp (float addition is not
+    associative). *)
+
 val sub_kinds : kind -> kind list
 (** Partials the LFTA computes: e.g. [Avg -> [Sum; Count]]. *)
 

@@ -7,6 +7,16 @@ type config = {
   band : float;
   aggs : Agg_fn.spec array;
   assemble : keys:Value.t array -> aggs:Value.t array -> Value.t array;
+  (* Punctuation translation, exactly as in {!Aggregate}: [punct_in]
+     maps an input-field bound onto the epoch-key domain, [epoch_out] is
+     the output position the epoch key lands in. With both set, an input
+     punctuation flushes the table (as always) and then emits a
+     translated bound on the output — which the sharded reunification
+     merge needs to advance without waiting for the next tuple. With
+     either [None] (the pre-sharding default) punctuation stays
+     swallowed after the flush. *)
+  punct_in : (int * (Value.t -> Value.t option)) option;
+  epoch_out : int option;
 }
 
 type slot = { key : Value.t array; accs : Agg_fn.acc array }
@@ -111,11 +121,22 @@ let op t =
   let on_item ~input:_ item ~emit =
     match item with
     | Item.Tuple values -> on_tuple t values ~emit
-    | Item.Punct _ ->
+    | Item.Punct bounds -> (
         (* Partial groups give no per-field guarantee downstream except via
            the HFTA; flush so the bound is honoured, then stay silent (the
-           HFTA regenerates bounds from its own epochs). *)
-        flush_all t ~emit
+           HFTA regenerates bounds from its own epochs) — unless the
+           config carries a punctuation translator, in which case the
+           source's firm bound maps to an epoch bound on the output. *)
+        flush_all t ~emit;
+        match (t.cfg.punct_in, t.cfg.epoch_out) with
+        | Some (in_field, translate), Some out_field -> (
+            match List.assoc_opt in_field bounds with
+            | Some v -> (
+                match translate v with
+                | Some epoch_bound -> emit (Item.Punct [ (out_field, epoch_bound) ])
+                | None -> ())
+            | None -> ())
+        | _ -> ())
     | Item.Flush ->
         flush_all t ~emit;
         emit Item.Flush

@@ -21,6 +21,15 @@ type config = {
   band : float;
   aggs : Agg_fn.spec array;  (** sub-aggregate specs (see {!Agg_fn.sub_kinds}) *)
   assemble : keys:Value.t array -> aggs:Value.t array -> Value.t array;
+  punct_in : (int * (Value.t -> Value.t option)) option;
+      (** input punctuation field and its translation onto the epoch-key
+          domain (as in {!Aggregate}); with [epoch_out] also set, a
+          source punctuation flushes the table and re-emits the
+          translated bound — the liveness signal the sharded
+          reunification merge runs on. [None]: punctuation still
+          flushes, but is swallowed (the pre-sharding behavior). *)
+  epoch_out : int option;
+      (** output position of the epoch key for the translated bound *)
 }
 
 type t

@@ -11,6 +11,15 @@ module Metrics = Gigascope_obs.Metrics
 type t = {
   cfg : config;
   inputs : input_state array;
+  (* Forwarded ordering fields: fields other than [ordered_idx] that are
+     monotone in every input stream (identical schemas make that one
+     check) and whose low bounds the merge therefore re-publishes, so a
+     downstream window/epoch operator keyed on such a field is not
+     starved of punctuation just because a merge sits in between. The
+     array is [(field, direction)]; [fbounds.(i).(k)] is input [i]'s low
+     bound for forwarded field [k] (Null = none yet). *)
+  forward : (int * Order_prop.direction) array;
+  fbounds : Value.t array array;
   mutable high_water : int;
   reorder_lag : Metrics.Histogram.t;
       (** tuples still buffered when one is released: how far the merge had
@@ -18,20 +27,27 @@ type t = {
   mutable done_ : bool;
 }
 
-let make cfg =
+let make ?(forward = []) cfg =
   if cfg.n_inputs < 1 then invalid_arg "Merge_op.make: need at least one input";
+  let forward =
+    Array.of_list (List.filter (fun (f, _) -> f <> cfg.ordered_idx) forward)
+  in
   {
     cfg;
     inputs = Array.init cfg.n_inputs (fun _ -> { queue = Queue.create (); bound = Value.Null; eof = false });
+    forward;
+    fbounds = Array.init cfg.n_inputs (fun _ -> Array.make (Array.length forward) Value.Null);
     high_water = 0;
     reorder_lag = Metrics.Histogram.make ();
     done_ = false;
   }
 
 (* [cmp a b] in stream direction: negative when [a] comes first. *)
-let cmp t a b =
+let cmp_dir dir a b =
   let c = Value.compare a b in
-  match t.cfg.direction with Order_prop.Asc -> c | Desc -> -c
+  match dir with Order_prop.Asc -> c | Desc -> -c
+
+let cmp t a b = cmp_dir t.cfg.direction a b
 
 let buffered t = Array.fold_left (fun acc st -> acc + Queue.length st.queue) 0 t.inputs
 
@@ -44,6 +60,35 @@ let low_of t i =
   else if st.eof then `Infinity
   else if st.bound = Value.Null then `Unknown
   else `Known st.bound
+
+(* Same notion for forwarded field [k]: the queue head is the minimum
+   among buffered and future tuples (the field is monotone within each
+   input — the caller only forwards such fields), falling back to the
+   tracked bound when the queue is empty. *)
+let flow_of t i k =
+  let st = t.inputs.(i) in
+  let f, _ = t.forward.(k) in
+  if not (Queue.is_empty st.queue) then `Known (Queue.peek st.queue).(f)
+  else if st.eof then `Infinity
+  else if t.fbounds.(i).(k) = Value.Null then `Unknown
+  else `Known t.fbounds.(i).(k)
+
+let advance_forward_tuple t input values =
+  let fb = t.fbounds.(input) in
+  Array.iteri
+    (fun k (f, d) ->
+      let v = values.(f) in
+      if v <> Value.Null && (fb.(k) = Value.Null || cmp_dir d fb.(k) v < 0) then fb.(k) <- v)
+    t.forward
+
+let advance_forward_punct t input bounds =
+  let fb = t.fbounds.(input) in
+  Array.iteri
+    (fun k (f, d) ->
+      match List.assoc_opt f bounds with
+      | Some v -> if fb.(k) = Value.Null || cmp_dir d fb.(k) v < 0 then fb.(k) <- v
+      | None -> ())
+    t.forward
 
 (* Emit while some input's head is covered by every other input's bound. *)
 let drain t ~emit =
@@ -86,19 +131,38 @@ let drain t ~emit =
   end
 
 let emit_punct t ~emit =
-  (* The output's bound is the min over inputs of their lows. *)
-  let lows =
-    Array.to_list (Array.init (Array.length t.inputs) (fun i -> low_of t i))
+  (* The output's bound for a field is the min over inputs of their lows;
+     an Unknown low on any input kills that field's bound (we cannot
+     promise anything about the silent input's future). *)
+  let combine ~dir low =
+    let lows = Array.to_list (Array.init (Array.length t.inputs) low) in
+    let known =
+      List.filter_map (function `Known v -> Some v | `Infinity | `Unknown -> None) lows
+    in
+    let any_unknown = List.exists (function `Unknown -> true | _ -> false) lows in
+    match known with
+    | v :: rest when not any_unknown ->
+        Some (List.fold_left (fun acc x -> if cmp_dir dir x acc < 0 then x else acc) v rest)
+    | _ -> None
   in
-  let known =
-    List.filter_map (function `Known v -> Some v | `Infinity | `Unknown -> None) lows
+  let bounds =
+    let main =
+      match combine ~dir:t.cfg.direction (low_of t) with
+      | Some v -> [(t.cfg.ordered_idx, v)]
+      | None -> []
+    in
+    let forwarded =
+      List.concat
+        (List.mapi
+           (fun k (f, d) ->
+             match combine ~dir:d (fun i -> flow_of t i k) with
+             | Some v -> [(f, v)]
+             | None -> [])
+           (Array.to_list t.forward))
+    in
+    main @ forwarded
   in
-  let any_unknown = List.exists (function `Unknown -> true | _ -> false) lows in
-  match known with
-  | v :: rest when not any_unknown ->
-      let min_v = List.fold_left (fun acc x -> if cmp t x acc < 0 then x else acc) v rest in
-      emit (Item.Punct [(t.cfg.ordered_idx, min_v)])
-  | _ -> ()
+  if bounds <> [] then emit (Item.Punct bounds)
 
 let op t =
   let on_item ~input item ~emit =
@@ -109,11 +173,13 @@ let op t =
         let hw = buffered t in
         if hw > t.high_water then t.high_water <- hw;
         let v = values.(t.cfg.ordered_idx) in
-        if st.bound = Value.Null || cmp t st.bound v < 0 then st.bound <- v
-    | Item.Punct bounds -> (
-        match List.assoc_opt t.cfg.ordered_idx bounds with
+        if st.bound = Value.Null || cmp t st.bound v < 0 then st.bound <- v;
+        advance_forward_tuple t input values
+    | Item.Punct bounds ->
+        (match List.assoc_opt t.cfg.ordered_idx bounds with
         | Some v -> if st.bound = Value.Null || cmp t st.bound v < 0 then st.bound <- v
-        | None -> ())
+        | None -> ());
+        advance_forward_punct t input bounds
     | Item.Flush -> ()
     | Item.Eof -> st.eof <- true
     | (Item.Error _ | Item.Gap _) as ctrl -> emit ctrl);
@@ -137,7 +203,8 @@ let op t =
         let values = tuples.(i) in
         Queue.push values st.queue;
         let v = values.(t.cfg.ordered_idx) in
-        if st.bound = Value.Null || cmp t st.bound v < 0 then st.bound <- v
+        if st.bound = Value.Null || cmp t st.bound v < 0 then st.bound <- v;
+        advance_forward_tuple t input values
       done;
       let hw = buffered t in
       if hw > t.high_water then t.high_water <- hw

@@ -20,7 +20,15 @@ type config = {
 
 type t
 
-val make : config -> t
+val make : ?forward:(int * Order_prop.direction) list -> config -> t
+(** [forward] lists additional fields (beyond [ordered_idx], which is
+    always handled) that are monotone in every input stream; the merge
+    tracks their per-input low bounds (advanced by both tuples and
+    punctuation) and republishes the min as extra punctuation fields, so
+    downstream operators keyed on a forwarded field keep receiving
+    unblocking bounds through the merge. Fields equal to [ordered_idx]
+    are ignored. Default: none (the pre-existing behavior). *)
+
 val op : t -> Operator.t
 
 val buffered : t -> int

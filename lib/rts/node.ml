@@ -34,6 +34,11 @@ type t = {
   mutable source_done : bool;
   mutable eof_emitted : bool;
   mutable pinned : int option;
+  (* Sharded execution: replicas of a query's LFTA→HFTA chain are
+     tagged with their shard index so the parallel scheduler spreads
+     them over worker domains even though their kind would otherwise
+     pin them to the packet path. *)
+  mutable shard_id : int option;
   (* Output batch builder: emitted tuples accumulate here until the
      batch size is reached or a control item seals the batch. Sealed
      batches are immutable and delivered once to every subscriber. *)
@@ -86,6 +91,7 @@ let make name kind schema behavior =
     source_done = false;
     eof_emitted = false;
     pinned = None;
+    shard_id = None;
     batch_size = 1;
     out_buf = [||];
     out_n = 0;
@@ -117,6 +123,8 @@ let kind t = t.kind
 let schema t = t.schema
 let placement t = t.pinned
 let set_placement t p = t.pinned <- p
+let shard t = t.shard_id
+let set_shard t s = t.shard_id <- s
 
 let connect ~downstream ~upstream ~capacity =
   let chan =

@@ -44,6 +44,14 @@ val placement : t -> int option
 
 val set_placement : t -> int option -> unit
 
+val shard : t -> int option
+(** Shard index for a node that is one replica of a sharded query chain
+    ([None] for unsharded nodes). The parallel scheduler spreads tagged
+    replicas over worker domains — including LFTA-kind replicas, which
+    would otherwise stay on the packet-path domain. *)
+
+val set_shard : t -> int option -> unit
+
 val set_supervisor : t -> Supervisor.t option -> unit
 (** With a supervisor installed, an exception raised inside a step
     (operator dispatch or source pull) is submitted to it instead of

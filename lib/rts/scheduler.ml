@@ -157,9 +157,19 @@ let partition ~domains nodes =
   List.iter
     (fun node ->
       let d =
-        match Node.kind node with
-        | Node.Source | Node.Lfta -> 0
-        | Node.Hfta -> (
+        match (Node.kind node, Node.shard node) with
+        | Node.Source, _ -> 0
+        (* A shard replica goes to the worker owning its shard index,
+           even when its kind is Lfta: the whole point of sharding is
+           taking the per-tuple work off the packet-path domain. Shard s
+           -> worker 1 + (s mod workers), so every replica of shard s
+           (its filter, sub-aggregate, and any helpers) shares one
+           domain and distinct shards land on distinct workers when
+           there are enough. Explicit placement still wins. *)
+        | (Node.Lfta | Node.Hfta), Some s when Node.placement node = None ->
+            1 + (s mod n_workers)
+        | Node.Lfta, _ -> 0
+        | Node.Hfta, _ -> (
             match Node.placement node with
             | Some d -> ((d mod domains) + domains) mod domains
             | None ->

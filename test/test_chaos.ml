@@ -299,6 +299,103 @@ let test_faults_off_differential () =
         out)
     [ ("batch=64", Some 64, None); ("parallel=3", None, Some 3); ("batch=16 parallel=2", Some 16, Some 2) ]
 
+(* --------------------------- sharded chains ------------------------------ *)
+
+(* Failure inside ONE shard of a sharded chain: the fault machinery must
+   treat a replica as just another node. Fail-fast names the replica;
+   isolate poisons only that shard's cone — the sibling query in the
+   same engine and the surviving shard keep working; a stall is delay
+   only, so the reunified output is untouched; and a Gap entering the
+   reunification merge is forwarded exactly once, payload intact. *)
+
+let two_query_program () =
+  Workloads.read_query "tcpdest" ^ "\n" ^ Workloads.read_query "subnet_volume"
+
+(* tcpdest0 shards round-robin (2 select replicas + reunify merge),
+   subnet_volume hash-partitions its sub-aggregation; both over the one
+   eth0 tap. Returns the run result, tcpdest0's raw item stream (errors
+   and Eof included) and subnet_volume's tuple rows. *)
+let run_sharded_pair ?supervise ?parallel () =
+  let engine = E.create ~shards:2 () in
+  Workloads.eth0_setup ~rate:20.0 ~duration:0.5 ~seed:42 engine;
+  (match E.install_program engine (two_query_program ()) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let items = ref [] in
+  Result.get_ok
+    (Rts.Manager.on_item (E.manager engine) "tcpdest0" (fun it -> items := it :: !items));
+  let sv = Workloads.collect engine "subnet_volume" in
+  let result = E.run engine ?supervise ?parallel () in
+  (result, List.rev !items, sv ())
+
+let tuple_rows items =
+  List.filter_map
+    (function Item.Tuple t -> Some (Workloads.row_to_string t) | _ -> None)
+    items
+
+let test_shard_crash_fail_fast () =
+  with_faults "crash=_shard_tcpdest0_0:3" (fun () ->
+      match run_sharded_pair ~supervise:Supervisor.Fail_fast () with
+      | Ok _, _, _ -> Alcotest.fail "shard crash did not fail the run"
+      | Error e, _, _ ->
+          check Alcotest.bool ("error names the replica: " ^ e) true
+            (contains e "_shard_tcpdest0_0"))
+
+let test_shard_crash_isolate () =
+  let r0, items0, sv0 = run_sharded_pair () in
+  (match r0 with Ok _ -> () | Error e -> Alcotest.fail e);
+  let base_rows = tuple_rows items0 in
+  with_faults "crash=_shard_tcpdest0_0:3" (fun () ->
+      match run_sharded_pair ~supervise:Supervisor.Isolate () with
+      | Error e, _, _ -> Alcotest.fail ("isolate under shards must converge: " ^ e)
+      | Ok _, items, sv ->
+          check Alcotest.bool "poison visible at the reunified output" true
+            (has_error items);
+          check Alcotest.bool "reunified stream still terminates" true
+            (List.mem Item.Eof items);
+          let rows = tuple_rows items in
+          check Alcotest.bool "surviving shard keeps flowing" true (rows <> []);
+          List.iter
+            (fun r ->
+              check Alcotest.bool "surviving rows are genuine" true (List.mem r base_rows))
+            rows;
+          check
+            Alcotest.(list string)
+            "sibling query's shards untouched, byte for byte" sv0 sv)
+
+let test_shard_stall_identical () =
+  let r0, items0, sv0 = run_sharded_pair () in
+  (match r0 with Ok _ -> () | Error e -> Alcotest.fail e);
+  with_faults "stall=_shard_tcpdest0_1:3:5" (fun () ->
+      match run_sharded_pair ~parallel:3 () with
+      | Error e, _, _ -> Alcotest.fail ("stalled shard must converge: " ^ e)
+      | Ok _, items, sv ->
+          check
+            Alcotest.(list string)
+            "reunified output identical under a stalled shard" (tuple_rows items0)
+            (tuple_rows items);
+          check Alcotest.(list string) "sibling query identical" sv0 sv)
+
+let test_shard_merge_gap_conserved () =
+  let merge =
+    Rts.Merge_op.make
+      { Rts.Merge_op.n_inputs = 2; ordered_idx = 0; direction = Rts.Order_prop.Asc }
+  in
+  let op = Rts.Merge_op.op merge in
+  let out = ref [] in
+  let emit i = out := i :: !out in
+  op.Rts.Operator.on_item ~input:0 (Item.Tuple [| Value.Int 1 |]) ~emit;
+  op.Rts.Operator.on_item ~input:1 (Item.Tuple [| Value.Int 2 |]) ~emit;
+  op.Rts.Operator.on_item ~input:0 (Item.Gap 7) ~emit;
+  op.Rts.Operator.on_item ~input:1 (Item.Gap (-1)) ~emit;
+  op.Rts.Operator.on_item ~input:0 Item.Eof ~emit;
+  op.Rts.Operator.on_item ~input:1 Item.Eof ~emit;
+  let emitted = List.rev !out in
+  check
+    Alcotest.(list int)
+    "each gap forwarded exactly once, payload intact" [ 7; -1 ] (gaps emitted);
+  check Alcotest.int "no tuple lost around the gaps" 2 (count_tuples emitted)
+
 (* ----------------------------- shedding ---------------------------------- *)
 
 let test_shed_conserves_tuples () =
@@ -562,6 +659,13 @@ let () =
           tc "isolate converges on domains" test_parallel_isolate_converges;
           tc "injected stalls do not wedge" test_parallel_stall_converges;
           tc "faults off: byte-identical matrix" test_faults_off_differential;
+        ] );
+      ( "sharded chains",
+        [
+          tc "fail_fast names the crashed replica" test_shard_crash_fail_fast;
+          tc "isolate poisons only the shard's cone" test_shard_crash_isolate;
+          tc "stalled shard: output identical" test_shard_stall_identical;
+          tc "gaps conserved through the reunify merge" test_shard_merge_gap_conserved;
         ] );
       ("shedding", [ tc "emitted + shed = pulled" test_shed_conserves_tuples ]);
       ( "network healing",

@@ -238,6 +238,167 @@ let batch_differential =
             baseline par))
     Workloads.workloads
 
+(* ---------------------- sharded execution ------------------------------- *)
+
+(* The shard-count differential law, as a property over random plans:
+   for a randomly generated aggregation or selection query, a randomly
+   chosen shard count (2..5) and batch size must leave the subscriber
+   output byte-identical to the unsharded tuple-at-a-time run. This is
+   the same claim test_shard.ml pins on the curated workloads, extended
+   to query shapes nobody hand-picked. *)
+let run_shard_query ~shards ~batch ~gseed query =
+  let engine = Gigascope.Engine.create ~shards () in
+  Gigascope.Engine.add_generator_interface engine ~name:"eth0"
+    { Gigascope_traffic.Gen.default with rate_mbps = 20.0; duration = 0.4; seed = gseed };
+  match Gigascope.Engine.install_query engine ~name:"q" query with
+  | Error e -> failwith ("install: " ^ e)
+  | Ok _ ->
+      let rows = ref [] in
+      Result.get_ok
+        (Gigascope.Engine.on_tuple engine "q" (fun t ->
+             rows :=
+               String.concat "," (List.map Rts.Value.to_string (Array.to_list t))
+               :: !rows));
+      (match Gigascope.Engine.run engine ~batch () with
+      | Ok _ -> ()
+      | Error e -> failwith ("run: " ^ e));
+      List.rev !rows
+
+let shard_count_differential =
+  qtest ~count:12 "random plan × random shard count: output byte-identical"
+    QCheck.small_int (fun seed ->
+      let rng = Prng.create ((seed * 7919) + 5) in
+      let pick l = List.nth l (Prng.int rng (List.length l)) in
+      let sel_keys, group_by =
+        pick
+          [
+            ("tb", "time/1 as tb");
+            ("tb, destport", "time/1 as tb, destport");
+            ("tb, subnet", "time/1 as tb, truncate_ip(srcip, 16) as subnet");
+            ("tb, srcip, destport", "time/1 as tb, srcip, destport");
+          ]
+      in
+      let aggs =
+        pick
+          [
+            "count(*) as c";
+            "count(*) as c, sum(len) as s";
+            "min(len) as lo, max(len) as hi";
+            "sum(len) as s, avg(len) as a";
+          ]
+      in
+      let where = pick [ ""; "WHERE ipversion = 4"; "WHERE len > 100" ] in
+      let query =
+        if Prng.int rng 4 = 0 then
+          Printf.sprintf "SELECT time, srcip, destip, len FROM eth0.ip %s" where
+        else
+          Printf.sprintf "SELECT %s, %s FROM eth0.tcp %s GROUP BY %s" sel_keys aggs where
+            group_by
+      in
+      let gseed = 1 + Prng.int rng 1000 in
+      let shards = 2 + Prng.int rng 4 in
+      let batch = pick [ 1; 7; 64 ] in
+      let baseline = run_shard_query ~shards:1 ~batch:1 ~gseed query in
+      let got = run_shard_query ~shards ~batch ~gseed query in
+      if baseline <> got then
+        QCheck.Test.fail_reportf "divergence: %s (shards=%d batch=%d seed=%d)" query
+          shards batch gseed
+      else true)
+
+(* Reunification-merge reorder fuzz: adversarially skewed inputs — one
+   far ahead, one dribbling, random punctuation — through a bare
+   Merge_op with a forwarded monotone field. The merge's two ordering
+   properties must hold however the inputs interleave: emitted tuples
+   globally sorted on the merge attribute (and an exact multiset of the
+   inputs), and every published punctuation bound firm — no later tuple
+   undershoots it, on the merge field or the forwarded one. *)
+let merge_reorder_fuzz =
+  qtest ~count:300 "merge under adversarial skew: sorted, conserved, firm bounds"
+    QCheck.small_int (fun seed ->
+      let rng = Prng.create (seed + 411) in
+      let n_inputs = 2 + Prng.int rng 3 in
+      let mk i =
+        (* input i starts at a skewed offset and advances at its own rate *)
+        let ts = ref (Prng.int rng ((20 * i) + 1)) in
+        let n = 5 + Prng.int rng 40 in
+        List.init n (fun j ->
+            ts := !ts + Prng.int rng (1 + (5 * (i + 1)));
+            if Prng.int rng 6 = 0 then Rts.Item.Punct [ (0, Rts.Value.Int !ts) ]
+            else Rts.Item.Tuple [| Rts.Value.Int !ts; Rts.Value.Int i; Rts.Value.Int j |])
+      in
+      let inputs = Array.init n_inputs mk in
+      let merge =
+        Rts.Merge_op.make
+          ~forward:[ (2, Rts.Order_prop.Asc) ]
+          { Rts.Merge_op.n_inputs; ordered_idx = 0; direction = Rts.Order_prop.Asc }
+      in
+      let op = Rts.Merge_op.op merge in
+      let out = ref [] in
+      let emit i = out := i :: !out in
+      let queues = Array.map (fun l -> ref l) inputs in
+      let rec drive () =
+        let live =
+          List.filter (fun i -> !(queues.(i)) <> []) (List.init n_inputs Fun.id)
+        in
+        match live with
+        | [] -> ()
+        | _ ->
+            let i = List.nth live (Prng.int rng (List.length live)) in
+            (match !(queues.(i)) with
+            | it :: rest ->
+                queues.(i) := rest;
+                op.Rts.Operator.on_item ~input:i it ~emit
+            | [] -> ());
+            drive ()
+      in
+      drive ();
+      for i = 0 to n_inputs - 1 do
+        op.Rts.Operator.on_item ~input:i Rts.Item.Eof ~emit
+      done;
+      let emitted = List.rev !out in
+      let tuple_key = function
+        | Rts.Item.Tuple [| Rts.Value.Int a; Rts.Value.Int b; Rts.Value.Int c |] ->
+            Some (a, b, c)
+        | _ -> None
+      in
+      let sent =
+        List.sort compare
+          (List.concat_map (fun l -> List.filter_map tuple_key l)
+             (Array.to_list inputs))
+      in
+      let got_tuples = List.filter_map tuple_key emitted in
+      let sorted =
+        let rec go = function
+          | (a, _, _) :: ((b, _, _) :: _ as rest) -> a <= b && go rest
+          | _ -> true
+        in
+        go got_tuples
+      in
+      let conserved = List.sort compare got_tuples = sent in
+      (* firm bounds: once a punct publishes a field bound, no later
+         tuple may undershoot it *)
+      let firm =
+        let lo = Array.make 3 min_int in
+        List.for_all
+          (function
+            | Rts.Item.Punct fields ->
+                List.iter
+                  (fun (idx, v) ->
+                    match v with
+                    | Rts.Value.Int b when idx < 3 -> lo.(idx) <- max lo.(idx) b
+                    | _ -> ())
+                  fields;
+                true
+            | Rts.Item.Tuple [| Rts.Value.Int a; _; Rts.Value.Int c |] ->
+                a >= lo.(0) && c >= lo.(2)
+            | _ -> true)
+          emitted
+      in
+      if not (sorted && conserved && firm) then
+        QCheck.Test.fail_reportf "inputs=%d sorted=%b conserved=%b firm=%b" n_inputs
+          sorted conserved firm
+      else true)
+
 (* full path: fuzzed pcap bytes through the engine *)
 let engine_survives_fuzzed_pcap =
   qtest ~count:50 "engine runs over a capture of mutated packets" QCheck.small_int (fun seed ->
@@ -289,5 +450,6 @@ let () =
       ("tables", [lpm_table_never_raises]);
       ("xchannel", [xchannel_fuzz]);
       ("batch-differential", batch_differential);
+      ("shard-differential", [shard_count_differential; merge_reorder_fuzz]);
       ("end-to-end", [engine_survives_fuzzed_pcap]);
     ]

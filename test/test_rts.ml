@@ -381,6 +381,8 @@ let two_level_equivalence =
             band = 0.0;
             aggs;
             assemble = (fun ~keys ~aggs -> Array.append keys aggs);
+            punct_in = None;
+            epoch_out = None;
           }
       in
       let partials = run_op (Rts.Lfta_aggregate.op lfta) items in
@@ -422,6 +424,8 @@ let test_lfta_eviction_counting () =
         band = 0.0;
         aggs = [| { Agg_fn.kind = Agg_fn.Count; arg = None } |];
         assemble = (fun ~keys ~aggs -> Array.append keys aggs);
+        punct_in = None;
+        epoch_out = None;
       }
   in
   let op = Rts.Lfta_aggregate.op lfta in

@@ -148,11 +148,12 @@ let workloads =
 (* ------------------------------ execution ------------------------------- *)
 
 let exec w ~seed ~parallel ?quantum ?(heartbeats = true) ?heartbeat_period
-    ?placement ?batch () =
+    ?placement ?batch ?shards () =
   (* [quantum] is deliberately a pass-through: left unset, the scheduler
      floors its default quantum at the batch size, so the large-batch
-     fuzz cases really move large batches. *)
-  let engine = E.create () in
+     fuzz cases really move large batches. [shards] too: left unset,
+     GIGASCOPE_SHARDS shards every workload the suite executes. *)
+  let engine = E.create ?shards () in
   w.setup ~seed engine;
   (match E.install_program engine ~params:w.params (w.program ()) with
   | Ok _ -> ()
