@@ -1,6 +1,6 @@
 # Convenience targets; `make ci` is what a CI job should run.
 
-.PHONY: all build test ci ci-observability bench clean
+.PHONY: all build test ci ci-observability ci-cluster bench clean
 
 all: build
 
@@ -40,6 +40,7 @@ ci:
 	GIGASCOPE_FAULTS="$(CHAOS_FAULTS)" GIGASCOPE_PARALLEL=2 timeout $(CI_TIMEOUT) dune runtest --force
 	GIGASCOPE_FAULTS="$(CHAOS_FAULTS)" GIGASCOPE_SHARDS=2 timeout $(CI_TIMEOUT) dune runtest --force
 	$(MAKE) ci-observability
+	$(MAKE) ci-cluster
 
 # The latency-observability smoke: a short paced soak (the bench exits
 # nonzero when loss exceeds the 2% doctrine, gap markers don't conserve
@@ -67,6 +68,35 @@ ci-observability:
 	  kill $$(cat .http-smoke.pid) 2>/dev/null; \
 	  rm -f .http-smoke.pid .http-smoke.prom; \
 	  exit $$ok )
+
+# The aggregation-tree smoke: gsq cluster runs a 3-edge fan-in over
+# loopback computing approx_count_distinct end to end. Each edge draws
+# from the same 5000-key universe, so every epoch's true distinct count
+# is exactly 5000; the awk check holds each printed estimate inside 10%
+# (HLL precision 12 promises ~1.6%) and the report must show the tree
+# actually reduced. The hard timeout is the clean-shutdown check: a
+# wedged node turns into exit 124, not a stuck job. Below that, the two
+# one-line exit-1 contracts: an unreadable and an invalid topology for
+# cluster, an unbindable --listen for serve — each must fail with
+# status 1 and exactly one line on stderr.
+ci-cluster:
+	printf 'root: e0 e1 e2\n' > .cluster-smoke.topo
+	timeout 60 dune exec bin/gsq.exe -- cluster .cluster-smoke.topo queries/cluster_distinct.gsql \
+	    --rows 60000 --distinct 5000 --epochs 3 > .cluster-smoke.out
+	grep -q 'reduction' .cluster-smoke.out
+	awk 'BEGIN { n = 0 } /"sources":/ { split($$0, a, "\"sources\":"); v = a[2] + 0; n++; \
+	    if (v < 4500 || v > 5500) bad = 1 } END { exit (bad || n == 0) }' .cluster-smoke.out
+	sh -c 'timeout 20 dune exec bin/gsq.exe -- cluster .cluster-smoke.missing \
+	    queries/cluster_distinct.gsql 2> .cluster-smoke.err; test $$? -eq 1'
+	test "$$(wc -l < .cluster-smoke.err)" -eq 1
+	printf 'a: b\nb: a\n' > .cluster-smoke.topo
+	sh -c 'timeout 20 dune exec bin/gsq.exe -- cluster .cluster-smoke.topo \
+	    queries/cluster_distinct.gsql 2> .cluster-smoke.err; test $$? -eq 1'
+	test "$$(wc -l < .cluster-smoke.err)" -eq 1
+	sh -c 'timeout 20 dune exec bin/gsq.exe -- serve queries/tcpdest.gsql \
+	    --listen 999.999.0.1:1 2> .cluster-smoke.err; test $$? -eq 1'
+	test "$$(wc -l < .cluster-smoke.err)" -eq 1
+	rm -f .cluster-smoke.topo .cluster-smoke.out .cluster-smoke.err
 
 bench:
 	dune exec bench/main.exe

@@ -110,6 +110,7 @@ let run_meta ~wall_s =
     [
       ("git_rev", Json.Str git_rev);
       ("wall_clock_s", Json.Float wall_s);
+      ("host_cores", Json.Int (Domain.recommended_domain_count ()));
       ("env_parallel", Json.Str (env "GIGASCOPE_PARALLEL"));
       ("env_batch", Json.Str (env "GIGASCOPE_BATCH"));
       ("env_shards", Json.Str (env "GIGASCOPE_SHARDS"));

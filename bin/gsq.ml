@@ -27,6 +27,12 @@
      gsq gen out.pcap [--rate 100] [--duration 2] [--seed 42]
          write synthetic traffic to a pcap file
 
+     gsq cluster topo.conf query.gsql [--rows N] [--distinct K]
+         run a distributed aggregation tree on loopback: the topology
+         file's edge nodes sub-aggregate synthetic feeds, interior
+         nodes merge partial aggregates (sketch states included), the
+         root completes the query and prints it
+
      gsq e1
          run the Section-4 performance experiment
 *)
@@ -581,7 +587,7 @@ let json_of_value = function
       else if Float.is_finite f then Printf.sprintf "%.17g" f
       else "null" (* nan/inf have no JSON spelling *)
   | Value.Str s -> "\"" ^ json_escape s ^ "\""
-  | (Value.Ip _) as v -> "\"" ^ json_escape (Value.to_string v) ^ "\""
+  | (Value.Ip _ | Value.Sketch _) as v -> "\"" ^ json_escape (Value.to_string v) ^ "\""
 
 let tap_addr = Arg.(required & pos 0 (some string) None & info [] ~docv:"ADDR")
 
@@ -965,6 +971,157 @@ let gen_cmd =
   let doc = "write synthetic traffic to a pcap capture file" in
   Cmd.v (Cmd.info "gen" ~doc) Term.(const do_gen $ out_file $ rate $ duration $ seed)
 
+(* ---- cluster ---- *)
+
+module Cluster = Gigascope_cluster.Cluster
+module Topology = Gigascope_cluster.Topology
+
+(* Synthesize feed rows for one edge from the query's input schema:
+   directional fields carry the epoch number (so GROUP BY time/1 closes
+   groups), everything else is drawn from a [distinct]-bounded seeded
+   space. A field literally named ipversion is pinned to 4, so the
+   paper's idiomatic WHERE ipversion = 4 passes synthetic rows. *)
+let synth_feed schema ~rows ~epochs ~distinct ~seed ~index =
+  let fields = Rts.Schema.fields schema in
+  let st = ref (((seed + 1) * 2654435761) + (index * 9973) + 1) in
+  let rnd () =
+    st := ((!st * 0x5851F42D4C957F2D) + 0x14057B7EF767814F) land max_int;
+    (!st lsr 17) land 0xFFFFFF
+  in
+  let per_epoch = max 1 (rows / max 1 epochs) in
+  let i = ref 0 in
+  fun () ->
+    if !i >= rows then None
+    else begin
+      let epoch = !i / per_epoch in
+      incr i;
+      Some
+        (Array.map
+           (fun (f : Rts.Schema.field) ->
+             let directional =
+               match f.Rts.Schema.order with
+               | Rts.Order_prop.Strict _ | Rts.Order_prop.Monotone _
+               | Rts.Order_prop.Banded _ ->
+                   true
+               | _ -> false
+             in
+             match (f.Rts.Schema.ty, directional) with
+             | Rts.Ty.Int, true -> Value.Int epoch
+             | Rts.Ty.Float, true -> Value.Float (float_of_int epoch)
+             | Rts.Ty.Int, false ->
+                 if String.lowercase_ascii f.Rts.Schema.name = "ipversion" then Value.Int 4
+                 else Value.Int (rnd () mod distinct)
+             | Rts.Ty.Ip, _ -> Value.Ip (0x0A000000 + (rnd () mod distinct))
+             | Rts.Ty.Float, false -> Value.Float (float_of_int (rnd () mod distinct))
+             | Rts.Ty.Str, _ -> Value.Str ("s" ^ string_of_int (rnd () mod distinct))
+             | Rts.Ty.Bool, _ -> Value.Bool (rnd () mod 2 = 0)
+             | Rts.Ty.Sketch, _ -> Value.Null)
+           fields)
+    end
+
+let topology_file = Arg.(required & pos 0 (some string) None & info [] ~docv:"TOPOLOGY")
+
+let cluster_query_file = Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY.gsql")
+
+let cluster_rows =
+  Arg.(
+    value & opt int 50_000
+    & info ["rows"] ~docv:"N" ~doc:"Synthetic input rows fed to each edge node.")
+
+let cluster_distinct =
+  Arg.(
+    value & opt int 10_000
+    & info ["distinct"] ~docv:"K"
+        ~doc:"Cardinality of each synthesized non-ordered field's value space.")
+
+let cluster_epochs =
+  Arg.(
+    value & opt int 5
+    & info ["epochs"] ~docv:"E" ~doc:"Epochs (distinct ordered-field values) per edge feed.")
+
+let cluster_timeout =
+  Arg.(
+    value & opt float 60.0
+    & info ["timeout"] ~docv:"SEC"
+        ~doc:"Abort the whole tree if the run exceeds SEC seconds (the no-wedge guarantee).")
+
+let do_cluster topo_path query_path rows distinct epochs seed timeout max_rows show_stats
+    log_level =
+  setup_logging log_level;
+  let topo =
+    match Topology.load topo_path with
+    | Ok t -> t
+    | Error e ->
+        prerr_endline e;
+        exit 1
+  in
+  let program = read_file query_path in
+  let _, in_schema, out_schema =
+    match Cluster.probe ~program with
+    | Ok p -> p
+    | Error e ->
+        prerr_endline ("error: " ^ e);
+        exit 1
+  in
+  let t =
+    match
+      Cluster.launch ~topo ~program
+        ~feed:(fun ~edge:_ ~index -> synth_feed in_schema ~rows ~epochs ~distinct ~seed ~index)
+        ()
+    with
+    | Ok t -> t
+    | Error e ->
+        prerr_endline ("error: " ^ e);
+        exit 1
+  in
+  Printf.printf "-- cluster %s: %d nodes (%d edges, height %d), %d rows/edge\n%!"
+    (Cluster.query_name t) (Topology.size topo)
+    (List.length (Topology.leaves topo))
+    (Topology.height topo) rows;
+  let code =
+    match Cluster.run ~timeout t with
+    | Ok () -> 0
+    | Error e ->
+        prerr_endline ("run error: " ^ e);
+        1
+  in
+  let names = Array.map (fun f -> f.Rts.Schema.name) (Rts.Schema.fields out_schema) in
+  let shown = ref 0 and total = ref 0 in
+  List.iter
+    (function
+      | Rts.Item.Tuple vs ->
+          incr total;
+          if max_rows = 0 || !shown < max_rows then begin
+            incr shown;
+            let cells =
+              List.mapi
+                (fun i v -> Printf.sprintf "\"%s\":%s" (json_escape names.(i)) (json_of_value v))
+                (Array.to_list vs)
+            in
+            Printf.printf "{%s}\n" (String.concat "," cells)
+          end
+      | Rts.Item.Gap n -> Printf.printf "-- gap: %s tuples lost upstream\n"
+            (if n < 0 then "unknown" else string_of_int n)
+      | Rts.Item.Error e -> Printf.printf "-- upstream error: %s\n" e
+      | _ -> ())
+    (Cluster.results t);
+  if max_rows > 0 && !total > !shown then
+    Printf.printf "-- (%d more rows)\n" (!total - !shown);
+  print_string (Cluster.report t);
+  if show_stats then print_string (Metrics.render (Metrics.snapshot (Cluster.metrics t)));
+  Cluster.shutdown t;
+  exit code
+
+let cluster_cmd =
+  let doc =
+    "run a distributed aggregation tree on loopback: edges sub-aggregate synthetic feeds, \
+     interior nodes merge partials (sketches included), the root completes the query"
+  in
+  Cmd.v (Cmd.info "cluster" ~doc)
+    Term.(
+      const do_cluster $ topology_file $ cluster_query_file $ cluster_rows $ cluster_distinct
+      $ cluster_epochs $ seed $ cluster_timeout $ max_rows $ stats $ log_level)
+
 (* ---- catalog ---- *)
 
 let do_catalog () =
@@ -1015,4 +1172,14 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [run_cmd; serve_cmd; tap_cmd; top_cmd; explain_cmd; gen_cmd; catalog_cmd; e1_cmd]))
+          [
+            run_cmd;
+            serve_cmd;
+            cluster_cmd;
+            tap_cmd;
+            top_cmd;
+            explain_cmd;
+            gen_cmd;
+            catalog_cmd;
+            e1_cmd;
+          ]))

@@ -1,0 +1,106 @@
+(** Distributed aggregation trees: the LFTA/HFTA split stretched over a
+    {!Topology}.
+
+    One GSQL aggregation is compiled once and cut level-aware across the
+    tree: every {e edge} (leaf) runs the sub-aggregating LFTA over its
+    own feed; every {e interior} node merges its children's partial
+    streams and re-reduces them with the relay decomposition of
+    {!Gigascope_rts.Agg_fn.relay_kind} (counts sum, mins min, sketch
+    states merge); the {e root} completes the query with the original
+    super-aggregating HFTA. Mergeable sketch states
+    ([approx_count_distinct], [heavy_hitters], [cm_count]) ride the
+    links as opaque {!Gigascope_net.Wire} values, so a node's uplink
+    traffic is bounded by (groups x sketch size), not by what it saw.
+
+    Every node is a full engine + network server pair connected over
+    loopback TCP — the same wire protocol, framing, reconnect-and-resume
+    and gap accounting as a multi-host deployment, in one process.
+
+    Loss is visible, never silent: a severed link resumes with a leading
+    [Item.Gap] sized exactly to what was lost, gaps ride batches through
+    merge and relay aggregation to the root, and a permanently dead node
+    surfaces as one in-band [Item.Error] followed by [Eof] — a partial
+    result, not a wedge.
+
+    Metrics (registry of {!metrics}, all under [cluster.*]):
+    - [cluster.link.<child>-><parent>.{tuples,gaps,gap_events,errors}]
+    - [cluster.node.<name>.{alive,out,level}]
+    - [cluster.level.<n>.out] — tuples leaving that level, for
+      per-level reduction ratios (see {!report}). *)
+
+module Rts = Gigascope_rts
+
+type t
+
+val launch :
+  topo:Topology.t ->
+  program:string ->
+  feed:(edge:string -> index:int -> unit -> Rts.Value.t array option) ->
+  ?capacity:int ->
+  ?reconnect:Gigascope_net.Client.reconnect ->
+  unit ->
+  (t, string) result
+(** Compile [program] (PROTOCOL definitions plus one aggregation query;
+    the last query is the cluster query), cut it across [topo], and wire
+    every node: engines created, servers listening on loopback, links
+    subscribed. Nothing runs yet — call {!run}.
+
+    [feed] supplies each edge node's input: called once per leaf with
+    its name and breadth-first index, it returns a puller of rows in the
+    query's input-protocol schema ([None] = end of stream).
+
+    Errors (one line each): topology or GSQL problems, and plans the
+    tree cannot host — the query must split into an LFTA
+    sub-aggregation and an HFTA with an exact (unbanded) epoch key, the
+    same eligibility rule as {!Gigascope_gsql.Split.shard}. *)
+
+val probe : program:string -> (string * Rts.Schema.t * Rts.Schema.t, string) result
+(** Compile [program] exactly as {!launch} would — same eligibility
+    checks, same errors — and report (query name, input schema, output
+    schema) without building any node. For feeders that must synthesize
+    input rows before launching. *)
+
+val query_name : t -> string
+val out_schema : t -> Rts.Schema.t
+
+val run : ?timeout:float -> t -> (unit, string) result
+(** Drive every node's engine (leaves to root, one thread each) until
+    the feeds are exhausted and the root query completes. [timeout]
+    (seconds, default 60) bounds the whole run: on expiry every server
+    is stopped, the cascade unwinds cleanly, and the result is an
+    [Error]. A node whose engine run fails names itself in the
+    [Error]. *)
+
+val results : t -> Rts.Item.t list
+(** Every item the root query emitted, in order ([Item.Tuple],
+    [Item.Gap], [Item.Error], punctuation). Grows live during {!run}. *)
+
+val kill_node : t -> string -> (int, string) result
+(** Chaos: abruptly sever the node's uplink socket(s), as a crash or
+    pulled cable would ({!Gigascope_net.Server.sever_subscribers}). The
+    parent's link reconnects and resumes; what the dead socket swallowed
+    arrives as an exact [Item.Gap]. Returns the number of severed
+    connections. [Error] for unknown names and the root (no uplink). *)
+
+val stop_node : t -> string -> (unit, string) result
+(** Chaos: permanently stop the node's server. The parent's link
+    exhausts its reconnect budget, then surfaces one in-band
+    [Item.Error] and ends — downstream completes with partial data. *)
+
+val metrics : t -> Gigascope_obs.Metrics.t
+(** The [cluster.*] registry (shared by every link and node gauge). *)
+
+val link_stats : t -> (string * string * int * int * int) list
+(** Per link, child to parent: (child, parent, tuples delivered, tuples
+    lost to gaps, error markers). *)
+
+val node_out : t -> string -> int
+(** Tuples the named node's top query node has emitted. *)
+
+val report : t -> string
+(** Human-readable tree report: per-node liveness and output counts,
+    per-link delivered/gap/byte counts, and the per-level reduction
+    ratio (tuples entering the level / tuples leaving it). *)
+
+val shutdown : t -> unit
+(** Stop every server, join every thread. Idempotent. *)

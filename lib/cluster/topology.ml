@@ -1,0 +1,180 @@
+type t = {
+  t_root : string;
+  t_children : (string, string list) Hashtbl.t;
+  t_parent : (string, string) Hashtbl.t;
+  t_order : string list;  (* breadth-first from the root *)
+}
+
+let max_children = 64
+
+let err fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let valid_name s =
+  s <> ""
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '_' || c = '.' || c = '-')
+       s
+
+let split_ws s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+(* One line -> (name, children). [name] alone and [name:] both declare a
+   leaf; interior declarations list children after the colon. *)
+let parse_line lineno line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let line = String.trim line in
+  if line = "" then Ok None
+  else
+    let name, rest =
+      match String.index_opt line ':' with
+      | Some i ->
+          (String.trim (String.sub line 0 i),
+           String.sub line (i + 1) (String.length line - i - 1))
+      | None -> (line, "")
+    in
+    let kids = split_ws rest in
+    if not (valid_name name) then err "topology: bad node name %S (line %d)" name lineno
+    else
+      match List.find_opt (fun k -> not (valid_name k)) kids with
+      | Some k -> err "topology: bad child name %S (line %d)" k lineno
+      | None ->
+          if List.length kids > max_children then
+            err "topology: %s declares %d children (max %d, line %d)" name
+              (List.length kids) max_children lineno
+          else
+            let rec dup = function
+              | [] -> None
+              | k :: rest -> if List.mem k rest then Some k else dup rest
+            in
+            (match dup kids with
+            | Some k -> err "topology: %s lists child %s twice (line %d)" name k lineno
+            | None -> Ok (Some (name, kids, lineno)))
+
+let parse text =
+  let ( let* ) = Result.bind in
+  let lines = String.split_on_char '\n' text in
+  let* decls =
+    let rec go acc lineno = function
+      | [] -> Ok (List.rev acc)
+      | l :: rest -> (
+          match parse_line lineno l with
+          | Error _ as e -> e
+          | Ok None -> go acc (lineno + 1) rest
+          | Ok (Some d) -> go (d :: acc) (lineno + 1) rest)
+    in
+    go [] 1 lines
+  in
+  if decls = [] then Error "topology: empty (no nodes declared)"
+  else
+    let children = Hashtbl.create 16 and parent = Hashtbl.create 16 in
+    let declared = Hashtbl.create 16 in
+    let* () =
+      let rec go = function
+        | [] -> Ok ()
+        | (name, kids, lineno) :: rest ->
+            if Hashtbl.mem declared name then
+              err "topology: duplicate declaration of %s (line %d)" name lineno
+            else begin
+              Hashtbl.replace declared name lineno;
+              Hashtbl.replace children name kids;
+              go rest
+            end
+      in
+      go decls
+    in
+    let* () =
+      let rec go = function
+        | [] -> Ok ()
+        | (name, kids, lineno) :: rest ->
+            let rec each = function
+              | [] -> go rest
+              | k :: more ->
+                  if k = name then err "topology: %s is its own child (line %d)" name lineno
+                  else (
+                    match Hashtbl.find_opt parent k with
+                    | Some p when p <> name ->
+                        err "topology: %s has two parents (%s and %s)" k p name
+                    | Some _ -> err "topology: %s is listed under %s twice" k name
+                    | None ->
+                        Hashtbl.replace parent k name;
+                        if not (Hashtbl.mem children k) then Hashtbl.replace children k [];
+                        each more)
+            in
+            each kids
+      in
+      go decls
+    in
+    let all = Hashtbl.fold (fun n _ acc -> n :: acc) children [] in
+    let roots = List.filter (fun n -> not (Hashtbl.mem parent n)) all in
+    let* root =
+      match List.sort compare roots with
+      | [ r ] -> Ok r
+      | [] -> Error "topology: no root (every node has a parent: the tree is cyclic)"
+      | r :: r' :: _ -> err "topology: two roots (%s and %s): the tree is disconnected" r r'
+    in
+    if Hashtbl.find children root = [] then
+      err "topology: root %s has no children (a cluster needs at least one edge)" root
+    else begin
+      (* breadth-first walk; single-parent + one-root means anything not
+         reached is either disconnected or on a cycle *)
+      let order = ref [] and seen = Hashtbl.create 16 in
+      let q = Queue.create () in
+      Queue.push root q;
+      Hashtbl.replace seen root ();
+      while not (Queue.is_empty q) do
+        let n = Queue.pop q in
+        order := n :: !order;
+        List.iter
+          (fun k ->
+            if not (Hashtbl.mem seen k) then begin
+              Hashtbl.replace seen k ();
+              Queue.push k q
+            end)
+          (Hashtbl.find children n)
+      done;
+      match List.find_opt (fun n -> not (Hashtbl.mem seen n)) (List.sort compare all) with
+      | Some n -> err "topology: %s is unreachable from root %s (disconnected or cyclic)" n root
+      | None ->
+          Ok { t_root = root; t_children = children; t_parent = parent; t_order = List.rev !order }
+    end
+
+let load path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error e -> Error ("topology: " ^ e)
+
+let root t = t.t_root
+let children t n = Option.value (Hashtbl.find_opt t.t_children n) ~default:[]
+let parent t n = Hashtbl.find_opt t.t_parent n
+let nodes t = t.t_order
+let is_leaf t n = children t n = [] && Hashtbl.mem t.t_children n
+let leaves t = List.filter (is_leaf t) t.t_order
+
+let depth t n =
+  let rec up n acc =
+    match parent t n with None -> acc | Some p -> up p (acc + 1)
+  in
+  if Hashtbl.mem t.t_children n then up n 0 else -1
+
+let height t = List.fold_left (fun acc n -> max acc (depth t n)) 0 t.t_order
+let size t = List.length t.t_order
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun n ->
+      match children t n with
+      | [] -> ()
+      | kids -> Format.fprintf fmt "%s: %s@ " n (String.concat " " kids))
+    t.t_order;
+  Format.fprintf fmt "@]"

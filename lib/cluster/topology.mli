@@ -1,0 +1,61 @@
+(** Aggregation-tree topology: which node feeds which.
+
+    The paper's two-level LFTA/HFTA split generalizes to a tree: edge
+    nodes sub-aggregate raw streams, interior nodes merge and re-reduce
+    partial aggregates, the root completes the query. A topology file
+    declares that tree, one node per line:
+
+    {v
+    # gather two racks into one root
+    root: rack0 rack1
+    rack0: e0 e1
+    rack1: e2 e3
+    v}
+
+    [name: child1 child2 ...] declares an interior node; a name that
+    only ever appears as a child is a leaf (an {e edge} node). Names
+    match [[A-Za-z0-9_.-]+]. [#] starts a comment.
+
+    Validation is total and every failure is a one-line message:
+    duplicate declarations, a node with two parents, no root or several
+    roots, declared nodes unreachable from the root (which also catches
+    cycles), fan-in beyond {!max_children}, and a childless root. *)
+
+type t
+
+val max_children : int
+(** Fan-in cap per interior node (64). *)
+
+val parse : string -> (t, string) result
+(** Parse topology text. Errors cite the offending line. *)
+
+val load : string -> (t, string) result
+(** [parse] the file at a path; unreadable files are an [Error], never
+    an exception. *)
+
+val root : t -> string
+
+val children : t -> string -> string list
+(** [[]] for leaves and unknown names. *)
+
+val parent : t -> string -> string option
+(** [None] for the root. *)
+
+val nodes : t -> string list
+(** Every node, breadth-first from the root — parents always precede
+    their children. *)
+
+val leaves : t -> string list
+(** Edge nodes in breadth-first order. *)
+
+val is_leaf : t -> string -> bool
+
+val depth : t -> string -> int
+(** Distance from the root (root = 0). Unknown names are [-1]. *)
+
+val height : t -> int
+(** Deepest level (a two-level tree has height 1). *)
+
+val size : t -> int
+
+val pp : Format.formatter -> t -> unit

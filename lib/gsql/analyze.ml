@@ -217,7 +217,10 @@ let item_name i (item : Ast.select_item) =
           | Ast.Sum -> "sum"
           | Ast.Min -> "min"
           | Ast.Max -> "max"
-          | Ast.Avg -> "avg")
+          | Ast.Avg -> "avg"
+          | Ast.Approx_count_distinct _ -> "acd"
+          | Ast.Heavy_hitters _ -> "hh"
+          | Ast.Cm_count -> "cmc")
           ^ string_of_int i
       | _ -> Printf.sprintf "col%d" i)
 
@@ -241,19 +244,35 @@ let dedup_names items =
 (* Aggregation                                                          *)
 (* ------------------------------------------------------------------ *)
 
+(* Sketch parameter defaults: precision 12 is a 4 KiB HLL with ~1.6%
+   relative error; k = 10 heavy hitters; a 0.005/0.01 count-min is
+   5 rows of 544 counters. *)
+let default_hll_precision = 12
+let default_heavy_k = 10
+let default_cm_eps = 0.005
+let default_cm_delta = 0.01
+
 let agg_kind_of_ast = function
   | Ast.Count -> Rts.Agg_fn.Count
   | Ast.Sum -> Rts.Agg_fn.Sum
   | Ast.Min -> Rts.Agg_fn.Min
   | Ast.Max -> Rts.Agg_fn.Max
   | Ast.Avg -> Rts.Agg_fn.Avg
+  | Ast.Approx_count_distinct p ->
+      Rts.Agg_fn.Sketch
+        {
+          sk = Rts.Agg_fn.Distinct { precision = Option.value p ~default:default_hll_precision };
+          partial = false;
+        }
+  | Ast.Heavy_hitters k ->
+      Rts.Agg_fn.Sketch
+        { sk = Rts.Agg_fn.Heavy { k = Option.value k ~default:default_heavy_k }; partial = false }
+  | Ast.Cm_count ->
+      Rts.Agg_fn.Sketch
+        { sk = Rts.Agg_fn.Freq { eps = default_cm_eps; delta = default_cm_delta }; partial = false }
 
 let agg_result_ty kind arg =
-  match (kind, arg) with
-  | Rts.Agg_fn.Count, _ -> Ty.Int
-  | Rts.Agg_fn.Avg, _ -> Ty.Float
-  | (Rts.Agg_fn.Sum | Rts.Agg_fn.Min | Rts.Agg_fn.Max), Some e -> Expr_ir.ty e
-  | (Rts.Agg_fn.Sum | Rts.Agg_fn.Min | Rts.Agg_fn.Max), None -> Ty.Int
+  Rts.Agg_fn.result_ty kind ~arg_ty:(Option.map Expr_ir.ty arg)
 
 (* Check a SELECT/HAVING expression of a grouped query: leaves must resolve
    to group keys or aggregates over the input; the result is an expression
@@ -280,13 +299,26 @@ let rec check_virtual env ~keys ~(aggs : Plan.agg_call list ref) (e : Ast.expr) 
   in
   match e with
   | Ast.Agg (k, arg_ast) ->
+      let* () =
+        match k with
+        | Ast.Approx_count_distinct (Some p) when p < 4 || p > 16 ->
+            err "approx_count_distinct() precision must be in [4, 16], got %d" p
+        | Ast.Heavy_hitters (Some k) when k < 1 || k > 100_000 ->
+            err "heavy_hitters() k must be in [1, 100000], got %d" k
+        | _ -> Ok ()
+      in
       let kind = agg_kind_of_ast k in
       let* arg =
         match arg_ast with
         | None -> Ok None
         | Some a ->
             let* ia = check env a in
-            if kind <> Rts.Agg_fn.Count && not (numeric (Expr_ir.ty ia)) then
+            (* sketches canonicalize any value into the summary; only the
+               arithmetic aggregates insist on numbers *)
+            let exempt =
+              match kind with Rts.Agg_fn.Count | Rts.Agg_fn.Sketch _ -> true | _ -> false
+            in
+            if (not exempt) && not (numeric (Expr_ir.ty ia)) then
               err "%s() requires a numeric argument" (Rts.Agg_fn.kind_to_string kind)
             else Ok (Some ia)
       in

@@ -19,7 +19,15 @@ type binop =
 
 type unop = Not | Neg
 
-type agg_kind = Count | Sum | Min | Max | Avg
+type agg_kind =
+  | Count
+  | Sum
+  | Min
+  | Max
+  | Avg
+  | Approx_count_distinct of int option  (* HLL precision; None = default *)
+  | Heavy_hitters of int option  (* how many counters to track; None = default *)
+  | Cm_count
 
 type expr =
   | Int_lit of int
@@ -110,6 +118,14 @@ let agg_string = function
   | Min -> "min"
   | Max -> "max"
   | Avg -> "avg"
+  | Approx_count_distinct _ -> "approx_count_distinct"
+  | Heavy_hitters _ -> "heavy_hitters"
+  | Cm_count -> "cm_count"
+
+(* The optional trailing literal a sketch aggregate was called with. *)
+let agg_param = function
+  | Approx_count_distinct p | Heavy_hitters p -> p
+  | Count | Sum | Min | Max | Avg | Cm_count -> None
 
 let rec pp_expr fmt = function
   | Int_lit i -> Format.fprintf fmt "%d" i
@@ -132,6 +148,9 @@ let rec pp_expr fmt = function
         args;
       Format.fprintf fmt ")"
   | Agg (k, None) -> Format.fprintf fmt "%s(*)" (agg_string k)
-  | Agg (k, Some e) -> Format.fprintf fmt "%s(%a)" (agg_string k) pp_expr e
+  | Agg (k, Some e) -> (
+      match agg_param k with
+      | Some p -> Format.fprintf fmt "%s(%a, %d)" (agg_string k) pp_expr e p
+      | None -> Format.fprintf fmt "%s(%a)" (agg_string k) pp_expr e)
 
 let expr_to_string e = Format.asprintf "%a" pp_expr e

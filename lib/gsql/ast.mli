@@ -21,7 +21,18 @@ type binop =
 
 type unop = Not | Neg
 
-type agg_kind = Count | Sum | Min | Max | Avg
+type agg_kind =
+  | Count
+  | Sum
+  | Min
+  | Max
+  | Avg
+  | Approx_count_distinct of int option
+      (** HLL-based approximate COUNT(DISTINCT x); the optional literal
+          is the sketch precision (registers = 2^precision) *)
+  | Heavy_hitters of int option
+      (** space-saving top-k summary; the optional literal is [k] *)
+  | Cm_count  (** count-min-sketched count of non-null arguments *)
 
 type expr =
   | Int_lit of int
@@ -99,5 +110,6 @@ type program = decl list
 val query_name : query_def -> string option
 (** The [query_name] property of the DEFINE section. *)
 
+val agg_string : agg_kind -> string
 val pp_expr : Format.formatter -> expr -> unit
 val expr_to_string : expr -> string

@@ -9,6 +9,7 @@ let c_ty = function
   | Ty.Float -> "double"
   | Ty.Str -> "struct gs_string"
   | Ty.Ip -> "unsigned int"
+  | Ty.Sketch -> "struct gs_sketch"
 
 let c_ident name =
   String.map (fun c -> if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') then c else '_') name
@@ -28,6 +29,8 @@ let c_value = function
   | Value.Float f -> Printf.sprintf "%g" f
   | Value.Str s -> Printf.sprintf "%S" s
   | Value.Ip ip -> Printf.sprintf "0x%08xU /* %s */" ip (Gigascope_packet.Ipaddr.to_string ip)
+  (* sketch states have no literal syntax; they never appear as constants *)
+  | Value.Sketch _ -> "GS_NULL /* sketch */"
 
 let binop_c = function
   | Ast.Add -> "+"

@@ -36,7 +36,30 @@ let agg_of_name = function
   | "min" -> Some Ast.Min
   | "max" -> Some Ast.Max
   | "avg" -> Some Ast.Avg
+  | "approx_count_distinct" -> Some (Ast.Approx_count_distinct None)
+  | "heavy_hitters" -> Some (Ast.Heavy_hitters None)
+  | "cm_count" -> Some Ast.Cm_count
   | _ -> None
+
+(* The sketch aggregates take an optional trailing integer literal —
+   [heavy_hitters(x, 20)] tracks 20 counters, [approx_count_distinct(x, 14)]
+   uses 2^14 registers — folded into the aggregate kind at parse time. *)
+let agg_with_param st kind =
+  match kind with
+  | Ast.Approx_count_distinct None | Ast.Heavy_hitters None -> (
+      match peek st with
+      | Token.Int_lit p when p > 0 ->
+          advance st;
+          (match kind with
+          | Ast.Approx_count_distinct None -> Ast.Approx_count_distinct (Some p)
+          | _ -> Ast.Heavy_hitters (Some p))
+      | t ->
+          error st
+            (Printf.sprintf "expected a positive integer literal after ',', found %s"
+               (Token.to_string t)))
+  | _ ->
+      error st
+        (Printf.sprintf "%s() does not take a second argument" (Ast.agg_string kind))
 
 (* ---------------- expressions (precedence climbing) -------------------- *)
 
@@ -187,6 +210,13 @@ and parse_atom st =
               Ast.Agg (Ast.Count, None)
           | Some kind, _ ->
               let arg = parse_or st in
+              let kind =
+                if peek st = Token.Comma then begin
+                  advance st;
+                  agg_with_param st kind
+                end
+                else kind
+              in
               expect st Token.Rparen;
               Ast.Agg (kind, Some arg)
           | None, _ ->

@@ -308,11 +308,10 @@ let split_agg catalog ~qname ~table_bits ~interface ~protocol ~schema (a : Plan.
            a.Plan.keys
         @ List.map
             (fun (c : Plan.agg_call) ->
+              (* a sketch partial's column type is Ty.Sketch: the state
+                 itself rides the stream, not an estimate *)
               let ty =
-                match c.Plan.kind with
-                | Rts.Agg_fn.Count -> Ty.Int
-                | Rts.Agg_fn.Avg -> Ty.Float
-                | _ -> ( match c.Plan.arg with Some e -> Expr_ir.ty e | None -> Ty.Int)
+                Rts.Agg_fn.result_ty c.Plan.kind ~arg_ty:(Option.map Expr_ir.ty c.Plan.arg)
               in
               { Schema.name = c.Plan.agg_name; ty; order = Order_prop.Unordered })
             sub_calls)
@@ -321,7 +320,8 @@ let split_agg catalog ~qname ~table_bits ~interface ~protocol ~schema (a : Plan.
       List.mapi (fun i (k, name) -> (Expr_ir.Field (i, Expr_ir.ty k), name)) a.Plan.keys
       @ List.mapi
           (fun j (c : Plan.agg_call) ->
-            (Expr_ir.Field (n_keys + j, Ty.Int), c.Plan.agg_name))
+            let f = Schema.field_at lfta_schema (n_keys + j) in
+            (Expr_ir.Field (n_keys + j, f.Schema.ty), c.Plan.agg_name))
           sub_calls
     in
     let lfta =
@@ -405,9 +405,7 @@ let split_agg catalog ~qname ~table_bits ~interface ~protocol ~schema (a : Plan.
                 ] )
         | _, [slot] ->
             let ty =
-              match c.Plan.kind with
-              | Rts.Agg_fn.Count -> Ty.Int
-              | _ -> ( match c.Plan.arg with Some e -> Expr_ir.ty e | None -> Ty.Int)
+              Rts.Agg_fn.result_ty c.Plan.kind ~arg_ty:(Option.map Expr_ir.ty c.Plan.arg)
             in
             Expr_ir.Field (n_keys + slot, ty)
         | _ -> invalid_arg "split: unexpected super-aggregate arity"

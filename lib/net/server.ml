@@ -497,6 +497,43 @@ let claim_sub sub =
   Mutex.unlock sub.smu;
   if ok then Some sent else None
 
+(* A resume can race the orphaning: the old writer only discovers its
+   severed socket at the next send, while the client redials within
+   milliseconds. Wait briefly for the orphan instead of refusing a
+   resume that is about to become valid. *)
+let claim_sub_wait sub =
+  let rec go n =
+    match claim_sub sub with
+    | Some _ as r -> r
+    | None when n > 0 ->
+        Thread.delay 0.005;
+        go (n - 1)
+    | None -> None
+  in
+  go 60
+
+(* Fault injection: abruptly close the socket under every live
+   subscriber (of [query] only, when given). The writer threads discover
+   the dead sockets on their next send and orphan the subscriptions, so
+   a reconnecting client resumes with an exact gap — the same path a
+   pulled cable exercises. Returns the number of connections severed. *)
+let sever_subscribers ?query t =
+  Mutex.lock t.mu;
+  let victims =
+    Hashtbl.fold
+      (fun _ s acc ->
+        match s.s_conn with
+        | Some c
+          when (match query with None -> true | Some q -> s.sub_query = qkey q)
+               && not s.s_dead ->
+            c :: acc
+        | _ -> acc)
+      t.subs []
+  in
+  Mutex.unlock t.mu;
+  List.iter Conn.close victims;
+  List.length victims
+
 (* --------------------------- connections -------------------------------- *)
 
 let registry_listing t =
@@ -580,7 +617,7 @@ let control_loop t conn =
             in
             match existing with
             | Some sub when sub.sub_query = qkey (Node.name node) -> (
-                match claim_sub sub with
+                match claim_sub_wait sub with
                 | Some sent -> (
                     (* replay from the egress queue; what was popped past
                        the client's token is announced as a leading gap *)

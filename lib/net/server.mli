@@ -78,6 +78,14 @@ val addresses : t -> Addr.t list
 val subscriber_count : t -> int
 (** Live subscribers (for [--wait-subscribers] style orchestration). *)
 
+val sever_subscribers : ?query:string -> t -> int
+(** Fault injection: abruptly close the socket under every live
+    subscriber (of [query] only, when given), exactly as a pulled cable
+    would. The subscriptions are orphaned, not removed — a client with
+    reconnect configured resumes and is told the precise loss as a
+    leading {!Gigascope_rts.Item.t} [Gap]. Returns the number of
+    connections severed. *)
+
 val drain : ?timeout:float -> t -> bool
 (** Wait (up to [timeout] seconds, default 10) until every {e attached}
     subscriber has received its EOF and disconnected; [false] on

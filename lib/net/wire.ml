@@ -4,6 +4,7 @@ module Item = Gigascope_rts.Item
 module Batch = Gigascope_rts.Batch
 module Ty = Gigascope_rts.Ty
 module Order_prop = Gigascope_rts.Order_prop
+module Sketch = Gigascope_sketch.Sketch
 
 let protocol_version = 2
 let header_len = 9
@@ -97,8 +98,19 @@ let put_value buf = function
   | Value.Ip v ->
       put_u8 buf 6;
       put_u32 buf v
+  | Value.Sketch s ->
+      (* opaque sketch state: the sketch library's own versioned codec,
+         length-prefixed like a string *)
+      put_u8 buf 7;
+      put_str buf (Sketch.encode s)
 
-let ty_tag = function Ty.Bool -> 0 | Ty.Int -> 1 | Ty.Float -> 2 | Ty.Str -> 3 | Ty.Ip -> 4
+let ty_tag = function
+  | Ty.Bool -> 0
+  | Ty.Int -> 1
+  | Ty.Float -> 2
+  | Ty.Str -> 3
+  | Ty.Ip -> 4
+  | Ty.Sketch -> 5
 
 let dir_bit = function Order_prop.Asc -> 0 | Order_prop.Desc -> 1
 
@@ -269,6 +281,12 @@ let get_value cur =
   | 4 -> Value.Float (get_f64 cur "float value")
   | 5 -> Value.Str (get_str cur "string value")
   | 6 -> Value.Ip (get_u32 cur "ip value")
+  | 7 -> (
+      (* sketch decode failures (truncation, version skew, corrupt dims)
+         surface as Corrupt like any other malformed payload *)
+      match Sketch.decode (get_str cur "sketch value") with
+      | Ok s -> Value.Sketch s
+      | Error e -> raise (Bad ("sketch value: " ^ e)))
   | t -> raise (Bad (Printf.sprintf "unknown value tag %d" t))
 
 let get_ty cur =
@@ -278,6 +296,7 @@ let get_ty cur =
   | 2 -> Ty.Float
   | 3 -> Ty.Str
   | 4 -> Ty.Ip
+  | 5 -> Ty.Sketch
   | t -> raise (Bad (Printf.sprintf "unknown type tag %d" t))
 
 let dir_of_bit = function 0 -> Order_prop.Asc | _ -> Order_prop.Desc

@@ -1,4 +1,11 @@
-type kind = Count | Sum | Min | Max | Avg
+module Sk = Gigascope_sketch.Sketch
+
+type sketch_spec =
+  | Distinct of { precision : int }
+  | Heavy of { k : int }
+  | Freq of { eps : float; delta : float }
+
+type kind = Count | Sum | Min | Max | Avg | Sketch of { sk : sketch_spec; partial : bool }
 
 type spec = { kind : kind; arg : (Value.t array -> Value.t option) option }
 
@@ -9,14 +16,36 @@ type acc = {
   mutable sum_f : float;
   mutable is_float : bool;
   mutable extremum : Value.t;
+  mutable sketch : Sk.t option;
 }
 
-let init kind = { kind; n = 0; sum_i = 0; sum_f = 0.0; is_float = false; extremum = Value.Null }
+let make_sketch = function
+  | Distinct { precision } -> Sk.hll ~precision
+  | Heavy { k } -> Sk.topk ~k
+  | Freq { eps; delta } -> Sk.cm ~eps ~delta
+
+let init kind =
+  let sketch = match kind with Sketch { sk; _ } -> Some (make_sketch sk) | _ -> None in
+  { kind; n = 0; sum_i = 0; sum_f = 0.0; is_float = false; extremum = Value.Null; sketch }
+
+(* The canonical item a sketch hashes: the value's printed form, so the
+   same value folds identically on every node of an aggregation tree. *)
+let canonical v = Value.to_string v
 
 let step acc v =
   match (acc.kind, v) with
   | Count, _ -> acc.n <- acc.n + 1
   | _, (None | Some Value.Null) -> ()
+  | Sketch _, Some (Value.Sketch s) -> (
+      (* a lower tree level's partial state: merge, don't re-hash.
+         An incompatible state is skipped like any ill-typed argument. *)
+      acc.n <- acc.n + 1;
+      match acc.sketch with
+      | Some dst -> ( match Sk.merge_into dst s with Ok () -> () | Error _ -> ())
+      | None -> acc.sketch <- Some (Sk.copy s))
+  | Sketch _, Some v -> (
+      acc.n <- acc.n + 1;
+      match acc.sketch with Some s -> Sk.add s (canonical v) | None -> ())
   | (Sum | Avg), Some (Value.Int i) ->
       acc.n <- acc.n + 1;
       acc.sum_i <- acc.sum_i + i;
@@ -33,7 +62,11 @@ let step acc v =
         | prev -> if acc.kind = Min then Value.compare v prev < 0 else Value.compare v prev > 0
       in
       if better then acc.extremum <- v
-  | (Sum | Avg), Some (Value.Bool _ | Value.Str _ | Value.Ip _) -> ()
+  | (Sum | Avg), Some (Value.Bool _ | Value.Str _ | Value.Ip _ | Value.Sketch _) -> ()
+
+let render_top s =
+  String.concat ","
+    (List.map (fun (item, count) -> Printf.sprintf "%s:%d" item count) (Sk.top s))
 
 let final acc =
   match acc.kind with
@@ -44,6 +77,16 @@ let final acc =
       else Value.Int acc.sum_i
   | Avg -> if acc.n = 0 then Value.Null else Value.Float (acc.sum_f /. float_of_int acc.n)
   | Min | Max -> acc.extremum
+  | Sketch { partial = true; _ } -> (
+      (* copied: the accumulator may keep folding after the emit *)
+      match acc.sketch with Some s -> Value.Sketch (Sk.copy s) | None -> Value.Null)
+  | Sketch { sk; partial = false } -> (
+      match acc.sketch with
+      | None -> Value.Null
+      | Some s -> (
+          match sk with
+          | Distinct _ | Freq _ -> Value.Int (Sk.estimate s)
+          | Heavy _ -> Value.Str (render_top s)))
 
 let merge_partial acc other =
   match acc.kind with
@@ -65,6 +108,12 @@ let merge_partial acc other =
                 if acc.kind = Min then Value.compare v prev < 0 else Value.compare v prev > 0
           in
           if better then acc.extremum <- v)
+  | Sketch _ -> (
+      acc.n <- acc.n + other.n;
+      match (acc.sketch, other.sketch) with
+      | Some dst, Some src -> ( match Sk.merge_into dst src with Ok () -> () | Error _ -> ())
+      | None, Some src -> acc.sketch <- Some (Sk.copy src)
+      | _, None -> ())
 
 let sub_kinds = function
   | Count -> [Count]
@@ -72,6 +121,7 @@ let sub_kinds = function
   | Min -> [Min]
   | Max -> [Max]
   | Avg -> [Sum; Count]
+  | Sketch s -> [Sketch { s with partial = true }]
 
 let super_kind = function
   | Count -> [Sum]
@@ -79,11 +129,29 @@ let super_kind = function
   | Min -> [Min]
   | Max -> [Max]
   | Avg -> [Sum; Sum]
+  | Sketch s -> [Sketch { s with partial = false }]
+
+let relay_kind = function
+  | Count -> Sum
+  | Sum -> Sum
+  | Min -> Min
+  | Max -> Max
+  | Avg -> Avg (* never a sub kind; kept total *)
+  | Sketch s -> Sketch { s with partial = true }
 
 let combine_avg ~sum ~count =
   match (Value.to_float sum, Value.to_float count) with
   | Some s, Some c when c > 0.0 -> Value.Float (s /. c)
   | _ -> Value.Null
+
+let result_ty kind ~arg_ty =
+  match kind with
+  | Count -> Ty.Int
+  | Avg -> Ty.Float
+  | Sum | Min | Max -> ( match arg_ty with Some t -> t | None -> Ty.Int)
+  | Sketch { partial = true; _ } -> Ty.Sketch
+  | Sketch { sk = Distinct _ | Freq _; partial = false } -> Ty.Int
+  | Sketch { sk = Heavy _; partial = false } -> Ty.Str
 
 let kind_to_string = function
   | Count -> "count"
@@ -91,3 +159,6 @@ let kind_to_string = function
   | Min -> "min"
   | Max -> "max"
   | Avg -> "avg"
+  | Sketch { sk = Distinct _; _ } -> "approx_count_distinct"
+  | Sketch { sk = Heavy _; _ } -> "heavy_hitters"
+  | Sketch { sk = Freq _; _ } -> "cm_count"

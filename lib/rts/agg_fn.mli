@@ -4,9 +4,31 @@
     aggregate is decomposed like a data-cube sub/super-aggregate pair
     (Section 3): the LFTA computes partials over whatever groups survive in
     its small table, and the HFTA combines partials into the true result.
-    [Avg] needs two partials (sum and count). *)
+    [Avg] needs two partials (sum and count).
 
-type kind = Count | Sum | Min | Max | Avg
+    Sketch aggregates generalize the same algebra to approximate
+    summaries: the sub-aggregate folds raw values into a mergeable
+    sketch and emits the sketch state itself ([partial = true]); every
+    level above merges incoming states ([Sketch.merge] is commutative
+    and associative), and only the top level renders an estimate
+    ([partial = false]). Because the partial state is a single opaque
+    value, N-level aggregation trees need no per-kind knowledge beyond
+    this module. *)
+
+type sketch_spec =
+  | Distinct of { precision : int }  (** HyperLogLog approximate COUNT(DISTINCT x) *)
+  | Heavy of { k : int }  (** space-saving top-k heavy hitters *)
+  | Freq of { eps : float; delta : float }  (** count-min frequency sketch *)
+
+type kind =
+  | Count
+  | Sum
+  | Min
+  | Max
+  | Avg
+  | Sketch of { sk : sketch_spec; partial : bool }
+      (** [partial = true]: emit the sketch state for an upper level to
+          merge; [partial = false]: render the estimate. *)
 
 type spec = {
   kind : kind;
@@ -20,11 +42,17 @@ type acc
 val init : kind -> acc
 val step : acc -> Value.t option -> unit
 (** [step acc v] folds one tuple's argument value ([None] for [Count]
-    steps the count). [Null] arguments are skipped, as in SQL. *)
+    steps the count). [Null] arguments are skipped, as in SQL. A sketch
+    accumulator folds a raw value by canonicalizing it into the sketch,
+    and a [Value.Sketch] argument (a lower level's partial) by merging
+    it — an incompatible state is skipped, mirroring how [Sum] skips a
+    string. *)
 
 val final : acc -> Value.t
 (** [Count] of nothing is 0; [Sum]/[Min]/[Max]/[Avg] of nothing is
-    [Null]. *)
+    [Null]. A partial sketch finalizes to a copied [Value.Sketch]; a
+    non-partial one to its estimate ([Int] for distinct/frequency
+    counts, a ["item:count,..."] [Str] for heavy hitters). *)
 
 val merge_partial : acc -> acc -> unit
 (** [merge_partial acc other] folds [other]'s state into [acc], so that
@@ -34,16 +62,31 @@ val merge_partial : acc -> acc -> unit
     [other] is not mutated. Both accumulators must be of the same
     [kind]. Caveat: for float [Sum]/[Avg] the merged result can differ
     from the unsplit one in the last ulp (float addition is not
-    associative). *)
+    associative). Sketch accumulators delegate to [Sketch.merge_into],
+    whose laws are exact. *)
 
 val sub_kinds : kind -> kind list
-(** Partials the LFTA computes: e.g. [Avg -> [Sum; Count]]. *)
+(** Partials the LFTA computes: e.g. [Avg -> [Sum; Count]]; a sketch
+    kind's single partial is itself with [partial = true]. *)
 
 val super_kind : kind -> kind list
 (** How the HFTA combines each partial: e.g. [Count -> [Sum]] (counts are
     summed), [Min -> [Min]]. Same length as [sub_kinds]. *)
 
+val relay_kind : kind -> kind
+(** How an intermediate tree level re-aggregates one partial column so
+    its output is again a partial of the same shape: counts are summed,
+    extrema re-taken, sketch states merged and re-emitted as state.
+    Defined on the kinds [sub_kinds] can produce ([Avg] never appears
+    there and maps to itself). *)
+
 val combine_avg : sum:Value.t -> count:Value.t -> Value.t
 (** Final assembly of a split [Avg]. *)
+
+val result_ty : kind -> arg_ty:Ty.t option -> Ty.t
+(** Static type of [final]'s value: [Count] and the non-partial
+    distinct/frequency sketches are [Int], [Avg] is [Float], heavy
+    hitters render as [Str], partial sketches are [Ty.Sketch], and
+    [Sum]/[Min]/[Max] take their argument's type. *)
 
 val kind_to_string : kind -> string

@@ -1,4 +1,4 @@
-type t = Bool | Int | Float | Str | Ip
+type t = Bool | Int | Float | Str | Ip | Sketch
 
 let of_value = function
   | Value.Null -> None
@@ -7,11 +7,12 @@ let of_value = function
   | Value.Float _ -> Some Float
   | Value.Str _ -> Some Str
   | Value.Ip _ -> Some Ip
+  | Value.Sketch _ -> Some Sketch
 
 let value_matches ty v =
   match of_value v with None -> true | Some vty -> vty = ty
 
-let is_numeric = function Int | Float -> true | Bool | Str | Ip -> false
+let is_numeric = function Int | Float -> true | Bool | Str | Ip | Sketch -> false
 
 let of_ddl_name = function
   | "bool" -> Some Bool
@@ -27,5 +28,6 @@ let to_string = function
   | Float -> "float"
   | Str -> "string"
   | Ip -> "ip"
+  | Sketch -> "sketch"
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)

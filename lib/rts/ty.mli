@@ -1,6 +1,6 @@
 (** Static types of GSQL attributes and expressions. *)
 
-type t = Bool | Int | Float | Str | Ip
+type t = Bool | Int | Float | Str | Ip | Sketch
 
 val of_value : Value.t -> t option
 (** [None] for [Null]. *)

@@ -1,6 +1,14 @@
 module Ipaddr = Gigascope_packet.Ipaddr
+module Sketch = Gigascope_sketch.Sketch
 
-type t = Null | Bool of bool | Int of int | Float of float | Str of string | Ip of int
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Ip of int
+  | Sketch of Sketch.t
 
 let rank = function
   | Null -> 0
@@ -9,6 +17,7 @@ let rank = function
   | Float _ -> 2 (* numeric values share a rank so they compare by value *)
   | Str _ -> 3
   | Ip _ -> 4
+  | Sketch _ -> 5
 
 let compare a b =
   match (a, b) with
@@ -20,6 +29,9 @@ let compare a b =
   | Float x, Int y -> Float.compare x (float_of_int y)
   | Str x, Str y -> String.compare x y
   | Ip x, Ip y -> Int.compare x y
+  (* canonical encoding: equal sketch states compare equal, and the
+     order is total even though the payload is mutable *)
+  | Sketch x, Sketch y -> String.compare (Sketch.encode x) (Sketch.encode y)
   | _ -> Int.compare (rank a) (rank b)
 
 let equal a b = compare a b = 0
@@ -31,18 +43,19 @@ let hash = function
   | Float f -> Hashtbl.hash f
   | Str s -> Hashtbl.hash s
   | Ip i -> Hashtbl.hash (i lxor 0x5bd1e995)
+  | Sketch s -> Hashtbl.hash (Sketch.encode s)
 
 let to_float = function
   | Int i -> Some (float_of_int i)
   | Float f -> Some f
   | Bool b -> Some (if b then 1.0 else 0.0)
-  | Null | Str _ | Ip _ -> None
+  | Null | Str _ | Ip _ | Sketch _ -> None
 
 let is_truthy = function
   | Bool b -> b
   | Int i -> i <> 0
   | Float f -> f <> 0.0
-  | Null | Str _ | Ip _ -> false
+  | Null | Str _ | Ip _ | Sketch _ -> false
 
 let pp fmt = function
   | Null -> Format.fprintf fmt "null"
@@ -51,6 +64,7 @@ let pp fmt = function
   | Float f -> Format.fprintf fmt "%g" f
   | Str s -> Format.fprintf fmt "%S" s
   | Ip i -> Format.fprintf fmt "%s" (Ipaddr.to_string i)
+  | Sketch s -> Format.fprintf fmt "<%a>" Sketch.pp s
 
 let to_string v = Format.asprintf "%a" pp v
 

@@ -7,6 +7,9 @@ type t =
   | Float of float
   | Str of string
   | Ip of int  (** IPv4 address *)
+  | Sketch of Gigascope_sketch.Sketch.t
+      (** opaque mergeable sketch state riding between aggregation-tree
+          levels; compared and hashed via its canonical encoding *)
 
 val compare : t -> t -> int
 (** Total order: [Null] first, then by constructor, then by payload.

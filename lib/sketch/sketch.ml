@@ -1,0 +1,439 @@
+(* Mergeable sketches. Everything here is deterministic: the hash
+   family is fixed (seeded FNV-1a finished with the splitmix64 mixer),
+   so two hosts that add the same items build bit-identical sketches —
+   the property the tree-aggregation differential tests lean on. *)
+
+(* ------------------------------ hashing -------------------------------- *)
+
+let mix64 z =
+  let z = Int64.logxor z (Int64.shift_right_logical z 30) in
+  let z = Int64.mul z 0xbf58476d1ce4e5b9L in
+  let z = Int64.logxor z (Int64.shift_right_logical z 27) in
+  let z = Int64.mul z 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let hash64 ~seed s =
+  let h = ref (Int64.logxor fnv_offset (mix64 (Int64.of_int seed))) in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h fnv_prime)
+    s;
+  mix64 !h
+
+(* A non-negative array index from a 64-bit hash. *)
+let index_of h m = Int64.to_int h land max_int mod m
+
+(* ----------------------------- structures ------------------------------ *)
+
+type cm_t = {
+  width : int;
+  depth : int;
+  rows : int array array;  (** depth x width *)
+  mutable cm_n : int;
+  eps : float;
+  delta : float;
+}
+
+type tk_entry = { mutable cnt : int; mutable err : int }
+
+type tk_t = {
+  k : int;
+  tbl : (string, tk_entry) Hashtbl.t;
+  mutable tk_n : int;
+  mutable evicted : bool;
+      (** whether any counter was ever recycled: while false, every
+          tracked count is exact and an absent item's count is zero *)
+}
+
+type hll_t = { p : int; regs : Bytes.t; mutable hll_n : int }
+
+type t = Cm of cm_t | Topk of tk_t | Hll of hll_t
+
+let max_cm_width = 1 lsl 20
+let max_cm_depth = 64
+let max_topk = 1 lsl 20
+
+let cm ~eps ~delta =
+  if not (Float.is_finite eps && eps > 0.0 && eps < 1.0) then
+    invalid_arg "Sketch.cm: eps must be in (0, 1)";
+  if not (Float.is_finite delta && delta > 0.0 && delta < 1.0) then
+    invalid_arg "Sketch.cm: delta must be in (0, 1)";
+  let width = min max_cm_width (max 1 (int_of_float (ceil (Float.exp 1.0 /. eps)))) in
+  let depth = min max_cm_depth (max 1 (int_of_float (ceil (Float.log (1.0 /. delta))))) in
+  Cm { width; depth; rows = Array.make_matrix depth width 0; cm_n = 0; eps; delta }
+
+let topk ~k =
+  if k < 1 || k > max_topk then invalid_arg "Sketch.topk: k out of range";
+  Topk { k; tbl = Hashtbl.create (min k 64); tk_n = 0; evicted = false }
+
+let hll ~precision =
+  if precision < 4 || precision > 16 then
+    invalid_arg "Sketch.hll: precision must be in [4, 16]";
+  Hll { p = precision; regs = Bytes.make (1 lsl precision) '\000'; hll_n = 0 }
+
+(* -------------------------------- add ---------------------------------- *)
+
+let cm_add c item =
+  c.cm_n <- c.cm_n + 1;
+  for i = 0 to c.depth - 1 do
+    let j = index_of (hash64 ~seed:(i + 1) item) c.width in
+    c.rows.(i).(j) <- c.rows.(i).(j) + 1
+  done
+
+(* Space-saving: a full table recycles its smallest counter for the
+   newcomer, remembering the stolen count as that item's error. The
+   smallest counter is found by scan — [k] is small by design. *)
+let tk_min t =
+  Hashtbl.fold
+    (fun item e acc ->
+      match acc with
+      | Some (_, best) when best.cnt <= e.cnt -> acc
+      | _ -> Some (item, e))
+    t.tbl None
+
+let tk_add t item =
+  t.tk_n <- t.tk_n + 1;
+  match Hashtbl.find_opt t.tbl item with
+  | Some e -> e.cnt <- e.cnt + 1
+  | None ->
+      if Hashtbl.length t.tbl < t.k then Hashtbl.replace t.tbl item { cnt = 1; err = 0 }
+      else begin
+        match tk_min t with
+        | Some (victim, e) ->
+            Hashtbl.remove t.tbl victim;
+            t.evicted <- true;
+            Hashtbl.replace t.tbl item { cnt = e.cnt + 1; err = e.cnt }
+        | None -> Hashtbl.replace t.tbl item { cnt = 1; err = 0 }
+      end
+
+let leading_zeros64 x =
+  if Int64.equal x 0L then 64
+  else begin
+    let n = ref 0 in
+    let x = ref x in
+    while Int64.compare (Int64.logand !x Int64.min_int) 0L = 0 do
+      incr n;
+      x := Int64.shift_left !x 1
+    done;
+    !n
+  end
+
+let hll_add h item =
+  h.hll_n <- h.hll_n + 1;
+  let hv = hash64 ~seed:0 item in
+  let idx = Int64.to_int (Int64.shift_right_logical hv (64 - h.p)) in
+  let rest = Int64.shift_left hv h.p in
+  let rho = min (64 - h.p) (leading_zeros64 rest) + 1 in
+  if rho > Char.code (Bytes.get h.regs idx) then Bytes.set h.regs idx (Char.chr rho)
+
+let add t item =
+  match t with Cm c -> cm_add c item | Topk k -> tk_add k item | Hll h -> hll_add h item
+
+(* -------------------------------- copy --------------------------------- *)
+
+let copy = function
+  | Cm c -> Cm { c with rows = Array.map Array.copy c.rows }
+  | Topk t ->
+      let tbl = Hashtbl.create (Hashtbl.length t.tbl) in
+      Hashtbl.iter (fun item e -> Hashtbl.replace tbl item { cnt = e.cnt; err = e.err }) t.tbl;
+      Topk { t with tbl }
+  | Hll h -> Hll { h with regs = Bytes.copy h.regs }
+
+(* -------------------------------- merge -------------------------------- *)
+
+(* Keep the k largest counters after a pointwise sum; ties break on the
+   item string so the merge is exactly commutative. *)
+let tk_shrink t =
+  if Hashtbl.length t.tbl > t.k then begin
+    let all = Hashtbl.fold (fun item e acc -> (item, e) :: acc) t.tbl [] in
+    let sorted =
+      List.sort
+        (fun (ia, a) (ib, b) ->
+          match compare b.cnt a.cnt with 0 -> String.compare ia ib | c -> c)
+        all
+    in
+    List.iteri (fun i (item, _) -> if i >= t.k then Hashtbl.remove t.tbl item) sorted;
+    t.evicted <- true
+  end
+
+let tk_merge_into dst src =
+  (* An item absent from a summary has true count 0 if that summary
+     never recycled a counter, and at most its minimum count otherwise
+     (the classic space-saving bound). *)
+  let floor_of t =
+    if (not t.evicted) || Hashtbl.length t.tbl < t.k then 0
+    else match tk_min t with Some (_, e) -> e.cnt | None -> 0
+  in
+  let dst_floor = floor_of dst in
+  Hashtbl.iter
+    (fun item (se : tk_entry) ->
+      match Hashtbl.find_opt dst.tbl item with
+      | Some de ->
+          de.cnt <- de.cnt + se.cnt;
+          de.err <- de.err + se.err
+      | None ->
+          Hashtbl.replace dst.tbl item
+            { cnt = se.cnt + dst_floor; err = se.err + dst_floor })
+    src.tbl;
+  dst.tk_n <- dst.tk_n + src.tk_n;
+  dst.evicted <- dst.evicted || src.evicted;
+  tk_shrink dst
+
+let merge_into dst src =
+  match (dst, src) with
+  | Cm d, Cm s ->
+      if d.width <> s.width || d.depth <> s.depth then
+        Error
+          (Printf.sprintf "incompatible count-min sketches: %dx%d vs %dx%d" d.depth d.width
+             s.depth s.width)
+      else begin
+        for i = 0 to d.depth - 1 do
+          for j = 0 to d.width - 1 do
+            d.rows.(i).(j) <- d.rows.(i).(j) + s.rows.(i).(j)
+          done
+        done;
+        d.cm_n <- d.cm_n + s.cm_n;
+        Ok ()
+      end
+  | Topk d, Topk s ->
+      if d.k <> s.k then
+        Error (Printf.sprintf "incompatible heavy-hitter sketches: k=%d vs k=%d" d.k s.k)
+      else begin
+        tk_merge_into d s;
+        Ok ()
+      end
+  | Hll d, Hll s ->
+      if d.p <> s.p then
+        Error (Printf.sprintf "incompatible hll sketches: precision %d vs %d" d.p s.p)
+      else begin
+        for i = 0 to Bytes.length d.regs - 1 do
+          if Bytes.get s.regs i > Bytes.get d.regs i then
+            Bytes.set d.regs i (Bytes.get s.regs i)
+        done;
+        d.hll_n <- d.hll_n + s.hll_n;
+        Ok ()
+      end
+  | _ ->
+      let name = function Cm _ -> "cm" | Topk _ -> "topk" | Hll _ -> "hll" in
+      Error (Printf.sprintf "cannot merge a %s sketch into a %s sketch" (name src) (name dst))
+
+let merge a b =
+  let c = copy a in
+  match merge_into c b with Ok () -> Ok c | Error e -> Error e
+
+let items_added = function Cm c -> c.cm_n | Topk t -> t.tk_n | Hll h -> h.hll_n
+
+(* ------------------------------ estimates ------------------------------ *)
+
+let cm_query t item =
+  match t with
+  | Cm c ->
+      let est = ref max_int in
+      for i = 0 to c.depth - 1 do
+        let j = index_of (hash64 ~seed:(i + 1) item) c.width in
+        if c.rows.(i).(j) < !est then est := c.rows.(i).(j)
+      done;
+      if !est = max_int then 0 else !est
+  | Topk _ | Hll _ -> 0
+
+let hll_alpha m =
+  if m <= 16 then 0.673
+  else if m <= 32 then 0.697
+  else if m <= 64 then 0.709
+  else 0.7213 /. (1.0 +. (1.079 /. float_of_int m))
+
+let hll_estimate h =
+  let m = 1 lsl h.p in
+  let sum = ref 0.0 in
+  let zeros = ref 0 in
+  for i = 0 to m - 1 do
+    let r = Char.code (Bytes.get h.regs i) in
+    if r = 0 then incr zeros;
+    sum := !sum +. (1.0 /. float_of_int (1 lsl r))
+  done;
+  let fm = float_of_int m in
+  let raw = hll_alpha m *. fm *. fm /. !sum in
+  let est =
+    if raw <= 2.5 *. fm && !zeros > 0 then fm *. Float.log (fm /. float_of_int !zeros)
+    else raw
+  in
+  int_of_float (Float.round est)
+
+let estimate = function
+  | Cm c -> c.cm_n
+  | Topk t -> Hashtbl.length t.tbl
+  | Hll h -> hll_estimate h
+
+let top = function
+  | Topk t ->
+      let all = Hashtbl.fold (fun item e acc -> (item, e.cnt) :: acc) t.tbl [] in
+      List.sort
+        (fun (ia, ca) (ib, cb) ->
+          match compare cb ca with 0 -> String.compare ia ib | c -> c)
+        all
+  | Cm _ | Hll _ -> []
+
+let error_bound = function
+  | Cm c -> c.eps *. float_of_int c.cm_n
+  | Topk t -> float_of_int t.tk_n /. float_of_int (t.k + 1)
+  | Hll h -> 1.04 /. Float.sqrt (float_of_int (1 lsl h.p))
+
+(* -------------------------------- codec -------------------------------- *)
+
+let codec_version = 1
+
+let put_varint buf n =
+  let n = ref n in
+  let continue = ref true in
+  while !continue do
+    let b = !n land 0x7f in
+    n := !n lsr 7;
+    if !n = 0 then begin
+      Buffer.add_char buf (Char.chr b);
+      continue := false
+    end
+    else Buffer.add_char buf (Char.chr (b lor 0x80))
+  done
+
+let put_f64 buf f = Buffer.add_int64_be buf (Int64.bits_of_float f)
+
+let encode t =
+  let buf = Buffer.create 256 in
+  Buffer.add_char buf (Char.chr codec_version);
+  (match t with
+  | Cm c ->
+      Buffer.add_char buf '\000';
+      put_varint buf c.width;
+      put_varint buf c.depth;
+      put_varint buf c.cm_n;
+      put_f64 buf c.eps;
+      put_f64 buf c.delta;
+      Array.iter (fun row -> Array.iter (fun n -> put_varint buf n) row) c.rows
+  | Topk t ->
+      Buffer.add_char buf '\001';
+      put_varint buf t.k;
+      put_varint buf t.tk_n;
+      Buffer.add_char buf (if t.evicted then '\001' else '\000');
+      (* sorted for a canonical encoding: equal sketches encode equal *)
+      let entries =
+        List.sort
+          (fun (a, _) (b, _) -> String.compare a b)
+          (Hashtbl.fold (fun item e acc -> (item, e) :: acc) t.tbl [])
+      in
+      put_varint buf (List.length entries);
+      List.iter
+        (fun (item, (e : tk_entry)) ->
+          put_varint buf (String.length item);
+          Buffer.add_string buf item;
+          put_varint buf e.cnt;
+          put_varint buf e.err)
+        entries
+  | Hll h ->
+      Buffer.add_char buf '\002';
+      put_varint buf h.p;
+      put_varint buf h.hll_n;
+      Buffer.add_bytes buf h.regs);
+  Buffer.contents buf
+
+exception Bad of string
+
+type cursor = { s : string; mutable pos : int }
+
+let need cur n =
+  if cur.pos + n > String.length cur.s then raise (Bad "truncated sketch state")
+
+let get_byte cur =
+  need cur 1;
+  let b = Char.code cur.s.[cur.pos] in
+  cur.pos <- cur.pos + 1;
+  b
+
+let get_varint cur =
+  let n = ref 0 and shift = ref 0 and continue = ref true in
+  while !continue do
+    if !shift > 56 then raise (Bad "varint overflow");
+    let b = get_byte cur in
+    n := !n lor ((b land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    if b land 0x80 = 0 then continue := false
+  done;
+  !n
+
+let get_f64 cur =
+  need cur 8;
+  let v = Int64.float_of_bits (String.get_int64_be cur.s cur.pos) in
+  cur.pos <- cur.pos + 8;
+  v
+
+let get_str cur n =
+  need cur n;
+  let s = String.sub cur.s cur.pos n in
+  cur.pos <- cur.pos + n;
+  s
+
+let decode s =
+  let cur = { s; pos = 0 } in
+  match
+    let version = get_byte cur in
+    if version <> codec_version then
+      raise (Bad (Printf.sprintf "sketch codec version %d, expected %d" version codec_version));
+    let t =
+      match get_byte cur with
+      | 0 ->
+          let width = get_varint cur in
+          let depth = get_varint cur in
+          if width < 1 || width > max_cm_width || depth < 1 || depth > max_cm_depth then
+            raise (Bad "count-min dimensions out of range");
+          let n = get_varint cur in
+          let eps = get_f64 cur in
+          let delta = get_f64 cur in
+          let rows =
+            Array.init depth (fun _ -> Array.init width (fun _ -> get_varint cur))
+          in
+          Cm { width; depth; rows; cm_n = n; eps; delta }
+      | 1 ->
+          let k = get_varint cur in
+          if k < 1 || k > max_topk then raise (Bad "heavy-hitter k out of range");
+          let n = get_varint cur in
+          let evicted = get_byte cur <> 0 in
+          let count = get_varint cur in
+          if count > k then raise (Bad "heavy-hitter summary larger than k");
+          let tbl = Hashtbl.create (min count 64) in
+          for _ = 1 to count do
+            let len = get_varint cur in
+            if len > 65536 then raise (Bad "heavy-hitter item too long");
+            let item = get_str cur len in
+            let cnt = get_varint cur in
+            let err = get_varint cur in
+            if Hashtbl.mem tbl item then raise (Bad "duplicate heavy-hitter item");
+            Hashtbl.replace tbl item { cnt; err }
+          done;
+          Topk { k; tbl; tk_n = n; evicted }
+      | 2 ->
+          let p = get_varint cur in
+          if p < 4 || p > 16 then raise (Bad "hll precision out of range");
+          let n = get_varint cur in
+          let regs = Bytes.of_string (get_str cur (1 lsl p)) in
+          Bytes.iter
+            (fun c -> if Char.code c > 64 then raise (Bad "hll register out of range"))
+            regs;
+          Hll { p; regs; hll_n = n }
+      | k -> raise (Bad (Printf.sprintf "unknown sketch kind tag %d" k))
+    in
+    if cur.pos <> String.length s then raise (Bad "trailing bytes after sketch state");
+    t
+  with
+  | t -> Ok t
+  | exception Bad e -> Error e
+
+let kind_name = function Cm _ -> "cm" | Topk _ -> "topk" | Hll _ -> "hll"
+
+let pp fmt t =
+  match t with
+  | Cm c -> Format.fprintf fmt "cm(%dx%d, n=%d)" c.depth c.width c.cm_n
+  | Topk t -> Format.fprintf fmt "topk(k=%d, tracked=%d, n=%d)" t.k (Hashtbl.length t.tbl) t.tk_n
+  | Hll h -> Format.fprintf fmt "hll(p=%d, est=%d)" h.p (hll_estimate h)

@@ -1,0 +1,90 @@
+(** Mergeable sketch summaries for distributed aggregation trees.
+
+    Three classic structures — a count-min sketch, a space-saving
+    (Misra-Gries) heavy-hitter summary, and a HyperLogLog-style distinct
+    counter — sharing one interface: [add] an item, [merge] two
+    summaries, [estimate] the answer. The merge is the load-bearing
+    operation: it is commutative, and associative up to the structure's
+    error bound (exactly associative for count-min and HLL; the
+    heavy-hitter summary is exact while fewer than [k] distinct items
+    have been seen), so partial sketches computed at the edge of an
+    aggregation tree combine at every fan-in level into the same answer
+    a single process would have produced.
+
+    Items are byte strings; callers canonicalize their values first.
+    Hashing is deterministic (seeded FNV-1a + splitmix64 finalizer), so
+    the same item stream yields the same sketch on every host. *)
+
+type t
+
+(** {1 Construction} *)
+
+val cm : eps:float -> delta:float -> t
+(** Count-min sketch: frequency overestimates bounded by [eps * N]
+    (N = total items added) with probability [1 - delta]. Width
+    [ceil(e / eps)], depth [ceil(ln (1 / delta))]; both clamped to
+    sane ranges. Raises [Invalid_argument] on non-finite or
+    out-of-(0,1) parameters. *)
+
+val topk : k:int -> t
+(** Space-saving heavy-hitter summary holding at most [k] counters.
+    Counts are exact while at most [k] distinct items are seen;
+    afterwards each reported count overestimates by at most the
+    per-item error bound tracked alongside it. Raises
+    [Invalid_argument] when [k < 1] or absurdly large. *)
+
+val hll : precision:int -> t
+(** HyperLogLog distinct counter with [2 ^ precision] one-byte
+    registers; relative error about [1.04 / sqrt (2 ^ precision)].
+    [precision] must be in [4, 16]. *)
+
+(** {1 The sketch algebra} *)
+
+val add : t -> string -> unit
+val copy : t -> t
+
+val merge_into : t -> t -> (unit, string) result
+(** [merge_into dst src] folds [src] into [dst]; [src] is not mutated.
+    [Error] (and [dst] untouched) when the two sketches are of
+    different kinds or incompatible dimensions — never an exception,
+    because merged states arrive over the network. *)
+
+val merge : t -> t -> (t, string) result
+(** Pure variant of {!merge_into}: neither argument is mutated. *)
+
+val items_added : t -> int
+(** Total number of [add]s folded in (summed across merges). *)
+
+(** {1 Estimates} *)
+
+val estimate : t -> int
+(** The sketch's headline answer: distinct count for {!hll}, total
+    items for {!cm}, number of tracked counters for {!topk}. *)
+
+val cm_query : t -> string -> int
+(** Estimated frequency of one item (count-min only; 0 otherwise). *)
+
+val top : t -> (string * int) list
+(** Tracked heavy hitters, highest count first (ties broken by item,
+    so the listing is deterministic); [[]] for non-topk sketches. *)
+
+val error_bound : t -> float
+(** The structure's additive/relative error promise: [eps * N] for
+    count-min, [N / (k + 1)] for space-saving (as a count), and the
+    relative error [1.04 / sqrt m] for HLL. *)
+
+(** {1 Versioned binary codec} *)
+
+val codec_version : int
+
+val encode : t -> string
+
+val decode : string -> (t, string) result
+(** Total: truncated, corrupt, oversized or version-mismatched bytes
+    come back as [Error], never an exception. [decode (encode t)]
+    reconstructs [t] exactly. *)
+
+val kind_name : t -> string
+(** ["cm"], ["topk"] or ["hll"] — for metrics and error messages. *)
+
+val pp : Format.formatter -> t -> unit

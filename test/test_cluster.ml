@@ -1,0 +1,484 @@
+(* The distributed aggregation tree harness.
+
+   lib/cluster stretches the paper's two-level LFTA/HFTA split over an
+   N-level tree of engine+server nodes connected by real loopback TCP.
+   The claims under test: (1) topology validation is total with one-line
+   errors; (2) exact aggregates computed by a tree are identical to a
+   single-process run over the concatenated feeds; (3) sketch aggregates
+   keep every uplink bounded by (groups x sketch size) while the
+   root's estimate stays inside the sketch's error bound — over a
+   million input tuples; (4) loss is visible, never silent: a killed
+   edge surfaces as an Item.Gap at the root with per-link conservation
+   (tuples_out = delivered + gaps) intact, and a permanently dead node
+   becomes one in-band Item.Error, not a wedge. *)
+
+module E = Gigascope.Engine
+module Rts = Gigascope_rts
+module Value = Rts.Value
+module Item = Rts.Item
+module Metrics = Gigascope_obs.Metrics
+module Cluster = Gigascope_cluster.Cluster
+module Topology = Gigascope_cluster.Topology
+
+let check = Alcotest.check
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let fail_on_error label = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" label e
+
+(* ------------------------------ topology -------------------------------- *)
+
+let parse_err text =
+  match Topology.parse text with
+  | Ok _ -> Alcotest.failf "accepted bad topology: %s" (String.escaped text)
+  | Error e ->
+      check Alcotest.bool ("one-line error: " ^ e) false (String.contains e '\n');
+      e
+
+let test_topology_valid () =
+  let t =
+    fail_on_error "parse"
+      (Topology.parse
+         "# two racks\nroot: rack0 rack1\nrack0: e0 e1\nrack1: e2 e3 # tail comment\n")
+  in
+  check Alcotest.string "root" "root" (Topology.root t);
+  check Alcotest.(list string) "bfs order"
+    [ "root"; "rack0"; "rack1"; "e0"; "e1"; "e2"; "e3" ]
+    (Topology.nodes t);
+  check Alcotest.(list string) "leaves" [ "e0"; "e1"; "e2"; "e3" ] (Topology.leaves t);
+  check Alcotest.(list string) "children" [ "e0"; "e1" ] (Topology.children t "rack0");
+  check Alcotest.(option string) "parent" (Some "rack1") (Topology.parent t "e3");
+  check Alcotest.(option string) "root parent" None (Topology.parent t "root");
+  check Alcotest.int "depth root" 0 (Topology.depth t "root");
+  check Alcotest.int "depth leaf" 2 (Topology.depth t "e2");
+  check Alcotest.int "depth unknown" (-1) (Topology.depth t "nope");
+  check Alcotest.int "height" 2 (Topology.height t);
+  check Alcotest.int "size" 7 (Topology.size t);
+  check Alcotest.bool "leaf" true (Topology.is_leaf t "e0");
+  check Alcotest.bool "interior not leaf" false (Topology.is_leaf t "rack0");
+  check Alcotest.bool "unknown not leaf" false (Topology.is_leaf t "nope");
+  (* a leaf may be declared explicitly with an empty child list *)
+  let t2 = fail_on_error "explicit leaf" (Topology.parse "r: a b\na:\n") in
+  check Alcotest.(list string) "explicit leaf parses" [ "a"; "b" ] (Topology.leaves t2)
+
+let test_topology_errors () =
+  let e = parse_err "" in
+  check Alcotest.bool "empty named" true (contains e "empty");
+  let e = parse_err "root: e0\nroot: e1\n" in
+  check Alcotest.bool "duplicate decl" true (contains e "duplicate");
+  let e = parse_err "a: c\nb: c\nroot: a b\n" in
+  check Alcotest.bool "two parents" true (contains e "two parents");
+  let e = parse_err "a: b\nb: a\n" in
+  check Alcotest.bool "cycle" true (contains e "cyclic");
+  let e = parse_err "a: b\nc: d\n" in
+  check Alcotest.bool "two roots" true (contains e "two roots");
+  let e = parse_err "a: a\n" in
+  check Alcotest.bool "self child" true (contains e "its own child");
+  let e = parse_err "root: e0 e0\n" in
+  check Alcotest.bool "dup child" true (contains e "twice");
+  let e = parse_err "root: e$0\n" in
+  check Alcotest.bool "bad name cited" true (contains e "e$0");
+  let e = parse_err "root\n" in
+  check Alcotest.bool "childless root" true (contains e "no children");
+  let many = String.concat " " (List.init 65 (fun i -> Printf.sprintf "e%d" i)) in
+  let e = parse_err ("root: " ^ many ^ "\n") in
+  check Alcotest.bool "fan-in cap" true (contains e "max 64");
+  (match Topology.load "/nonexistent/topo.conf" with
+  | Ok _ -> Alcotest.fail "loaded a nonexistent file"
+  | Error e -> check Alcotest.bool "load error prefixed" true (contains e "topology:"))
+
+(* ------------------------------ feeds ----------------------------------- *)
+
+(* Rows in the builtin [ip] protocol schema: time, timestamp, ipversion,
+   hdr_length, len, ident, frag_offset, more_fragments, ttl, protocol,
+   srcip, destip, data_length. *)
+let ip_row ~time ~srcip ~len =
+  [|
+    Value.Int time;
+    Value.Float (float_of_int time);
+    Value.Int 4;
+    Value.Int 20;
+    Value.Int len;
+    Value.Int 0;
+    Value.Int 0;
+    Value.Int 0;
+    Value.Int 64;
+    Value.Int 6;
+    Value.Ip srcip;
+    Value.Ip 0x0A000001;
+    Value.Int (max 0 (len - 20));
+  |]
+
+let ip_schema =
+  (Option.get (Gigascope.Default_protocols.find "ip")).Gigascope.Default_protocols
+    .catalog_entry.Gigascope_gsql.Catalog.schema
+
+(* A pull function over [epochs] x [per_epoch] deterministic rows;
+   [row ~epoch ~i] builds row [i] of an epoch. *)
+let gen_feed ~epochs ~per_epoch ?(epoch_pause = 0.0) row =
+  let e = ref 0 and i = ref 0 in
+  fun () ->
+    if !e >= epochs then None
+    else begin
+      let r = row ~epoch:!e ~i:!i in
+      incr i;
+      if !i >= per_epoch then begin
+        i := 0;
+        incr e;
+        if epoch_pause > 0.0 then Thread.delay epoch_pause
+      end;
+      Some r
+    end
+
+let row_to_string row = String.concat "," (List.map Value.to_string (Array.to_list row))
+
+let result_rows t =
+  List.filter_map
+    (function Item.Tuple vs -> Some (row_to_string vs) | _ -> None)
+    (Cluster.results t)
+
+let topo_of text = fail_on_error "topology" (Topology.parse text)
+
+(* a tame reconnect budget so chaos tests converge in test time *)
+let fast_reconnect =
+  { Gigascope_net.Client.attempts = 3; base_delay = 0.02; max_delay = 0.1; jitter = 0.2; seed = 7 }
+
+(* ------------------- exact aggregates: tree = one process --------------- *)
+
+(* count/sum/min/max/avg grouped two ways; avg exercises the multi-slot
+   (sum+count) partial path through relay re-reduction. *)
+let exact_query from_ =
+  Printf.sprintf
+    {|
+DEFINE { query_name volume; }
+SELECT tb, truncate_ip(srcip, 24) as net, count(*) as pkts, sum(len) as bytes,
+       min(len) as lo, max(len) as hi, avg(len) as mean
+FROM %s
+WHERE ipversion = 4
+GROUP BY time/1 as tb, truncate_ip(srcip, 24) as net
+|}
+    from_
+
+let exact_epochs = 5
+let exact_per_edge = 2000
+
+let exact_row ~edge ~epoch ~i =
+  let srcip = 0x0A000000 + (((i * 37) + (edge * 101)) mod 520) in
+  let len = 40 + ((i + edge) mod 1000) in
+  ip_row ~time:epoch ~srcip ~len
+
+let test_exact_identity () =
+  let topo = topo_of "root: rack0 rack1\nrack0: e0 e1\nrack1: e2 e3\n" in
+  let t =
+    fail_on_error "launch"
+      (Cluster.launch ~topo ~program:(exact_query "ip")
+         ~feed:(fun ~edge:_ ~index ->
+           gen_feed ~epochs:exact_epochs ~per_epoch:exact_per_edge (exact_row ~edge:index))
+         ())
+  in
+  check Alcotest.string "query name" "volume" (Cluster.query_name t);
+  fail_on_error "run" (Cluster.run ~timeout:60.0 t);
+  let got = List.sort compare (result_rows t) in
+  (* the single-process baseline: same query text over a custom stream
+     fed the per-epoch interleave of all four edges *)
+  let engine = E.create ~shards:1 () in
+  let feeds = Array.init 4 (fun e -> gen_feed ~epochs:exact_epochs ~per_epoch:exact_per_edge (exact_row ~edge:e)) in
+  let cur = ref 0 in
+  let rec pull tries =
+    (* round-robin the edge generators; they stay epoch-aligned because
+       all four advance epochs at the same row count *)
+    if tries > 4 then None
+    else
+      match feeds.(!cur mod 4) () with
+      | Some r ->
+          incr cur;
+          Some (Item.Tuple r)
+      | None ->
+          incr cur;
+          pull (tries + 1)
+  in
+  fail_on_error "baseline source"
+    (E.add_custom_source engine ~name:"src" ~schema:ip_schema
+       ~pull:(fun () -> pull 0)
+       ~clock:(fun () -> []));
+  ignore (fail_on_error "baseline install" (E.install_program engine (exact_query "src")));
+  let rows = ref [] in
+  fail_on_error "baseline collect"
+    (E.on_tuple engine "volume" (fun r -> rows := row_to_string r :: !rows));
+  (match E.run engine () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "baseline run: %s" e);
+  let expected = List.sort compare !rows in
+  check Alcotest.bool "baseline produced rows" true (expected <> []);
+  check Alcotest.(list string) "tree output = single-process output" expected got;
+  (* a clean run loses nothing anywhere: every link conserves with zero
+     gaps, and delivered = the child's emitted tuple count *)
+  List.iter
+    (fun (from_, to_, tuples, gaps, errors) ->
+      let label = Printf.sprintf "link %s->%s" from_ to_ in
+      check Alcotest.int (label ^ " no gaps") 0 gaps;
+      check Alcotest.int (label ^ " no errors") 0 errors;
+      check Alcotest.int (label ^ " conserves") (Cluster.node_out t from_) tuples)
+    (Cluster.link_stats t);
+  (* the cluster.* surface is live *)
+  let snap = Metrics.snapshot (Cluster.metrics t) in
+  (match Metrics.find snap "cluster.node.e0.alive" with
+  | Some (Metrics.Gauge g) -> check (Alcotest.float 0.0) "e0 alive gauge settled" 0.0 g
+  | _ -> Alcotest.fail "missing cluster.node.e0.alive");
+  (match Metrics.find snap "cluster.node.root.level" with
+  | Some (Metrics.Gauge g) -> check (Alcotest.float 0.0) "root level" 0.0 g
+  | _ -> Alcotest.fail "missing cluster.node.root.level");
+  (match Metrics.find snap "cluster.node.e0.out" with
+  | Some (Metrics.Gauge g) -> check Alcotest.bool "e0 out gauge positive" true (g > 0.0)
+  | _ -> Alcotest.fail "missing cluster.node.e0.out");
+  (match Metrics.find snap "cluster.link.e0->rack0.tuples" with
+  | Some (Metrics.Counter n) -> check Alcotest.bool "link counter positive" true (n > 0)
+  | _ -> Alcotest.fail "missing cluster.link.e0->rack0.tuples");
+  (match Metrics.find snap "cluster.level.2.out" with
+  | Some (Metrics.Gauge g) -> check Alcotest.bool "level 2 out" true (g > 0.0)
+  | _ -> Alcotest.fail "missing cluster.level.2.out");
+  let report = Cluster.report t in
+  List.iter
+    (fun needle ->
+      check Alcotest.bool ("report mentions " ^ needle) true (contains report needle))
+    [ "cluster volume"; "root"; "rack0"; "e3"; "link e0->rack0"; "reduction" ];
+  Cluster.shutdown t
+
+(* -------------------- sketches: a bounded-uplink million ----------------- *)
+
+(* 4 edges x 2 epochs x 125k rows = 1M tuples; every edge sees the same
+   50k-key universe, so the true per-epoch distinct count is exactly
+   50_000. HLL precision 12 promises ~1.6% relative error; we accept
+   5%. The tree reduces a million tuples to one sketch-carrying partial
+   per (edge, epoch) — that bound, asserted on the link counters, is
+   what "root memory stays sketch-sized" means operationally. *)
+let sketch_epochs = 2
+let sketch_per_edge_epoch = 125_000
+let sketch_universe = 50_000
+
+let sketch_query =
+  {|
+DEFINE { query_name dcount; }
+SELECT tb, approx_count_distinct(srcip, 12) as dc
+FROM ip
+GROUP BY time/1 as tb
+|}
+
+let test_sketch_million () =
+  let topo = topo_of "root: rack0 rack1\nrack0: e0 e1\nrack1: e2 e3\n" in
+  let t =
+    fail_on_error "launch"
+      (Cluster.launch ~topo ~program:sketch_query
+         ~feed:(fun ~edge:_ ~index ->
+           gen_feed ~epochs:sketch_epochs ~per_epoch:sketch_per_edge_epoch
+             (fun ~epoch ~i ->
+               (* walk the whole universe; stride co-prime to its size *)
+               let key = (i * 7 + index) mod sketch_universe in
+               ip_row ~time:epoch ~srcip:(0x0A000000 + key) ~len:60))
+         ())
+  in
+  fail_on_error "run" (Cluster.run ~timeout:120.0 t);
+  let rows =
+    List.filter_map
+      (function Item.Tuple [| Value.Int tb; Value.Int dc |] -> Some (tb, dc) | _ -> None)
+      (Cluster.results t)
+  in
+  check Alcotest.int "one result row per epoch" sketch_epochs (List.length rows);
+  List.iter
+    (fun (tb, dc) ->
+      let err =
+        Float.abs (float_of_int (dc - sketch_universe)) /. float_of_int sketch_universe
+      in
+      check Alcotest.bool
+        (Printf.sprintf "epoch %d estimate %d within 5%% of %d" tb dc sketch_universe)
+        true (err <= 0.05))
+    rows;
+  (* bounded uplinks: each link moved one sketch partial per epoch (+1
+     for the trailing partial flush at Eof), not a share of the million *)
+  List.iter
+    (fun (from_, to_, tuples, gaps, _errors) ->
+      let label = Printf.sprintf "link %s->%s" from_ to_ in
+      check Alcotest.int (label ^ " no gaps") 0 gaps;
+      check Alcotest.bool
+        (Printf.sprintf "%s moved %d tuples (bounded by epochs, not input)" label tuples)
+        true
+        (tuples >= 1 && tuples <= sketch_epochs + 1))
+    (Cluster.link_stats t);
+  (* and the reduction is visible end to end: a million tuples in, a
+     handful of partials past the edges *)
+  let edges_out =
+    List.fold_left (fun acc e -> acc + Cluster.node_out t e) 0 [ "e0"; "e1"; "e2"; "e3" ]
+  in
+  check Alcotest.bool "million-to-partials reduction" true
+    (edges_out <= 4 * (sketch_epochs + 1));
+  Cluster.shutdown t
+
+(* ----------------------- chaos: severed edge = Gap ----------------------- *)
+
+(* High-cardinality groups make each epoch flush a burst of partials, so
+   an edge severed while orphaned provably loses some: the burst
+   overruns the egress queue before the parent's link has resumed. The
+   law is conservation, not a loss count: whatever the kill swallowed is
+   announced, so emitted = delivered + gaps, and the Gap markers ride
+   merge and relay to the root's output. *)
+let chaos_query =
+  {|
+DEFINE { query_name chaos; }
+SELECT tb, srcip, count(*) as pkts
+FROM ip
+GROUP BY time/1 as tb, srcip
+|}
+
+let test_killed_edge_gap_conservation () =
+  let topo = topo_of "root: e0 e1\n" in
+  let epochs = 150 and keys = 5000 in
+  let t =
+    fail_on_error "launch"
+      (Cluster.launch ~topo ~program:chaos_query
+         ~feed:(fun ~edge:_ ~index ->
+           gen_feed ~epochs ~per_epoch:keys ~epoch_pause:0.002 (fun ~epoch ~i ->
+               ip_row ~time:epoch ~srcip:(0x0A000000 + (i * 4) + index) ~len:60))
+         ~reconnect:fast_reconnect ())
+  in
+  let e0_gaps () =
+    List.fold_left
+      (fun acc (from_, _, _, gaps, _) -> if from_ = "e0" then acc + gaps else acc)
+      0 (Cluster.link_stats t)
+  in
+  let killer =
+    Thread.create
+      (fun () ->
+        Thread.delay 0.3;
+        let rec go n =
+          if n > 0 && e0_gaps () = 0 then begin
+            (match Cluster.kill_node t "e0" with
+            | Ok _ -> ()
+            | Error e -> Alcotest.failf "kill_node e0: %s" e);
+            Thread.delay 0.12;
+            go (n - 1)
+          end
+        in
+        go 60)
+      ()
+  in
+  fail_on_error "run" (Cluster.run ~timeout:120.0 t);
+  Thread.join killer;
+  let stats = Cluster.link_stats t in
+  let _, _, delivered, gaps, _ =
+    List.find (fun (from_, _, _, _, _) -> from_ = "e0") stats
+  in
+  check Alcotest.bool "the kill lost tuples" true (gaps > 0);
+  check Alcotest.int "conservation: emitted = delivered + gaps"
+    (Cluster.node_out t "e0")
+    (delivered + gaps);
+  check Alcotest.bool "gap marker reached the root" true
+    (List.exists (function Item.Gap _ -> true | _ -> false) (Cluster.results t));
+  (* the untouched edge conserved trivially *)
+  let _, _, d1, g1, _ = List.find (fun (from_, _, _, _, _) -> from_ = "e1") stats in
+  check Alcotest.int "e1 conserves" (Cluster.node_out t "e1") (d1 + g1);
+  Cluster.shutdown t
+
+(* ------------------- chaos: dead node = Error, not wedge ------------------ *)
+
+let test_stopped_node_error () =
+  let topo = topo_of "root: e0 e1\n" in
+  let t =
+    fail_on_error "launch"
+      (Cluster.launch ~topo ~program:chaos_query
+         ~feed:(fun ~edge ~index:_ ->
+           if edge = "e0" then
+             gen_feed ~epochs:10 ~per_epoch:50 (fun ~epoch ~i ->
+                 ip_row ~time:epoch ~srcip:(0x0A000000 + i) ~len:60)
+           else
+             (* e1 outlives its own stopped server: the feed keeps
+                going, the run must still complete *)
+             gen_feed ~epochs:300 ~per_epoch:20 ~epoch_pause:0.001 (fun ~epoch ~i ->
+                 ip_row ~time:epoch ~srcip:(0x0B000000 + i) ~len:60))
+         ~reconnect:fast_reconnect ())
+  in
+  (match Cluster.stop_node t "nope" with
+  | Ok () -> Alcotest.fail "stopped an unknown node"
+  | Error e -> check Alcotest.bool "unknown node named" true (contains e "nope"));
+  (match Cluster.stop_node t "root" with
+  | Ok () -> Alcotest.fail "stopped the root"
+  | Error e -> check Alcotest.bool "root refusal" true (contains e "root"));
+  (match Cluster.kill_node t "root" with
+  | Ok _ -> Alcotest.fail "severed the root"
+  | Error e -> check Alcotest.bool "root sever refusal" true (contains e "root"));
+  let killer =
+    Thread.create
+      (fun () ->
+        Thread.delay 0.15;
+        match Cluster.stop_node t "e1" with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "stop_node e1: %s" e)
+      ()
+  in
+  fail_on_error "run (must not wedge)" (Cluster.run ~timeout:60.0 t);
+  Thread.join killer;
+  check Alcotest.bool "death surfaced as in-band Error" true
+    (List.exists (function Item.Error _ -> true | _ -> false) (Cluster.results t));
+  let _, _, _, _, errors =
+    List.find (fun (from_, _, _, _, _) -> from_ = "e1") (Cluster.link_stats t)
+  in
+  check Alcotest.bool "link error counted" true (errors >= 1);
+  (* the healthy edge's data still arrived *)
+  check Alcotest.bool "partial results delivered" true (result_rows t <> []);
+  Cluster.shutdown t
+
+(* -------------------------- launch eligibility ---------------------------- *)
+
+let test_launch_errors () =
+  let topo = topo_of "root: e0 e1\n" in
+  let feed ~edge:_ ~index:_ () = None in
+  let expect_err label program needle =
+    match Cluster.launch ~topo ~program ~feed () with
+    | Ok t ->
+        Cluster.shutdown t;
+        Alcotest.failf "%s: launched" label
+    | Error e ->
+        check Alcotest.bool
+          (Printf.sprintf "%s error is one line: %s" label e)
+          false (String.contains e '\n');
+        check Alcotest.bool (Printf.sprintf "%s names the cause: %s" label e) true
+          (contains e needle)
+  in
+  expect_err "no epoch" "SELECT srcip, count(*) as c FROM ip GROUP BY srcip" "epoch";
+  expect_err "pure select" "SELECT time, srcip FROM ip" "must split";
+  expect_err "derived stream"
+    {|
+DEFINE { query_name base; }
+SELECT tb, srcip, count(*) as c FROM ip GROUP BY time/1 as tb, srcip
+
+DEFINE { query_name again; }
+SELECT tb, count(*) as n FROM base GROUP BY tb
+|}
+    "must split";
+  expect_err "parse error" "SELECT FROM WHERE" "";
+  expect_err "empty program" "" ""
+
+(* -------------------------------- suite --------------------------------- *)
+
+let () =
+  Alcotest.run "cluster"
+    [
+      ( "topology",
+        [
+          Alcotest.test_case "valid" `Quick test_topology_valid;
+          Alcotest.test_case "errors" `Quick test_topology_errors;
+        ] );
+      ("eligibility", [ Alcotest.test_case "launch errors" `Quick test_launch_errors ]);
+      ("exact", [ Alcotest.test_case "tree = single process" `Slow test_exact_identity ]);
+      ("sketch", [ Alcotest.test_case "bounded million" `Slow test_sketch_million ]);
+      ( "chaos",
+        [
+          Alcotest.test_case "killed edge: gap + conservation" `Slow
+            test_killed_edge_gap_conservation;
+          Alcotest.test_case "dead node: error, no wedge" `Slow test_stopped_node_error;
+        ] );
+    ]

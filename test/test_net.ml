@@ -18,6 +18,7 @@ module Conn = Gigascope_net.Conn
 module Addr = Gigascope_net.Addr
 module Server = Gigascope_net.Server
 module Client = Gigascope_net.Client
+module Sketch = Gigascope_sketch.Sketch
 
 let qtest name gen law = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count:500 gen law)
 
@@ -51,6 +52,21 @@ let sample_batch =
       [| Value.Str ""; Value.Int (-7); Value.Bool false |];
     |]
     (Some (Item.Punct [ (0, Value.Int 43); (2, Value.Float 1.0) ]))
+
+(* Populated sketch states of every kind: the opaque column type rides
+   the wire via the sketch library's own versioned codec, so batches
+   carrying them must round-trip byte-identically like any other value. *)
+let sketch_state kind =
+  let s =
+    match kind with
+    | `Cm -> Sketch.cm ~eps:0.01 ~delta:0.01
+    | `Topk -> Sketch.topk ~k:8
+    | `Hll -> Sketch.hll ~precision:10
+  in
+  for i = 0 to 199 do
+    Sketch.add s (Printf.sprintf "key-%d" (i mod 23))
+  done;
+  s
 
 let sample_msgs =
   [
@@ -93,6 +109,24 @@ let sample_msgs =
       (Batch.make ~stamps:[| 0; 55_000_000 |]
          [| [| Value.Bool false |]; [| Value.Bool true |] |]
          (Some (Item.Punct [ (0, Value.Int 7) ])));
+    (* sketch-state columns: every kind, mixed with plain values, empty
+       states, and a sketch batch sealed by a control item *)
+    Wire.Batch
+      (Batch.make
+         [|
+           [| Value.Int 1; Value.Sketch (sketch_state `Cm) |];
+           [| Value.Int 2; Value.Sketch (sketch_state `Topk) |];
+           [| Value.Int 3; Value.Sketch (sketch_state `Hll) |];
+         |]
+         None);
+    Wire.Batch
+      (Batch.make
+         [| [| Value.Sketch (Sketch.hll ~precision:4); Value.Null |] |]
+         (Some (Item.Punct [ (0, Value.Int 9) ])));
+    Wire.Batch
+      (Batch.make ~stamps:[| 77_000 |]
+         [| [| Value.Sketch (sketch_state `Topk) |] |]
+         (Some Item.Flush));
   ]
 
 (* Byte-level equality after a re-encode sidesteps the need for a
@@ -182,6 +216,65 @@ let test_corrupt_frames () =
   let truncated = Bytes.sub stamped 0 (Bytes.length stamped - 3) in
   Bytes.set_int32_be truncated 5 (Int32.of_int (Bytes.length truncated - Wire.header_len));
   expect_corrupt "truncated stamp column" truncated
+
+(* Find the unique offset of [needle] inside [hay] — used to locate a
+   sketch state's bytes within its encoded frame. *)
+let find_sub hay needle =
+  let hl = Bytes.length hay and nl = String.length needle in
+  let rec go i =
+    if i + nl > hl then Alcotest.fail "sketch bytes not found in frame"
+    else if String.equal (Bytes.sub_string hay i nl) needle then i
+    else go (i + 1)
+  in
+  go 0
+
+(* Sketch payloads inside batch frames: a skewed codec version is
+   rejected as Corrupt with a message naming the version, and every
+   truncation of the sketch state inside an otherwise well-formed frame
+   is Corrupt — the decoder maps the sketch codec's Error into the
+   frame-level failure, never an exception. *)
+let test_sketch_payload_version_skew () =
+  let s = sketch_state `Hll in
+  let enc = Sketch.encode s in
+  let frame = Wire.encode (Wire.Batch (Batch.make [| [| Value.Sketch s |] |] None)) in
+  let off = find_sub frame enc in
+  let skewed = Bytes.copy frame in
+  Bytes.set skewed off (Char.chr ((Sketch.codec_version + 1) land 0xff));
+  match Wire.decode skewed ~pos:0 ~len:(Bytes.length skewed) with
+  | Wire.Corrupt e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "corruption message mentions version: %s" e)
+        true
+        (let lower = String.lowercase_ascii e in
+         let pat = "version" in
+         let rec has i =
+           i + String.length pat <= String.length lower
+           && (String.equal (String.sub lower i (String.length pat)) pat || has (i + 1))
+         in
+         has 0)
+  | Wire.Frame _ -> Alcotest.fail "version-skewed sketch decoded"
+  | Wire.Need_more -> Alcotest.fail "version-skewed sketch: Need_more"
+
+let test_sketch_payload_truncation () =
+  List.iter
+    (fun kind ->
+      let s = sketch_state kind in
+      let enc = Sketch.encode s in
+      let frame = Wire.encode (Wire.Batch (Batch.make [| [| Value.Sketch s |] |] None)) in
+      let off = find_sub frame enc in
+      (* the u32 string length prefix sits just before the sketch bytes;
+         shrinking it hands Sketch.decode a strict prefix of the state *)
+      for keep = 0 to String.length enc - 1 do
+        let b = Bytes.copy frame in
+        Bytes.set_int32_be b (off - 4) (Int32.of_int keep);
+        match Wire.decode b ~pos:0 ~len:(Bytes.length b) with
+        | Wire.Corrupt _ -> ()
+        | Wire.Frame _ ->
+            Alcotest.failf "%s: sketch truncated to %d bytes decoded" (Sketch.kind_name s) keep
+        | Wire.Need_more ->
+            Alcotest.failf "%s: sketch truncated to %d bytes: Need_more" (Sketch.kind_name s) keep
+      done)
+    [ `Cm; `Topk; `Hll ]
 
 (* Whatever the bytes, decode returns a value — never raises. *)
 let fuzz_decode_total =
@@ -690,6 +783,10 @@ let () =
           Alcotest.test_case "prefixes want more bytes" `Quick test_prefixes_need_more;
           Alcotest.test_case "back-to-back frames" `Quick test_back_to_back;
           Alcotest.test_case "corrupt frames rejected" `Quick test_corrupt_frames;
+          Alcotest.test_case "sketch codec version skew rejected" `Quick
+            test_sketch_payload_version_skew;
+          Alcotest.test_case "sketch payload truncation is Corrupt" `Quick
+            test_sketch_payload_truncation;
           fuzz_decode_total;
           fuzz_mutated_frames;
           fuzz_truncation_total;
