@@ -1,6 +1,6 @@
 # Convenience targets; `make ci` is what a CI job should run.
 
-.PHONY: all build test ci ci-observability ci-cluster bench clean
+.PHONY: all build test ci ci-observability ci-cluster ci-certify bench clean
 
 all: build
 
@@ -41,6 +41,30 @@ ci:
 	GIGASCOPE_FAULTS="$(CHAOS_FAULTS)" GIGASCOPE_SHARDS=2 timeout $(CI_TIMEOUT) dune runtest --force
 	$(MAKE) ci-observability
 	$(MAKE) ci-cluster
+	$(MAKE) ci-certify
+
+# The memory-certification gate: every shipped query must carry a
+# finite state bound. `gsq explain --memory` prints UNBOUNDED for any
+# operator the certifier cannot bound, so grep is the oracle. Then
+# every example program re-runs with admission forced to reject,
+# proving the gate passes each plan the examples install (an example
+# that regresses to an unbounded plan exits nonzero here, not in
+# production).
+ci-certify:
+	set -e; for q in queries/*.gsql; do \
+	  dune exec bin/gsq.exe -- explain --memory $$q > .certify.out 2>&1 \
+	    || { echo "$$q: explain --memory failed"; cat .certify.out; rm -f .certify.out; exit 1; }; \
+	  if grep -q 'UNBOUNDED' .certify.out; then \
+	    echo "$$q: unexpected UNBOUNDED verdict"; cat .certify.out; rm -f .certify.out; exit 1; \
+	  fi; \
+	  echo "certified $$q"; \
+	done; rm -f .certify.out
+	set -e; for e in examples/*.ml; do \
+	  n=$$(basename $$e .ml); \
+	  GIGASCOPE_ADMIT=reject timeout 60 dune exec examples/$$n.exe > /dev/null 2>&1 \
+	    || { echo "example $$n failed under GIGASCOPE_ADMIT=reject"; exit 1; }; \
+	  echo "certified example $$n"; \
+	done
 
 # The latency-observability smoke: a short paced soak (the bench exits
 # nonzero when loss exceeds the 2% doctrine, gap markers don't conserve

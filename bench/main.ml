@@ -90,9 +90,32 @@ module Json = struct
     Printf.printf "wrote %s\n%!" path
 end
 
+(* Memory accounting for the meta block: the process heap high-water
+   (top_heap_words covers every engine a sweep created, warmups
+   included) plus, when a representative engine is handed over, the
+   per-operator resident-state peaks against their certified bounds —
+   the rts.state.* namespace, frozen into the artifact. *)
+let state_peak_rows eng =
+  List.filter_map
+    (fun node ->
+      let peak = Rts.Node.state_peak node in
+      if peak = 0 then None
+      else
+        Some
+          ( Rts.Node.name node,
+            Json.Obj
+              [
+                ("peak", Json.Int peak);
+                ( "bound",
+                  let b = Rts.Node.state_bound node in
+                  if Float.is_finite b then Json.Float b else Json.Str "unbounded" );
+              ] ))
+    (Rts.Manager.nodes (E.manager eng))
+
 (* Run metadata stamped into every BENCH_*.json: a bench number without
    the revision and the knobs it ran under cannot be compared to anything. *)
-let run_meta ~wall_s =
+let run_meta ?(state = []) ~wall_s () =
+  let gc = Gc.quick_stat () in
   let git_rev =
     match
       let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
@@ -117,6 +140,13 @@ let run_meta ~wall_s =
       ("env_latency", Json.Str (env "GIGASCOPE_LATENCY"));
       ("ocaml", Json.Str Sys.ocaml_version);
       ("word_size_bits", Json.Int Sys.word_size);
+      ( "heap_top_mb",
+        Json.Float
+          (float_of_int gc.Gc.top_heap_words
+          *. float_of_int (Sys.word_size / 8)
+          /. 1e6) );
+      ("gc_major_collections", Json.Int gc.Gc.major_collections);
+      ("rts_state_peaks", Json.Obj state);
     ]
 
 (* ---------------------------------------------------------------- E1 --- *)
@@ -268,6 +298,7 @@ let run_e2 () =
   Printf.printf "%-8s %10s %14s %10s %8s %10s\n" "batch" "wall(s)" "pkts/s" "outputs" "drops"
     "speedup";
   let base_outputs = ref (-1) and baseline = ref 0.0 and base_rows = ref [] in
+  let base_state = ref [] in
   let sweep =
     List.map
       (fun batch ->
@@ -275,7 +306,8 @@ let run_e2 () =
         if !base_outputs < 0 then begin
           base_outputs := outputs;
           baseline := dt;
-          base_rows := per_op_rows (E.metrics_snapshot eng)
+          base_rows := per_op_rows (E.metrics_snapshot eng);
+          base_state := state_peak_rows eng
         end
         else if outputs <> !base_outputs then
           failwith
@@ -311,7 +343,7 @@ let run_e2 () =
        [
          ("bench", Json.Str "e2");
          ("description", Json.Str "packets/second through a 5-query production-like set, swept over data-plane batch size");
-         ("meta", run_meta ~wall_s:(Unix.gettimeofday () -. t_start));
+         ("meta", run_meta ~state:!base_state ~wall_s:(Unix.gettimeofday () -. t_start) ());
          ("packets", Json.Int n_packets);
          ( "pre_refactor_baseline",
            Json.Obj
@@ -447,20 +479,22 @@ let run_e3 () =
     | Error e -> failwith ("e3 run: " ^ e));
     let dt = Unix.gettimeofday () -. t0 in
     let outputs = List.fold_left (fun acc (_, r) -> acc + !r) 0 counters in
-    (dt, (outputs, E.total_drops eng))
+    (dt, (outputs, E.total_drops eng, eng))
   in
   ignore (run_one ~shards:1 ~domains:1 ~batch:1) (* warmup, see run_e2 *);
   let baseline = ref 0.0 and base_outputs = ref (-1) in
+  let base_state = ref [] in
   let best_sharded = ref 0.0 in
   Printf.printf "%-8s %-10s %-8s %10s %14s %10s %8s %10s\n" "shards" "domains" "batch"
     "wall(s)" "pkts/s" "outputs" "drops" "speedup";
   let e2_sweep =
     List.map
       (fun (shards, domains, batch) ->
-        let dt, (outputs, drops) = best_of 3 (fun () -> run_one ~shards ~domains ~batch) in
+        let dt, (outputs, drops, eng) = best_of 3 (fun () -> run_one ~shards ~domains ~batch) in
         if !base_outputs < 0 then begin
           baseline := dt;
-          base_outputs := outputs
+          base_outputs := outputs;
+          base_state := state_peak_rows eng
         end
         else if outputs <> !base_outputs then
           failwith
@@ -557,7 +591,7 @@ let run_e3 () =
        [
          ("bench", Json.Str "e3");
          ("description", Json.Str "parallel HFTA execution and the batched data plane: e2 query set over domains x batch, plus a select+aggregate chain swept over batch size");
-         ("meta", run_meta ~wall_s:(Unix.gettimeofday () -. t_start));
+         ("meta", run_meta ~state:!base_state ~wall_s:(Unix.gettimeofday () -. t_start) ());
          ( "pre_refactor_baseline",
            Json.Obj
              [
@@ -1083,7 +1117,7 @@ let run_soak () =
          ( "description",
            Json.Str
              "paced end-to-end replay through the loopback wire protocol: loss vs. the 2% doctrine, gap conservation, ingest-to-deliver latency per query" );
-         ("meta", run_meta ~wall_s:(Unix.gettimeofday () -. t_start));
+         ("meta", run_meta ~state:(state_peak_rows eng) ~wall_s:(Unix.gettimeofday () -. t_start) ());
          ( "config",
            Json.Obj
              [

@@ -217,14 +217,51 @@ let inject =
           "Install a deterministic fault plan before the run (e.g.            $(b,seed=7,crash=total:3,torn=2)) — see the failure-model documentation for the            clause grammar. Also settable via $(b,GIGASCOPE_FAULTS). Same spec, same seed:            same faults, every run.")
 
 let supervise_arg =
-  let parse s = Result.map_error (fun e -> `Msg e) (Rts.Supervisor.policy_of_string s) in
-  let print fmt p = Format.pp_print_string fmt (Rts.Supervisor.policy_to_string p) in
   Arg.(
     value
-    & opt (some (conv (parse, print))) None
+    & opt (some string) None
     & info ["supervise"] ~docv:"POLICY"
         ~doc:
-          "Crash policy for query nodes: $(b,fail_fast) (default; the run stops with an            error naming the node), $(b,isolate) (poison only the crashing subtree —            downstream sees an explicit error marker and terminates), or $(b,restart)            (restart stateless operators in place, with a capped budget).            $(b,GIGASCOPE_SUPERVISE) sets the default.")
+          "Crash policy for query nodes: $(b,fail_fast) (default; the run stops with an            error naming the node), $(b,isolate) (poison only the crashing subtree —            downstream sees an explicit error marker and terminates), or $(b,restart)            (restart stateless operators in place, with a capped budget).            $(b,GIGASCOPE_SUPERVISE) sets the default. An unknown POLICY warns and falls            back to the default, matching the env knob.")
+
+(* Every other knob (GIGASCOPE_PARALLEL/BATCH/SHARDS and their flags)
+   degrades a malformed value to the default with a warning; --supervise
+   used to be the one hard error. Keep the CLI consistent with the env
+   knob: warn loudly, run with the default policy. *)
+let resolve_supervise = function
+  | None -> None
+  | Some s -> (
+      match Rts.Supervisor.policy_of_string s with
+      | Ok p -> Some p
+      | Error e ->
+          Printf.eprintf "warning: ignoring --supervise: %s; using the default policy\n%!" e;
+          None)
+
+let allow_unbounded =
+  Arg.(
+    value & flag
+    & info ["allow-unbounded"]
+        ~doc:
+          "Admit queries the memory certifier cannot bound (they install with a logged            warning naming the operator instead of being rejected). By default $(b,gsq run)            and $(b,gsq serve) refuse any plan without a finite state bound;            $(b,GIGASCOPE_ADMIT) overrides the default stance.")
+
+(* CLI admission stance: the flag wins; otherwise an explicitly set
+   GIGASCOPE_ADMIT decides (Engine.create reads it); otherwise reject —
+   a server admitting arbitrary GSQL should not accept a plan whose
+   state grows without bound. *)
+let resolve_admit allow_unbounded =
+  if allow_unbounded then Some E.Admit_warn
+  else
+    match Sys.getenv_opt "GIGASCOPE_ADMIT" with
+    | Some s when String.trim s <> "" -> None
+    | _ -> Some E.Admit_reject
+
+let watchdog_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info ["watchdog"] ~docv:"SLACK"
+        ~doc:
+          "Arm the state watchdog: a query node found holding more than its certified            memory bound times SLACK (>= 1.0) is treated as crashed — the loss is announced            downstream as a gap marker and the $(b,--supervise) policy applies. 0 disables            (the default); $(b,GIGASCOPE_WATCHDOG) sets the default.")
 
 let shed_arg =
   Arg.(
@@ -247,8 +284,8 @@ let install_inject inject =
 
 (* Engine with traffic plumbing shared by `run` and `serve`: a pcap
    replay or generator interface, plus the optional session stream. *)
-let setup_engine ~pcap_in ~iface ~gen_cfg ~sessions ~shards =
-  let engine = E.create ?shards:(if shards > 1 then Some shards else None) () in
+let setup_engine ~pcap_in ~iface ~gen_cfg ~sessions ~shards ~admit =
+  let engine = E.create ?shards:(if shards > 1 then Some shards else None) ?admit () in
   (match pcap_in with
   | Some path -> (
       match E.add_pcap_interface engine ~name:iface path with
@@ -295,12 +332,15 @@ let setup_engine ~pcap_in ~iface ~gen_cfg ~sessions ~shards =
 
 let do_run query_file rate duration seed pcap_in iface max_rows sessions show_stats trace
     metrics_out log_level parallel placement batch shards latency_sample inject supervise
-    shed =
+    shed allow_unbounded watchdog =
   setup_logging log_level;
   install_inject inject;
+  let supervise = resolve_supervise supervise in
   let text = read_file query_file in
   let gen_cfg = { Gigascope_traffic.Gen.default with rate_mbps = rate; duration; seed } in
-  let engine = setup_engine ~pcap_in ~iface ~gen_cfg ~sessions ~shards in
+  let engine =
+    setup_engine ~pcap_in ~iface ~gen_cfg ~sessions ~shards ~admit:(resolve_admit allow_unbounded)
+  in
   match E.install_program engine text with
   | Error e ->
       prerr_endline ("error: " ^ e);
@@ -342,7 +382,7 @@ let do_run query_file rate duration seed pcap_in iface max_rows sessions show_st
          E.run engine ~trace
            ?parallel:(if parallel > 1 then Some parallel else None)
            ?batch:(if batch > 1 then Some batch else None)
-           ~latency_sample ?supervise ?shed ~placement ()
+           ~latency_sample ?supervise ?shed ?state_slack:watchdog ~placement ()
        with
       | Ok stats ->
           Printf.printf "-- done: %d rounds, %d heartbeats, %d drops\n"
@@ -366,7 +406,8 @@ let run_cmd =
     Term.(
       const do_run $ query_file $ rate $ duration $ seed $ pcap_in $ iface $ max_rows
       $ sessions $ stats $ trace $ metrics_out $ log_level $ parallel $ placement $ batch
-      $ shards_arg $ latency_sample_arg $ inject $ supervise_arg $ shed_arg)
+      $ shards_arg $ latency_sample_arg $ inject $ supervise_arg $ shed_arg $ allow_unbounded
+      $ watchdog_arg)
 
 (* ---- serve ---- *)
 
@@ -460,12 +501,16 @@ let ingests =
 
 let do_serve query_file rate duration seed pcap_in iface sessions show_stats trace
     metrics_out log_level parallel placement batch shards latency_sample listen_addrs policy
-    egress wait_subscribers ingests heartbeat http_addr inject supervise shed =
+    egress wait_subscribers ingests heartbeat http_addr inject supervise shed allow_unbounded
+    watchdog =
   setup_logging log_level;
   install_inject inject;
+  let supervise = resolve_supervise supervise in
   let text = read_file query_file in
   let gen_cfg = { Gigascope_traffic.Gen.default with rate_mbps = rate; duration; seed } in
-  let engine = setup_engine ~pcap_in ~iface ~gen_cfg ~sessions ~shards in
+  let engine =
+    setup_engine ~pcap_in ~iface ~gen_cfg ~sessions ~shards ~admit:(resolve_admit allow_unbounded)
+  in
   let server =
     Server.create ~policy ~egress_capacity:egress
       ?heartbeat:(if heartbeat > 0.0 then Some heartbeat else None)
@@ -553,7 +598,7 @@ let do_serve query_file rate duration seed pcap_in iface sessions show_stats tra
     E.run engine ~trace
       ?parallel:(if parallel > 1 then Some parallel else None)
       ?batch:(if batch > 1 then Some batch else None)
-      ~latency_sample ?supervise ?shed ~placement ()
+      ~latency_sample ?supervise ?shed ?state_slack:watchdog ~placement ()
   with
   | Ok stats ->
       Printf.printf "-- done: %d rounds, %d heartbeats, %d drops\n%!"
@@ -574,7 +619,8 @@ let serve_cmd =
       const do_serve $ query_file $ rate $ duration $ seed $ pcap_in $ iface $ sessions
       $ stats $ trace $ metrics_out $ log_level $ parallel $ placement $ batch $ shards_arg
       $ latency_sample_arg $ listen_addrs $ policy_arg $ egress $ wait_subscribers $ ingests
-      $ heartbeat_arg $ http_addr $ inject $ supervise_arg $ shed_arg)
+      $ heartbeat_arg $ http_addr $ inject $ supervise_arg $ shed_arg $ allow_unbounded
+      $ watchdog_arg)
 
 (* ---- tap ---- *)
 
@@ -930,19 +976,29 @@ let top_cmd =
 
 (* ---- explain ---- *)
 
-let do_explain query_file =
+let explain_memory =
+  Arg.(
+    value & flag
+    & info ["memory"]
+        ~doc:
+          "Append the static memory certification: per-operator state bounds (group            tables, join windows, merge buffers, sketches) composed into a per-query bound,            or an UNBOUNDED diagnostic naming the operator, the missing ordering property            and the fixing rewrite.")
+
+let do_explain query_file memory =
   let text = read_file query_file in
   let engine = E.create () in
+  (* explain never pulls traffic, so an empty feed is enough to put the
+     session-record schema in the catalog for queries FROM sessions *)
+  ignore (E.add_session_source engine ~name:"sessions" ~feed:(fun () -> None) ());
   match Gigascope_gsql.Compile.compile_program (E.catalog engine) text with
   | Error e ->
       prerr_endline ("error: " ^ e);
       exit 1
   | Ok compiled ->
-      List.iter (fun c -> print_endline (Gigascope_gsql.Compile.explain c)) compiled
+      List.iter (fun c -> print_endline (Gigascope_gsql.Compile.explain ~memory c)) compiled
 
 let explain_cmd =
-  let doc = "show plan, LFTA/HFTA split, ordering properties and pseudo-C" in
-  Cmd.v (Cmd.info "explain" ~doc) Term.(const do_explain $ query_file)
+  let doc = "show plan, LFTA/HFTA split, ordering properties, memory bounds and pseudo-C" in
+  Cmd.v (Cmd.info "explain" ~doc) Term.(const do_explain $ query_file $ explain_memory)
 
 (* ---- gen ---- *)
 

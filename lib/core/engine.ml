@@ -25,15 +25,26 @@ type iface = {
   mutable nic_configured : bool;
 }
 
+(* Admission control: what happens when a plan's memory certification
+   comes back unbounded. The library default is [Admit_warn] — the
+   epoch-less flush-driven aggregation of Section 2.2 is a legitimate
+   (if unbounded) embedded use; servers admitting arbitrary GSQL
+   tighten to [Admit_reject]. *)
+type admit = Admit_allow | Admit_warn | Admit_reject
+
 type t = {
   mgr : Rts.Manager.t;
   catalog : Gsql.Catalog.t;
   interfaces : (string, iface) Hashtbl.t;
   mutable next_seed : int;
   shards : int;
+  default_capacity : int;
+  admit : admit;
   mutable shard_infos : Gsql.Split.shard_info list;
   mutable shard_notes : (string * string) list;
       (** queries that could not shard, with the splitter's reason *)
+  mutable certs : (string * Gsql.Certify.t) list;
+      (** memory certificates of installed queries, in install order *)
 }
 
 (* GIGASCOPE_PARALLEL / GIGASCOPE_BATCH / GIGASCOPE_SHARDS make every
@@ -60,19 +71,46 @@ let env_knob name =
    [create], not [run]. *)
 let default_shards () = env_knob "GIGASCOPE_SHARDS"
 
-let create ?(default_capacity = 4096) ?shards () =
+let admit_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "allow" -> Ok Admit_allow
+  | "warn" -> Ok Admit_warn
+  | "reject" -> Ok Admit_reject
+  | _ -> Error (Printf.sprintf "unknown admission mode %S (allow|warn|reject)" s)
+
+let admit_to_string = function
+  | Admit_allow -> "allow"
+  | Admit_warn -> "warn"
+  | Admit_reject -> "reject"
+
+(* GIGASCOPE_ADMIT: same warn-and-default stance as the other knobs. *)
+let default_admit () =
+  match Sys.getenv_opt "GIGASCOPE_ADMIT" with
+  | None | Some "" -> Admit_warn
+  | Some s -> (
+      match admit_of_string s with
+      | Ok a -> a
+      | Error e ->
+          Log.warn (fun m -> m "ignoring GIGASCOPE_ADMIT: %s; using warn" e);
+          Admit_warn)
+
+let create ?(default_capacity = 4096) ?shards ?admit () =
   let mgr = Rts.Manager.create ~default_capacity () in
   let catalog = Gsql.Catalog.create (Rts.Manager.functions mgr) in
   Default_protocols.register catalog;
   let shards = match shards with Some n -> max 1 n | None -> default_shards () in
+  let admit = match admit with Some a -> a | None -> default_admit () in
   {
     mgr;
     catalog;
     interfaces = Hashtbl.create 8;
     next_seed = 0x517;
     shards;
+    default_capacity;
+    admit;
     shard_infos = [];
     shard_notes = [];
+    certs = [];
   }
 
 let shards t = t.shards
@@ -281,13 +319,95 @@ let register_shard_metrics t (inst : Gsql.Codegen.instance) (info : Gsql.Split.s
       Rts.Merge_op.register_metrics merge m ~prefix:(Printf.sprintf "rts.shard.%s.reunify" q)
   | None -> ()
 
+(* A stream feeding a node is either another node of the same split or
+   an already-installed query (composition by name); its certified
+   single-step burst sizes the channel between them. *)
+let upstream_burst t cert stream =
+  let b = Gsql.Certify.burst cert stream in
+  if b > 1 then b
+  else List.fold_left (fun acc (_, c) -> max acc (Gsql.Certify.burst c stream)) b t.certs
+
+(* Room above the certified burst for control items and a straggler
+   batch — sizing exactly at the burst would drop the tuple that rides
+   in with the sealing punctuation. *)
+let burst_headroom = 64
+
 (* Install one split result, shard-rewriting it first when the engine
    was created with [shards > 1]. A plan the splitter cannot shard
    installs unchanged and the reason is kept for [trace_report] — the
-   same never-silent stance as the env knobs. *)
+   same never-silent stance as the env knobs.
+
+   Installation is also the admission gate: the (post-shard) physical
+   plan is certified, an unbounded verdict is warned about or rejected
+   per the engine's admission mode, channels are auto-sized from the
+   certified bursts, and each node gets its certified state bound for
+   the [rts.state.*] gauges and the watchdog. *)
 let install_split t ?params split =
   let install s =
-    Gsql.Codegen.install t.mgr ~source_binder:(binder t) ?params ~seed:(fresh_seed t) s
+    let cert = Gsql.Certify.certify s in
+    let* () =
+      match (Gsql.Certify.finite cert, t.admit) with
+      | true, _ | false, Admit_allow -> Ok ()
+      | false, Admit_warn ->
+          List.iter
+            (fun u ->
+              Log.warn (fun m ->
+                  m "query %s admitted without a memory bound: %s"
+                    cert.Gsql.Certify.cquery (Gsql.Certify.diagnostic u)))
+            (Gsql.Certify.unbounded_nodes cert);
+          Ok ()
+      | false, Admit_reject ->
+          let diag =
+            match Gsql.Certify.unbounded_nodes cert with
+            | u :: _ -> Gsql.Certify.diagnostic u
+            | [] -> "no finite bound"
+          in
+          err "query %s rejected: %s (install with --allow-unbounded / admit=warn to run it \
+               anyway)"
+            cert.Gsql.Certify.cquery diag
+    in
+    let phys_names =
+      List.map (fun p -> String.lowercase_ascii p.Gsql.Split.pname) s.Gsql.Split.phys
+    in
+    let chan_capacity name =
+      match
+        List.find_opt
+          (fun (p : Gsql.Split.phys_node) -> p.Gsql.Split.pname = name)
+          s.Gsql.Split.phys
+      with
+      | None -> None
+      | Some p ->
+          let b =
+            List.fold_left
+              (fun acc input ->
+                match input with
+                | Gsql.Plan.From_stream { stream; _ }
+                  when List.mem (String.lowercase_ascii stream) phys_names
+                       || List.exists
+                            (fun (_, c) -> Gsql.Certify.burst c stream > 1)
+                            t.certs ->
+                    max acc (upstream_burst t cert stream)
+                | Gsql.Plan.From_stream _ | Gsql.Plan.From_protocol _ -> acc)
+              0
+              (Gsql.Plan.inputs_of_body p.Gsql.Split.pbody)
+          in
+          if b > 0 then Some (b + burst_headroom) else None
+    in
+    let* inst =
+      Gsql.Codegen.install t.mgr ~source_binder:(binder t) ?params ~seed:(fresh_seed t)
+        ~chan_capacity s
+    in
+    List.iter
+      (fun (p : Gsql.Split.phys_node) ->
+        match Rts.Manager.find t.mgr p.Gsql.Split.pname with
+        | Some node -> (
+            match Gsql.Certify.node_bound cert p.Gsql.Split.pname with
+            | Some b -> Rts.Node.set_state_bound node b
+            | None -> ())
+        | None -> ())
+      s.Gsql.Split.phys;
+    t.certs <- t.certs @ [ (cert.Gsql.Certify.cquery, cert) ];
+    Ok inst
   in
   if t.shards < 2 then install split
   else
@@ -333,11 +453,36 @@ let install_query t ?params ?name text =
   let* c = Gsql.Compile.compile_query t.catalog ?name text in
   install_compiled t ?params c
 
-let explain t ?name text =
+let explain t ?memory ?name text =
   let* c = Gsql.Compile.compile_query t.catalog ?name text in
-  Ok (Gsql.Compile.explain c)
+  Ok (Gsql.Compile.explain ?memory c)
 
-let subscribe t ?capacity name = Rts.Manager.subscribe t.mgr ?capacity name
+let cert_of t name =
+  List.find_opt
+    (fun (q, _) -> String.lowercase_ascii q = String.lowercase_ascii name)
+    t.certs
+
+let certified_burst t name =
+  match cert_of t name with Some (_, c) -> Gsql.Certify.query_burst c | None -> 1
+
+let certificate t name = Option.map snd (cert_of t name)
+
+let admit_mode t = t.admit
+
+(* Subscriber rings auto-size like inter-node channels: at least the
+   default, grown to cover the query's certified single-step burst. An
+   explicit capacity wins. *)
+let subscribe t ?capacity name =
+  let capacity =
+    match capacity with
+    | Some _ as c -> c
+    | None -> (
+        match cert_of t name with
+        | Some (_, c) ->
+            Some (max t.default_capacity (Gsql.Certify.query_burst c + burst_headroom))
+        | None -> None)
+  in
+  Rts.Manager.subscribe t.mgr ?capacity name
 
 let on_tuple t name f =
   Rts.Manager.on_item t.mgr name (function
@@ -387,8 +532,22 @@ let default_latency () =
               m "ignoring GIGASCOPE_LATENCY=%S: must be a non-negative integer; using 0" s);
           0)
 
+(* GIGASCOPE_WATCHDOG: state-watchdog slack multiplier (>= 1.0; unset
+   or 0 = off, the default — enforcement turns certification mistakes
+   into faults, so it is opt-in like shedding). *)
+let default_watchdog () =
+  match Sys.getenv_opt "GIGASCOPE_WATCHDOG" with
+  | None | Some "" -> 0.0
+  | Some s -> (
+      match float_of_string_opt (String.trim s) with
+      | Some f when f = 0.0 || f >= 1.0 -> f
+      | _ ->
+          Log.warn (fun m ->
+              m "ignoring GIGASCOPE_WATCHDOG=%S: must be 0 (off) or a slack >= 1.0; using 0" s);
+          0.0)
+
 let run t ?quantum ?heartbeats ?heartbeat_period ?on_round ?trace ?parallel ?placement ?batch
-    ?supervise ?(restart_budget = 3) ?shed ?latency_sample ?shards () =
+    ?supervise ?(restart_budget = 3) ?shed ?latency_sample ?state_slack ?shards () =
   let* () =
     match shards with
     | Some n when max 1 n <> t.shards ->
@@ -404,6 +563,9 @@ let run t ?quantum ?heartbeats ?heartbeat_period ?on_round ?trace ?parallel ?pla
   let shed = match shed with Some _ as s -> s | None -> default_shed () in
   let latency_sample =
     match latency_sample with Some n -> max 0 n | None -> default_latency ()
+  in
+  let state_slack =
+    match state_slack with Some s -> max 0.0 s | None -> default_watchdog ()
   in
   (match Rts.Faults.install_env () with
   | Ok true ->
@@ -427,10 +589,10 @@ let run t ?quantum ?heartbeats ?heartbeat_period ?on_round ?trace ?parallel ?pla
   let result =
     if domains > 1 then
       Rts.Scheduler.run_parallel ?quantum ?heartbeats ?heartbeat_period ?trace ?placement
-        ~batch ~domains ~supervisor ?shed ~latency_sample t.mgr
+        ~batch ~domains ~supervisor ?shed ~latency_sample ~state_slack t.mgr
     else
       Rts.Scheduler.run ?quantum ?heartbeats ?heartbeat_period ?on_round ?trace ~batch
-        ~supervisor ?shed ~latency_sample t.mgr
+        ~supervisor ?shed ~latency_sample ~state_slack t.mgr
   in
   (match result with
   | Ok stats ->
@@ -467,6 +629,30 @@ let shard_report t =
     Buffer.contents b
   end
 
-let trace_report t = Rts.Manager.trace_report t.mgr ^ shard_report t
+(* One line per installed query, shard_report-style; [memory_report]
+   below has the full derivation. *)
+let memory_summary t =
+  if t.certs = [] then ""
+  else begin
+    let b = Buffer.create 256 in
+    Printf.bprintf b "memory (admission %s):\n" (admit_to_string t.admit);
+    List.iter
+      (fun (q, cert) ->
+        match Gsql.Certify.total_estimate cert with
+        | Some est ->
+            Printf.bprintf b "  %s: bounded, ≈%.0f resident tuples, burst %d\n" q est
+              (Gsql.Certify.query_burst cert)
+        | None -> (
+            match Gsql.Certify.unbounded_nodes cert with
+            | u :: _ -> Printf.bprintf b "  %s: UNBOUNDED — %s\n" q (Gsql.Certify.diagnostic u)
+            | [] -> Printf.bprintf b "  %s: UNBOUNDED\n" q))
+      t.certs;
+    Buffer.contents b
+  end
+
+let memory_report t =
+  String.concat "\n" (List.map (fun (_, cert) -> Gsql.Certify.report cert) t.certs)
+
+let trace_report t = Rts.Manager.trace_report t.mgr ^ shard_report t ^ memory_summary t
 
 let total_drops t = Rts.Manager.total_drops t.mgr

@@ -21,8 +21,27 @@ type nic_capability =
 
 type t
 
-val create : ?default_capacity:int -> ?shards:int -> unit -> t
-(** [shards] (default from [GIGASCOPE_SHARDS], else 1) > 1 makes every
+(** Admission control: the engine's stance on plans whose memory
+    certification ({!Gsql.Certify}) comes back unbounded.
+    [Admit_allow] installs silently; [Admit_warn] (the library default)
+    installs with a logged diagnostic — the epoch-less flush-driven
+    aggregation of Section 2.2 is a legitimate embedded use;
+    [Admit_reject] refuses the install with the diagnostic — the
+    posture of a server admitting arbitrary GSQL ([gsq run]/[gsq serve]
+    default to it; [--allow-unbounded] downgrades to [Admit_warn]). *)
+type admit = Admit_allow | Admit_warn | Admit_reject
+
+val admit_of_string : string -> (admit, string) result
+(** ["allow" | "warn" | "reject"], case-insensitive. *)
+
+val admit_to_string : admit -> string
+
+val create : ?default_capacity:int -> ?shards:int -> ?admit:admit -> unit -> t
+(** [admit] (default from [GIGASCOPE_ADMIT], else [Admit_warn]) is the
+    admission stance applied to every subsequent install; a malformed
+    env value warns and defaults like the other knobs.
+
+    [shards] (default from [GIGASCOPE_SHARDS], else 1) > 1 makes every
     subsequently installed query data-parallel: the splitter replicates
     the eligible LFTA chain per shard behind a source-side partitioner
     and reunifies the replicas through an order-preserving merge — see
@@ -128,10 +147,26 @@ val install_query :
   string ->
   (Gsql.Codegen.instance, string) result
 
-val explain : t -> ?name:string -> string -> (string, string) result
-(** Compile only; render plan, split, ordering properties and pseudo-C. *)
+val explain : t -> ?memory:bool -> ?name:string -> string -> (string, string) result
+(** Compile only; render plan, split, ordering properties and pseudo-C.
+    [~memory:true] appends the {!Gsql.Certify} derivation — per-operator
+    state bounds or the unbounded diagnostic ([gsq explain --memory]). *)
+
+val admit_mode : t -> admit
+
+val certificate : t -> string -> Gsql.Certify.t option
+(** The memory certificate recorded when the named query was installed
+    (post-shard-rewrite), if any. *)
+
+val certified_burst : t -> string -> int
+(** Worst-case single-step emission of the named installed query (1 if
+    unknown) — what the network server uses to auto-size its egress
+    queues. *)
 
 val subscribe : t -> ?capacity:int -> string -> (Rts.Channel.t, string) result
+(** Without an explicit [capacity], the subscriber ring is auto-sized:
+    at least the engine's default capacity, grown to the query's
+    certified burst plus headroom. *)
 
 val on_tuple : t -> string -> (Rts.Value.t array -> unit) -> (unit, string) result
 (** Callback for each output tuple of the named stream. *)
@@ -150,6 +185,7 @@ val run :
   ?restart_budget:int ->
   ?shed:float ->
   ?latency_sample:int ->
+  ?state_slack:float ->
   ?shards:int ->
   unit ->
   (Rts.Scheduler.stats, string) result
@@ -192,6 +228,14 @@ val run :
     clock reads are strictly opt-in, so differential tests and
     throughput baselines are unperturbed.
 
+    [state_slack] (default from [GIGASCOPE_WATCHDOG], else 0 = off)
+    arms the state watchdog: a node found holding more than its
+    certified bound × slack is treated as crashed — the loss announced
+    as an in-band [Item.Gap], then the supervision policy applies
+    (isolate poisons just that subtree; fail_fast surfaces the node by
+    name). Values below 1.0 (other than 0) in the env knob warn and
+    default to off.
+
     If [GIGASCOPE_FAULTS] is set, its fault plan is (re)installed at the
     start of every run — see {!Rts.Faults}.
 
@@ -212,7 +256,11 @@ val trace_report : t -> string
 (** EXPLAIN-ANALYZE-style per-operator breakdown: tuples, drops, timed
     steps, cumulative service time, ns/tuple (see
     {!Rts.Manager.trace_report}), followed by {!shard_report} when the
-    engine is sharded. *)
+    engine is sharded and a one-line-per-query memory summary (bound
+    estimate and burst, or the unbounded diagnostic). *)
+
+val memory_report : t -> string
+(** The full {!Gsql.Certify} derivation for every installed query. *)
 
 val shards : t -> int
 (** The shard count fixed at {!create} (1 = unsharded). *)

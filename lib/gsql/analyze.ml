@@ -492,17 +492,32 @@ let extract_window ~n_left ~left_schema ~right_schema pred =
       | Ast.Gt -> lo := Float.max !lo c
       | _ -> ())
     !constraints;
+  (* An under-constrained (even windowless) join still compiles: the
+     certifier hands it an Unbounded verdict and admission control
+     decides whether it may run. Only a provably empty window is a
+     hard analysis error. *)
   match !fields with
-  | Some (li, ri) when Float.is_finite !lo && Float.is_finite !hi && !lo <= !hi ->
-      Ok (li, ri, !lo, !hi)
+  | Some (li, ri) when !lo <= !hi -> Ok (li, ri, !lo, !hi)
   | Some _ ->
       Error
-        "join predicate constrains ordered attributes but does not define a finite window \
-         (need both lower and upper bounds, e.g. B.ts >= C.ts - 1 and B.ts <= C.ts + 1)"
-  | None ->
-      Error
-        "join predicate must include a window constraint on an ordered attribute from each \
-         stream (e.g. B.ts = C.ts)"
+        (Printf.sprintf
+           "join window is empty: the predicate implies %g <= left.ord - right.ord <= %g \
+            which no tuple pair satisfies"
+           !lo !hi)
+  | None -> (
+      let first_ordered schema =
+        let n = Schema.arity schema in
+        let rec go i =
+          if i >= n then None else if ordered_ok schema i then Some i else go (i + 1)
+        in
+        go 0
+      in
+      match (first_ordered left_schema, first_ordered right_schema) with
+      | Some li, Some ri -> Ok (li, ri, neg_infinity, infinity)
+      | _ ->
+          Error
+            "join needs an ordered (increasing/decreasing) attribute on each input stream \
+             to anchor purging (e.g. a window constraint B.ts = C.ts)")
 
 (* ------------------------------------------------------------------ *)
 (* Output schema construction                                           *)

@@ -483,7 +483,8 @@ let input_names ~binder (phys : Split.phys_node) =
   in
   go [] (Plan.inputs_of_body phys.Split.pbody)
 
-let install mgr ~source_binder ?(params = []) ?(seed = 0x6516) (split : Split.t) =
+let install mgr ~source_binder ?(params = []) ?(seed = 0x6516) ?chan_capacity
+    (split : Split.t) =
   let param_tbl : params = Hashtbl.create 8 in
   List.iter (fun (k, v) -> Hashtbl.replace param_tbl k v) params;
   (* Check every declared parameter has a value when used in handles is
@@ -505,9 +506,16 @@ let install mgr ~source_binder ?(params = []) ?(seed = 0x6516) (split : Split.t)
     | (phys : Split.phys_node) :: rest ->
         let* op, stat = make_op ~params:param_tbl ~seed phys in
         let* inputs = input_names ~binder:source_binder phys in
+        (* Certified-burst auto-sizing: the engine supplies the input
+           ring capacity this node needs to absorb its upstream's
+           largest single-step emission (an LFTA table flush, a merge
+           drain). The manager only ever grows past its default. *)
+        let capacity =
+          match chan_capacity with Some f -> f phys.Split.pname | None -> None
+        in
         let* node =
-          Rts.Manager.add_query_node mgr ~name:phys.Split.pname ~kind:phys.Split.pkind
-            ~schema:phys.Split.pschema ~inputs ~op
+          Rts.Manager.add_query_node_sized mgr ~capacity ~name:phys.Split.pname
+            ~kind:phys.Split.pkind ~schema:phys.Split.pschema ~inputs ~op
         in
         Rts.Node.set_placement node phys.Split.pplace;
         Rts.Node.set_shard node (Option.map (fun s -> s.Split.sshard) phys.Split.pshard);

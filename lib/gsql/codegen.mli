@@ -54,9 +54,12 @@ val install :
   source_binder:source_binder ->
   ?params:(string * Rts.Value.t) list ->
   ?seed:int ->
+  ?chan_capacity:(string -> int option) ->
   Split.t ->
   (instance, string) result
 (** Registers every physical node with the stream manager. [seed] feeds the
-    sampling operator. Fails without side effects on expression-compile
-    errors; node-registration failures may leave earlier nodes
-    registered. *)
+    sampling operator. [chan_capacity] maps a physical node name to the
+    input-ring capacity it needs (certified-burst auto-sizing; the
+    manager only grows past its default). Fails without side effects on
+    expression-compile errors; node-registration failures may leave
+    earlier nodes registered. *)

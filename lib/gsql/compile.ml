@@ -116,9 +116,13 @@ let compile_query catalog ?(default_interface = "default") ?(lfta_table_bits = 1
       compile_def catalog ~default_interface ~lfta_table_bits
         ~name:(Option.value name ~default:"q0") def
 
-let explain compiled =
+let explain ?(memory = false) compiled =
   let buf = Buffer.create 2048 in
   Buffer.add_string buf (Format.asprintf "%a@." Plan.pp compiled.plan);
+  if memory then begin
+    Buffer.add_string buf "\n";
+    Buffer.add_string buf (Certify.report (Certify.certify compiled.split))
+  end;
   Buffer.add_string buf "\n-- physical plan (LFTA/HFTA split) --\n";
   List.iter
     (fun (p : Split.phys_node) ->

@@ -33,6 +33,8 @@ val compile_query :
   (compiled, string) result
 (** Compile a single query (errors if the text holds more than one). *)
 
-val explain : compiled -> string
+val explain : ?memory:bool -> compiled -> string
 (** Human-readable report: the logical plan, imputed ordering properties,
-    the LFTA/HFTA split, NIC hints, and generated pseudo-C. *)
+    the LFTA/HFTA split, NIC hints, and generated pseudo-C. With
+    [~memory:true], the {!Certify} derivation (per-operator state
+    bounds or the unbounded diagnostic) is included. *)

@@ -39,6 +39,11 @@ let of_group_key schema expr ~is_epoch =
 let of_join_item ~left ~right ~win_lo ~win_hi ~ordered_output expr =
   let n_left = Rts.Schema.arity left in
   let window_span = win_hi -. win_lo in
+  (* A windowless (infinite-span) join gives downstream operators no
+     usable order at all: a banded property with an infinite band would
+     let an epoch key look certifiable when it is not. *)
+  if not (Float.is_finite window_span) then Order_prop.Unordered
+  else
   match Expr_ir.fields_used expr with
   | [i] ->
       let is_left = i < n_left in

@@ -341,7 +341,10 @@ let add_sub t qname =
       smu = Mutex.create ();
       s_not_empty = Condition.create ();
       s_not_full = Condition.create ();
-      s_capacity = t.egress_capacity;
+      (* Grow-only auto-sizing: an egress ring smaller than the query's
+         certified burst (an LFTA table flush arriving in one step) would
+         drop or stall on every epoch boundary. *)
+      s_capacity = max t.egress_capacity (E.certified_burst t.engine qname + 64);
       s_items = 0;
       s_eof = false;
       s_dead = false;

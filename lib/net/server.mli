@@ -50,7 +50,9 @@ val create :
   Gigascope.Engine.t ->
   t
 (** [egress_capacity] (default 4096) bounds each subscriber's egress
-    queue in items. [heartbeat] (seconds; off by default) sends
+    queue in items; a query whose certified burst
+    ({!Gigascope.Engine.certified_burst}) exceeds it gets a grown queue
+    — auto-sizing only ever grows, never shrinks. [heartbeat] (seconds; off by default) sends
     {!Wire.msg} [Heartbeat] liveness frames to every subscriber at that
     interval, counted under [net.heartbeats.sent] — pair with a client
     idle timeout to detect dead peers. Registers the [net.*] metrics in

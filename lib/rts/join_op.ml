@@ -51,6 +51,14 @@ let ts_of values idx =
   | Some f -> f
   | None -> nan (* non-numeric ordered attr: window never matches *)
 
+(* Saturating window arithmetic. With an infinite window bound
+   (windowless join admitted under --allow-unbounded), an EOF side's
+   infinite bound would otherwise combine into inf + -inf = NaN, and a
+   NaN watermark never releases held pairs — silent output loss. A
+   bound that is already infinite stays infinite. *)
+let sat_add a b = if a = infinity || b = infinity then infinity else a +. b
+let sat_sub a b = if a = infinity then infinity else a -. b
+
 (* Purge buffered tuples that no future opposite tuple can reach.
    A left tuple at lt joins rights in [lt - hi, lt - lo]; future rights are
    >= right.bound, so lt is dead once lt < right.bound + lo. Symmetric for
@@ -64,8 +72,8 @@ let purge t =
       if dead (Queue.peek q) then ignore (Queue.pop q) else continue := false
     done
   in
-  drop_while t.left.buffer (fun v -> ts_of v t.cfg.left_idx < right_bound +. t.cfg.lo);
-  drop_while t.right.buffer (fun v -> ts_of v t.cfg.right_idx < left_bound -. t.cfg.hi)
+  drop_while t.left.buffer (fun v -> ts_of v t.cfg.left_idx < sat_add right_bound t.cfg.lo);
+  drop_while t.right.buffer (fun v -> ts_of v t.cfg.right_idx < sat_sub left_bound t.cfg.hi)
 
 (* No future output pair can carry a left ordered value below this: future
    left arrivals are >= left.bound, and a buffered left tuple matching a
@@ -73,7 +81,7 @@ let purge t =
 let output_watermark t =
   let lb = if t.left.eof then infinity else t.left.bound in
   let rb = if t.right.eof then infinity else t.right.bound in
-  Float.min lb (rb +. t.cfg.lo)
+  Float.min lb (sat_add rb t.cfg.lo)
 
 let compare_rows a b =
   let n = Array.length a and m = Array.length b in
@@ -157,8 +165,8 @@ let emit_punct t ~emit =
      output watermark of each projected side. *)
   let lb = if t.left.eof then infinity else t.left.bound in
   let rb = if t.right.eof then infinity else t.right.bound in
-  let left_wm = Float.min lb (rb +. t.cfg.lo) in
-  let right_wm = Float.min rb (lb -. t.cfg.hi) in
+  let left_wm = Float.min lb (sat_add rb t.cfg.lo) in
+  let right_wm = Float.min rb (sat_sub lb t.cfg.hi) in
   let bounds =
     List.filter_map Fun.id
       [

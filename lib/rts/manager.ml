@@ -74,7 +74,7 @@ let add_source t ~name ~schema source =
     register t (Node.make_source ~name ~schema source)
   end
 
-let add_query_node t ~name ~kind ~schema ~inputs ~op =
+let add_query_node_sized t ~capacity ~name ~kind ~schema ~inputs ~op =
   let check_batch () =
     match kind with
     | Node.Lfta when t.started ->
@@ -114,12 +114,22 @@ let add_query_node t ~name ~kind ~schema ~inputs ~op =
               match register t node with
               | Error _ as e -> e
               | Ok node ->
+                  (* Auto-sizing only ever grows a channel past the
+                     default: a certified upstream burst larger than the
+                     ring would otherwise drop tuples mid-flush. *)
+                  let cap =
+                    match capacity with
+                    | Some c -> max c t.default_capacity
+                    | None -> t.default_capacity
+                  in
                   List.iter
-                    (fun up ->
-                      Node.connect ~downstream:node ~upstream:up ~capacity:t.default_capacity)
+                    (fun up -> Node.connect ~downstream:node ~upstream:up ~capacity:cap)
                     ups;
                   Array.iter (fun (_, chan) -> register_channel_metrics t chan) (Node.inputs node);
                   Ok node)))
+
+let add_query_node t ~name ~kind ~schema ~inputs ~op =
+  add_query_node_sized t ~capacity:None ~name ~kind ~schema ~inputs ~op
 
 let subscribe t ?capacity name =
   match find t name with

@@ -41,6 +41,21 @@ val add_query_node :
     unknown input; an LFTA (or a source) added after {!start}; an LFTA
     reading from anything but a source. *)
 
+val add_query_node_sized :
+  t ->
+  capacity:int option ->
+  name:string ->
+  kind:Node.kind ->
+  schema:Schema.t ->
+  inputs:string list ->
+  op:Operator.t ->
+  (Node.t, string) result
+(** {!add_query_node} with an explicit input-ring capacity. [Some c]
+    only ever {e grows} the rings past [default_capacity] — the
+    certified-burst auto-sizing path: an upstream whose single-step
+    emission (an LFTA table flush, a merge drain) exceeds the default
+    ring would otherwise drop tuples. [None] = default. *)
+
 val register_xchannel_metrics : t -> Xchannel.t -> unit
 (** Attach a promoted cross-domain channel's cells under
     [rts.xchannel.<from>-><to>] (suffix-deduped like [rts.chan]). Called

@@ -57,6 +57,17 @@ type t = {
   mutable shed_hw : float option;
   mutable shed_pending : int;
   shed_c : Metrics.Counter.t;
+  (* State watchdog: the certified resident-state bound for this node's
+     operator (infinity = uncertified) and the slack multiplier that
+     arms enforcement (0 = disarmed, the default). A node found holding
+     more than bound × slack at the end of a step announces the loss as
+     an [Item.Gap] and submits itself to the supervisor as crashed —
+     the certificate was violated, so the state (and the operator
+     imputed ordering it was derived from) can no longer be trusted. *)
+  mutable state_bound : float;
+  mutable state_slack : float;
+  mutable state_peak : int;
+  watchdog_c : Metrics.Counter.t;
   (* Latency observability: sources stamp every [latency_sample]-th
      pulled tuple (0 = off) with the ingest clock; operators propagate
      the first stamp of a consumed batch onto their next emitted tuple
@@ -100,6 +111,10 @@ let make name kind schema behavior =
     shed_hw = None;
     shed_pending = 0;
     shed_c = Metrics.Counter.make ();
+    state_bound = infinity;
+    state_slack = 0.0;
+    state_peak = 0;
+    watchdog_c = Metrics.Counter.make ();
     latency_sample = 0;
     lat_seen = 0;
     pending_stamp = 0;
@@ -115,6 +130,11 @@ let make_op ~name ~kind ~schema ~op = make name kind schema (Op op)
 let name t = t.name
 let set_supervisor t sup = t.supervisor <- sup
 let set_shed t hw = t.shed_hw <- hw
+let set_state_bound t b = t.state_bound <- (if b >= 0.0 then b else infinity)
+let state_bound t = t.state_bound
+let set_state_slack t s = t.state_slack <- max 0.0 s
+let state_peak t = t.state_peak
+let watchdog_trips t = Metrics.Counter.get t.watchdog_c
 let set_latency_sample t n = t.latency_sample <- max 0 n
 let latency_sample t = t.latency_sample
 let is_poisoned t = t.poisoned
@@ -373,6 +393,27 @@ let drain_poisoned t ~quantum =
     t.node_inputs;
   !progress
 
+(* End-of-step state enforcement. The quantum bounds how far past the
+   limit a node can get within one step, so checking between steps is
+   enough. The Gap announcing the discarded state must precede the
+   Error/Eof that poisoning emits — downstream accounting then sees
+   the loss before the stream closes. *)
+let check_watchdog t =
+  let held = match t.behavior with Op op -> op.Operator.buffered () | Src _ -> 0 in
+  if held > t.state_peak then t.state_peak <- held;
+  if (not t.poisoned) && t.state_slack > 0.0 && Float.is_finite t.state_bound then begin
+    let limit = Float.max 1.0 (t.state_bound *. t.state_slack) in
+    if float_of_int held > limit then begin
+      Metrics.Counter.incr t.watchdog_c;
+      emit t (Item.Gap held);
+      handle_crash t
+        (Failure
+           (Printf.sprintf
+              "state watchdog: %d items held, past certified bound %.0f × slack %g" held
+              t.state_bound t.state_slack))
+    end
+  end
+
 let step_inputs t ~quantum =
   match t.behavior with
   | Src _ -> false
@@ -416,6 +457,7 @@ let step_inputs t ~quantum =
            t.node_inputs
        with exn -> handle_crash t exn);
       flush_out t;
+      check_watchdog t;
       !progress
 
 let exhausted t =
@@ -461,4 +503,12 @@ let register_metrics t reg =
   Metrics.attach_histogram reg (pfx ^ ".service_ns") t.service;
   Metrics.attach_histogram reg (pfx ^ ".callback_ns") t.cb_latency;
   Metrics.attach_counter reg ("rts.shed." ^ t.name) t.shed_c;
-  Metrics.attach_histogram reg ("rts.latency." ^ t.name) t.deliver_latency
+  Metrics.attach_histogram reg ("rts.latency." ^ t.name) t.deliver_latency;
+  (* State accounting: resident operator state vs its certified bound
+     (infinity until the engine installs a certificate), plus watchdog
+     trips. *)
+  let spfx = "rts.state." ^ t.name in
+  Metrics.attach_gauge_fn reg (spfx ^ ".used") (fun () -> float_of_int (buffered t));
+  Metrics.attach_gauge_fn reg (spfx ^ ".peak") (fun () -> float_of_int t.state_peak);
+  Metrics.attach_gauge_fn reg (spfx ^ ".bound") (fun () -> t.state_bound);
+  Metrics.attach_counter reg (spfx ^ ".trips") t.watchdog_c

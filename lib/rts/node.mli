@@ -73,6 +73,29 @@ val set_shed : t -> float option -> unit
 
 val shed_count : t -> int
 
+val set_state_bound : t -> float -> unit
+(** Certified resident-state bound for this node's operator (tuples,
+    open groups, or sketch-bearing group slots). Default [infinity] =
+    uncertified. Negative values reset to [infinity]. Published as the
+    [rts.state.<name>.bound] gauge. *)
+
+val state_bound : t -> float
+
+val set_state_slack : t -> float -> unit
+(** Arm the state watchdog: after each input step, a query node found
+    holding more than [bound × slack] items announces the loss as an
+    [Item.Gap] and submits itself to the supervisor as crashed (the
+    certificate was violated, so the imputed ordering it rests on is
+    wrong — isolate/escalate per policy, never a wedge). [0.] (the
+    default) disarms; sources and uncertified nodes are never
+    checked. *)
+
+val watchdog_trips : t -> int
+
+val state_peak : t -> int
+(** High-water mark of resident operator state (items), sampled after
+    every input step; the [rts.state.<name>.peak] gauge. *)
+
 val set_latency_sample : t -> int -> unit
 (** Latency measurement interval (default 0 = off). On a source, every
     [n]-th pulled tuple is stamped with {!Gigascope_obs.Clock.now_ns}

@@ -23,7 +23,8 @@ let channels_empty node =
   Array.for_all (fun (_, chan) -> Channel.is_empty chan) (Node.inputs node)
 
 let run ?quantum ?(max_rounds = 10_000_000) ?(heartbeats = true) ?heartbeat_period
-    ?on_round ?(trace = false) ?(batch = 1) ?supervisor ?shed ?(latency_sample = 0) mgr =
+    ?on_round ?(trace = false) ?(batch = 1) ?supervisor ?shed ?(latency_sample = 0)
+    ?(state_slack = 0.0) mgr =
   (* A quantum smaller than the batch flushes every output builder before
      it fills, so the *default* quantum floors at the batch — the knobs
      compose. An explicit quantum wins: callers pinning the scheduling
@@ -44,7 +45,8 @@ let run ?quantum ?(max_rounds = 10_000_000) ?(heartbeats = true) ?heartbeat_peri
       Node.set_batch n batch;
       Node.set_supervisor n supervisor;
       Node.set_shed n shed;
-      Node.set_latency_sample n latency_sample)
+      Node.set_latency_sample n latency_sample;
+      Node.set_state_slack n state_slack)
     nodes;
   (match supervisor with Some s -> Supervisor.register_metrics s reg | None -> ());
   (* [iter] counts scheduling iterations (max_rounds guard, sampling,
@@ -246,7 +248,7 @@ let partition ~domains nodes =
 
 let run_parallel ?quantum ?(max_rounds = 10_000_000) ?(heartbeats = true)
     ?heartbeat_period ?(trace = false) ?(placement = []) ?(batch = 1) ?supervisor ?shed
-    ?(latency_sample = 0) ~domains mgr =
+    ?(latency_sample = 0) ?(state_slack = 0.0) ~domains mgr =
   let quantum = match quantum with Some q -> q | None -> max 64 batch in
   let apply_placement () =
     let rec go = function
@@ -265,7 +267,7 @@ let run_parallel ?quantum ?(max_rounds = 10_000_000) ?(heartbeats = true)
   | Ok () -> (
       if domains <= 1 then
         run ~quantum ~max_rounds ~heartbeats ?heartbeat_period ~trace ~batch ?supervisor ?shed
-          ~latency_sample mgr
+          ~latency_sample ~state_slack mgr
       else
       match partition ~domains (Manager.nodes mgr) with
       | Error _ as e -> e
@@ -285,7 +287,8 @@ let run_parallel ?quantum ?(max_rounds = 10_000_000) ?(heartbeats = true)
             Node.set_batch n batch;
             Node.set_supervisor n supervisor;
             Node.set_shed n shed;
-            Node.set_latency_sample n latency_sample)
+            Node.set_latency_sample n latency_sample;
+            Node.set_state_slack n state_slack)
           nodes;
         (match supervisor with Some s -> Supervisor.register_metrics s reg | None -> ());
         let part_of = Hashtbl.create 32 in

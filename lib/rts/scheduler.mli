@@ -26,9 +26,16 @@ val run :
   ?supervisor:Supervisor.t ->
   ?shed:float ->
   ?latency_sample:int ->
+  ?state_slack:float ->
   Manager.t ->
   (stats, string) result
-(** [latency_sample] (default 0 = off) arms end-to-end latency
+(** [state_slack] (default 0 = off) arms the per-node state watchdog
+    ({!Node.set_state_slack}): a query node holding more than its
+    certified bound × slack is treated as crashed (Gap announced, then
+    the supervisor's verdict — poison/escalate — applies). Nodes
+    without a certified bound are never checked.
+
+    [latency_sample] (default 0 = off) arms end-to-end latency
     measurement ({!Node.set_latency_sample}): every N-th source tuple
     is stamped at ingest, the stamp rides the batched data plane, and
     ingest→deliver durations land in each terminal node's
@@ -84,6 +91,7 @@ val run_parallel :
   ?supervisor:Supervisor.t ->
   ?shed:float ->
   ?latency_sample:int ->
+  ?state_slack:float ->
   domains:int ->
   Manager.t ->
   (stats, string) result

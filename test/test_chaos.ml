@@ -632,6 +632,127 @@ let test_reconnect_resumes_after_disconnect () =
 let test_reconnect_survives_torn_write () =
   run_healing_scenario ~spec:"torn=3" ~label:"torn"
 
+(* --------------------------- state watchdog ------------------------------ *)
+
+(* The regression behind the watchdog: a source whose schema imputes an
+   ordering the data does not have. The certifier believes the schema
+   (Monotone Asc ⇒ epoch group-closing ⇒ tiny bound, so the plan
+   admits), but a first tuple from the far future races the aggregate's
+   high water to the top and every later epoch opens a group that can
+   never close — unbounded growth on a certified-finite plan. The
+   watchdog must catch the certificate violation, announce the held
+   state as one Gap, and hand the node to the supervisor instead of
+   wedging; a sibling query on an honest source stays byte-identical. *)
+
+let lying_ts_schema order =
+  Schema.make [ { Schema.name = "ts"; ty = Ty.Int; order } ]
+
+let add_liar engine ~n =
+  (* tuple 0: ts = 1_000_000 (the racer); tuples 1..n: ts = 1..n *)
+  let i = ref (-1) in
+  Result.get_ok
+    (E.add_custom_source engine ~name:"liar"
+       ~schema:(lying_ts_schema (Order_prop.Monotone Order_prop.Asc))
+       ~pull:(fun () ->
+         incr i;
+         if !i = 0 then Some (Item.Tuple [| Value.Int 1_000_000 |])
+         else if !i <= n then Some (Item.Tuple [| Value.Int !i |])
+         else None)
+       ~clock:(fun () -> []))
+
+let add_honest engine ~n =
+  let i = ref 0 in
+  Result.get_ok
+    (E.add_custom_source engine ~name:"wellsrc"
+       ~schema:(lying_ts_schema (Order_prop.Monotone Order_prop.Asc))
+       ~pull:(fun () ->
+         if !i >= n then None
+         else begin
+           incr i;
+           Some (Item.Tuple [| Value.Int !i |])
+         end)
+       ~clock:(fun () -> []))
+
+let bad_query = "DEFINE { query_name bad; } SELECT tb, count(*) as c FROM liar GROUP BY ts/1 as tb"
+let good_query = "DEFINE { query_name good; } SELECT tb, count(*) as c FROM wellsrc GROUP BY ts/1 as tb"
+
+let test_watchdog_isolates_certificate_violation () =
+  let n = 64 in
+  let total = n + 1 in
+  let run_good_solo () =
+    let engine = E.create () in
+    add_honest engine ~n;
+    (match E.install_program engine good_query with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail e);
+    let got = ref [] in
+    Result.get_ok (Rts.Manager.on_item (E.manager engine) "good" (fun it -> got := it :: !got));
+    (match E.run engine ~quantum:total ~heartbeats:false () with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail e);
+    List.rev !got
+  in
+  let engine = E.create () in
+  add_liar engine ~n;
+  add_honest engine ~n;
+  (match E.install_program engine (bad_query ^ "\n" ^ good_query) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (* the lie admitted the plan: the recorded certificate is finite *)
+  (match E.certificate engine "bad" with
+  | Some cert -> check Alcotest.bool "lying schema certifies finite" true (Gigascope_gsql.Certify.finite cert)
+  | None -> Alcotest.fail "no certificate recorded for bad");
+  let bad_items = ref [] and good_items = ref [] in
+  Result.get_ok (Rts.Manager.on_item (E.manager engine) "bad" (fun it -> bad_items := it :: !bad_items));
+  Result.get_ok (Rts.Manager.on_item (E.manager engine) "good" (fun it -> good_items := it :: !good_items));
+  (* quantum = total: every tuple crosses into the aggregate in ONE
+     input step — and the source's quantum runs out before it reaches
+     EOF, so the held state is inspected before an Eof can flush it *)
+  (match
+     E.run engine ~quantum:total ~heartbeats:false ~state_slack:2.0
+       ~supervise:Supervisor.Isolate ()
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("isolate run must converge: " ^ e));
+  let bad = List.rev !bad_items in
+  let delivered = count_tuples bad in
+  let gaps =
+    List.fold_left (fun acc it -> match it with Item.Gap g -> acc + g | _ -> acc) 0 bad
+  in
+  check Alcotest.int "nothing delivered before the trip" 0 delivered;
+  check Alcotest.int "the held state is announced as gaps" total gaps;
+  check Alcotest.int "delivered + gaps = total" total (delivered + gaps);
+  check Alcotest.bool "violation surfaces as an explicit error" true (has_error bad);
+  check Alcotest.bool "isolated node still terminates (Eof)" true (List.mem Item.Eof bad);
+  (match Rts.Manager.find (E.manager engine) "bad" with
+  | None -> Alcotest.fail "bad not installed"
+  | Some node ->
+      check Alcotest.int "watchdog counted the trip" 1 (Rts.Node.watchdog_trips node);
+      check Alcotest.bool "peak gauge recorded the blow-up" true
+        (Rts.Node.state_peak node >= total));
+  check Alcotest.bool "sibling query is byte-identical to its solo run" true
+    (List.rev !good_items = run_good_solo ())
+
+let test_honest_schema_is_rejected_statically () =
+  (* same stream, honest (Unordered) schema: the certifier refuses it
+     up front, naming the operator — the watchdog is only the backstop
+     for schemas that lie *)
+  let engine = E.create ~admit:E.Admit_reject () in
+  let i = ref 0 in
+  Result.get_ok
+    (E.add_custom_source engine ~name:"liar"
+       ~schema:(lying_ts_schema Order_prop.Unordered)
+       ~pull:(fun () ->
+         incr i;
+         if !i <= 3 then Some (Item.Tuple [| Value.Int !i |]) else None)
+       ~clock:(fun () -> []));
+  match E.install_program engine bad_query with
+  | Ok _ -> Alcotest.fail "unordered epoch key must not certify"
+  | Error e ->
+      check Alcotest.bool "diagnostic names the operator" true (contains e "bad");
+      check Alcotest.bool "diagnostic names the admission override" true
+        (contains e "--allow-unbounded")
+
 (* ------------------------------ registration ----------------------------- *)
 
 let () =
@@ -668,6 +789,12 @@ let () =
           tc "gaps conserved through the reunify merge" test_shard_merge_gap_conserved;
         ] );
       ("shedding", [ tc "emitted + shed = pulled" test_shed_conserves_tuples ]);
+      ( "state watchdog",
+        [
+          tc "certificate violation isolated, gaps conserved"
+            test_watchdog_isolates_certificate_violation;
+          tc "honest schema rejected statically" test_honest_schema_is_rejected_statically;
+        ] );
       ( "network healing",
         [
           tc "listen: live socket refused, stale reclaimed" test_listen_address_conflicts;

@@ -390,6 +390,38 @@ let test_env_batch_negative_warns () =
   check Alcotest.bool "warning names the variable and value" true
     (contains warnings "GIGASCOPE_BATCH" && contains warnings "-3")
 
+let test_env_supervise_garbage_warns () =
+  (* the run must still converge under the default policy — a typo'd
+     failure-model knob must never itself be a failure *)
+  let (), warnings =
+    capture_warnings (fun () ->
+        with_env ~default:"" "GIGASCOPE_SUPERVISE" "eventually" empty_run)
+  in
+  check Alcotest.bool "warning names the variable" true
+    (contains warnings "GIGASCOPE_SUPERVISE");
+  check Alcotest.bool "warning names the fallback" true (contains warnings "fail_fast")
+
+let test_env_watchdog_garbage_warns () =
+  List.iter
+    (fun bad ->
+      let (), warnings =
+        capture_warnings (fun () ->
+            with_env ~default:"" "GIGASCOPE_WATCHDOG" bad empty_run)
+      in
+      check Alcotest.bool
+        (Printf.sprintf "GIGASCOPE_WATCHDOG=%S warns and disarms" bad)
+        true
+        (contains warnings "GIGASCOPE_WATCHDOG" && contains warnings bad))
+    [ "0.5" (* below the minimum slack *); "lots" ]
+
+let test_env_watchdog_valid_silent () =
+  let (), warnings =
+    capture_warnings (fun () ->
+        with_env ~default:"" "GIGASCOPE_FAULTS" "" (fun () ->
+            with_env ~default:"" "GIGASCOPE_WATCHDOG" "2.5" empty_run))
+  in
+  check Alcotest.string "a legal slack stays silent" "" warnings
+
 let test_env_clean_value_silent () =
   (* GIGASCOPE_FAULTS is pinned off: an ambient chaos spec (make ci's
      chaos pass) legitimately logs a fault-injection notice, and this
@@ -440,5 +472,11 @@ let () =
             test_env_parallel_garbage_warns;
           Alcotest.test_case "negative GIGASCOPE_BATCH warns" `Quick test_env_batch_negative_warns;
           Alcotest.test_case "clean value stays silent" `Quick test_env_clean_value_silent;
+          Alcotest.test_case "garbage GIGASCOPE_SUPERVISE warns" `Quick
+            test_env_supervise_garbage_warns;
+          Alcotest.test_case "bad GIGASCOPE_WATCHDOG warns and disarms" `Quick
+            test_env_watchdog_garbage_warns;
+          Alcotest.test_case "valid GIGASCOPE_WATCHDOG stays silent" `Quick
+            test_env_watchdog_valid_silent;
         ] );
     ]

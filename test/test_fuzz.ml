@@ -399,6 +399,94 @@ let merge_reorder_fuzz =
           sorted conserved firm
       else true)
 
+(* --------------------------- certifier algebra -------------------------- *)
+
+(* Random aggregation plans over the certifier, checking the laws the
+   engine's admission and auto-sizing rest on:
+
+   - finiteness is a property of the logical plan, not the physical
+     rewrite: a plan with an epoch key certifies finite and one without
+     certifies unbounded, at every LFTA table size (the LFTA/HFTA split
+     moves state around but cannot create or destroy a bound);
+   - sharding is monotone: each replica of a sharded chain carries a
+     bound no larger than the whole unsharded query's, and sharding
+     never flips the finiteness verdict. *)
+
+let certify_laws =
+  let module Certify = Gsql.Certify in
+  let module Split = Gsql.Split in
+  qtest ~count:200 "certifier: split-invariant finiteness, shard-monotone bounds"
+    QCheck.small_int (fun seed ->
+      let rng = Prng.create ((seed * 7919) + 13) in
+      let epoch = Prng.bool rng in
+      let bucket = [| 1; 10; 60 |].(Prng.int rng 3) in
+      let extra =
+        [| []; [ "srcip" ]; [ "destport" ]; [ "srcip"; "destport" ] |].(Prng.int rng 4)
+      in
+      let aggs =
+        [| "count(*) as c"; "count(*) as c, sum(len) as b"; "sum(len) as b" |].(Prng.int rng 3)
+      in
+      let keys =
+        (if epoch then [ Printf.sprintf "time/%d as tb" bucket ] else [])
+        @ List.map (fun k -> k ^ " as k_" ^ k) extra
+      in
+      let keys = if keys = [] then [ "srcip as k_srcip" ] else keys in
+      let select_keys = String.concat ", " (List.map (fun k -> List.nth (String.split_on_char ' ' k) 2) keys) in
+      let text =
+        Printf.sprintf "DEFINE { query_name fz; } SELECT %s, %s FROM eth0.tcp GROUP BY %s"
+          select_keys aggs (String.concat ", " keys)
+      in
+      let compile ~bits =
+        (* fresh catalog per compile: compiling registers the query's
+           output schema, and a re-registration would be a false failure *)
+        let catalog = Gigascope.Engine.catalog (Gigascope.Engine.create ()) in
+        match Gsql.Compile.compile_program catalog ~lfta_table_bits:bits text with
+        | Error e -> QCheck.Test.fail_reportf "compile %S: %s" text e
+        | Ok [ c ] -> c.Gsql.Compile.split
+        | Ok _ -> QCheck.Test.fail_reportf "expected one compiled query for %S" text
+      in
+      let expect_finite = epoch in
+      (* law 1: finiteness across LFTA table sizes (different physical
+         splits of the same logical plan) *)
+      let splits = List.map (fun bits -> (bits, compile ~bits)) [ 6; 12 ] in
+      List.iter
+        (fun (bits, s) ->
+          let cert = Certify.certify s in
+          if Certify.finite cert <> expect_finite then
+            QCheck.Test.fail_reportf "bits=%d: finite=%b, epoch=%b for %S" bits
+              (Certify.finite cert) epoch text)
+        splits;
+      (* law 2: sharding preserves the verdict and each replica's bound
+         stays within the unsharded query bound *)
+      let base = List.assoc 12 splits in
+      let base_cert = Certify.certify base in
+      let shards = 2 + Prng.int rng 3 in
+      (match Split.shard ~shards base with
+      | Error _ -> () (* unshardable plans install unchanged *)
+      | Ok (sharded, _info) ->
+          let sh_cert = Certify.certify sharded in
+          if Certify.finite sh_cert <> Certify.finite base_cert then
+            QCheck.Test.fail_reportf "shards=%d flipped finiteness for %S" shards text;
+          match Certify.total_estimate base_cert with
+          | None -> ()
+          | Some total ->
+              List.iter
+                (fun (p : Split.phys_node) ->
+                  match p.Split.pshard with
+                  | None -> ()
+                  | Some _ -> (
+                      match Certify.node_bound sh_cert p.Split.pname with
+                      | None ->
+                          QCheck.Test.fail_reportf "replica %s of %S lost its bound"
+                            p.Split.pname text
+                      | Some b ->
+                          if b > total +. 1e-9 then
+                            QCheck.Test.fail_reportf
+                              "replica %s bound %.0f > unsharded query bound %.0f for %S"
+                              p.Split.pname b total text))
+                sharded.Split.phys);
+      true)
+
 (* full path: fuzzed pcap bytes through the engine *)
 let engine_survives_fuzzed_pcap =
   qtest ~count:50 "engine runs over a capture of mutated packets" QCheck.small_int (fun seed ->
@@ -451,5 +539,6 @@ let () =
       ("xchannel", [xchannel_fuzz]);
       ("batch-differential", batch_differential);
       ("shard-differential", [shard_count_differential; merge_reorder_fuzz]);
+      ("certifier", [certify_laws]);
       ("end-to-end", [engine_survives_fuzzed_pcap]);
     ]

@@ -324,6 +324,9 @@ let join_window_extraction_property =
           | _ -> false))
 
 let test_analyze_join_without_window_rejected () =
+  (* a windowless join is no longer a hard analyzer error: it compiles,
+     and the memory certifier (not the analyzer) rules it unbounded —
+     the admission gate then decides whether it may run *)
   let catalog = fresh_catalog () in
   let program =
     {|
@@ -334,8 +337,14 @@ let test_analyze_join_without_window_rejected () =
   |}
   in
   match Gsql.Compile.compile_program catalog program with
-  | Error _ -> ()
-  | Ok _ -> Alcotest.fail "join without window constraint accepted"
+  | Error e -> Alcotest.fail ("windowless join must still compile: " ^ e)
+  | Ok compiled -> (
+      match List.rev compiled with
+      | c :: _ ->
+          let cert = Gsql.Certify.certify c.Gsql.Compile.split in
+          if Gsql.Certify.finite cert then
+            Alcotest.fail "windowless join certified finite"
+      | [] -> Alcotest.fail "no queries compiled")
 
 let test_analyze_three_way_join_rejected () =
   ignore (compile_err "SELECT a.time FROM eth0.tcp a, eth1.tcp b, eth2.tcp c WHERE a.time = b.time")
@@ -726,7 +735,8 @@ let () =
           Alcotest.test_case "join equality" `Quick test_analyze_join_equality_window;
           join_window_extraction_property;
           Alcotest.test_case "join output mode" `Quick test_analyze_join_output_mode;
-          Alcotest.test_case "join needs window" `Quick test_analyze_join_without_window_rejected;
+          Alcotest.test_case "windowless join certifies unbounded" `Quick
+            test_analyze_join_without_window_rejected;
           Alcotest.test_case "three-way join rejected" `Quick test_analyze_three_way_join_rejected;
           Alcotest.test_case "merge" `Quick test_analyze_merge;
           Alcotest.test_case "merge incompatible" `Quick test_analyze_merge_incompatible;
